@@ -1,0 +1,82 @@
+//! Criterion microbenchmarks: cost of a single routing decision per
+//! algorithm (the per-cycle critical path of the VC allocator's phase 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use footprint_routing::{
+    NoCongestionInfo, RoutingCtx, RoutingSpec, TablePortView, VcId, VcView,
+};
+use footprint_topology::{Mesh, NodeId, Port, DIRECTIONS};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn mixed_view() -> TablePortView {
+    let mut view = TablePortView::all_idle(10, 4);
+    // A half-congested port state: some busy, some footprints for n63.
+    for d in DIRECTIONS {
+        for v in 1..6u8 {
+            view.set(
+                Port::Dir(d),
+                VcId(v),
+                VcView {
+                    idle: false,
+                    owner: Some(if v % 2 == 0 { NodeId(63) } else { NodeId(7) }),
+                    credits: 1,
+                    joinable: v % 2 == 0,
+                },
+            );
+        }
+    }
+    view
+}
+
+fn bench_route(c: &mut Criterion) {
+    let mut g = c.benchmark_group("route-decision");
+    let view = mixed_view();
+    let cong = NoCongestionInfo;
+    for spec in [
+        RoutingSpec::Footprint,
+        RoutingSpec::Dbar,
+        RoutingSpec::OddEven,
+        RoutingSpec::Dor,
+        RoutingSpec::DorXordet,
+    ] {
+        let algo = spec.build();
+        g.bench_with_input(BenchmarkId::from_parameter(spec.name()), &spec, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let mut out = Vec::with_capacity(32);
+            let ctx = RoutingCtx {
+                mesh: Mesh::square(8),
+                current: NodeId(9),
+                src: NodeId(9),
+                dest: NodeId(63),
+                input_port: Port::Local,
+                input_vc: VcId(1),
+                on_escape: false,
+                num_vcs: 10,
+                ports: &view,
+                congestion: &cong,
+            };
+            b.iter(|| {
+                out.clear();
+                algo.route(&ctx, &mut rng, &mut out);
+                std::hint::black_box(out.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_adaptiveness(c: &mut Criterion) {
+    use footprint_routing::adaptiveness::mean_path_adaptiveness;
+    let mut g = c.benchmark_group("analysis");
+    g.sample_size(10);
+    g.bench_function("mean-path-adaptiveness-8x8-odd-even", |b| {
+        let algo = RoutingSpec::OddEven.build();
+        let mesh = Mesh::square(8);
+        b.iter(|| std::hint::black_box(mean_path_adaptiveness(mesh, &*algo)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_route, bench_adaptiveness);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion microbenchmarks: simulator cycle throughput per routing
+//! algorithm (how fast the substrate regenerates the paper's figures).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use footprint_core::{RoutingSpec, SimulationBuilder, TrafficSpec};
+
+fn bench_cycles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim-cycles-8x8");
+    const CYCLES: u64 = 500;
+    g.throughput(Throughput::Elements(CYCLES));
+    g.sample_size(10);
+    for spec in [
+        RoutingSpec::Footprint,
+        RoutingSpec::Dbar,
+        RoutingSpec::OddEven,
+        RoutingSpec::Dor,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(spec.name()),
+            &spec,
+            |b, &spec| {
+                let (mut net, mut wl) = SimulationBuilder::paper_default()
+                    .routing(spec)
+                    .traffic(TrafficSpec::UniformRandom)
+                    .injection_rate(0.3)
+                    .seed(1)
+                    .build()
+                    .unwrap();
+                net.run(&mut *wl, 500); // steady state
+                b.iter(|| net.run(&mut *wl, CYCLES));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_mesh_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim-cycles-mesh-size");
+    const CYCLES: u64 = 200;
+    g.sample_size(10);
+    for k in [4u16, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{k}x{k}")), &k, |b, &k| {
+            let (mut net, mut wl) = SimulationBuilder::mesh(k)
+                .routing(RoutingSpec::Footprint)
+                .traffic(TrafficSpec::UniformRandom)
+                .injection_rate(0.3)
+                .seed(1)
+                .build()
+                .unwrap();
+            net.run(&mut *wl, 200);
+            b.iter(|| net.run(&mut *wl, CYCLES));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cycles, bench_mesh_scaling);
+criterion_main!(benches);

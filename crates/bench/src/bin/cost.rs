@@ -1,0 +1,40 @@
+//! §4.4: the implementation-cost model of Footprint routing.
+
+use footprint_routing::cost::{
+    ceil_log2, cost_in_flit_entries, footprint_storage_bits_per_port,
+    footprint_storage_bits_per_router,
+};
+use footprint_stats::Table;
+
+fn main() {
+    println!("§4.4 — Footprint storage overhead\n");
+    let mut t = Table::new([
+        "mesh",
+        "VCs",
+        "bits/port",
+        "bits/router (5 ports)",
+        "flit entries @128b",
+        "flit entries @256b",
+    ]);
+    for (nodes, label) in [(16usize, "4x4"), (64, "8x8"), (256, "16x16")] {
+        for vcs in [2usize, 4, 8, 10, 16] {
+            let bits = footprint_storage_bits_per_port(nodes, vcs);
+            t.row([
+                label.to_string(),
+                vcs.to_string(),
+                bits.to_string(),
+                footprint_storage_bits_per_router(nodes, vcs, 5).to_string(),
+                format!("{:.2}", cost_in_flit_entries(bits, 128)),
+                format!("{:.2}", cost_in_flit_entries(bits, 256)),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "Paper check: 8x8 mesh, 16 VCs → {} bits/port (paper: 132; owner register \
+         log2(64)={} bits + 2 state bits per VC, idle counter log2(16)={} bits per port).",
+        footprint_storage_bits_per_port(64, 16),
+        ceil_log2(64),
+        ceil_log2(16),
+    );
+}

@@ -1,0 +1,178 @@
+//! Interactive experiment runner: simulate any (algorithm, pattern, rate,
+//! mesh, VCs) point from the command line.
+//!
+//! ```bash
+//! cargo run --release -p footprint-bench --bin explore -- \
+//!     --routing footprint --traffic shuffle --rate 0.45 --mesh 8 --vcs 10
+//! ```
+
+use footprint_core::{PacketSize, RoutingSpec, SimulationBuilder, TrafficSpec};
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Args {
+    routing: RoutingSpec,
+    traffic: TrafficSpec,
+    rate: f64,
+    mesh: u16,
+    vcs: usize,
+    warmup: u64,
+    measurement: u64,
+    seed: u64,
+    variable_size: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            routing: RoutingSpec::Footprint,
+            traffic: TrafficSpec::UniformRandom,
+            rate: 0.2,
+            mesh: 8,
+            vcs: 10,
+            warmup: 2_000,
+            measurement: 4_000,
+            seed: 1,
+            variable_size: false,
+        }
+    }
+}
+
+fn parse_traffic(s: &str) -> Result<TrafficSpec, String> {
+    Ok(match s {
+        "uniform" => TrafficSpec::UniformRandom,
+        "transpose" => TrafficSpec::Transpose,
+        "shuffle" => TrafficSpec::Shuffle,
+        "bit-complement" => TrafficSpec::BitComplement,
+        "bit-reverse" => TrafficSpec::BitReverse,
+        "tornado" => TrafficSpec::Tornado,
+        "hotspot" => TrafficSpec::PAPER_HOTSPOT,
+        other => return Err(format!("unknown traffic pattern `{other}`")),
+    })
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--routing" | "-r" => {
+                args.routing = value("--routing")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+            }
+            "--traffic" | "-t" => args.traffic = parse_traffic(&value("--traffic")?)?,
+            "--rate" => {
+                args.rate = value("--rate")?
+                    .parse()
+                    .map_err(|_| "rate must be a number".to_string())?;
+            }
+            "--mesh" | "-k" => {
+                args.mesh = value("--mesh")?
+                    .parse()
+                    .map_err(|_| "mesh must be an integer radix".to_string())?;
+            }
+            "--vcs" | "-v" => {
+                args.vcs = value("--vcs")?
+                    .parse()
+                    .map_err(|_| "vcs must be an integer".to_string())?;
+            }
+            "--warmup" => {
+                args.warmup = value("--warmup")?
+                    .parse()
+                    .map_err(|_| "warmup must be an integer".to_string())?;
+            }
+            "--measurement" => {
+                args.measurement = value("--measurement")?
+                    .parse()
+                    .map_err(|_| "measurement must be an integer".to_string())?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "seed must be an integer".to_string())?;
+            }
+            "--variable-size" => args.variable_size = true,
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_help() {
+    println!(
+        "explore — run one NoC simulation point\n\n\
+         USAGE: explore [--routing ALGO] [--traffic PATTERN] [--rate R]\n\
+                 [--mesh K] [--vcs V] [--warmup N] [--measurement N]\n\
+                 [--seed S] [--variable-size]\n\n\
+         ALGO:    footprint | dbar | odd-even | dor | dbar+xordet |\n\
+                  odd-even+xordet | dor+xordet | random-minimal\n\
+         PATTERN: uniform | transpose | shuffle | bit-complement |\n\
+                  bit-reverse | tornado | hotspot"
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let builder = SimulationBuilder::mesh(args.mesh)
+        .vcs(args.vcs)
+        .routing(args.routing)
+        .traffic(args.traffic)
+        .injection_rate(args.rate)
+        .packet_size(if args.variable_size {
+            PacketSize::PAPER_VARIABLE
+        } else {
+            PacketSize::SINGLE
+        })
+        .warmup(args.warmup)
+        .measurement(args.measurement)
+        .seed(args.seed);
+    match builder.run() {
+        Ok(report) => {
+            println!(
+                "{} x {} @ {:.3} on {}x{} with {} VCs (seed {}):",
+                args.routing.name(),
+                args.traffic,
+                args.rate,
+                args.mesh,
+                args.mesh,
+                args.vcs,
+                args.seed
+            );
+            println!("  {report}");
+            println!(
+                "  purity {:.3}, HoL degree {:.2}, delivery ratio {:.3}",
+                report.mean_purity,
+                report.hol_degree,
+                report.delivery_ratio()
+            );
+            for (c, s) in report.classes.iter().enumerate() {
+                if s.ejected_packets > 0 && report.classes.len() > 1 {
+                    println!(
+                        "  class {c}: latency {:.1}, throughput {:.3}",
+                        s.mean_latency, s.throughput
+                    );
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

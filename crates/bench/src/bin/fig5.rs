@@ -1,0 +1,32 @@
+//! Figure 5: latency-throughput comparison of all seven routing algorithms
+//! on uniform random, transpose and shuffle traffic with single-flit
+//! packets (8×8 mesh, 10 VCs).
+
+use footprint_bench::{default_rates, phases_from_env, print_curves, sweep_curve};
+use footprint_core::TrafficSpec;
+use footprint_routing::RoutingSpec;
+use footprint_stats::Table;
+
+fn main() {
+    let phases = phases_from_env();
+    let rates = default_rates();
+    let mut summary = Table::new(["pattern", "algorithm", "saturation throughput"]);
+    for traffic in TrafficSpec::PAPER_PATTERNS {
+        let mut curves = Vec::new();
+        for spec in RoutingSpec::PAPER_SET {
+            curves.push(sweep_curve(spec, traffic, &rates, phases));
+        }
+        print_curves(
+            &format!("Figure 5 ({traffic}) — single-flit packets, 8x8, 10 VCs"),
+            &curves,
+        );
+        for c in &curves {
+            summary.row([
+                traffic.name(),
+                c.label.clone(),
+                format!("{:.3}", c.saturation_throughput(3.0).unwrap_or(0.0)),
+            ]);
+        }
+    }
+    println!("{}", summary.render());
+}

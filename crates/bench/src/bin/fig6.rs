@@ -1,0 +1,35 @@
+//! Figure 6: latency-throughput comparison with variable packet sizes
+//! (1–6 flits, uniformly distributed), 8×8 mesh, 10 VCs.
+
+use footprint_bench::{default_rates, paper_builder, phases_from_env, print_curves};
+use footprint_core::{PacketSize, TrafficSpec};
+use footprint_routing::RoutingSpec;
+use footprint_stats::Table;
+
+fn main() {
+    let phases = phases_from_env();
+    let rates = default_rates();
+    let mut summary = Table::new(["pattern", "algorithm", "saturation throughput"]);
+    for traffic in TrafficSpec::PAPER_PATTERNS {
+        let mut curves = Vec::new();
+        for spec in RoutingSpec::PAPER_SET {
+            let curve = paper_builder(spec, traffic, phases)
+                .packet_size(PacketSize::PAPER_VARIABLE)
+                .sweep(&rates, None)
+                .expect("static experiment config");
+            curves.push(curve);
+        }
+        print_curves(
+            &format!("Figure 6 ({traffic}) — 1..6-flit packets, 8x8, 10 VCs"),
+            &curves,
+        );
+        for c in &curves {
+            summary.row([
+                traffic.name(),
+                c.label.clone(),
+                format!("{:.3}", c.saturation_throughput(3.0).unwrap_or(0.0)),
+            ]);
+        }
+    }
+    println!("{}", summary.render());
+}

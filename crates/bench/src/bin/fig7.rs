@@ -1,0 +1,47 @@
+//! Figure 7: impact of the number of VCs — DBAR vs Footprint with 2, 4, 8
+//! and 16 VCs per physical channel (plus the 10-VC baseline), 8×8 mesh.
+
+use footprint_bench::{default_rates, gain, paper_builder, phases_from_env, print_curves};
+use footprint_core::TrafficSpec;
+use footprint_routing::RoutingSpec;
+use footprint_stats::table::pct;
+use footprint_stats::Table;
+
+fn main() {
+    let phases = phases_from_env();
+    let rates = default_rates();
+    let vc_counts = [2usize, 4, 8, 16];
+    let mut summary = Table::new([
+        "pattern",
+        "VCs",
+        "footprint sat.",
+        "dbar sat.",
+        "footprint gain",
+    ]);
+    for traffic in TrafficSpec::PAPER_PATTERNS {
+        for &vcs in &vc_counts {
+            let mut curves = Vec::new();
+            let mut sats = Vec::new();
+            for spec in [RoutingSpec::Footprint, RoutingSpec::Dbar] {
+                let curve = paper_builder(spec, traffic, phases)
+                    .vcs(vcs)
+                    .sweep(&rates, None)
+                    .expect("static experiment config");
+                sats.push(curve.saturation_throughput(3.0).unwrap_or(0.0));
+                curves.push(curve);
+            }
+            print_curves(
+                &format!("Figure 7 ({traffic}, {vcs} VCs) — DBAR vs Footprint"),
+                &curves,
+            );
+            summary.row([
+                traffic.name(),
+                vcs.to_string(),
+                format!("{:.3}", sats[0]),
+                format!("{:.3}", sats[1]),
+                pct(gain(sats[0], sats[1])),
+            ]);
+        }
+    }
+    println!("{}", summary.render());
+}

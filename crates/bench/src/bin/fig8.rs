@@ -1,0 +1,50 @@
+//! Figure 8: scalability — DBAR's saturation throughput normalized to
+//! Footprint's on 4×4, 8×8 and 16×16 meshes (10 VCs).
+
+use footprint_bench::{default_rates, phases_from_env};
+use footprint_core::{SimulationBuilder, TrafficSpec};
+use footprint_routing::RoutingSpec;
+use footprint_stats::Table;
+use footprint_topology::Mesh;
+
+fn main() {
+    let phases = phases_from_env();
+    let rates = default_rates();
+    let mut t = Table::new([
+        "pattern",
+        "mesh",
+        "footprint sat.",
+        "dbar sat.",
+        "dbar normalized",
+    ]);
+    for traffic in TrafficSpec::PAPER_PATTERNS {
+        for k in [4u16, 8, 16] {
+            let mut sats = Vec::new();
+            for spec in [RoutingSpec::Footprint, RoutingSpec::Dbar] {
+                let sat = SimulationBuilder::paper_default()
+                    .topology(Mesh::square(k))
+                    .routing(spec)
+                    .traffic(traffic)
+                    .warmup(phases.warmup)
+                    .measurement(phases.measurement)
+                    .seed(0x0F16 + k as u64)
+                    .saturation(&rates)
+                    .expect("static experiment config")
+                    .unwrap_or(0.0);
+                sats.push(sat);
+            }
+            let normalized = if sats[0] > 0.0 { sats[1] / sats[0] } else { 0.0 };
+            t.row([
+                traffic.name(),
+                format!("{k}x{k}"),
+                format!("{:.3}", sats[0]),
+                format!("{:.3}", sats[1]),
+                format!("{normalized:.3}"),
+            ]);
+        }
+    }
+    println!("Figure 8 — DBAR saturation throughput normalized to Footprint\n");
+    println!("{}", t.render());
+    println!("Expectation (paper): normalized DBAR < 1 everywhere, and smaller on 16x16");
+    println!("than 4x4 (Footprint's margin grows with network size).");
+}

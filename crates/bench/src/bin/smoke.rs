@@ -1,0 +1,46 @@
+//! Quick behavioral sanity check: Footprint vs DBAR vs others on the
+//! paper's key workloads, with timing. Not a paper figure; a development
+//! aid.
+
+use footprint_core::{RoutingSpec, SimulationBuilder, TrafficSpec};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    for traffic in [TrafficSpec::Transpose, TrafficSpec::Shuffle, TrafficSpec::UniformRandom] {
+        println!("== {traffic} (8x8, 10 VCs, rate 0.40) ==");
+        for spec in [RoutingSpec::Footprint, RoutingSpec::Dbar, RoutingSpec::OddEven, RoutingSpec::Dor] {
+            let t = Instant::now();
+            let r = SimulationBuilder::paper_default()
+                .routing(spec)
+                .traffic(traffic)
+                .injection_rate(0.40)
+                .warmup(1000)
+                .measurement(2000)
+                .run()
+                .unwrap();
+            println!(
+                "  {:<16} thr {:.3} lat {:>8.1} blocks {:>8} ({:.2}s)",
+                spec.name(), r.latency.throughput, r.latency.mean_latency, r.va_blocks,
+                t.elapsed().as_secs_f64()
+            );
+        }
+    }
+    // Hotspot: background latency at bg 0.3, hotspot rate 0.5.
+    println!("== hotspot (bg 0.3, hs 0.5) ==");
+    for spec in [RoutingSpec::Footprint, RoutingSpec::Dbar] {
+        let r = SimulationBuilder::paper_default()
+            .routing(spec)
+            .traffic(TrafficSpec::PAPER_HOTSPOT)
+            .injection_rate(0.5)
+            .warmup(1000)
+            .measurement(2000)
+            .run()
+            .unwrap();
+        println!(
+            "  {:<16} bg-lat {:>8.1} bg-thr {:.3} hs-thr {:.3}",
+            spec.name(), r.class(0).mean_latency, r.class(0).throughput, r.class(1).throughput
+        );
+    }
+    println!("total {:.1}s", t0.elapsed().as_secs_f64());
+}

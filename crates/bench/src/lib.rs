@@ -1,0 +1,131 @@
+//! Shared driver code for the experiment binaries (one per paper
+//! table/figure) and the criterion microbenchmarks.
+
+use footprint_core::{RoutingSpec, SimulationBuilder, TrafficSpec};
+use footprint_stats::Curve;
+
+/// Standard offered-load sweep for latency-throughput figures: 0.02 to
+/// 0.60 flits/node/cycle.
+pub fn default_rates() -> Vec<f64> {
+    let mut rates = Vec::new();
+    let mut r = 0.02;
+    while r < 0.6005 {
+        rates.push((r * 1000.0_f64).round() / 1000.0);
+        r += if r < 0.30 { 0.04 } else { 0.03 };
+    }
+    rates
+}
+
+/// A sparser, cheaper sweep for smoke tests and CI.
+pub fn quick_rates() -> Vec<f64> {
+    vec![0.05, 0.15, 0.25, 0.35, 0.45, 0.55]
+}
+
+/// Phase lengths used by the experiment binaries. Tuned so a full figure
+/// regenerates in minutes on a laptop; the paper's qualitative shapes are
+/// stable at these lengths (longer runs sharpen the numbers).
+#[derive(Debug, Clone, Copy)]
+pub struct Phases {
+    /// Warmup cycles.
+    pub warmup: u64,
+    /// Measurement cycles.
+    pub measurement: u64,
+}
+
+impl Phases {
+    /// Figure-quality phases.
+    pub const FULL: Phases = Phases {
+        warmup: 3_000,
+        measurement: 6_000,
+    };
+
+    /// Smoke-test phases.
+    pub const QUICK: Phases = Phases {
+        warmup: 500,
+        measurement: 1_000,
+    };
+}
+
+/// Reads phases from the `FOOTPRINT_QUICK` environment variable: set it to
+/// run every experiment binary in smoke mode.
+pub fn phases_from_env() -> Phases {
+    if std::env::var_os("FOOTPRINT_QUICK").is_some() {
+        Phases::QUICK
+    } else {
+        Phases::FULL
+    }
+}
+
+/// Builds the baseline 8×8 builder for an algorithm/pattern pair.
+pub fn paper_builder(
+    routing: RoutingSpec,
+    traffic: TrafficSpec,
+    phases: Phases,
+) -> SimulationBuilder {
+    SimulationBuilder::paper_default()
+        .routing(routing)
+        .traffic(traffic)
+        .warmup(phases.warmup)
+        .measurement(phases.measurement)
+        .seed(0x0F00)
+}
+
+/// Sweeps one latency-throughput curve.
+///
+/// # Panics
+///
+/// Panics on configuration errors — experiment configurations are static
+/// and must be valid.
+pub fn sweep_curve(
+    routing: RoutingSpec,
+    traffic: TrafficSpec,
+    rates: &[f64],
+    phases: Phases,
+) -> Curve {
+    paper_builder(routing, traffic, phases)
+        .sweep(rates, None)
+        .expect("experiment configuration must be valid")
+}
+
+/// Prints a set of curves as aligned columns: one block per curve, in the
+/// `offered accepted latency` format the paper's figures plot.
+pub fn print_curves(title: &str, curves: &[Curve]) {
+    println!("## {title}");
+    for c in curves {
+        print!("{c}");
+        if let Some(sat) = c.saturation_throughput(3.0) {
+            println!("# saturation throughput ({}): {:.3}", c.label, sat);
+        }
+        println!();
+    }
+}
+
+/// Relative gain of `ours` over `baseline` ((ours - baseline) / baseline).
+pub fn gain(ours: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        (ours - baseline) / baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_rates_are_increasing_and_bounded() {
+        let rates = default_rates();
+        assert!(rates.len() > 8);
+        assert!(rates.windows(2).all(|w| w[0] < w[1]));
+        assert!(*rates.last().unwrap() <= 0.61);
+        assert!(rates[0] >= 0.01);
+    }
+
+    #[test]
+    fn quick_phases_are_cheaper() {
+        let (quick, full) = (Phases::QUICK, Phases::FULL);
+        assert!(quick.measurement < full.measurement);
+        assert!(quick_rates().windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,341 @@
+//! The simulation builder: one fluent entry point for every experiment.
+
+use crate::{RunReport, TrafficSpec};
+use footprint_routing::RoutingSpec;
+use footprint_sim::{ConfigError, Network, NoTraffic, Probe, SimConfig, Workload};
+use footprint_stats::{Curve, SweepPoint};
+use footprint_topology::Mesh;
+use footprint_traffic::PacketSize;
+
+/// Fluent configuration of one simulation run.
+///
+/// Defaults follow the paper's Table 2: 8×8 mesh, 10 VCs, 4-flit buffers,
+/// speedup 2, single-flit packets, Footprint routing, uniform random
+/// traffic, 10k warmup + 10k measurement cycles.
+///
+/// ```
+/// use footprint_core::{SimulationBuilder, RoutingSpec, TrafficSpec};
+///
+/// let report = SimulationBuilder::mesh(4)
+///     .vcs(4)
+///     .routing(RoutingSpec::Dor)
+///     .traffic(TrafficSpec::UniformRandom)
+///     .injection_rate(0.1)
+///     .warmup(300)
+///     .measurement(500)
+///     .seed(1)
+///     .run()?;
+/// assert!(report.latency.ejected_packets > 0);
+/// # Ok::<(), footprint_sim::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimulationBuilder {
+    mesh: Mesh,
+    num_vcs: usize,
+    vc_buffer_depth: usize,
+    speedup: usize,
+    routing: RoutingSpec,
+    traffic: TrafficSpec,
+    packet_size: PacketSize,
+    rate: f64,
+    link_latency: usize,
+    warmup: u64,
+    measurement: u64,
+    drain: u64,
+    seed: u64,
+}
+
+impl SimulationBuilder {
+    /// Starts from the paper's default configuration (8×8 mesh).
+    pub fn paper_default() -> Self {
+        let cfg = SimConfig::paper_default();
+        SimulationBuilder {
+            mesh: cfg.mesh,
+            num_vcs: cfg.num_vcs,
+            vc_buffer_depth: cfg.vc_buffer_depth,
+            speedup: cfg.speedup,
+            routing: RoutingSpec::Footprint,
+            traffic: TrafficSpec::UniformRandom,
+            packet_size: PacketSize::SINGLE,
+            rate: 0.1,
+            link_latency: cfg.link_latency,
+            warmup: 10_000,
+            measurement: 10_000,
+            drain: 0,
+            seed: 0xF007,
+        }
+    }
+
+    /// Starts from a `k × k` mesh with otherwise default parameters.
+    pub fn mesh(k: u16) -> Self {
+        let mut b = Self::paper_default();
+        b.mesh = Mesh::square(k);
+        b
+    }
+
+    /// Sets the mesh explicitly.
+    pub fn topology(mut self, mesh: Mesh) -> Self {
+        self.mesh = mesh;
+        self
+    }
+
+    /// VCs per physical channel.
+    pub fn vcs(mut self, n: usize) -> Self {
+        self.num_vcs = n;
+        self
+    }
+
+    /// VC buffer depth in flits.
+    pub fn buffer_depth(mut self, n: usize) -> Self {
+        self.vc_buffer_depth = n;
+        self
+    }
+
+    /// Internal speedup.
+    pub fn speedup(mut self, n: usize) -> Self {
+        self.speedup = n;
+        self
+    }
+
+    /// Routing algorithm.
+    pub fn routing(mut self, spec: RoutingSpec) -> Self {
+        self.routing = spec;
+        self
+    }
+
+    /// Workload.
+    pub fn traffic(mut self, spec: TrafficSpec) -> Self {
+        self.traffic = spec;
+        self
+    }
+
+    /// Packet-size mix.
+    pub fn packet_size(mut self, size: PacketSize) -> Self {
+        self.packet_size = size;
+        self
+    }
+
+    /// Offered load, flits/node/cycle (for hotspot traffic: the hotspot
+    /// flow rate).
+    pub fn injection_rate(mut self, rate: f64) -> Self {
+        self.rate = rate;
+        self
+    }
+
+    /// One-way link latency in cycles (default 1).
+    pub fn link_latency(mut self, cycles: usize) -> Self {
+        self.link_latency = cycles;
+        self
+    }
+
+    /// Warmup cycles (excluded from measurement).
+    pub fn warmup(mut self, cycles: u64) -> Self {
+        self.warmup = cycles;
+        self
+    }
+
+    /// Measurement cycles.
+    pub fn measurement(mut self, cycles: u64) -> Self {
+        self.measurement = cycles;
+        self
+    }
+
+    /// Drain cycles after measurement (no injection; lets in-flight packets
+    /// finish — useful for delivery checks).
+    pub fn drain(mut self, cycles: u64) -> Self {
+        self.drain = cycles;
+        self
+    }
+
+    /// RNG seed (runs are deterministic given the seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The routing spec currently configured.
+    pub fn routing_spec(&self) -> RoutingSpec {
+        self.routing
+    }
+
+    /// The offered load currently configured.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            mesh: self.mesh,
+            num_vcs: self.num_vcs,
+            vc_buffer_depth: self.vc_buffer_depth,
+            speedup: self.speedup,
+            link_latency: self.link_latency,
+        }
+    }
+
+    /// Builds the network and workload without running (for custom drive
+    /// loops).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors (bad VC count, etc.).
+    pub fn build(&self) -> Result<(Network, Box<dyn Workload>), ConfigError> {
+        let net = Network::new(self.sim_config(), self.routing.build(), self.seed)?;
+        let wl = self.traffic.build(self.mesh, self.packet_size, self.rate);
+        Ok((net, wl))
+    }
+
+    /// Runs warmup + measurement (+ optional drain) and reports the
+    /// measurement window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn run(&self) -> Result<RunReport, ConfigError> {
+        self.run_probed(&mut footprint_sim::NullProbe)
+    }
+
+    /// Like [`SimulationBuilder::run`], with a probe attached for the
+    /// measurement window (purity tracking, custom instrumentation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn run_probed(&self, probe: &mut dyn Probe) -> Result<RunReport, ConfigError> {
+        let (mut net, mut wl) = self.build()?;
+        net.run(&mut *wl, self.warmup);
+        net.metrics_mut().reset_window();
+        net.run_probed(&mut *wl, self.measurement, probe);
+        if self.drain > 0 {
+            let mut none = NoTraffic;
+            net.run_probed(&mut none, self.drain, probe);
+        }
+        Ok(RunReport::from_metrics(
+            net.metrics(),
+            self.mesh.len(),
+            self.rate,
+        ))
+    }
+
+    /// Sweeps offered load over `rates`, producing a latency-throughput
+    /// curve (class `latency_class`, or the total when `None`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` is not strictly increasing (curve invariant).
+    pub fn sweep(
+        &self,
+        rates: &[f64],
+        latency_class: Option<u8>,
+    ) -> Result<Curve, ConfigError> {
+        let mut curve = Curve::new(self.routing.name());
+        for &rate in rates {
+            let report = self.clone().injection_rate(rate).run()?;
+            let s = match latency_class {
+                Some(c) => report.class(c),
+                None => report.latency,
+            };
+            curve.push(SweepPoint {
+                offered: rate,
+                accepted: s.throughput,
+                latency: s.mean_latency,
+            });
+        }
+        Ok(curve)
+    }
+
+    /// Finds the saturation throughput by sweeping `rates` and applying the
+    /// 3×-zero-load-latency criterion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn saturation(&self, rates: &[f64]) -> Result<Option<f64>, ConfigError> {
+        Ok(self.sweep(rates, None)?.saturation_throughput(3.0))
+    }
+}
+
+impl Default for SimulationBuilder {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> SimulationBuilder {
+        SimulationBuilder::mesh(4)
+            .vcs(4)
+            .warmup(200)
+            .measurement(400)
+            .seed(3)
+    }
+
+    #[test]
+    fn run_produces_traffic_and_latency() {
+        let r = quick()
+            .routing(RoutingSpec::Footprint)
+            .injection_rate(0.2)
+            .run()
+            .unwrap();
+        assert!(r.latency.ejected_packets > 50);
+        assert!(r.latency.mean_latency > 4.0, "{}", r.latency.mean_latency);
+        assert!(r.latency.throughput > 0.1);
+        assert_eq!(r.nodes, 16);
+        assert_eq!(r.cycles, 400);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = quick().injection_rate(0.3).run().unwrap();
+        let b = quick().injection_rate(0.3).run().unwrap();
+        assert_eq!(a, b);
+        let c = quick().injection_rate(0.3).seed(4).run().unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sweep_builds_monotonic_curve() {
+        let curve = quick()
+            .routing(RoutingSpec::Dor)
+            .sweep(&[0.05, 0.2], None)
+            .unwrap();
+        assert_eq!(curve.points.len(), 2);
+        assert!(curve.points[0].latency <= curve.points[1].latency * 1.5);
+        assert!(curve.points[1].accepted > curve.points[0].accepted);
+    }
+
+    #[test]
+    fn invalid_config_is_reported() {
+        let err = quick().vcs(0).run().unwrap_err();
+        assert!(matches!(err, ConfigError::NumVcs(0)));
+        let err = quick().vcs(1).routing(RoutingSpec::Dbar).run().unwrap_err();
+        assert!(matches!(err, ConfigError::TooFewVcsForRouting { .. }));
+    }
+
+    #[test]
+    fn longer_links_increase_latency() {
+        let short = quick().injection_rate(0.1).run().unwrap();
+        let long = quick().injection_rate(0.1).link_latency(4).run().unwrap();
+        assert!(
+            long.latency.mean_latency > short.latency.mean_latency + 3.0,
+            "short {} vs long {}",
+            short.latency.mean_latency,
+            long.latency.mean_latency
+        );
+    }
+
+    #[test]
+    fn drain_improves_delivery_ratio() {
+        let no_drain = quick().injection_rate(0.2).run().unwrap();
+        let with_drain = quick().injection_rate(0.2).drain(300).run().unwrap();
+        assert!(with_drain.delivery_ratio() >= no_drain.delivery_ratio());
+        assert!(with_drain.delivery_ratio() > 0.97);
+    }
+}

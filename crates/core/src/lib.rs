@@ -1,0 +1,51 @@
+//! High-level public API of the Footprint NoC reproduction.
+//!
+//! This crate ties the substrates together behind one builder:
+//!
+//! * [`SimulationBuilder`] — configure topology, routing, traffic, load and
+//!   measurement phases; run one experiment or sweep a latency-throughput
+//!   curve.
+//! * [`TrafficSpec`] — the paper's workloads by name (synthetic patterns,
+//!   the Table 3 hotspot workload, PARSEC-like pairs, the Figure 2
+//!   permutation).
+//! * [`RunReport`] — per-class latency/throughput plus the §4.3 blocking
+//!   purity metrics.
+//!
+//! Re-exported: [`RoutingSpec`] (the seven algorithms of Table 2),
+//! [`PacketSize`], [`App`].
+//!
+//! # Example
+//!
+//! ```
+//! use footprint_core::{SimulationBuilder, RoutingSpec, TrafficSpec};
+//!
+//! // Compare Footprint against DBAR on transpose traffic (tiny run).
+//! let mut results = Vec::new();
+//! for spec in [RoutingSpec::Footprint, RoutingSpec::Dbar] {
+//!     let report = SimulationBuilder::mesh(4)
+//!         .vcs(4)
+//!         .routing(spec)
+//!         .traffic(TrafficSpec::Transpose)
+//!         .injection_rate(0.15)
+//!         .warmup(200)
+//!         .measurement(400)
+//!         .run()?;
+//!     results.push((spec.name(), report.latency.throughput));
+//! }
+//! assert_eq!(results.len(), 2);
+//! # Ok::<(), footprint_sim::ConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod builder;
+mod report;
+mod traffic_spec;
+
+pub use builder::SimulationBuilder;
+pub use report::{ClassSummary, RunReport};
+pub use traffic_spec::TrafficSpec;
+
+pub use footprint_routing::RoutingSpec;
+pub use footprint_sim::{ConfigError, Probe, SimConfig};
+pub use footprint_traffic::{App, PacketSize};

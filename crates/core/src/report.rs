@@ -1,0 +1,177 @@
+//! Results of a measured simulation run.
+
+use core::fmt;
+use footprint_sim::Metrics;
+
+/// Summary for one traffic class over the measurement window.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClassSummary {
+    /// Packets generated in the window.
+    pub generated_packets: u64,
+    /// Packets ejected in the window.
+    pub ejected_packets: u64,
+    /// Flits ejected in the window.
+    pub ejected_flits: u64,
+    /// Mean end-to-end packet latency (cycles).
+    pub mean_latency: f64,
+    /// Maximum packet latency (cycles).
+    pub max_latency: u64,
+    /// Accepted throughput, flits/node/cycle.
+    pub throughput: f64,
+}
+
+impl ClassSummary {
+    /// The mean packet latency in cycles (alias of `mean_latency` for a
+    /// fluent reading: `report.latency.mean()`).
+    pub fn mean(&self) -> f64 {
+        self.mean_latency
+    }
+}
+
+/// The outcome of one measured run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Cycles in the measurement window.
+    pub cycles: u64,
+    /// Endpoints in the network.
+    pub nodes: usize,
+    /// Offered load the run was configured with (flits/node/cycle).
+    pub offered: f64,
+    /// Summary over all classes.
+    pub latency: ClassSummary,
+    /// Per-class summaries (index = class id).
+    pub classes: Vec<ClassSummary>,
+    /// VC-allocation failures in the window.
+    pub va_blocks: u64,
+    /// Mean blocking purity (§4.3).
+    pub mean_purity: f64,
+    /// Degree of HoL blocking (§4.3).
+    pub hol_degree: f64,
+}
+
+impl RunReport {
+    /// Builds a report from the simulator's metrics.
+    pub fn from_metrics(metrics: &Metrics, nodes: usize, offered: f64) -> Self {
+        let cycles = metrics.cycles;
+        let summarize = |s: footprint_sim::ClassStats| ClassSummary {
+            generated_packets: s.generated_packets,
+            ejected_packets: s.ejected_packets,
+            ejected_flits: s.ejected_flits,
+            mean_latency: s.mean_latency(),
+            max_latency: s.latency_max,
+            throughput: if cycles == 0 {
+                0.0
+            } else {
+                s.ejected_flits as f64 / (cycles as f64 * nodes as f64)
+            },
+        };
+        // Collect every class that appeared (sparse classes padded with
+        // zeros so the vector is indexable by class id).
+        let mut classes = Vec::new();
+        for c in 0..=u8::MAX {
+            let s = metrics.class(c);
+            if s.generated_packets != 0 || s.ejected_packets != 0 {
+                while classes.len() < c as usize {
+                    classes.push(ClassSummary::default());
+                }
+                classes.push(summarize(s));
+            }
+        }
+        RunReport {
+            cycles,
+            nodes,
+            offered,
+            latency: summarize(metrics.total()),
+            classes,
+            va_blocks: metrics.va_blocks,
+            mean_purity: metrics.mean_purity(),
+            hol_degree: metrics.hol_degree(),
+        }
+    }
+
+    /// Summary for class `c` (zeros if the class never appeared).
+    pub fn class(&self, c: u8) -> ClassSummary {
+        self.classes.get(c as usize).copied().unwrap_or_default()
+    }
+
+    /// Delivery ratio: ejected / generated packets over the window (can
+    /// exceed 1.0 slightly when warmup packets drain into the window).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.latency.generated_packets == 0 {
+            0.0
+        } else {
+            self.latency.ejected_packets as f64 / self.latency.generated_packets as f64
+        }
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "offered {:.3} → accepted {:.3} flits/node/cycle, latency {:.1} (max {}), {} blocks",
+            self.offered,
+            self.latency.throughput,
+            self.latency.mean_latency,
+            self.latency.max_latency,
+            self.va_blocks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use footprint_sim::{EjectedPacket, PacketId};
+    use footprint_topology::NodeId;
+
+    fn metrics_with(packets: &[(u8, u64, u64)]) -> Metrics {
+        let mut m = Metrics::new();
+        m.cycles = 100;
+        for &(class, birth, eject) in packets {
+            m.record_generated(class, 1);
+            m.record_ejected(&EjectedPacket {
+                id: PacketId(0),
+                src: NodeId(0),
+                dest: NodeId(1),
+                birth,
+                ejected: eject,
+                size: 1,
+                class,
+            });
+        }
+        m
+    }
+
+    #[test]
+    fn report_summarizes_totals_and_classes() {
+        let m = metrics_with(&[(0, 0, 10), (0, 0, 30), (1, 0, 50)]);
+        let r = RunReport::from_metrics(&m, 4, 0.25);
+        assert_eq!(r.latency.ejected_packets, 3);
+        assert!((r.latency.mean_latency - 30.0).abs() < 1e-9);
+        assert!((r.class(0).mean_latency - 20.0).abs() < 1e-9);
+        assert!((r.class(1).mean_latency - 50.0).abs() < 1e-9);
+        assert_eq!(r.class(5), ClassSummary::default());
+        // throughput: 3 flits / (100 × 4).
+        assert!((r.latency.throughput - 0.0075).abs() < 1e-12);
+        assert!((r.delivery_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let m = metrics_with(&[(0, 0, 10)]);
+        let r = RunReport::from_metrics(&m, 4, 0.25);
+        let s = r.to_string();
+        assert!(s.contains("offered 0.250"));
+        assert!(s.contains("latency 10.0"));
+    }
+
+    #[test]
+    fn empty_metrics_give_zero_report() {
+        let m = Metrics::new();
+        let r = RunReport::from_metrics(&m, 4, 0.0);
+        assert_eq!(r.latency.ejected_packets, 0);
+        assert_eq!(r.delivery_ratio(), 0.0);
+        assert!(r.classes.is_empty());
+    }
+}

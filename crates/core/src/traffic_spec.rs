@@ -1,0 +1,191 @@
+//! Named workload configurations.
+
+use core::fmt;
+use footprint_sim::Workload;
+use footprint_topology::Mesh;
+use footprint_traffic::{
+    patterns, App, HotspotWorkload, PacketSize, ParsecPairWorkload, Permutation,
+    SyntheticWorkload,
+};
+
+/// A named workload, buildable into a `footprint-sim` [`Workload`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficSpec {
+    /// Uniform random (Figures 5–8).
+    UniformRandom,
+    /// Transpose (Figures 5–8).
+    Transpose,
+    /// Shuffle (Figures 5–8).
+    Shuffle,
+    /// Bit complement (extra).
+    BitComplement,
+    /// Bit reverse (extra).
+    BitReverse,
+    /// Tornado (extra).
+    Tornado,
+    /// The Table 3 hotspot + background workload (Figure 9). The builder's
+    /// injection rate drives the *hotspot* flows; the background runs at
+    /// the fixed rate given here (0.30 in the paper).
+    Hotspot {
+        /// Background (uniform-random) injection rate, flits/node/cycle.
+        background_rate: f64,
+    },
+    /// Two PARSEC-like applications run simultaneously (Figure 10). The
+    /// builder's injection rate is ignored; the per-application profiles
+    /// set the load.
+    ParsecPair(App, App),
+    /// The four-flow permutation of the paper's Figure 2
+    /// (`{n0→n10, n1→n15, n4→n13, n12→n13}` on a ≥4×4 mesh).
+    Figure2,
+}
+
+impl TrafficSpec {
+    /// The paper's Figure 9 hotspot configuration.
+    pub const PAPER_HOTSPOT: TrafficSpec = TrafficSpec::Hotspot {
+        background_rate: 0.30,
+    };
+
+    /// Builds the workload for `mesh` at the given offered load
+    /// (flits/node/cycle) and packet-size mix.
+    pub fn build(self, mesh: Mesh, size: PacketSize, rate: f64) -> Box<dyn Workload> {
+        match self {
+            TrafficSpec::UniformRandom => Box::new(SyntheticWorkload::new(
+                mesh,
+                Box::new(patterns::Uniform),
+                size,
+                rate,
+            )),
+            TrafficSpec::Transpose => Box::new(SyntheticWorkload::new(
+                mesh,
+                Box::new(patterns::Transpose),
+                size,
+                rate,
+            )),
+            TrafficSpec::Shuffle => Box::new(SyntheticWorkload::new(
+                mesh,
+                Box::new(patterns::Shuffle),
+                size,
+                rate,
+            )),
+            TrafficSpec::BitComplement => Box::new(SyntheticWorkload::new(
+                mesh,
+                Box::new(patterns::BitComplement),
+                size,
+                rate,
+            )),
+            TrafficSpec::BitReverse => Box::new(SyntheticWorkload::new(
+                mesh,
+                Box::new(patterns::BitReverse),
+                size,
+                rate,
+            )),
+            TrafficSpec::Tornado => Box::new(SyntheticWorkload::new(
+                mesh,
+                Box::new(patterns::Tornado),
+                size,
+                rate,
+            )),
+            TrafficSpec::Hotspot { background_rate } => Box::new(HotspotWorkload::new(
+                mesh,
+                footprint_traffic::paper_flows(),
+                rate,
+                background_rate,
+                size,
+            )),
+            TrafficSpec::ParsecPair(a, b) => Box::new(ParsecPairWorkload::new(mesh, a, b)),
+            TrafficSpec::Figure2 => Box::new(SyntheticWorkload::new(
+                mesh,
+                Box::new(Permutation::figure2_example(mesh)),
+                size,
+                rate,
+            )),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> String {
+        match self {
+            TrafficSpec::UniformRandom => "uniform".into(),
+            TrafficSpec::Transpose => "transpose".into(),
+            TrafficSpec::Shuffle => "shuffle".into(),
+            TrafficSpec::BitComplement => "bit-complement".into(),
+            TrafficSpec::BitReverse => "bit-reverse".into(),
+            TrafficSpec::Tornado => "tornado".into(),
+            TrafficSpec::Hotspot { .. } => "hotspot".into(),
+            TrafficSpec::ParsecPair(a, b) => format!("{}+{}", a.name(), b.name()),
+            TrafficSpec::Figure2 => "figure2-permutation".into(),
+        }
+    }
+
+    /// The three synthetic patterns of Figures 5–8.
+    pub const PAPER_PATTERNS: [TrafficSpec; 3] = [
+        TrafficSpec::UniformRandom,
+        TrafficSpec::Transpose,
+        TrafficSpec::Shuffle,
+    ];
+}
+
+impl fmt::Display for TrafficSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use footprint_topology::NodeId;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_specs_build_and_generate() {
+        let mesh = Mesh::square(8);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let specs = [
+            TrafficSpec::UniformRandom,
+            TrafficSpec::Transpose,
+            TrafficSpec::Shuffle,
+            TrafficSpec::BitComplement,
+            TrafficSpec::BitReverse,
+            TrafficSpec::Tornado,
+            TrafficSpec::PAPER_HOTSPOT,
+            TrafficSpec::ParsecPair(App::Fluidanimate, App::X264),
+        ];
+        for spec in specs {
+            let mut wl = spec.build(mesh, PacketSize::SINGLE, 0.8);
+            let mut generated = false;
+            for cycle in 0..2000 {
+                for n in mesh.nodes() {
+                    if wl.generate(n, cycle, &mut rng).is_some() {
+                        generated = true;
+                    }
+                }
+                if generated {
+                    break;
+                }
+            }
+            assert!(generated, "{} produced no packets", spec.name());
+        }
+    }
+
+    #[test]
+    fn figure2_runs_on_4x4() {
+        let mesh = Mesh::square(4);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut wl = TrafficSpec::Figure2.build(mesh, PacketSize::SINGLE, 1.0);
+        let p = wl.generate(NodeId(0), 0, &mut rng).unwrap();
+        assert_eq!(p.dest, NodeId(10));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(TrafficSpec::UniformRandom.name(), "uniform");
+        assert_eq!(
+            TrafficSpec::ParsecPair(App::Vips, App::Dedup).name(),
+            "vips+dedup"
+        );
+        assert_eq!(TrafficSpec::PAPER_HOTSPOT.to_string(), "hotspot");
+        assert_eq!(TrafficSpec::PAPER_PATTERNS.len(), 3);
+    }
+}

@@ -1,0 +1,300 @@
+//! The routing-algorithm abstraction.
+
+use crate::{CongestionView, PortStateView, Priority, VcId, VcRequest};
+use footprint_topology::{Direction, Mesh, NodeId, Port};
+use rand::RngCore;
+
+/// How output VCs may be reallocated to new packets.
+///
+/// The paper (§4.2.1) points out that routing algorithms based on Duato's
+/// theory "cannot reallocate an VC unless the credit of the tail flit has
+/// been received" — that is [`VcReallocationPolicy::Atomic`] — while
+/// Odd-Even (and DOR) have no such restriction and reallocate as soon as the
+/// tail has been forwarded ([`VcReallocationPolicy::NonAtomic`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VcReallocationPolicy {
+    /// A VC may be reallocated only once it is completely drained (all
+    /// credits returned). Required by Duato-based deadlock avoidance.
+    Atomic,
+    /// A VC may be reallocated as soon as the previous packet's tail flit
+    /// has been forwarded, letting multiple packets queue in one VC FIFO.
+    NonAtomic,
+}
+
+/// Everything a routing algorithm may inspect when routing one head packet.
+pub struct RoutingCtx<'a> {
+    /// The topology.
+    pub mesh: Mesh,
+    /// The router making the decision.
+    pub current: NodeId,
+    /// Source endpoint of the packet.
+    pub src: NodeId,
+    /// Destination endpoint of the packet.
+    pub dest: NodeId,
+    /// Input port the packet arrived on (`Local` at injection).
+    pub input_port: Port,
+    /// Input VC the packet occupies.
+    pub input_vc: VcId,
+    /// The packet is currently traveling on the escape channel and must obey
+    /// the escape routing function (sticky escape under Duato's theory).
+    pub on_escape: bool,
+    /// VCs per physical channel.
+    pub num_vcs: usize,
+    /// Local output-VC state (credits, owners).
+    pub ports: &'a dyn PortStateView,
+    /// Remote congestion side-band (used by DBAR only).
+    pub congestion: &'a dyn CongestionView,
+}
+
+impl<'a> RoutingCtx<'a> {
+    /// First adaptive VC index for this algorithm layout: 1 when an escape
+    /// VC is reserved, 0 otherwise.
+    #[inline]
+    pub fn adaptive_lo(&self, has_escape: bool) -> usize {
+        usize::from(has_escape)
+    }
+
+    /// The escape-channel direction for this packet: dimension-order (X
+    /// first), the deadlock-free baseline route of Duato's theory.
+    /// `None` when the packet is already at its destination router.
+    pub fn escape_dir(&self) -> Option<Direction> {
+        let dirs = self.mesh.minimal_dirs(self.current, self.dest);
+        dirs.x.or(dirs.y)
+    }
+}
+
+/// How an algorithm chooses virtual channels, used by the adaptiveness
+/// metrics (§3.1, Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VcSelection {
+    /// All usable VCs are requested indiscriminately — VC adaptiveness 0 by
+    /// the paper's convention (DOR, Odd-Even, DBAR).
+    Oblivious,
+    /// VCs are classified and prioritized dynamically (Footprint) — VC
+    /// adaptiveness per the paper's Eq. (3).
+    Adaptive,
+    /// A static destination→VC mapping (XORDET) — the two-level
+    /// adaptiveness metrics are "N/A" per Table 1's footnote.
+    StaticMapped,
+}
+
+/// A minimal routing algorithm producing prioritized VC requests.
+///
+/// Implementations are stateless with respect to individual packets: all
+/// dynamic inputs arrive through the [`RoutingCtx`], so the same object can
+/// be shared by every router in the network and re-evaluated every cycle
+/// while a head packet waits for a VC grant (standing requests).
+pub trait RoutingAlgorithm: Send + Sync {
+    /// Short name used in reports and tables ("footprint", "dbar", ...).
+    fn name(&self) -> &'static str;
+
+    /// VC reallocation policy required for this algorithm's deadlock-freedom
+    /// argument.
+    fn policy(&self) -> VcReallocationPolicy;
+
+    /// `true` if VC 0 of every channel is reserved as a Duato escape channel.
+    fn has_escape(&self) -> bool;
+
+    /// How this algorithm selects VCs (for the adaptiveness metrics).
+    fn vc_selection(&self) -> VcSelection {
+        VcSelection::Oblivious
+    }
+
+    /// `true` if a busy VC whose owner destination matches the packet's
+    /// destination may be granted to the packet (the footprint join of §3.3,
+    /// which forms virtual set-aside queues).
+    fn allows_footprint_join(&self) -> bool {
+        false
+    }
+
+    /// Computes the VC requests for the head packet described by `ctx`,
+    /// appending them to `out` (`out` is cleared by the caller).
+    ///
+    /// The destination router case (`ctx.current == ctx.dest`) must emit
+    /// requests on [`Port::Local`].
+    fn route(&self, ctx: &RoutingCtx<'_>, rng: &mut dyn RngCore, out: &mut Vec<VcRequest>);
+
+    /// Computes the VC requests used at packet *injection* (selecting a VC
+    /// on the source-to-router channel). The default requests every VC the
+    /// algorithm may use, at `Low` priority, with the escape VC at `Lowest`.
+    fn injection_requests(
+        &self,
+        ctx: &RoutingCtx<'_>,
+        _rng: &mut dyn RngCore,
+        out: &mut Vec<VcRequest>,
+    ) {
+        let lo = ctx.adaptive_lo(self.has_escape());
+        for v in lo..ctx.num_vcs {
+            out.push(VcRequest::new(Port::Local, VcId(v as u8), Priority::Low));
+        }
+        if self.has_escape() {
+            out.push(VcRequest::new(Port::Local, VcId::ESCAPE, Priority::Lowest));
+        }
+    }
+
+    /// The set of output directions this algorithm could ever select at
+    /// `cur` for a packet `src → dest`, independent of network state. Used
+    /// by the adaptiveness metrics (§3.1); the default is fully adaptive
+    /// (all minimal directions).
+    fn allowed_dirs(&self, mesh: Mesh, cur: NodeId, src: NodeId, dest: NodeId) -> DirSet {
+        let _ = src;
+        let mut set = DirSet::EMPTY;
+        for d in mesh.minimal_dirs(cur, dest).iter() {
+            set.insert(d);
+        }
+        set
+    }
+}
+
+/// Emits ejection requests at the destination router: every VC on the local
+/// port. Shared by all algorithms (ejection is terminal, so no deadlock
+/// restriction applies).
+pub(crate) fn eject_requests(ctx: &RoutingCtx<'_>, out: &mut Vec<VcRequest>) {
+    for v in 0..ctx.num_vcs {
+        out.push(VcRequest::new(Port::Local, VcId(v as u8), Priority::High));
+    }
+}
+
+/// A small set of mesh directions (bitmask).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DirSet(u8);
+
+impl DirSet {
+    /// The empty set.
+    pub const EMPTY: DirSet = DirSet(0);
+
+    fn bit(d: Direction) -> u8 {
+        1 << (Port::Dir(d).index() - 1)
+    }
+
+    /// Inserts a direction.
+    #[inline]
+    pub fn insert(&mut self, d: Direction) {
+        self.0 |= Self::bit(d);
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, d: Direction) -> bool {
+        self.0 & Self::bit(d) != 0
+    }
+
+    /// Number of directions in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` if no direction is allowed.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over the contained directions.
+    pub fn iter(self) -> impl Iterator<Item = Direction> {
+        footprint_topology::DIRECTIONS
+            .into_iter()
+            .filter(move |&d| self.contains(d))
+    }
+}
+
+impl FromIterator<Direction> for DirSet {
+    fn from_iter<T: IntoIterator<Item = Direction>>(iter: T) -> Self {
+        let mut s = DirSet::EMPTY;
+        for d in iter {
+            s.insert(d);
+        }
+        s
+    }
+}
+
+/// Flips a fair coin using the simulation RNG — `Random(1)` in Algorithm 1.
+#[inline]
+pub(crate) fn coin(rng: &mut dyn RngCore) -> bool {
+    rng.next_u32() & 1 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NoCongestionInfo;
+    use crate::TablePortView;
+
+    fn ctx<'a>(
+        view: &'a TablePortView,
+        cong: &'a NoCongestionInfo,
+        cur: u16,
+        dest: u16,
+    ) -> RoutingCtx<'a> {
+        RoutingCtx {
+            mesh: Mesh::square(4),
+            current: NodeId(cur),
+            src: NodeId(0),
+            dest: NodeId(dest),
+            input_port: Port::Local,
+            input_vc: VcId(0),
+            on_escape: false,
+            num_vcs: 4,
+            ports: view,
+            congestion: cong,
+        }
+    }
+
+    #[test]
+    fn dirset_insert_and_iter() {
+        let mut s = DirSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(Direction::East);
+        s.insert(Direction::North);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(Direction::East));
+        assert!(!s.contains(Direction::West));
+        let dirs: Vec<_> = s.iter().collect();
+        assert_eq!(dirs, vec![Direction::East, Direction::North]);
+    }
+
+    #[test]
+    fn dirset_from_iterator() {
+        let s: DirSet = [Direction::South, Direction::South, Direction::West]
+            .into_iter()
+            .collect();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn escape_dir_is_dimension_order() {
+        let view = TablePortView::all_idle(4, 4);
+        let cong = NoCongestionInfo;
+        // (0,0) → (2,2): X first.
+        let c = ctx(&view, &cong, 0, 10);
+        assert_eq!(c.escape_dir(), Some(Direction::East));
+        // Same column: Y.
+        let c = ctx(&view, &cong, 2, 10);
+        assert_eq!(c.escape_dir(), Some(Direction::North));
+        // At destination: none.
+        let c = ctx(&view, &cong, 10, 10);
+        assert_eq!(c.escape_dir(), None);
+    }
+
+    #[test]
+    fn adaptive_lo_depends_on_escape() {
+        let view = TablePortView::all_idle(4, 4);
+        let cong = NoCongestionInfo;
+        let c = ctx(&view, &cong, 0, 10);
+        assert_eq!(c.adaptive_lo(true), 1);
+        assert_eq!(c.adaptive_lo(false), 0);
+    }
+
+    #[test]
+    fn eject_requests_cover_all_local_vcs() {
+        let view = TablePortView::all_idle(4, 4);
+        let cong = NoCongestionInfo;
+        let c = ctx(&view, &cong, 10, 10);
+        let mut out = Vec::new();
+        eject_requests(&c, &mut out);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|r| r.port == Port::Local));
+        assert!(out.iter().all(|r| r.priority == Priority::High));
+    }
+}

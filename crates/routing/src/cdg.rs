@@ -1,0 +1,309 @@
+//! Channel-dependency-graph (CDG) deadlock analysis (Dally & Seitz; the
+//! foundation under the paper's §3.4 argument).
+//!
+//! A wormhole network is deadlock-free if the graph whose nodes are the
+//! directed physical channels and whose edges are the *channel
+//! dependencies* the routing function can create (packet holds channel A
+//! while requesting channel B) is acyclic. For turn-model algorithms
+//! (DOR, Odd-Even, West-First, North-Last) the full CDG must be acyclic;
+//! for Duato-based algorithms (DBAR, Footprint) only the *escape
+//! sub-network* (VC 0, dimension-order routed) needs an acyclic CDG, since
+//! every waiting packet keeps a standing request on it.
+//!
+//! [`check_deadlock_freedom`] runs the appropriate check for any
+//! [`RoutingAlgorithm`]; the test suites use it to *prove* (rather than
+//! stress-test) the acyclicity side of the §3.4 argument.
+
+use crate::{Dor, RoutingAlgorithm};
+use footprint_topology::{Channel, Direction, Mesh, NodeId};
+use std::collections::BTreeMap;
+
+/// A directed graph over the mesh's channels.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelDependencyGraph {
+    /// Adjacency: channel index → dependent channel indices.
+    edges: Vec<Vec<usize>>,
+    /// The channels, indexable by the adjacency indices.
+    channels: Vec<Channel>,
+    index: BTreeMap<(u16, u8), usize>, // (src node, direction) → index
+}
+
+impl ChannelDependencyGraph {
+    fn dir_code(d: Direction) -> u8 {
+        footprint_topology::DIRECTIONS
+            .iter()
+            .position(|&x| x == d)
+            .expect("direction in table") as u8
+    }
+
+    /// Builds the CDG of `algo`'s allowed-direction relation on `mesh`:
+    /// there is an edge `A → B` iff some packet (over all source/destination
+    /// pairs) can occupy channel `A` while requesting channel `B`.
+    pub fn build(mesh: Mesh, algo: &dyn RoutingAlgorithm) -> Self {
+        let mut g = ChannelDependencyGraph::default();
+        for ch in mesh.channels() {
+            let idx = g.channels.len();
+            g.index.insert((ch.src.0, Self::dir_code(ch.dir)), idx);
+            g.channels.push(ch);
+            g.edges.push(Vec::new());
+        }
+        // A packet src→dest occupying channel (a → b, direction d_in) may
+        // request any allowed direction at b (except immediate ejection).
+        // Only channels the packet can actually *reach* from its source
+        // count: several turn models (odd-even's source-column condition in
+        // particular) are deadlock-free precisely because certain
+        // position/route combinations are unreachable.
+        let mut reach = vec![false; mesh.len()];
+        let mut frontier: Vec<NodeId> = Vec::new();
+        for src in mesh.nodes() {
+            for dest in mesh.nodes() {
+                if src == dest {
+                    continue;
+                }
+                reach.fill(false);
+                reach[src.index()] = true;
+                frontier.clear();
+                frontier.push(src);
+                while let Some(a) = frontier.pop() {
+                    if a == dest {
+                        continue;
+                    }
+                    for d_in in algo.allowed_dirs(mesh, a, src, dest).iter() {
+                        let Some(b) = mesh.neighbor(a, d_in) else {
+                            continue;
+                        };
+                        if !reach[b.index()] {
+                            reach[b.index()] = true;
+                            frontier.push(b);
+                        }
+                        if b == dest {
+                            continue; // ejection: no further channel
+                        }
+                        let from = g.index[&(a.0, Self::dir_code(d_in))];
+                        for d_out in algo.allowed_dirs(mesh, b, src, dest).iter() {
+                            if mesh.neighbor(b, d_out).is_some() {
+                                let to = g.index[&(b.0, Self::dir_code(d_out))];
+                                g.edges[from].push(to);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for adj in &mut g.edges {
+            adj.sort_unstable();
+            adj.dedup();
+        }
+        g
+    }
+
+    /// Number of channels (graph nodes).
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Returns a cycle as a channel list if one exists, `None` if the graph
+    /// is acyclic (iterative three-color DFS).
+    pub fn find_cycle(&self) -> Option<Vec<Channel>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let n = self.edges.len();
+        let mut color = vec![Color::White; n];
+        let mut parent = vec![usize::MAX; n];
+        for start in 0..n {
+            if color[start] != Color::White {
+                continue;
+            }
+            // Iterative DFS with an explicit edge-iterator stack.
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            color[start] = Color::Gray;
+            while let Some(&mut (u, ref mut ei)) = stack.last_mut() {
+                if *ei < self.edges[u].len() {
+                    let v = self.edges[u][*ei];
+                    *ei += 1;
+                    match color[v] {
+                        Color::White => {
+                            color[v] = Color::Gray;
+                            parent[v] = u;
+                            stack.push((v, 0));
+                        }
+                        Color::Gray => {
+                            // Found a cycle: unwind u back to v.
+                            let mut cycle = vec![self.channels[v]];
+                            let mut cur = u;
+                            while cur != v {
+                                cycle.push(self.channels[cur]);
+                                cur = parent[cur];
+                            }
+                            cycle.reverse();
+                            return Some(cycle);
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color[u] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// `true` if the dependency graph has no cycle.
+    pub fn is_acyclic(&self) -> bool {
+        self.find_cycle().is_none()
+    }
+}
+
+/// Outcome of [`check_deadlock_freedom`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeadlockVerdict {
+    /// The algorithm's full CDG is acyclic: deadlock-free outright.
+    AcyclicCdg,
+    /// The algorithm relies on Duato's theory and its escape sub-network
+    /// (dimension-order on the escape VC) has an acyclic CDG: deadlock-free
+    /// as long as every waiting packet keeps requesting the escape channel
+    /// (which the simulator's standing requests guarantee).
+    EscapeNetworkAcyclic,
+    /// A dependency cycle exists with no escape mechanism — a deadlock
+    /// hazard. Carries one witness cycle.
+    Cyclic(Vec<Channel>),
+}
+
+/// Checks the structural half of the deadlock-freedom argument for `algo`
+/// on `mesh`: full-CDG acyclicity for algorithms without an escape channel,
+/// escape-sub-network acyclicity (always DOR, hence always acyclic — but we
+/// verify rather than assume) for Duato-based ones.
+pub fn check_deadlock_freedom(mesh: Mesh, algo: &dyn RoutingAlgorithm) -> DeadlockVerdict {
+    if algo.has_escape() {
+        let escape = ChannelDependencyGraph::build(mesh, &Dor);
+        match escape.find_cycle() {
+            None => DeadlockVerdict::EscapeNetworkAcyclic,
+            Some(c) => DeadlockVerdict::Cyclic(c),
+        }
+    } else {
+        let cdg = ChannelDependencyGraph::build(mesh, algo);
+        match cdg.find_cycle() {
+            None => DeadlockVerdict::AcyclicCdg,
+            Some(c) => DeadlockVerdict::Cyclic(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dbar, DirSet, Footprint, NorthLast, OddEven, WestFirst};
+    use footprint_topology::DIRECTIONS;
+
+    #[test]
+    fn dor_cdg_is_acyclic() {
+        let mesh = Mesh::square(5);
+        let g = ChannelDependencyGraph::build(mesh, &Dor);
+        assert!(g.is_acyclic());
+        assert_eq!(g.channel_count(), mesh.channels().count());
+        assert!(g.edge_count() > 0);
+    }
+
+    #[test]
+    fn turn_models_have_acyclic_cdgs() {
+        let mesh = Mesh::square(5);
+        for algo in [
+            &OddEven as &dyn RoutingAlgorithm,
+            &WestFirst,
+            &NorthLast,
+        ] {
+            assert_eq!(
+                check_deadlock_freedom(mesh, algo),
+                DeadlockVerdict::AcyclicCdg,
+                "{}",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn duato_algorithms_verify_via_escape_network() {
+        let mesh = Mesh::square(5);
+        assert_eq!(
+            check_deadlock_freedom(mesh, &Footprint::new()),
+            DeadlockVerdict::EscapeNetworkAcyclic
+        );
+        assert_eq!(
+            check_deadlock_freedom(mesh, &Dbar),
+            DeadlockVerdict::EscapeNetworkAcyclic
+        );
+    }
+
+    #[test]
+    fn unrestricted_minimal_routing_has_cycles() {
+        // A fully adaptive relation with no escape (all minimal dirs, no
+        // turn restrictions) must show a dependency cycle — the reason
+        // Duato's escape channel exists at all.
+        struct Unrestricted;
+        impl RoutingAlgorithm for Unrestricted {
+            fn name(&self) -> &'static str {
+                "unrestricted"
+            }
+            fn policy(&self) -> crate::VcReallocationPolicy {
+                crate::VcReallocationPolicy::NonAtomic
+            }
+            fn has_escape(&self) -> bool {
+                false
+            }
+            fn route(
+                &self,
+                _ctx: &crate::RoutingCtx<'_>,
+                _rng: &mut dyn rand::RngCore,
+                _out: &mut Vec<crate::VcRequest>,
+            ) {
+                unreachable!("analysis only")
+            }
+        }
+        let mesh = Mesh::square(4);
+        let verdict = check_deadlock_freedom(mesh, &Unrestricted);
+        let DeadlockVerdict::Cyclic(cycle) = verdict else {
+            panic!("expected a cycle, got {verdict:?}");
+        };
+        // The witness is a genuine cycle: consecutive channels chain
+        // head-to-tail and it closes.
+        assert!(cycle.len() >= 2);
+        for w in cycle.windows(2) {
+            assert_eq!(w[0].dst, w[1].src);
+        }
+        assert_eq!(cycle.last().unwrap().dst, cycle.first().unwrap().src);
+    }
+
+    #[test]
+    fn cycle_witness_respects_allowed_turns() {
+        // Sanity on the builder: every edge it creates corresponds to an
+        // allowed (d_in at a) followed by an allowed (d_out at b) for some
+        // src/dest pair — spot-check via a restricted algorithm where we
+        // can enumerate by hand: DOR's only turns are X→Y.
+        let mesh = Mesh::square(3);
+        let g = ChannelDependencyGraph::build(mesh, &Dor);
+        // In DOR, a vertical channel can never depend on a horizontal one.
+        for (i, ch) in g.channels.iter().enumerate() {
+            if !ch.dir.is_x() {
+                for &j in &g.edges[i] {
+                    assert!(
+                        !g.channels[j].dir.is_x(),
+                        "DOR Y→X turn in CDG: {} then {}",
+                        ch,
+                        g.channels[j]
+                    );
+                }
+            }
+        }
+        let _ = (DIRECTIONS, DirSet::EMPTY);
+    }
+}

@@ -1,0 +1,106 @@
+//! Implementation-cost model for Footprint routing (paper §4.4).
+//!
+//! Footprint needs only local per-router state:
+//!
+//! * a `log2(V)`-bit idle-VC counter per port, and
+//! * per VC, an "owner" register holding the destination of the occupying
+//!   packets (`log2(N)` bits) plus a small state field.
+//!
+//! For the paper's 8×8 mesh with 16 VCs this comes to 132 bits per port —
+//! about one extra flit-buffer entry, which is the overhead the paper
+//! quotes.
+
+/// `ceil(log2(n))`, with `log2(1) = 0`.
+///
+/// ```
+/// use footprint_routing::cost::ceil_log2;
+/// assert_eq!(ceil_log2(64), 6);
+/// assert_eq!(ceil_log2(10), 4);
+/// assert_eq!(ceil_log2(1), 0);
+/// ```
+pub fn ceil_log2(n: usize) -> u32 {
+    assert!(n > 0, "log2 of zero");
+    usize::BITS - (n - 1).leading_zeros()
+}
+
+/// Per-port storage (bits) added by Footprint routing.
+///
+/// `V * (log2(N) + state_bits) + log2(V)`: an owner register and VC-state
+/// field per VC plus one idle-VC counter per port. With 2 state bits this
+/// reproduces the paper's figure of 132 bits/port for `N = 64`, `V = 16`.
+///
+/// ```
+/// use footprint_routing::cost::footprint_storage_bits_per_port;
+/// assert_eq!(footprint_storage_bits_per_port(64, 16), 132);
+/// ```
+pub fn footprint_storage_bits_per_port(network_nodes: usize, num_vcs: usize) -> u32 {
+    const VC_STATE_BITS: u32 = 2; // idle / active / draining
+    num_vcs as u32 * (ceil_log2(network_nodes) + VC_STATE_BITS) + ceil_log2(num_vcs)
+}
+
+/// Total storage (bits) added per router (all ports).
+pub fn footprint_storage_bits_per_router(
+    network_nodes: usize,
+    num_vcs: usize,
+    ports: usize,
+) -> u32 {
+    ports as u32 * footprint_storage_bits_per_port(network_nodes, num_vcs)
+}
+
+/// Expresses a per-port bit cost as a fraction of flit-buffer entries, the
+/// unit of comparison in §4.4 ("approximately equal to another flit buffer
+/// entry at each port").
+pub fn cost_in_flit_entries(bits: u32, flit_width_bits: u32) -> f64 {
+    bits as f64 / flit_width_bits as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_edge_cases() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(256), 8);
+        assert_eq!(ceil_log2(257), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "log2 of zero")]
+    fn ceil_log2_zero_panics() {
+        let _ = ceil_log2(0);
+    }
+
+    #[test]
+    fn paper_cost_figure_reproduced() {
+        // 8×8 mesh, 16 VCs → 132 bits/port (§4.4).
+        assert_eq!(footprint_storage_bits_per_port(64, 16), 132);
+    }
+
+    #[test]
+    fn cost_is_about_one_flit_entry() {
+        let bits = footprint_storage_bits_per_port(64, 16);
+        let in_entries = cost_in_flit_entries(bits, 128);
+        assert!(in_entries > 0.9 && in_entries < 1.2, "got {in_entries}");
+    }
+
+    #[test]
+    fn per_router_cost_scales_with_ports() {
+        assert_eq!(
+            footprint_storage_bits_per_router(64, 16, 5),
+            5 * footprint_storage_bits_per_port(64, 16)
+        );
+    }
+
+    #[test]
+    fn cost_grows_with_network_and_vcs() {
+        assert!(
+            footprint_storage_bits_per_port(256, 16) > footprint_storage_bits_per_port(64, 16)
+        );
+        assert!(footprint_storage_bits_per_port(64, 16) > footprint_storage_bits_per_port(64, 8));
+    }
+}

@@ -1,0 +1,268 @@
+//! DBAR-style fully-adaptive routing (Ma, Enright Jerger & Wang, ISCA 2011)
+//! — the paper's fully adaptive baseline.
+
+use crate::algorithm::{coin, eject_requests};
+use crate::{Priority, RoutingAlgorithm, RoutingCtx, VcId, VcRequest, VcReallocationPolicy};
+use footprint_topology::{Direction, Port};
+use rand::RngCore;
+
+/// Destination-Based Adaptive Routing.
+///
+/// DBAR is a minimal fully-adaptive routing algorithm built on Duato's
+/// theory (VC 0 is the escape channel, routed dimension-order). Its
+/// contribution is the *selection function*: instead of looking only at the
+/// neighboring router, each node receives per-dimension occupancy bits
+/// through a side band and considers only the portion of the dimension that
+/// the packet would actually traverse (the destination-based part).
+///
+/// This implementation reproduces that behaviour at the level the Footprint
+/// paper depends on:
+///
+/// * both productive ports are candidates (full port adaptiveness);
+/// * the selected port minimizes the number of congested channels on the
+///   segment the packet would traverse in that dimension (side-band
+///   information via [`crate::CongestionView`], threshold V/2 as configured
+///   in the paper's methodology);
+/// * ties break on the local idle-VC count, then randomly;
+/// * VC selection within the port is oblivious — all adaptive VCs are
+///   requested with equal priority. This is precisely the "poor VC
+///   adaptiveness" behaviour Table 1 ascribes to DBAR.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Dbar;
+
+impl Dbar {
+    /// Number of congested channels on the segment `cur → turn point` in
+    /// direction `dir` (the destination-relevant part of the dimension).
+    fn segment_congestion(ctx: &RoutingCtx<'_>, dir: Direction) -> u32 {
+        let mesh = ctx.mesh;
+        let mut node = ctx.current;
+        let dest = mesh.coord(ctx.dest);
+        let mut count = 0;
+        loop {
+            let c = mesh.coord(node);
+            let done = match dir {
+                Direction::East | Direction::West => c.x == dest.x,
+                Direction::North | Direction::South => c.y == dest.y,
+            };
+            if done {
+                break;
+            }
+            if ctx.congestion.channel_congested(node, dir) {
+                count += 1;
+            }
+            node = match mesh.neighbor(node, dir) {
+                Some(n) => n,
+                None => break,
+            };
+        }
+        count
+    }
+}
+
+impl RoutingAlgorithm for Dbar {
+    fn name(&self) -> &'static str {
+        "dbar"
+    }
+
+    fn policy(&self) -> VcReallocationPolicy {
+        VcReallocationPolicy::Atomic
+    }
+
+    fn has_escape(&self) -> bool {
+        true
+    }
+
+    fn route(&self, ctx: &RoutingCtx<'_>, rng: &mut dyn RngCore, out: &mut Vec<VcRequest>) {
+        // Escape arrivals re-enter the adaptive channels (Duato's theory);
+        // the escape request below keeps the escape network reachable.
+        let dirs = ctx.mesh.minimal_dirs(ctx.current, ctx.dest);
+        let dir = match (dirs.x, dirs.y) {
+            (None, None) => return eject_requests(ctx, out),
+            (Some(d), None) | (None, Some(d)) => d,
+            (Some(a), Some(b)) => {
+                // Fewest congested downstream channels wins; tie on local
+                // idle VCs; then random.
+                let ca = Self::segment_congestion(ctx, a);
+                let cb = Self::segment_congestion(ctx, b);
+                match ca.cmp(&cb) {
+                    core::cmp::Ordering::Less => a,
+                    core::cmp::Ordering::Greater => b,
+                    core::cmp::Ordering::Equal => {
+                        let ia = ctx.ports.idle_count(Port::Dir(a), 1, ctx.num_vcs);
+                        let ib = ctx.ports.idle_count(Port::Dir(b), 1, ctx.num_vcs);
+                        match ia.cmp(&ib) {
+                            core::cmp::Ordering::Greater => a,
+                            core::cmp::Ordering::Less => b,
+                            core::cmp::Ordering::Equal => {
+                                if coin(rng) {
+                                    a
+                                } else {
+                                    b
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        // Oblivious VC selection: all adaptive VCs, equal priority.
+        for v in 1..ctx.num_vcs {
+            out.push(VcRequest::new(Port::Dir(dir), VcId(v as u8), Priority::Low));
+        }
+        if let Some(esc) = ctx.escape_dir() {
+            out.push(VcRequest::new(
+                Port::Dir(esc),
+                VcId::ESCAPE,
+                Priority::Lowest,
+            ));
+        }
+    }
+}
+
+/// The DBAR congestion threshold used in the paper's methodology: half the
+/// VCs of a physical channel.
+pub fn dbar_threshold(num_vcs: usize) -> usize {
+    num_vcs / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CongestionView, NoCongestionInfo, TablePortView};
+    use footprint_topology::{Mesh, NodeId};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    struct EastCongested;
+    impl CongestionView for EastCongested {
+        fn channel_congested(&self, _node: NodeId, dir: Direction) -> bool {
+            dir == Direction::East
+        }
+    }
+
+    fn mk_ctx<'a>(
+        view: &'a TablePortView,
+        cong: &'a dyn CongestionView,
+        cur: u16,
+        dest: u16,
+        on_escape: bool,
+    ) -> RoutingCtx<'a> {
+        RoutingCtx {
+            mesh: Mesh::square(8),
+            current: NodeId(cur),
+            src: NodeId(cur),
+            dest: NodeId(dest),
+            input_port: Port::Local,
+            input_vc: VcId(1),
+            on_escape,
+            num_vcs: 4,
+            ports: view,
+            congestion: cong,
+        }
+    }
+
+    #[test]
+    fn avoids_congested_dimension() {
+        let view = TablePortView::all_idle(4, 4);
+        let cong = EastCongested;
+        let ctx = mk_ctx(&view, &cong, 0, 63, false);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut out = Vec::new();
+        Dbar.route(&ctx, &mut rng, &mut out);
+        let adaptive: Vec<_> = out.iter().filter(|r| r.vc != VcId::ESCAPE).collect();
+        assert!(!adaptive.is_empty());
+        assert!(adaptive
+            .iter()
+            .all(|r| r.port == Port::Dir(Direction::North)));
+    }
+
+    #[test]
+    fn requests_all_adaptive_vcs_plus_escape() {
+        let view = TablePortView::all_idle(4, 4);
+        let cong = NoCongestionInfo;
+        let ctx = mk_ctx(&view, &cong, 0, 63, false);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut out = Vec::new();
+        Dbar.route(&ctx, &mut rng, &mut out);
+        assert_eq!(out.len(), 4); // 3 adaptive + escape
+        assert_eq!(out.iter().filter(|r| r.vc == VcId::ESCAPE).count(), 1);
+        let esc = out.iter().find(|r| r.vc == VcId::ESCAPE).unwrap();
+        assert_eq!(esc.priority, Priority::Lowest);
+        // Escape follows DOR: X first.
+        assert_eq!(esc.port, Port::Dir(Direction::East));
+    }
+
+    #[test]
+    fn escape_arrivals_reenter_adaptive_channels() {
+        let view = TablePortView::all_idle(4, 4);
+        let cong = NoCongestionInfo;
+        let ctx = mk_ctx(&view, &cong, 0, 63, true);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut out = Vec::new();
+        Dbar.route(&ctx, &mut rng, &mut out);
+        // Full adaptive request set, not just the escape continuation.
+        assert!(out.iter().any(|r| r.vc != VcId::ESCAPE));
+        // The escape network stays requested (deadlock-freedom invariant).
+        assert!(out
+            .iter()
+            .any(|r| r.vc == VcId::ESCAPE && r.priority == Priority::Lowest));
+    }
+
+    #[test]
+    fn single_productive_dimension_is_forced() {
+        let view = TablePortView::all_idle(4, 4);
+        let cong = EastCongested; // congestion cannot re-route a forced dim
+        let ctx = mk_ctx(&view, &cong, 0, 7, false);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut out = Vec::new();
+        Dbar.route(&ctx, &mut rng, &mut out);
+        assert!(out
+            .iter()
+            .all(|r| r.port == Port::Dir(Direction::East)));
+    }
+
+    #[test]
+    fn ejects_at_destination() {
+        let view = TablePortView::all_idle(4, 4);
+        let cong = NoCongestionInfo;
+        let ctx = mk_ctx(&view, &cong, 9, 9, false);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut out = Vec::new();
+        Dbar.route(&ctx, &mut rng, &mut out);
+        assert!(out.iter().all(|r| r.port == Port::Local));
+    }
+
+    #[test]
+    fn idle_vc_tiebreak_prefers_freer_port() {
+        use crate::VcView;
+        let mut view = TablePortView::all_idle(4, 4);
+        // Make East's adaptive VCs busy; North stays idle.
+        for v in 1..4 {
+            view.set(
+                Port::Dir(Direction::East),
+                VcId(v),
+                VcView {
+                    idle: false,
+                    owner: Some(NodeId(1)),
+                    credits: 0,
+                    joinable: false,
+                },
+            );
+        }
+        let cong = NoCongestionInfo;
+        let ctx = mk_ctx(&view, &cong, 0, 63, false);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut out = Vec::new();
+        Dbar.route(&ctx, &mut rng, &mut out);
+        let adaptive: Vec<_> = out.iter().filter(|r| r.vc != VcId::ESCAPE).collect();
+        assert!(adaptive
+            .iter()
+            .all(|r| r.port == Port::Dir(Direction::North)));
+    }
+
+    #[test]
+    fn threshold_is_half_the_vcs() {
+        assert_eq!(dbar_threshold(10), 5);
+        assert_eq!(dbar_threshold(2), 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! Dimension-order routing (DOR) — the oblivious, deterministic baseline.
+
+use crate::algorithm::{coin, eject_requests, DirSet};
+use crate::{Priority, RoutingAlgorithm, RoutingCtx, VcId, VcRequest, VcReallocationPolicy};
+use footprint_topology::{Mesh, NodeId, Port};
+use rand::RngCore;
+
+/// XY dimension-order routing.
+///
+/// Packets first travel along X to the destination column, then along Y.
+/// All VCs of a channel are usable (the paper's Figure 2(a): DOR saturates
+/// *all* VCs of a congested link). Deadlock-free on meshes because the
+/// channel dependency graph of XY routing is acyclic, so no escape channel
+/// is reserved and VCs are reallocated non-atomically.
+///
+/// ```
+/// use footprint_routing::{Dor, RoutingAlgorithm};
+/// use footprint_topology::{Mesh, NodeId, Direction};
+///
+/// let dor = Dor;
+/// let dirs = dor.allowed_dirs(Mesh::square(4), NodeId(0), NodeId(0), NodeId(10));
+/// assert!(dirs.contains(Direction::East));
+/// assert_eq!(dirs.len(), 1); // deterministic: only the X direction
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Dor;
+
+impl RoutingAlgorithm for Dor {
+    fn name(&self) -> &'static str {
+        "dor"
+    }
+
+    fn policy(&self) -> VcReallocationPolicy {
+        VcReallocationPolicy::NonAtomic
+    }
+
+    fn has_escape(&self) -> bool {
+        false
+    }
+
+    fn route(&self, ctx: &RoutingCtx<'_>, rng: &mut dyn RngCore, out: &mut Vec<VcRequest>) {
+        let _ = rng;
+        let dirs = ctx.mesh.minimal_dirs(ctx.current, ctx.dest);
+        let dir = match dirs.x.or(dirs.y) {
+            Some(d) => d,
+            None => return eject_requests(ctx, out),
+        };
+        for v in 0..ctx.num_vcs {
+            out.push(VcRequest::new(Port::Dir(dir), VcId(v as u8), Priority::Low));
+        }
+    }
+
+    fn injection_requests(
+        &self,
+        ctx: &RoutingCtx<'_>,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<VcRequest>,
+    ) {
+        let _ = rng;
+        for v in 0..ctx.num_vcs {
+            out.push(VcRequest::new(Port::Local, VcId(v as u8), Priority::Low));
+        }
+    }
+
+    fn allowed_dirs(&self, mesh: Mesh, cur: NodeId, _src: NodeId, dest: NodeId) -> DirSet {
+        let dirs = mesh.minimal_dirs(cur, dest);
+        dirs.x.or(dirs.y).into_iter().collect()
+    }
+}
+
+/// Minimal fully-adaptive random routing without congestion awareness.
+///
+/// Not one of the paper's evaluated algorithms, but a useful reference point
+/// and test fixture: it requests every VC on a uniformly chosen productive
+/// direction, with a Duato escape channel for deadlock freedom.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RandomMinimal;
+
+impl RoutingAlgorithm for RandomMinimal {
+    fn name(&self) -> &'static str {
+        "random-minimal"
+    }
+
+    fn policy(&self) -> VcReallocationPolicy {
+        VcReallocationPolicy::Atomic
+    }
+
+    fn has_escape(&self) -> bool {
+        true
+    }
+
+    fn route(&self, ctx: &RoutingCtx<'_>, rng: &mut dyn RngCore, out: &mut Vec<VcRequest>) {
+        let dirs = ctx.mesh.minimal_dirs(ctx.current, ctx.dest);
+        let dir = match (dirs.x, dirs.y) {
+            (Some(x), Some(y)) => {
+                if coin(rng) {
+                    x
+                } else {
+                    y
+                }
+            }
+            (Some(d), None) | (None, Some(d)) => d,
+            (None, None) => return eject_requests(ctx, out),
+        };
+        for v in 1..ctx.num_vcs {
+            out.push(VcRequest::new(Port::Dir(dir), VcId(v as u8), Priority::Low));
+        }
+        if let Some(esc) = ctx.escape_dir() {
+            out.push(VcRequest::new(
+                Port::Dir(esc),
+                VcId::ESCAPE,
+                Priority::Lowest,
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NoCongestionInfo, TablePortView};
+    use footprint_topology::Direction;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn route_at(cur: u16, dest: u16) -> Vec<VcRequest> {
+        let view = TablePortView::all_idle(4, 4);
+        let cong = NoCongestionInfo;
+        let ctx = RoutingCtx {
+            mesh: Mesh::square(4),
+            current: NodeId(cur),
+            src: NodeId(0),
+            dest: NodeId(dest),
+            input_port: Port::Local,
+            input_vc: VcId(0),
+            on_escape: false,
+            num_vcs: 4,
+            ports: &view,
+            congestion: &cong,
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        Dor.route(&ctx, &mut rng, &mut out);
+        out
+    }
+
+    #[test]
+    fn dor_goes_x_first() {
+        // n0=(0,0) → n10=(2,2): East.
+        let reqs = route_at(0, 10);
+        assert!(reqs.iter().all(|r| r.port == Port::Dir(Direction::East)));
+        assert_eq!(reqs.len(), 4); // all VCs
+    }
+
+    #[test]
+    fn dor_goes_y_when_column_matches() {
+        // n2=(2,0) → n10=(2,2): North.
+        let reqs = route_at(2, 10);
+        assert!(reqs.iter().all(|r| r.port == Port::Dir(Direction::North)));
+    }
+
+    #[test]
+    fn dor_ejects_at_destination() {
+        let reqs = route_at(10, 10);
+        assert!(reqs.iter().all(|r| r.port == Port::Local));
+        assert_eq!(reqs.len(), 4);
+    }
+
+    #[test]
+    fn dor_properties() {
+        assert_eq!(Dor.policy(), VcReallocationPolicy::NonAtomic);
+        assert!(!Dor.has_escape());
+        assert!(!Dor.allows_footprint_join());
+        assert_eq!(Dor.name(), "dor");
+    }
+
+    #[test]
+    fn dor_allowed_dirs_is_singleton_off_destination() {
+        let mesh = Mesh::square(8);
+        let dirs = Dor.allowed_dirs(mesh, NodeId(0), NodeId(0), NodeId(63));
+        assert_eq!(dirs.len(), 1);
+        assert!(dirs.contains(Direction::East));
+    }
+
+    #[test]
+    fn random_minimal_requests_adaptive_vcs_plus_escape() {
+        let view = TablePortView::all_idle(4, 4);
+        let cong = NoCongestionInfo;
+        let ctx = RoutingCtx {
+            mesh: Mesh::square(4),
+            current: NodeId(0),
+            src: NodeId(0),
+            dest: NodeId(10),
+            input_port: Port::Local,
+            input_vc: VcId(1),
+            on_escape: false,
+            num_vcs: 4,
+            ports: &view,
+            congestion: &cong,
+        };
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut out = Vec::new();
+        RandomMinimal.route(&ctx, &mut rng, &mut out);
+        // 3 adaptive requests + 1 escape request.
+        assert_eq!(out.len(), 4);
+        assert_eq!(
+            out.iter()
+                .filter(|r| r.vc == VcId::ESCAPE && r.priority == Priority::Lowest)
+                .count(),
+            1
+        );
+        assert!(out.iter().filter(|r| r.vc != VcId::ESCAPE).all(|r| {
+            r.port == Port::Dir(Direction::East) || r.port == Port::Dir(Direction::North)
+        }));
+    }
+}

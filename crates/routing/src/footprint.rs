@@ -1,0 +1,550 @@
+//! The Footprint routing algorithm — the paper's contribution (Algorithm 1).
+
+use crate::algorithm::{coin, eject_requests};
+use crate::{Priority, RoutingAlgorithm, RoutingCtx, VcId, VcRequest, VcReallocationPolicy};
+use footprint_topology::{Direction, NodeId, Port};
+use rand::RngCore;
+
+/// Footprint routing: fully adaptive, but packets "follow the footprint" of
+/// prior packets to the same destination when the network is congested.
+///
+/// The algorithm (paper Algorithm 1) has three steps:
+///
+/// 1. **Legal outputs.** At most two productive ports (`P_x`, `P_y`); the
+///    escape port is the dimension-order port; VC 0 of every channel is the
+///    Duato escape channel.
+/// 2. **Port selection.** The port with more *idle* VCs wins; ties fall to
+///    the port with more *footprint* VCs (VCs already occupied by packets to
+///    the same destination); remaining ties break randomly.
+/// 3. **VC requests.** Congestion is estimated locally from the idle-VC
+///    count against a threshold of half the VCs per channel:
+///    * `idle ≥ V/2` (no congestion): request all adaptive VCs, `Low`.
+///    * `idle = 0` (saturated): request only footprint VCs, `High` — or all
+///      adaptive VCs at `Low` if no footprint exists.
+///    * otherwise: idle VCs at `Highest`, footprint VCs at `High`, busy VCs
+///      at `Low`.
+///
+///    The escape channel is always requested at `Lowest` priority.
+///
+/// Footprint VCs are claimed through *standing requests*: a packet waiting
+/// on a footprint channel is granted the VC the instant it fully drains,
+/// so same-destination packets serialize through the same VC chain — the
+/// dynamic virtual set-aside queues of §3.3 that keep the congestion tree
+/// slim — while honouring the atomic VC reallocation that Duato-based
+/// algorithms require (§4.2.1).
+///
+/// [`Footprint::with_join`] additionally lets a packet *join* a footprint
+/// VC before it has fully drained (stacking packets in one VC FIFO). This
+/// is an extension beyond the paper's BookSim implementation; our ablation
+/// bench shows unbounded joins destabilize permutation traffic at high
+/// load, which is why the default is off.
+///
+/// The congestion threshold is configurable ([`Footprint::with_threshold`])
+/// for ablation studies; [`Footprint::new`] uses the paper's `V/2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Footprint {
+    /// Idle-VC count at or above which the network is considered
+    /// uncongested. `None` = the paper's default of `V/2`.
+    threshold: Option<usize>,
+    /// Upper bound on the number of footprint VCs requested per port.
+    /// `None` = unlimited (the paper's configuration; §4.2.5 discusses
+    /// limiting it as future work, which this knob enables).
+    max_footprint_vcs: Option<usize>,
+    /// Allow joining a draining footprint VC before it has fully emptied.
+    join: bool,
+    /// Use Algorithm 1's literal priority labels in the intermediate-load
+    /// tier (idle above footprint). See `with_literal_tiering`.
+    literal_tiering: bool,
+}
+
+impl Footprint {
+    /// Footprint with the paper's configuration: threshold `V/2`, unlimited
+    /// footprint VCs, strict atomic VC reallocation.
+    pub fn new() -> Self {
+        Footprint {
+            threshold: None,
+            max_footprint_vcs: None,
+            join: false,
+            literal_tiering: false,
+        }
+    }
+
+    /// Overrides the congestion threshold (number of idle VCs at or above
+    /// which the network is treated as uncongested).
+    pub fn with_threshold(threshold: usize) -> Self {
+        Footprint {
+            threshold: Some(threshold),
+            ..Self::new()
+        }
+    }
+
+    /// Enables footprint *joins*: a packet may be granted a footprint VC
+    /// that is still draining, stacking same-destination packets in one VC
+    /// FIFO. Extension knob (off by default — see the type-level docs).
+    pub fn with_join(mut self) -> Self {
+        self.join = true;
+        self
+    }
+
+    /// Bounds the number of footprint VCs a packet may request per port —
+    /// the future-work isolation knob of §4.2.5.
+    pub fn with_max_footprint_vcs(mut self, max: usize) -> Self {
+        self.max_footprint_vcs = Some(max);
+        self
+    }
+
+    /// Uses Algorithm 1's literal priority labels at intermediate load
+    /// (idle `Highest` > footprint `High`), instead of the default
+    /// behaviour-matched tiering in which a packet whose footprint
+    /// *dominates* the idle pool follows it rather than forking a new VC.
+    ///
+    /// The paper's prose is explicit that congested packets follow prior
+    /// packets "instead of forking a new path or VC"; taken literally, the
+    /// listing's `Highest` on idle VCs makes congested flows keep expanding
+    /// into every idle VC, which defeats the slim-tree goal (our ablation
+    /// bench quantifies the difference). The default therefore puts a
+    /// packet's footprint VCs first when they are at least as numerous as
+    /// the idle VCs — the local signature of endpoint congestion — and
+    /// falls back to the listing's idle-first order otherwise; this knob
+    /// restores the literal listing unconditionally, for comparison.
+    pub fn with_literal_tiering(mut self) -> Self {
+        self.literal_tiering = true;
+        self
+    }
+
+    fn threshold_for(&self, num_vcs: usize) -> usize {
+        self.threshold.unwrap_or(num_vcs / 2)
+    }
+
+    /// Classifies the adaptive VCs of `port` for destination `dest` into
+    /// (idle, footprint, busy) VC id lists.
+    fn classify(
+        ctx: &RoutingCtx<'_>,
+        port: Port,
+        dest: NodeId,
+    ) -> (Vec<VcId>, Vec<VcId>, Vec<VcId>) {
+        let mut idle = Vec::new();
+        let mut fp = Vec::new();
+        let mut busy = Vec::new();
+        for v in 1..ctx.num_vcs {
+            let vc = VcId(v as u8);
+            let view = ctx.ports.vc(port, vc);
+            if view.is_footprint_for(dest) {
+                // Owner-register match — footprint regardless of occupancy
+                // (a drained VC stays this destination's footprint).
+                fp.push(vc);
+            } else if view.idle {
+                idle.push(vc);
+            } else {
+                busy.push(vc);
+            }
+        }
+        (idle, fp, busy)
+    }
+
+    /// Step 3 of Algorithm 1: generates the prioritized VC requests for the
+    /// chosen port.
+    fn add_vc_requests(
+        &self,
+        ctx: &RoutingCtx<'_>,
+        port: Port,
+        idle: &[VcId],
+        fp: &[VcId],
+        busy: &[VcId],
+        out: &mut Vec<VcRequest>,
+    ) {
+        let fp_limit = self.max_footprint_vcs.unwrap_or(usize::MAX);
+        let fp = &fp[..fp.len().min(fp_limit)];
+        let threshold = self.threshold_for(ctx.num_vcs);
+        if idle.len() >= threshold {
+            // No congestion: use all adaptive VCs — waiting on footprint
+            // channels would only add latency (line 31).
+            for &vc in idle.iter().chain(fp).chain(busy) {
+                out.push(VcRequest::new(port, vc, Priority::Low));
+            }
+        } else if idle.is_empty() {
+            if !fp.is_empty() {
+                // Saturated with a footprint: wait on the footprint channels
+                // only (line 34).
+                for &vc in fp {
+                    out.push(VcRequest::new(port, vc, Priority::High));
+                }
+            } else {
+                // Saturated, no footprint: request all adaptive VCs (line 37).
+                for &vc in idle.iter().chain(busy) {
+                    out.push(VcRequest::new(port, vc, Priority::Low));
+                }
+            }
+        } else if self.literal_tiering || fp.is_empty() {
+            // Intermediate load, no footprint (or literal mode): prioritize
+            // idle > footprint > busy (lines 40-42 as listed).
+            for &vc in idle {
+                out.push(VcRequest::new(port, vc, Priority::Highest));
+            }
+            for &vc in fp {
+                out.push(VcRequest::new(port, vc, Priority::High));
+            }
+            for &vc in busy {
+                out.push(VcRequest::new(port, vc, Priority::Low));
+            }
+        } else if fp.len() >= idle.len() {
+            // Intermediate load with a *dominant* footprint — the signature
+            // of endpoint congestion (this destination already occupies as
+            // many VCs as remain idle): follow the footprint instead of
+            // forking a new VC (the behaviour the paper's §1/§3.2 prose
+            // specifies). Idle VCs stay requested as a lower-priority
+            // fallback so forward progress never depends on the footprint
+            // chain alone.
+            for &vc in fp {
+                out.push(VcRequest::new(port, vc, Priority::Highest));
+            }
+            for &vc in idle {
+                out.push(VcRequest::new(port, vc, Priority::High));
+            }
+            for &vc in busy {
+                out.push(VcRequest::new(port, vc, Priority::Low));
+            }
+        } else {
+            // Intermediate load, footprint present but small relative to
+            // the idle pool (transient contention, not endpoint
+            // congestion): the listing's tiering — idle first, then
+            // footprint, then busy (lines 40-42).
+            for &vc in idle {
+                out.push(VcRequest::new(port, vc, Priority::Highest));
+            }
+            for &vc in fp {
+                out.push(VcRequest::new(port, vc, Priority::High));
+            }
+            for &vc in busy {
+                out.push(VcRequest::new(port, vc, Priority::Low));
+            }
+        }
+    }
+}
+
+impl Default for Footprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RoutingAlgorithm for Footprint {
+    fn name(&self) -> &'static str {
+        "footprint"
+    }
+
+    fn policy(&self) -> VcReallocationPolicy {
+        VcReallocationPolicy::Atomic
+    }
+
+    fn has_escape(&self) -> bool {
+        true
+    }
+
+    fn allows_footprint_join(&self) -> bool {
+        self.join
+    }
+
+    fn vc_selection(&self) -> crate::VcSelection {
+        crate::VcSelection::Adaptive
+    }
+
+    fn route(&self, ctx: &RoutingCtx<'_>, rng: &mut dyn RngCore, out: &mut Vec<VcRequest>) {
+        // Packets arriving on the escape VC re-enter the adaptive channels
+        // (Duato's theory permits this as long as the escape sub-network is
+        // always requested; line 45 below guarantees that).
+        // STEP 1: legal output ports.
+        let dirs = ctx.mesh.minimal_dirs(ctx.current, ctx.dest);
+        let (px, py): (Option<Direction>, Option<Direction>) = (dirs.x, dirs.y);
+        let chosen = match (px, py) {
+            (None, None) => return eject_requests(ctx, out),
+            (Some(d), None) | (None, Some(d)) => d,
+            (Some(x), Some(y)) => {
+                // STEP 2: compare idle-VC counts, then footprint-VC counts,
+                // then break ties randomly (lines 10–20).
+                let (ix, fx, _) = Self::classify(ctx, Port::Dir(x), ctx.dest);
+                let (iy, fy, _) = Self::classify(ctx, Port::Dir(y), ctx.dest);
+                match ix.len().cmp(&iy.len()) {
+                    core::cmp::Ordering::Greater => x,
+                    core::cmp::Ordering::Less => y,
+                    core::cmp::Ordering::Equal => match fx.len().cmp(&fy.len()) {
+                        core::cmp::Ordering::Greater => x,
+                        core::cmp::Ordering::Less => y,
+                        core::cmp::Ordering::Equal => {
+                            if coin(rng) {
+                                x
+                            } else {
+                                y
+                            }
+                        }
+                    },
+                }
+            }
+        };
+        // STEP 3: VC requests on the chosen port.
+        let port = Port::Dir(chosen);
+        let (idle, fp, busy) = Self::classify(ctx, port, ctx.dest);
+        self.add_vc_requests(ctx, port, &idle, &fp, &busy, out);
+        // Escape request, always at lowest priority (line 45).
+        if let Some(esc) = ctx.escape_dir() {
+            out.push(VcRequest::new(
+                Port::Dir(esc),
+                VcId::ESCAPE,
+                Priority::Lowest,
+            ));
+        }
+    }
+
+    fn injection_requests(
+        &self,
+        ctx: &RoutingCtx<'_>,
+        _rng: &mut dyn RngCore,
+        out: &mut Vec<VcRequest>,
+    ) {
+        // Injection selects a VC on the source→router channel; run step 3
+        // against the local port so footprints form from the very first hop.
+        let (idle, fp, busy) = Self::classify(ctx, Port::Local, ctx.dest);
+        self.add_vc_requests(ctx, Port::Local, &idle, &fp, &busy, out);
+        out.push(VcRequest::new(Port::Local, VcId::ESCAPE, Priority::Lowest));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NoCongestionInfo, TablePortView, VcView};
+    use footprint_topology::Mesh;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    const V: usize = 4; // 1 escape + 3 adaptive
+
+    fn busy_vc(owner: u16) -> VcView {
+        VcView {
+            idle: false,
+            owner: Some(NodeId(owner)),
+            credits: 2,
+            joinable: true,
+        }
+    }
+
+    fn mk_ctx<'a>(view: &'a TablePortView, cong: &'a NoCongestionInfo) -> RoutingCtx<'a> {
+        RoutingCtx {
+            mesh: Mesh::square(8),
+            current: NodeId(0),
+            src: NodeId(0),
+            dest: NodeId(63),
+            input_port: Port::Local,
+            input_vc: VcId(1),
+            on_escape: false,
+            num_vcs: V,
+            ports: view,
+            congestion: cong,
+        }
+    }
+
+    fn route(view: &TablePortView) -> Vec<VcRequest> {
+        let cong = NoCongestionInfo;
+        let ctx = mk_ctx(view, &cong);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut out = Vec::new();
+        Footprint::new().route(&ctx, &mut rng, &mut out);
+        out
+    }
+
+    #[test]
+    fn uncongested_requests_all_adaptive_vcs_low() {
+        let view = TablePortView::all_idle(V, 4);
+        let out = route(&view);
+        // One chosen direction with 3 adaptive requests + escape.
+        let adaptive: Vec<_> = out.iter().filter(|r| r.vc != VcId::ESCAPE).collect();
+        assert_eq!(adaptive.len(), 3);
+        assert!(adaptive.iter().all(|r| r.priority == Priority::Low));
+        let esc = out.iter().find(|r| r.vc == VcId::ESCAPE).unwrap();
+        assert_eq!(esc.priority, Priority::Lowest);
+    }
+
+    #[test]
+    fn port_selection_prefers_more_idle_vcs() {
+        let mut view = TablePortView::all_idle(V, 4);
+        // East has 1 idle adaptive VC, North has 3.
+        view.set(Port::Dir(Direction::East), VcId(1), busy_vc(5));
+        view.set(Port::Dir(Direction::East), VcId(2), busy_vc(6));
+        let out = route(&view);
+        assert!(out
+            .iter()
+            .filter(|r| r.vc != VcId::ESCAPE)
+            .all(|r| r.port == Port::Dir(Direction::North)));
+    }
+
+    #[test]
+    fn port_tie_broken_by_footprint_vcs() {
+        let mut view = TablePortView::all_idle(V, 4);
+        // Both ports have 2 idle adaptive VCs, but East's busy VC carries
+        // traffic to our destination (63) — a footprint.
+        view.set(Port::Dir(Direction::East), VcId(1), busy_vc(63));
+        view.set(Port::Dir(Direction::North), VcId(1), busy_vc(5));
+        let out = route(&view);
+        assert!(out
+            .iter()
+            .filter(|r| r.vc != VcId::ESCAPE)
+            .all(|r| r.port == Port::Dir(Direction::East)));
+    }
+
+    #[test]
+    fn saturated_port_with_footprint_requests_only_footprint_high() {
+        let mut view = TablePortView::all_idle(V, 4);
+        for port in [Port::Dir(Direction::East), Port::Dir(Direction::North)] {
+            view.set(port, VcId(1), busy_vc(63));
+            view.set(port, VcId(2), busy_vc(5));
+            view.set(port, VcId(3), busy_vc(6));
+        }
+        let out = route(&view);
+        let adaptive: Vec<_> = out.iter().filter(|r| r.vc != VcId::ESCAPE).collect();
+        assert_eq!(adaptive.len(), 1);
+        assert_eq!(adaptive[0].vc, VcId(1));
+        assert_eq!(adaptive[0].priority, Priority::High);
+    }
+
+    #[test]
+    fn saturated_port_without_footprint_requests_all_adaptive() {
+        let mut view = TablePortView::all_idle(V, 4);
+        for port in [Port::Dir(Direction::East), Port::Dir(Direction::North)] {
+            for v in 1..V {
+                view.set(port, VcId(v as u8), busy_vc(5));
+            }
+        }
+        let out = route(&view);
+        let adaptive: Vec<_> = out.iter().filter(|r| r.vc != VcId::ESCAPE).collect();
+        assert_eq!(adaptive.len(), 3);
+        assert!(adaptive.iter().all(|r| r.priority == Priority::Low));
+    }
+
+    #[test]
+    fn intermediate_load_uses_three_priority_tiers() {
+        let mut view = TablePortView::all_idle(V, 4);
+        for port in [Port::Dir(Direction::East), Port::Dir(Direction::North)] {
+            view.set(port, VcId(1), busy_vc(63)); // footprint
+            view.set(port, VcId(2), busy_vc(5)); // busy, other dest
+                                                 // VcId(3) stays idle → 1 idle < threshold (V/2 = 2), not 0.
+        }
+        let out = route(&view);
+        let by_vc = |vc: u8| {
+            out.iter()
+                .find(|r| r.vc == VcId(vc) && r.port != Port::Local)
+                .unwrap()
+                .priority
+        };
+        // Behaviour-matched tiering: the packet follows its footprint
+        // instead of forking into the idle VC.
+        assert_eq!(by_vc(1), Priority::Highest); // footprint
+        assert_eq!(by_vc(3), Priority::High); // idle
+        assert_eq!(by_vc(2), Priority::Low); // busy
+        assert_eq!(by_vc(0), Priority::Lowest); // escape
+    }
+
+    #[test]
+    fn literal_tiering_restores_algorithm_1_labels() {
+        let mut view = TablePortView::all_idle(V, 4);
+        for port in [Port::Dir(Direction::East), Port::Dir(Direction::North)] {
+            view.set(port, VcId(1), busy_vc(63)); // footprint
+            view.set(port, VcId(2), busy_vc(5)); // busy, other dest
+        }
+        let cong = NoCongestionInfo;
+        let ctx = mk_ctx(&view, &cong);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut out = Vec::new();
+        Footprint::new()
+            .with_literal_tiering()
+            .route(&ctx, &mut rng, &mut out);
+        let by_vc = |vc: u8| {
+            out.iter()
+                .find(|r| r.vc == VcId(vc) && r.port != Port::Local)
+                .unwrap()
+                .priority
+        };
+        assert_eq!(by_vc(3), Priority::Highest); // idle (lines 40-42 literal)
+        assert_eq!(by_vc(1), Priority::High); // footprint
+        assert_eq!(by_vc(2), Priority::Low); // busy
+    }
+
+    #[test]
+    fn footprint_join_capability_is_declared() {
+        let f = Footprint::new();
+        assert!(!f.allows_footprint_join(), "strict atomic by default");
+        assert!(f.with_join().allows_footprint_join());
+        assert_eq!(f.policy(), VcReallocationPolicy::Atomic);
+        assert!(f.has_escape());
+        assert_eq!(f.name(), "footprint");
+    }
+
+    #[test]
+    fn max_footprint_vcs_limits_requests() {
+        let mut view = TablePortView::all_idle(V, 4);
+        for port in [Port::Dir(Direction::East), Port::Dir(Direction::North)] {
+            for v in 1..V {
+                view.set(port, VcId(v as u8), busy_vc(63)); // all footprints
+            }
+        }
+        let cong = NoCongestionInfo;
+        let ctx = mk_ctx(&view, &cong);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut out = Vec::new();
+        Footprint::new()
+            .with_max_footprint_vcs(1)
+            .route(&ctx, &mut rng, &mut out);
+        let fp: Vec<_> = out
+            .iter()
+            .filter(|r| r.priority == Priority::High)
+            .collect();
+        assert_eq!(fp.len(), 1);
+    }
+
+    #[test]
+    fn custom_threshold_changes_congestion_estimate() {
+        // With threshold 1, a port with a single idle VC is "uncongested"
+        // and everything is requested at Low.
+        let mut view = TablePortView::all_idle(V, 4);
+        for port in [Port::Dir(Direction::East), Port::Dir(Direction::North)] {
+            view.set(port, VcId(1), busy_vc(63));
+            view.set(port, VcId(2), busy_vc(5));
+        }
+        let cong = NoCongestionInfo;
+        let ctx = mk_ctx(&view, &cong);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut out = Vec::new();
+        Footprint::with_threshold(1).route(&ctx, &mut rng, &mut out);
+        assert!(out
+            .iter()
+            .filter(|r| r.vc != VcId::ESCAPE)
+            .all(|r| r.priority == Priority::Low));
+    }
+
+    #[test]
+    fn injection_builds_footprints_at_source() {
+        let mut view = TablePortView::all_idle(V, 4);
+        view.set(Port::Local, VcId(1), busy_vc(63)); // footprint at injection
+        view.set(Port::Local, VcId(2), busy_vc(5));
+        let cong = NoCongestionInfo;
+        let ctx = mk_ctx(&view, &cong);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut out = Vec::new();
+        Footprint::new().injection_requests(&ctx, &mut rng, &mut out);
+        assert!(out.iter().all(|r| r.port == Port::Local));
+        let fp = out.iter().find(|r| r.vc == VcId(1)).unwrap();
+        assert_eq!(fp.priority, Priority::Highest, "footprints lead at injection too");
+    }
+
+    #[test]
+    fn ejects_at_destination_router() {
+        let view = TablePortView::all_idle(V, 4);
+        let cong = NoCongestionInfo;
+        let mut ctx = mk_ctx(&view, &cong);
+        ctx.current = ctx.dest;
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut out = Vec::new();
+        Footprint::new().route(&ctx, &mut rng, &mut out);
+        assert!(out.iter().all(|r| r.port == Port::Local));
+        assert_eq!(out.len(), V);
+    }
+}

@@ -1,0 +1,247 @@
+//! Footprint VC selection as a composable overlay — operationalizing §5's
+//! claim that "the Footprint approach is not limited to any particular
+//! routing algorithm".
+//!
+//! [`FootprintOverlay`] keeps the *port* decisions of any inner algorithm
+//! and re-prioritizes its VC requests with the footprint classification of
+//! Algorithm 1's step 3 (idle / footprint / busy, congestion-gated). The
+//! overlay adds only VC *preferences* — no new channel dependencies — so
+//! the inner algorithm's deadlock-freedom argument carries over unchanged.
+
+use crate::{
+    DirSet, Priority, RoutingAlgorithm, RoutingCtx, VcId, VcRequest, VcReallocationPolicy,
+};
+use footprint_topology::{Mesh, NodeId, Port};
+use rand::RngCore;
+
+/// Wraps a routing algorithm with footprint-prioritized VC selection.
+///
+/// For every port the inner algorithm requested, the overlay classifies
+/// that port's usable VCs (preserving the inner algorithm's escape VC, if
+/// any) and re-emits them with Algorithm-1 step-3 priorities. Combined with
+/// e.g. Odd-Even this yields "Odd-Even + Footprint": partial port
+/// adaptiveness with full VC adaptiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FootprintOverlay<A> {
+    inner: A,
+    name: &'static str,
+}
+
+impl<A: RoutingAlgorithm> FootprintOverlay<A> {
+    /// Wraps `inner` under a display name (e.g. `"odd-even+footprint"`).
+    pub fn new(inner: A, name: &'static str) -> Self {
+        FootprintOverlay { inner, name }
+    }
+
+    /// Step-3 reclassification of the tail `reqs[start..]`.
+    fn reprioritize(&self, ctx: &RoutingCtx<'_>, reqs: &mut Vec<VcRequest>, start: usize) {
+        let lo = ctx.adaptive_lo(self.inner.has_escape());
+        // Distinct requested ports, escape requests preserved verbatim.
+        let mut ports: Vec<Port> = Vec::new();
+        let mut escapes: Vec<VcRequest> = Vec::new();
+        for r in reqs.drain(start..) {
+            if self.inner.has_escape() && r.vc == VcId::ESCAPE {
+                escapes.push(r);
+            } else if !ports.contains(&r.port) {
+                ports.push(r.port);
+            }
+        }
+        for port in ports {
+            let (mut idle, mut fp, mut busy) = (Vec::new(), Vec::new(), Vec::new());
+            for v in lo..ctx.num_vcs {
+                let vc = VcId(v as u8);
+                let view = ctx.ports.vc(port, vc);
+                if view.is_footprint_for(ctx.dest) {
+                    fp.push(vc);
+                } else if view.idle {
+                    idle.push(vc);
+                } else {
+                    busy.push(vc);
+                }
+            }
+            let threshold = ctx.num_vcs / 2;
+            if idle.len() >= threshold {
+                for &vc in idle.iter().chain(&fp).chain(&busy) {
+                    reqs.push(VcRequest::new(port, vc, Priority::Low));
+                }
+            } else if idle.is_empty() && !fp.is_empty() {
+                for &vc in &fp {
+                    reqs.push(VcRequest::new(port, vc, Priority::High));
+                }
+            } else if fp.len() >= idle.len() && !fp.is_empty() {
+                for &vc in &fp {
+                    reqs.push(VcRequest::new(port, vc, Priority::Highest));
+                }
+                for &vc in &idle {
+                    reqs.push(VcRequest::new(port, vc, Priority::High));
+                }
+                for &vc in &busy {
+                    reqs.push(VcRequest::new(port, vc, Priority::Low));
+                }
+            } else {
+                for &vc in &idle {
+                    reqs.push(VcRequest::new(port, vc, Priority::Highest));
+                }
+                for &vc in &fp {
+                    reqs.push(VcRequest::new(port, vc, Priority::High));
+                }
+                for &vc in &busy {
+                    reqs.push(VcRequest::new(port, vc, Priority::Low));
+                }
+            }
+            // Guard against a degenerate empty request set (e.g. a
+            // saturated port with no usable VC classes): fall back to every
+            // usable VC at Low.
+            if reqs.len() == start && escapes.is_empty() {
+                for v in lo..ctx.num_vcs {
+                    reqs.push(VcRequest::new(port, VcId(v as u8), Priority::Low));
+                }
+            }
+        }
+        reqs.extend(escapes);
+    }
+}
+
+impl<A: RoutingAlgorithm> RoutingAlgorithm for FootprintOverlay<A> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn policy(&self) -> VcReallocationPolicy {
+        self.inner.policy()
+    }
+
+    fn has_escape(&self) -> bool {
+        self.inner.has_escape()
+    }
+
+    fn vc_selection(&self) -> crate::VcSelection {
+        crate::VcSelection::Adaptive
+    }
+
+    fn route(&self, ctx: &RoutingCtx<'_>, rng: &mut dyn RngCore, out: &mut Vec<VcRequest>) {
+        let start = out.len();
+        self.inner.route(ctx, rng, out);
+        if ctx.current == ctx.dest {
+            return; // ejection untouched
+        }
+        self.reprioritize(ctx, out, start);
+    }
+
+    fn injection_requests(
+        &self,
+        ctx: &RoutingCtx<'_>,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<VcRequest>,
+    ) {
+        let start = out.len();
+        self.inner.injection_requests(ctx, rng, out);
+        self.reprioritize(ctx, out, start);
+    }
+
+    fn allowed_dirs(&self, mesh: Mesh, cur: NodeId, src: NodeId, dest: NodeId) -> DirSet {
+        self.inner.allowed_dirs(mesh, cur, src, dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NoCongestionInfo, OddEven, TablePortView, VcView};
+    use footprint_topology::Direction;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn busy_vc(owner: u16) -> VcView {
+        VcView {
+            idle: false,
+            owner: Some(NodeId(owner)),
+            credits: 2,
+            joinable: true,
+        }
+    }
+
+    fn mk_ctx<'a>(view: &'a TablePortView, cong: &'a NoCongestionInfo) -> RoutingCtx<'a> {
+        RoutingCtx {
+            mesh: Mesh::square(8),
+            current: NodeId(0),
+            src: NodeId(0),
+            dest: NodeId(63),
+            input_port: Port::Local,
+            input_vc: VcId(0),
+            on_escape: false,
+            num_vcs: 4,
+            ports: view,
+            congestion: cong,
+        }
+    }
+
+    #[test]
+    fn ports_come_from_inner_vcs_get_reprioritized() {
+        let mut view = TablePortView::all_idle(4, 4);
+        // Saturate both candidate ports; VC1 carries traffic to our dest.
+        for port in [Port::Dir(Direction::East), Port::Dir(Direction::North)] {
+            view.set(port, VcId(0), busy_vc(5));
+            view.set(port, VcId(1), busy_vc(63));
+            view.set(port, VcId(2), busy_vc(5));
+            view.set(port, VcId(3), busy_vc(6));
+        }
+        let cong = NoCongestionInfo;
+        let ctx = mk_ctx(&view, &cong);
+        let algo = FootprintOverlay::new(OddEven, "odd-even+footprint");
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        algo.route(&ctx, &mut rng, &mut out);
+        // Only the footprint VC is requested (saturated port, fp present).
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].vc, VcId(1));
+        assert_eq!(out[0].priority, Priority::High);
+        // Direction came from odd-even's legal set.
+        let legal = OddEven::legal_dirs(ctx.mesh, ctx.current, ctx.src, ctx.dest);
+        let Port::Dir(d) = out[0].port else {
+            panic!("expected a direction port")
+        };
+        assert!(legal.contains(d));
+    }
+
+    #[test]
+    fn uncongested_state_requests_everything_low() {
+        let view = TablePortView::all_idle(4, 4);
+        let cong = NoCongestionInfo;
+        let ctx = mk_ctx(&view, &cong);
+        let algo = FootprintOverlay::new(OddEven, "odd-even+footprint");
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        algo.route(&ctx, &mut rng, &mut out);
+        assert_eq!(out.len(), 4, "all VCs of the chosen port");
+        assert!(out.iter().all(|r| r.priority == Priority::Low));
+    }
+
+    #[test]
+    fn delegates_structure_to_inner() {
+        let algo = FootprintOverlay::new(OddEven, "odd-even+footprint");
+        assert_eq!(algo.name(), "odd-even+footprint");
+        assert_eq!(algo.policy(), VcReallocationPolicy::NonAtomic);
+        assert!(!algo.has_escape());
+        assert_eq!(algo.vc_selection(), crate::VcSelection::Adaptive);
+        let mesh = Mesh::square(8);
+        assert_eq!(
+            algo.allowed_dirs(mesh, NodeId(0), NodeId(0), NodeId(63)),
+            OddEven.allowed_dirs(mesh, NodeId(0), NodeId(0), NodeId(63))
+        );
+    }
+
+    #[test]
+    fn ejection_is_untouched() {
+        let view = TablePortView::all_idle(4, 4);
+        let cong = NoCongestionInfo;
+        let mut ctx = mk_ctx(&view, &cong);
+        ctx.current = ctx.dest;
+        let algo = FootprintOverlay::new(OddEven, "odd-even+footprint");
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        algo.route(&ctx, &mut rng, &mut out);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|r| r.port == Port::Local));
+    }
+}

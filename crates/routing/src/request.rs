@@ -1,0 +1,146 @@
+//! Virtual-channel requests — the output of a routing decision.
+//!
+//! The Footprint paper's Algorithm 1 does not return a single `(port, vc)`
+//! pair; it emits a *prioritized set of VC requests* (`ADD(P, v, pri)`),
+//! which the router's priority-based VC allocator then arbitrates. This
+//! module defines that vocabulary, shared by all routing algorithms: the
+//! baselines simply emit uniform-priority request sets.
+
+use core::fmt;
+use footprint_topology::Port;
+
+/// A virtual-channel index within a physical channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VcId(pub u8);
+
+impl VcId {
+    /// The escape virtual channel used by Duato-based algorithms (DBAR,
+    /// Footprint). Always VC 0 in this implementation.
+    pub const ESCAPE: VcId = VcId(0);
+
+    /// The VC index as a `usize`, for indexing per-VC tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vc{}", self.0)
+    }
+}
+
+impl From<u8> for VcId {
+    fn from(v: u8) -> Self {
+        VcId(v)
+    }
+}
+
+/// Request priority, ordered from `Lowest` to `Highest`.
+///
+/// Algorithm 1 uses exactly these four levels:
+/// * `Highest` — idle VCs under moderate load (line 40),
+/// * `High` — footprint VCs (lines 34/41) and escape continuation,
+/// * `Low` — ordinary adaptive VCs (lines 31/37/42),
+/// * `Lowest` — the escape channel (line 45).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Escape-channel fallback.
+    Lowest = 0,
+    /// Ordinary adaptive VCs.
+    Low = 1,
+    /// Footprint VCs / escape continuation.
+    High = 2,
+    /// Idle VCs under moderate load.
+    Highest = 3,
+}
+
+impl Priority {
+    /// All priorities from `Highest` down to `Lowest` — the order in which a
+    /// priority-based VC allocator considers requests.
+    pub const DESCENDING: [Priority; 4] = [
+        Priority::Highest,
+        Priority::High,
+        Priority::Low,
+        Priority::Lowest,
+    ];
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Priority::Lowest => "lowest",
+            Priority::Low => "low",
+            Priority::High => "high",
+            Priority::Highest => "highest",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single VC request: "grant me VC `vc` at output port `port`", with an
+/// arbitration priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VcRequest {
+    /// Requested output port.
+    pub port: Port,
+    /// Requested VC on that port.
+    pub vc: VcId,
+    /// Arbitration priority.
+    pub priority: Priority,
+}
+
+impl VcRequest {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(port: Port, vc: VcId, priority: Priority) -> Self {
+        VcRequest { port, vc, priority }
+    }
+}
+
+impl fmt::Display for VcRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}@{}", self.port, self.vc, self.priority)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use footprint_topology::Direction;
+
+    #[test]
+    fn priority_ordering_matches_algorithm_1() {
+        assert!(Priority::Highest > Priority::High);
+        assert!(Priority::High > Priority::Low);
+        assert!(Priority::Low > Priority::Lowest);
+    }
+
+    #[test]
+    fn descending_covers_all_levels_in_order() {
+        let d = Priority::DESCENDING;
+        assert_eq!(d.len(), 4);
+        for w in d.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn escape_vc_is_zero() {
+        assert_eq!(VcId::ESCAPE, VcId(0));
+        assert_eq!(VcId::ESCAPE.index(), 0);
+    }
+
+    #[test]
+    fn request_display_is_compact() {
+        let r = VcRequest::new(Port::Dir(Direction::East), VcId(3), Priority::High);
+        assert_eq!(r.to_string(), "E:vc3@high");
+    }
+
+    #[test]
+    fn vcid_from_u8() {
+        assert_eq!(VcId::from(7u8), VcId(7));
+        assert_eq!(VcId(7).to_string(), "vc7");
+    }
+}

@@ -1,0 +1,230 @@
+//! VOQ_sw-style VC mapping (McKeown et al., INFOCOM 1996; applied to NoCs
+//! as in the Footprint paper's footnote 5).
+//!
+//! VOQ_sw dedicates the VCs of each input port to the *output ports* of the
+//! local switch, removing head-of-line blocking between packets that leave
+//! through different outputs. The paper configured 10 VCs per channel
+//! partly "to facilitate the implementation of VOQ_sw" (two VCs per output
+//! port of a 5-port router), though it reports XORDET results instead.
+//! This implementation completes that comparison point.
+
+use crate::{
+    DirSet, Priority, RoutingAlgorithm, RoutingCtx, VcId, VcRequest, VcReallocationPolicy,
+};
+use footprint_topology::{Mesh, NodeId, Port, PORT_COUNT};
+use rand::RngCore;
+
+/// The output port a packet will take at router `node` under
+/// dimension-order routing (`Local` at the destination). This is the
+/// downstream output that VOQ_sw keys its VC classes on: it must be
+/// computable by the *upstream* router, hence the deterministic routing
+/// function.
+pub fn dor_output_port(mesh: Mesh, node: NodeId, dest: NodeId) -> Port {
+    let dirs = mesh.minimal_dirs(node, dest);
+    match dirs.x.or(dirs.y) {
+        Some(d) => Port::Dir(d),
+        None => Port::Local,
+    }
+}
+
+/// Wraps a routing algorithm and replaces its VC selection with a VOQ_sw
+/// mapping: the VC on each channel is chosen by the packet's output port at
+/// the *downstream* router, so packets leaving through different switch
+/// outputs never share a VC FIFO.
+///
+/// With `V` VCs per channel, each of the five downstream outputs gets
+/// `⌊V/5⌋`-or-so VCs (`class * range / PORT_COUNT` striping). The escape VC
+/// of Duato-based inner algorithms is preserved untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VoqSw<A> {
+    inner: A,
+    name: &'static str,
+}
+
+impl<A: RoutingAlgorithm> VoqSw<A> {
+    /// Wraps `inner`, giving the combination a display name (e.g.
+    /// `"dor+voqsw"`).
+    pub fn new(inner: A, name: &'static str) -> Self {
+        VoqSw { inner, name }
+    }
+
+    /// The VC that VOQ_sw maps a packet to on the channel out of `port`,
+    /// given the algorithm's VC layout.
+    pub fn mapped_vc(&self, ctx: &RoutingCtx<'_>, port: Port, dest: NodeId) -> VcId {
+        let lo = ctx.adaptive_lo(self.inner.has_escape());
+        let range = ctx.num_vcs - lo;
+        debug_assert!(range > 0, "VOQ_sw needs at least one mappable VC");
+        let downstream = match port {
+            Port::Local => dest, // injection: the local router itself
+            Port::Dir(d) => ctx
+                .mesh
+                .neighbor(ctx.current, d)
+                .expect("minimal port has a neighbor"),
+        };
+        let class = dor_output_port(ctx.mesh, downstream, dest).index();
+        // Stripe the available VCs across the five output classes.
+        VcId((lo + class * range / PORT_COUNT) as u8)
+    }
+
+    /// Rewrites the tail `reqs[start..]` so each port requests only its
+    /// VOQ_sw VC (escape requests pass through).
+    fn remap(&self, ctx: &RoutingCtx<'_>, reqs: &mut Vec<VcRequest>, start: usize) {
+        let mut seen_ports: Vec<(Port, Priority)> = Vec::new();
+        let mut escapes: Vec<VcRequest> = Vec::new();
+        for r in reqs.drain(start..) {
+            if self.inner.has_escape() && r.vc == VcId::ESCAPE {
+                escapes.push(r);
+                continue;
+            }
+            match seen_ports.iter_mut().find(|(p, _)| *p == r.port) {
+                Some((_, pri)) => *pri = (*pri).max(r.priority),
+                None => seen_ports.push((r.port, r.priority)),
+            }
+        }
+        for (port, pri) in seen_ports {
+            let vc = self.mapped_vc(ctx, port, ctx.dest);
+            reqs.push(VcRequest::new(port, vc, pri));
+        }
+        reqs.extend(escapes);
+    }
+}
+
+impl<A: RoutingAlgorithm> RoutingAlgorithm for VoqSw<A> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn policy(&self) -> VcReallocationPolicy {
+        self.inner.policy()
+    }
+
+    fn has_escape(&self) -> bool {
+        self.inner.has_escape()
+    }
+
+    fn allows_footprint_join(&self) -> bool {
+        // Same rationale as XORDET: the class VC must admit queued packets.
+        true
+    }
+
+    fn vc_selection(&self) -> crate::VcSelection {
+        crate::VcSelection::StaticMapped
+    }
+
+    fn route(&self, ctx: &RoutingCtx<'_>, rng: &mut dyn RngCore, out: &mut Vec<VcRequest>) {
+        let start = out.len();
+        self.inner.route(ctx, rng, out);
+        if ctx.current == ctx.dest {
+            return; // ejection: no remapping
+        }
+        self.remap(ctx, out, start);
+    }
+
+    fn injection_requests(
+        &self,
+        ctx: &RoutingCtx<'_>,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<VcRequest>,
+    ) {
+        let start = out.len();
+        self.inner.injection_requests(ctx, rng, out);
+        self.remap(ctx, out, start);
+    }
+
+    fn allowed_dirs(&self, mesh: Mesh, cur: NodeId, src: NodeId, dest: NodeId) -> DirSet {
+        self.inner.allowed_dirs(mesh, cur, src, dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dor, NoCongestionInfo, TablePortView};
+    use footprint_topology::Direction;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn mk_ctx<'a>(
+        view: &'a TablePortView,
+        cong: &'a NoCongestionInfo,
+        cur: u16,
+        dest: u16,
+    ) -> RoutingCtx<'a> {
+        RoutingCtx {
+            mesh: Mesh::square(4),
+            current: NodeId(cur),
+            src: NodeId(cur),
+            dest: NodeId(dest),
+            input_port: Port::Local,
+            input_vc: VcId(0),
+            on_escape: false,
+            num_vcs: 10,
+            ports: view,
+            congestion: cong,
+        }
+    }
+
+    #[test]
+    fn dor_output_port_matches_xy_routing() {
+        let mesh = Mesh::square(4);
+        // n0 → n10 = (2,2): X first.
+        assert_eq!(
+            dor_output_port(mesh, NodeId(0), NodeId(10)),
+            Port::Dir(Direction::East)
+        );
+        // n2 → n10: same column → North.
+        assert_eq!(
+            dor_output_port(mesh, NodeId(2), NodeId(10)),
+            Port::Dir(Direction::North)
+        );
+        // At the destination: Local.
+        assert_eq!(dor_output_port(mesh, NodeId(10), NodeId(10)), Port::Local);
+    }
+
+    #[test]
+    fn packets_to_different_downstream_outputs_use_different_vcs() {
+        let view = TablePortView::all_idle(10, 4);
+        let cong = NoCongestionInfo;
+        let algo = VoqSw::new(Dor, "dor+voqsw");
+        // From n0, both packets go East to n1; at n1 the n3 packet continues
+        // East while the n5 packet turns North → distinct VC classes.
+        let ctx_a = mk_ctx(&view, &cong, 0, 3);
+        let ctx_b = mk_ctx(&view, &cong, 0, 5);
+        let east = Port::Dir(Direction::East);
+        let vc_a = algo.mapped_vc(&ctx_a, east, NodeId(3));
+        let vc_b = algo.mapped_vc(&ctx_b, east, NodeId(5));
+        assert_ne!(vc_a, vc_b);
+    }
+
+    #[test]
+    fn packets_ejecting_downstream_get_the_local_class() {
+        let view = TablePortView::all_idle(10, 4);
+        let cong = NoCongestionInfo;
+        let algo = VoqSw::new(Dor, "dor+voqsw");
+        // n0 → n1: at n1 the packet ejects (Local class = 0 → VC 0).
+        let ctx = mk_ctx(&view, &cong, 0, 1);
+        let vc = algo.mapped_vc(&ctx, Port::Dir(Direction::East), NodeId(1));
+        assert_eq!(vc, VcId(0));
+    }
+
+    #[test]
+    fn route_requests_one_mapped_vc() {
+        let view = TablePortView::all_idle(10, 4);
+        let cong = NoCongestionInfo;
+        let ctx = mk_ctx(&view, &cong, 0, 10);
+        let algo = VoqSw::new(Dor, "dor+voqsw");
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        algo.route(&ctx, &mut rng, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].port, Port::Dir(Direction::East));
+    }
+
+    #[test]
+    fn name_and_policy_delegate() {
+        let algo = VoqSw::new(Dor, "dor+voqsw");
+        assert_eq!(algo.name(), "dor+voqsw");
+        assert_eq!(algo.policy(), VcReallocationPolicy::NonAtomic);
+        assert_eq!(algo.vc_selection(), crate::VcSelection::StaticMapped);
+    }
+}

@@ -1,0 +1,258 @@
+//! XORDET static VC mapping (Peñaranda et al., HPCC 2014), composable with
+//! any port-selection algorithm.
+
+use crate::{
+    DirSet, Priority, RoutingAlgorithm, RoutingCtx, VcId, VcRequest, VcReallocationPolicy,
+};
+use footprint_topology::{Mesh, NodeId};
+use rand::RngCore;
+
+/// Computes the XORDET VC class of a destination: the XOR of its mesh
+/// coordinates. Destinations in the same class share a VC, which bounds the
+/// HoL interference any single endpoint can cause.
+///
+/// ```
+/// use footprint_routing::xordet_class;
+/// use footprint_topology::{Mesh, NodeId};
+/// let mesh = Mesh::square(4);
+/// // n10 = (2,2) and n15 = (3,3) share a class; n13 = (1,3) does not
+/// // (the paper's Figure 2(c) grouping, up to VC renumbering).
+/// assert_eq!(xordet_class(mesh, NodeId(10)), xordet_class(mesh, NodeId(15)));
+/// assert_ne!(xordet_class(mesh, NodeId(13)), xordet_class(mesh, NodeId(10)));
+/// ```
+pub fn xordet_class(mesh: Mesh, dest: NodeId) -> u16 {
+    let c = mesh.coord(dest);
+    c.x ^ c.y
+}
+
+/// Wraps a routing algorithm and replaces its VC selection with the XORDET
+/// static destination→VC mapping.
+///
+/// * Port selection (and the escape mechanism, if any) comes from the inner
+///   algorithm — e.g. `DBAR + XORDET` in the paper's evaluation.
+/// * Each adaptive request set collapses to a single VC per port:
+///   `vc = class(dest) mod mapped_vcs`, where `mapped_vcs` excludes the
+///   escape VC for Duato-based inner algorithms.
+///
+/// Because the mapping is static, the branches of a congestion tree stay
+/// thin (Figure 2(c)) — but buffer utilization suffers on skewed traffic,
+/// which is exactly the XORDET weakness the paper's Figures 5–6 expose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xordet<A> {
+    inner: A,
+    name: &'static str,
+}
+
+impl<A: RoutingAlgorithm> Xordet<A> {
+    /// Wraps `inner`, giving the combination a display name (e.g.
+    /// `"dbar+xordet"`).
+    pub fn new(inner: A, name: &'static str) -> Self {
+        Xordet { inner, name }
+    }
+
+    /// The VC that XORDET maps `dest` to under this algorithm's layout.
+    pub fn mapped_vc(&self, ctx: &RoutingCtx<'_>, dest: NodeId) -> VcId {
+        let lo = ctx.adaptive_lo(self.inner.has_escape());
+        let range = ctx.num_vcs - lo;
+        debug_assert!(range > 0, "XORDET needs at least one mappable VC");
+        let class = xordet_class(ctx.mesh, dest) as usize;
+        VcId((lo + class % range) as u8)
+    }
+
+    /// Rewrites the requests appended after `start` so each port requests
+    /// only the mapped VC (escape requests pass through untouched).
+    ///
+    /// Only the tail `reqs[start..]` is touched: the routing buffer is
+    /// shared by every requester at a router, and earlier entries belong to
+    /// other packets.
+    fn remap(&self, ctx: &RoutingCtx<'_>, reqs: &mut Vec<VcRequest>, start: usize) {
+        let mapped = self.mapped_vc(ctx, ctx.dest);
+        let mut seen_ports: Vec<(footprint_topology::Port, Priority)> = Vec::new();
+        let mut escapes: Vec<VcRequest> = Vec::new();
+        for r in reqs.drain(start..) {
+            if self.inner.has_escape() && r.vc == VcId::ESCAPE {
+                escapes.push(r);
+                continue;
+            }
+            match seen_ports.iter_mut().find(|(p, _)| *p == r.port) {
+                Some((_, pri)) => *pri = (*pri).max(r.priority),
+                None => seen_ports.push((r.port, r.priority)),
+            }
+        }
+        for (port, pri) in seen_ports {
+            reqs.push(VcRequest::new(port, mapped, pri));
+        }
+        reqs.extend(escapes);
+    }
+}
+
+impl<A: RoutingAlgorithm> RoutingAlgorithm for Xordet<A> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn policy(&self) -> VcReallocationPolicy {
+        self.inner.policy()
+    }
+
+    fn has_escape(&self) -> bool {
+        self.inner.has_escape()
+    }
+
+    fn allows_footprint_join(&self) -> bool {
+        // The static mapping relies on same-class packets sharing a VC, so
+        // packets must be able to queue behind each other. For Duato-based
+        // inner algorithms (atomic policy) we allow same-destination joins,
+        // mirroring how XORDET deployments dedicate the VC to the class.
+        true
+    }
+
+    fn vc_selection(&self) -> crate::VcSelection {
+        crate::VcSelection::StaticMapped
+    }
+
+    fn route(&self, ctx: &RoutingCtx<'_>, rng: &mut dyn RngCore, out: &mut Vec<VcRequest>) {
+        let start = out.len();
+        self.inner.route(ctx, rng, out);
+        if ctx.current == ctx.dest {
+            return; // ejection: no remapping
+        }
+        self.remap(ctx, out, start);
+    }
+
+    fn injection_requests(
+        &self,
+        ctx: &RoutingCtx<'_>,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<VcRequest>,
+    ) {
+        let start = out.len();
+        self.inner.injection_requests(ctx, rng, out);
+        self.remap(ctx, out, start);
+    }
+
+    fn allowed_dirs(&self, mesh: Mesh, cur: NodeId, src: NodeId, dest: NodeId) -> DirSet {
+        self.inner.allowed_dirs(mesh, cur, src, dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dbar, Dor, NoCongestionInfo, OddEven, TablePortView};
+    use footprint_topology::{Direction, Port};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn mk_ctx<'a>(
+        view: &'a TablePortView,
+        cong: &'a NoCongestionInfo,
+        num_vcs: usize,
+        dest: u16,
+    ) -> RoutingCtx<'a> {
+        RoutingCtx {
+            mesh: Mesh::square(4),
+            current: NodeId(0),
+            src: NodeId(0),
+            dest: NodeId(dest),
+            input_port: Port::Local,
+            input_vc: VcId(0),
+            on_escape: false,
+            num_vcs,
+            ports: view,
+            congestion: cong,
+        }
+    }
+
+    #[test]
+    fn class_is_coordinate_xor() {
+        let mesh = Mesh::square(4);
+        assert_eq!(xordet_class(mesh, NodeId(0)), 0); // (0,0)
+        assert_eq!(xordet_class(mesh, NodeId(13)), 1 ^ 3); // (1,3)
+        assert_eq!(xordet_class(mesh, NodeId(10)), 0); // (2,2)
+    }
+
+    #[test]
+    fn dor_xordet_requests_single_mapped_vc() {
+        let view = TablePortView::all_idle(4, 4);
+        let cong = NoCongestionInfo;
+        let ctx = mk_ctx(&view, &cong, 4, 13);
+        let algo = Xordet::new(Dor, "dor+xordet");
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut out = Vec::new();
+        algo.route(&ctx, &mut rng, &mut out);
+        assert_eq!(out.len(), 1);
+        // class(n13) = 2, no escape → vc = 2 % 4 = 2.
+        assert_eq!(out[0].vc, VcId(2));
+        assert_eq!(out[0].port, Port::Dir(Direction::East));
+    }
+
+    #[test]
+    fn dbar_xordet_preserves_escape_request() {
+        let view = TablePortView::all_idle(4, 4);
+        let cong = NoCongestionInfo;
+        let ctx = mk_ctx(&view, &cong, 4, 13);
+        let algo = Xordet::new(Dbar, "dbar+xordet");
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut out = Vec::new();
+        algo.route(&ctx, &mut rng, &mut out);
+        // One mapped adaptive request + one escape request.
+        assert_eq!(out.len(), 2);
+        let esc = out.iter().find(|r| r.vc == VcId::ESCAPE).unwrap();
+        assert_eq!(esc.priority, Priority::Lowest);
+        let adaptive = out.iter().find(|r| r.vc != VcId::ESCAPE).unwrap();
+        // class 2, escape layout → vc = 1 + 2 % 3 = 3.
+        assert_eq!(adaptive.vc, VcId(3));
+    }
+
+    #[test]
+    fn same_class_destinations_share_a_vc() {
+        let view = TablePortView::all_idle(4, 4);
+        let cong = NoCongestionInfo;
+        let algo = Xordet::new(OddEven, "oe+xordet");
+        let mesh = Mesh::square(4);
+        let ctx_a = mk_ctx(&view, &cong, 4, 10);
+        let ctx_b = mk_ctx(&view, &cong, 4, 15);
+        assert_eq!(xordet_class(mesh, NodeId(10)), xordet_class(mesh, NodeId(15)));
+        assert_eq!(
+            algo.mapped_vc(&ctx_a, NodeId(10)),
+            algo.mapped_vc(&ctx_b, NodeId(15))
+        );
+    }
+
+    #[test]
+    fn ejection_is_not_remapped() {
+        let view = TablePortView::all_idle(4, 4);
+        let cong = NoCongestionInfo;
+        let mut ctx = mk_ctx(&view, &cong, 4, 13);
+        ctx.current = NodeId(13);
+        let algo = Xordet::new(Dor, "dor+xordet");
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut out = Vec::new();
+        algo.route(&ctx, &mut rng, &mut out);
+        assert_eq!(out.len(), 4); // all local VCs for ejection
+        assert!(out.iter().all(|r| r.port == Port::Local));
+    }
+
+    #[test]
+    fn injection_maps_by_destination() {
+        let view = TablePortView::all_idle(4, 4);
+        let cong = NoCongestionInfo;
+        let ctx = mk_ctx(&view, &cong, 4, 13);
+        let algo = Xordet::new(Dor, "dor+xordet");
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut out = Vec::new();
+        algo.injection_requests(&ctx, &mut rng, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].vc, VcId(2));
+        assert_eq!(out[0].port, Port::Local);
+    }
+
+    #[test]
+    fn name_and_policy_delegate() {
+        let algo = Xordet::new(Dor, "dor+xordet");
+        assert_eq!(algo.name(), "dor+xordet");
+        assert_eq!(algo.policy(), VcReallocationPolicy::NonAtomic);
+        assert!(!algo.has_escape());
+    }
+}

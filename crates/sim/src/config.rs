@@ -1,0 +1,168 @@
+//! Simulator configuration (the paper's Table 2).
+
+use core::fmt;
+use footprint_topology::Mesh;
+
+/// Microarchitectural configuration of the simulated network.
+///
+/// Defaults follow the paper's Table 2: 8×8 mesh, 10 VCs per physical
+/// channel, 4-flit VC buffers, credit-based wormhole flow control, internal
+/// speedup 2.0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Topology.
+    pub mesh: Mesh,
+    /// VCs per physical channel.
+    pub num_vcs: usize,
+    /// VC buffer depth in flits.
+    pub vc_buffer_depth: usize,
+    /// Internal speedup: maximum switch grants per input/output port per
+    /// cycle. Links still carry one flit per cycle.
+    pub speedup: usize,
+    /// One-way link latency in cycles (1 in the paper's configuration;
+    /// higher values model longer wires or repeated links and stress the
+    /// credit loop).
+    pub link_latency: usize,
+}
+
+impl SimConfig {
+    /// The paper's baseline configuration (Table 2 defaults).
+    pub fn paper_default() -> Self {
+        SimConfig {
+            mesh: Mesh::square(8),
+            num_vcs: 10,
+            vc_buffer_depth: 4,
+            speedup: 2,
+            link_latency: 1,
+        }
+    }
+
+    /// A small configuration for unit tests (4×4 mesh, 4 VCs).
+    pub fn small() -> Self {
+        SimConfig {
+            mesh: Mesh::square(4),
+            num_vcs: 4,
+            vc_buffer_depth: 4,
+            speedup: 2,
+            link_latency: 1,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any parameter is out of range
+    /// (`num_vcs` must be 1–64, buffers and speedup nonzero).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_vcs == 0 || self.num_vcs > 64 {
+            return Err(ConfigError::NumVcs(self.num_vcs));
+        }
+        if self.vc_buffer_depth == 0 {
+            return Err(ConfigError::BufferDepth);
+        }
+        if self.speedup == 0 {
+            return Err(ConfigError::Speedup);
+        }
+        if self.link_latency == 0 {
+            return Err(ConfigError::LinkLatency);
+        }
+        Ok(())
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Configuration validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// VC count out of the supported 1–64 range.
+    NumVcs(usize),
+    /// Zero VC buffer depth.
+    BufferDepth,
+    /// Zero internal speedup.
+    Speedup,
+    /// Zero link latency (combinational links are not modeled).
+    LinkLatency,
+    /// The routing algorithm needs more VCs than configured (Duato-based
+    /// algorithms need at least 2).
+    TooFewVcsForRouting {
+        /// Algorithm name.
+        algorithm: &'static str,
+        /// VCs required.
+        required: usize,
+        /// VCs configured.
+        configured: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NumVcs(n) => write!(f, "unsupported VC count {n} (expected 1..=64)"),
+            ConfigError::BufferDepth => f.write_str("VC buffer depth must be nonzero"),
+            ConfigError::Speedup => f.write_str("internal speedup must be nonzero"),
+            ConfigError::LinkLatency => f.write_str("link latency must be at least one cycle"),
+            ConfigError::TooFewVcsForRouting {
+                algorithm,
+                required,
+                configured,
+            } => write!(
+                f,
+                "routing algorithm `{algorithm}` needs at least {required} VCs, got {configured}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table_2() {
+        let c = SimConfig::paper_default();
+        assert_eq!(c.mesh, Mesh::square(8));
+        assert_eq!(c.num_vcs, 10);
+        assert_eq!(c.vc_buffer_depth, 4);
+        assert_eq!(c.speedup, 2);
+        assert!(c.validate().is_ok());
+        assert_eq!(SimConfig::default(), c);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let mut c = SimConfig::small();
+        c.num_vcs = 0;
+        assert_eq!(c.validate(), Err(ConfigError::NumVcs(0)));
+        let mut c = SimConfig::small();
+        c.num_vcs = 65;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::small();
+        c.vc_buffer_depth = 0;
+        assert_eq!(c.validate(), Err(ConfigError::BufferDepth));
+        let mut c = SimConfig::small();
+        c.speedup = 0;
+        assert_eq!(c.validate(), Err(ConfigError::Speedup));
+        let mut c = SimConfig::small();
+        c.link_latency = 0;
+        assert_eq!(c.validate(), Err(ConfigError::LinkLatency));
+    }
+
+    #[test]
+    fn errors_display_meaningfully() {
+        assert!(ConfigError::NumVcs(0).to_string().contains("VC count"));
+        let e = ConfigError::TooFewVcsForRouting {
+            algorithm: "footprint",
+            required: 2,
+            configured: 1,
+        };
+        assert!(e.to_string().contains("footprint"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Human-readable network state dumps for debugging and teaching.
+
+use crate::network::Network;
+use crate::output::OutVcState;
+use footprint_topology::{Port, PORT_COUNT};
+use std::fmt::Write as _;
+
+impl Network {
+    /// Renders an ASCII occupancy map of the mesh: one cell per router
+    /// showing total buffered flits (input side), scaled `.:+*#@` — a quick
+    /// visual of where congestion sits.
+    ///
+    /// ```text
+    /// cycle 1250, 8x8 mesh
+    /// . . . : + # @ @
+    /// . . . . : * # @
+    /// ...
+    /// ```
+    pub fn occupancy_map(&self) -> String {
+        let mesh = self.config().mesh;
+        let cap = (self.config().num_vcs * self.config().vc_buffer_depth * PORT_COUNT) as f64;
+        let mut out = format!("cycle {}, {} \n", self.cycle(), mesh);
+        for y in (0..mesh.height()).rev() {
+            for x in 0..mesh.width() {
+                let node = mesh.node_at(footprint_topology::Coord::new(x, y));
+                let buffered: usize = self
+                    .router(node)
+                    .inputs()
+                    .iter()
+                    .flat_map(|p| p.vcs())
+                    .map(|vc| vc.len())
+                    .sum();
+                let frac = buffered as f64 / cap;
+                let glyph = match () {
+                    _ if buffered == 0 => '.',
+                    _ if frac < 0.1 => ':',
+                    _ if frac < 0.25 => '+',
+                    _ if frac < 0.5 => '*',
+                    _ if frac < 0.75 => '#',
+                    _ => '@',
+                };
+                let _ = write!(out, "{glyph} ");
+            }
+            out.pop();
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Dumps one router's full VC state: per input VC the buffered flit
+    /// count and routing state, per output VC the allocation state, owner
+    /// and credits. Intended for interactive debugging of a stuck scenario.
+    pub fn dump_router(&self, node: footprint_topology::NodeId) -> String {
+        let router = self.router(node);
+        let mut out = format!("router {node} @ cycle {}\n", self.cycle());
+        for (pi, (input, output)) in router
+            .inputs()
+            .iter()
+            .zip(router.outputs().iter())
+            .enumerate()
+        {
+            let port = Port::from_index(pi);
+            let _ = writeln!(out, "  port {port}:");
+            for (vi, vc) in input.vcs().iter().enumerate() {
+                if !vc.is_empty() || !matches!(vc.route(), crate::input::RouteState::Idle) {
+                    let _ = writeln!(
+                        out,
+                        "    in  vc{vi}: {} flits, {:?}",
+                        vc.len(),
+                        vc.route()
+                    );
+                }
+            }
+            for (vi, vc) in output.vcs().iter().enumerate() {
+                let interesting = !matches!(vc.state(), OutVcState::Idle)
+                    || vc.owner().is_some()
+                    || vc.credits() != vc.capacity();
+                if interesting {
+                    let owner = vc
+                        .owner()
+                        .map_or("-".to_string(), |d| d.to_string());
+                    let _ = writeln!(
+                        out,
+                        "    out vc{vi}: {:?}, owner {owner}, credits {}/{}",
+                        vc.state(),
+                        vc.credits(),
+                        vc.capacity()
+                    );
+                }
+            }
+            if output.staged() > 0 {
+                let _ = writeln!(out, "    stage: {} flits", output.staged());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Network, SimConfig, SingleFlow};
+    use footprint_routing::RoutingSpec;
+    use footprint_topology::NodeId;
+
+    fn congested_net() -> Network {
+        let mut net = Network::new(SimConfig::small(), RoutingSpec::Footprint.build(), 3).unwrap();
+        let mut wl = crate::workload::FlowSet::new(vec![
+            SingleFlow {
+                src: NodeId(0),
+                dest: NodeId(5),
+                rate: 1.0,
+                size: 1,
+            },
+            SingleFlow {
+                src: NodeId(10),
+                dest: NodeId(5),
+                rate: 1.0,
+                size: 1,
+            },
+        ]);
+        net.run(&mut wl, 300);
+        net
+    }
+
+    #[test]
+    fn occupancy_map_shows_congestion_glyphs() {
+        let net = congested_net();
+        let map = net.occupancy_map();
+        assert!(map.starts_with("cycle 300"));
+        // 4 rows of 4 cells.
+        assert_eq!(map.lines().count(), 5);
+        for line in map.lines().skip(1) {
+            assert_eq!(line.split(' ').count(), 4);
+        }
+        // The oversubscription must show at least one non-empty cell.
+        assert!(map.chars().any(|c| ":+*#@".contains(c)), "map: {map}");
+    }
+
+    #[test]
+    fn empty_network_maps_to_dots() {
+        let net = Network::new(SimConfig::small(), RoutingSpec::Dor.build(), 3).unwrap();
+        let map = net.occupancy_map();
+        assert!(map.lines().skip(1).all(|l| l.chars().all(|c| c == '.' || c == ' ')));
+    }
+
+    #[test]
+    fn router_dump_reports_owners_and_credits() {
+        let net = congested_net();
+        // n5's router is the hotspot: its dump must show owned output VCs.
+        let dump = net.dump_router(NodeId(5));
+        assert!(dump.contains("router n5"));
+        assert!(dump.contains("owner n5"), "dump: {dump}");
+        assert!(dump.contains("credits"));
+    }
+}

@@ -1,0 +1,367 @@
+//! Endpoints: packet sources (injection) and sinks (ejection).
+
+use std::collections::VecDeque;
+
+use crate::metrics::{EjectedPacket, Metrics, Probe};
+use crate::output::OutVc;
+use crate::packet::{Flit, NewPacket, PacketId, PendingPacket};
+use crate::view::InjectionView;
+use crate::wire::{CreditMsg, Wire};
+use footprint_routing::{
+    CongestionView, Priority, RoutingAlgorithm, RoutingCtx, VcId,
+};
+use footprint_topology::{Mesh, NodeId, Port};
+use rand::rngs::SmallRng;
+
+/// A packet source: an unbounded generation queue feeding the router's
+/// local input port over a credit-controlled channel with its own VCs.
+///
+/// The source runs the routing algorithm's *injection* VC selection, so a
+/// Footprint network starts forming footprints from the very first hop.
+#[derive(Debug)]
+pub struct Source {
+    node: NodeId,
+    queue: VecDeque<PendingPacket>,
+    vcs: Vec<OutVc>,
+    /// VC granted to the front packet, if any.
+    active_vc: Option<usize>,
+    /// Rotating scan offset so equal-priority injection requests spread
+    /// across VCs (round-robin VC allocation).
+    rr: usize,
+    scratch_reqs: Vec<footprint_routing::VcRequest>,
+}
+
+impl Source {
+    /// Creates a source for `node` with `num_vcs` injection VCs backed by
+    /// `buffer_depth`-flit downstream buffers.
+    pub fn new(node: NodeId, num_vcs: usize, buffer_depth: u32) -> Self {
+        Source {
+            node,
+            queue: VecDeque::new(),
+            vcs: (0..num_vcs).map(|_| OutVc::new(buffer_depth)).collect(),
+            active_vc: None,
+            rr: 0,
+            scratch_reqs: Vec::new(),
+        }
+    }
+
+    /// Enqueues a freshly generated packet.
+    pub fn enqueue(&mut self, id: PacketId, p: NewPacket, cycle: u64) {
+        self.queue.push_back(PendingPacket {
+            id,
+            src: self.node,
+            dest: p.dest,
+            size: p.size,
+            birth: cycle,
+            class: p.class,
+            sent: 0,
+        });
+    }
+
+    /// Packets waiting (including the one currently streaming).
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Receives returned credits from the router's local input port.
+    pub fn return_credit(&mut self, vc: u8) {
+        self.vcs[vc as usize].return_credit();
+    }
+
+    /// One source cycle: allocate a VC for the front packet if needed, then
+    /// stream at most one flit onto the injection wire.
+    pub fn step(
+        &mut self,
+        algo: &dyn RoutingAlgorithm,
+        mesh: Mesh,
+        congestion: &dyn CongestionView,
+        rng: &mut SmallRng,
+        wire: &mut Wire,
+    ) {
+        if self.active_vc.is_none() {
+            self.try_allocate(algo, mesh, congestion, rng);
+        }
+        let Some(vc) = self.active_vc else { return };
+        if self.vcs[vc].credits() == 0 {
+            return;
+        }
+        let front = self.queue.front_mut().expect("active VC implies a packet");
+        let flit = front.next_flit(vc as u8);
+        self.vcs[vc].consume_credit();
+        if flit.is_tail() {
+            self.vcs[vc].tail_sent(algo.policy());
+            self.queue.pop_front();
+            self.active_vc = None;
+        }
+        wire.flits.push(flit);
+    }
+
+    /// Runs the injection VC selection for the front packet.
+    fn try_allocate(
+        &mut self,
+        algo: &dyn RoutingAlgorithm,
+        mesh: Mesh,
+        congestion: &dyn CongestionView,
+        rng: &mut SmallRng,
+    ) {
+        let Some(front) = self.queue.front() else {
+            return;
+        };
+        let mut reqs = std::mem::take(&mut self.scratch_reqs);
+        reqs.clear();
+        {
+            let view = InjectionView::new(&self.vcs, algo.policy());
+            let ctx = RoutingCtx {
+                mesh,
+                current: self.node,
+                src: self.node,
+                dest: front.dest,
+                input_port: Port::Local,
+                input_vc: VcId(0),
+                on_escape: false,
+                num_vcs: self.vcs.len(),
+                ports: &view,
+                congestion,
+            };
+            algo.injection_requests(&ctx, rng, &mut reqs);
+        }
+        let policy = algo.policy();
+        let has_escape = algo.has_escape();
+        let allows_join = algo.allows_footprint_join();
+        self.rr = self.rr.wrapping_add(1);
+        let len = reqs.len();
+        'pri: for pri in Priority::DESCENDING {
+            for j in 0..len {
+                let req = &reqs[(self.rr + j) % len];
+                if req.priority != pri {
+                    continue;
+                }
+                debug_assert_eq!(req.port, Port::Local);
+                let v = req.vc.index();
+                let ovc = &self.vcs[v];
+                let fresh = ovc.idle_for(policy);
+                let join =
+                    allows_join && !(has_escape && v == 0) && ovc.joinable_by(front.dest);
+                if fresh || join {
+                    self.vcs[v].allocate(front.id, front.dest);
+                    self.active_vc = Some(v);
+                    break 'pri;
+                }
+            }
+        }
+        self.scratch_reqs = reqs;
+    }
+
+    /// `true` when the queue is empty and all VCs have drained.
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty() && self.vcs.iter().all(OutVc::is_quiescent)
+    }
+}
+
+/// A packet sink: per-VC buffers drained at the endpoint ejection bandwidth
+/// of one flit per cycle — the finite rate that makes oversubscribed
+/// endpoints (Figure 9's hotspots) grow genuine congestion trees.
+#[derive(Debug)]
+pub struct Sink {
+    node: NodeId,
+    vcs: Vec<VecDeque<Flit>>,
+    capacity: usize,
+    rr: usize,
+}
+
+impl Sink {
+    /// Creates a sink with `num_vcs` buffers of `capacity` flits.
+    pub fn new(node: NodeId, num_vcs: usize, capacity: usize) -> Self {
+        Sink {
+            node,
+            vcs: (0..num_vcs).map(|_| VecDeque::new()).collect(),
+            capacity,
+            rr: 0,
+        }
+    }
+
+    /// Accepts a flit from the ejection channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on buffer overflow (credit protocol violation).
+    pub fn push(&mut self, flit: Flit) {
+        let q = &mut self.vcs[flit.vc as usize];
+        assert!(q.len() < self.capacity, "sink VC overflow");
+        q.push_back(flit);
+    }
+
+    /// Consumes up to one flit this cycle (round-robin over non-empty VCs);
+    /// returns the credit to send back and records finished packets.
+    pub fn step(
+        &mut self,
+        cycle: u64,
+        metrics: &mut Metrics,
+        probe: &mut dyn Probe,
+    ) -> Option<CreditMsg> {
+        let n = self.vcs.len();
+        for k in 0..n {
+            let v = (self.rr + k) % n;
+            if let Some(flit) = self.vcs[v].pop_front() {
+                self.rr = (v + 1) % n;
+                debug_assert_eq!(flit.dest, self.node, "flit ejected at wrong node");
+                if flit.is_tail() {
+                    let pkt = EjectedPacket {
+                        id: flit.packet,
+                        src: flit.src,
+                        dest: flit.dest,
+                        birth: flit.birth,
+                        ejected: cycle,
+                        size: flit.size,
+                        class: flit.class,
+                    };
+                    metrics.record_ejected(&pkt);
+                    probe.packet_ejected(&pkt);
+                }
+                return Some(CreditMsg { vc: v as u8 });
+            }
+        }
+        None
+    }
+
+    /// Buffered flits across all VCs.
+    pub fn buffered(&self) -> usize {
+        self.vcs.iter().map(VecDeque::len).sum()
+    }
+
+    /// `true` when no flits are buffered.
+    pub fn is_quiescent(&self) -> bool {
+        self.vcs.iter().all(VecDeque::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::NullProbe;
+    use crate::packet::FlitKind;
+    use footprint_routing::{Dor, Footprint, NoCongestionInfo};
+    use rand::SeedableRng;
+
+    fn new_packet(dest: u16, size: u16) -> NewPacket {
+        NewPacket {
+            dest: NodeId(dest),
+            size,
+            class: 0,
+        }
+    }
+
+    #[test]
+    fn source_streams_a_packet() {
+        let mesh = Mesh::square(4);
+        let mut src = Source::new(NodeId(0), 4, 4);
+        let mut wire = Wire::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        src.enqueue(PacketId(1), new_packet(3, 2), 0);
+        assert_eq!(src.backlog(), 1);
+        src.step(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut wire);
+        src.step(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut wire);
+        assert_eq!(src.backlog(), 0);
+        wire.tick();
+        let flits: Vec<_> = wire.flits.drain().collect();
+        assert_eq!(flits.len(), 2);
+        assert!(flits[0].is_head());
+        assert!(flits[1].is_tail());
+        assert_eq!(flits[0].vc, flits[1].vc);
+    }
+
+    #[test]
+    fn source_respects_credits() {
+        let mesh = Mesh::square(4);
+        let mut src = Source::new(NodeId(0), 2, 1); // 1-credit VCs
+        let mut wire = Wire::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        src.enqueue(PacketId(1), new_packet(3, 3), 0);
+        src.step(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut wire); // head goes
+        src.step(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut wire); // stalls
+        wire.tick();
+        let sent: Vec<_> = wire.flits.drain().collect();
+        assert_eq!(sent.len(), 1, "second flit must stall on zero credits");
+        src.return_credit(sent[0].vc); // head slot freed downstream
+        src.step(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut wire);
+        wire.tick();
+        let flits: Vec<_> = wire.flits.drain().collect();
+        assert_eq!(flits.len(), 1);
+        assert_eq!(flits[0].kind, FlitKind::Body);
+    }
+
+    #[test]
+    fn footprint_source_joins_same_destination_stream() {
+        let mesh = Mesh::square(4);
+        let algo = Footprint::new().with_join();
+        let mut src = Source::new(NodeId(0), 3, 4);
+        let mut wire = Wire::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        // Packet 1 to n5 claims adaptive VC; packet 2 to n7 claims the
+        // other adaptive VC (3 VCs total: escape + 2 adaptive). Both end up
+        // draining, so the channel is congested (no idle adaptive VCs).
+        src.enqueue(PacketId(1), new_packet(5, 1), 0);
+        src.step(&algo, mesh, &NoCongestionInfo, &mut rng, &mut wire);
+        src.enqueue(PacketId(2), new_packet(7, 1), 1);
+        src.step(&algo, mesh, &NoCongestionInfo, &mut rng, &mut wire);
+        assert_eq!(src.backlog(), 0);
+        // Packet 3 to n5 finds idle = ∅ and a footprint VC for n5 → joins
+        // it instead of waiting or escaping.
+        src.enqueue(PacketId(3), new_packet(5, 1), 2);
+        src.step(&algo, mesh, &NoCongestionInfo, &mut rng, &mut wire);
+        assert_eq!(src.backlog(), 0, "joined the draining footprint VC");
+        wire.tick();
+        let flits: Vec<_> = wire.flits.drain().collect();
+        assert_eq!(flits.len(), 3);
+        assert_eq!(flits[0].vc, flits[2].vc, "same footprint VC for n5");
+        assert_ne!(flits[0].vc, flits[1].vc, "different destinations split");
+        assert_ne!(flits[2].vc, 0, "not the escape VC");
+    }
+
+    #[test]
+    fn sink_drains_one_flit_per_cycle_and_records_packets() {
+        let mut sink = Sink::new(NodeId(3), 2, 4);
+        let mut metrics = Metrics::new();
+        let mut probe = NullProbe;
+        let mk = |vc: u8, packet: u64| Flit {
+            packet: PacketId(packet),
+            kind: FlitKind::Single,
+            src: NodeId(0),
+            dest: NodeId(3),
+            seq: 0,
+            size: 1,
+            birth: 0,
+            class: 0,
+            vc,
+        };
+        sink.push(mk(0, 1));
+        sink.push(mk(1, 2));
+        assert_eq!(sink.buffered(), 2);
+        let c1 = sink.step(10, &mut metrics, &mut probe).unwrap();
+        let c2 = sink.step(11, &mut metrics, &mut probe).unwrap();
+        assert!(sink.step(12, &mut metrics, &mut probe).is_none());
+        assert_ne!(c1.vc, c2.vc, "round-robin over VCs");
+        assert_eq!(metrics.total().ejected_packets, 2);
+        assert_eq!(metrics.class(0).latency_max, 11);
+        assert!(sink.is_quiescent());
+    }
+
+    #[test]
+    #[should_panic(expected = "sink VC overflow")]
+    fn sink_overflow_panics() {
+        let mut sink = Sink::new(NodeId(3), 1, 1);
+        let f = Flit {
+            packet: PacketId(1),
+            kind: FlitKind::Single,
+            src: NodeId(0),
+            dest: NodeId(3),
+            seq: 0,
+            size: 1,
+            birth: 0,
+            class: 0,
+            vc: 0,
+        };
+        sink.push(f);
+        sink.push(f);
+    }
+}

@@ -1,0 +1,343 @@
+//! Measurement: per-class counters, blocking/purity accounting and the
+//! probe hook for custom instrumentation.
+
+use crate::packet::PacketId;
+use footprint_topology::NodeId;
+
+/// A packet that finished ejecting (tail consumed by the destination sink).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EjectedPacket {
+    /// Packet id.
+    pub id: PacketId,
+    /// Source endpoint.
+    pub src: NodeId,
+    /// Destination endpoint.
+    pub dest: NodeId,
+    /// Creation cycle at the source.
+    pub birth: u64,
+    /// Cycle the tail flit was consumed.
+    pub ejected: u64,
+    /// Packet size in flits.
+    pub size: u16,
+    /// Traffic class.
+    pub class: u8,
+}
+
+impl EjectedPacket {
+    /// End-to-end packet latency (including source queueing), in cycles.
+    #[inline]
+    pub fn latency(&self) -> u64 {
+        self.ejected - self.birth
+    }
+}
+
+/// A VC-allocation failure: a head packet requested VCs this cycle and
+/// received no grant. Carries the blocking-purity inputs of §4.3: how many
+/// of the busy VCs at the requested port(s) were footprint VCs for this
+/// packet's destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VaBlockInfo {
+    /// Router where the failure occurred.
+    pub node: NodeId,
+    /// Blocked packet.
+    pub packet: PacketId,
+    /// Its destination.
+    pub dest: NodeId,
+    /// Its traffic class.
+    pub class: u8,
+    /// Busy VCs owned by the same destination at the requested ports.
+    pub footprint_vcs: u32,
+    /// All busy VCs at the requested ports.
+    pub busy_vcs: u32,
+}
+
+impl VaBlockInfo {
+    /// The purity of this blocking event: footprint VCs over busy VCs
+    /// (`None` when no VC was busy — pure contention, not HoL blocking).
+    pub fn purity(&self) -> Option<f64> {
+        if self.busy_vcs == 0 {
+            None
+        } else {
+            Some(self.footprint_vcs as f64 / self.busy_vcs as f64)
+        }
+    }
+}
+
+/// Instrumentation hook invoked by the network as events occur. All methods
+/// default to no-ops.
+pub trait Probe {
+    /// A packet finished ejecting.
+    fn packet_ejected(&mut self, packet: &EjectedPacket) {
+        let _ = packet;
+    }
+
+    /// A head packet failed VC allocation this cycle.
+    fn va_blocked(&mut self, info: &VaBlockInfo) {
+        let _ = info;
+    }
+
+    /// A cycle completed.
+    fn cycle_end(&mut self, cycle: u64) {
+        let _ = cycle;
+    }
+}
+
+/// A probe that records nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {}
+
+/// Aggregate statistics for one traffic class.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClassStats {
+    /// Packets generated.
+    pub generated_packets: u64,
+    /// Flits generated.
+    pub generated_flits: u64,
+    /// Packets fully ejected.
+    pub ejected_packets: u64,
+    /// Flits ejected.
+    pub ejected_flits: u64,
+    /// Sum of packet latencies (cycles) over ejected packets.
+    pub latency_sum: u128,
+    /// Maximum packet latency observed.
+    pub latency_max: u64,
+}
+
+impl ClassStats {
+    /// Mean packet latency over the ejected packets, or 0 if none ejected.
+    pub fn mean_latency(&self) -> f64 {
+        if self.ejected_packets == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.ejected_packets as f64
+        }
+    }
+}
+
+/// Network-wide measurement counters. The driving code calls
+/// [`Metrics::reset_window`] at the warmup/measurement boundary so the
+/// counters cover only the measurement window.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    classes: Vec<ClassStats>,
+    /// VC-allocation failures (blocking events) in the window.
+    pub va_blocks: u64,
+    /// Sum of per-event blocking purity (events with at least one busy VC).
+    pub purity_sum: f64,
+    /// Number of events contributing to `purity_sum`.
+    pub purity_events: u64,
+    /// Cycles elapsed in the window.
+    pub cycles: u64,
+}
+
+impl Metrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    fn class_mut(&mut self, class: u8) -> &mut ClassStats {
+        let idx = class as usize;
+        if idx >= self.classes.len() {
+            self.classes.resize(idx + 1, ClassStats::default());
+        }
+        &mut self.classes[idx]
+    }
+
+    /// Stats for one class (zeros if the class never appeared).
+    pub fn class(&self, class: u8) -> ClassStats {
+        self.classes
+            .get(class as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Stats summed over all classes.
+    pub fn total(&self) -> ClassStats {
+        let mut t = ClassStats::default();
+        for c in &self.classes {
+            t.generated_packets += c.generated_packets;
+            t.generated_flits += c.generated_flits;
+            t.ejected_packets += c.ejected_packets;
+            t.ejected_flits += c.ejected_flits;
+            t.latency_sum += c.latency_sum;
+            t.latency_max = t.latency_max.max(c.latency_max);
+        }
+        t
+    }
+
+    /// Records a generated packet.
+    pub fn record_generated(&mut self, class: u8, size: u16) {
+        let c = self.class_mut(class);
+        c.generated_packets += 1;
+        c.generated_flits += size as u64;
+    }
+
+    /// Records an ejected packet.
+    pub fn record_ejected(&mut self, p: &EjectedPacket) {
+        let lat = p.latency();
+        let c = self.class_mut(p.class);
+        c.ejected_packets += 1;
+        c.ejected_flits += p.size as u64;
+        c.latency_sum += lat as u128;
+        c.latency_max = c.latency_max.max(lat);
+    }
+
+    /// Records a VC-allocation failure.
+    pub fn record_va_block(&mut self, info: &VaBlockInfo) {
+        self.va_blocks += 1;
+        if let Some(p) = info.purity() {
+            self.purity_sum += p;
+            self.purity_events += 1;
+        }
+    }
+
+    /// Mean blocking purity over the window (§4.3): footprint VCs over busy
+    /// VCs, averaged across blocking events.
+    pub fn mean_purity(&self) -> f64 {
+        if self.purity_events == 0 {
+            0.0
+        } else {
+            self.purity_sum / self.purity_events as f64
+        }
+    }
+
+    /// Degree of HoL blocking (§4.3, Figure 10(c)): impurity × number of
+    /// blocking events, normalized per ejected packet.
+    pub fn hol_degree(&self) -> f64 {
+        let ejected = self.total().ejected_packets;
+        if ejected == 0 {
+            0.0
+        } else {
+            (1.0 - self.mean_purity()) * self.va_blocks as f64 / ejected as f64
+        }
+    }
+
+    /// Accepted throughput in flits per node per cycle for class `class`.
+    pub fn throughput(&self, class: u8, nodes: usize) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.class(class).ejected_flits as f64 / (self.cycles as f64 * nodes as f64)
+        }
+    }
+
+    /// Accepted throughput over all classes, flits per node per cycle.
+    pub fn total_throughput(&self, nodes: usize) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total().ejected_flits as f64 / (self.cycles as f64 * nodes as f64)
+        }
+    }
+
+    /// Zeroes every counter — called at the warmup/measurement boundary.
+    pub fn reset_window(&mut self) {
+        *self = Metrics::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(class: u8, birth: u64, ejected: u64, size: u16) -> EjectedPacket {
+        EjectedPacket {
+            id: PacketId(0),
+            src: NodeId(0),
+            dest: NodeId(1),
+            birth,
+            ejected,
+            size,
+            class,
+        }
+    }
+
+    #[test]
+    fn latency_accounting() {
+        let mut m = Metrics::new();
+        m.record_ejected(&pkt(0, 10, 30, 1));
+        m.record_ejected(&pkt(0, 0, 40, 2));
+        let c = m.class(0);
+        assert_eq!(c.ejected_packets, 2);
+        assert_eq!(c.ejected_flits, 3);
+        assert!((c.mean_latency() - 30.0).abs() < 1e-9);
+        assert_eq!(c.latency_max, 40);
+    }
+
+    #[test]
+    fn classes_are_separate() {
+        let mut m = Metrics::new();
+        m.record_generated(0, 1);
+        m.record_generated(1, 4);
+        assert_eq!(m.class(0).generated_flits, 1);
+        assert_eq!(m.class(1).generated_flits, 4);
+        assert_eq!(m.total().generated_flits, 5);
+        assert_eq!(m.class(7), ClassStats::default());
+    }
+
+    #[test]
+    fn throughput_normalizes_by_cycles_and_nodes() {
+        let mut m = Metrics::new();
+        m.cycles = 100;
+        m.record_ejected(&pkt(0, 0, 50, 1));
+        m.record_ejected(&pkt(0, 0, 60, 1));
+        // 2 flits / (100 cycles × 4 nodes) = 0.005
+        assert!((m.throughput(0, 4) - 0.005).abs() < 1e-12);
+        assert!((m.total_throughput(4) - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn purity_math_matches_definition() {
+        let mut m = Metrics::new();
+        let info = VaBlockInfo {
+            node: NodeId(0),
+            packet: PacketId(1),
+            dest: NodeId(2),
+            class: 0,
+            footprint_vcs: 1,
+            busy_vcs: 4,
+        };
+        assert_eq!(info.purity(), Some(0.25));
+        m.record_va_block(&info);
+        m.record_va_block(&VaBlockInfo {
+            footprint_vcs: 3,
+            busy_vcs: 4,
+            ..info
+        });
+        assert!((m.mean_purity() - 0.5).abs() < 1e-12);
+        assert_eq!(m.va_blocks, 2);
+        // HoL degree needs ejected packets.
+        m.record_ejected(&pkt(0, 0, 10, 1));
+        assert!((m.hol_degree() - 0.5 * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contention_without_busy_vcs_has_no_purity() {
+        let info = VaBlockInfo {
+            node: NodeId(0),
+            packet: PacketId(1),
+            dest: NodeId(2),
+            class: 0,
+            footprint_vcs: 0,
+            busy_vcs: 0,
+        };
+        assert_eq!(info.purity(), None);
+        let mut m = Metrics::new();
+        m.record_va_block(&info);
+        assert_eq!(m.purity_events, 0);
+        assert_eq!(m.va_blocks, 1);
+    }
+
+    #[test]
+    fn reset_window_zeroes_everything() {
+        let mut m = Metrics::new();
+        m.record_generated(0, 1);
+        m.cycles = 5;
+        m.reset_window();
+        assert_eq!(m.total().generated_packets, 0);
+        assert_eq!(m.cycles, 0);
+    }
+}

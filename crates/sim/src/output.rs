@@ -1,0 +1,343 @@
+//! Output-side VC state: credit counters, owner registers and the
+//! allocation state machine.
+
+use footprint_routing::VcReallocationPolicy;
+use footprint_topology::NodeId;
+use std::collections::VecDeque;
+
+use crate::packet::{Flit, PacketId};
+
+/// Allocation state of one output VC (the upstream view of a downstream
+/// input VC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutVcState {
+    /// Unowned and available for a fresh allocation.
+    Idle,
+    /// Allocated to a packet that is still streaming (tail not yet
+    /// forwarded).
+    Active(PacketId),
+    /// All flits of the last packet forwarded, but the downstream buffer has
+    /// not fully drained. Under the atomic policy the VC cannot be freshly
+    /// reallocated in this state — but it *can* be joined by a packet to the
+    /// same destination (the footprint join).
+    Draining,
+}
+
+/// One output VC: the state machine plus the credit counter and the
+/// destination "owner" register that Footprint routing reads (§4.4 prices
+/// this register at `log2(N)` bits).
+///
+/// The owner register **persists** after the VC drains and is only
+/// overwritten by the next allocation: this is what lets a drained VC
+/// remain "the footprint VC" for its destination (the paper's Figure 3
+/// example grants VC0 to successive node-A packets precisely because the
+/// register still holds A after each packet drains).
+#[derive(Debug, Clone)]
+pub struct OutVc {
+    state: OutVcState,
+    owner: Option<NodeId>,
+    credits: u32,
+    capacity: u32,
+}
+
+impl OutVc {
+    /// A fresh VC with a full credit allotment of `capacity`.
+    pub fn new(capacity: u32) -> Self {
+        OutVc {
+            state: OutVcState::Idle,
+            owner: None,
+            credits: capacity,
+            capacity,
+        }
+    }
+
+    /// Current allocation state.
+    #[inline]
+    pub fn state(&self) -> OutVcState {
+        self.state
+    }
+
+    /// Destination of the packets currently occupying the VC.
+    #[inline]
+    pub fn owner(&self) -> Option<NodeId> {
+        self.owner
+    }
+
+    /// Remaining downstream buffer slots.
+    #[inline]
+    pub fn credits(&self) -> u32 {
+        self.credits
+    }
+
+    /// Downstream buffer capacity.
+    #[inline]
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// `true` if a fresh (non-join) allocation is permitted under `policy`.
+    pub fn idle_for(&self, policy: VcReallocationPolicy) -> bool {
+        match self.state {
+            OutVcState::Idle => true,
+            OutVcState::Active(_) => false,
+            OutVcState::Draining => policy == VcReallocationPolicy::NonAtomic,
+        }
+    }
+
+    /// `true` if a packet destined to `dest` may join this VC right now:
+    /// the previous tail has been forwarded, the owner matches, and at least
+    /// one credit is available.
+    pub fn joinable_by(&self, dest: NodeId) -> bool {
+        self.state == OutVcState::Draining && self.owner == Some(dest) && self.credits > 0
+    }
+
+    /// Allocates the VC to packet `pkt` destined to `dest` (fresh grant or
+    /// join).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VC is in `Active` state (a packet is still streaming).
+    pub fn allocate(&mut self, pkt: PacketId, dest: NodeId) {
+        assert!(
+            !matches!(self.state, OutVcState::Active(_)),
+            "allocating an active VC"
+        );
+        self.state = OutVcState::Active(pkt);
+        self.owner = Some(dest);
+    }
+
+    /// Consumes one credit as a flit is committed to this VC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no credits remain (the switch allocator must gate on
+    /// credits).
+    pub fn consume_credit(&mut self) {
+        assert!(self.credits > 0, "credit underflow");
+        self.credits -= 1;
+    }
+
+    /// Marks the current packet's tail as forwarded. Under `NonAtomic` the
+    /// VC becomes immediately reusable; under `Atomic` it drains first.
+    pub fn tail_sent(&mut self, policy: VcReallocationPolicy) {
+        debug_assert!(matches!(self.state, OutVcState::Active(_)));
+        match policy {
+            VcReallocationPolicy::Atomic => self.state = OutVcState::Draining,
+            VcReallocationPolicy::NonAtomic => {
+                // Owner persists either way (see the type-level docs).
+                self.state = if self.credits == self.capacity {
+                    OutVcState::Idle
+                } else {
+                    OutVcState::Draining
+                };
+            }
+        }
+    }
+
+    /// Returns one credit (a downstream slot freed). May complete a drain.
+    ///
+    /// # Panics
+    ///
+    /// Panics on credit overflow (more credits returned than capacity).
+    pub fn return_credit(&mut self) {
+        assert!(self.credits < self.capacity, "credit overflow");
+        self.credits += 1;
+        if self.state == OutVcState::Draining && self.credits == self.capacity {
+            // The owner register persists: the VC stays this destination's
+            // footprint VC until another packet claims it.
+            self.state = OutVcState::Idle;
+        }
+    }
+
+    /// `true` if the VC holds no traffic and all credits are home.
+    pub fn is_quiescent(&self) -> bool {
+        self.state == OutVcState::Idle && self.credits == self.capacity
+    }
+}
+
+/// An output port: per-VC state plus a small staging FIFO that models the
+/// router's internal speedup (the crossbar can deliver up to `speedup` flits
+/// per cycle into the stage; the link drains one per cycle).
+#[derive(Debug)]
+pub struct OutputPort {
+    vcs: Vec<OutVc>,
+    stage: VecDeque<Flit>,
+    stage_capacity: usize,
+}
+
+impl OutputPort {
+    /// Creates an output port with `num_vcs` VCs of `vc_capacity` downstream
+    /// slots each and a staging FIFO of `stage_capacity` entries.
+    pub fn new(num_vcs: usize, vc_capacity: u32, stage_capacity: usize) -> Self {
+        OutputPort {
+            vcs: (0..num_vcs).map(|_| OutVc::new(vc_capacity)).collect(),
+            stage: VecDeque::with_capacity(stage_capacity),
+            stage_capacity,
+        }
+    }
+
+    /// The VC table.
+    pub fn vcs(&self) -> &[OutVc] {
+        &self.vcs
+    }
+
+    /// Mutable access to one VC.
+    pub fn vc_mut(&mut self, vc: usize) -> &mut OutVc {
+        &mut self.vcs[vc]
+    }
+
+    /// One VC.
+    pub fn vc(&self, vc: usize) -> &OutVc {
+        &self.vcs[vc]
+    }
+
+    /// Free slots in the staging FIFO.
+    pub fn stage_space(&self) -> usize {
+        self.stage_capacity - self.stage.len()
+    }
+
+    /// Pushes a flit that just crossed the switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stage is full (the switch allocator must gate on
+    /// [`OutputPort::stage_space`]).
+    pub fn stage_push(&mut self, flit: Flit) {
+        assert!(self.stage.len() < self.stage_capacity, "stage overflow");
+        self.stage.push_back(flit);
+    }
+
+    /// Pops the next flit to launch onto the link (one per cycle).
+    pub fn stage_pop(&mut self) -> Option<Flit> {
+        self.stage.pop_front()
+    }
+
+    /// Number of staged flits.
+    pub fn staged(&self) -> usize {
+        self.stage.len()
+    }
+
+    /// `true` when every VC is quiescent and the stage is empty.
+    pub fn is_quiescent(&self) -> bool {
+        self.stage.is_empty() && self.vcs.iter().all(OutVc::is_quiescent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlitKind, PacketId};
+
+    fn flit() -> Flit {
+        Flit {
+            packet: PacketId(1),
+            kind: FlitKind::Single,
+            src: NodeId(0),
+            dest: NodeId(1),
+            seq: 0,
+            size: 1,
+            birth: 0,
+            class: 0,
+            vc: 0,
+        }
+    }
+
+    #[test]
+    fn atomic_vc_lifecycle() {
+        let mut vc = OutVc::new(2);
+        assert!(vc.idle_for(VcReallocationPolicy::Atomic));
+        vc.allocate(PacketId(1), NodeId(9));
+        assert_eq!(vc.state(), OutVcState::Active(PacketId(1)));
+        assert_eq!(vc.owner(), Some(NodeId(9)));
+        vc.consume_credit();
+        vc.tail_sent(VcReallocationPolicy::Atomic);
+        assert_eq!(vc.state(), OutVcState::Draining);
+        // Draining is not idle under the atomic policy...
+        assert!(!vc.idle_for(VcReallocationPolicy::Atomic));
+        // ...but it is joinable by the same destination.
+        assert!(vc.joinable_by(NodeId(9)));
+        assert!(!vc.joinable_by(NodeId(8)));
+        vc.return_credit();
+        assert_eq!(vc.state(), OutVcState::Idle);
+        assert_eq!(vc.owner(), Some(NodeId(9)), "owner register persists");
+        assert!(vc.is_quiescent());
+    }
+
+    #[test]
+    fn non_atomic_reallocates_before_drain() {
+        let mut vc = OutVc::new(2);
+        vc.allocate(PacketId(1), NodeId(9));
+        vc.consume_credit();
+        vc.tail_sent(VcReallocationPolicy::NonAtomic);
+        // Tail forwarded, credits outstanding → still reallocatable.
+        assert!(vc.idle_for(VcReallocationPolicy::NonAtomic));
+        vc.allocate(PacketId(2), NodeId(4));
+        assert_eq!(vc.state(), OutVcState::Active(PacketId(2)));
+        assert_eq!(vc.owner(), Some(NodeId(4)));
+    }
+
+    #[test]
+    fn join_reactivates_draining_vc() {
+        let mut vc = OutVc::new(2);
+        vc.allocate(PacketId(1), NodeId(9));
+        vc.consume_credit();
+        vc.tail_sent(VcReallocationPolicy::Atomic);
+        assert!(vc.joinable_by(NodeId(9)));
+        vc.allocate(PacketId(2), NodeId(9)); // the footprint join
+        assert_eq!(vc.state(), OutVcState::Active(PacketId(2)));
+        assert_eq!(vc.owner(), Some(NodeId(9)));
+    }
+
+    #[test]
+    fn join_requires_credits() {
+        let mut vc = OutVc::new(1);
+        vc.allocate(PacketId(1), NodeId(9));
+        vc.consume_credit();
+        vc.tail_sent(VcReallocationPolicy::Atomic);
+        assert!(!vc.joinable_by(NodeId(9)), "no credits → not joinable");
+        vc.return_credit();
+        // Credit return completed the drain → idle, not joinable.
+        assert!(!vc.joinable_by(NodeId(9)));
+        assert!(vc.idle_for(VcReallocationPolicy::Atomic));
+    }
+
+    #[test]
+    #[should_panic(expected = "credit underflow")]
+    fn credit_underflow_panics() {
+        let mut vc = OutVc::new(1);
+        vc.consume_credit();
+        vc.consume_credit();
+    }
+
+    #[test]
+    #[should_panic(expected = "credit overflow")]
+    fn credit_overflow_panics() {
+        let mut vc = OutVc::new(1);
+        vc.return_credit();
+    }
+
+    #[test]
+    fn stage_respects_capacity_and_order() {
+        let mut port = OutputPort::new(2, 4, 2);
+        assert_eq!(port.stage_space(), 2);
+        let mut f1 = flit();
+        f1.seq = 0;
+        let mut f2 = flit();
+        f2.seq = 1;
+        port.stage_push(f1);
+        port.stage_push(f2);
+        assert_eq!(port.stage_space(), 0);
+        assert_eq!(port.stage_pop().unwrap().seq, 0);
+        assert_eq!(port.stage_pop().unwrap().seq, 1);
+        assert!(port.stage_pop().is_none());
+        assert!(port.is_quiescent());
+    }
+
+    #[test]
+    #[should_panic(expected = "stage overflow")]
+    fn stage_overflow_panics() {
+        let mut port = OutputPort::new(1, 4, 1);
+        port.stage_push(flit());
+        port.stage_push(flit());
+    }
+}

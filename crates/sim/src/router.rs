@@ -1,0 +1,522 @@
+//! The input-queued VC router: route computation, priority-based VC
+//! allocation and round-robin switch allocation with internal speedup.
+
+use crate::input::{InputPort, RouteState};
+use crate::metrics::{Metrics, Probe, VaBlockInfo};
+use crate::output::OutputPort;
+use crate::packet::{Flit, PacketId};
+use crate::view::RouterOutputsView;
+use footprint_routing::{
+    CongestionView, Priority, RoutingAlgorithm, RoutingCtx, VcId, VcRequest,
+};
+use footprint_topology::{Mesh, NodeId, Port, PORT_COUNT};
+use rand::rngs::SmallRng;
+
+/// A buffer slot freed by switch traversal; the network converts these into
+/// upstream credit messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FreedSlot {
+    /// Input port whose VC freed a slot.
+    pub in_port: usize,
+    /// The VC index.
+    pub vc: u8,
+}
+
+/// One head packet competing in VC allocation this cycle.
+#[derive(Debug, Clone, Copy)]
+struct Requester {
+    in_port: usize,
+    in_vc: usize,
+    packet: PacketId,
+    dest: NodeId,
+    class: u8,
+    reqs: (u32, u32), // [start, end) into the flat request buffer
+}
+
+/// A mesh router: five input ports, five output ports, one VC allocator and
+/// one switch allocator.
+#[derive(Debug)]
+pub struct Router {
+    node: NodeId,
+    num_vcs: usize,
+    inputs: Vec<InputPort>,
+    outputs: Vec<OutputPort>,
+    va_rr: usize,
+    sa_port_rr: usize,
+    sa_vc_rr: usize,
+    // Scratch buffers reused every cycle to avoid per-cycle allocation.
+    scratch_reqs: Vec<VcRequest>,
+    scratch_requesters: Vec<Requester>,
+}
+
+impl Router {
+    /// Creates a router for `node` with `num_vcs` VCs of `buffer_depth`
+    /// flits per input port and `speedup`-deep output stages.
+    pub fn new(node: NodeId, num_vcs: usize, buffer_depth: usize, speedup: usize) -> Self {
+        Router {
+            node,
+            num_vcs,
+            inputs: (0..PORT_COUNT)
+                .map(|_| InputPort::new(num_vcs, buffer_depth))
+                .collect(),
+            outputs: (0..PORT_COUNT)
+                .map(|_| OutputPort::new(num_vcs, buffer_depth as u32, speedup))
+                .collect(),
+            va_rr: 0,
+            sa_port_rr: 0,
+            sa_vc_rr: 0,
+            scratch_reqs: Vec::new(),
+            scratch_requesters: Vec::new(),
+        }
+    }
+
+    /// The router's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Input ports (indexable by [`Port::index`]).
+    pub fn inputs(&self) -> &[InputPort] {
+        &self.inputs
+    }
+
+    /// Mutable input ports.
+    pub fn inputs_mut(&mut self) -> &mut [InputPort] {
+        &mut self.inputs
+    }
+
+    /// Output ports.
+    pub fn outputs(&self) -> &[OutputPort] {
+        &self.outputs
+    }
+
+    /// Mutable output ports.
+    pub fn outputs_mut(&mut self) -> &mut [OutputPort] {
+        &mut self.outputs
+    }
+
+    /// Pops the next flit to launch from output port `port` (one per cycle
+    /// per link).
+    pub fn launch(&mut self, port: usize) -> Option<Flit> {
+        self.outputs[port].stage_pop()
+    }
+
+    /// `true` when no flits or grants are outstanding anywhere in the
+    /// router.
+    pub fn is_quiescent(&self) -> bool {
+        self.inputs.iter().all(InputPort::is_quiescent)
+            && self.outputs.iter().all(OutputPort::is_quiescent)
+    }
+
+    /// Route computation + VC allocation for every waiting head packet.
+    ///
+    /// Requests are standing: they are recomputed every cycle from current
+    /// VC state (which is what lets Footprint's priorities track congestion)
+    /// and arbitrated by priority with round-robin fairness among inputs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn vc_allocate(
+        &mut self,
+        algo: &dyn RoutingAlgorithm,
+        mesh: Mesh,
+        congestion: &dyn CongestionView,
+        rng: &mut SmallRng,
+        metrics: &mut Metrics,
+        probe: &mut dyn Probe,
+    ) {
+        let policy = algo.policy();
+        let has_escape = algo.has_escape();
+        let allows_join = algo.allows_footprint_join();
+
+        // Phase 1 (read-only): evaluate the routing function for every
+        // waiting head.
+        let mut reqs = std::mem::take(&mut self.scratch_reqs);
+        let mut requesters = std::mem::take(&mut self.scratch_requesters);
+        reqs.clear();
+        requesters.clear();
+        {
+            let view = RouterOutputsView::new(&self.outputs, policy, self.num_vcs);
+            for (ip, input) in self.inputs.iter().enumerate() {
+                for (iv, invc) in input.vcs().iter().enumerate() {
+                    if !invc.waiting() {
+                        continue;
+                    }
+                    let head = invc.front().expect("waiting implies a front flit");
+                    debug_assert!(head.is_head());
+                    let ctx = RoutingCtx {
+                        mesh,
+                        current: self.node,
+                        src: head.src,
+                        dest: head.dest,
+                        input_port: Port::from_index(ip),
+                        input_vc: VcId(iv as u8),
+                        on_escape: has_escape && iv == 0,
+                        num_vcs: self.num_vcs,
+                        ports: &view,
+                        congestion,
+                    };
+                    let start = reqs.len() as u32;
+                    algo.route(&ctx, rng, &mut reqs);
+                    let end = reqs.len() as u32;
+                    requesters.push(Requester {
+                        in_port: ip,
+                        in_vc: iv,
+                        packet: head.packet,
+                        dest: head.dest,
+                        class: head.class,
+                        reqs: (start, end),
+                    });
+                }
+            }
+        }
+
+        // Phase 2: priority-ordered grant loop.
+        let n = requesters.len();
+        let mut granted = vec![false; n];
+        let mut taken = [false; PORT_COUNT * 64];
+        if n > 0 {
+            let start = self.va_rr % n;
+            for pri in Priority::DESCENDING {
+                for k in 0..n {
+                    let i = (start + k) % n;
+                    if granted[i] {
+                        continue;
+                    }
+                    let r = requesters[i];
+                    let slice = &reqs[r.reqs.0 as usize..r.reqs.1 as usize];
+                    // Rotate the scan start per requester and per cycle so
+                    // equal-priority requests behave like a round-robin VC
+                    // allocator (first-fit would serialize all traffic on
+                    // VC 0 and artificially thin every congestion tree).
+                    let len = slice.len();
+                    let off = self.va_rr.wrapping_add(i);
+                    for j in 0..len {
+                        let req = &slice[(off + j) % len];
+                        if req.priority != pri {
+                            continue;
+                        }
+                        let p = req.port.index();
+                        let v = req.vc.index();
+                        let key = p * 64 + v;
+                        if taken[key] {
+                            continue;
+                        }
+                        let ovc = self.outputs[p].vc(v);
+                        let fresh = ovc.idle_for(policy);
+                        let join = allows_join
+                            && !(has_escape && v == 0)
+                            && ovc.joinable_by(r.dest);
+                        if fresh || join {
+                            self.outputs[p].vc_mut(v).allocate(r.packet, r.dest);
+                            self.inputs[r.in_port]
+                                .vc_mut(r.in_vc)
+                                .grant(req.port, v as u8);
+                            taken[key] = true;
+                            granted[i] = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            self.va_rr = self.va_rr.wrapping_add(1);
+        }
+
+        // Phase 3: account blocking (and its purity) for ungranted heads.
+        for (i, r) in requesters.iter().enumerate() {
+            if granted[i] {
+                continue;
+            }
+            let slice = &reqs[r.reqs.0 as usize..r.reqs.1 as usize];
+            if slice.is_empty() {
+                continue;
+            }
+            let (fp, busy) = self.port_occupancy_for(slice, r.dest, policy);
+            let info = VaBlockInfo {
+                node: self.node,
+                packet: r.packet,
+                dest: r.dest,
+                class: r.class,
+                footprint_vcs: fp,
+                busy_vcs: busy,
+            };
+            metrics.record_va_block(&info);
+            probe.va_blocked(&info);
+        }
+
+        self.scratch_reqs = reqs;
+        self.scratch_requesters = requesters;
+    }
+
+    /// Counts (footprint, busy) VCs over the distinct ports of a request
+    /// set — the purity inputs of §4.3.
+    fn port_occupancy_for(
+        &self,
+        reqs: &[VcRequest],
+        dest: NodeId,
+        policy: footprint_routing::VcReallocationPolicy,
+    ) -> (u32, u32) {
+        let mut seen = [false; PORT_COUNT];
+        let (mut fp, mut busy) = (0, 0);
+        for req in reqs {
+            let p = req.port.index();
+            if seen[p] {
+                continue;
+            }
+            seen[p] = true;
+            for v in 0..self.num_vcs {
+                let ovc = self.outputs[p].vc(v);
+                if !ovc.idle_for(policy) {
+                    busy += 1;
+                    if ovc.owner() == Some(dest) {
+                        fp += 1;
+                    }
+                }
+            }
+        }
+        (fp, busy)
+    }
+
+    /// Switch allocation + traversal: moves up to `speedup` flits per input
+    /// and output port from input VCs into output stages, gated by credits
+    /// and stage space. Returns the freed buffer slots through `freed`.
+    pub fn switch_allocate(
+        &mut self,
+        policy: footprint_routing::VcReallocationPolicy,
+        speedup: usize,
+        freed: &mut Vec<FreedSlot>,
+    ) {
+        let mut out_budget = [speedup; PORT_COUNT];
+        let mut stage_space = [0usize; PORT_COUNT];
+        for (space, output) in stage_space.iter_mut().zip(&self.outputs) {
+            *space = output.stage_space();
+        }
+        for k in 0..PORT_COUNT {
+            let ip = (self.sa_port_rr + k) % PORT_COUNT;
+            let mut in_budget = speedup;
+            for j in 0..self.num_vcs {
+                if in_budget == 0 {
+                    break;
+                }
+                let iv = (self.sa_vc_rr + j) % self.num_vcs;
+                let RouteState::Active {
+                    out_port, out_vc, ..
+                } = self.inputs[ip].vc(iv).route()
+                else {
+                    continue;
+                };
+                let p = out_port.index();
+                if out_budget[p] == 0 || stage_space[p] == 0 {
+                    continue;
+                }
+                if self.inputs[ip].vc(iv).front().is_none() {
+                    continue;
+                }
+                if self.outputs[p].vc(out_vc as usize).credits() == 0 {
+                    continue;
+                }
+                // Grant: traverse the switch.
+                let mut flit = self.inputs[ip].vc_mut(iv).pop_front_granted();
+                flit.vc = out_vc;
+                let ovc = self.outputs[p].vc_mut(out_vc as usize);
+                ovc.consume_credit();
+                if flit.is_tail() {
+                    ovc.tail_sent(policy);
+                }
+                self.outputs[p].stage_push(flit);
+                stage_space[p] -= 1;
+                out_budget[p] -= 1;
+                in_budget -= 1;
+                freed.push(FreedSlot {
+                    in_port: ip,
+                    vc: iv as u8,
+                });
+            }
+        }
+        self.sa_port_rr = (self.sa_port_rr + 1) % PORT_COUNT;
+        self.sa_vc_rr = (self.sa_vc_rr + 1) % self.num_vcs.max(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::NullProbe;
+    use crate::packet::FlitKind;
+    use footprint_routing::{Dor, Footprint, NoCongestionInfo};
+    use footprint_topology::Direction;
+    use rand::SeedableRng;
+
+    fn flit_to(dest: u16, packet: u64) -> Flit {
+        Flit {
+            packet: PacketId(packet),
+            kind: FlitKind::Single,
+            src: NodeId(0),
+            dest: NodeId(dest),
+            seq: 0,
+            size: 1,
+            birth: 0,
+            class: 0,
+            vc: 0,
+        }
+    }
+
+    fn setup() -> (Router, Mesh, SmallRng, Metrics, NullProbe) {
+        (
+            Router::new(NodeId(0), 4, 4, 2),
+            Mesh::square(4),
+            SmallRng::seed_from_u64(9),
+            Metrics::new(),
+            NullProbe,
+        )
+    }
+
+    #[test]
+    fn dor_head_gets_granted_and_traverses() {
+        let (mut r, mesh, mut rng, mut m, mut probe) = setup();
+        // Head arrives on the local input VC 0, destined to n3 (east).
+        r.inputs_mut()[Port::Local.index()]
+            .vc_mut(0)
+            .push(flit_to(3, 1));
+        r.vc_allocate(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut m, &mut probe);
+        let east = Port::Dir(Direction::East).index();
+        // Granted: one of East's VCs is now active.
+        assert!(matches!(
+            r.inputs()[Port::Local.index()].vc(0).route(),
+            RouteState::Active { .. }
+        ));
+        let mut freed = Vec::new();
+        r.switch_allocate(Dor.policy(), 2, &mut freed);
+        assert_eq!(freed.len(), 1);
+        assert_eq!(freed[0].in_port, Port::Local.index());
+        // Flit staged at the east output.
+        let f = r.launch(east).expect("flit staged");
+        assert_eq!(f.dest, NodeId(3));
+        assert_eq!(m.va_blocks, 0);
+    }
+
+    #[test]
+    fn exhausted_outputs_block_and_are_accounted() {
+        let (mut r, mesh, mut rng, mut m, mut probe) = setup();
+        let east = Port::Dir(Direction::East).index();
+        // Saturate all 4 east VCs with other-destination packets.
+        for v in 0..4 {
+            r.outputs_mut()[east]
+                .vc_mut(v)
+                .allocate(PacketId(100 + v as u64), NodeId(1));
+        }
+        r.inputs_mut()[Port::Local.index()]
+            .vc_mut(0)
+            .push(flit_to(3, 1));
+        r.vc_allocate(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut m, &mut probe);
+        assert!(r.inputs()[Port::Local.index()].vc(0).waiting());
+        assert_eq!(m.va_blocks, 1);
+        assert_eq!(m.purity_events, 1);
+        assert!((m.mean_purity() - 0.0).abs() < 1e-12, "no footprints");
+    }
+
+    #[test]
+    fn footprint_join_grants_draining_vc_to_same_destination() {
+        let (mut r, mesh, mut rng, mut m, mut probe) = setup();
+        let algo = Footprint::new().with_join();
+        let east = Port::Dir(Direction::East).index();
+        // All adaptive east VCs busy; VC1 is draining traffic to n3.
+        for v in 1..4 {
+            r.outputs_mut()[east]
+                .vc_mut(v)
+                .allocate(PacketId(100 + v as u64), if v == 1 { NodeId(3) } else { NodeId(1) });
+            r.outputs_mut()[east].vc_mut(v).consume_credit();
+            if v == 1 {
+                r.outputs_mut()[east].vc_mut(v).tail_sent(algo.policy());
+            }
+        }
+        r.inputs_mut()[Port::Local.index()]
+            .vc_mut(1)
+            .push(flit_to(3, 1));
+        r.vc_allocate(&algo, mesh, &NoCongestionInfo, &mut rng, &mut m, &mut probe);
+        // Granted via join onto VC1 (the footprint VC).
+        match r.inputs()[Port::Local.index()].vc(1).route() {
+            RouteState::Active { out_vc, out_port, .. } => {
+                assert_eq!(out_vc, 1);
+                assert_eq!(out_port, Port::Dir(Direction::East));
+            }
+            s => panic!("expected grant, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn dbar_cannot_reuse_draining_vc() {
+        let (mut r, mesh, mut rng, mut m, mut probe) = setup();
+        let algo = footprint_routing::Dbar;
+        let east = Port::Dir(Direction::East).index();
+        let north = Port::Dir(Direction::North).index();
+        for port in [east, north] {
+            for v in 1..4 {
+                r.outputs_mut()[port]
+                    .vc_mut(v)
+                    .allocate(PacketId(100 + (port * 4 + v) as u64), NodeId(3));
+                r.outputs_mut()[port].vc_mut(v).consume_credit();
+                r.outputs_mut()[port].vc_mut(v).tail_sent(algo.policy());
+            }
+        }
+        // Also block the escape VC on the DOR port (east).
+        r.outputs_mut()[east].vc_mut(0).allocate(PacketId(99), NodeId(1));
+        r.inputs_mut()[Port::Local.index()]
+            .vc_mut(1)
+            .push(flit_to(3, 1));
+        r.vc_allocate(&algo, mesh, &NoCongestionInfo, &mut rng, &mut m, &mut probe);
+        // DBAR has no footprint joins: the packet stays blocked even though
+        // draining VCs to its destination exist.
+        assert!(r.inputs()[Port::Local.index()].vc(1).waiting());
+        assert_eq!(m.va_blocks, 1);
+        // Purity: all busy VCs at east + escape... footprint share is high
+        // but DBAR cannot exploit it.
+        assert!(m.mean_purity() > 0.5);
+    }
+
+    #[test]
+    fn speedup_limits_switch_grants_per_port() {
+        let (mut r, mesh, mut rng, mut m, mut probe) = setup();
+        // Three packets from three different input ports all heading east.
+        let dests = 3u16;
+        for (ip, pkt) in [(Port::Local.index(), 1u64), (2, 2), (3, 3)] {
+            let mut f = flit_to(dests, pkt);
+            f.vc = 1;
+            r.inputs_mut()[ip].vc_mut(1).push(f);
+        }
+        r.vc_allocate(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut m, &mut probe);
+        let mut freed = Vec::new();
+        r.switch_allocate(Dor.policy(), 2, &mut freed);
+        // Only 2 can cross to the east output this cycle (speedup 2).
+        assert_eq!(freed.len(), 2);
+        let east = Port::Dir(Direction::East).index();
+        assert_eq!(r.outputs()[east].staged(), 2);
+    }
+
+    #[test]
+    fn switch_respects_credits() {
+        let (mut r, mesh, mut rng, mut m, mut probe) = setup();
+        let east = Port::Dir(Direction::East).index();
+        // Put a granted packet on local VC0 → east VC1 with zero credits.
+        r.inputs_mut()[Port::Local.index()]
+            .vc_mut(0)
+            .push(flit_to(3, 1));
+        r.vc_allocate(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut m, &mut probe);
+        let RouteState::Active { out_vc, .. } = r.inputs()[Port::Local.index()].vc(0).route()
+        else {
+            panic!("expected grant");
+        };
+        for _ in 0..4 {
+            r.outputs_mut()[east].vc_mut(out_vc as usize).consume_credit();
+        }
+        let mut freed = Vec::new();
+        r.switch_allocate(Dor.policy(), 2, &mut freed);
+        assert!(freed.is_empty(), "no credits, no traversal");
+    }
+
+    #[test]
+    fn quiescence_detects_outstanding_state() {
+        let (mut r, _mesh, _rng, _m, _probe) = setup();
+        assert!(r.is_quiescent());
+        r.inputs_mut()[0].vc_mut(0).push(flit_to(3, 1));
+        assert!(!r.is_quiescent());
+    }
+}

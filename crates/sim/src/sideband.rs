@@ -1,0 +1,115 @@
+//! The congestion side-band network consumed by DBAR's selection function.
+
+use crate::router::Router;
+use footprint_routing::CongestionView;
+use footprint_topology::{Direction, Mesh, NodeId, Port, DIRECTIONS};
+
+/// Per-channel congestion bits, recomputed every cycle from downstream
+/// input-buffer occupancy (occupied VCs at or above the threshold — V/2 in
+/// the paper's methodology).
+///
+/// This models DBAR's dimension-propagated occupancy information with a
+/// one-cycle-old global view, which is the fidelity level the Footprint
+/// paper's comparison needs.
+#[derive(Debug, Clone)]
+pub struct Sideband {
+    bits: Vec<[bool; 4]>,
+    threshold: usize,
+}
+
+impl Sideband {
+    /// Creates a side band for `nodes` routers with the given occupancy
+    /// `threshold` (number of occupied VCs that marks a channel congested).
+    pub fn new(nodes: usize, threshold: usize) -> Self {
+        Sideband {
+            bits: vec![[false; 4]; nodes],
+            threshold: threshold.max(1),
+        }
+    }
+
+    /// The congestion threshold in occupied VCs.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Recomputes every congestion bit from current router state.
+    pub fn update(&mut self, mesh: Mesh, routers: &[Router]) {
+        for node in mesh.nodes() {
+            for (di, dir) in DIRECTIONS.into_iter().enumerate() {
+                let congested = match mesh.neighbor(node, dir) {
+                    Some(nb) => {
+                        let in_port = Port::Dir(dir.opposite()).index();
+                        routers[nb.index()].inputs()[in_port].occupied_vcs() >= self.threshold
+                    }
+                    None => false,
+                };
+                self.bits[node.index()][di] = congested;
+            }
+        }
+    }
+
+    fn dir_index(dir: Direction) -> usize {
+        DIRECTIONS
+            .iter()
+            .position(|&d| d == dir)
+            .expect("direction in table")
+    }
+}
+
+impl CongestionView for Sideband {
+    fn channel_congested(&self, node: NodeId, dir: Direction) -> bool {
+        self.bits[node.index()][Self::dir_index(dir)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Flit, FlitKind, PacketId};
+
+    fn flit(dest: u16, vc: u8) -> Flit {
+        Flit {
+            packet: PacketId(1),
+            kind: FlitKind::Single,
+            src: NodeId(0),
+            dest: NodeId(dest),
+            seq: 0,
+            size: 1,
+            birth: 0,
+            class: 0,
+            vc,
+        }
+    }
+
+    #[test]
+    fn congestion_bit_tracks_downstream_occupancy() {
+        let mesh = Mesh::square(4);
+        let mut routers: Vec<Router> = mesh.nodes().map(|n| Router::new(n, 4, 4, 2)).collect();
+        let mut sb = Sideband::new(mesh.len(), 2);
+        sb.update(mesh, &routers);
+        assert!(!sb.channel_congested(NodeId(0), Direction::East));
+        // Fill two VCs of n1's west input (fed by n0's east output).
+        let west = Port::Dir(Direction::West).index();
+        routers[1].inputs_mut()[west].vc_mut(0).push(flit(3, 0));
+        routers[1].inputs_mut()[west].vc_mut(1).push(flit(3, 1));
+        sb.update(mesh, &routers);
+        assert!(sb.channel_congested(NodeId(0), Direction::East));
+        assert!(!sb.channel_congested(NodeId(1), Direction::East));
+    }
+
+    #[test]
+    fn mesh_edges_never_congested() {
+        let mesh = Mesh::square(4);
+        let routers: Vec<Router> = mesh.nodes().map(|n| Router::new(n, 4, 4, 2)).collect();
+        let mut sb = Sideband::new(mesh.len(), 1);
+        sb.update(mesh, &routers);
+        assert!(!sb.channel_congested(NodeId(0), Direction::West));
+        assert!(!sb.channel_congested(NodeId(0), Direction::South));
+    }
+
+    #[test]
+    fn threshold_is_at_least_one() {
+        let sb = Sideband::new(4, 0);
+        assert_eq!(sb.threshold(), 1);
+    }
+}

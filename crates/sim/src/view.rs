@@ -1,0 +1,119 @@
+//! [`PortStateView`] implementations over live simulator state.
+
+use crate::output::{OutVc, OutVcState, OutputPort};
+use footprint_routing::{PortStateView, VcId, VcReallocationPolicy, VcView};
+use footprint_topology::Port;
+
+fn view_of(vc: &OutVc, policy: VcReallocationPolicy) -> VcView {
+    VcView {
+        idle: vc.idle_for(policy),
+        owner: vc.owner(),
+        credits: vc.credits(),
+        joinable: vc.state() == OutVcState::Draining && vc.credits() > 0,
+    }
+}
+
+/// View over a router's five output ports.
+pub struct RouterOutputsView<'a> {
+    ports: &'a [OutputPort],
+    policy: VcReallocationPolicy,
+    num_vcs: usize,
+}
+
+impl<'a> RouterOutputsView<'a> {
+    /// Wraps the output-port array of one router.
+    pub fn new(ports: &'a [OutputPort], policy: VcReallocationPolicy, num_vcs: usize) -> Self {
+        RouterOutputsView {
+            ports,
+            policy,
+            num_vcs,
+        }
+    }
+}
+
+impl PortStateView for RouterOutputsView<'_> {
+    fn num_vcs(&self) -> usize {
+        self.num_vcs
+    }
+
+    fn vc(&self, port: Port, vc: VcId) -> VcView {
+        view_of(self.ports[port.index()].vc(vc.index()), self.policy)
+    }
+}
+
+/// View over a source's injection channel (only [`Port::Local`] is valid).
+pub struct InjectionView<'a> {
+    vcs: &'a [OutVc],
+    policy: VcReallocationPolicy,
+}
+
+impl<'a> InjectionView<'a> {
+    /// Wraps a source's output-VC array.
+    pub fn new(vcs: &'a [OutVc], policy: VcReallocationPolicy) -> Self {
+        InjectionView { vcs, policy }
+    }
+}
+
+impl PortStateView for InjectionView<'_> {
+    fn num_vcs(&self) -> usize {
+        self.vcs.len()
+    }
+
+    fn vc(&self, port: Port, vc: VcId) -> VcView {
+        assert_eq!(port, Port::Local, "injection view has only the local port");
+        view_of(&self.vcs[vc.index()], self.policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketId;
+    use footprint_topology::{Direction, NodeId};
+
+    #[test]
+    fn router_view_reflects_vc_state() {
+        let mut ports: Vec<OutputPort> = (0..5).map(|_| OutputPort::new(2, 4, 2)).collect();
+        ports[1].vc_mut(1).allocate(PacketId(1), NodeId(9));
+        ports[1].vc_mut(1).consume_credit();
+        let view = RouterOutputsView::new(&ports, VcReallocationPolicy::Atomic, 2);
+        let v = view.vc(Port::Dir(Direction::East), VcId(1));
+        assert!(!v.idle);
+        assert_eq!(v.owner, Some(NodeId(9)));
+        assert_eq!(v.credits, 3);
+        assert!(!v.joinable, "active, not draining");
+        let free = view.vc(Port::Dir(Direction::East), VcId(0));
+        assert!(free.idle);
+        assert_eq!(view.num_vcs(), 2);
+    }
+
+    #[test]
+    fn draining_vc_is_joinable_in_view() {
+        let mut ports: Vec<OutputPort> = (0..5).map(|_| OutputPort::new(2, 4, 2)).collect();
+        let vc = ports[2].vc_mut(1);
+        vc.allocate(PacketId(1), NodeId(9));
+        vc.consume_credit();
+        vc.tail_sent(VcReallocationPolicy::Atomic);
+        let view = RouterOutputsView::new(&ports, VcReallocationPolicy::Atomic, 2);
+        let v = view.vc(Port::Dir(Direction::West), VcId(1));
+        assert!(v.joinable);
+        assert!(!v.idle);
+        assert!(v.is_footprint_for(NodeId(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "only the local port")]
+    fn injection_view_rejects_direction_ports() {
+        let vcs = vec![OutVc::new(4)];
+        let view = InjectionView::new(&vcs, VcReallocationPolicy::Atomic);
+        let _ = view.vc(Port::Dir(Direction::East), VcId(0));
+    }
+
+    #[test]
+    fn injection_view_reads_local_port() {
+        let vcs = vec![OutVc::new(4), OutVc::new(4)];
+        let view = InjectionView::new(&vcs, VcReallocationPolicy::NonAtomic);
+        assert!(view.vc(Port::Local, VcId(1)).idle);
+        assert_eq!(view.num_vcs(), 2);
+    }
+}

@@ -1,0 +1,196 @@
+//! The workload abstraction: what each endpoint injects, cycle by cycle.
+
+use crate::packet::NewPacket;
+use footprint_topology::NodeId;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A traffic workload: invoked once per endpoint per cycle; may generate at
+/// most one packet per call (injection rates are expressed in flits per
+/// node per cycle, so rates up to 1.0 fit this contract for single-flit
+/// packets; multi-flit packets lower the packet rate accordingly).
+///
+/// The `footprint-traffic` crate provides the paper's synthetic patterns
+/// and workloads behind this trait (via the adapter in `footprint-core`);
+/// the implementations here are minimal fixtures for tests and examples.
+pub trait Workload {
+    /// Possibly generates a packet at `node` on `cycle`.
+    fn generate(&mut self, node: NodeId, cycle: u64, rng: &mut SmallRng) -> Option<NewPacket>;
+}
+
+/// A workload that never injects — useful for drain phases and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoTraffic;
+
+impl Workload for NoTraffic {
+    fn generate(&mut self, _node: NodeId, _cycle: u64, _rng: &mut SmallRng) -> Option<NewPacket> {
+        None
+    }
+}
+
+/// A single Bernoulli flow `src → dest` at a fixed flit rate (test fixture).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SingleFlow {
+    /// Source endpoint.
+    pub src: NodeId,
+    /// Destination endpoint.
+    pub dest: NodeId,
+    /// Offered load in flits per cycle.
+    pub rate: f64,
+    /// Packet size in flits.
+    pub size: u16,
+}
+
+impl Workload for SingleFlow {
+    fn generate(&mut self, node: NodeId, _cycle: u64, rng: &mut SmallRng) -> Option<NewPacket> {
+        if node != self.src {
+            return None;
+        }
+        let packet_rate = self.rate / self.size as f64;
+        if rng.gen_bool(packet_rate.min(1.0)) {
+            Some(NewPacket {
+                dest: self.dest,
+                size: self.size,
+                class: 0,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// A fixed list of Bernoulli flows (test fixture; the full-featured version
+/// lives in `footprint-traffic`).
+#[derive(Debug, Clone, Default)]
+pub struct FlowSet {
+    flows: Vec<SingleFlow>,
+}
+
+impl FlowSet {
+    /// Creates a workload from explicit flows.
+    pub fn new(flows: Vec<SingleFlow>) -> Self {
+        FlowSet { flows }
+    }
+}
+
+impl Workload for FlowSet {
+    fn generate(&mut self, node: NodeId, cycle: u64, rng: &mut SmallRng) -> Option<NewPacket> {
+        // At most one packet per node per cycle: first firing flow wins.
+        for f in &mut self.flows {
+            if f.src == node {
+                if let Some(p) = f.generate(node, cycle, rng) {
+                    return Some(p);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Applies a workload only during a cycle window (e.g. to stop injection in
+/// a drain phase while keeping the same workload object).
+#[derive(Debug, Clone)]
+pub struct Windowed<W> {
+    inner: W,
+    until: u64,
+}
+
+impl<W: Workload> Windowed<W> {
+    /// Wraps `inner`, active for cycles `< until`.
+    pub fn new(inner: W, until: u64) -> Self {
+        Windowed { inner, until }
+    }
+}
+
+impl<W: Workload> Workload for Windowed<W> {
+    fn generate(&mut self, node: NodeId, cycle: u64, rng: &mut SmallRng) -> Option<NewPacket> {
+        if cycle < self.until {
+            self.inner.generate(node, cycle, rng)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_traffic_generates_nothing() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(NoTraffic.generate(NodeId(0), 0, &mut rng).is_none());
+    }
+
+    #[test]
+    fn single_flow_only_fires_at_source() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut f = SingleFlow {
+            src: NodeId(1),
+            dest: NodeId(2),
+            rate: 1.0,
+            size: 1,
+        };
+        assert!(f.generate(NodeId(0), 0, &mut rng).is_none());
+        let p = f.generate(NodeId(1), 0, &mut rng).unwrap();
+        assert_eq!(p.dest, NodeId(2));
+        assert_eq!(p.size, 1);
+    }
+
+    #[test]
+    fn rate_scales_with_packet_size() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut f = SingleFlow {
+            src: NodeId(0),
+            dest: NodeId(1),
+            rate: 0.6,
+            size: 3,
+        };
+        let mut packets = 0;
+        let n = 30_000;
+        for c in 0..n {
+            if f.generate(NodeId(0), c, &mut rng).is_some() {
+                packets += 1;
+            }
+        }
+        let flit_rate = packets as f64 * 3.0 / n as f64;
+        assert!((flit_rate - 0.6).abs() < 0.03, "flit rate {flit_rate}");
+    }
+
+    #[test]
+    fn windowed_stops_after_deadline() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let f = SingleFlow {
+            src: NodeId(0),
+            dest: NodeId(1),
+            rate: 1.0,
+            size: 1,
+        };
+        let mut w = Windowed::new(f, 5);
+        assert!(w.generate(NodeId(0), 4, &mut rng).is_some());
+        assert!(w.generate(NodeId(0), 5, &mut rng).is_none());
+    }
+
+    #[test]
+    fn flow_set_dispatches_by_source() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut fs = FlowSet::new(vec![
+            SingleFlow {
+                src: NodeId(0),
+                dest: NodeId(3),
+                rate: 1.0,
+                size: 1,
+            },
+            SingleFlow {
+                src: NodeId(1),
+                dest: NodeId(4),
+                rate: 1.0,
+                size: 1,
+            },
+        ]);
+        assert_eq!(fs.generate(NodeId(0), 0, &mut rng).unwrap().dest, NodeId(3));
+        assert_eq!(fs.generate(NodeId(1), 0, &mut rng).unwrap().dest, NodeId(4));
+        assert!(fs.generate(NodeId(2), 0, &mut rng).is_none());
+    }
+}

@@ -1,0 +1,180 @@
+//! Congestion-tree extraction and branch-thickness analysis (the paper's
+//! §1/§2 metric: the number of VCs contributing to one destination's
+//! congestion tree).
+
+use footprint_sim::OccupiedVcEntry;
+use footprint_topology::NodeId;
+use std::collections::BTreeMap;
+
+/// The congestion tree of a single destination: all buffered VCs holding at
+/// least one flit to that destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CongestionTree {
+    /// The tree's root destination.
+    pub dest: NodeId,
+    /// Number of distinct physical channels (router input ports) involved —
+    /// the *branches* of the tree.
+    pub links: usize,
+    /// Number of VCs involved — branches × thickness.
+    pub vcs: usize,
+    /// Flits buffered for this destination.
+    pub flits: usize,
+}
+
+impl CongestionTree {
+    /// Mean branch thickness in VCs per link (the paper's thin-vs-thick
+    /// branch measure). 0 for an empty tree.
+    pub fn thickness(&self) -> f64 {
+        if self.links == 0 {
+            0.0
+        } else {
+            self.vcs as f64 / self.links as f64
+        }
+    }
+}
+
+/// Analysis over a full occupancy snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct TreeAnalysis {
+    trees: BTreeMap<u16, CongestionTree>,
+    /// Total occupied VCs in the snapshot (any destination).
+    pub occupied_vcs: usize,
+}
+
+impl TreeAnalysis {
+    /// Builds per-destination congestion trees from an occupancy snapshot.
+    pub fn from_snapshot(snapshot: &[OccupiedVcEntry]) -> Self {
+        let mut trees: BTreeMap<u16, CongestionTree> = BTreeMap::new();
+        // (dest, node, port) triples already seen, to count links once.
+        let mut seen_links = std::collections::BTreeSet::new();
+        let mut occupied = 0;
+        for e in snapshot {
+            occupied += 1;
+            let mut per_entry: BTreeMap<u16, usize> = BTreeMap::new();
+            for d in &e.dests {
+                *per_entry.entry(d.0).or_insert(0) += 1;
+            }
+            for (dest, flits) in per_entry {
+                let t = trees.entry(dest).or_insert(CongestionTree {
+                    dest: NodeId(dest),
+                    links: 0,
+                    vcs: 0,
+                    flits: 0,
+                });
+                t.vcs += 1;
+                t.flits += flits;
+                if seen_links.insert((dest, e.node.0, e.in_port.index() as u8)) {
+                    t.links += 1;
+                }
+            }
+        }
+        TreeAnalysis {
+            trees,
+            occupied_vcs: occupied,
+        }
+    }
+
+    /// The tree rooted at `dest`, if any traffic to it is buffered.
+    pub fn tree(&self, dest: NodeId) -> Option<&CongestionTree> {
+        self.trees.get(&dest.0)
+    }
+
+    /// All trees, largest (by VCs) first.
+    pub fn trees_by_size(&self) -> Vec<&CongestionTree> {
+        let mut v: Vec<_> = self.trees.values().collect();
+        v.sort_by(|a, b| b.vcs.cmp(&a.vcs).then(a.dest.cmp(&b.dest)));
+        v
+    }
+
+    /// The largest tree.
+    pub fn largest(&self) -> Option<&CongestionTree> {
+        self.trees_by_size().into_iter().next()
+    }
+
+    /// Number of distinct destination trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use footprint_topology::{Direction, Port};
+
+    fn entry(node: u16, port: Port, vc: u8, dests: &[u16]) -> OccupiedVcEntry {
+        OccupiedVcEntry {
+            node: NodeId(node),
+            in_port: port,
+            vc,
+            dests: dests.iter().map(|&d| NodeId(d)).collect(),
+        }
+    }
+
+    #[test]
+    fn thick_branch_counts_vcs_per_link() {
+        // One link (n1, West) with 3 VCs to dest 13 → thickness 3.
+        let west = Port::Dir(Direction::West);
+        let snap = vec![
+            entry(1, west, 0, &[13]),
+            entry(1, west, 1, &[13, 13]),
+            entry(1, west, 2, &[13]),
+        ];
+        let a = TreeAnalysis::from_snapshot(&snap);
+        let t = a.tree(NodeId(13)).unwrap();
+        assert_eq!(t.links, 1);
+        assert_eq!(t.vcs, 3);
+        assert_eq!(t.flits, 4);
+        assert!((t.thickness() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thin_branches_across_links() {
+        // Three links, one VC each → thickness 1.
+        let snap = vec![
+            entry(1, Port::Dir(Direction::West), 0, &[13]),
+            entry(2, Port::Dir(Direction::West), 1, &[13]),
+            entry(3, Port::Dir(Direction::South), 2, &[13]),
+        ];
+        let a = TreeAnalysis::from_snapshot(&snap);
+        let t = a.tree(NodeId(13)).unwrap();
+        assert_eq!(t.links, 3);
+        assert_eq!(t.vcs, 3);
+        assert!((t.thickness() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_destinations_split_into_trees() {
+        let snap = vec![
+            entry(1, Port::Dir(Direction::West), 0, &[13, 10]),
+            entry(1, Port::Dir(Direction::West), 1, &[10]),
+        ];
+        let a = TreeAnalysis::from_snapshot(&snap);
+        assert_eq!(a.tree_count(), 2);
+        assert_eq!(a.tree(NodeId(13)).unwrap().vcs, 1);
+        assert_eq!(a.tree(NodeId(10)).unwrap().vcs, 2);
+        assert_eq!(a.largest().unwrap().dest, NodeId(10));
+        assert_eq!(a.occupied_vcs, 2);
+    }
+
+    #[test]
+    fn empty_snapshot_has_no_trees() {
+        let a = TreeAnalysis::from_snapshot(&[]);
+        assert_eq!(a.tree_count(), 0);
+        assert!(a.largest().is_none());
+        assert_eq!(a.occupied_vcs, 0);
+    }
+
+    #[test]
+    fn trees_by_size_orders_descending() {
+        let snap = vec![
+            entry(1, Port::Dir(Direction::West), 0, &[5]),
+            entry(2, Port::Dir(Direction::West), 0, &[9]),
+            entry(2, Port::Dir(Direction::West), 1, &[9]),
+        ];
+        let a = TreeAnalysis::from_snapshot(&snap);
+        let ordered = a.trees_by_size();
+        assert_eq!(ordered[0].dest, NodeId(9));
+        assert_eq!(ordered[1].dest, NodeId(5));
+    }
+}

@@ -1,0 +1,260 @@
+//! Streaming latency statistics and histograms.
+
+use core::fmt;
+
+/// Streaming mean/variance/min/max over `u64` samples (Welford's method).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: u64,
+    max: u64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: u64) {
+        self.n += 1;
+        let xf = x as f64;
+        let d = xf - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (xf - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let d = other.mean - self.mean;
+        self.m2 += other.m2 + d * d * (self.n as f64 * other.n as f64) / n as f64;
+        self.mean += d * other.n as f64 / n as f64;
+        self.n = n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for OnlineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} sd={:.2} min={} max={}",
+            self.n,
+            self.mean(),
+            self.stddev(),
+            self.min().unwrap_or(0),
+            self.max().unwrap_or(0)
+        )
+    }
+}
+
+/// A fixed-width latency histogram with an overflow bucket, for latency
+/// distribution reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bucket_width: u64,
+    buckets: Vec<u64>,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets of `bucket_width` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn new(bucket_width: u64, buckets: usize) -> Self {
+        assert!(bucket_width > 0 && buckets > 0, "empty histogram shape");
+        Histogram {
+            bucket_width,
+            buckets: vec![0; buckets],
+            overflow: 0,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: u64) {
+        let idx = (x / self.bucket_width) as usize;
+        match self.buckets.get_mut(idx) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Count in bucket `i` (samples in `[i*w, (i+1)*w)`).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Samples beyond the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.overflow
+    }
+
+    /// Latency below which `q` of the samples fall (`q` in `[0,1]`),
+    /// resolved to bucket granularity. `None` when empty or when the
+    /// quantile lands in the overflow bucket.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            acc += b;
+            if acc >= target {
+                return Some((i as u64 + 1) * self.bucket_width);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basics() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        for x in [2u64, 4, 6] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 4.0).abs() < 1e-12);
+        assert!((s.variance() - 8.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2));
+        assert_eq!(s.max(), Some(6));
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let xs: Vec<u64> = (0..50).map(|i| (i * 13) % 97).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..20] {
+            a.push(x);
+        }
+        for &x in &xs[20..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(5);
+        let before = a.clone();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(10, 3);
+        for x in [0u64, 9, 10, 29, 30, 1000] {
+            h.push(x);
+        }
+        assert_eq!(h.bucket(0), 2);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(2), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(10, 10);
+        for x in 0..100u64 {
+            h.push(x);
+        }
+        assert_eq!(h.quantile(0.5), Some(50));
+        assert_eq!(h.quantile(1.0), Some(100));
+        let empty = Histogram::new(10, 10);
+        assert_eq!(empty.quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram shape")]
+    fn zero_width_panics() {
+        let _ = Histogram::new(0, 4);
+    }
+}

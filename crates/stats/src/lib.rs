@@ -1,0 +1,42 @@
+//! Measurement and analysis for the Footprint NoC reproduction.
+//!
+//! * [`OnlineStats`] / [`Histogram`] — streaming latency statistics.
+//! * [`Curve`] — latency-throughput curves with the conventional
+//!   3×-zero-load saturation-throughput extraction used by Figures 5–8.
+//! * [`TreeAnalysis`] — congestion-tree extraction from simulator
+//!   occupancy snapshots: branch count and VC thickness per destination
+//!   (the paper's thin-vs-thick branch measure, Figure 2).
+//! * [`PurityProbe`] — blocking purity and HoL-blocking degree over tracked
+//!   packets (§4.3, Figure 10(b)/(c)).
+//! * [`Table`] — plain-text table rendering for the experiment binaries.
+//!
+//! # Example
+//!
+//! ```
+//! use footprint_stats::{Curve, SweepPoint};
+//!
+//! let mut curve = Curve::new("footprint");
+//! for (o, a, l) in [(0.1, 0.1, 20.0), (0.3, 0.3, 35.0), (0.5, 0.42, 300.0)] {
+//!     curve.push(SweepPoint { offered: o, accepted: a, latency: l });
+//! }
+//! let sat = curve.saturation_throughput(3.0).unwrap();
+//! assert!(sat > 0.3 && sat < 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+mod congestion_tree;
+mod latency;
+mod probes;
+mod purity;
+mod sweep;
+pub mod table;
+mod timeline;
+
+pub use congestion_tree::{CongestionTree, TreeAnalysis};
+pub use latency::{Histogram, OnlineStats};
+pub use probes::{load_balance, LatencyHistogramProbe, LoadBalance};
+pub use purity::PurityProbe;
+pub use sweep::{Curve, SweepPoint};
+pub use timeline::{TreeSample, TreeTimeline};
+pub use table::Table;

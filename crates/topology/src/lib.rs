@@ -1,0 +1,38 @@
+//! 2D mesh topology substrate for the Footprint NoC reproduction.
+//!
+//! The paper ("Footprint: Regulating Routing Adaptiveness in Networks-on-Chip",
+//! ISCA 2017) evaluates exclusively on 2D meshes (4×4, 8×8 and 16×16), so this
+//! crate provides a small, allocation-free model of a `width × height` mesh:
+//!
+//! * [`NodeId`] — a dense node index in row-major order (`id = y * width + x`),
+//!   matching the node numbering used throughout the paper (e.g. the hotspot
+//!   flows of Table 3 on the 8×8 mesh).
+//! * [`Coord`] — an `(x, y)` coordinate pair.
+//! * [`Direction`] — one of the four mesh directions.
+//! * [`Port`] — a router port: the four directions plus the local
+//!   injection/ejection port.
+//! * [`Mesh`] — the topology itself, with neighbor lookup, minimal-direction
+//!   computation and channel enumeration.
+//!
+//! # Example
+//!
+//! ```
+//! use footprint_topology::{Mesh, NodeId, Direction};
+//!
+//! let mesh = Mesh::square(8);
+//! let n = NodeId(13); // (5, 1) on an 8-wide mesh
+//! assert_eq!(mesh.coord(n).x, 5);
+//! assert_eq!(mesh.coord(n).y, 1);
+//! assert_eq!(mesh.neighbor(n, Direction::East), Some(NodeId(14)));
+//! assert_eq!(mesh.hops(NodeId(0), NodeId(63)), 14);
+//! ```
+
+#![warn(missing_docs)]
+
+mod coord;
+mod mesh;
+mod port;
+
+pub use coord::{Coord, NodeId};
+pub use mesh::{Channel, Mesh, MinimalDirs};
+pub use port::{Direction, Port, DIRECTIONS, PORTS, PORT_COUNT};

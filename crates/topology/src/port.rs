@@ -1,0 +1,205 @@
+//! Router ports and mesh directions.
+
+use core::fmt;
+
+/// Number of ports on a mesh router: the four directions plus the local
+/// injection/ejection port.
+pub const PORT_COUNT: usize = 5;
+
+/// The four mesh directions. `East` is `+x`, `North` is `+y`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Direction {
+    /// `+x`
+    East,
+    /// `-x`
+    West,
+    /// `+y`
+    North,
+    /// `-y`
+    South,
+}
+
+/// All four directions, in a fixed order convenient for iteration.
+pub const DIRECTIONS: [Direction; 4] = [
+    Direction::East,
+    Direction::West,
+    Direction::North,
+    Direction::South,
+];
+
+impl Direction {
+    /// The opposite direction — the input port on the downstream router that
+    /// a flit sent out of this direction's output port arrives on.
+    ///
+    /// ```
+    /// use footprint_topology::Direction;
+    /// assert_eq!(Direction::East.opposite(), Direction::West);
+    /// assert_eq!(Direction::North.opposite(), Direction::South);
+    /// ```
+    #[inline]
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+        }
+    }
+
+    /// The coordinate delta `(dx, dy)` of a single hop in this direction.
+    #[inline]
+    pub fn delta(self) -> (i32, i32) {
+        match self {
+            Direction::East => (1, 0),
+            Direction::West => (-1, 0),
+            Direction::North => (0, 1),
+            Direction::South => (0, -1),
+        }
+    }
+
+    /// `true` if this direction moves along the X dimension.
+    #[inline]
+    pub fn is_x(self) -> bool {
+        matches!(self, Direction::East | Direction::West)
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::East => "E",
+            Direction::West => "W",
+            Direction::North => "N",
+            Direction::South => "S",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A router port: either the local injection/ejection port or one of the four
+/// direction ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Port {
+    /// The injection/ejection port that connects the router to its endpoint.
+    Local,
+    /// A port facing one of the four mesh directions.
+    Dir(Direction),
+}
+
+/// All five ports, `Local` first, in index order.
+pub const PORTS: [Port; PORT_COUNT] = [
+    Port::Local,
+    Port::Dir(Direction::East),
+    Port::Dir(Direction::West),
+    Port::Dir(Direction::North),
+    Port::Dir(Direction::South),
+];
+
+impl Port {
+    /// A dense index in `0..PORT_COUNT` for table lookups.
+    ///
+    /// ```
+    /// use footprint_topology::{Port, PORTS};
+    /// for (i, p) in PORTS.iter().enumerate() {
+    ///     assert_eq!(p.index(), i);
+    ///     assert_eq!(Port::from_index(i), *p);
+    /// }
+    /// ```
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Port::Local => 0,
+            Port::Dir(Direction::East) => 1,
+            Port::Dir(Direction::West) => 2,
+            Port::Dir(Direction::North) => 3,
+            Port::Dir(Direction::South) => 4,
+        }
+    }
+
+    /// Inverse of [`Port::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= PORT_COUNT`.
+    #[inline]
+    pub fn from_index(i: usize) -> Port {
+        PORTS[i]
+    }
+
+    /// The direction of this port, or `None` for the local port.
+    #[inline]
+    pub fn direction(self) -> Option<Direction> {
+        match self {
+            Port::Local => None,
+            Port::Dir(d) => Some(d),
+        }
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Port::Local => f.write_str("L"),
+            Port::Dir(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl From<Direction> for Port {
+    fn from(d: Direction) -> Self {
+        Port::Dir(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_is_involutive() {
+        for d in DIRECTIONS {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+        }
+    }
+
+    #[test]
+    fn delta_and_opposite_cancel() {
+        for d in DIRECTIONS {
+            let (dx, dy) = d.delta();
+            let (ox, oy) = d.opposite().delta();
+            assert_eq!(dx + ox, 0);
+            assert_eq!(dy + oy, 0);
+        }
+    }
+
+    #[test]
+    fn port_index_roundtrip() {
+        for i in 0..PORT_COUNT {
+            assert_eq!(Port::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn local_port_has_no_direction() {
+        assert_eq!(Port::Local.direction(), None);
+        assert_eq!(
+            Port::Dir(Direction::East).direction(),
+            Some(Direction::East)
+        );
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Port::Local.to_string(), "L");
+        assert_eq!(Port::Dir(Direction::South).to_string(), "S");
+    }
+
+    #[test]
+    fn is_x_partitions_directions() {
+        assert!(Direction::East.is_x());
+        assert!(Direction::West.is_x());
+        assert!(!Direction::North.is_x());
+        assert!(!Direction::South.is_x());
+    }
+}

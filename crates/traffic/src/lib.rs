@@ -1,0 +1,60 @@
+//! Traffic generation for the Footprint NoC reproduction.
+//!
+//! Everything the paper's evaluation injects into the network:
+//!
+//! * [`patterns`] — the synthetic patterns of Figures 5–8 (uniform random,
+//!   transpose, shuffle) plus the classic extras, and the Figure 2
+//!   permutation example.
+//! * [`PacketSize`] — single-flit and 1–6-flit-uniform size mixes (Table 2).
+//! * [`SyntheticWorkload`] — Bernoulli injection over a pattern at an
+//!   offered load in flits/node/cycle.
+//! * [`hotspot`] — the Table 3 hotspot + background workload of Figure 9.
+//! * [`parsec`] — bursty per-application workloads standing in for the
+//!   PARSEC/Netrace traces of Figure 10 (see the module docs for the
+//!   substitution rationale).
+//! * [`trace`] — generic timestamped trace replay.
+//!
+//! # Example
+//!
+//! ```
+//! use footprint_traffic::{SyntheticWorkload, PacketSize, patterns::Transpose};
+//! use footprint_sim::{Network, SimConfig, Workload};
+//! use footprint_routing::RoutingSpec;
+//! use footprint_topology::Mesh;
+//!
+//! let cfg = SimConfig::small();
+//! let mut net = Network::new(cfg, RoutingSpec::Footprint.build(), 1)?;
+//! let mut wl = SyntheticWorkload::new(
+//!     cfg.mesh, Box::new(Transpose), PacketSize::SINGLE, 0.2,
+//! );
+//! net.run(&mut wl, 1000);
+//! assert!(net.metrics().total().ejected_packets > 0);
+//! # Ok::<(), footprint_sim::ConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hotspot;
+mod overlay;
+pub mod parsec;
+pub mod patterns;
+mod size;
+mod synthetic;
+pub mod trace;
+
+pub use hotspot::{paper_flows, Flow, HotspotWorkload, BACKGROUND_CLASS, HOTSPOT_CLASS};
+pub use overlay::Overlay;
+pub use parsec::{memory_controllers, App, AppProfile, ParsecPairWorkload, APPS};
+pub use patterns::{PatternSpec, Permutation, TrafficPattern};
+pub use size::PacketSize;
+pub use synthetic::SyntheticWorkload;
+pub use trace::{parse_trace, write_trace, ParseTraceError, TraceEvent, TraceWorkload};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A fixed-seed RNG used only for probing whether a node participates in a
+/// pattern (see [`TrafficPattern::active_fraction`]).
+pub(crate) fn pattern_probe_rng() -> SmallRng {
+    SmallRng::seed_from_u64(0xF00D)
+}

@@ -1,0 +1,122 @@
+//! Packet-size distributions (paper Table 2: single-flit baseline, and
+//! uniformly distributed 1–6 flit packets for §4.2.2).
+
+use core::fmt;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A packet-size distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketSize {
+    /// Every packet has exactly this many flits.
+    Fixed(u16),
+    /// Sizes drawn uniformly from `[lo, hi]` flits.
+    Uniform {
+        /// Smallest size (≥ 1).
+        lo: u16,
+        /// Largest size.
+        hi: u16,
+    },
+}
+
+impl PacketSize {
+    /// The paper's baseline: single-flit packets.
+    pub const SINGLE: PacketSize = PacketSize::Fixed(1);
+
+    /// The paper's variable-size configuration: 1–6 flits uniform.
+    pub const PAPER_VARIABLE: PacketSize = PacketSize::Uniform { lo: 1, hi: 6 };
+
+    /// Draws a size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid distribution (zero size or `lo > hi`).
+    pub fn sample(&self, rng: &mut SmallRng) -> u16 {
+        match *self {
+            PacketSize::Fixed(n) => {
+                assert!(n > 0, "zero-size packet");
+                n
+            }
+            PacketSize::Uniform { lo, hi } => {
+                assert!(lo > 0 && lo <= hi, "invalid uniform size range");
+                rng.gen_range(lo..=hi)
+            }
+        }
+    }
+
+    /// The mean size in flits — used to convert a flit injection rate into
+    /// a packet generation probability.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            PacketSize::Fixed(n) => n as f64,
+            PacketSize::Uniform { lo, hi } => (lo as f64 + hi as f64) / 2.0,
+        }
+    }
+}
+
+impl Default for PacketSize {
+    fn default() -> Self {
+        PacketSize::SINGLE
+    }
+}
+
+impl fmt::Display for PacketSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketSize::Fixed(n) => write!(f, "{n}-flit"),
+            PacketSize::Uniform { lo, hi } => write!(f, "{lo}..{hi}-flit uniform"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_always_returns_n() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(PacketSize::Fixed(3).sample(&mut rng), 3);
+        }
+        assert_eq!(PacketSize::Fixed(3).mean(), 3.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_centers() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let d = PacketSize::PAPER_VARIABLE;
+        let mut sum = 0u64;
+        let n = 60_000;
+        for _ in 0..n {
+            let s = d.sample(&mut rng);
+            assert!((1..=6).contains(&s));
+            sum += s as u64;
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - d.mean()).abs() < 0.05, "sampled mean {mean}");
+        assert_eq!(d.mean(), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-size packet")]
+    fn zero_fixed_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = PacketSize::Fixed(0).sample(&mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid uniform size range")]
+    fn inverted_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = PacketSize::Uniform { lo: 4, hi: 2 }.sample(&mut rng);
+    }
+
+    #[test]
+    fn default_is_single_flit() {
+        assert_eq!(PacketSize::default(), PacketSize::SINGLE);
+        assert_eq!(PacketSize::SINGLE.to_string(), "1-flit");
+        assert_eq!(PacketSize::PAPER_VARIABLE.to_string(), "1..6-flit uniform");
+    }
+}

@@ -1,0 +1,288 @@
+//! Timestamped trace replay.
+//!
+//! The paper replays PARSEC 2.0 traces produced by Netrace. Those traces
+//! are not redistributable here, so this module provides the replay
+//! *mechanism* (any `(cycle, src, dest, size)` event list), and
+//! [`crate::parsec`] provides synthetic per-application generators that
+//! stand in for the trace content.
+
+use footprint_sim::{NewPacket, Workload};
+use footprint_topology::NodeId;
+use rand::rngs::SmallRng;
+use std::collections::VecDeque;
+
+/// One trace event: a packet created at `cycle` on `src`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Creation cycle.
+    pub cycle: u64,
+    /// Source endpoint.
+    pub src: NodeId,
+    /// Destination endpoint.
+    pub dest: NodeId,
+    /// Size in flits.
+    pub size: u16,
+    /// Traffic class.
+    pub class: u8,
+}
+
+/// Replays a list of trace events as a [`Workload`].
+///
+/// Events whose cycle has passed are queued per source; each source injects
+/// at most one packet per cycle (excess events spill into later cycles,
+/// modeling a source-queue backlog exactly as a real trace-driven run
+/// would).
+#[derive(Debug)]
+pub struct TraceWorkload {
+    events: VecDeque<TraceEvent>,
+    pending: Vec<VecDeque<NewPacket>>,
+    absorbed_through: Option<u64>,
+}
+
+impl TraceWorkload {
+    /// Builds a replay over `events` for a network of `nodes` endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are not sorted by cycle or reference out-of-range
+    /// nodes.
+    pub fn new(nodes: usize, events: Vec<TraceEvent>) -> Self {
+        for w in events.windows(2) {
+            assert!(w[0].cycle <= w[1].cycle, "trace events must be sorted");
+        }
+        for e in &events {
+            assert!(e.src.index() < nodes, "trace source out of range");
+            assert!(e.dest.index() < nodes, "trace dest out of range");
+            assert!(e.size > 0, "zero-size trace packet");
+        }
+        TraceWorkload {
+            events: events.into(),
+            pending: (0..nodes).map(|_| VecDeque::new()).collect(),
+            absorbed_through: None,
+        }
+    }
+
+    /// Events not yet injected (pending + future).
+    pub fn remaining(&self) -> usize {
+        self.events.len() + self.pending.iter().map(VecDeque::len).sum::<usize>()
+    }
+
+    fn absorb(&mut self, cycle: u64) {
+        if self.absorbed_through == Some(cycle) {
+            return;
+        }
+        while let Some(e) = self.events.front() {
+            if e.cycle > cycle {
+                break;
+            }
+            let e = self.events.pop_front().expect("front checked");
+            self.pending[e.src.index()].push_back(NewPacket {
+                dest: e.dest,
+                size: e.size,
+                class: e.class,
+            });
+        }
+        self.absorbed_through = Some(cycle);
+    }
+}
+
+impl Workload for TraceWorkload {
+    fn generate(&mut self, node: NodeId, cycle: u64, _rng: &mut SmallRng) -> Option<NewPacket> {
+        self.absorb(cycle);
+        self.pending[node.index()].pop_front()
+    }
+}
+
+/// Serializes events to the plain-text trace format: one
+/// `cycle src dest size class` line per event, `#`-comments allowed.
+///
+/// The format is the interchange point for external traces (the role
+/// Netrace's files play in the paper): dump real traces to this format and
+/// replay them with [`TraceWorkload`].
+pub fn write_trace<W: std::io::Write>(mut w: W, events: &[TraceEvent]) -> std::io::Result<()> {
+    writeln!(w, "# footprint-noc trace: cycle src dest size class")?;
+    for e in events {
+        writeln!(
+            w,
+            "{} {} {} {} {}",
+            e.cycle, e.src.0, e.dest.0, e.size, e.class
+        )?;
+    }
+    Ok(())
+}
+
+/// Error from parsing a text trace.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseTraceError {
+    /// A line did not have the five expected fields.
+    FieldCount {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A field failed to parse as an integer.
+    BadInteger {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// Events were not sorted by cycle.
+    Unsorted {
+        /// 1-based line number of the out-of-order event.
+        line: usize,
+    },
+}
+
+impl core::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ParseTraceError::FieldCount { line } => {
+                write!(f, "line {line}: expected `cycle src dest size class`")
+            }
+            ParseTraceError::BadInteger { line, token } => {
+                write!(f, "line {line}: `{token}` is not a valid integer")
+            }
+            ParseTraceError::Unsorted { line } => {
+                write!(f, "line {line}: trace events must be sorted by cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Parses the plain-text trace format produced by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns a [`ParseTraceError`] describing the first malformed line.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, ParseTraceError> {
+    let mut events = Vec::new();
+    let mut last_cycle = 0u64;
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = content.split_whitespace().collect();
+        if fields.len() != 5 {
+            return Err(ParseTraceError::FieldCount { line });
+        }
+        let parse = |token: &str| -> Result<u64, ParseTraceError> {
+            token.parse().map_err(|_| ParseTraceError::BadInteger {
+                line,
+                token: token.to_string(),
+            })
+        };
+        let cycle = parse(fields[0])?;
+        let src = parse(fields[1])? as u16;
+        let dest = parse(fields[2])? as u16;
+        let size = parse(fields[3])? as u16;
+        let class = parse(fields[4])? as u8;
+        if cycle < last_cycle {
+            return Err(ParseTraceError::Unsorted { line });
+        }
+        last_cycle = cycle;
+        events.push(TraceEvent {
+            cycle,
+            src: NodeId(src),
+            dest: NodeId(dest),
+            size,
+            class,
+        });
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ev(cycle: u64, src: u16, dest: u16) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            src: NodeId(src),
+            dest: NodeId(dest),
+            size: 1,
+            class: 0,
+        }
+    }
+
+    #[test]
+    fn replays_in_time_order() {
+        let mut tw = TraceWorkload::new(4, vec![ev(0, 0, 1), ev(2, 1, 2)]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(tw.remaining(), 2);
+        assert!(tw.generate(NodeId(0), 0, &mut rng).is_some());
+        assert!(tw.generate(NodeId(1), 0, &mut rng).is_none());
+        assert!(tw.generate(NodeId(1), 1, &mut rng).is_none());
+        assert_eq!(
+            tw.generate(NodeId(1), 2, &mut rng).unwrap().dest,
+            NodeId(2)
+        );
+        assert_eq!(tw.remaining(), 0);
+    }
+
+    #[test]
+    fn bursts_spill_across_cycles() {
+        let mut tw = TraceWorkload::new(2, vec![ev(0, 0, 1), ev(0, 0, 1), ev(0, 0, 1)]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(tw.generate(NodeId(0), 0, &mut rng).is_some());
+        assert!(tw.generate(NodeId(0), 1, &mut rng).is_some());
+        assert!(tw.generate(NodeId(0), 2, &mut rng).is_some());
+        assert!(tw.generate(NodeId(0), 3, &mut rng).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_trace_rejected() {
+        let _ = TraceWorkload::new(4, vec![ev(5, 0, 1), ev(2, 1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_node_rejected() {
+        let _ = TraceWorkload::new(2, vec![ev(0, 7, 1)]);
+    }
+
+    #[test]
+    fn text_format_roundtrips() {
+        let events = vec![ev(0, 0, 1), ev(3, 1, 2), ev(3, 2, 3)];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &events).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(parse_trace(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn parser_skips_comments_and_blank_lines() {
+        let text = "# header
+
+0 1 2 3 0  # inline comment
+";
+        let parsed = parse_trace(text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].src, NodeId(1));
+        assert_eq!(parsed[0].size, 3);
+    }
+
+    #[test]
+    fn parser_reports_malformed_lines() {
+        assert_eq!(
+            parse_trace("1 2 3"),
+            Err(ParseTraceError::FieldCount { line: 1 })
+        );
+        assert!(matches!(
+            parse_trace("0 1 x 1 0"),
+            Err(ParseTraceError::BadInteger { line: 1, .. })
+        ));
+        assert_eq!(
+            parse_trace("5 0 1 1 0
+2 0 1 1 0"),
+            Err(ParseTraceError::Unsorted { line: 2 })
+        );
+        assert!(parse_trace("1 2 3").unwrap_err().to_string().contains("line 1"));
+    }
+}

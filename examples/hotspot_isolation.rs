@@ -1,0 +1,49 @@
+//! Hotspot isolation: the paper's headline scenario (§4.2.5, Figure 9).
+//!
+//! Four endpoints are oversubscribed by eight persistent flows (Table 3)
+//! while every other node sends light uniform background traffic. A good
+//! routing algorithm keeps the hotspot congestion tree from strangling the
+//! background traffic. Run it:
+//!
+//! ```bash
+//! cargo run --release --example hotspot_isolation
+//! ```
+
+use footprint_suite::core::{RoutingSpec, SimulationBuilder, TrafficSpec};
+use footprint_suite::traffic::{BACKGROUND_CLASS, HOTSPOT_CLASS};
+
+fn main() -> Result<(), footprint_suite::core::ConfigError> {
+    println!("Hotspot isolation — Table 3 flows at 0.5 flits/cycle, background 0.3\n");
+    println!(
+        "{:<12} {:>12} {:>14} {:>14}",
+        "algorithm", "bg latency", "bg throughput", "hs throughput"
+    );
+    for spec in [
+        RoutingSpec::Footprint,
+        RoutingSpec::Dbar,
+        RoutingSpec::DorXordet,
+        RoutingSpec::Dor,
+    ] {
+        let report = SimulationBuilder::paper_default()
+            .routing(spec)
+            .traffic(TrafficSpec::PAPER_HOTSPOT)
+            .injection_rate(0.5) // hotspot flow rate
+            .warmup(2_000)
+            .measurement(4_000)
+            .seed(7)
+            .run()?;
+        let bg = report.class(BACKGROUND_CLASS);
+        let hs = report.class(HOTSPOT_CLASS);
+        println!(
+            "{:<12} {:>12.1} {:>14.3} {:>14.3}",
+            spec.name(),
+            bg.mean_latency,
+            bg.throughput,
+            hs.throughput,
+        );
+    }
+    println!("\nFootprint regulates the hotspot flows onto footprint VCs, so the");
+    println!("background traffic keeps flowing where fully adaptive routing lets the");
+    println!("congestion tree spread across every VC (tree saturation + HoL blocking).");
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Quickstart: simulate Footprint routing on the paper's baseline network
+//! and print a latency/throughput report.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use footprint_suite::core::{RoutingSpec, SimulationBuilder, TrafficSpec};
+
+fn main() -> Result<(), footprint_suite::core::ConfigError> {
+    // The paper's Table 2 baseline: 8x8 mesh, 10 VCs, wormhole + credits,
+    // single-flit packets. We offer 0.30 flits/node/cycle of transpose
+    // traffic and compare the four main routing algorithms.
+    println!("Footprint quickstart — 8x8 mesh, 10 VCs, transpose @ 0.30\n");
+    println!(
+        "{:<12} {:>10} {:>12} {:>10} {:>12}",
+        "algorithm", "latency", "throughput", "max lat", "VA blocks"
+    );
+    for spec in [
+        RoutingSpec::Footprint,
+        RoutingSpec::Dbar,
+        RoutingSpec::OddEven,
+        RoutingSpec::Dor,
+    ] {
+        let report = SimulationBuilder::paper_default()
+            .routing(spec)
+            .traffic(TrafficSpec::Transpose)
+            .injection_rate(0.30)
+            .warmup(2_000)
+            .measurement(4_000)
+            .seed(42)
+            .run()?;
+        println!(
+            "{:<12} {:>10.1} {:>12.3} {:>10} {:>12}",
+            spec.name(),
+            report.latency.mean_latency,
+            report.latency.throughput,
+            report.latency.max_latency,
+            report.va_blocks,
+        );
+    }
+    println!("\nAdaptive algorithms beat DOR on transpose; Footprint matches full");
+    println!("adaptivity while regulating VC usage (fewer, purer blocking events).");
+    Ok(())
+}

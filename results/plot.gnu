@@ -1,0 +1,11 @@
+# gnuplot helper: latency-throughput curves from a figN.txt block.
+# The experiment binaries emit gnuplot-friendly `offered accepted latency`
+# rows per algorithm; extract one block into a .dat file and:
+#
+#   gnuplot -e "file='footprint.dat'" results/plot.gnu
+#
+set terminal dumb size 100,30
+set xlabel "offered load (flits/node/cycle)"
+set ylabel "latency (cycles)"
+set yrange [0:300]
+plot file using 1:3 with linespoints title file

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Regenerates every paper table/figure (plus the ablation study).
+# Full quality takes ~40-60 min on a laptop core; set FOOTPRINT_QUICK=1
+# for a ~5-minute smoke pass of the heavy figures.
+set -e
+cd "$(dirname "$0")/.."
+cargo build --release -p footprint-bench
+for exp in table1 table2 table3 cost fig2 fig9 fig5 fig6 fig7 fig10 fig8 ablation; do
+  echo "=== $exp ==="
+  ./target/release/"$exp" > "results/$exp.txt" 2>&1
+  echo "    -> results/$exp.txt"
+done

@@ -1,0 +1,42 @@
+//! # footprint-suite
+//!
+//! Umbrella crate for the reproduction of *"Footprint: Regulating Routing
+//! Adaptiveness in Networks-on-Chip"* (Fu & Kim, ISCA 2017).
+//!
+//! Re-exports the public API of the member crates so that examples and
+//! integration tests can use a single dependency:
+//!
+//! * [`topology`] — 2D mesh geometry.
+//! * [`routing`] — DOR / Odd-Even / DBAR / Footprint / XORDET, the
+//!   adaptiveness metrics and the cost model.
+//! * [`sim`] — the cycle-accurate NoC simulator.
+//! * [`traffic`] — synthetic traffic patterns, hotspot and trace workloads.
+//! * [`stats`] — measurement, saturation search and congestion analysis.
+//! * [`core`](mod@core) — the high-level builder API tying it all together.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use footprint_suite::core::{SimulationBuilder, RoutingSpec, TrafficSpec};
+//!
+//! let report = SimulationBuilder::mesh(4)
+//!     .vcs(4)
+//!     .routing(RoutingSpec::Footprint)
+//!     .traffic(TrafficSpec::UniformRandom)
+//!     .injection_rate(0.1)
+//!     .warmup(500)
+//!     .measurement(1000)
+//!     .seed(7)
+//!     .run()
+//!     .expect("valid configuration");
+//! assert!(report.latency.mean() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use footprint_core as core;
+pub use footprint_routing as routing;
+pub use footprint_sim as sim;
+pub use footprint_stats as stats;
+pub use footprint_topology as topology;
+pub use footprint_traffic as traffic;

@@ -1,0 +1,192 @@
+//! Fast qualitative checks of the paper's headline claims — miniature
+//! versions of the Figure 5/9/10 experiments that must preserve the
+//! *orderings* the paper reports. (The full-scale regenerations live in
+//! `crates/bench`.)
+
+use footprint_suite::core::{RoutingSpec, SimulationBuilder, TrafficSpec};
+use footprint_suite::routing::cost::footprint_storage_bits_per_port;
+use footprint_suite::stats::PurityProbe;
+use footprint_suite::traffic::BACKGROUND_CLASS;
+
+fn run(spec: RoutingSpec, traffic: TrafficSpec, rate: f64) -> footprint_suite::core::RunReport {
+    SimulationBuilder::paper_default()
+        .routing(spec)
+        .traffic(traffic)
+        .injection_rate(rate)
+        .warmup(800)
+        .measurement(1_600)
+        .seed(0xC1A)
+        .run()
+        .unwrap()
+}
+
+#[test]
+fn adaptive_routing_beats_dor_on_transpose() {
+    // Figure 5(b): adaptive algorithms exploit path diversity on transpose.
+    let fp = run(RoutingSpec::Footprint, TrafficSpec::Transpose, 0.35);
+    let dor = run(RoutingSpec::Dor, TrafficSpec::Transpose, 0.35);
+    assert!(
+        fp.latency.throughput > dor.latency.throughput * 1.3,
+        "footprint {} vs dor {}",
+        fp.latency.throughput,
+        dor.latency.throughput
+    );
+}
+
+#[test]
+fn dor_is_competitive_on_uniform() {
+    // Figure 5(a): uniform random self-balances; DOR is the benchmark.
+    let fp = run(RoutingSpec::Footprint, TrafficSpec::UniformRandom, 0.35);
+    let dor = run(RoutingSpec::Dor, TrafficSpec::UniformRandom, 0.35);
+    let ratio = fp.latency.throughput / dor.latency.throughput;
+    assert!(
+        ratio > 0.93,
+        "footprint should be close to DOR on uniform, got ratio {ratio}"
+    );
+}
+
+#[test]
+fn footprint_beats_odd_even_on_shuffle() {
+    // Figure 5(c): partial adaptivity leaves throughput on the table.
+    let fp = run(RoutingSpec::Footprint, TrafficSpec::Shuffle, 0.40);
+    let oe = run(RoutingSpec::OddEven, TrafficSpec::Shuffle, 0.40);
+    assert!(
+        fp.latency.throughput >= oe.latency.throughput,
+        "footprint {} vs odd-even {}",
+        fp.latency.throughput,
+        oe.latency.throughput
+    );
+    assert!(
+        fp.latency.mean_latency < oe.latency.mean_latency,
+        "footprint latency {} vs odd-even {}",
+        fp.latency.mean_latency,
+        oe.latency.mean_latency
+    );
+}
+
+#[test]
+fn xordet_restricts_adaptive_routing_on_transpose() {
+    // §4.2.1: XORDET's static VC assignment hurts adaptive routing on
+    // non-uniform patterns. In our simulator the damage shows as latency
+    // (the mapped VC serializes each class) — the throughput penalty the
+    // paper reports is partially masked by our multi-packet VC FIFOs,
+    // which act as deep per-class queues (see EXPERIMENTS.md).
+    let db = run(RoutingSpec::Dbar, TrafficSpec::Transpose, 0.40);
+    let dbx = run(RoutingSpec::DbarXordet, TrafficSpec::Transpose, 0.40);
+    assert!(
+        dbx.latency.mean_latency > db.latency.mean_latency * 1.2,
+        "dbar lat {} vs dbar+xordet lat {}",
+        db.latency.mean_latency,
+        dbx.latency.mean_latency
+    );
+}
+
+#[test]
+fn footprint_protects_background_traffic_from_hotspots() {
+    // Figure 9: the headline claim. At a hotspot rate past DBAR's collapse
+    // point, Footprint's background traffic must be in far better shape.
+    let fp = run(RoutingSpec::Footprint, TrafficSpec::PAPER_HOTSPOT, 0.5);
+    let db = run(RoutingSpec::Dbar, TrafficSpec::PAPER_HOTSPOT, 0.5);
+    let fp_bg = fp.class(BACKGROUND_CLASS);
+    let db_bg = db.class(BACKGROUND_CLASS);
+    assert!(
+        fp_bg.throughput > db_bg.throughput * 1.5,
+        "bg throughput: footprint {} vs dbar {}",
+        fp_bg.throughput,
+        db_bg.throughput
+    );
+    assert!(
+        fp_bg.mean_latency < db_bg.mean_latency,
+        "bg latency: footprint {} vs dbar {}",
+        fp_bg.mean_latency,
+        db_bg.mean_latency
+    );
+}
+
+#[test]
+fn footprint_improves_blocking_purity_under_hotspots() {
+    // Figure 10(b): blocked packets under Footprint wait predominantly on
+    // their own flow (footprint VCs), not on other flows.
+    let mut probe_fp = PurityProbe::paper();
+    let mut probe_db = PurityProbe::paper();
+    for (spec, probe) in [
+        (RoutingSpec::Footprint, &mut probe_fp),
+        (RoutingSpec::Dbar, &mut probe_db),
+    ] {
+        SimulationBuilder::paper_default()
+            .routing(spec)
+            .traffic(TrafficSpec::PAPER_HOTSPOT)
+            .injection_rate(0.5)
+            .warmup(800)
+            .measurement(1_600)
+            .seed(0xC1B)
+            .run_probed(probe)
+            .unwrap();
+    }
+    assert!(
+        probe_fp.mean_purity() > probe_db.mean_purity(),
+        "purity: footprint {} vs dbar {}",
+        probe_fp.mean_purity(),
+        probe_db.mean_purity()
+    );
+}
+
+#[test]
+fn storage_cost_matches_section_4_4() {
+    assert_eq!(footprint_storage_bits_per_port(64, 16), 132);
+}
+
+#[test]
+fn duato_vc_floor_is_two() {
+    // §4.2.3: "the minimum number of required VCs is two."
+    let err = SimulationBuilder::mesh(4)
+        .vcs(1)
+        .routing(RoutingSpec::Footprint)
+        .run()
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        footprint_suite::core::ConfigError::TooFewVcsForRouting { required: 2, .. }
+    ));
+    // And two is enough to run.
+    let ok = SimulationBuilder::mesh(4)
+        .vcs(2)
+        .routing(RoutingSpec::Footprint)
+        .traffic(TrafficSpec::UniformRandom)
+        .injection_rate(0.05)
+        .warmup(100)
+        .measurement(400)
+        .seed(1)
+        .run()
+        .unwrap();
+    assert!(ok.latency.ejected_packets > 0);
+}
+
+#[test]
+fn more_vcs_more_throughput_under_load() {
+    // Figure 7's premise: VC count matters at high load.
+    let small = SimulationBuilder::paper_default()
+        .vcs(2)
+        .traffic(TrafficSpec::Shuffle)
+        .injection_rate(0.45)
+        .warmup(800)
+        .measurement(1_600)
+        .seed(3)
+        .run()
+        .unwrap();
+    let big = SimulationBuilder::paper_default()
+        .vcs(8)
+        .traffic(TrafficSpec::Shuffle)
+        .injection_rate(0.45)
+        .warmup(800)
+        .measurement(1_600)
+        .seed(3)
+        .run()
+        .unwrap();
+    assert!(
+        big.latency.throughput > small.latency.throughput * 1.2,
+        "8 VCs {} vs 2 VCs {}",
+        big.latency.throughput,
+        small.latency.throughput
+    );
+}
