@@ -66,6 +66,51 @@ fn bench_route(c: &mut Criterion) {
     g.finish();
 }
 
+/// Steady-state `route()` into one reused request buffer — the shape of
+/// the VC allocator's phase-1 loop. The wrapped algorithms (footprint
+/// overlay, XORDET, VOQ_sw) rewrite their inner algorithm's request tail
+/// in place with fixed per-port arrays, so a regression here flags a
+/// reintroduced per-call allocation on the hot path.
+fn bench_route_scratch_reuse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("route-scratch-reuse");
+    let view = mixed_view();
+    let cong = NoCongestionInfo;
+    for spec in [
+        RoutingSpec::Footprint,
+        RoutingSpec::OddEvenFootprint,
+        RoutingSpec::DbarXordet,
+        RoutingSpec::DbarVoqSw,
+    ] {
+        let algo = spec.build();
+        g.bench_with_input(BenchmarkId::from_parameter(spec.name()), &spec, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let mut out = Vec::with_capacity(64);
+            let ctx = RoutingCtx {
+                mesh: Mesh::square(8),
+                current: NodeId(9),
+                src: NodeId(9),
+                dest: NodeId(63),
+                input_port: Port::Local,
+                input_vc: VcId(1),
+                on_escape: false,
+                num_vcs: 10,
+                ports: &view,
+                congestion: &cong,
+            };
+            // Several heads share one request buffer per cycle, exactly
+            // like `Router::vc_allocate`'s scratch_reqs.
+            b.iter(|| {
+                out.clear();
+                for _ in 0..8 {
+                    algo.route(&ctx, &mut rng, &mut out);
+                }
+                std::hint::black_box(out.len())
+            });
+        });
+    }
+    g.finish();
+}
+
 fn bench_adaptiveness(c: &mut Criterion) {
     use footprint_routing::adaptiveness::mean_path_adaptiveness;
     let mut g = c.benchmark_group("analysis");
@@ -78,5 +123,5 @@ fn bench_adaptiveness(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_route, bench_adaptiveness);
+criterion_group!(benches, bench_route, bench_route_scratch_reuse, bench_adaptiveness);
 criterion_main!(benches);

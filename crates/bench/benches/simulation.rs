@@ -4,6 +4,40 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use footprint_core::{RoutingSpec, SimulationBuilder, TrafficSpec};
 
+/// The quick-rates sweep of the experiment binaries, sequential vs the
+/// worker pool — the end-to-end win of the parallel experiment engine
+/// (and a regression guard for its per-job overhead: on one core the
+/// pooled run must not be meaningfully slower than `threads = 1`).
+fn bench_sweep_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep-parallel-4x4");
+    g.sample_size(10);
+    let rates = [0.05, 0.15, 0.25, 0.35];
+    let builder = SimulationBuilder::mesh(4)
+        .vcs(4)
+        .routing(RoutingSpec::Footprint)
+        .traffic(TrafficSpec::UniformRandom)
+        .warmup(200)
+        .measurement(400)
+        .seed(7);
+    let max_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    for threads in [1usize, 2, 4] {
+        if threads > 1 && threads > max_threads {
+            continue; // don't pretend to measure parallelism we don't have
+        }
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}-threads")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let curve = builder.sweep_on(&rates, None, threads).unwrap();
+                    std::hint::black_box(curve.points.len())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
 fn bench_cycles(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim-cycles-8x8");
     const CYCLES: u64 = 500;
@@ -54,5 +88,5 @@ fn bench_mesh_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cycles, bench_mesh_scaling);
+criterion_group!(benches, bench_cycles, bench_mesh_scaling, bench_sweep_parallel);
 criterion_main!(benches);

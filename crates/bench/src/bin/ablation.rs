@@ -10,9 +10,11 @@
 //!
 //! Each variant runs the two discriminating workloads: saturated shuffle
 //! (stability of permutation traffic) and the Figure 9 hotspot mix
-//! (isolation quality, background latency/throughput).
+//! (isolation quality, background latency/throughput). All variants of a
+//! workload run as one job set.
 
 use footprint_bench::phases_from_env;
+use footprint_core::JobSet;
 use footprint_routing::Footprint;
 use footprint_sim::{Network, SimConfig};
 use footprint_stats::Table;
@@ -59,42 +61,58 @@ fn main() {
     let cfg = SimConfig::paper_default();
 
     println!("Footprint ablation — saturated shuffle (rate 0.54, 8x8, 10 VCs)\n");
-    let mut t = Table::new(["variant", "throughput", "latency", "VA blocks"]);
+    let mut jobs = JobSet::new();
     for v in &VARIANTS {
-        let mut net = Network::new(cfg, Box::new((v.build)()), 0xAB1).expect("valid config");
-        let mut wl = SyntheticWorkload::new(
-            cfg.mesh,
-            Box::new(patterns::Shuffle),
-            PacketSize::SINGLE,
-            0.54,
-        );
-        net.run(&mut wl, phases.warmup);
-        net.metrics_mut().reset_window();
-        net.run(&mut wl, phases.measurement);
-        let m = net.metrics();
-        t.row([
-            v.label.to_string(),
-            format!("{:.3}", m.total_throughput(64)),
-            format!("{:.1}", m.total().mean_latency()),
-            m.va_blocks.to_string(),
-        ]);
+        let build = v.build;
+        let label = v.label;
+        jobs.push(move || {
+            let mut net = Network::new(cfg, Box::new(build()), 0xAB1).expect("valid config");
+            let mut wl = SyntheticWorkload::new(
+                cfg.mesh,
+                Box::new(patterns::Shuffle),
+                PacketSize::SINGLE,
+                0.54,
+            );
+            net.run(&mut wl, phases.warmup);
+            net.metrics_mut().reset_window();
+            net.run(&mut wl, phases.measurement);
+            let m = net.metrics();
+            [
+                label.to_string(),
+                format!("{:.3}", m.total_throughput(64)),
+                format!("{:.1}", m.total().mean_latency()),
+                m.va_blocks.to_string(),
+            ]
+        });
+    }
+    let mut t = Table::new(["variant", "throughput", "latency", "VA blocks"]);
+    for row in jobs.run() {
+        t.row(row);
     }
     println!("{}", t.render());
 
     println!("Footprint ablation — hotspot isolation (hotspot 0.5, background 0.3)\n");
-    let mut t = Table::new(["variant", "bg latency", "bg throughput"]);
+    let mut jobs = JobSet::new();
     for v in &VARIANTS {
-        let mut net = Network::new(cfg, Box::new((v.build)()), 0xAB2).expect("valid config");
-        let mut wl = HotspotWorkload::paper(cfg.mesh, 0.5);
-        net.run(&mut wl, phases.warmup);
-        net.metrics_mut().reset_window();
-        net.run(&mut wl, phases.measurement);
-        let m = net.metrics();
-        t.row([
-            v.label.to_string(),
-            format!("{:.1}", m.class(0).mean_latency()),
-            format!("{:.3}", m.throughput(0, 64)),
-        ]);
+        let build = v.build;
+        let label = v.label;
+        jobs.push(move || {
+            let mut net = Network::new(cfg, Box::new(build()), 0xAB2).expect("valid config");
+            let mut wl = HotspotWorkload::paper(cfg.mesh, 0.5);
+            net.run(&mut wl, phases.warmup);
+            net.metrics_mut().reset_window();
+            net.run(&mut wl, phases.measurement);
+            let m = net.metrics();
+            [
+                label.to_string(),
+                format!("{:.1}", m.class(0).mean_latency()),
+                format!("{:.3}", m.throughput(0, 64)),
+            ]
+        });
+    }
+    let mut t = Table::new(["variant", "bg latency", "bg throughput"]);
+    for row in jobs.run() {
+        t.row(row);
     }
     println!("{}", t.render());
     println!("Reading: the default keeps shuffle stable AND isolates the hotspot;");

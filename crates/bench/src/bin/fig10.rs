@@ -7,7 +7,7 @@
 //! * (c) degree of HoL blocking per application.
 
 use footprint_bench::{gain, phases_from_env};
-use footprint_core::{App, RoutingSpec, SimulationBuilder, TrafficSpec};
+use footprint_core::{App, JobSet, RoutingSpec, SimulationBuilder, TrafficSpec};
 use footprint_stats::table::pct;
 use footprint_stats::{PurityProbe, Table};
 use footprint_traffic::APPS;
@@ -51,30 +51,41 @@ fn pct_or_na(ours: f64, baseline: f64) -> String {
 fn main() {
     let phases = phases_from_env();
 
-    // (a) Latency difference on simultaneous pairs.
+    // (a) Latency difference on simultaneous pairs. Both algorithms' runs
+    // of every pair go into one job set ((pair × algorithm) jobs).
     println!("Figure 10(a) — mean latency, Footprint vs DBAR, simultaneous pairs\n");
+    let mut pair_list = Vec::new();
+    for (i, &a) in APPS.iter().enumerate() {
+        for &b in &APPS[i..] {
+            pair_list.push((a, b));
+        }
+    }
+    let mut jobs = JobSet::new();
+    for &(a, b) in &pair_list {
+        for spec in [RoutingSpec::Footprint, RoutingSpec::Dbar] {
+            jobs.push(move || run_pair(a, b, spec, phases).0);
+        }
+    }
+    let latencies = jobs.run();
     let mut ta = Table::new(["pair", "footprint", "dbar", "improvement"]);
     let mut best = (0.0f64, String::new());
     let mut sum_gain = 0.0;
     let mut pairs = 0u32;
-    for (i, &a) in APPS.iter().enumerate() {
-        for &b in &APPS[i..] {
-            let (fp, _) = run_pair(a, b, RoutingSpec::Footprint, phases);
-            let (db, _) = run_pair(a, b, RoutingSpec::Dbar, phases);
-            // Positive improvement = Footprint's latency is lower.
-            let improvement = gain(db, fp);
-            sum_gain += improvement;
-            pairs += 1;
-            if improvement > best.0 {
-                best = (improvement, format!("{}+{}", a.name(), b.name()));
-            }
-            ta.row([
-                format!("{}+{}", a.name(), b.name()),
-                format!("{fp:.1}"),
-                format!("{db:.1}"),
-                pct(improvement),
-            ]);
+    for (k, &(a, b)) in pair_list.iter().enumerate() {
+        let (fp, db) = (latencies[2 * k], latencies[2 * k + 1]);
+        // Positive improvement = Footprint's latency is lower.
+        let improvement = gain(db, fp);
+        sum_gain += improvement;
+        pairs += 1;
+        if improvement > best.0 {
+            best = (improvement, format!("{}+{}", a.name(), b.name()));
         }
+        ta.row([
+            format!("{}+{}", a.name(), b.name()),
+            format!("{fp:.1}"),
+            format!("{db:.1}"),
+            pct(improvement),
+        ]);
     }
     println!("{}", ta.render());
     println!(
@@ -91,6 +102,13 @@ fn main() {
     // are heavier than our substitutes).
     println!("Figure 10(b,c) — blocking purity and HoL degree per application");
     println!("(each app paired with fluidanimate, 4 VCs, 10,000 tracked packets)\n");
+    let mut jobs = JobSet::new();
+    for &app in &APPS {
+        for spec in [RoutingSpec::Footprint, RoutingSpec::Dbar] {
+            jobs.push(move || run_pair_vcs(app, App::Fluidanimate, spec, phases, 4).1);
+        }
+    }
+    let probes = jobs.run();
     let mut tb = Table::new([
         "app",
         "purity (footprint)",
@@ -100,9 +118,8 @@ fn main() {
         "HoL deg (dbar)",
         "HoL reduction",
     ]);
-    for &app in &APPS {
-        let (_, p_fp) = run_pair_vcs(app, App::Fluidanimate, RoutingSpec::Footprint, phases, 4);
-        let (_, p_db) = run_pair_vcs(app, App::Fluidanimate, RoutingSpec::Dbar, phases, 4);
+    for (k, &app) in APPS.iter().enumerate() {
+        let (p_fp, p_db) = (&probes[2 * k], &probes[2 * k + 1]);
         tb.row([
             app.name().to_string(),
             format!("{:.3}", p_fp.mean_purity()),

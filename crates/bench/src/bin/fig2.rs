@@ -18,7 +18,7 @@
 //!    hurts everyone else — is the discriminating metric, and is where
 //!    Footprint beats the fully adaptive baseline.
 
-use footprint_core::{RoutingSpec, SimulationBuilder, TrafficSpec};
+use footprint_core::{JobSet, RoutingSpec, SimulationBuilder, TrafficSpec};
 use footprint_stats::{table::f1 as fmt1, Table, TreeAnalysis};
 use footprint_topology::NodeId;
 use footprint_traffic::{patterns::Uniform, Overlay, PacketSize, Permutation, SyntheticWorkload};
@@ -37,9 +37,46 @@ fn main() {
     hol_impact();
 }
 
-/// Part 1: the congestion tree of the oversubscribed endpoint.
+/// Part 1: the congestion tree of the oversubscribed endpoint. Each
+/// algorithm's drive-and-sample loop is one job in the set.
 fn tree_shape(vcs: usize) {
     println!("Figure 2 — congestion tree of the oversubscribed endpoint n13 (4x4 mesh, {vcs} VCs)\n");
+    let mut jobs = JobSet::new();
+    for spec in ALGOS {
+        jobs.push(move || {
+            let (mut net, mut wl) = SimulationBuilder::mesh(4)
+                .vcs(vcs)
+                .routing(spec)
+                .traffic(TrafficSpec::Figure2)
+                .injection_rate(1.0)
+                .seed(0xF16)
+                .build()
+                .expect("static experiment config");
+            net.run(&mut *wl, 500);
+            let (mut links, mut vcs_sum, mut occ) = (0usize, 0usize, 0usize);
+            let samples = 20;
+            let mut snapshot = Vec::new();
+            for _ in 0..samples {
+                net.run(&mut *wl, 25);
+                net.occupancy_snapshot_into(&mut snapshot);
+                let analysis = TreeAnalysis::from_snapshot(&snapshot);
+                if let Some(tree) = analysis.tree(NodeId(13)) {
+                    links += tree.links;
+                    vcs_sum += tree.vcs;
+                }
+                occ += analysis.occupied_vcs;
+            }
+            let links = links as f64 / samples as f64;
+            let vcs_avg = vcs_sum as f64 / samples as f64;
+            [
+                spec.name().to_string(),
+                fmt1(links),
+                fmt1(vcs_avg),
+                fmt1(if links > 0.0 { vcs_avg / links } else { 0.0 }),
+                fmt1(occ as f64 / samples as f64),
+            ]
+        });
+    }
     let mut t = Table::new([
         "algorithm",
         "links",
@@ -47,36 +84,8 @@ fn tree_shape(vcs: usize) {
         "thickness",
         "total occupied VCs",
     ]);
-    for spec in ALGOS {
-        let (mut net, mut wl) = SimulationBuilder::mesh(4)
-            .vcs(vcs)
-            .routing(spec)
-            .traffic(TrafficSpec::Figure2)
-            .injection_rate(1.0)
-            .seed(0xF16)
-            .build()
-            .expect("static experiment config");
-        net.run(&mut *wl, 500);
-        let (mut links, mut vcs_sum, mut occ) = (0usize, 0usize, 0usize);
-        let samples = 20;
-        for _ in 0..samples {
-            net.run(&mut *wl, 25);
-            let analysis = TreeAnalysis::from_snapshot(&net.occupancy_snapshot());
-            if let Some(tree) = analysis.tree(NodeId(13)) {
-                links += tree.links;
-                vcs_sum += tree.vcs;
-            }
-            occ += analysis.occupied_vcs;
-        }
-        let links = links as f64 / samples as f64;
-        let vcs_avg = vcs_sum as f64 / samples as f64;
-        t.row([
-            spec.name().to_string(),
-            fmt1(links),
-            fmt1(vcs_avg),
-            fmt1(if links > 0.0 { vcs_avg / links } else { 0.0 }),
-            fmt1(occ as f64 / samples as f64),
-        ]);
+    for row in jobs.run() {
+        t.row(row);
     }
     println!("{}", t.render());
 }
@@ -84,33 +93,39 @@ fn tree_shape(vcs: usize) {
 /// Part 2: the impact of the congestion tree on background traffic.
 fn hol_impact() {
     println!("Figure 2 (impact) — background latency beside the hotspot flows (4x4, 10 VCs)\n");
-    let mut t = Table::new(["algorithm", "bg latency", "bg throughput"]);
+    let mut jobs = JobSet::new();
     for spec in ALGOS {
-        let (mut net, _) = SimulationBuilder::mesh(4)
-            .vcs(10)
-            .routing(spec)
-            .seed(0xF16)
-            .build()
-            .expect("static experiment config");
-        let mesh = footprint_topology::Mesh::square(4);
-        let fg = SyntheticWorkload::new(
-            mesh,
-            Box::new(Permutation::figure2_example(mesh)),
-            PacketSize::SINGLE,
-            1.0,
-        )
-        .with_class(1);
-        let bg = SyntheticWorkload::new(mesh, Box::new(Uniform), PacketSize::SINGLE, 0.15);
-        let mut wl = Overlay::new(fg, bg);
-        net.run(&mut wl, 500);
-        net.metrics_mut().reset_window();
-        net.run(&mut wl, 3000);
-        let m = net.metrics();
-        t.row([
-            spec.name().to_string(),
-            format!("{:.1}", m.class(0).mean_latency()),
-            format!("{:.3}", m.throughput(0, 16)),
-        ]);
+        jobs.push(move || {
+            let (mut net, _) = SimulationBuilder::mesh(4)
+                .vcs(10)
+                .routing(spec)
+                .seed(0xF16)
+                .build()
+                .expect("static experiment config");
+            let mesh = footprint_topology::Mesh::square(4);
+            let fg = SyntheticWorkload::new(
+                mesh,
+                Box::new(Permutation::figure2_example(mesh)),
+                PacketSize::SINGLE,
+                1.0,
+            )
+            .with_class(1);
+            let bg = SyntheticWorkload::new(mesh, Box::new(Uniform), PacketSize::SINGLE, 0.15);
+            let mut wl = Overlay::new(fg, bg);
+            net.run(&mut wl, 500);
+            net.metrics_mut().reset_window();
+            net.run(&mut wl, 3000);
+            let m = net.metrics();
+            [
+                spec.name().to_string(),
+                format!("{:.1}", m.class(0).mean_latency()),
+                format!("{:.3}", m.throughput(0, 16)),
+            ]
+        });
+    }
+    let mut t = Table::new(["algorithm", "bg latency", "bg throughput"]);
+    for row in jobs.run() {
+        t.row(row);
     }
     println!("{}", t.render());
     println!("Expectation (paper): XORDET isolates best (thin static branches); Footprint");

@@ -2,7 +2,7 @@
 //! on uniform random, transpose and shuffle traffic with single-flit
 //! packets (8×8 mesh, 10 VCs).
 
-use footprint_bench::{default_rates, phases_from_env, print_curves, sweep_curve};
+use footprint_bench::{default_rates, paper_builder, phases_from_env, print_curves, CurveSet};
 use footprint_core::TrafficSpec;
 use footprint_routing::RoutingSpec;
 use footprint_stats::Table;
@@ -10,17 +10,26 @@ use footprint_stats::Table;
 fn main() {
     let phases = phases_from_env();
     let rates = default_rates();
+    // All pattern × algorithm curves go into one job set: the full figure
+    // is a single flat batch of (curve, rate) simulations.
+    let mut set = CurveSet::new(&rates);
+    for traffic in TrafficSpec::PAPER_PATTERNS {
+        for spec in RoutingSpec::PAPER_SET {
+            set.add(paper_builder(spec, traffic, phases));
+        }
+    }
+    let mut curves = set.run().into_iter();
     let mut summary = Table::new(["pattern", "algorithm", "saturation throughput"]);
     for traffic in TrafficSpec::PAPER_PATTERNS {
-        let mut curves = Vec::new();
-        for spec in RoutingSpec::PAPER_SET {
-            curves.push(sweep_curve(spec, traffic, &rates, phases));
-        }
+        let block: Vec<_> = RoutingSpec::PAPER_SET
+            .iter()
+            .map(|_| curves.next().expect("one curve per queued spec"))
+            .collect();
         print_curves(
             &format!("Figure 5 ({traffic}) — single-flit packets, 8x8, 10 VCs"),
-            &curves,
+            &block,
         );
-        for c in &curves {
+        for c in &block {
             summary.row([
                 traffic.name(),
                 c.label.clone(),

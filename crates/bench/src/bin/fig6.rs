@@ -1,7 +1,7 @@
 //! Figure 6: latency-throughput comparison with variable packet sizes
 //! (1–6 flits, uniformly distributed), 8×8 mesh, 10 VCs.
 
-use footprint_bench::{default_rates, paper_builder, phases_from_env, print_curves};
+use footprint_bench::{default_rates, paper_builder, phases_from_env, print_curves, CurveSet};
 use footprint_core::{PacketSize, TrafficSpec};
 use footprint_routing::RoutingSpec;
 use footprint_stats::Table;
@@ -9,21 +9,26 @@ use footprint_stats::Table;
 fn main() {
     let phases = phases_from_env();
     let rates = default_rates();
+    let mut set = CurveSet::new(&rates);
+    for traffic in TrafficSpec::PAPER_PATTERNS {
+        for spec in RoutingSpec::PAPER_SET {
+            set.add(
+                paper_builder(spec, traffic, phases).packet_size(PacketSize::PAPER_VARIABLE),
+            );
+        }
+    }
+    let mut curves = set.run().into_iter();
     let mut summary = Table::new(["pattern", "algorithm", "saturation throughput"]);
     for traffic in TrafficSpec::PAPER_PATTERNS {
-        let mut curves = Vec::new();
-        for spec in RoutingSpec::PAPER_SET {
-            let curve = paper_builder(spec, traffic, phases)
-                .packet_size(PacketSize::PAPER_VARIABLE)
-                .sweep(&rates, None)
-                .expect("static experiment config");
-            curves.push(curve);
-        }
+        let block: Vec<_> = RoutingSpec::PAPER_SET
+            .iter()
+            .map(|_| curves.next().expect("one curve per queued spec"))
+            .collect();
         print_curves(
             &format!("Figure 6 ({traffic}) — 1..6-flit packets, 8x8, 10 VCs"),
-            &curves,
+            &block,
         );
-        for c in &curves {
+        for c in &block {
             summary.row([
                 traffic.name(),
                 c.label.clone(),

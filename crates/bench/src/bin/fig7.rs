@@ -1,7 +1,7 @@
 //! Figure 7: impact of the number of VCs — DBAR vs Footprint with 2, 4, 8
 //! and 16 VCs per physical channel (plus the 10-VC baseline), 8×8 mesh.
 
-use footprint_bench::{default_rates, gain, paper_builder, phases_from_env, print_curves};
+use footprint_bench::{default_rates, gain, paper_builder, phases_from_env, print_curves, CurveSet};
 use footprint_core::TrafficSpec;
 use footprint_routing::RoutingSpec;
 use footprint_stats::table::pct;
@@ -11,6 +11,15 @@ fn main() {
     let phases = phases_from_env();
     let rates = default_rates();
     let vc_counts = [2usize, 4, 8, 16];
+    let mut set = CurveSet::new(&rates);
+    for traffic in TrafficSpec::PAPER_PATTERNS {
+        for &vcs in &vc_counts {
+            for spec in [RoutingSpec::Footprint, RoutingSpec::Dbar] {
+                set.add(paper_builder(spec, traffic, phases).vcs(vcs));
+            }
+        }
+    }
+    let mut curves = set.run().into_iter();
     let mut summary = Table::new([
         "pattern",
         "VCs",
@@ -20,19 +29,16 @@ fn main() {
     ]);
     for traffic in TrafficSpec::PAPER_PATTERNS {
         for &vcs in &vc_counts {
-            let mut curves = Vec::new();
-            let mut sats = Vec::new();
-            for spec in [RoutingSpec::Footprint, RoutingSpec::Dbar] {
-                let curve = paper_builder(spec, traffic, phases)
-                    .vcs(vcs)
-                    .sweep(&rates, None)
-                    .expect("static experiment config");
-                sats.push(curve.saturation_throughput(3.0).unwrap_or(0.0));
-                curves.push(curve);
-            }
+            let block: Vec<_> = (0..2)
+                .map(|_| curves.next().expect("one curve per queued spec"))
+                .collect();
+            let sats: Vec<f64> = block
+                .iter()
+                .map(|c| c.saturation_throughput(3.0).unwrap_or(0.0))
+                .collect();
             print_curves(
                 &format!("Figure 7 ({traffic}, {vcs} VCs) — DBAR vs Footprint"),
-                &curves,
+                &block,
             );
             summary.row([
                 traffic.name(),

@@ -1,7 +1,7 @@
 //! Figure 8: scalability — DBAR's saturation throughput normalized to
 //! Footprint's on 4×4, 8×8 and 16×16 meshes (10 VCs).
 
-use footprint_bench::{default_rates, phases_from_env};
+use footprint_bench::{default_rates, phases_from_env, CurveSet};
 use footprint_core::{SimulationBuilder, TrafficSpec};
 use footprint_routing::RoutingSpec;
 use footprint_stats::Table;
@@ -10,6 +10,26 @@ use footprint_topology::Mesh;
 fn main() {
     let phases = phases_from_env();
     let rates = default_rates();
+    // Every (pattern, mesh, algorithm) sweep is queued as one batch; the
+    // saturation criterion is applied to the returned curves (exactly
+    // what `SimulationBuilder::saturation` computes per sweep).
+    let mut set = CurveSet::new(&rates);
+    for traffic in TrafficSpec::PAPER_PATTERNS {
+        for k in [4u16, 8, 16] {
+            for spec in [RoutingSpec::Footprint, RoutingSpec::Dbar] {
+                set.add(
+                    SimulationBuilder::paper_default()
+                        .topology(Mesh::square(k))
+                        .routing(spec)
+                        .traffic(traffic)
+                        .warmup(phases.warmup)
+                        .measurement(phases.measurement)
+                        .seed(0x0F16 + k as u64),
+                );
+            }
+        }
+    }
+    let mut curves = set.run().into_iter();
     let mut t = Table::new([
         "pattern",
         "mesh",
@@ -19,20 +39,15 @@ fn main() {
     ]);
     for traffic in TrafficSpec::PAPER_PATTERNS {
         for k in [4u16, 8, 16] {
-            let mut sats = Vec::new();
-            for spec in [RoutingSpec::Footprint, RoutingSpec::Dbar] {
-                let sat = SimulationBuilder::paper_default()
-                    .topology(Mesh::square(k))
-                    .routing(spec)
-                    .traffic(traffic)
-                    .warmup(phases.warmup)
-                    .measurement(phases.measurement)
-                    .seed(0x0F16 + k as u64)
-                    .saturation(&rates)
-                    .expect("static experiment config")
-                    .unwrap_or(0.0);
-                sats.push(sat);
-            }
+            let sats: Vec<f64> = (0..2)
+                .map(|_| {
+                    curves
+                        .next()
+                        .expect("one curve per queued spec")
+                        .saturation_throughput(3.0)
+                        .unwrap_or(0.0)
+                })
+                .collect();
             let normalized = if sats[0] > 0.0 { sats[1] / sats[0] } else { 0.0 };
             t.row([
                 traffic.name(),

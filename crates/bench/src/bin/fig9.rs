@@ -6,10 +6,10 @@
 //! The paper reports DBAR's background traffic collapsing at ≈0.39 hotspot
 //! rate while Footprint holds to ≈0.56 (>40% improvement).
 
-use footprint_bench::{gain, phases_from_env};
-use footprint_core::{RoutingSpec, SimulationBuilder, TrafficSpec};
+use footprint_bench::{gain, phases_from_env, CurveSet};
+use footprint_core::{JobSet, RoutingSpec, SimulationBuilder, TrafficSpec};
 use footprint_stats::table::pct;
-use footprint_stats::{Curve, SweepPoint, Table};
+use footprint_stats::Table;
 use footprint_stats::TreeTimeline;
 use footprint_topology::NodeId;
 use footprint_traffic::BACKGROUND_CLASS;
@@ -33,27 +33,24 @@ fn main() {
         r += 0.1;
     }
     println!("Figure 9 — background-traffic latency vs hotspot injection rate\n");
-    let mut sat_points = Vec::new();
-    let mut curves = Vec::new();
+    // Both algorithms' hotspot sweeps (summarized on the background
+    // class) run as one job set.
+    let mut set = CurveSet::new(&rates);
     for spec in [RoutingSpec::Footprint, RoutingSpec::Dbar] {
-        let mut curve = Curve::new(spec.name());
-        for &hs in &rates {
-            let report = SimulationBuilder::paper_default()
+        set.add_class(
+            spec.name(),
+            SimulationBuilder::paper_default()
                 .routing(spec)
                 .traffic(TrafficSpec::PAPER_HOTSPOT)
-                .injection_rate(hs)
                 .warmup(phases.warmup)
                 .measurement(2 * phases.measurement)
-                .seed(0x0F19)
-                .run()
-                .expect("static experiment config");
-            let bg = report.class(BACKGROUND_CLASS);
-            curve.push(SweepPoint {
-                offered: hs,
-                accepted: bg.throughput,
-                latency: bg.mean_latency,
-            });
-        }
+                .seed(0x0F19),
+            Some(BACKGROUND_CLASS),
+        );
+    }
+    let curves = set.run();
+    let mut sat_points = Vec::new();
+    for curve in &curves {
         // Collapse criterion: the first hotspot rate at which the
         // background stops being delivered at (88% of) its offered load.
         // The paper's figure reads the same way: the point where the
@@ -71,7 +68,6 @@ fn main() {
             );
         sat_points.push(sat);
         println!("{curve}# background collapses at hotspot rate ~{sat:.3}\n");
-        curves.push(curve);
     }
     let mut t = Table::new(["algorithm", "bg collapse point", "vs DBAR"]);
     t.row([
@@ -99,41 +95,50 @@ fn postponement() {
     const WINDOW: u64 = 250;
     const HORIZON: u64 = 20_000;
     println!("\nFigure 9 (postponement) — hotspot rate {HS_RATE}, background 0.3\n");
+    // The two algorithms' drive loops are independent: one job each.
+    let mut jobs = JobSet::new();
+    for spec in [RoutingSpec::Footprint, RoutingSpec::Dbar] {
+        jobs.push(move || {
+            let (mut net, mut wl) = SimulationBuilder::paper_default()
+                .routing(spec)
+                .traffic(TrafficSpec::PAPER_HOTSPOT)
+                .injection_rate(HS_RATE)
+                .seed(0x0F19)
+                .build()
+                .expect("static experiment config");
+            let mut timeline = TreeTimeline::new(NodeId(63));
+            let mut collapse_cycle = None;
+            let mut baseline: Option<f64> = None;
+            let mut snapshot = Vec::new();
+            while net.cycle() < HORIZON {
+                net.metrics_mut().reset_window();
+                net.run(&mut *wl, WINDOW);
+                net.occupancy_snapshot_into(&mut snapshot);
+                timeline.record(net.cycle(), &snapshot);
+                let lat = net.metrics().class(BACKGROUND_CLASS).mean_latency();
+                if lat > 0.0 {
+                    let base = *baseline.get_or_insert(lat);
+                    if collapse_cycle.is_none() && lat > 5.0 * base {
+                        collapse_cycle = Some(net.cycle());
+                    }
+                }
+            }
+            [
+                spec.name().to_string(),
+                collapse_cycle.map_or(format!(">{HORIZON}"), |c| c.to_string()),
+                timeline.peak_vcs().to_string(),
+                format!("{:.1}", timeline.growth_rate()),
+            ]
+        });
+    }
     let mut t = Table::new([
         "algorithm",
         "bg survives (cycles)",
         "tree peak VCs",
         "tree growth (VCs/kcycle)",
     ]);
-    for spec in [RoutingSpec::Footprint, RoutingSpec::Dbar] {
-        let (mut net, mut wl) = SimulationBuilder::paper_default()
-            .routing(spec)
-            .traffic(TrafficSpec::PAPER_HOTSPOT)
-            .injection_rate(HS_RATE)
-            .seed(0x0F19)
-            .build()
-            .expect("static experiment config");
-        let mut timeline = TreeTimeline::new(NodeId(63));
-        let mut collapse_cycle = None;
-        let mut baseline: Option<f64> = None;
-        while net.cycle() < HORIZON {
-            net.metrics_mut().reset_window();
-            net.run(&mut *wl, WINDOW);
-            timeline.record(net.cycle(), &net.occupancy_snapshot());
-            let lat = net.metrics().class(BACKGROUND_CLASS).mean_latency();
-            if lat > 0.0 {
-                let base = *baseline.get_or_insert(lat);
-                if collapse_cycle.is_none() && lat > 5.0 * base {
-                    collapse_cycle = Some(net.cycle());
-                }
-            }
-        }
-        t.row([
-            spec.name().to_string(),
-            collapse_cycle.map_or(format!(">{HORIZON}"), |c| c.to_string()),
-            timeline.peak_vcs().to_string(),
-            format!("{:.1}", timeline.growth_rate()),
-        ]);
+    for row in jobs.run() {
+        t.row(row);
     }
     println!("{}", t.render());
     println!("Reading: Footprint's tree forms later and grows more slowly — the");

@@ -1,0 +1,79 @@
+//! Performance harness: measures simulated-cycles/sec on the hot path and
+//! the wall-clock speedup of the parallel experiment engine, and records
+//! both in `BENCH_sim.json` so the perf trajectory is tracked PR over PR.
+//!
+//! Measurements:
+//!
+//! * **single-thread cycles/sec** — one representative 8×8 Footprint
+//!   uniform-random run (the per-cycle hot path: route computation, VC
+//!   allocation, switch traversal), timed end to end.
+//! * **sweep wall-clock** — the same `quick_rates()` sweep executed
+//!   sequentially (`threads = 1`) and on the default pool; their ratio is
+//!   the engine's speedup on this machine. Results are bit-identical
+//!   between the two runs (asserted here, not just in the test suite).
+//!
+//! Output path: `BENCH_sim.json` in the current directory, or the value
+//! of `FOOTPRINT_BENCH_OUT`.
+
+use footprint_bench::quick_rates;
+use footprint_core::{exec, RoutingSpec, SimulationBuilder, TrafficSpec};
+use std::time::Instant;
+
+fn builder() -> SimulationBuilder {
+    SimulationBuilder::paper_default()
+        .routing(RoutingSpec::Footprint)
+        .traffic(TrafficSpec::UniformRandom)
+        .injection_rate(0.30)
+        .warmup(1_000)
+        .measurement(3_000)
+        .seed(0xBE_5C)
+}
+
+fn main() {
+    let threads = exec::num_threads();
+
+    // 1. Hot-path throughput: simulated cycles per wall-clock second on
+    // one core. Two timed runs, keep the faster (warm caches).
+    let b = builder();
+    let total_cycles = 4_000u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..2 {
+        let t = Instant::now();
+        b.run().expect("static experiment config");
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    let cycles_per_sec = total_cycles as f64 / best;
+
+    // 2. Parallel-engine speedup on a quick sweep.
+    let rates = quick_rates();
+    let t = Instant::now();
+    let sequential = b.sweep_on(&rates, None, 1).expect("static experiment config");
+    let seq_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let parallel = b
+        .sweep_on(&rates, None, threads)
+        .expect("static experiment config");
+    let par_secs = t.elapsed().as_secs_f64();
+    assert_eq!(
+        sequential, parallel,
+        "parallel sweep must be bit-identical to sequential"
+    );
+    let speedup = seq_secs / par_secs;
+
+    let json = format!(
+        "{{\n  \"single_thread\": {{\n    \"simulated_cycles\": {total_cycles},\n    \
+         \"wall_secs\": {best:.4},\n    \"cycles_per_sec\": {cycles_per_sec:.0}\n  }},\n  \
+         \"sweep\": {{\n    \"rates\": {},\n    \"threads\": {threads},\n    \
+         \"sequential_secs\": {seq_secs:.4},\n    \"parallel_secs\": {par_secs:.4},\n    \
+         \"speedup\": {speedup:.2},\n    \"bit_identical\": true\n  }}\n}}\n",
+        rates.len(),
+    );
+    let path = std::env::var("FOOTPRINT_BENCH_OUT").unwrap_or_else(|_| "BENCH_sim.json".into());
+    std::fs::write(&path, &json).expect("write benchmark report");
+    println!("single-thread: {cycles_per_sec:.0} simulated cycles/sec ({best:.2}s for {total_cycles} cycles)");
+    println!(
+        "sweep ({} rates): sequential {seq_secs:.2}s, parallel {par_secs:.2}s on {threads} thread(s) → {speedup:.2}x",
+        rates.len()
+    );
+    println!("wrote {path}");
+}

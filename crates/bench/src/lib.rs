@@ -1,7 +1,17 @@
 //! Shared driver code for the experiment binaries (one per paper
 //! table/figure) and the criterion microbenchmarks.
+//!
+//! The central abstraction is [`CurveSet`]: a figure declares *all* of
+//! its latency-throughput curves up front, and `CurveSet::run`
+//! flattens every (curve × rate) pair into one
+//! [`footprint_core::JobSet`] so the whole figure saturates the worker
+//! pool instead of parallelizing one curve at a time. Each point runs
+//! exactly what [`SimulationBuilder::sweep`] would run for that curve
+//! (same derived per-rate seed, same summary), so a figure produced
+//! through a `CurveSet` is bit-identical to sweeping its curves one by
+//! one — and to `FOOTPRINT_THREADS=1` sequential execution.
 
-use footprint_core::{RoutingSpec, SimulationBuilder, TrafficSpec};
+use footprint_core::{JobSet, RoutingSpec, SimulationBuilder, TrafficSpec};
 use footprint_stats::Curve;
 
 /// Standard offered-load sweep for latency-throughput figures: 0.02 to
@@ -70,7 +80,7 @@ pub fn paper_builder(
         .seed(0x0F00)
 }
 
-/// Sweeps one latency-throughput curve.
+/// Sweeps one latency-throughput curve (a single-curve [`CurveSet`]).
 ///
 /// # Panics
 ///
@@ -85,6 +95,109 @@ pub fn sweep_curve(
     paper_builder(routing, traffic, phases)
         .sweep(rates, None)
         .expect("experiment configuration must be valid")
+}
+
+/// A batch of labelled latency-throughput curves sharing one rate axis,
+/// executed as a single flat job set.
+///
+/// Figures with many curves (e.g. Figure 5: 3 patterns × 7 algorithms)
+/// add every curve here and call [`CurveSet::run`] once; all
+/// (curve × rate) points then compete for the same worker pool, so the
+/// slowest curve no longer serializes the figure. Curves come back in
+/// insertion order.
+pub struct CurveSet {
+    rates: Vec<f64>,
+    specs: Vec<CurveSpec>,
+}
+
+struct CurveSpec {
+    label: String,
+    builder: SimulationBuilder,
+    latency_class: Option<u8>,
+}
+
+impl CurveSet {
+    /// A batch over the given offered-load axis.
+    #[must_use]
+    pub fn new(rates: &[f64]) -> Self {
+        CurveSet {
+            rates: rates.to_vec(),
+            specs: Vec::new(),
+        }
+    }
+
+    /// Adds a curve labelled with the builder's routing-algorithm name.
+    pub fn add(&mut self, builder: SimulationBuilder) -> &mut Self {
+        let label = builder.routing_spec().name().to_string();
+        self.add_labeled(label, builder)
+    }
+
+    /// Adds a curve under an explicit label.
+    pub fn add_labeled(&mut self, label: impl Into<String>, builder: SimulationBuilder) -> &mut Self {
+        self.add_class(label, builder, None)
+    }
+
+    /// Adds a curve summarizing a single traffic class (e.g. the
+    /// background class of the Figure 9 hotspot experiment).
+    pub fn add_class(
+        &mut self,
+        label: impl Into<String>,
+        builder: SimulationBuilder,
+        latency_class: Option<u8>,
+    ) -> &mut Self {
+        self.specs.push(CurveSpec {
+            label: label.into(),
+            builder,
+            latency_class,
+        });
+        self
+    }
+
+    /// Number of curves queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// `true` when no curves are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Runs every (curve × rate) point as one flat job set and
+    /// reassembles the curves in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on configuration errors — experiment configurations are
+    /// static and must be valid.
+    #[must_use]
+    pub fn run(self) -> Vec<Curve> {
+        let mut jobs = JobSet::new();
+        for spec in &self.specs {
+            for (index, &rate) in self.rates.iter().enumerate() {
+                let point = spec.builder.sweep_point(index, rate);
+                let class = spec.latency_class;
+                jobs.push(move || {
+                    point
+                        .run_sweep_point(class)
+                        .expect("experiment configuration must be valid")
+                });
+            }
+        }
+        let mut points = jobs.run().into_iter();
+        self.specs
+            .iter()
+            .map(|spec| {
+                let mut curve = Curve::new(spec.label.clone());
+                for _ in 0..self.rates.len() {
+                    curve.push(points.next().expect("one result per submitted job"));
+                }
+                curve
+            })
+            .collect()
+    }
 }
 
 /// Prints a set of curves as aligned columns: one block per curve, in the

@@ -217,8 +217,16 @@ impl SimulationBuilder {
         ))
     }
 
-    /// Sweeps offered load over `rates`, producing a latency-throughput
-    /// curve (class `latency_class`, or the total when `None`).
+    /// Sweeps offered load over `rates` in parallel, producing a
+    /// latency-throughput curve (class `latency_class`, or the total
+    /// when `None`).
+    ///
+    /// The rate points run concurrently on the default worker pool
+    /// ([`crate::exec::num_threads`], overridable with
+    /// `FOOTPRINT_THREADS`). Each point gets its own seed, derived
+    /// deterministically from this builder's seed and the rate's index
+    /// ([`crate::exec::derive_seed`]), so the curve is bit-identical
+    /// whatever the thread count or completion order.
     ///
     /// # Errors
     ///
@@ -232,24 +240,72 @@ impl SimulationBuilder {
         rates: &[f64],
         latency_class: Option<u8>,
     ) -> Result<Curve, ConfigError> {
+        self.sweep_on(rates, latency_class, crate::exec::num_threads())
+    }
+
+    /// [`SimulationBuilder::sweep`] with an explicit worker count
+    /// (`threads <= 1` runs sequentially on the calling thread).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` is not strictly increasing (curve invariant).
+    pub fn sweep_on(
+        &self,
+        rates: &[f64],
+        latency_class: Option<u8>,
+        threads: usize,
+    ) -> Result<Curve, ConfigError> {
+        let mut jobs = crate::exec::JobSet::new();
+        for (index, &rate) in rates.iter().enumerate() {
+            let point = self.sweep_point(index, rate);
+            jobs.push(move || point.run_sweep_point(latency_class));
+        }
         let mut curve = Curve::new(self.routing.name());
-        for &rate in rates {
-            let report = self.clone().injection_rate(rate).run()?;
-            let s = match latency_class {
-                Some(c) => report.class(c),
-                None => report.latency,
-            };
-            curve.push(SweepPoint {
-                offered: rate,
-                accepted: s.throughput,
-                latency: s.mean_latency,
-            });
+        for point in jobs.run_on(threads) {
+            curve.push(point?);
         }
         Ok(curve)
     }
 
-    /// Finds the saturation throughput by sweeping `rates` and applying the
-    /// 3×-zero-load-latency criterion.
+    /// The builder for sweep point `index` at offered load `rate`: the
+    /// same configuration with the point's derived seed. Exposed so
+    /// batch runners (the bench harness) can flatten many curves into
+    /// one job set while reproducing exactly what [`Self::sweep`]
+    /// would compute per curve.
+    #[must_use]
+    pub fn sweep_point(&self, index: usize, rate: f64) -> Self {
+        self.clone()
+            .injection_rate(rate)
+            .seed(crate::exec::derive_seed(self.seed, index as u64))
+    }
+
+    /// Runs this builder as one point of a sweep, summarizing class
+    /// `latency_class` (or the total when `None`). Combined with
+    /// [`Self::sweep_point`], this is the unit of work batch runners
+    /// submit to a [`crate::exec::JobSet`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn run_sweep_point(&self, latency_class: Option<u8>) -> Result<SweepPoint, ConfigError> {
+        let report = self.run()?;
+        let s = match latency_class {
+            Some(c) => report.class(c),
+            None => report.latency,
+        };
+        Ok(SweepPoint {
+            offered: self.rate,
+            accepted: s.throughput,
+            latency: s.mean_latency,
+        })
+    }
+
+    /// Finds the saturation throughput by sweeping `rates` (in
+    /// parallel) and applying the 3×-zero-load-latency criterion.
     ///
     /// # Errors
     ///
@@ -298,6 +354,39 @@ mod tests {
         assert_eq!(a, b);
         let c = quick().injection_rate(0.3).seed(4).run().unwrap();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sweep_identical_across_thread_counts() {
+        // The engine guarantee: `FOOTPRINT_THREADS=1` (sequential,
+        // `sweep_on(.., 1)`) and any wider pool — including the default
+        // `sweep()` pool — produce bit-identical curves.
+        let rates = [0.05, 0.15, 0.25];
+        let sequential = quick().sweep_on(&rates, None, 1).unwrap();
+        let pooled = quick().sweep_on(&rates, None, 4).unwrap();
+        let default_pool = quick().sweep(&rates, None).unwrap();
+        assert_eq!(sequential, pooled);
+        assert_eq!(sequential, default_pool);
+    }
+
+    #[test]
+    fn sweep_points_use_distinct_derived_seeds() {
+        // No accidental seed reuse across the jobs of one sweep: every
+        // rate index maps to its own seed, none of which is the base.
+        let base = quick();
+        let seeds: Vec<u64> = (0..8)
+            .map(|i| crate::exec::derive_seed(3, i as u64))
+            .collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
+        assert!(seeds.iter().all(|&s| s != 3));
+        // And sweep_point() is the exact builder sweep() runs for a
+        // given index: same config, derived seed, requested rate.
+        let p = base.sweep_point(2, 0.25);
+        assert_eq!(p.rate(), 0.25);
+        assert_eq!(p.seed, crate::exec::derive_seed(3, 2));
     }
 
     #[test]

@@ -11,6 +11,11 @@
 //! * [`RunReport`] — per-class latency/throughput plus the §4.3 blocking
 //!   purity metrics.
 //!
+//! * [`exec`] — the parallel experiment engine: fan independent runs
+//!   out over a scoped worker pool ([`exec::JobSet`]) with
+//!   deterministic per-job seeds, so sweeps use every core while
+//!   staying bit-identical to sequential execution.
+//!
 //! Re-exported: [`RoutingSpec`] (the seven algorithms of Table 2),
 //! [`PacketSize`], [`App`].
 //!
@@ -39,10 +44,12 @@
 #![warn(missing_docs)]
 
 mod builder;
+pub mod exec;
 mod report;
 mod traffic_spec;
 
 pub use builder::SimulationBuilder;
+pub use exec::JobSet;
 pub use report::{ClassSummary, RunReport};
 pub use traffic_spec::TrafficSpec;
 

@@ -116,78 +116,50 @@ impl Footprint {
         self.threshold.unwrap_or(num_vcs / 2)
     }
 
-    /// Classifies the adaptive VCs of `port` for destination `dest` into
-    /// (idle, footprint, busy) VC id lists.
-    fn classify(
-        ctx: &RoutingCtx<'_>,
-        port: Port,
-        dest: NodeId,
-    ) -> (Vec<VcId>, Vec<VcId>, Vec<VcId>) {
-        let mut idle = Vec::new();
-        let mut fp = Vec::new();
-        let mut busy = Vec::new();
-        for v in 1..ctx.num_vcs {
-            let vc = VcId(v as u8);
-            let view = ctx.ports.vc(port, vc);
-            if view.is_footprint_for(dest) {
-                // Owner-register match — footprint regardless of occupancy
-                // (a drained VC stays this destination's footprint).
-                fp.push(vc);
-            } else if view.idle {
-                idle.push(vc);
-            } else {
-                busy.push(vc);
-            }
-        }
-        (idle, fp, busy)
+    /// Counts the adaptive VCs of `port` in each class for destination
+    /// `dest`: `(idle, footprint, busy)`. This replaces materializing
+    /// the per-class VC lists — `route` runs per packet per cycle, so
+    /// the hot path must not allocate.
+    fn classify_counts(ctx: &RoutingCtx<'_>, port: Port, dest: NodeId) -> (usize, usize, usize) {
+        count_classes(ctx, port, dest, 1)
     }
 
     /// Step 3 of Algorithm 1: generates the prioritized VC requests for the
-    /// chosen port.
-    fn add_vc_requests(
-        &self,
-        ctx: &RoutingCtx<'_>,
-        port: Port,
-        idle: &[VcId],
-        fp: &[VcId],
-        busy: &[VcId],
-        out: &mut Vec<VcRequest>,
-    ) {
+    /// chosen port. Emission is class-grouped (idle block, then footprint,
+    /// then busy — matching the listing) via one scan per class; no
+    /// intermediate lists.
+    fn add_vc_requests(&self, ctx: &RoutingCtx<'_>, port: Port, out: &mut Vec<VcRequest>) {
+        let dest = ctx.dest;
         let fp_limit = self.max_footprint_vcs.unwrap_or(usize::MAX);
-        let fp = &fp[..fp.len().min(fp_limit)];
+        let (idle, raw_fp, _busy) = Self::classify_counts(ctx, port, dest);
+        // Footprint VCs beyond the §4.2.5 limit get no request at all.
+        let fp = raw_fp.min(fp_limit);
         let threshold = self.threshold_for(ctx.num_vcs);
-        if idle.len() >= threshold {
+        let push = |class, priority, limit, out: &mut Vec<VcRequest>| {
+            push_vc_class(ctx, port, dest, 1, class, priority, limit, out);
+        };
+        if idle >= threshold {
             // No congestion: use all adaptive VCs — waiting on footprint
             // channels would only add latency (line 31).
-            for &vc in idle.iter().chain(fp).chain(busy) {
-                out.push(VcRequest::new(port, vc, Priority::Low));
-            }
-        } else if idle.is_empty() {
-            if !fp.is_empty() {
+            push(VcClass::Idle, Priority::Low, usize::MAX, out);
+            push(VcClass::Footprint, Priority::Low, fp_limit, out);
+            push(VcClass::Busy, Priority::Low, usize::MAX, out);
+        } else if idle == 0 {
+            if fp > 0 {
                 // Saturated with a footprint: wait on the footprint channels
                 // only (line 34).
-                for &vc in fp {
-                    out.push(VcRequest::new(port, vc, Priority::High));
-                }
+                push(VcClass::Footprint, Priority::High, fp_limit, out);
             } else {
                 // Saturated, no footprint: request all adaptive VCs (line 37).
-                for &vc in idle.iter().chain(busy) {
-                    out.push(VcRequest::new(port, vc, Priority::Low));
-                }
+                push(VcClass::Busy, Priority::Low, usize::MAX, out);
             }
-        } else if self.literal_tiering || fp.is_empty() {
+        } else if self.literal_tiering || fp == 0 {
             // Intermediate load, no footprint (or literal mode): prioritize
             // idle > footprint > busy (lines 40-42 as listed).
-            for &vc in idle {
-                out.push(VcRequest::new(port, vc, Priority::Highest));
-            }
-            for &vc in fp {
-                out.push(VcRequest::new(port, vc, Priority::High));
-            }
-            for &vc in busy {
-                out.push(VcRequest::new(port, vc, Priority::Low));
-            }
-        } else if fp.len() >= idle.len() {
+            push(VcClass::Idle, Priority::Highest, usize::MAX, out);
+            push(VcClass::Footprint, Priority::High, fp_limit, out);
+            push(VcClass::Busy, Priority::Low, usize::MAX, out);
+        } else if fp >= idle {
             // Intermediate load with a *dominant* footprint — the signature
             // of endpoint congestion (this destination already occupies as
             // many VCs as remain idle): follow the footprint instead of
@@ -195,29 +167,91 @@ impl Footprint {
             // specifies). Idle VCs stay requested as a lower-priority
             // fallback so forward progress never depends on the footprint
             // chain alone.
-            for &vc in fp {
-                out.push(VcRequest::new(port, vc, Priority::Highest));
-            }
-            for &vc in idle {
-                out.push(VcRequest::new(port, vc, Priority::High));
-            }
-            for &vc in busy {
-                out.push(VcRequest::new(port, vc, Priority::Low));
-            }
+            push(VcClass::Footprint, Priority::Highest, fp_limit, out);
+            push(VcClass::Idle, Priority::High, usize::MAX, out);
+            push(VcClass::Busy, Priority::Low, usize::MAX, out);
         } else {
             // Intermediate load, footprint present but small relative to
             // the idle pool (transient contention, not endpoint
             // congestion): the listing's tiering — idle first, then
             // footprint, then busy (lines 40-42).
-            for &vc in idle {
-                out.push(VcRequest::new(port, vc, Priority::Highest));
-            }
-            for &vc in fp {
-                out.push(VcRequest::new(port, vc, Priority::High));
-            }
-            for &vc in busy {
-                out.push(VcRequest::new(port, vc, Priority::Low));
-            }
+            push(VcClass::Idle, Priority::Highest, usize::MAX, out);
+            push(VcClass::Footprint, Priority::High, fp_limit, out);
+            push(VcClass::Busy, Priority::Low, usize::MAX, out);
+        }
+    }
+}
+
+/// Classification of one adaptive VC relative to a packet's destination.
+/// Shared with [`crate::FootprintOverlay`], which applies the same step-3
+/// tiers on top of other algorithms' port decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VcClass {
+    /// Available for fresh allocation, no owner match.
+    Idle,
+    /// Owner register matches the destination (§3.2).
+    Footprint,
+    /// Occupied by another destination's traffic.
+    Busy,
+}
+
+/// The class of one VC for destination `dest`. An owner-register match
+/// is a footprint regardless of occupancy (a drained VC stays this
+/// destination's footprint).
+#[inline]
+pub(crate) fn vc_class(view: crate::VcView, dest: NodeId) -> VcClass {
+    if view.is_footprint_for(dest) {
+        VcClass::Footprint
+    } else if view.idle {
+        VcClass::Idle
+    } else {
+        VcClass::Busy
+    }
+}
+
+/// Counts the VCs of `port` in index range `[lo, num_vcs)` per class for
+/// destination `dest`: `(idle, footprint, busy)`. Allocation-free.
+pub(crate) fn count_classes(
+    ctx: &RoutingCtx<'_>,
+    port: Port,
+    dest: NodeId,
+    lo: usize,
+) -> (usize, usize, usize) {
+    let (mut idle, mut fp, mut busy) = (0, 0, 0);
+    for v in lo..ctx.num_vcs {
+        match vc_class(ctx.ports.vc(port, VcId(v as u8)), dest) {
+            VcClass::Idle => idle += 1,
+            VcClass::Footprint => fp += 1,
+            VcClass::Busy => busy += 1,
+        }
+    }
+    (idle, fp, busy)
+}
+
+/// Pushes a request for every VC of `class` at `port` within
+/// `[lo, num_vcs)` (in VC-index order, at most `limit` of them) with
+/// priority `priority`. Allocation-free class-grouped emission: callers
+/// invoke it once per class in tier order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn push_vc_class(
+    ctx: &RoutingCtx<'_>,
+    port: Port,
+    dest: NodeId,
+    lo: usize,
+    class: VcClass,
+    priority: Priority,
+    limit: usize,
+    out: &mut Vec<VcRequest>,
+) {
+    let mut pushed = 0;
+    for v in lo..ctx.num_vcs {
+        if pushed >= limit {
+            break;
+        }
+        let vc = VcId(v as u8);
+        if vc_class(ctx.ports.vc(port, vc), dest) == class {
+            out.push(VcRequest::new(port, vc, priority));
+            pushed += 1;
         }
     }
 }
@@ -262,12 +296,12 @@ impl RoutingAlgorithm for Footprint {
             (Some(x), Some(y)) => {
                 // STEP 2: compare idle-VC counts, then footprint-VC counts,
                 // then break ties randomly (lines 10–20).
-                let (ix, fx, _) = Self::classify(ctx, Port::Dir(x), ctx.dest);
-                let (iy, fy, _) = Self::classify(ctx, Port::Dir(y), ctx.dest);
-                match ix.len().cmp(&iy.len()) {
+                let (ix, fx, _) = Self::classify_counts(ctx, Port::Dir(x), ctx.dest);
+                let (iy, fy, _) = Self::classify_counts(ctx, Port::Dir(y), ctx.dest);
+                match ix.cmp(&iy) {
                     core::cmp::Ordering::Greater => x,
                     core::cmp::Ordering::Less => y,
-                    core::cmp::Ordering::Equal => match fx.len().cmp(&fy.len()) {
+                    core::cmp::Ordering::Equal => match fx.cmp(&fy) {
                         core::cmp::Ordering::Greater => x,
                         core::cmp::Ordering::Less => y,
                         core::cmp::Ordering::Equal => {
@@ -282,9 +316,7 @@ impl RoutingAlgorithm for Footprint {
             }
         };
         // STEP 3: VC requests on the chosen port.
-        let port = Port::Dir(chosen);
-        let (idle, fp, busy) = Self::classify(ctx, port, ctx.dest);
-        self.add_vc_requests(ctx, port, &idle, &fp, &busy, out);
+        self.add_vc_requests(ctx, Port::Dir(chosen), out);
         // Escape request, always at lowest priority (line 45).
         if let Some(esc) = ctx.escape_dir() {
             out.push(VcRequest::new(
@@ -303,8 +335,7 @@ impl RoutingAlgorithm for Footprint {
     ) {
         // Injection selects a VC on the source→router channel; run step 3
         // against the local port so footprints form from the very first hop.
-        let (idle, fp, busy) = Self::classify(ctx, Port::Local, ctx.dest);
-        self.add_vc_requests(ctx, Port::Local, &idle, &fp, &busy, out);
+        self.add_vc_requests(ctx, Port::Local, out);
         out.push(VcRequest::new(Port::Local, VcId::ESCAPE, Priority::Lowest));
     }
 }

@@ -8,10 +8,11 @@
 //! overlay adds only VC *preferences* — no new channel dependencies — so
 //! the inner algorithm's deadlock-freedom argument carries over unchanged.
 
+use crate::footprint::{count_classes, push_vc_class, VcClass};
 use crate::{
     DirSet, Priority, RoutingAlgorithm, RoutingCtx, VcId, VcRequest, VcReallocationPolicy,
 };
-use footprint_topology::{Mesh, NodeId, Port};
+use footprint_topology::{Mesh, NodeId, Port, PORT_COUNT};
 use rand::RngCore;
 
 /// Wraps a routing algorithm with footprint-prioritized VC selection.
@@ -33,72 +34,67 @@ impl<A: RoutingAlgorithm> FootprintOverlay<A> {
         FootprintOverlay { inner, name }
     }
 
-    /// Step-3 reclassification of the tail `reqs[start..]`.
+    /// Step-3 reclassification of the tail `reqs[start..]`, rewritten in
+    /// place — this runs per packet per cycle, so no temporary lists.
+    ///
+    /// Escape requests are compacted (order-preserving) to the front of
+    /// the tail during the scan, the reclassified per-port requests are
+    /// appended behind them, and a final rotation restores the
+    /// `[reclassified..., escapes...]` layout of the original code.
     fn reprioritize(&self, ctx: &RoutingCtx<'_>, reqs: &mut Vec<VcRequest>, start: usize) {
         let lo = ctx.adaptive_lo(self.inner.has_escape());
-        // Distinct requested ports, escape requests preserved verbatim.
-        let mut ports: Vec<Port> = Vec::new();
-        let mut escapes: Vec<VcRequest> = Vec::new();
-        for r in reqs.drain(start..) {
-            if self.inner.has_escape() && r.vc == VcId::ESCAPE {
-                escapes.push(r);
-            } else if !ports.contains(&r.port) {
-                ports.push(r.port);
+        let has_escape = self.inner.has_escape();
+        // Distinct requested ports in first-seen order; escape requests
+        // preserved verbatim.
+        let mut seen = [false; PORT_COUNT];
+        let mut port_order = [Port::Local; PORT_COUNT];
+        let mut num_ports = 0;
+        let mut write = start;
+        for read in start..reqs.len() {
+            let r = reqs[read];
+            if has_escape && r.vc == VcId::ESCAPE {
+                reqs[write] = r;
+                write += 1;
+            } else if !seen[r.port.index()] {
+                seen[r.port.index()] = true;
+                port_order[num_ports] = r.port;
+                num_ports += 1;
             }
         }
-        for port in ports {
-            let (mut idle, mut fp, mut busy) = (Vec::new(), Vec::new(), Vec::new());
-            for v in lo..ctx.num_vcs {
-                let vc = VcId(v as u8);
-                let view = ctx.ports.vc(port, vc);
-                if view.is_footprint_for(ctx.dest) {
-                    fp.push(vc);
-                } else if view.idle {
-                    idle.push(vc);
-                } else {
-                    busy.push(vc);
-                }
-            }
+        let num_escapes = write - start;
+        reqs.truncate(write);
+        for &port in &port_order[..num_ports] {
+            let (idle, fp, _busy) = count_classes(ctx, port, ctx.dest, lo);
             let threshold = ctx.num_vcs / 2;
-            if idle.len() >= threshold {
-                for &vc in idle.iter().chain(&fp).chain(&busy) {
-                    reqs.push(VcRequest::new(port, vc, Priority::Low));
-                }
-            } else if idle.is_empty() && !fp.is_empty() {
-                for &vc in &fp {
-                    reqs.push(VcRequest::new(port, vc, Priority::High));
-                }
-            } else if fp.len() >= idle.len() && !fp.is_empty() {
-                for &vc in &fp {
-                    reqs.push(VcRequest::new(port, vc, Priority::Highest));
-                }
-                for &vc in &idle {
-                    reqs.push(VcRequest::new(port, vc, Priority::High));
-                }
-                for &vc in &busy {
-                    reqs.push(VcRequest::new(port, vc, Priority::Low));
-                }
+            let push = |class, priority, reqs: &mut Vec<VcRequest>| {
+                push_vc_class(ctx, port, ctx.dest, lo, class, priority, usize::MAX, reqs);
+            };
+            if idle >= threshold {
+                push(VcClass::Idle, Priority::Low, reqs);
+                push(VcClass::Footprint, Priority::Low, reqs);
+                push(VcClass::Busy, Priority::Low, reqs);
+            } else if idle == 0 && fp > 0 {
+                push(VcClass::Footprint, Priority::High, reqs);
+            } else if fp >= idle && fp > 0 {
+                push(VcClass::Footprint, Priority::Highest, reqs);
+                push(VcClass::Idle, Priority::High, reqs);
+                push(VcClass::Busy, Priority::Low, reqs);
             } else {
-                for &vc in &idle {
-                    reqs.push(VcRequest::new(port, vc, Priority::Highest));
-                }
-                for &vc in &fp {
-                    reqs.push(VcRequest::new(port, vc, Priority::High));
-                }
-                for &vc in &busy {
-                    reqs.push(VcRequest::new(port, vc, Priority::Low));
-                }
+                push(VcClass::Idle, Priority::Highest, reqs);
+                push(VcClass::Footprint, Priority::High, reqs);
+                push(VcClass::Busy, Priority::Low, reqs);
             }
             // Guard against a degenerate empty request set (e.g. a
             // saturated port with no usable VC classes): fall back to every
             // usable VC at Low.
-            if reqs.len() == start && escapes.is_empty() {
+            if reqs.len() == start && num_escapes == 0 {
                 for v in lo..ctx.num_vcs {
                     reqs.push(VcRequest::new(port, VcId(v as u8), Priority::Low));
                 }
             }
         }
-        reqs.extend(escapes);
+        // [escapes..., reclassified...] → [reclassified..., escapes...].
+        reqs[start..].rotate_left(num_escapes);
     }
 }
 

@@ -68,24 +68,44 @@ impl<A: RoutingAlgorithm> VoqSw<A> {
 
     /// Rewrites the tail `reqs[start..]` so each port requests only its
     /// VOQ_sw VC (escape requests pass through).
+    ///
+    /// In-place rewrite, same scheme as `Xordet::remap`: per-port state in
+    /// fixed arrays, escapes compacted to the front of the tail, mapped
+    /// requests appended, then a rotation restores the
+    /// `[mapped..., escapes...]` order — no per-call allocation.
     fn remap(&self, ctx: &RoutingCtx<'_>, reqs: &mut Vec<VcRequest>, start: usize) {
-        let mut seen_ports: Vec<(Port, Priority)> = Vec::new();
-        let mut escapes: Vec<VcRequest> = Vec::new();
-        for r in reqs.drain(start..) {
-            if self.inner.has_escape() && r.vc == VcId::ESCAPE {
-                escapes.push(r);
+        let has_escape = self.inner.has_escape();
+        // Highest priority seen per port, ports kept in first-seen order.
+        let mut best: [Option<Priority>; PORT_COUNT] = [None; PORT_COUNT];
+        let mut port_order = [Port::Local; PORT_COUNT];
+        let mut num_ports = 0;
+        let mut write = start;
+        for read in start..reqs.len() {
+            let r = reqs[read];
+            if has_escape && r.vc == VcId::ESCAPE {
+                reqs[write] = r;
+                write += 1;
                 continue;
             }
-            match seen_ports.iter_mut().find(|(p, _)| *p == r.port) {
-                Some((_, pri)) => *pri = (*pri).max(r.priority),
-                None => seen_ports.push((r.port, r.priority)),
+            let slot = &mut best[r.port.index()];
+            match slot {
+                Some(pri) => *pri = (*pri).max(r.priority),
+                None => {
+                    *slot = Some(r.priority);
+                    port_order[num_ports] = r.port;
+                    num_ports += 1;
+                }
             }
         }
-        for (port, pri) in seen_ports {
+        let num_escapes = write - start;
+        reqs.truncate(write);
+        for &port in &port_order[..num_ports] {
+            let pri = best[port.index()].expect("listed port has a priority");
             let vc = self.mapped_vc(ctx, port, ctx.dest);
             reqs.push(VcRequest::new(port, vc, pri));
         }
-        reqs.extend(escapes);
+        // [escapes..., mapped...] → [mapped..., escapes...].
+        reqs[start..].rotate_left(num_escapes);
     }
 }
 

@@ -4,7 +4,7 @@
 use crate::{
     DirSet, Priority, RoutingAlgorithm, RoutingCtx, VcId, VcRequest, VcReallocationPolicy,
 };
-use footprint_topology::{Mesh, NodeId};
+use footprint_topology::{Mesh, NodeId, PORT_COUNT};
 use rand::RngCore;
 
 /// Computes the XORDET VC class of a destination: the XOR of its mesh
@@ -64,25 +64,44 @@ impl<A: RoutingAlgorithm> Xordet<A> {
     ///
     /// Only the tail `reqs[start..]` is touched: the routing buffer is
     /// shared by every requester at a router, and earlier entries belong to
-    /// other packets.
+    /// other packets. The rewrite is in place (per-port state lives in
+    /// fixed arrays) — this runs per packet per cycle, so it must not
+    /// allocate: escapes are compacted to the front of the tail, the
+    /// collapsed per-port requests appended, and a final rotation restores
+    /// the `[mapped..., escapes...]` order of the original code.
     fn remap(&self, ctx: &RoutingCtx<'_>, reqs: &mut Vec<VcRequest>, start: usize) {
         let mapped = self.mapped_vc(ctx, ctx.dest);
-        let mut seen_ports: Vec<(footprint_topology::Port, Priority)> = Vec::new();
-        let mut escapes: Vec<VcRequest> = Vec::new();
-        for r in reqs.drain(start..) {
-            if self.inner.has_escape() && r.vc == VcId::ESCAPE {
-                escapes.push(r);
+        let has_escape = self.inner.has_escape();
+        // Highest priority seen per port, ports kept in first-seen order.
+        let mut best: [Option<Priority>; PORT_COUNT] = [None; PORT_COUNT];
+        let mut port_order = [footprint_topology::Port::Local; PORT_COUNT];
+        let mut num_ports = 0;
+        let mut write = start;
+        for read in start..reqs.len() {
+            let r = reqs[read];
+            if has_escape && r.vc == VcId::ESCAPE {
+                reqs[write] = r;
+                write += 1;
                 continue;
             }
-            match seen_ports.iter_mut().find(|(p, _)| *p == r.port) {
-                Some((_, pri)) => *pri = (*pri).max(r.priority),
-                None => seen_ports.push((r.port, r.priority)),
+            let slot = &mut best[r.port.index()];
+            match slot {
+                Some(pri) => *pri = (*pri).max(r.priority),
+                None => {
+                    *slot = Some(r.priority);
+                    port_order[num_ports] = r.port;
+                    num_ports += 1;
+                }
             }
         }
-        for (port, pri) in seen_ports {
+        let num_escapes = write - start;
+        reqs.truncate(write);
+        for &port in &port_order[..num_ports] {
+            let pri = best[port.index()].expect("listed port has a priority");
             reqs.push(VcRequest::new(port, mapped, pri));
         }
-        reqs.extend(escapes);
+        // [escapes..., mapped...] → [mapped..., escapes...].
+        reqs[start..].rotate_left(num_escapes);
     }
 }
 

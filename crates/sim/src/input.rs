@@ -146,7 +146,16 @@ impl InVc {
     /// Destinations of the buffered flits, in FIFO order (congestion-tree
     /// analysis input).
     pub fn dests(&self) -> Vec<footprint_topology::NodeId> {
-        self.fifo.iter().map(|f| f.dest).collect()
+        let mut out = Vec::new();
+        self.dests_into(&mut out);
+        out
+    }
+
+    /// Appends the buffered flit destinations to `out` (FIFO order) without
+    /// allocating a fresh list — callers sampling every interval reuse one
+    /// buffer across samples.
+    pub fn dests_into(&self, out: &mut Vec<footprint_topology::NodeId>) {
+        out.extend(self.fifo.iter().map(|f| f.dest));
     }
 
     /// `true` if a head flit is waiting for VC allocation.

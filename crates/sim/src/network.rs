@@ -345,26 +345,45 @@ impl Network {
     /// congestion-tree analysis in `footprint-stats`.
     pub fn occupancy_snapshot(&self) -> Vec<OccupiedVcEntry> {
         let mut entries = Vec::new();
+        self.occupancy_snapshot_into(&mut entries);
+        entries
+    }
+
+    /// Writes the occupancy snapshot into `out`, reusing its entries (and
+    /// their inner `dests` buffers) from the previous sample. Periodic
+    /// samplers (`fig2`, `fig9` timelines) call this every interval, so
+    /// after the first sample the steady state allocates nothing beyond
+    /// occasional capacity growth.
+    pub fn occupancy_snapshot_into(&self, out: &mut Vec<OccupiedVcEntry>) {
+        let mut used = 0;
         for router in &self.routers {
             for (pi, port) in router.inputs().iter().enumerate() {
                 for (vi, vc) in port.vcs().iter().enumerate() {
                     if vc.is_empty() {
                         continue;
                     }
-                    // Walk the FIFO by peeking: InVc only exposes the front,
-                    // so occupancy entries record the front and count; for
-                    // tree analysis the front destination is what blocks.
-                    let dests = vc.dests();
-                    entries.push(OccupiedVcEntry {
-                        node: router.node(),
-                        in_port: Port::from_index(pi),
-                        vc: vi as u8,
-                        dests,
-                    });
+                    if used < out.len() {
+                        let e = &mut out[used];
+                        e.node = router.node();
+                        e.in_port = Port::from_index(pi);
+                        e.vc = vi as u8;
+                        e.dests.clear();
+                        vc.dests_into(&mut e.dests);
+                    } else {
+                        let mut dests = Vec::new();
+                        vc.dests_into(&mut dests);
+                        out.push(OccupiedVcEntry {
+                            node: router.node(),
+                            in_port: Port::from_index(pi),
+                            vc: vi as u8,
+                            dests,
+                        });
+                    }
+                    used += 1;
                 }
             }
         }
-        entries
+        out.truncate(used);
     }
 
     /// Direct read access to a router (tests and white-box analysis).

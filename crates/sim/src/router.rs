@@ -47,6 +47,7 @@ pub struct Router {
     // Scratch buffers reused every cycle to avoid per-cycle allocation.
     scratch_reqs: Vec<VcRequest>,
     scratch_requesters: Vec<Requester>,
+    scratch_granted: Vec<bool>,
 }
 
 impl Router {
@@ -67,6 +68,7 @@ impl Router {
             sa_vc_rr: 0,
             scratch_reqs: Vec::new(),
             scratch_requesters: Vec::new(),
+            scratch_granted: Vec::new(),
         }
     }
 
@@ -171,7 +173,9 @@ impl Router {
 
         // Phase 2: priority-ordered grant loop.
         let n = requesters.len();
-        let mut granted = vec![false; n];
+        let mut granted = std::mem::take(&mut self.scratch_granted);
+        granted.clear();
+        granted.resize(n, false);
         let mut taken = [false; PORT_COUNT * 64];
         if n > 0 {
             let start = self.va_rr % n;
@@ -244,6 +248,7 @@ impl Router {
 
         self.scratch_reqs = reqs;
         self.scratch_requesters = requesters;
+        self.scratch_granted = granted;
     }
 
     /// Counts (footprint, busy) VCs over the distinct ports of a request

@@ -1,0 +1,286 @@
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the API subset its benches use: `Criterion`,
+//! `benchmark_group` with `throughput` / `sample_size` /
+//! `bench_function` / `bench_with_input` / `finish`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up briefly, then timed
+//! over `sample_size` samples of adaptively-sized batches; the mean
+//! time per iteration is printed (with throughput when configured).
+//! There is no statistical analysis, outlier detection, or HTML
+//! reporting — this is a timing harness, not a statistics package.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work performed per iteration, used to derive throughput lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times closures; passed to benchmark functions.
+pub struct Bencher {
+    /// Mean wall-clock time per iteration of the last `iter` call.
+    mean_ns: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: at least one iteration, continuing until ~20ms have
+        // elapsed (so cheap closures get a JIT-free cost estimate while
+        // expensive ones aren't run more than once here).
+        let warmup_budget = Duration::from_millis(20);
+        let warm_start = Instant::now();
+        let mut warm_iters: u32 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= warmup_budget || warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Measurement: `sample_size` samples, each batch sized so one
+        // sample takes roughly 5ms (min 1 iteration), capped so the
+        // whole benchmark stays in the ~0.5s range.
+        let batch = ((5_000_000.0 / est_ns).ceil() as u64).clamp(1, 1_000_000);
+        let samples = self.sample_size.max(1);
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total += t0.elapsed();
+            iters += batch;
+            if total > Duration::from_millis(500) {
+                break;
+            }
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timing samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self.report(&id, b.mean_ns);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        self.report(&id, b.mean_ns);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, mean_ns: f64) {
+        let mut line = format!("{}/{}: {}/iter", self.name, id.id, human_time(mean_ns));
+        match self.throughput {
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                let per_sec = n as f64 / (mean_ns * 1e-9);
+                line.push_str(&format!("  ({per_sec:.3e} elem/s)"));
+            }
+            Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+                let per_sec = n as f64 / (mean_ns * 1e-9);
+                line.push_str(&format!("  ({per_sec:.3e} B/s)"));
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group(name.to_string());
+        g.bench_function(BenchmarkId::from(""), f);
+        g.finish();
+        self
+    }
+
+    /// CLI-argument hook (accepted and ignored).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let _ = $config;
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_reports_without_panicking() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("vendor-smoke");
+        g.throughput(Throughput::Elements(4)).sample_size(2);
+        g.bench_with_input(BenchmarkId::from_parameter("sum"), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function("noop", |b| b.iter(|| black_box(1)));
+        g.finish();
+    }
+
+    #[test]
+    fn human_time_units() {
+        assert!(human_time(12.0).ends_with("ns"));
+        assert!(human_time(12_000.0).ends_with("µs"));
+        assert!(human_time(12_000_000.0).ends_with("ms"));
+        assert!(human_time(2_000_000_000.0).ends_with('s'));
+    }
+}
