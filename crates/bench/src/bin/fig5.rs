@@ -2,7 +2,10 @@
 //! on uniform random, transpose and shuffle traffic with single-flit
 //! packets (8×8 mesh, 10 VCs).
 
-use footprint_bench::{default_rates, paper_builder, phases_from_env, print_curves, CurveSet};
+use footprint_bench::{
+    default_rates, observe_from_env, observed_run, paper_builder, phases_from_env, print_artifacts,
+    print_curves, CurveSet,
+};
 use footprint_core::TrafficSpec;
 use footprint_routing::RoutingSpec;
 use footprint_stats::Table;
@@ -38,4 +41,19 @@ fn main() {
         }
     }
     println!("{}", summary.render());
+
+    // With FOOTPRINT_OBSERVE set, rerun one representative mid-load point
+    // per pattern (Footprint routing) with the full observability stack and
+    // drop occupancy timelines + flit-event traces under results/.
+    if let Some(opts) = observe_from_env() {
+        for traffic in TrafficSpec::PAPER_PATTERNS {
+            let label = format!("fig5_{}_footprint", traffic.name());
+            let builder =
+                paper_builder(RoutingSpec::Footprint, traffic, phases).injection_rate(0.30);
+            let (report, paths) =
+                observed_run(&label, &builder, opts).expect("results/ must be writable");
+            println!("# {label}: {report}");
+            print_artifacts(&label, &paths);
+        }
+    }
 }

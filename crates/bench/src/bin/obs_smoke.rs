@@ -1,0 +1,157 @@
+//! Observability smoke test (run by CI).
+//!
+//! Two checks, each of which must pass for the binary to exit zero:
+//!
+//! 1. **Probed sweep** — a small sweep with the full observability stack
+//!    attached (per-point occupancy timelines via
+//!    [`SimulationBuilder::sweep_observed`], then one fully observed run
+//!    writing timeline CSVs and a flit-event JSONL trace under `results/`).
+//!    The artifacts must exist and the trace must contain the whole flit
+//!    lifecycle (inject, VC grant, SA grant, eject).
+//!
+//! 2. **Stall watchdog** — a deliberately broken routing function (the
+//!    [`BlackHole`] below never routes a head, so traffic freezes at the
+//!    first router) driven through [`Network::run_watched`]. The watchdog
+//!    must trip and produce a diagnostic bundle, written to
+//!    `results/obs_smoke_stall.txt`, instead of the run spinning to its
+//!    cycle limit.
+
+use std::process::ExitCode;
+
+use footprint_bench::{observed_run, results_dir, ObserveOpts};
+use footprint_core::SimulationBuilder;
+use footprint_routing::{RoutingAlgorithm, RoutingCtx, VcReallocationPolicy, VcRequest};
+use footprint_sim::{EventTrace, FlowSet, Network, SimConfig, SingleFlow, StallWatchdog};
+use footprint_stats::TimelineProbe;
+use footprint_topology::NodeId;
+use rand::RngCore;
+
+/// A deliberately broken algorithm: injection works (the default
+/// injection requests stand), but `route` never emits a request, so every
+/// head waits forever at its first router.
+struct BlackHole;
+
+impl RoutingAlgorithm for BlackHole {
+    fn name(&self) -> &'static str {
+        "blackhole"
+    }
+
+    fn policy(&self) -> VcReallocationPolicy {
+        VcReallocationPolicy::Atomic
+    }
+
+    fn has_escape(&self) -> bool {
+        false
+    }
+
+    fn route(&self, _ctx: &RoutingCtx<'_>, _rng: &mut dyn RngCore, _out: &mut Vec<VcRequest>) {}
+}
+
+fn quick_builder() -> SimulationBuilder {
+    SimulationBuilder::mesh(4)
+        .vcs(4)
+        .warmup(200)
+        .measurement(600)
+        .seed(0x0B5)
+}
+
+fn probed_sweep() -> Result<(), String> {
+    let rates = [0.05, 0.15, 0.25];
+    let (curve, probes) = quick_builder()
+        .sweep_observed(&rates, None, |_, _| TimelineProbe::new(50))
+        .map_err(|e| format!("sweep_observed failed: {e}"))?;
+    if curve.points.len() != rates.len() {
+        return Err(format!("expected {} sweep points", rates.len()));
+    }
+    if probes.iter().any(|p| p.mesh_samples().is_empty()) {
+        return Err("a sweep point's timeline probe collected no samples".into());
+    }
+
+    let opts = ObserveOpts {
+        stride: 50,
+        trace_capacity: 16_384,
+    };
+    let (report, paths) = observed_run("obs_smoke", &quick_builder().injection_rate(0.2), opts)
+        .map_err(|e| format!("observed_run failed: {e}"))?;
+    if report.latency.ejected_packets == 0 {
+        return Err("observed run delivered no packets".into());
+    }
+    for p in &paths {
+        let len = std::fs::metadata(p)
+            .map_err(|e| format!("missing artifact {}: {e}", p.display()))?
+            .len();
+        if len == 0 {
+            return Err(format!("empty artifact {}", p.display()));
+        }
+        println!("# obs_smoke: wrote {} ({len} bytes)", p.display());
+    }
+    // The JSONL trace must show the full flit lifecycle.
+    let events = std::fs::read_to_string(&paths[2])
+        .map_err(|e| format!("unreadable trace {}: {e}", paths[2].display()))?;
+    for kind in ["inject", "vc_grant", "sa_grant", "eject"] {
+        if !events.contains(&format!("\"kind\":\"{kind}\"")) {
+            return Err(format!("trace has no {kind} events"));
+        }
+    }
+    Ok(())
+}
+
+fn stall_watchdog_fires() -> Result<(), String> {
+    let mut net = Network::new(SimConfig::small(), Box::new(BlackHole), 7)
+        .map_err(|e| format!("config rejected: {e}"))?;
+    let mut wl = FlowSet::new(vec![SingleFlow {
+        src: NodeId(0),
+        dest: NodeId(5),
+        rate: 1.0,
+        size: 1,
+    }]);
+    let mut trace = EventTrace::with_capacity(1024);
+    let mut watchdog = StallWatchdog::new(100);
+    match net.run_watched(&mut wl, 5_000, &mut trace, &mut watchdog) {
+        Ok(()) => Err("deliberately-stalled run finished without tripping the watchdog".into()),
+        Err(diag) => {
+            let text = diag.to_string();
+            if !text.starts_with("STALL") {
+                return Err(format!("diagnostic bundle malformed:\n{text}"));
+            }
+            if diag.in_flight == 0 {
+                return Err("watchdog tripped with no packets in flight".into());
+            }
+            if diag.router_dumps.is_empty() {
+                return Err("diagnostic bundle has no router dumps".into());
+            }
+            let path = results_dir()
+                .map_err(|e| format!("results dir: {e}"))?
+                .join("obs_smoke_stall.txt");
+            std::fs::write(&path, &text).map_err(|e| format!("writing bundle: {e}"))?;
+            println!(
+                "# obs_smoke: watchdog tripped at cycle {} ({} in flight); bundle: {}",
+                diag.cycle,
+                diag.in_flight,
+                path.display()
+            );
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut ok = true;
+    for (name, result) in [
+        ("probed sweep", probed_sweep()),
+        ("stall watchdog", stall_watchdog_fires()),
+    ] {
+        match result {
+            Ok(()) => println!("obs_smoke: {name} ok"),
+            Err(e) => {
+                eprintln!("obs_smoke: {name} FAILED: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

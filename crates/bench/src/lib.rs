@@ -11,8 +11,12 @@
 //! through a `CurveSet` is bit-identical to sweeping its curves one by
 //! one — and to `FOOTPRINT_THREADS=1` sequential execution.
 
-use footprint_core::{JobSet, RoutingSpec, SimulationBuilder, TrafficSpec};
-use footprint_stats::Curve;
+use std::io;
+use std::path::PathBuf;
+
+use footprint_core::{JobSet, RoutingSpec, RunReport, SimulationBuilder, TrafficSpec};
+use footprint_sim::{EventTrace, ProbePair};
+use footprint_stats::{Curve, TimelineProbe};
 
 /// Standard offered-load sweep for latency-throughput figures: 0.02 to
 /// 0.60 flits/node/cycle.
@@ -63,6 +67,113 @@ pub fn phases_from_env() -> Phases {
         Phases::QUICK
     } else {
         Phases::FULL
+    }
+}
+
+/// Observability options for the experiment binaries.
+///
+/// Assembled from the environment by [`observe_from_env`]; the figure
+/// binaries stay probe-free (and overhead-free) unless `FOOTPRINT_OBSERVE`
+/// is set.
+#[derive(Debug, Clone, Copy)]
+pub struct ObserveOpts {
+    /// Timeline sampling stride in cycles (`FOOTPRINT_TIMELINE_STRIDE`,
+    /// default 100).
+    pub stride: u64,
+    /// Event-trace ring capacity in records (`FOOTPRINT_TRACE_CAP`,
+    /// default 65536 — the trace keeps the *last* N events).
+    pub trace_capacity: usize,
+}
+
+impl Default for ObserveOpts {
+    fn default() -> Self {
+        ObserveOpts {
+            stride: 100,
+            trace_capacity: 65_536,
+        }
+    }
+}
+
+/// Reads observability options from the environment: `None` unless
+/// `FOOTPRINT_OBSERVE` is set, with `FOOTPRINT_TIMELINE_STRIDE` and
+/// `FOOTPRINT_TRACE_CAP` overriding the defaults.
+pub fn observe_from_env() -> Option<ObserveOpts> {
+    std::env::var_os("FOOTPRINT_OBSERVE")?;
+    let mut opts = ObserveOpts::default();
+    if let Some(s) = std::env::var_os("FOOTPRINT_TIMELINE_STRIDE") {
+        if let Some(n) = s.to_str().and_then(|s| s.trim().parse::<u64>().ok()) {
+            if n > 0 {
+                opts.stride = n;
+            }
+        }
+    }
+    if let Some(s) = std::env::var_os("FOOTPRINT_TRACE_CAP") {
+        if let Some(n) = s.to_str().and_then(|s| s.trim().parse::<usize>().ok()) {
+            if n > 0 {
+                opts.trace_capacity = n;
+            }
+        }
+    }
+    Some(opts)
+}
+
+/// Where observability artifacts land: the `results/` directory (created
+/// on demand), overridable with `FOOTPRINT_RESULTS_DIR`.
+///
+/// # Errors
+///
+/// Propagates directory-creation failures.
+pub fn results_dir() -> io::Result<PathBuf> {
+    let dir = std::env::var_os("FOOTPRINT_RESULTS_DIR")
+        .map_or_else(|| PathBuf::from("results"), PathBuf::from);
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Runs `builder` once with the full observability stack attached — an
+/// occupancy/link-utilization timeline (per-router rows included) and a
+/// bounded flit-event tracer — and writes `<label>_timeline.csv`,
+/// `<label>_routers.csv` and `<label>_events.jsonl` into [`results_dir`].
+///
+/// Returns the run's report and the artifact paths.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the exporters.
+///
+/// # Panics
+///
+/// Panics on configuration errors — experiment configurations are static
+/// and must be valid.
+pub fn observed_run(
+    label: &str,
+    builder: &SimulationBuilder,
+    opts: ObserveOpts,
+) -> io::Result<(RunReport, Vec<PathBuf>)> {
+    let mut timeline = TimelineProbe::new(opts.stride).with_router_rows();
+    let mut trace = EventTrace::with_capacity(opts.trace_capacity);
+    let report = {
+        let mut pair = ProbePair::new(&mut timeline, &mut trace);
+        builder
+            .run_probed(&mut pair)
+            .expect("experiment configuration must be valid")
+    };
+    let dir = results_dir()?;
+    let paths = vec![
+        dir.join(format!("{label}_timeline.csv")),
+        dir.join(format!("{label}_routers.csv")),
+        dir.join(format!("{label}_events.jsonl")),
+    ];
+    timeline.save_mesh_csv(&paths[0])?;
+    timeline.save_router_csv(&paths[1])?;
+    trace.save_jsonl(&paths[2])?;
+    Ok((report, paths))
+}
+
+/// Prints the artifact list of an [`observed_run`] to stdout.
+pub fn print_artifacts(label: &str, paths: &[PathBuf]) {
+    for p in paths {
+        println!("# {label}: wrote {}", p.display());
     }
 }
 

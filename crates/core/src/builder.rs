@@ -1,11 +1,56 @@
 //! The simulation builder: one fluent entry point for every experiment.
 
+use core::fmt;
+
 use crate::{RunReport, TrafficSpec};
 use footprint_routing::RoutingSpec;
-use footprint_sim::{ConfigError, Network, NoTraffic, Probe, SimConfig, Workload};
+use footprint_sim::{
+    ConfigError, Network, NoTraffic, Probe, SimConfig, StallDiagnostic, StallWatchdog, Workload,
+};
 use footprint_stats::{Curve, SweepPoint};
 use footprint_topology::Mesh;
 use footprint_traffic::PacketSize;
+
+/// Why a watched run ([`SimulationBuilder::run_watched`]) failed.
+#[derive(Debug)]
+pub enum RunError {
+    /// The configuration was rejected before the network was built.
+    Config(ConfigError),
+    /// The stall watchdog tripped: no flit moved for the configured
+    /// number of cycles while packets were in flight. The boxed
+    /// diagnostic bundle describes the frozen network.
+    Stalled(Box<StallDiagnostic>),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Config(e) => write!(f, "invalid configuration: {e}"),
+            RunError::Stalled(d) => d.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Config(e) => Some(e),
+            RunError::Stalled(d) => Some(d.as_ref()),
+        }
+    }
+}
+
+impl From<ConfigError> for RunError {
+    fn from(e: ConfigError) -> Self {
+        RunError::Config(e)
+    }
+}
+
+impl From<Box<StallDiagnostic>> for RunError {
+    fn from(d: Box<StallDiagnostic>) -> Self {
+        RunError::Stalled(d)
+    }
+}
 
 /// Fluent configuration of one simulation run.
 ///
@@ -204,11 +249,52 @@ impl SimulationBuilder {
     pub fn run_probed(&self, probe: &mut dyn Probe) -> Result<RunReport, ConfigError> {
         let (mut net, mut wl) = self.build()?;
         net.run(&mut *wl, self.warmup);
-        net.metrics_mut().reset_window();
+        let boundary = net.cycle();
+        net.metrics_mut().reset_window_at(boundary);
         net.run_probed(&mut *wl, self.measurement, probe);
         if self.drain > 0 {
             let mut none = NoTraffic;
             net.run_probed(&mut none, self.drain, probe);
+        }
+        Ok(RunReport::from_metrics(
+            net.metrics(),
+            self.mesh.len(),
+            self.rate,
+        ))
+    }
+
+    /// Like [`SimulationBuilder::run_probed`], with a stall watchdog
+    /// attached for the whole run (warmup included): if no flit moves
+    /// for `stall_threshold` consecutive cycles while packets are in
+    /// flight, the run aborts with [`RunError::Stalled`] carrying a full
+    /// diagnostic bundle (occupancy map, per-router VC states, oldest
+    /// in-flight packets) instead of spinning to the cycle limit.
+    ///
+    /// The watchdog and `probe` only observe, so a watched run that
+    /// completes reports bit-identically to [`SimulationBuilder::run`].
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Config`] for configuration errors,
+    /// [`RunError::Stalled`] when the watchdog trips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stall_threshold` is zero.
+    pub fn run_watched(
+        &self,
+        probe: &mut dyn Probe,
+        stall_threshold: u64,
+    ) -> Result<RunReport, RunError> {
+        let (mut net, mut wl) = self.build()?;
+        let mut watchdog = StallWatchdog::new(stall_threshold);
+        net.run_watched(&mut *wl, self.warmup, probe, &mut watchdog)?;
+        let boundary = net.cycle();
+        net.metrics_mut().reset_window_at(boundary);
+        net.run_watched(&mut *wl, self.measurement, probe, &mut watchdog)?;
+        if self.drain > 0 {
+            let mut none = NoTraffic;
+            net.run_watched(&mut none, self.drain, probe, &mut watchdog)?;
         }
         Ok(RunReport::from_metrics(
             net.metrics(),
@@ -269,6 +355,65 @@ impl SimulationBuilder {
             curve.push(point?);
         }
         Ok(curve)
+    }
+
+    /// [`SimulationBuilder::sweep`] with a probe attached to every
+    /// point: `make_probe(index, rate)` builds the point's subscriber
+    /// (timelines, event traces, purity tracking) before the job is
+    /// submitted, and the probes come back alongside the curve, in rate
+    /// order.
+    ///
+    /// Points still run concurrently on the default worker pool with
+    /// per-point derived seeds; since probes only observe, the curve is
+    /// bit-identical to [`SimulationBuilder::sweep`] over the same
+    /// rates, whatever the thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` is not strictly increasing (curve invariant).
+    pub fn sweep_observed<P, F>(
+        &self,
+        rates: &[f64],
+        latency_class: Option<u8>,
+        make_probe: F,
+    ) -> Result<(Curve, Vec<P>), ConfigError>
+    where
+        P: Probe + Send,
+        F: Fn(usize, f64) -> P + Sync,
+    {
+        let mut jobs = crate::exec::JobSet::new();
+        for (index, &rate) in rates.iter().enumerate() {
+            let point = self.sweep_point(index, rate);
+            let make = &make_probe;
+            jobs.push(move || {
+                let mut probe = make(index, rate);
+                let report = point.run_probed(&mut probe)?;
+                let s = match latency_class {
+                    Some(c) => report.class(c),
+                    None => report.latency,
+                };
+                Ok::<_, ConfigError>((
+                    SweepPoint {
+                        offered: rate,
+                        accepted: s.throughput,
+                        latency: s.mean_latency,
+                    },
+                    probe,
+                ))
+            });
+        }
+        let mut curve = Curve::new(self.routing.name());
+        let mut probes = Vec::with_capacity(rates.len());
+        for result in jobs.run() {
+            let (point, probe) = result?;
+            curve.push(point);
+            probes.push(probe);
+        }
+        Ok((curve, probes))
     }
 
     /// The builder for sweep point `index` at offered load `rate`: the
@@ -398,6 +543,53 @@ mod tests {
         assert_eq!(curve.points.len(), 2);
         assert!(curve.points[0].latency <= curve.points[1].latency * 1.5);
         assert!(curve.points[1].accepted > curve.points[0].accepted);
+    }
+
+    #[test]
+    fn watched_run_matches_plain_run() {
+        // The watchdog and probe only observe: a watched run that never
+        // trips reports bit-identically to the plain run.
+        let plain = quick().injection_rate(0.2).run().unwrap();
+        let watched = quick()
+            .injection_rate(0.2)
+            .run_watched(&mut footprint_sim::NullProbe, 10_000)
+            .unwrap();
+        assert_eq!(plain, watched);
+    }
+
+    #[test]
+    fn watched_run_propagates_config_errors() {
+        let err = quick()
+            .vcs(0)
+            .run_watched(&mut footprint_sim::NullProbe, 100)
+            .unwrap_err();
+        assert!(matches!(err, RunError::Config(ConfigError::NumVcs(0))));
+        assert!(err.to_string().contains("invalid configuration"));
+    }
+
+    #[test]
+    fn sweep_observed_matches_sweep_and_returns_probes() {
+        let rates = [0.05, 0.15, 0.25];
+        let plain = quick().sweep(&rates, None).unwrap();
+        let (curve, probes) = quick()
+            .sweep_observed(&rates, None, |_, _| {
+                footprint_stats::TimelineProbe::new(50)
+            })
+            .unwrap();
+        assert_eq!(plain, curve);
+        assert_eq!(probes.len(), rates.len());
+        // Every point's probe saw its measurement window (400 cycles at
+        // stride 50, sampled from the warmup boundary onward).
+        assert!(probes.iter().all(|p| !p.mesh_samples().is_empty()));
+    }
+
+    #[test]
+    fn latency_population_excludes_warmup_born_packets() {
+        let r = quick().injection_rate(0.2).run().unwrap();
+        assert!(r.latency.measured_packets > 0);
+        // Warmup-born packets drain into the window: they are counted as
+        // ejections (throughput) but not in the latency population.
+        assert!(r.latency.measured_packets <= r.latency.ejected_packets);
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //!   deterministic per-job seeds, so sweeps use every core while
 //!   staying bit-identical to sequential execution.
 //!
+//! * Observability — attach any [`Probe`] subscriber to a run or to every
+//!   point of a sweep ([`SimulationBuilder::run_probed`],
+//!   [`SimulationBuilder::sweep_observed`]), and guard long runs with the
+//!   forward-progress watchdog ([`SimulationBuilder::run_watched`], which
+//!   returns a [`StallDiagnostic`] bundle instead of hanging).
+//!
 //! Re-exported: [`RoutingSpec`] (the seven algorithms of Table 2),
 //! [`PacketSize`], [`App`].
 //!
@@ -48,11 +54,13 @@ pub mod exec;
 mod report;
 mod traffic_spec;
 
-pub use builder::SimulationBuilder;
+pub use builder::{RunError, SimulationBuilder};
 pub use exec::JobSet;
 pub use report::{ClassSummary, RunReport};
 pub use traffic_spec::TrafficSpec;
 
 pub use footprint_routing::RoutingSpec;
-pub use footprint_sim::{ConfigError, Probe, SimConfig};
+pub use footprint_sim::{
+    ConfigError, EventTrace, NullProbe, Probe, SimConfig, StallDiagnostic, StallWatchdog,
+};
 pub use footprint_traffic::{App, PacketSize};

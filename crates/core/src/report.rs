@@ -12,6 +12,10 @@ pub struct ClassSummary {
     pub ejected_packets: u64,
     /// Flits ejected in the window.
     pub ejected_flits: u64,
+    /// Ejected packets born inside the measurement window — the latency
+    /// population (warmup-born packets draining into the window count in
+    /// `ejected_packets` but not here).
+    pub measured_packets: u64,
     /// Mean end-to-end packet latency (cycles).
     pub mean_latency: f64,
     /// Maximum packet latency (cycles).
@@ -57,6 +61,7 @@ impl RunReport {
             generated_packets: s.generated_packets,
             ejected_packets: s.ejected_packets,
             ejected_flits: s.ejected_flits,
+            measured_packets: s.measured_packets,
             mean_latency: s.mean_latency(),
             max_latency: s.latency_max,
             throughput: if cycles == 0 {
@@ -148,6 +153,7 @@ mod tests {
         let m = metrics_with(&[(0, 0, 10), (0, 0, 30), (1, 0, 50)]);
         let r = RunReport::from_metrics(&m, 4, 0.25);
         assert_eq!(r.latency.ejected_packets, 3);
+        assert_eq!(r.latency.measured_packets, 3);
         assert!((r.latency.mean_latency - 30.0).abs() < 1e-9);
         assert!((r.class(0).mean_latency - 20.0).abs() < 1e-9);
         assert!((r.class(1).mean_latency - 50.0).abs() < 1e-9);

@@ -42,10 +42,15 @@ pub fn allowed_path_count(
         let mut total = 0u64;
         for d in algo.allowed_dirs(mesh, cur, src, dest).iter() {
             // Allowed directions are minimal by construction, so this walk
-            // terminates.
-            let next = mesh
-                .neighbor(cur, d)
-                .expect("allowed direction must stay in mesh");
+            // terminates; a direction off the mesh is a corrupted direction
+            // set — report it and skip rather than abort the analysis.
+            let next = match crate::invariant::neighbor_checked(mesh, cur, d) {
+                Ok(n) => n,
+                Err(e) => {
+                    crate::invariant::report_violation(&e);
+                    continue;
+                }
+            };
             total = total.saturating_add(rec(mesh, algo, next, src, dest, memo));
         }
         memo[cur.index()] = Some(total);

@@ -186,7 +186,7 @@ mod tests {
         Dbar.route(&ctx, &mut rng, &mut out);
         assert_eq!(out.len(), 4); // 3 adaptive + escape
         assert_eq!(out.iter().filter(|r| r.vc == VcId::ESCAPE).count(), 1);
-        let esc = out.iter().find(|r| r.vc == VcId::ESCAPE).unwrap();
+        let esc = crate::invariant::escape_request(&out, NodeId(0), NodeId(63)).unwrap();
         assert_eq!(esc.priority, Priority::Lowest);
         // Escape follows DOR: X first.
         assert_eq!(esc.port, Port::Dir(Direction::East));

@@ -391,7 +391,7 @@ mod tests {
         let adaptive: Vec<_> = out.iter().filter(|r| r.vc != VcId::ESCAPE).collect();
         assert_eq!(adaptive.len(), 3);
         assert!(adaptive.iter().all(|r| r.priority == Priority::Low));
-        let esc = out.iter().find(|r| r.vc == VcId::ESCAPE).unwrap();
+        let esc = crate::invariant::escape_request(&out, NodeId(0), NodeId(63)).unwrap();
         assert_eq!(esc.priority, Priority::Lowest);
     }
 

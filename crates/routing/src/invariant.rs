@@ -1,0 +1,184 @@
+//! Typed routing-invariant checks.
+//!
+//! Routing functions uphold structural invariants — a minimal output port
+//! always has a downstream neighbor, a Duato-based request set always
+//! contains the escape channel. Violations used to surface as bare
+//! `.unwrap()` panics deep inside a sweep, aborting hours of simulation
+//! with a one-line message. The helpers here return a typed
+//! [`InvariantError`] instead, whose `Display` renders a watchdog-style
+//! diagnostic (the node, the request set, the direction that fell off the
+//! mesh) so a violation becomes an artifact to debug rather than a crash
+//! to reproduce.
+//!
+//! Hot paths that cannot propagate a `Result` (e.g. `route()` filling a
+//! request buffer) degrade gracefully through [`report_violation`]: the
+//! diagnostic is printed once to stderr, debug builds still assert, and the
+//! caller falls back to a safe default.
+
+use core::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::request::{VcId, VcRequest};
+use footprint_topology::{Direction, Mesh, NodeId};
+
+/// A violated routing invariant, carrying enough context to render a
+/// self-contained diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvariantError {
+    /// A routing decision pointed off the edge of the mesh: `dir` from
+    /// `node` has no neighbor. Minimal routing can never do this, so either
+    /// the direction set or the mesh geometry is corrupted.
+    MissingNeighbor {
+        /// Node the direction was taken from.
+        node: NodeId,
+        /// The offending direction.
+        dir: Direction,
+    },
+    /// A Duato-based request set contains no escape-channel request —
+    /// deadlock freedom rests on the escape VC always being requestable.
+    MissingEscapeRequest {
+        /// Router evaluating the routing function.
+        current: NodeId,
+        /// Destination of the packet being routed.
+        dest: NodeId,
+        /// The full (escape-free) request set, for the diagnostic.
+        requests: Vec<VcRequest>,
+    },
+}
+
+impl fmt::Display for InvariantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantError::MissingNeighbor { node, dir } => write!(
+                f,
+                "routing invariant violated: direction {dir} from {node} leaves the mesh \
+                 (minimal routing cannot step off the edge; the direction set or mesh \
+                 geometry is corrupted)"
+            ),
+            InvariantError::MissingEscapeRequest {
+                current,
+                dest,
+                requests,
+            } => {
+                write!(
+                    f,
+                    "routing invariant violated: no escape-VC request at {current} for a \
+                     packet to {dest} (Duato deadlock freedom requires {} in every request \
+                     set); emitted requests: [",
+                    VcId::ESCAPE
+                )?;
+                for (i, r) in requests.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                f.write_str("]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvariantError {}
+
+/// The neighbor of `node` in direction `dir`, or a typed error if the step
+/// leaves the mesh.
+///
+/// # Errors
+///
+/// Returns [`InvariantError::MissingNeighbor`] when `node` has no neighbor
+/// in `dir`.
+pub fn neighbor_checked(mesh: Mesh, node: NodeId, dir: Direction) -> Result<NodeId, InvariantError> {
+    mesh.neighbor(node, dir)
+        .ok_or(InvariantError::MissingNeighbor { node, dir })
+}
+
+/// The escape-channel request in `reqs`, or a typed error carrying the full
+/// request set if the Duato invariant is violated.
+///
+/// # Errors
+///
+/// Returns [`InvariantError::MissingEscapeRequest`] when no request targets
+/// [`VcId::ESCAPE`].
+pub fn escape_request(
+    reqs: &[VcRequest],
+    current: NodeId,
+    dest: NodeId,
+) -> Result<&VcRequest, InvariantError> {
+    reqs.iter().find(|r| r.vc == VcId::ESCAPE).ok_or_else(|| {
+        InvariantError::MissingEscapeRequest {
+            current,
+            dest,
+            requests: reqs.to_vec(),
+        }
+    })
+}
+
+/// Reports an invariant violation from a hot path that must keep going:
+/// prints the diagnostic to stderr (once per process, so a violation inside
+/// the cycle loop cannot flood the console) and asserts in debug builds.
+pub fn report_violation(err: &InvariantError) {
+    static REPORTED: AtomicBool = AtomicBool::new(false);
+    if !REPORTED.swap(true, Ordering::Relaxed) {
+        eprintln!("{err}");
+    }
+    debug_assert!(false, "{err}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Priority;
+    use footprint_topology::Port;
+
+    #[test]
+    fn neighbor_checked_steps_inside_the_mesh() {
+        let mesh = Mesh::square(4);
+        assert_eq!(
+            neighbor_checked(mesh, NodeId(0), Direction::East).unwrap(),
+            NodeId(1)
+        );
+    }
+
+    #[test]
+    fn neighbor_checked_reports_edge_violations() {
+        let mesh = Mesh::square(4);
+        let err = neighbor_checked(mesh, NodeId(0), Direction::West).unwrap_err();
+        assert_eq!(
+            err,
+            InvariantError::MissingNeighbor {
+                node: NodeId(0),
+                dir: Direction::West
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("leaves the mesh"), "msg: {msg}");
+        assert!(msg.contains("n0"), "msg: {msg}");
+    }
+
+    #[test]
+    fn escape_request_finds_the_escape_channel() {
+        let reqs = [
+            VcRequest::new(Port::Dir(Direction::East), VcId(2), Priority::Low),
+            VcRequest::new(Port::Dir(Direction::East), VcId::ESCAPE, Priority::Lowest),
+        ];
+        let esc = escape_request(&reqs, NodeId(0), NodeId(5)).unwrap();
+        assert_eq!(esc.vc, VcId::ESCAPE);
+    }
+
+    #[test]
+    fn missing_escape_yields_diagnostic_with_request_set() {
+        let reqs = [VcRequest::new(
+            Port::Dir(Direction::North),
+            VcId(3),
+            Priority::High,
+        )];
+        let err = escape_request(&reqs, NodeId(7), NodeId(12)).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("no escape-VC request"), "msg: {msg}");
+        assert!(msg.contains("n7"), "msg: {msg}");
+        assert!(msg.contains("n12"), "msg: {msg}");
+        // The diagnostic embeds the offending request set.
+        assert!(msg.contains("vc3"), "msg: {msg}");
+    }
+}

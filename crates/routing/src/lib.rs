@@ -58,6 +58,7 @@ pub mod cost;
 mod dbar;
 mod dor;
 mod footprint;
+pub mod invariant;
 mod odd_even;
 mod overlay;
 mod request;
@@ -71,6 +72,7 @@ pub use algorithm::{DirSet, RoutingAlgorithm, RoutingCtx, VcReallocationPolicy, 
 pub use dbar::{dbar_threshold, Dbar};
 pub use dor::{Dor, RandomMinimal};
 pub use footprint::Footprint;
+pub use invariant::{escape_request, neighbor_checked, InvariantError};
 pub use odd_even::OddEven;
 pub use overlay::FootprintOverlay;
 pub use request::{Priority, VcId, VcRequest};

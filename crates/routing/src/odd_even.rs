@@ -246,7 +246,7 @@ mod tests {
                         .iter()
                         .next()
                         .unwrap_or_else(|| panic!("stuck at {cur} for {src}->{dest}"));
-                    cur = mesh.neighbor(cur, d).unwrap();
+                    cur = crate::invariant::neighbor_checked(mesh, cur, d).unwrap();
                     hops += 1;
                     assert!(hops <= mesh.hops(src, dest));
                 }
@@ -290,7 +290,10 @@ mod tests {
                                 "forbidden turn {inc}->{out} at {cur} ({src}->{dest})"
                             );
                         }
-                        stack.push((mesh.neighbor(cur, out).unwrap(), Some(out)));
+                        stack.push((
+                            crate::invariant::neighbor_checked(mesh, cur, out).unwrap(),
+                            Some(out),
+                        ));
                     }
                 }
             }

@@ -259,7 +259,7 @@ mod tests {
                             .iter()
                             .next()
                             .unwrap_or_else(|| panic!("{name}: stuck at {cur} for {src}→{dest}"));
-                        cur = mesh.neighbor(cur, d).unwrap();
+                        cur = crate::invariant::neighbor_checked(mesh, cur, d).unwrap();
                         hops += 1;
                         assert!(hops <= mesh.hops(src, dest), "{name}: non-minimal walk");
                     }

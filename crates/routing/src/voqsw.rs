@@ -56,10 +56,17 @@ impl<A: RoutingAlgorithm> VoqSw<A> {
         debug_assert!(range > 0, "VOQ_sw needs at least one mappable VC");
         let downstream = match port {
             Port::Local => dest, // injection: the local router itself
-            Port::Dir(d) => ctx
-                .mesh
-                .neighbor(ctx.current, d)
-                .expect("minimal port has a neighbor"),
+            Port::Dir(d) => {
+                match crate::invariant::neighbor_checked(ctx.mesh, ctx.current, d) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        // Minimal ports always have a neighbor; degrade to
+                        // the local class instead of aborting the sweep.
+                        crate::invariant::report_violation(&e);
+                        ctx.current
+                    }
+                }
+            }
         };
         let class = dor_output_port(ctx.mesh, downstream, dest).index();
         // Stripe the available VCs across the five output classes.
@@ -100,7 +107,9 @@ impl<A: RoutingAlgorithm> VoqSw<A> {
         let num_escapes = write - start;
         reqs.truncate(write);
         for &port in &port_order[..num_ports] {
-            let pri = best[port.index()].expect("listed port has a priority");
+            // Listed ports always have a recorded priority; skip (rather
+            // than panic) if that bookkeeping is ever violated.
+            let Some(pri) = best[port.index()] else { continue };
             let vc = self.mapped_vc(ctx, port, ctx.dest);
             reqs.push(VcRequest::new(port, vc, pri));
         }

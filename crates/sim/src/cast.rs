@@ -1,0 +1,21 @@
+//! Checked narrowing conversions for VC and port indices.
+//!
+//! VC indices live in `usize` loops but travel through flits, credits and
+//! route state as `u8` (the configuration validator caps `num_vcs` at 64,
+//! so the narrowing is always lossless for valid configs). Routing them
+//! through these helpers instead of bare `as` casts means a config that
+//! somehow escapes validation fails loudly in debug builds instead of
+//! silently truncating an index and corrupting VC bookkeeping.
+
+/// Narrows a VC index to the `u8` wire representation.
+///
+/// `debug_assert!`s that the value fits; release builds behave like the
+/// plain cast (the configuration validator upholds the invariant there).
+#[inline]
+pub(crate) fn vc_u8(vc: usize) -> u8 {
+    debug_assert!(
+        vc <= u8::MAX as usize,
+        "VC index {vc} exceeds the u8 wire representation"
+    );
+    vc as u8
+}

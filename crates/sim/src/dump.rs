@@ -19,7 +19,7 @@ impl Network {
     pub fn occupancy_map(&self) -> String {
         let mesh = self.config().mesh;
         let cap = (self.config().num_vcs * self.config().vc_buffer_depth * PORT_COUNT) as f64;
-        let mut out = format!("cycle {}, {} \n", self.cycle(), mesh);
+        let mut out = format!("cycle {}, {}\n", self.cycle(), mesh);
         for y in (0..mesh.height()).rev() {
             for x in 0..mesh.width() {
                 let node = mesh.node_at(footprint_topology::Coord::new(x, y));
@@ -126,7 +126,10 @@ mod tests {
     fn occupancy_map_shows_congestion_glyphs() {
         let net = congested_net();
         let map = net.occupancy_map();
-        assert!(map.starts_with("cycle 300"));
+        // Exact header: no stray whitespace before the newline (a trailing
+        // space here used to break naive line-based diffing of dumps).
+        assert!(map.starts_with("cycle 300, 4x4 mesh\n"), "header: {map:?}");
+        assert!(!map.lines().next().unwrap().ends_with(' '));
         // 4 rows of 4 cells.
         assert_eq!(map.lines().count(), 5);
         for line in map.lines().skip(1) {

@@ -70,6 +70,7 @@ impl Source {
 
     /// One source cycle: allocate a VC for the front packet if needed, then
     /// stream at most one flit onto the injection wire.
+    #[allow(clippy::too_many_arguments)]
     pub fn step(
         &mut self,
         algo: &dyn RoutingAlgorithm,
@@ -77,6 +78,7 @@ impl Source {
         congestion: &dyn CongestionView,
         rng: &mut SmallRng,
         wire: &mut Wire,
+        probe: &mut dyn Probe,
     ) {
         if self.active_vc.is_none() {
             self.try_allocate(algo, mesh, congestion, rng);
@@ -86,12 +88,25 @@ impl Source {
             return;
         }
         let front = self.queue.front_mut().expect("active VC implies a packet");
-        let flit = front.next_flit(vc as u8);
+        let flit = front.next_flit(crate::cast::vc_u8(vc));
         self.vcs[vc].consume_credit();
         if flit.is_tail() {
             self.vcs[vc].tail_sent(algo.policy());
             self.queue.pop_front();
             self.active_vc = None;
+        }
+        if probe.wants_flit_events() {
+            probe.flit_event(&crate::observe::FlitEvent {
+                kind: crate::observe::FlitEventKind::Inject,
+                node: self.node,
+                packet: flit.packet,
+                src: flit.src,
+                dest: flit.dest,
+                class: flit.class,
+                port: Port::Local,
+                vc: flit.vc,
+                head: flit.is_head(),
+            });
         }
         wire.flits.push(flit);
     }
@@ -205,6 +220,19 @@ impl Sink {
             if let Some(flit) = self.vcs[v].pop_front() {
                 self.rr = (v + 1) % n;
                 debug_assert_eq!(flit.dest, self.node, "flit ejected at wrong node");
+                if probe.wants_flit_events() {
+                    probe.flit_event(&crate::observe::FlitEvent {
+                        kind: crate::observe::FlitEventKind::Eject,
+                        node: self.node,
+                        packet: flit.packet,
+                        src: flit.src,
+                        dest: flit.dest,
+                        class: flit.class,
+                        port: Port::Local,
+                        vc: flit.vc,
+                        head: flit.is_head(),
+                    });
+                }
                 if flit.is_tail() {
                     let pkt = EjectedPacket {
                         id: flit.packet,
@@ -218,7 +246,9 @@ impl Sink {
                     metrics.record_ejected(&pkt);
                     probe.packet_ejected(&pkt);
                 }
-                return Some(CreditMsg { vc: v as u8 });
+                return Some(CreditMsg {
+                    vc: crate::cast::vc_u8(v),
+                });
             }
         }
         None
@@ -259,8 +289,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         src.enqueue(PacketId(1), new_packet(3, 2), 0);
         assert_eq!(src.backlog(), 1);
-        src.step(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut wire);
-        src.step(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut wire);
+        src.step(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut wire, &mut NullProbe);
+        src.step(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut wire, &mut NullProbe);
         assert_eq!(src.backlog(), 0);
         wire.tick();
         let flits: Vec<_> = wire.flits.drain().collect();
@@ -277,13 +307,13 @@ mod tests {
         let mut wire = Wire::new();
         let mut rng = SmallRng::seed_from_u64(1);
         src.enqueue(PacketId(1), new_packet(3, 3), 0);
-        src.step(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut wire); // head goes
-        src.step(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut wire); // stalls
+        src.step(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut wire, &mut NullProbe); // head goes
+        src.step(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut wire, &mut NullProbe); // stalls
         wire.tick();
         let sent: Vec<_> = wire.flits.drain().collect();
         assert_eq!(sent.len(), 1, "second flit must stall on zero credits");
         src.return_credit(sent[0].vc); // head slot freed downstream
-        src.step(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut wire);
+        src.step(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut wire, &mut NullProbe);
         wire.tick();
         let flits: Vec<_> = wire.flits.drain().collect();
         assert_eq!(flits.len(), 1);
@@ -301,14 +331,14 @@ mod tests {
         // other adaptive VC (3 VCs total: escape + 2 adaptive). Both end up
         // draining, so the channel is congested (no idle adaptive VCs).
         src.enqueue(PacketId(1), new_packet(5, 1), 0);
-        src.step(&algo, mesh, &NoCongestionInfo, &mut rng, &mut wire);
+        src.step(&algo, mesh, &NoCongestionInfo, &mut rng, &mut wire, &mut NullProbe);
         src.enqueue(PacketId(2), new_packet(7, 1), 1);
-        src.step(&algo, mesh, &NoCongestionInfo, &mut rng, &mut wire);
+        src.step(&algo, mesh, &NoCongestionInfo, &mut rng, &mut wire, &mut NullProbe);
         assert_eq!(src.backlog(), 0);
         // Packet 3 to n5 finds idle = ∅ and a footprint VC for n5 → joins
         // it instead of waiting or escaping.
         src.enqueue(PacketId(3), new_packet(5, 1), 2);
-        src.step(&algo, mesh, &NoCongestionInfo, &mut rng, &mut wire);
+        src.step(&algo, mesh, &NoCongestionInfo, &mut rng, &mut wire, &mut NullProbe);
         assert_eq!(src.backlog(), 0, "joined the draining footprint VC");
         wire.tick();
         let flits: Vec<_> = wire.flits.drain().collect();

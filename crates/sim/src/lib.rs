@@ -43,12 +43,14 @@
 
 #![warn(missing_docs)]
 
+mod cast;
 mod config;
 mod dump;
 mod endpoint;
 mod input;
 mod metrics;
 mod network;
+pub mod observe;
 mod output;
 mod packet;
 mod router;
@@ -62,6 +64,10 @@ pub use endpoint::{Sink, Source};
 pub use input::{InVc, InputPort, RouteState};
 pub use metrics::{ClassStats, EjectedPacket, Metrics, NullProbe, Probe, VaBlockInfo};
 pub use network::{Network, OccupiedVcEntry};
+pub use observe::{
+    EventTrace, FlitEvent, FlitEventKind, InFlightPacket, ProbePair, StallDiagnostic,
+    StallWatchdog, TraceRecord,
+};
 pub use output::{OutVc, OutVcState, OutputPort};
 pub use packet::{Flit, FlitKind, NewPacket, PacketId, PendingPacket};
 pub use router::{FreedSlot, Router};

@@ -64,8 +64,20 @@ impl VaBlockInfo {
 }
 
 /// Instrumentation hook invoked by the network as events occur. All methods
-/// default to no-ops.
+/// default to no-ops, so implementors opt into exactly the events they need
+/// and a [`NullProbe`] run costs a handful of virtual no-op calls per cycle.
+///
+/// The per-flit hooks ([`Probe::flit_event`]) are additionally gated by
+/// [`Probe::wants_flit_events`], sampled once per cycle: with the default
+/// `false`, the network skips the call sites entirely, so tracing-grade
+/// instrumentation adds nothing to the hot path unless a subscriber asks
+/// for it.
 pub trait Probe {
+    /// A cycle is about to execute (fired before any event of that cycle).
+    fn cycle_start(&mut self, cycle: u64) {
+        let _ = cycle;
+    }
+
     /// A packet finished ejecting.
     fn packet_ejected(&mut self, packet: &EjectedPacket) {
         let _ = packet;
@@ -74,6 +86,26 @@ pub trait Probe {
     /// A head packet failed VC allocation this cycle.
     fn va_blocked(&mut self, info: &VaBlockInfo) {
         let _ = info;
+    }
+
+    /// `true` to receive per-flit lifecycle events through
+    /// [`Probe::flit_event`]. Sampled once per cycle; the default `false`
+    /// keeps flit-event call sites off the hot path entirely.
+    fn wants_flit_events(&self) -> bool {
+        false
+    }
+
+    /// A flit lifecycle event (inject, VC grant, switch grant, eject).
+    /// Only delivered while [`Probe::wants_flit_events`] returns `true`.
+    fn flit_event(&mut self, event: &crate::observe::FlitEvent) {
+        let _ = event;
+    }
+
+    /// Topology-wide sampling hook, fired once per cycle at cycle end with
+    /// read access to the whole network (occupancy snapshots, channel
+    /// loads). Subscribers apply their own stride.
+    fn sample(&mut self, cycle: u64, net: &crate::network::Network) {
+        let _ = (cycle, net);
     }
 
     /// A cycle completed.
@@ -99,19 +131,25 @@ pub struct ClassStats {
     pub ejected_packets: u64,
     /// Flits ejected.
     pub ejected_flits: u64,
-    /// Sum of packet latencies (cycles) over ejected packets.
+    /// Ejected packets that contribute to the latency statistics: packets
+    /// *born inside* the measurement window. Warmup-born packets draining
+    /// into the window still count toward `ejected_packets`/`ejected_flits`
+    /// (throughput is a window property) but are excluded here, following
+    /// BookSim's convention of tagging only measurement-phase packets.
+    pub measured_packets: u64,
+    /// Sum of packet latencies (cycles) over the measured packets.
     pub latency_sum: u128,
-    /// Maximum packet latency observed.
+    /// Maximum packet latency observed among the measured packets.
     pub latency_max: u64,
 }
 
 impl ClassStats {
-    /// Mean packet latency over the ejected packets, or 0 if none ejected.
+    /// Mean packet latency over the measured packets, or 0 if none.
     pub fn mean_latency(&self) -> f64 {
-        if self.ejected_packets == 0 {
+        if self.measured_packets == 0 {
             0.0
         } else {
-            self.latency_sum as f64 / self.ejected_packets as f64
+            self.latency_sum as f64 / self.measured_packets as f64
         }
     }
 }
@@ -130,6 +168,9 @@ pub struct Metrics {
     pub purity_events: u64,
     /// Cycles elapsed in the window.
     pub cycles: u64,
+    /// First cycle of the measurement window: packets born earlier are
+    /// excluded from the latency statistics (see [`ClassStats`]).
+    measure_from: u64,
 }
 
 impl Metrics {
@@ -162,6 +203,7 @@ impl Metrics {
             t.generated_flits += c.generated_flits;
             t.ejected_packets += c.ejected_packets;
             t.ejected_flits += c.ejected_flits;
+            t.measured_packets += c.measured_packets;
             t.latency_sum += c.latency_sum;
             t.latency_max = t.latency_max.max(c.latency_max);
         }
@@ -175,14 +217,20 @@ impl Metrics {
         c.generated_flits += size as u64;
     }
 
-    /// Records an ejected packet.
+    /// Records an ejected packet. Packets born before the measurement
+    /// window ([`Metrics::reset_window_at`]) count toward the ejection
+    /// totals but not the latency statistics.
     pub fn record_ejected(&mut self, p: &EjectedPacket) {
         let lat = p.latency();
+        let measured = p.birth >= self.measure_from;
         let c = self.class_mut(p.class);
         c.ejected_packets += 1;
         c.ejected_flits += p.size as u64;
-        c.latency_sum += lat as u128;
-        c.latency_max = c.latency_max.max(lat);
+        if measured {
+            c.measured_packets += 1;
+            c.latency_sum += lat as u128;
+            c.latency_max = c.latency_max.max(lat);
+        }
     }
 
     /// Records a VC-allocation failure.
@@ -234,8 +282,27 @@ impl Metrics {
     }
 
     /// Zeroes every counter — called at the warmup/measurement boundary.
+    ///
+    /// Latency statistics keep counting every ejected packet, including
+    /// those born before the reset; use [`Metrics::reset_window_at`] to
+    /// also exclude warmup-born packets from the latency population.
     pub fn reset_window(&mut self) {
         *self = Metrics::default();
+    }
+
+    /// Zeroes every counter and marks `cycle` as the start of the
+    /// measurement window: packets born before it are excluded from the
+    /// latency statistics (but still counted as ejections, since accepted
+    /// throughput is a property of the window, not of packet birth).
+    pub fn reset_window_at(&mut self, cycle: u64) {
+        *self = Metrics::default();
+        self.measure_from = cycle;
+    }
+
+    /// First cycle of the measurement window (0 unless
+    /// [`Metrics::reset_window_at`] was used).
+    pub fn measure_from(&self) -> u64 {
+        self.measure_from
     }
 }
 
@@ -339,5 +406,30 @@ mod tests {
         m.reset_window();
         assert_eq!(m.total().generated_packets, 0);
         assert_eq!(m.cycles, 0);
+    }
+
+    #[test]
+    fn warmup_born_packets_are_excluded_from_latency() {
+        let mut m = Metrics::new();
+        m.reset_window_at(100);
+        assert_eq!(m.measure_from(), 100);
+        // Born during warmup (cycle 50), drains into the window: counted
+        // as an ejection, excluded from the latency population.
+        m.record_ejected(&pkt(0, 50, 150, 2));
+        let c = m.class(0);
+        assert_eq!(c.ejected_packets, 1);
+        assert_eq!(c.ejected_flits, 2);
+        assert_eq!(c.measured_packets, 0);
+        assert_eq!(c.latency_sum, 0);
+        assert_eq!(c.latency_max, 0);
+        assert_eq!(c.mean_latency(), 0.0);
+        // Born inside the window: fully measured.
+        m.record_ejected(&pkt(0, 100, 140, 1));
+        let c = m.class(0);
+        assert_eq!(c.ejected_packets, 2);
+        assert_eq!(c.measured_packets, 1);
+        assert!((c.mean_latency() - 40.0).abs() < 1e-12);
+        assert_eq!(c.latency_max, 40);
+        assert_eq!(m.total().measured_packets, 1);
     }
 }

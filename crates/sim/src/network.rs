@@ -162,6 +162,7 @@ impl Network {
     /// Advances one cycle, reporting events to `probe`.
     pub fn step_probed(&mut self, workload: &mut dyn Workload, probe: &mut dyn Probe) {
         let mesh = self.cfg.mesh;
+        probe.cycle_start(self.cycle);
 
         // 1. Wires advance: flits/credits sent last cycle become visible.
         for w in &mut self.inj_wires {
@@ -239,6 +240,7 @@ impl Network {
                 &self.sideband,
                 &mut self.rng,
                 &mut self.inj_wires[ni],
+                probe,
             );
         }
 
@@ -265,7 +267,7 @@ impl Network {
             );
             let mut freed = std::mem::take(&mut self.freed_scratch);
             freed.clear();
-            self.routers[ni].switch_allocate(policy, self.cfg.speedup, &mut freed);
+            self.routers[ni].switch_allocate(policy, self.cfg.speedup, &mut freed, probe);
             for slot in &freed {
                 let credit = CreditMsg { vc: slot.vc };
                 match Port::from_index(slot.in_port) {
@@ -298,6 +300,7 @@ impl Network {
 
         // 7. Cycle bookkeeping.
         self.metrics.cycles += 1;
+        probe.sample(self.cycle, self);
         probe.cycle_end(self.cycle);
         self.cycle += 1;
     }
@@ -319,6 +322,38 @@ impl Network {
         for _ in 0..cycles {
             self.step_probed(workload, probe);
         }
+    }
+
+    /// Runs `cycles` cycles under a stall watchdog (with an additional
+    /// probe attached; pass [`NullProbe`] if none is needed).
+    ///
+    /// The watchdog observes every flit movement; the cycle after it trips,
+    /// the run stops and returns the full diagnostic bundle instead of
+    /// spinning to the cycle limit — turning a hung sweep into an artifact
+    /// that names the stuck routers and packets.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`StallDiagnostic`](crate::observe::StallDiagnostic)
+    /// when no flit has moved for the watchdog's threshold while packets
+    /// were in flight.
+    pub fn run_watched(
+        &mut self,
+        workload: &mut dyn Workload,
+        cycles: u64,
+        probe: &mut dyn Probe,
+        watchdog: &mut crate::observe::StallWatchdog,
+    ) -> Result<(), Box<crate::observe::StallDiagnostic>> {
+        for _ in 0..cycles {
+            {
+                let mut pair = crate::observe::ProbePair::new(watchdog, probe);
+                self.step_probed(workload, &mut pair);
+            }
+            if watchdog.stalled() {
+                return Err(Box::new(watchdog.diagnose(self)));
+            }
+        }
+        Ok(())
     }
 
     /// `true` when nothing is in flight anywhere: wires, routers, sources
@@ -366,7 +401,7 @@ impl Network {
                         let e = &mut out[used];
                         e.node = router.node();
                         e.in_port = Port::from_index(pi);
-                        e.vc = vi as u8;
+                        e.vc = crate::cast::vc_u8(vi);
                         e.dests.clear();
                         vc.dests_into(&mut e.dests);
                     } else {
@@ -375,7 +410,7 @@ impl Network {
                         out.push(OccupiedVcEntry {
                             node: router.node(),
                             in_port: Port::from_index(pi),
-                            vc: vi as u8,
+                            vc: crate::cast::vc_u8(vi),
                             dests,
                         });
                     }

@@ -28,6 +28,7 @@ struct Requester {
     in_port: usize,
     in_vc: usize,
     packet: PacketId,
+    src: NodeId,
     dest: NodeId,
     class: u8,
     reqs: (u32, u32), // [start, end) into the flat request buffer
@@ -128,6 +129,7 @@ impl Router {
         let policy = algo.policy();
         let has_escape = algo.has_escape();
         let allows_join = algo.allows_footprint_join();
+        let events = probe.wants_flit_events();
 
         // Phase 1 (read-only): evaluate the routing function for every
         // waiting head.
@@ -150,7 +152,7 @@ impl Router {
                         src: head.src,
                         dest: head.dest,
                         input_port: Port::from_index(ip),
-                        input_vc: VcId(iv as u8),
+                        input_vc: VcId(crate::cast::vc_u8(iv)),
                         on_escape: has_escape && iv == 0,
                         num_vcs: self.num_vcs,
                         ports: &view,
@@ -163,6 +165,7 @@ impl Router {
                         in_port: ip,
                         in_vc: iv,
                         packet: head.packet,
+                        src: head.src,
                         dest: head.dest,
                         class: head.class,
                         reqs: (start, end),
@@ -210,10 +213,24 @@ impl Router {
                             && !(has_escape && v == 0)
                             && ovc.joinable_by(r.dest);
                         if fresh || join {
+                            let vc = crate::cast::vc_u8(v);
                             self.outputs[p].vc_mut(v).allocate(r.packet, r.dest);
                             self.inputs[r.in_port]
                                 .vc_mut(r.in_vc)
-                                .grant(req.port, v as u8);
+                                .grant(req.port, vc);
+                            if events {
+                                probe.flit_event(&crate::observe::FlitEvent {
+                                    kind: crate::observe::FlitEventKind::VcGrant,
+                                    node: self.node,
+                                    packet: r.packet,
+                                    src: r.src,
+                                    dest: r.dest,
+                                    class: r.class,
+                                    port: req.port,
+                                    vc,
+                                    head: true,
+                                });
+                            }
                             taken[key] = true;
                             granted[i] = true;
                             break;
@@ -288,7 +305,9 @@ impl Router {
         policy: footprint_routing::VcReallocationPolicy,
         speedup: usize,
         freed: &mut Vec<FreedSlot>,
+        probe: &mut dyn Probe,
     ) {
+        let events = probe.wants_flit_events();
         let mut out_budget = [speedup; PORT_COUNT];
         let mut stage_space = [0usize; PORT_COUNT];
         for (space, output) in stage_space.iter_mut().zip(&self.outputs) {
@@ -326,13 +345,26 @@ impl Router {
                 if flit.is_tail() {
                     ovc.tail_sent(policy);
                 }
+                if events {
+                    probe.flit_event(&crate::observe::FlitEvent {
+                        kind: crate::observe::FlitEventKind::SaGrant,
+                        node: self.node,
+                        packet: flit.packet,
+                        src: flit.src,
+                        dest: flit.dest,
+                        class: flit.class,
+                        port: out_port,
+                        vc: out_vc,
+                        head: flit.is_head(),
+                    });
+                }
                 self.outputs[p].stage_push(flit);
                 stage_space[p] -= 1;
                 out_budget[p] -= 1;
                 in_budget -= 1;
                 freed.push(FreedSlot {
                     in_port: ip,
-                    vc: iv as u8,
+                    vc: crate::cast::vc_u8(iv),
                 });
             }
         }
@@ -389,7 +421,7 @@ mod tests {
             RouteState::Active { .. }
         ));
         let mut freed = Vec::new();
-        r.switch_allocate(Dor.policy(), 2, &mut freed);
+        r.switch_allocate(Dor.policy(), 2, &mut freed, &mut probe);
         assert_eq!(freed.len(), 1);
         assert_eq!(freed[0].in_port, Port::Local.index());
         // Flit staged at the east output.
@@ -489,7 +521,7 @@ mod tests {
         }
         r.vc_allocate(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut m, &mut probe);
         let mut freed = Vec::new();
-        r.switch_allocate(Dor.policy(), 2, &mut freed);
+        r.switch_allocate(Dor.policy(), 2, &mut freed, &mut probe);
         // Only 2 can cross to the east output this cycle (speedup 2).
         assert_eq!(freed.len(), 2);
         let east = Port::Dir(Direction::East).index();
@@ -513,7 +545,7 @@ mod tests {
             r.outputs_mut()[east].vc_mut(out_vc as usize).consume_credit();
         }
         let mut freed = Vec::new();
-        r.switch_allocate(Dor.policy(), 2, &mut freed);
+        r.switch_allocate(Dor.policy(), 2, &mut freed, &mut probe);
         assert!(freed.is_empty(), "no credits, no traversal");
     }
 

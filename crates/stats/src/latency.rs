@@ -162,7 +162,10 @@ impl Histogram {
         if total == 0 {
             return None;
         }
-        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        // At least one sample must be covered, so `q = 0` resolves to the
+        // first non-empty bucket instead of always the first bucket (which
+        // would wrongly return a value for all-overflow histograms).
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
         let mut acc = 0;
         for (i, &b) in self.buckets.iter().enumerate() {
             acc += b;
@@ -250,6 +253,37 @@ mod tests {
         assert_eq!(h.quantile(1.0), Some(100));
         let empty = Histogram::new(10, 10);
         assert_eq!(empty.quantile(0.5), None);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let empty = Histogram::new(10, 4);
+        assert_eq!(empty.total(), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(empty.quantile(q), None, "q={q}");
+        }
+    }
+
+    #[test]
+    fn all_overflow_histogram_has_no_quantiles() {
+        let mut h = Histogram::new(10, 4);
+        for _ in 0..7 {
+            h.push(1_000_000);
+        }
+        assert_eq!(h.overflow(), 7);
+        assert_eq!(h.total(), 7);
+        // Every sample is beyond bucket resolution, so no quantile can be
+        // resolved — including the degenerate q = 0.
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), None, "q={q}");
+        }
+    }
+
+    #[test]
+    fn zero_quantile_resolves_to_first_nonempty_bucket() {
+        let mut h = Histogram::new(10, 4);
+        h.push(25); // bucket 2
+        assert_eq!(h.quantile(0.0), Some(30));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 mod congestion_tree;
 mod latency;
+mod observers;
 mod probes;
 mod purity;
 mod sweep;
@@ -35,6 +36,7 @@ mod timeline;
 
 pub use congestion_tree::{CongestionTree, TreeAnalysis};
 pub use latency::{Histogram, OnlineStats};
+pub use observers::{MeshSample, RouterSample, TimelineProbe};
 pub use probes::{load_balance, LatencyHistogramProbe, LoadBalance};
 pub use purity::PurityProbe;
 pub use sweep::{Curve, SweepPoint};
