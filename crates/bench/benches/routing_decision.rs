@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use footprint_routing::{
-    NoCongestionInfo, RoutingCtx, RoutingSpec, TablePortView, VcId, VcView,
+    AllLinksUp, NoCongestionInfo, RoutingCtx, RoutingSpec, TablePortView, VcId, VcView,
 };
 use footprint_topology::{Mesh, NodeId, Port, DIRECTIONS};
 use rand::rngs::SmallRng;
@@ -55,6 +55,7 @@ fn bench_route(c: &mut Criterion) {
                 num_vcs: 10,
                 ports: &view,
                 congestion: &cong,
+                links: &AllLinksUp,
             };
             b.iter(|| {
                 out.clear();
@@ -96,6 +97,7 @@ fn bench_route_scratch_reuse(c: &mut Criterion) {
                 num_vcs: 10,
                 ports: &view,
                 congestion: &cong,
+                links: &AllLinksUp,
             };
             // Several heads share one request buffer per cycle, exactly
             // like `Router::vc_allocate`'s scratch_reqs.

@@ -1,0 +1,198 @@
+//! Fault-injection smoke test (run by CI).
+//!
+//! Three checks, each of which must pass for the binary to exit zero:
+//!
+//! 1. **Faulted sweep determinism** — a small faulted sweep run at one and
+//!    at four worker threads must produce bit-identical curves (the PR-1
+//!    engine guarantee extended to fault plans).
+//!
+//! 2. **Accounting** — a whole-run-measured, drained faulted run must
+//!    account for every generated packet as delivered or dropped, record
+//!    the unreachable pairs, and (under [`UnreachablePolicy::Error`]) DOR
+//!    must surface them as a typed [`RunError::Unreachable`]. The outcome
+//!    lines land in `results/fault_smoke_outcome.txt`.
+//!
+//! 3. **Partition wedge** — a link is cut mid-stream under a saturating
+//!    DOR flow, wedging the in-flight wormhole with no legal detour. The
+//!    stall watchdog must trip with a well-formed diagnostic, written to
+//!    `results/fault_smoke_stall.txt`, instead of the run spinning to its
+//!    cycle limit.
+
+use std::process::ExitCode;
+
+use footprint_bench::results_dir;
+use footprint_core::{
+    RoutingSpec, RunError, RunOptions, SimulationBuilder, SweepOptions, TrafficSpec,
+    UnreachablePolicy,
+};
+use footprint_sim::{FlowSet, Network, NullProbe, SimConfig, SingleFlow, StallWatchdog};
+use footprint_topology::{Direction, FaultEvent, FaultPlan, NodeId};
+
+/// The fault under test: the duplex link n5↔n6 on the 4×4 mesh, down
+/// from cycle 0.
+fn cut() -> FaultPlan {
+    FaultPlan::new().with(FaultEvent::link_down(NodeId(5), Direction::East, 0))
+}
+
+fn quick_builder(spec: RoutingSpec) -> SimulationBuilder {
+    SimulationBuilder::mesh(4)
+        .vcs(4)
+        .routing(spec)
+        .traffic(TrafficSpec::UniformRandom)
+        .seed(0xFA57)
+}
+
+fn sweep_determinism() -> Result<(), String> {
+    let rates = [0.05, 0.1, 0.15];
+    let sweep = |threads: usize| {
+        quick_builder(RoutingSpec::Footprint)
+            .warmup(150)
+            .measurement(400)
+            .sweep_with(
+                &rates,
+                SweepOptions::new()
+                    .faults(cut())
+                    .threads(threads)
+                    .watchdog(10_000),
+            )
+            .map_err(|e| format!("faulted sweep failed: {e}"))
+    };
+    let one = sweep(1)?;
+    let four = sweep(4)?;
+    if one != four {
+        return Err("faulted sweep differs between 1 and 4 worker threads".into());
+    }
+    if one.points.len() != rates.len() {
+        return Err(format!("expected {} sweep points", rates.len()));
+    }
+    Ok(())
+}
+
+fn accounting() -> Result<(), String> {
+    let mut outcome = String::new();
+
+    // Adaptive routing around the cut: full accounting, bounded losses.
+    let report = quick_builder(RoutingSpec::Footprint)
+        .injection_rate(0.15)
+        .warmup(0)
+        .measurement(800)
+        .drain(2_000)
+        .run_with(RunOptions::new().faults(cut()).watchdog(10_000))
+        .map_err(|e| format!("faulted run failed: {e}"))?;
+    let f = &report.faults;
+    if !f.fully_accounted() {
+        return Err(format!(
+            "unaccounted packets: generated {} != delivered {} + dropped {}",
+            f.generated(),
+            f.delivered(),
+            f.dropped()
+        ));
+    }
+    if f.unreachable_pairs.is_empty() || f.dropped() == 0 {
+        return Err("the cut produced no observable fault effects".into());
+    }
+    outcome.push_str(&format!(
+        "FAULTED footprint: {} generated, {} delivered, {} dropped, {} unreachable pair(s)\n",
+        f.generated(),
+        f.delivered(),
+        f.dropped(),
+        f.unreachable_pairs.len()
+    ));
+
+    // DOR under the error policy: typed unreachability, not a wedge.
+    match quick_builder(RoutingSpec::Dor)
+        .injection_rate(0.15)
+        .warmup(0)
+        .measurement(800)
+        .drain(2_000)
+        .run_with(
+            RunOptions::new()
+                .faults(cut())
+                .on_unreachable(UnreachablePolicy::Error)
+                .watchdog(10_000),
+        ) {
+        Err(RunError::Unreachable(stats)) => {
+            outcome.push_str(&format!(
+                "UNREACHABLE dor: {} pair(s), {} packet(s) dropped\n",
+                stats.unreachable_pairs.len(),
+                stats.dropped()
+            ));
+        }
+        Ok(_) => return Err("DOR completed despite unreachable pairs under Error policy".into()),
+        Err(e) => return Err(format!("expected RunError::Unreachable, got: {e}")),
+    }
+
+    let path = results_dir()
+        .map_err(|e| format!("results dir: {e}"))?
+        .join("fault_smoke_outcome.txt");
+    std::fs::write(&path, &outcome).map_err(|e| format!("writing outcome: {e}"))?;
+    println!("# fault_smoke: wrote {}", path.display());
+    Ok(())
+}
+
+fn partition_wedge_trips_watchdog() -> Result<(), String> {
+    // A saturating single flow crosses n5→n6; the link dies at cycle 60
+    // with flits in flight. DOR has no detour, so the wormhole wedges and
+    // only the watchdog can turn the freeze into a diagnostic.
+    let plan = FaultPlan::new().with(FaultEvent::link_down(NodeId(5), Direction::East, 60));
+    let mut net = Network::with_faults(
+        SimConfig::small(),
+        RoutingSpec::Dor.build(),
+        7,
+        plan,
+        UnreachablePolicy::Drop,
+    )
+    .map_err(|e| format!("config rejected: {e}"))?;
+    let mut wl = FlowSet::new(vec![SingleFlow {
+        src: NodeId(4),
+        dest: NodeId(7),
+        rate: 1.0,
+        size: 8,
+    }]);
+    let mut watchdog = StallWatchdog::new(150);
+    match net.run_watched(&mut wl, 5_000, &mut NullProbe, &mut watchdog) {
+        Ok(()) => Err("mid-stream cut did not wedge the DOR wormhole".into()),
+        Err(diag) => {
+            let text = diag.to_string();
+            if !text.starts_with("STALL") {
+                return Err(format!("diagnostic bundle malformed:\n{text}"));
+            }
+            if diag.in_flight == 0 {
+                return Err("watchdog tripped with no packets in flight".into());
+            }
+            let path = results_dir()
+                .map_err(|e| format!("results dir: {e}"))?
+                .join("fault_smoke_stall.txt");
+            std::fs::write(&path, &text).map_err(|e| format!("writing bundle: {e}"))?;
+            println!(
+                "# fault_smoke: watchdog tripped at cycle {} ({} in flight); bundle: {}",
+                diag.cycle,
+                diag.in_flight,
+                path.display()
+            );
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut ok = true;
+    for (name, result) in [
+        ("faulted sweep determinism", sweep_determinism()),
+        ("fault accounting", accounting()),
+        ("partition wedge watchdog", partition_wedge_trips_watchdog()),
+    ] {
+        match result {
+            Ok(()) => println!("fault_smoke: {name} ok"),
+            Err(e) => {
+                eprintln!("fault_smoke: {name} FAILED: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

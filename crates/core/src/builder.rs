@@ -5,13 +5,14 @@ use core::fmt;
 use crate::{RunReport, TrafficSpec};
 use footprint_routing::RoutingSpec;
 use footprint_sim::{
-    ConfigError, Network, NoTraffic, Probe, SimConfig, StallDiagnostic, StallWatchdog, Workload,
+    ConfigError, Network, NoTraffic, NullProbe, Probe, SimConfig, StallDiagnostic, StallWatchdog,
+    UnreachablePolicy, Workload,
 };
-use footprint_stats::{Curve, SweepPoint};
-use footprint_topology::Mesh;
+use footprint_stats::{Curve, FaultStats, SweepPoint};
+use footprint_topology::{FaultPlan, Mesh};
 use footprint_traffic::PacketSize;
 
-/// Why a watched run ([`SimulationBuilder::run_watched`]) failed.
+/// Why a run ([`SimulationBuilder::run_with`] or any of its shims) failed.
 #[derive(Debug)]
 pub enum RunError {
     /// The configuration was rejected before the network was built.
@@ -20,6 +21,11 @@ pub enum RunError {
     /// number of cycles while packets were in flight. The boxed
     /// diagnostic bundle describes the frozen network.
     Stalled(Box<StallDiagnostic>),
+    /// The run was configured with [`UnreachablePolicy::Error`] and the
+    /// fault plan made at least one generated packet's destination
+    /// unreachable. The boxed [`FaultStats`] carries the offending
+    /// source→destination pairs and the full disposition accounting.
+    Unreachable(Box<FaultStats>),
 }
 
 impl fmt::Display for RunError {
@@ -27,6 +33,13 @@ impl fmt::Display for RunError {
         match self {
             RunError::Config(e) => write!(f, "invalid configuration: {e}"),
             RunError::Stalled(d) => d.fmt(f),
+            RunError::Unreachable(s) => write!(
+                f,
+                "{} source→destination pair(s) unreachable under the fault plan \
+                 ({} packet(s) dropped)",
+                s.unreachable_pairs.len(),
+                s.dropped()
+            ),
         }
     }
 }
@@ -36,6 +49,7 @@ impl std::error::Error for RunError {
         match self {
             RunError::Config(e) => Some(e),
             RunError::Stalled(d) => Some(d.as_ref()),
+            RunError::Unreachable(_) => None,
         }
     }
 }
@@ -49,6 +63,146 @@ impl From<ConfigError> for RunError {
 impl From<Box<StallDiagnostic>> for RunError {
     fn from(d: Box<StallDiagnostic>) -> Self {
         RunError::Stalled(d)
+    }
+}
+
+/// Options for one execution of a [`SimulationBuilder`]: which observers
+/// to attach and which fault schedule to run under.
+///
+/// The canonical entry point [`SimulationBuilder::run_with`] consumes this;
+/// every legacy entry point (`run`, `run_probed`, `run_watched`) is a shim
+/// over it. `RunOptions::default()` reproduces the plain `run()` behaviour
+/// bit for bit: no probe, no watchdog, no faults.
+///
+/// ```
+/// use footprint_core::{RunOptions, SimulationBuilder};
+///
+/// let report = SimulationBuilder::mesh(4)
+///     .vcs(4)
+///     .warmup(100)
+///     .measurement(200)
+///     .run_with(RunOptions::new().watchdog(10_000))?;
+/// assert!(report.latency.ejected_packets > 0);
+/// # Ok::<(), footprint_core::RunError>(())
+/// ```
+#[derive(Default)]
+pub struct RunOptions<'a> {
+    probe: Option<&'a mut dyn Probe>,
+    stall_threshold: Option<u64>,
+    faults: FaultPlan,
+    on_unreachable: UnreachablePolicy,
+}
+
+impl<'a> RunOptions<'a> {
+    /// No probe, no watchdog, no faults — the plain-`run()` configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a probe from the warmup boundary onward (measurement and
+    /// drain phases).
+    #[must_use]
+    pub fn probe(mut self, probe: &'a mut dyn Probe) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
+    /// Guards the whole run (warmup included) with a stall watchdog: if no
+    /// flit moves for `stall_threshold` consecutive cycles while packets
+    /// are in flight, the run aborts with [`RunError::Stalled`] instead of
+    /// spinning to the cycle limit. The threshold must be nonzero.
+    #[must_use]
+    pub fn watchdog(mut self, stall_threshold: u64) -> Self {
+        self.stall_threshold = Some(stall_threshold);
+        self
+    }
+
+    /// Runs under a fault schedule. The plan is validated against the
+    /// topology when the network is built.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Disposition of packets whose destination the fault state makes
+    /// unreachable (default: drop with accounting). With
+    /// [`UnreachablePolicy::Error`], a run that observes any unreachable
+    /// generation fails with [`RunError::Unreachable`] after completing.
+    #[must_use]
+    pub fn on_unreachable(mut self, policy: UnreachablePolicy) -> Self {
+        self.on_unreachable = policy;
+        self
+    }
+}
+
+/// Options for a latency-throughput sweep ([`SimulationBuilder::sweep_with`]):
+/// the per-point [`RunOptions`] equivalent plus sweep-level knobs.
+///
+/// `SweepOptions::default()` reproduces the plain `sweep()` behaviour: total
+/// latency over all classes, default worker pool, no faults.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    latency_class: Option<u8>,
+    threads: Option<usize>,
+    stall_threshold: Option<u64>,
+    faults: FaultPlan,
+    on_unreachable: UnreachablePolicy,
+}
+
+impl SweepOptions {
+    /// Total-latency curve on the default worker pool, no faults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Summarizes class `class` instead of the total over all classes.
+    #[must_use]
+    pub fn latency_class(mut self, class: Option<u8>) -> Self {
+        self.latency_class = class;
+        self
+    }
+
+    /// Explicit worker count (`<= 1` runs sequentially on the calling
+    /// thread). Defaults to [`crate::exec::num_threads`].
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Guards every sweep point with a stall watchdog (see
+    /// [`RunOptions::watchdog`]).
+    #[must_use]
+    pub fn watchdog(mut self, stall_threshold: u64) -> Self {
+        self.stall_threshold = Some(stall_threshold);
+        self
+    }
+
+    /// Runs every sweep point under the same fault schedule.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Per-point unreachable-destination policy (see
+    /// [`RunOptions::on_unreachable`]).
+    #[must_use]
+    pub fn on_unreachable(mut self, policy: UnreachablePolicy) -> Self {
+        self.on_unreachable = policy;
+        self
+    }
+
+    /// The per-point [`RunOptions`] this sweep configuration induces.
+    fn run_options(&self) -> RunOptions<'static> {
+        let mut o = RunOptions::new()
+            .faults(self.faults.clone())
+            .on_unreachable(self.on_unreachable);
+        if let Some(t) = self.stall_threshold {
+            o = o.watchdog(t);
+        }
+        o
     }
 }
 
@@ -71,7 +225,7 @@ impl From<Box<StallDiagnostic>> for RunError {
 ///     .seed(1)
 ///     .run()?;
 /// assert!(report.latency.ejected_packets > 0);
-/// # Ok::<(), footprint_sim::ConfigError>(())
+/// # Ok::<(), footprint_core::RunError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimulationBuilder {
@@ -219,7 +373,8 @@ impl SimulationBuilder {
     }
 
     /// Builds the network and workload without running (for custom drive
-    /// loops).
+    /// loops). No fault plan is attached; use
+    /// [`SimulationBuilder::build_with`] for that.
     ///
     /// # Errors
     ///
@@ -230,48 +385,135 @@ impl SimulationBuilder {
         Ok((net, wl))
     }
 
-    /// Runs warmup + measurement (+ optional drain) and reports the
-    /// measurement window.
+    /// Builds the network under a fault schedule and unreachable policy,
+    /// plus the workload, without running.
     ///
     /// # Errors
     ///
-    /// Propagates configuration errors.
-    pub fn run(&self) -> Result<RunReport, ConfigError> {
-        self.run_probed(&mut footprint_sim::NullProbe)
+    /// Propagates configuration errors, including a fault plan that does
+    /// not fit the topology ([`ConfigError::Fault`]).
+    pub fn build_with(
+        &self,
+        faults: FaultPlan,
+        on_unreachable: UnreachablePolicy,
+    ) -> Result<(Network, Box<dyn Workload>), ConfigError> {
+        let net = Network::with_faults(
+            self.sim_config(),
+            self.routing.build(),
+            self.seed,
+            faults,
+            on_unreachable,
+        )?;
+        let wl = self.traffic.build(self.mesh, self.packet_size, self.rate);
+        Ok((net, wl))
+    }
+
+    /// Runs one phase, watched when a watchdog is present.
+    fn phase(
+        net: &mut Network,
+        wl: &mut dyn Workload,
+        cycles: u64,
+        probe: &mut dyn Probe,
+        watchdog: Option<&mut StallWatchdog>,
+    ) -> Result<(), RunError> {
+        match watchdog {
+            Some(w) => net.run_watched(wl, cycles, probe, w).map_err(RunError::from),
+            None => {
+                net.run_probed(wl, cycles, probe);
+                Ok(())
+            }
+        }
+    }
+
+    /// The canonical execution entry point: runs warmup + measurement
+    /// (+ optional drain) under `opts` and reports the measurement window.
+    ///
+    /// Every other run flavour is a shim over this method:
+    ///
+    /// * [`run`](Self::run) = `run_with(RunOptions::new())`
+    /// * [`run_probed`](Self::run_probed) = `run_with(... .probe(p))`
+    /// * [`run_watched`](Self::run_watched) = `run_with(... .probe(p).watchdog(t))`
+    ///
+    /// The probe attaches at the warmup boundary (measurement + drain);
+    /// the watchdog, when configured, guards the whole run including
+    /// warmup. Probes and the watchdog only observe, so any completing
+    /// combination reports bit-identically to the plain run. A fault plan
+    /// reshapes the simulated network itself, so its effects *are* part of
+    /// the report ([`RunReport::faults`]) — but an empty plan is
+    /// bit-identical to no fault subsystem at all.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Config`] for configuration errors (including a fault
+    /// plan that does not fit the topology), [`RunError::Stalled`] when a
+    /// configured watchdog trips, [`RunError::Unreachable`] when
+    /// [`UnreachablePolicy::Error`] is set and the fault state made any
+    /// generated packet undeliverable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configured watchdog threshold is zero.
+    pub fn run_with(&self, opts: RunOptions<'_>) -> Result<RunReport, RunError> {
+        let RunOptions {
+            probe,
+            stall_threshold,
+            faults,
+            on_unreachable,
+        } = opts;
+        let (mut net, mut wl) = self.build_with(faults, on_unreachable)?;
+        let mut null = NullProbe;
+        let probe = probe.unwrap_or(&mut null);
+        let mut watchdog = stall_threshold.map(StallWatchdog::new);
+        let mut warmup_probe = NullProbe;
+        Self::phase(
+            &mut net,
+            &mut *wl,
+            self.warmup,
+            &mut warmup_probe,
+            watchdog.as_mut(),
+        )?;
+        let boundary = net.cycle();
+        net.metrics_mut().reset_window_at(boundary);
+        Self::phase(&mut net, &mut *wl, self.measurement, probe, watchdog.as_mut())?;
+        if self.drain > 0 {
+            let mut none = NoTraffic;
+            Self::phase(&mut net, &mut none, self.drain, probe, watchdog.as_mut())?;
+        }
+        let mut report = RunReport::from_metrics(net.metrics(), self.mesh.len(), self.rate);
+        report.faults = FaultStats::collect(&net);
+        if on_unreachable == UnreachablePolicy::Error
+            && !report.faults.unreachable_pairs.is_empty()
+        {
+            return Err(RunError::Unreachable(Box::new(report.faults)));
+        }
+        Ok(report)
+    }
+
+    /// Runs warmup + measurement (+ optional drain) and reports the
+    /// measurement window. Shim for
+    /// [`run_with(RunOptions::new())`](Self::run_with).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors as [`RunError::Config`].
+    pub fn run(&self) -> Result<RunReport, RunError> {
+        self.run_with(RunOptions::new())
     }
 
     /// Like [`SimulationBuilder::run`], with a probe attached for the
     /// measurement window (purity tracking, custom instrumentation).
+    /// Shim for [`run_with(RunOptions::new().probe(probe))`](Self::run_with).
     ///
     /// # Errors
     ///
-    /// Propagates configuration errors.
-    pub fn run_probed(&self, probe: &mut dyn Probe) -> Result<RunReport, ConfigError> {
-        let (mut net, mut wl) = self.build()?;
-        net.run(&mut *wl, self.warmup);
-        let boundary = net.cycle();
-        net.metrics_mut().reset_window_at(boundary);
-        net.run_probed(&mut *wl, self.measurement, probe);
-        if self.drain > 0 {
-            let mut none = NoTraffic;
-            net.run_probed(&mut none, self.drain, probe);
-        }
-        Ok(RunReport::from_metrics(
-            net.metrics(),
-            self.mesh.len(),
-            self.rate,
-        ))
+    /// Propagates configuration errors as [`RunError::Config`].
+    pub fn run_probed(&self, probe: &mut dyn Probe) -> Result<RunReport, RunError> {
+        self.run_with(RunOptions::new().probe(probe))
     }
 
     /// Like [`SimulationBuilder::run_probed`], with a stall watchdog
-    /// attached for the whole run (warmup included): if no flit moves
-    /// for `stall_threshold` consecutive cycles while packets are in
-    /// flight, the run aborts with [`RunError::Stalled`] carrying a full
-    /// diagnostic bundle (occupancy map, per-router VC states, oldest
-    /// in-flight packets) instead of spinning to the cycle limit.
-    ///
-    /// The watchdog and `probe` only observe, so a watched run that
-    /// completes reports bit-identically to [`SimulationBuilder::run`].
+    /// guarding the whole run. Shim for
+    /// [`run_with(RunOptions::new().probe(probe).watchdog(stall_threshold))`](Self::run_with).
     ///
     /// # Errors
     ///
@@ -286,55 +528,70 @@ impl SimulationBuilder {
         probe: &mut dyn Probe,
         stall_threshold: u64,
     ) -> Result<RunReport, RunError> {
-        let (mut net, mut wl) = self.build()?;
-        let mut watchdog = StallWatchdog::new(stall_threshold);
-        net.run_watched(&mut *wl, self.warmup, probe, &mut watchdog)?;
-        let boundary = net.cycle();
-        net.metrics_mut().reset_window_at(boundary);
-        net.run_watched(&mut *wl, self.measurement, probe, &mut watchdog)?;
-        if self.drain > 0 {
-            let mut none = NoTraffic;
-            net.run_watched(&mut none, self.drain, probe, &mut watchdog)?;
-        }
-        Ok(RunReport::from_metrics(
-            net.metrics(),
-            self.mesh.len(),
-            self.rate,
-        ))
+        self.run_with(RunOptions::new().probe(probe).watchdog(stall_threshold))
     }
 
-    /// Sweeps offered load over `rates` in parallel, producing a
-    /// latency-throughput curve (class `latency_class`, or the total
-    /// when `None`).
+    /// The canonical sweep entry point: sweeps offered load over `rates`
+    /// in parallel under `opts`, producing a latency-throughput curve.
     ///
-    /// The rate points run concurrently on the default worker pool
-    /// ([`crate::exec::num_threads`], overridable with
+    /// The rate points run concurrently on the worker pool
+    /// ([`SweepOptions::threads`], defaulting to
+    /// [`crate::exec::num_threads`], overridable with
     /// `FOOTPRINT_THREADS`). Each point gets its own seed, derived
     /// deterministically from this builder's seed and the rate's index
     /// ([`crate::exec::derive_seed`]), so the curve is bit-identical
-    /// whatever the thread count or completion order.
+    /// whatever the thread count or completion order — with or without a
+    /// fault plan, since the fault state is itself a pure function of the
+    /// plan and the cycle.
+    ///
+    /// [`sweep`](Self::sweep) and [`sweep_on`](Self::sweep_on) are shims
+    /// over this method.
     ///
     /// # Errors
     ///
-    /// Propagates configuration errors.
+    /// Any [`RunError`] from the individual points.
     ///
     /// # Panics
     ///
     /// Panics if `rates` is not strictly increasing (curve invariant).
-    pub fn sweep(
-        &self,
-        rates: &[f64],
-        latency_class: Option<u8>,
-    ) -> Result<Curve, ConfigError> {
-        self.sweep_on(rates, latency_class, crate::exec::num_threads())
+    pub fn sweep_with(&self, rates: &[f64], opts: SweepOptions) -> Result<Curve, RunError> {
+        let threads = opts.threads.unwrap_or_else(crate::exec::num_threads);
+        let mut jobs = crate::exec::JobSet::new();
+        for (index, &rate) in rates.iter().enumerate() {
+            let point = self.sweep_point(index, rate);
+            let o = opts.clone();
+            jobs.push(move || point.run_sweep_point_with(&o));
+        }
+        let mut curve = Curve::new(self.routing.name());
+        for point in jobs.run_on(threads) {
+            curve.push(point?);
+        }
+        Ok(curve)
     }
 
-    /// [`SimulationBuilder::sweep`] with an explicit worker count
-    /// (`threads <= 1` runs sequentially on the calling thread).
+    /// Sweeps offered load over `rates` in parallel, producing a
+    /// latency-throughput curve (class `latency_class`, or the total
+    /// when `None`). Shim for
+    /// [`sweep_with`](Self::sweep_with) with default options.
     ///
     /// # Errors
     ///
-    /// Propagates configuration errors.
+    /// Propagates configuration errors as [`RunError::Config`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` is not strictly increasing (curve invariant).
+    pub fn sweep(&self, rates: &[f64], latency_class: Option<u8>) -> Result<Curve, RunError> {
+        self.sweep_with(rates, SweepOptions::new().latency_class(latency_class))
+    }
+
+    /// [`SimulationBuilder::sweep`] with an explicit worker count
+    /// (`threads <= 1` runs sequentially on the calling thread). Shim for
+    /// [`sweep_with`](Self::sweep_with).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors as [`RunError::Config`].
     ///
     /// # Panics
     ///
@@ -344,17 +601,11 @@ impl SimulationBuilder {
         rates: &[f64],
         latency_class: Option<u8>,
         threads: usize,
-    ) -> Result<Curve, ConfigError> {
-        let mut jobs = crate::exec::JobSet::new();
-        for (index, &rate) in rates.iter().enumerate() {
-            let point = self.sweep_point(index, rate);
-            jobs.push(move || point.run_sweep_point(latency_class));
-        }
-        let mut curve = Curve::new(self.routing.name());
-        for point in jobs.run_on(threads) {
-            curve.push(point?);
-        }
-        Ok(curve)
+    ) -> Result<Curve, RunError> {
+        self.sweep_with(
+            rates,
+            SweepOptions::new().latency_class(latency_class).threads(threads),
+        )
     }
 
     /// [`SimulationBuilder::sweep`] with a probe attached to every
@@ -370,7 +621,7 @@ impl SimulationBuilder {
     ///
     /// # Errors
     ///
-    /// Propagates configuration errors.
+    /// Propagates configuration errors as [`RunError::Config`].
     ///
     /// # Panics
     ///
@@ -380,7 +631,7 @@ impl SimulationBuilder {
         rates: &[f64],
         latency_class: Option<u8>,
         make_probe: F,
-    ) -> Result<(Curve, Vec<P>), ConfigError>
+    ) -> Result<(Curve, Vec<P>), RunError>
     where
         P: Probe + Send,
         F: Fn(usize, f64) -> P + Sync,
@@ -391,12 +642,12 @@ impl SimulationBuilder {
             let make = &make_probe;
             jobs.push(move || {
                 let mut probe = make(index, rate);
-                let report = point.run_probed(&mut probe)?;
+                let report = point.run_with(RunOptions::new().probe(&mut probe))?;
                 let s = match latency_class {
                     Some(c) => report.class(c),
                     None => report.latency,
                 };
-                Ok::<_, ConfigError>((
+                Ok::<_, RunError>((
                     SweepPoint {
                         offered: rate,
                         accepted: s.throughput,
@@ -428,17 +679,17 @@ impl SimulationBuilder {
             .seed(crate::exec::derive_seed(self.seed, index as u64))
     }
 
-    /// Runs this builder as one point of a sweep, summarizing class
-    /// `latency_class` (or the total when `None`). Combined with
+    /// Runs this builder as one point of a sweep under `opts` (probe-less
+    /// per-point [`RunOptions`], class selection). Combined with
     /// [`Self::sweep_point`], this is the unit of work batch runners
     /// submit to a [`crate::exec::JobSet`].
     ///
     /// # Errors
     ///
-    /// Propagates configuration errors.
-    pub fn run_sweep_point(&self, latency_class: Option<u8>) -> Result<SweepPoint, ConfigError> {
-        let report = self.run()?;
-        let s = match latency_class {
+    /// Any [`RunError`] from the underlying run.
+    pub fn run_sweep_point_with(&self, opts: &SweepOptions) -> Result<SweepPoint, RunError> {
+        let report = self.run_with(opts.run_options())?;
+        let s = match opts.latency_class {
             Some(c) => report.class(c),
             None => report.latency,
         };
@@ -449,13 +700,24 @@ impl SimulationBuilder {
         })
     }
 
+    /// Runs this builder as one point of a sweep, summarizing class
+    /// `latency_class` (or the total when `None`). Shim for
+    /// [`run_sweep_point_with`](Self::run_sweep_point_with).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors as [`RunError::Config`].
+    pub fn run_sweep_point(&self, latency_class: Option<u8>) -> Result<SweepPoint, RunError> {
+        self.run_sweep_point_with(&SweepOptions::new().latency_class(latency_class))
+    }
+
     /// Finds the saturation throughput by sweeping `rates` (in
     /// parallel) and applying the 3×-zero-load-latency criterion.
     ///
     /// # Errors
     ///
-    /// Propagates configuration errors.
-    pub fn saturation(&self, rates: &[f64]) -> Result<Option<f64>, ConfigError> {
+    /// Propagates configuration errors as [`RunError::Config`].
+    pub fn saturation(&self, rates: &[f64]) -> Result<Option<f64>, RunError> {
         Ok(self.sweep(rates, None)?.saturation_throughput(3.0))
     }
 }
@@ -595,9 +857,87 @@ mod tests {
     #[test]
     fn invalid_config_is_reported() {
         let err = quick().vcs(0).run().unwrap_err();
-        assert!(matches!(err, ConfigError::NumVcs(0)));
+        assert!(matches!(err, RunError::Config(ConfigError::NumVcs(0))));
         let err = quick().vcs(1).routing(RoutingSpec::Dbar).run().unwrap_err();
-        assert!(matches!(err, ConfigError::TooFewVcsForRouting { .. }));
+        assert!(matches!(
+            err,
+            RunError::Config(ConfigError::TooFewVcsForRouting { .. })
+        ));
+    }
+
+    #[test]
+    fn run_with_default_options_matches_plain_run() {
+        let plain = quick().injection_rate(0.2).run().unwrap();
+        let with = quick()
+            .injection_rate(0.2)
+            .run_with(RunOptions::default())
+            .unwrap();
+        assert_eq!(plain, with);
+        assert!(with.faults.is_clean(), "no plan, no fault effects");
+    }
+
+    #[test]
+    fn faulted_run_accounts_for_every_packet() {
+        use footprint_topology::{Direction, FaultEvent, NodeId};
+        // Cut a bottom-row link: same-row pairs across it become
+        // unreachable, everything else routes around; a drained run must
+        // account for every generated packet as delivered or dropped.
+        let plan =
+            FaultPlan::new().with(FaultEvent::link_down(NodeId(1), Direction::East, 0));
+        // warmup(0): accounting is over the measurement window, so the
+        // window must cover every packet for generated = delivered + dropped
+        // to hold after the drain.
+        let report = quick()
+            .warmup(0)
+            .injection_rate(0.15)
+            .drain(2_000)
+            .run_with(RunOptions::new().faults(plan).watchdog(10_000))
+            .unwrap();
+        assert!(!report.faults.is_clean());
+        assert!(report.faults.fully_accounted());
+        assert!(report.faults.dropped() > 0);
+        assert!(report.latency.ejected_packets > 0);
+        assert!(!report.faults.unreachable_pairs.is_empty());
+    }
+
+    #[test]
+    fn error_policy_turns_unreachable_pairs_into_a_typed_failure() {
+        use footprint_topology::{Direction, FaultEvent, NodeId};
+        let plan =
+            FaultPlan::new().with(FaultEvent::link_down(NodeId(1), Direction::East, 0));
+        let err = quick()
+            .injection_rate(0.15)
+            .run_with(
+                RunOptions::new()
+                    .faults(plan)
+                    .on_unreachable(UnreachablePolicy::Error),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("unreachable under the fault plan"));
+        match err {
+            RunError::Unreachable(stats) => {
+                assert!(!stats.unreachable_pairs.is_empty());
+                assert!(stats.dropped() > 0);
+            }
+            other => panic!("expected Unreachable, got {other}"),
+        }
+    }
+
+    #[test]
+    fn sweep_with_faults_is_identical_across_thread_counts() {
+        use footprint_topology::{Direction, FaultEvent, NodeId};
+        let plan =
+            FaultPlan::new().with(FaultEvent::link_down(NodeId(5), Direction::North, 0));
+        let rates = [0.05, 0.15];
+        let opts = |threads| {
+            SweepOptions::new()
+                .faults(plan.clone())
+                .threads(threads)
+                .watchdog(20_000)
+        };
+        let sequential = quick().sweep_with(&rates, opts(1)).unwrap();
+        let pooled = quick().sweep_with(&rates, opts(4)).unwrap();
+        assert_eq!(sequential, pooled);
     }
 
     #[test]
@@ -620,3 +960,4 @@ mod tests {
         assert!(with_drain.delivery_ratio() > 0.97);
     }
 }
+

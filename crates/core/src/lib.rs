@@ -16,11 +16,23 @@
 //!   deterministic per-job seeds, so sweeps use every core while
 //!   staying bit-identical to sequential execution.
 //!
+//! * [`RunOptions`] / [`SweepOptions`] — the canonical execution options:
+//!   one struct carries the probe, the stall watchdog and the fault plan,
+//!   consumed by [`SimulationBuilder::run_with`] /
+//!   [`SimulationBuilder::sweep_with`]. The legacy entry points
+//!   (`run`, `run_probed`, `run_watched`, `sweep`, `sweep_on`) are thin
+//!   shims over them, and every failure routes through [`RunError`].
+//!
 //! * Observability — attach any [`Probe`] subscriber to a run or to every
 //!   point of a sweep ([`SimulationBuilder::run_probed`],
 //!   [`SimulationBuilder::sweep_observed`]), and guard long runs with the
 //!   forward-progress watchdog ([`SimulationBuilder::run_watched`], which
 //!   returns a [`StallDiagnostic`] bundle instead of hanging).
+//!
+//! * Fault injection — run any experiment under a deterministic
+//!   [`FaultPlan`] (link/router failures with optional repair times) via
+//!   [`RunOptions::faults`]; per-class delivery/drop accounting and the
+//!   observed unreachable pairs come back in [`RunReport::faults`].
 //!
 //! Re-exported: [`RoutingSpec`] (the seven algorithms of Table 2),
 //! [`PacketSize`], [`App`].
@@ -44,7 +56,7 @@
 //!     results.push((spec.name(), report.latency.throughput));
 //! }
 //! assert_eq!(results.len(), 2);
-//! # Ok::<(), footprint_sim::ConfigError>(())
+//! # Ok::<(), footprint_core::RunError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -54,7 +66,7 @@ pub mod exec;
 mod report;
 mod traffic_spec;
 
-pub use builder::{RunError, SimulationBuilder};
+pub use builder::{RunError, RunOptions, SimulationBuilder, SweepOptions};
 pub use exec::JobSet;
 pub use report::{ClassSummary, RunReport};
 pub use traffic_spec::TrafficSpec;
@@ -62,5 +74,8 @@ pub use traffic_spec::TrafficSpec;
 pub use footprint_routing::RoutingSpec;
 pub use footprint_sim::{
     ConfigError, EventTrace, NullProbe, Probe, SimConfig, StallDiagnostic, StallWatchdog,
+    UnreachablePolicy,
 };
+pub use footprint_stats::FaultStats;
+pub use footprint_topology::{FaultEvent, FaultKind, FaultPlan, FaultTarget};
 pub use footprint_traffic::{App, PacketSize};

@@ -2,6 +2,7 @@
 
 use core::fmt;
 use footprint_sim::Metrics;
+use footprint_stats::FaultStats;
 
 /// Summary for one traffic class over the measurement window.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -51,6 +52,9 @@ pub struct RunReport {
     pub mean_purity: f64,
     /// Degree of HoL blocking (§4.3).
     pub hol_degree: f64,
+    /// Fault accounting for the run. All-zero (`FaultStats::default()`)
+    /// when the run had no fault plan or the plan had no effect.
+    pub faults: FaultStats,
 }
 
 impl RunReport {
@@ -91,6 +95,7 @@ impl RunReport {
             va_blocks: metrics.va_blocks,
             mean_purity: metrics.mean_purity(),
             hol_degree: metrics.hol_degree(),
+            faults: FaultStats::default(),
         }
     }
 

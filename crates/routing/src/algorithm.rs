@@ -1,6 +1,6 @@
 //! The routing-algorithm abstraction.
 
-use crate::{CongestionView, PortStateView, Priority, VcId, VcRequest};
+use crate::{CongestionView, LinkStateView, PortStateView, Priority, VcId, VcRequest};
 use footprint_topology::{Direction, Mesh, NodeId, Port};
 use rand::RngCore;
 
@@ -44,6 +44,9 @@ pub struct RoutingCtx<'a> {
     pub ports: &'a dyn PortStateView,
     /// Remote congestion side-band (used by DBAR only).
     pub congestion: &'a dyn CongestionView,
+    /// Link liveness under the active fault state ([`crate::AllLinksUp`]
+    /// outside the simulator / without a fault plan).
+    pub links: &'a dyn LinkStateView,
 }
 
 impl<'a> RoutingCtx<'a> {
@@ -54,12 +57,30 @@ impl<'a> RoutingCtx<'a> {
         usize::from(has_escape)
     }
 
+    /// `true` if taking `dir` here is useful for this packet: the link is
+    /// up and the downstream router can still reach the destination (see
+    /// [`LinkStateView::usable`]). Adaptive algorithms filter their
+    /// candidate sets through this before selection.
+    #[inline]
+    pub fn usable(&self, dir: Direction) -> bool {
+        self.links.usable(self.current, dir, self.src, self.dest)
+    }
+
     /// The escape-channel direction for this packet: dimension-order (X
     /// first), the deadlock-free baseline route of Duato's theory.
     /// `None` when the packet is already at its destination router.
+    ///
+    /// Under faults the escape path degrades gracefully: if the X-first
+    /// step is unusable the Y step is offered instead (the dimension-order
+    /// restriction is what keeps the escape network acyclic, and the
+    /// reduced channel set preserves acyclicity), and `None` is returned
+    /// when neither productive step survives the mask.
     pub fn escape_dir(&self) -> Option<Direction> {
         let dirs = self.mesh.minimal_dirs(self.current, self.dest);
-        dirs.x.or(dirs.y)
+        [dirs.x, dirs.y]
+            .into_iter()
+            .flatten()
+            .find(|&d| self.usable(d))
     }
 }
 
@@ -218,6 +239,8 @@ pub(crate) fn coin(rng: &mut dyn RngCore) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::view::AllLinksUp;
+    use crate::DownLinks;
     use crate::NoCongestionInfo;
     use crate::TablePortView;
 
@@ -238,6 +261,7 @@ mod tests {
             num_vcs: 4,
             ports: view,
             congestion: cong,
+            links: &AllLinksUp,
         }
     }
 
@@ -274,6 +298,28 @@ mod tests {
         assert_eq!(c.escape_dir(), Some(Direction::North));
         // At destination: none.
         let c = ctx(&view, &cong, 10, 10);
+        assert_eq!(c.escape_dir(), None);
+    }
+
+    #[test]
+    fn escape_dir_falls_back_to_y_under_faults() {
+        let view = TablePortView::all_idle(4, 4);
+        let cong = NoCongestionInfo;
+        // (0,0) → (2,2) with the East link out of n0 dead: escape falls
+        // back to the Y step.
+        let faults = DownLinks::new(vec![(NodeId(0), Direction::East)]);
+        let mut c = ctx(&view, &cong, 0, 10);
+        c.links = &faults;
+        assert_eq!(c.escape_dir(), Some(Direction::North));
+        assert!(!c.usable(Direction::East));
+        assert!(c.usable(Direction::North));
+        // Both productive steps dead: no escape direction survives.
+        let faults = DownLinks::new(vec![
+            (NodeId(0), Direction::East),
+            (NodeId(0), Direction::North),
+        ]);
+        let mut c = ctx(&view, &cong, 0, 10);
+        c.links = &faults;
         assert_eq!(c.escape_dir(), None);
     }
 

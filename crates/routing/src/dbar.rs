@@ -76,8 +76,18 @@ impl RoutingAlgorithm for Dbar {
         // Escape arrivals re-enter the adaptive channels (Duato's theory);
         // the escape request below keeps the escape network reachable.
         let dirs = ctx.mesh.minimal_dirs(ctx.current, ctx.dest);
-        let dir = match (dirs.x, dirs.y) {
-            (None, None) => return eject_requests(ctx, out),
+        if dirs.count() == 0 {
+            return eject_requests(ctx, out);
+        }
+        // Faulted or dead-end candidates drop out before selection; the
+        // RNG is only consumed on a genuine two-way tie, preserving the
+        // fault-free sequence.
+        let ux = dirs.x.filter(|&d| ctx.usable(d));
+        let uy = dirs.y.filter(|&d| ctx.usable(d));
+        let dir = match (ux, uy) {
+            // Both productive channels masked: nothing to request (the
+            // escape shares those channels, so it is masked too).
+            (None, None) => return,
             (Some(d), None) | (None, Some(d)) => d,
             (Some(a), Some(b)) => {
                 // Fewest congested downstream channels wins; tie on local
@@ -158,6 +168,27 @@ mod tests {
             num_vcs: 4,
             ports: view,
             congestion: cong,
+            links: &crate::AllLinksUp,
+        }
+    }
+
+    #[test]
+    fn faulted_dimension_is_never_selected() {
+        use crate::DownLinks;
+        let view = TablePortView::all_idle(4, 4);
+        let cong = NoCongestionInfo;
+        let faults = DownLinks::new(vec![(NodeId(0), Direction::East)]);
+        let mut ctx = mk_ctx(&view, &cong, 0, 63, false);
+        ctx.links = &faults;
+        for seed in 0..8 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut out = Vec::new();
+            Dbar.route(&ctx, &mut rng, &mut out);
+            assert!(!out.is_empty(), "seed {seed}");
+            assert!(
+                out.iter().all(|r| r.port == Port::Dir(Direction::North)),
+                "seed {seed}: {out:?}"
+            );
         }
     }
 

@@ -91,7 +91,15 @@ impl RoutingAlgorithm for RandomMinimal {
 
     fn route(&self, ctx: &RoutingCtx<'_>, rng: &mut dyn RngCore, out: &mut Vec<VcRequest>) {
         let dirs = ctx.mesh.minimal_dirs(ctx.current, ctx.dest);
-        let dir = match (dirs.x, dirs.y) {
+        if dirs.count() == 0 {
+            return eject_requests(ctx, out);
+        }
+        // Faulted or dead-end candidates are excluded; the coin is only
+        // consumed when both candidates survive, so a fault-free run draws
+        // the exact same RNG sequence as before the fault subsystem existed.
+        let ux = dirs.x.filter(|&d| ctx.usable(d));
+        let uy = dirs.y.filter(|&d| ctx.usable(d));
+        let dir = match (ux, uy) {
             (Some(x), Some(y)) => {
                 if coin(rng) {
                     x
@@ -100,7 +108,10 @@ impl RoutingAlgorithm for RandomMinimal {
                 }
             }
             (Some(d), None) | (None, Some(d)) => d,
-            (None, None) => return eject_requests(ctx, out),
+            // Every productive direction is masked: stand down and wait
+            // (the simulator's reachability gate keeps such packets from
+            // being injected; mid-run fault onsets land in the watchdog).
+            (None, None) => return,
         };
         for v in 1..ctx.num_vcs {
             out.push(VcRequest::new(Port::Dir(dir), VcId(v as u8), Priority::Low));
@@ -118,7 +129,7 @@ impl RoutingAlgorithm for RandomMinimal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{NoCongestionInfo, TablePortView};
+    use crate::{AllLinksUp, DownLinks, NoCongestionInfo, TablePortView};
     use footprint_topology::Direction;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
@@ -137,6 +148,7 @@ mod tests {
             num_vcs: 4,
             ports: &view,
             congestion: &cong,
+            links: &AllLinksUp,
         };
         let mut rng = SmallRng::seed_from_u64(1);
         let mut out = Vec::new();
@@ -175,6 +187,63 @@ mod tests {
     }
 
     #[test]
+    fn dor_keeps_requesting_its_only_route_under_faults() {
+        // DOR is deterministic by definition: a fault on its one legal
+        // channel does not reroute it (the simulator reports such pairs as
+        // unreachable instead).
+        let view = TablePortView::all_idle(4, 4);
+        let cong = NoCongestionInfo;
+        let faults = DownLinks::new(vec![(NodeId(0), Direction::East)]);
+        let ctx = RoutingCtx {
+            mesh: Mesh::square(4),
+            current: NodeId(0),
+            src: NodeId(0),
+            dest: NodeId(10),
+            input_port: Port::Local,
+            input_vc: VcId(0),
+            on_escape: false,
+            num_vcs: 4,
+            ports: &view,
+            congestion: &cong,
+            links: &faults,
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        Dor.route(&ctx, &mut rng, &mut out);
+        assert!(out.iter().all(|r| r.port == Port::Dir(Direction::East)));
+    }
+
+    #[test]
+    fn random_minimal_avoids_faulted_direction() {
+        let view = TablePortView::all_idle(4, 4);
+        let cong = NoCongestionInfo;
+        let faults = DownLinks::new(vec![(NodeId(0), Direction::East)]);
+        let ctx = RoutingCtx {
+            mesh: Mesh::square(4),
+            current: NodeId(0),
+            src: NodeId(0),
+            dest: NodeId(10),
+            input_port: Port::Local,
+            input_vc: VcId(1),
+            on_escape: false,
+            num_vcs: 4,
+            ports: &view,
+            congestion: &cong,
+            links: &faults,
+        };
+        for seed in 0..8 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut out = Vec::new();
+            RandomMinimal.route(&ctx, &mut rng, &mut out);
+            assert!(!out.is_empty());
+            assert!(
+                out.iter().all(|r| r.port == Port::Dir(Direction::North)),
+                "seed {seed}: {out:?}"
+            );
+        }
+    }
+
+    #[test]
     fn dor_allowed_dirs_is_singleton_off_destination() {
         let mesh = Mesh::square(8);
         let dirs = Dor.allowed_dirs(mesh, NodeId(0), NodeId(0), NodeId(63));
@@ -197,6 +266,7 @@ mod tests {
             num_vcs: 4,
             ports: &view,
             congestion: &cong,
+            links: &AllLinksUp,
         };
         let mut rng = SmallRng::seed_from_u64(7);
         let mut out = Vec::new();

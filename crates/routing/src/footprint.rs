@@ -287,11 +287,20 @@ impl RoutingAlgorithm for Footprint {
         // Packets arriving on the escape VC re-enter the adaptive channels
         // (Duato's theory permits this as long as the escape sub-network is
         // always requested; line 45 below guarantees that).
-        // STEP 1: legal output ports.
+        // STEP 1: legal output ports. Faulted or dead-end channels drop
+        // out of the candidate set before selection; the coin is only
+        // consumed on a genuine two-way tie, so fault-free runs draw the
+        // same RNG sequence as before the fault subsystem existed.
         let dirs = ctx.mesh.minimal_dirs(ctx.current, ctx.dest);
-        let (px, py): (Option<Direction>, Option<Direction>) = (dirs.x, dirs.y);
+        if dirs.count() == 0 {
+            return eject_requests(ctx, out);
+        }
+        let px: Option<Direction> = dirs.x.filter(|&d| ctx.usable(d));
+        let py: Option<Direction> = dirs.y.filter(|&d| ctx.usable(d));
         let chosen = match (px, py) {
-            (None, None) => return eject_requests(ctx, out),
+            // Both productive channels masked: nothing usable to request
+            // (the escape shares those channels and is masked with them).
+            (None, None) => return,
             (Some(d), None) | (None, Some(d)) => d,
             (Some(x), Some(y)) => {
                 // STEP 2: compare idle-VC counts, then footprint-VC counts,
@@ -371,6 +380,27 @@ mod tests {
             num_vcs: V,
             ports: view,
             congestion: cong,
+            links: &crate::AllLinksUp,
+        }
+    }
+
+    #[test]
+    fn faulted_port_is_excluded_from_selection() {
+        use crate::DownLinks;
+        let view = TablePortView::all_idle(V, 4);
+        let cong = NoCongestionInfo;
+        let faults = DownLinks::new(vec![(NodeId(0), Direction::East)]);
+        let mut ctx = mk_ctx(&view, &cong);
+        ctx.links = &faults;
+        for seed in 0..8 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut out = Vec::new();
+            Footprint::new().route(&ctx, &mut rng, &mut out);
+            assert!(!out.is_empty(), "seed {seed}");
+            assert!(
+                out.iter().all(|r| r.port == Port::Dir(Direction::North)),
+                "seed {seed}: {out:?}"
+            );
         }
     }
 

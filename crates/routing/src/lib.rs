@@ -27,7 +27,7 @@
 //!
 //! ```
 //! use footprint_routing::{Footprint, RoutingAlgorithm, RoutingCtx, VcId,
-//!                         TablePortView, NoCongestionInfo};
+//!                         TablePortView, NoCongestionInfo, AllLinksUp};
 //! use footprint_topology::{Mesh, NodeId, Port};
 //! use rand::{rngs::SmallRng, SeedableRng};
 //!
@@ -43,6 +43,7 @@
 //!     num_vcs: 10,
 //!     ports: &view,
 //!     congestion: &NoCongestionInfo,
+//!     links: &AllLinksUp,
 //! };
 //! let mut out = Vec::new();
 //! Footprint::new().route(&ctx, &mut SmallRng::seed_from_u64(1), &mut out);
@@ -78,6 +79,9 @@ pub use overlay::FootprintOverlay;
 pub use request::{Priority, VcId, VcRequest};
 pub use spec::{ParseRoutingSpecError, RoutingSpec};
 pub use turn_model::{NorthLast, WestFirst};
-pub use view::{CongestionView, NoCongestionInfo, PortStateView, TablePortView, VcView};
+pub use view::{
+    AllLinksUp, CongestionView, DownLinks, LinkStateView, NoCongestionInfo, PortStateView,
+    TablePortView, VcView,
+};
 pub use voqsw::{dor_output_port, VoqSw};
 pub use xordet::{xordet_class, Xordet};

@@ -92,10 +92,17 @@ impl RoutingAlgorithm for OddEven {
     }
 
     fn route(&self, ctx: &RoutingCtx<'_>, rng: &mut dyn RngCore, out: &mut Vec<VcRequest>) {
+        if ctx.current == ctx.dest {
+            return eject_requests(ctx, out);
+        }
         let legal = Self::legal_dirs(ctx.mesh, ctx.current, ctx.src, ctx.dest);
-        let mut it = legal.iter();
+        // Faulted candidates drop out of the turn-model set; the coin is
+        // only consumed on a genuine two-way tie, preserving the fault-free
+        // RNG sequence.
+        let mut it = legal.iter().filter(|&d| ctx.usable(d));
         let dir = match (it.next(), it.next()) {
-            (None, _) => return eject_requests(ctx, out),
+            // Every legal direction is masked: stand down and wait.
+            (None, _) => return,
             (Some(d), None) => d,
             (Some(a), Some(b)) => {
                 // Select by idle-VC count; random tie-break.
@@ -252,6 +259,37 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn route_excludes_faulted_directions() {
+        use crate::{DownLinks, NoCongestionInfo, TablePortView};
+        use footprint_topology::Port;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mesh = Mesh::square(8);
+        let view = TablePortView::all_idle(4, 4);
+        let cong = NoCongestionInfo;
+        // From (3,0) to (5,3): odd column, both East and North legal.
+        let faults = DownLinks::new(vec![(NodeId(3), Direction::East)]);
+        let ctx = RoutingCtx {
+            mesh,
+            current: NodeId(3),
+            src: NodeId(0),
+            dest: NodeId(29),
+            input_port: Port::Local,
+            input_vc: VcId(0),
+            on_escape: false,
+            num_vcs: 4,
+            ports: &view,
+            congestion: &cong,
+            links: &faults,
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        OddEven.route(&ctx, &mut rng, &mut out);
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|r| r.port == Port::Dir(Direction::North)));
     }
 
     /// The odd-even turn model bans E→N and E→S turns in even columns and

@@ -169,6 +169,7 @@ mod tests {
             num_vcs: 4,
             ports: view,
             congestion: cong,
+            links: &crate::AllLinksUp,
         }
     }
 

@@ -21,9 +21,15 @@ fn select_and_request(
     rng: &mut dyn RngCore,
     out: &mut Vec<VcRequest>,
 ) {
-    let mut it = legal.iter();
+    if ctx.current == ctx.dest {
+        return eject_requests(ctx, out);
+    }
+    // Faulted candidates drop out of the turn-model set; the coin is only
+    // consumed on a genuine two-way tie (fault-free RNG sequence intact).
+    let mut it = legal.iter().filter(|&d| ctx.usable(d));
     let dir = match (it.next(), it.next()) {
-        (None, _) => return eject_requests(ctx, out),
+        // Every legal direction is masked: stand down and wait.
+        (None, _) => return,
         (Some(d), None) => d,
         (Some(a), Some(b)) => {
             let ia = ctx.ports.idle_count(Port::Dir(a), 0, ctx.num_vcs);

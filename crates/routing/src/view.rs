@@ -77,6 +77,40 @@ pub trait PortStateView {
     }
 }
 
+/// Link liveness and usability, as surfaced to routing algorithms by the
+/// fault-injection subsystem.
+///
+/// Routing algorithms consult this view to exclude faulted output ports
+/// from their candidate sets (via [`crate::RoutingCtx::usable`]). The
+/// default implementation — and the [`AllLinksUp`] fixture — reports every
+/// link healthy, so a network without a fault plan never pays for the
+/// indirection in changed behaviour.
+pub trait LinkStateView {
+    /// `true` if the directed channel leaving `node` toward `dir` currently
+    /// accepts new traffic (it may still be degraded in bandwidth).
+    fn link_up(&self, node: NodeId, dir: Direction) -> bool {
+        let _ = (node, dir);
+        true
+    }
+
+    /// `true` if taking `dir` at `node` is *useful* for a packet
+    /// `src → dest`: the link is up and the downstream router can still
+    /// reach `dest` under this network's routing function and fault state.
+    /// This keeps adaptive packets from entering dead-end regions a healthy
+    /// first hop would otherwise hide.
+    fn usable(&self, node: NodeId, dir: Direction, src: NodeId, dest: NodeId) -> bool {
+        let _ = (src, dest);
+        self.link_up(node, dir)
+    }
+}
+
+/// A [`LinkStateView`] with no faults anywhere — the state of a healthy
+/// network, and the default for contexts built outside the simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllLinksUp;
+
+impl LinkStateView for AllLinksUp {}
+
 /// Network-level congestion information used by DBAR's selection function.
 ///
 /// DBAR propagates per-channel occupancy along each dimension through a
@@ -98,6 +132,35 @@ pub struct NoCongestionInfo;
 impl CongestionView for NoCongestionInfo {
     fn channel_congested(&self, _node: NodeId, _dir: Direction) -> bool {
         false
+    }
+}
+
+/// An in-memory [`LinkStateView`] for tests: an explicit list of dead
+/// directed channels. `usable` inherits the default (liveness only).
+///
+/// ```
+/// use footprint_routing::{DownLinks, LinkStateView};
+/// use footprint_topology::{Direction, NodeId};
+///
+/// let faults = DownLinks::new(vec![(NodeId(0), Direction::East)]);
+/// assert!(!faults.link_up(NodeId(0), Direction::East));
+/// assert!(faults.link_up(NodeId(0), Direction::North));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DownLinks {
+    down: Vec<(NodeId, Direction)>,
+}
+
+impl DownLinks {
+    /// Creates a view where exactly the listed directed channels are down.
+    pub fn new(down: Vec<(NodeId, Direction)>) -> Self {
+        DownLinks { down }
+    }
+}
+
+impl LinkStateView for DownLinks {
+    fn link_up(&self, node: NodeId, dir: Direction) -> bool {
+        !self.down.contains(&(node, dir))
     }
 }
 

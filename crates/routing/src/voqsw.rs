@@ -190,6 +190,7 @@ mod tests {
             num_vcs: 10,
             ports: view,
             congestion: cong,
+            links: &crate::AllLinksUp,
         }
     }
 

@@ -182,6 +182,7 @@ mod tests {
             num_vcs,
             ports: view,
             congestion: cong,
+            links: &crate::AllLinksUp,
         }
     }
 

@@ -2,7 +2,7 @@
 //! reachability, and request-set well-formedness under arbitrary VC states.
 
 use footprint_routing::{
-    NoCongestionInfo, Priority, RoutingCtx, RoutingSpec, TablePortView, VcId, VcView,
+    AllLinksUp, NoCongestionInfo, Priority, RoutingCtx, RoutingSpec, TablePortView, VcId, VcView,
 };
 use footprint_topology::{Mesh, NodeId, Port, DIRECTIONS};
 use proptest::prelude::*;
@@ -78,6 +78,7 @@ proptest! {
             num_vcs: 6,
             ports: &view,
             congestion: &NoCongestionInfo,
+            links: &AllLinksUp,
         };
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut out = Vec::new();
@@ -127,6 +128,7 @@ proptest! {
                 num_vcs: 6,
                 ports: &view,
                 congestion: &NoCongestionInfo,
+                links: &AllLinksUp,
             };
             let mut rng = SmallRng::seed_from_u64(seed);
             let mut out = Vec::new();
@@ -165,6 +167,7 @@ proptest! {
             num_vcs: 6,
             ports: &view,
             congestion: &NoCongestionInfo,
+            links: &AllLinksUp,
         };
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut out = Vec::new();
@@ -197,6 +200,7 @@ proptest! {
             num_vcs: 6,
             ports: &view,
             congestion: &NoCongestionInfo,
+            links: &AllLinksUp,
         };
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut out = Vec::new();
@@ -232,6 +236,7 @@ proptest! {
             num_vcs: 6,
             ports: &view,
             congestion: &NoCongestionInfo,
+            links: &AllLinksUp,
         };
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut out = Vec::new();

@@ -1,7 +1,7 @@
 //! Simulator configuration (the paper's Table 2).
 
 use core::fmt;
-use footprint_topology::Mesh;
+use footprint_topology::{FaultPlanError, Mesh};
 
 /// Microarchitectural configuration of the simulated network.
 ///
@@ -55,6 +55,12 @@ impl SimConfig {
     /// Returns a [`ConfigError`] if any parameter is out of range
     /// (`num_vcs` must be 1–64, buffers and speedup nonzero).
     pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.mesh.width() < 2 || self.mesh.height() < 2 {
+            return Err(ConfigError::MeshTooSmall {
+                width: self.mesh.width(),
+                height: self.mesh.height(),
+            });
+        }
         if self.num_vcs == 0 || self.num_vcs > 64 {
             return Err(ConfigError::NumVcs(self.num_vcs));
         }
@@ -80,6 +86,14 @@ impl Default for SimConfig {
 /// Configuration validation error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
+    /// A degenerate mesh: routing on a 1×k (or k×1) mesh has no second
+    /// dimension, which breaks escape-path and turn-model assumptions.
+    MeshTooSmall {
+        /// Configured width.
+        width: u16,
+        /// Configured height.
+        height: u16,
+    },
     /// VC count out of the supported 1–64 range.
     NumVcs(usize),
     /// Zero VC buffer depth.
@@ -98,11 +112,24 @@ pub enum ConfigError {
         /// VCs configured.
         configured: usize,
     },
+    /// The fault plan does not fit the configured mesh (see
+    /// [`FaultPlanError`]).
+    Fault(FaultPlanError),
+}
+
+impl From<FaultPlanError> for ConfigError {
+    fn from(e: FaultPlanError) -> Self {
+        ConfigError::Fault(e)
+    }
 }
 
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ConfigError::MeshTooSmall { width, height } => write!(
+                f,
+                "mesh {width}×{height} is degenerate (both dimensions must be at least 2)"
+            ),
             ConfigError::NumVcs(n) => write!(f, "unsupported VC count {n} (expected 1..=64)"),
             ConfigError::BufferDepth => f.write_str("VC buffer depth must be nonzero"),
             ConfigError::Speedup => f.write_str("internal speedup must be nonzero"),
@@ -115,6 +142,7 @@ impl fmt::Display for ConfigError {
                 f,
                 "routing algorithm `{algorithm}` needs at least {required} VCs, got {configured}"
             ),
+            ConfigError::Fault(e) => write!(f, "invalid fault plan: {e}"),
         }
     }
 }
@@ -153,6 +181,31 @@ mod tests {
         let mut c = SimConfig::small();
         c.link_latency = 0;
         assert_eq!(c.validate(), Err(ConfigError::LinkLatency));
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_meshes() {
+        for (w, h) in [(1u16, 4u16), (4, 1), (1, 1)] {
+            let mut c = SimConfig::small();
+            c.mesh = Mesh::new(w, h);
+            assert_eq!(
+                c.validate(),
+                Err(ConfigError::MeshTooSmall {
+                    width: w,
+                    height: h
+                })
+            );
+        }
+        let mut c = SimConfig::small();
+        c.mesh = Mesh::new(2, 2);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn fault_plan_errors_convert_and_display() {
+        let e: ConfigError = FaultPlanError::DegradePeriodTooShort { period: 1 }.into();
+        assert!(matches!(e, ConfigError::Fault(_)));
+        assert!(e.to_string().contains("fault plan"));
     }
 
     #[test]

@@ -8,7 +8,7 @@ use crate::packet::{Flit, NewPacket, PacketId, PendingPacket};
 use crate::view::InjectionView;
 use crate::wire::{CreditMsg, Wire};
 use footprint_routing::{
-    CongestionView, Priority, RoutingAlgorithm, RoutingCtx, VcId,
+    CongestionView, LinkStateView, Priority, RoutingAlgorithm, RoutingCtx, VcId,
 };
 use footprint_topology::{Mesh, NodeId, Port};
 use rand::rngs::SmallRng;
@@ -76,12 +76,13 @@ impl Source {
         algo: &dyn RoutingAlgorithm,
         mesh: Mesh,
         congestion: &dyn CongestionView,
+        links: &dyn LinkStateView,
         rng: &mut SmallRng,
         wire: &mut Wire,
         probe: &mut dyn Probe,
     ) {
         if self.active_vc.is_none() {
-            self.try_allocate(algo, mesh, congestion, rng);
+            self.try_allocate(algo, mesh, congestion, links, rng);
         }
         let Some(vc) = self.active_vc else { return };
         if self.vcs[vc].credits() == 0 {
@@ -117,6 +118,7 @@ impl Source {
         algo: &dyn RoutingAlgorithm,
         mesh: Mesh,
         congestion: &dyn CongestionView,
+        links: &dyn LinkStateView,
         rng: &mut SmallRng,
     ) {
         let Some(front) = self.queue.front() else {
@@ -137,6 +139,7 @@ impl Source {
                 num_vcs: self.vcs.len(),
                 ports: &view,
                 congestion,
+                links,
             };
             algo.injection_requests(&ctx, rng, &mut reqs);
         }
@@ -270,7 +273,7 @@ mod tests {
     use super::*;
     use crate::metrics::NullProbe;
     use crate::packet::FlitKind;
-    use footprint_routing::{Dor, Footprint, NoCongestionInfo};
+    use footprint_routing::{AllLinksUp, Dor, Footprint, NoCongestionInfo};
     use rand::SeedableRng;
 
     fn new_packet(dest: u16, size: u16) -> NewPacket {
@@ -289,8 +292,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         src.enqueue(PacketId(1), new_packet(3, 2), 0);
         assert_eq!(src.backlog(), 1);
-        src.step(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut wire, &mut NullProbe);
-        src.step(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut wire, &mut NullProbe);
+        src.step(&Dor, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut wire, &mut NullProbe);
+        src.step(&Dor, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut wire, &mut NullProbe);
         assert_eq!(src.backlog(), 0);
         wire.tick();
         let flits: Vec<_> = wire.flits.drain().collect();
@@ -307,13 +310,13 @@ mod tests {
         let mut wire = Wire::new();
         let mut rng = SmallRng::seed_from_u64(1);
         src.enqueue(PacketId(1), new_packet(3, 3), 0);
-        src.step(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut wire, &mut NullProbe); // head goes
-        src.step(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut wire, &mut NullProbe); // stalls
+        src.step(&Dor, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut wire, &mut NullProbe); // head goes
+        src.step(&Dor, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut wire, &mut NullProbe); // stalls
         wire.tick();
         let sent: Vec<_> = wire.flits.drain().collect();
         assert_eq!(sent.len(), 1, "second flit must stall on zero credits");
         src.return_credit(sent[0].vc); // head slot freed downstream
-        src.step(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut wire, &mut NullProbe);
+        src.step(&Dor, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut wire, &mut NullProbe);
         wire.tick();
         let flits: Vec<_> = wire.flits.drain().collect();
         assert_eq!(flits.len(), 1);
@@ -331,14 +334,14 @@ mod tests {
         // other adaptive VC (3 VCs total: escape + 2 adaptive). Both end up
         // draining, so the channel is congested (no idle adaptive VCs).
         src.enqueue(PacketId(1), new_packet(5, 1), 0);
-        src.step(&algo, mesh, &NoCongestionInfo, &mut rng, &mut wire, &mut NullProbe);
+        src.step(&algo, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut wire, &mut NullProbe);
         src.enqueue(PacketId(2), new_packet(7, 1), 1);
-        src.step(&algo, mesh, &NoCongestionInfo, &mut rng, &mut wire, &mut NullProbe);
+        src.step(&algo, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut wire, &mut NullProbe);
         assert_eq!(src.backlog(), 0);
         // Packet 3 to n5 finds idle = ∅ and a footprint VC for n5 → joins
         // it instead of waiting or escaping.
         src.enqueue(PacketId(3), new_packet(5, 1), 2);
-        src.step(&algo, mesh, &NoCongestionInfo, &mut rng, &mut wire, &mut NullProbe);
+        src.step(&algo, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut wire, &mut NullProbe);
         assert_eq!(src.backlog(), 0, "joined the draining footprint VC");
         wire.tick();
         let flits: Vec<_> = wire.flits.drain().collect();

@@ -47,6 +47,7 @@ mod cast;
 mod config;
 mod dump;
 mod endpoint;
+mod fault;
 mod input;
 mod metrics;
 mod network;
@@ -61,6 +62,7 @@ mod workload;
 
 pub use config::{ConfigError, SimConfig};
 pub use endpoint::{Sink, Source};
+pub use fault::{FaultState, FaultView, UnreachablePolicy};
 pub use input::{InVc, InputPort, RouteState};
 pub use metrics::{ClassStats, EjectedPacket, Metrics, NullProbe, Probe, VaBlockInfo};
 pub use network::{Network, OccupiedVcEntry};

@@ -141,6 +141,15 @@ pub struct ClassStats {
     pub latency_sum: u128,
     /// Maximum packet latency observed among the measured packets.
     pub latency_max: u64,
+    /// Packets dropped at the source because their destination was
+    /// unreachable under the active fault state (counted in
+    /// `generated_packets` too: generated = ejected + dropped + in-flight).
+    pub dropped_packets: u64,
+    /// Flits of the dropped packets.
+    pub dropped_flits: u64,
+    /// Source-retry attempts scheduled under
+    /// [`UnreachablePolicy::Retry`](crate::UnreachablePolicy::Retry).
+    pub retry_attempts: u64,
 }
 
 impl ClassStats {
@@ -187,6 +196,11 @@ impl Metrics {
         &mut self.classes[idx]
     }
 
+    /// Number of traffic classes that have appeared so far.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
     /// Stats for one class (zeros if the class never appeared).
     pub fn class(&self, class: u8) -> ClassStats {
         self.classes
@@ -206,6 +220,9 @@ impl Metrics {
             t.measured_packets += c.measured_packets;
             t.latency_sum += c.latency_sum;
             t.latency_max = t.latency_max.max(c.latency_max);
+            t.dropped_packets += c.dropped_packets;
+            t.dropped_flits += c.dropped_flits;
+            t.retry_attempts += c.retry_attempts;
         }
         t
     }
@@ -231,6 +248,18 @@ impl Metrics {
             c.latency_sum += lat as u128;
             c.latency_max = c.latency_max.max(lat);
         }
+    }
+
+    /// Records a packet dropped at the source as unreachable.
+    pub fn record_dropped(&mut self, class: u8, size: u16) {
+        let c = self.class_mut(class);
+        c.dropped_packets += 1;
+        c.dropped_flits += size as u64;
+    }
+
+    /// Records one source-retry attempt for an unreachable packet.
+    pub fn record_retry(&mut self, class: u8) {
+        self.class_mut(class).retry_attempts += 1;
     }
 
     /// Records a VC-allocation failure.

@@ -1,18 +1,34 @@
 //! The complete simulated network: routers, endpoints, wires and the cycle
 //! loop.
 
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+
 use crate::config::{ConfigError, SimConfig};
 use crate::endpoint::{Sink, Source};
+use crate::fault::{FaultState, FaultView, UnreachablePolicy};
 use crate::metrics::{Metrics, NullProbe, Probe};
-use crate::packet::PacketId;
+use crate::packet::{NewPacket, PacketId};
 use crate::router::{FreedSlot, Router};
 use crate::sideband::Sideband;
 use crate::wire::{CreditMsg, Wire};
 use crate::workload::Workload;
 use footprint_routing::{dbar_threshold, RoutingAlgorithm};
-use footprint_topology::{NodeId, Port, DIRECTIONS, PORT_COUNT};
+use footprint_topology::{FaultPlan, NodeId, Port, DIRECTIONS, PORT_COUNT};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// A generated packet parked by [`UnreachablePolicy::Retry`], waiting for
+/// its next reachability check.
+#[derive(Debug, Clone)]
+struct RetryEntry {
+    ready_at: u64,
+    node: NodeId,
+    id: PacketId,
+    packet: NewPacket,
+    birth: u64,
+    attempts: u32,
+}
 
 /// Snapshot of one occupied input VC, used for congestion-tree analysis
 /// (Figure 2 / Figure 4 style).
@@ -55,6 +71,11 @@ pub struct Network {
     next_packet: u64,
     metrics: Metrics,
     freed_scratch: Vec<FreedSlot>,
+    faults: FaultState,
+    policy: UnreachablePolicy,
+    retries: VecDeque<RetryEntry>,
+    /// Source/destination pairs observed unreachable at generation time.
+    unreachable: BTreeSet<(u16, u16)>,
 }
 
 impl Network {
@@ -70,7 +91,25 @@ impl Network {
         algo: Box<dyn RoutingAlgorithm>,
         seed: u64,
     ) -> Result<Self, ConfigError> {
+        Self::with_faults(cfg, algo, seed, FaultPlan::new(), UnreachablePolicy::Drop)
+    }
+
+    /// Builds a network with a fault schedule and an unreachable-packet
+    /// policy. An empty plan behaves exactly like [`Network::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid configurations or a fault plan
+    /// that does not fit the mesh.
+    pub fn with_faults(
+        cfg: SimConfig,
+        algo: Box<dyn RoutingAlgorithm>,
+        seed: u64,
+        plan: FaultPlan,
+        policy: UnreachablePolicy,
+    ) -> Result<Self, ConfigError> {
         cfg.validate()?;
+        plan.validate(cfg.mesh)?;
         if algo.has_escape() && cfg.num_vcs < 2 {
             return Err(ConfigError::TooFewVcsForRouting {
                 algorithm: algo.name(),
@@ -120,6 +159,10 @@ impl Network {
             next_packet: 0,
             metrics: Metrics::new(),
             freed_scratch: Vec::new(),
+            faults: FaultState::new(mesh, plan),
+            policy,
+            retries: VecDeque::new(),
+            unreachable: BTreeSet::new(),
             cfg,
         })
     }
@@ -163,6 +206,10 @@ impl Network {
     pub fn step_probed(&mut self, workload: &mut dyn Workload, probe: &mut dyn Probe) {
         let mesh = self.cfg.mesh;
         probe.cycle_start(self.cycle);
+
+        // 0. Scheduled fault onsets/repairs take effect at the cycle
+        //    boundary (free for an empty plan).
+        self.faults.advance(self.cycle);
 
         // 1. Wires advance: flits/credits sent last cycle become visible.
         for w in &mut self.inj_wires {
@@ -224,7 +271,26 @@ impl Network {
         // 3. Side-band congestion state (one-cycle-old view).
         self.sideband.update(mesh, &self.routers);
 
-        // 4. Packet generation and source injection.
+        // 4. Packet generation and source injection. Parked retries are
+        //    re-checked first (FIFO) so their order relative to fresh
+        //    generation is deterministic.
+        let faulty = self.faults.any_active();
+        if !self.retries.is_empty() {
+            let pending = self.retries.len();
+            for _ in 0..pending {
+                let entry = self.retries.pop_front().expect("counted above");
+                if entry.ready_at > self.cycle {
+                    self.retries.push_back(entry);
+                } else if self
+                    .faults
+                    .deliverable(&*self.algo, entry.node, entry.packet.dest)
+                {
+                    self.sources[entry.node.index()].enqueue(entry.id, entry.packet, entry.birth);
+                } else {
+                    self.park_or_drop(entry.node, entry.id, entry.packet, entry.birth, entry.attempts);
+                }
+            }
+        }
         for node in mesh.nodes() {
             let ni = node.index();
             if let Some(np) = workload.generate(node, self.cycle, &mut self.rng) {
@@ -232,12 +298,18 @@ impl Network {
                 let id = PacketId(self.next_packet);
                 self.next_packet += 1;
                 self.metrics.record_generated(np.class, np.size);
-                self.sources[ni].enqueue(id, np, self.cycle);
+                if faulty && !self.faults.deliverable(&*self.algo, node, np.dest) {
+                    self.unreachable.insert((node.0, np.dest.0));
+                    self.park_or_drop(node, id, np, self.cycle, 0);
+                } else {
+                    self.sources[ni].enqueue(id, np, self.cycle);
+                }
             }
             self.sources[ni].step(
                 &*self.algo,
                 mesh,
                 &self.sideband,
+                &FaultView::new(&self.faults, &*self.algo),
                 &mut self.rng,
                 &mut self.inj_wires[ni],
                 probe,
@@ -245,12 +317,18 @@ impl Network {
         }
 
         // 5. Routers: launch previously staged flits, then VA, then SA.
+        // Dead output channels launch nothing; degraded channels launch on
+        // their period. Credits keep flowing regardless (the credit
+        // side-band is modeled as reliable), so repaired links resume
+        // cleanly with a consistent credit count.
         let policy = self.algo.policy();
         for node in mesh.nodes() {
             let ni = node.index();
             for port in 0..PORT_COUNT {
                 let wi = Self::wire_idx(node, port);
-                if self.out_wires[wi].is_some() {
+                if self.out_wires[wi].is_some()
+                    && self.faults.launch_allowed(node, port, self.cycle)
+                {
                     if let Some(f) = self.routers[ni].launch(port) {
                         self.link_flits[wi] += 1;
                         self.out_wires[wi].as_mut().unwrap().flits.push(f);
@@ -261,6 +339,7 @@ impl Network {
                 &*self.algo,
                 mesh,
                 &self.sideband,
+                &FaultView::new(&self.faults, &*self.algo),
                 &mut self.rng,
                 &mut self.metrics,
                 probe,
@@ -303,6 +382,38 @@ impl Network {
         probe.sample(self.cycle, self);
         probe.cycle_end(self.cycle);
         self.cycle += 1;
+    }
+
+    /// Disposes of an unreachable packet according to the configured
+    /// policy: park it for another attempt, or drop it with accounting.
+    /// `attempts` counts the checks already made for this packet.
+    fn park_or_drop(
+        &mut self,
+        node: NodeId,
+        id: PacketId,
+        packet: NewPacket,
+        birth: u64,
+        attempts: u32,
+    ) {
+        if let UnreachablePolicy::Retry {
+            max_attempts,
+            backoff,
+        } = self.policy
+        {
+            if attempts + 1 < max_attempts {
+                self.metrics.record_retry(packet.class);
+                self.retries.push_back(RetryEntry {
+                    ready_at: self.cycle.saturating_add(backoff.max(1)),
+                    node,
+                    id,
+                    packet,
+                    birth,
+                    attempts: attempts + 1,
+                });
+                return;
+            }
+        }
+        self.metrics.record_dropped(packet.class, packet.size);
     }
 
     /// Runs `cycles` cycles.
@@ -368,6 +479,31 @@ impl Network {
             && self.routers.iter().all(Router::is_quiescent)
             && self.sources.iter().all(Source::is_quiescent)
             && self.sinks.iter().all(Sink::is_quiescent)
+            && self.retries.is_empty()
+    }
+
+    /// The live fault state derived from the network's fault plan.
+    pub fn fault_state(&self) -> &FaultState {
+        &self.faults
+    }
+
+    /// The configured disposition for unreachable packets.
+    pub fn unreachable_policy(&self) -> UnreachablePolicy {
+        self.policy
+    }
+
+    /// Packets currently parked awaiting a retry.
+    pub fn parked_retries(&self) -> usize {
+        self.retries.len()
+    }
+
+    /// Every `(src, dest)` pair observed unreachable at generation time so
+    /// far, in sorted order. Empty for a fault-free run.
+    pub fn unreachable_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        self.unreachable
+            .iter()
+            .map(|&(s, d)| (NodeId(s), NodeId(d)))
+            .collect()
     }
 
     /// Total packets waiting in source queues.

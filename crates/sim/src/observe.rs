@@ -640,7 +640,7 @@ mod tests {
             let mut pair = ProbePair::new(&mut t1, &mut t2);
             net.run_probed(&mut wl, 40, &mut pair);
         }
-        assert!(t1.len() > 0);
+        assert!(!t1.is_empty());
         assert_eq!(t1.len(), t2.len());
     }
 

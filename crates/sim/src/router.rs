@@ -7,7 +7,7 @@ use crate::output::OutputPort;
 use crate::packet::{Flit, PacketId};
 use crate::view::RouterOutputsView;
 use footprint_routing::{
-    CongestionView, Priority, RoutingAlgorithm, RoutingCtx, VcId, VcRequest,
+    CongestionView, LinkStateView, Priority, RoutingAlgorithm, RoutingCtx, VcId, VcRequest,
 };
 use footprint_topology::{Mesh, NodeId, Port, PORT_COUNT};
 use rand::rngs::SmallRng;
@@ -122,6 +122,7 @@ impl Router {
         algo: &dyn RoutingAlgorithm,
         mesh: Mesh,
         congestion: &dyn CongestionView,
+        links: &dyn LinkStateView,
         rng: &mut SmallRng,
         metrics: &mut Metrics,
         probe: &mut dyn Probe,
@@ -157,6 +158,7 @@ impl Router {
                         num_vcs: self.num_vcs,
                         ports: &view,
                         congestion,
+                        links,
                     };
                     let start = reqs.len() as u32;
                     algo.route(&ctx, rng, &mut reqs);
@@ -200,6 +202,15 @@ impl Router {
                         let req = &slice[(off + j) % len];
                         if req.priority != pri {
                             continue;
+                        }
+                        // Backstop for algorithms that keep requesting a
+                        // faulted port (deliberately, like strict DOR):
+                        // never grant onto a dead channel — the packet
+                        // waits, and the watchdog names it if it wedges.
+                        if let Port::Dir(d) = req.port {
+                            if !links.link_up(self.node, d) {
+                                continue;
+                            }
                         }
                         let p = req.port.index();
                         let v = req.vc.index();
@@ -378,7 +389,7 @@ mod tests {
     use super::*;
     use crate::metrics::NullProbe;
     use crate::packet::FlitKind;
-    use footprint_routing::{Dor, Footprint, NoCongestionInfo};
+    use footprint_routing::{AllLinksUp, Dor, Footprint, NoCongestionInfo};
     use footprint_topology::Direction;
     use rand::SeedableRng;
 
@@ -413,7 +424,7 @@ mod tests {
         r.inputs_mut()[Port::Local.index()]
             .vc_mut(0)
             .push(flit_to(3, 1));
-        r.vc_allocate(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut m, &mut probe);
+        r.vc_allocate(&Dor, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut m, &mut probe);
         let east = Port::Dir(Direction::East).index();
         // Granted: one of East's VCs is now active.
         assert!(matches!(
@@ -443,7 +454,7 @@ mod tests {
         r.inputs_mut()[Port::Local.index()]
             .vc_mut(0)
             .push(flit_to(3, 1));
-        r.vc_allocate(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut m, &mut probe);
+        r.vc_allocate(&Dor, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut m, &mut probe);
         assert!(r.inputs()[Port::Local.index()].vc(0).waiting());
         assert_eq!(m.va_blocks, 1);
         assert_eq!(m.purity_events, 1);
@@ -468,7 +479,7 @@ mod tests {
         r.inputs_mut()[Port::Local.index()]
             .vc_mut(1)
             .push(flit_to(3, 1));
-        r.vc_allocate(&algo, mesh, &NoCongestionInfo, &mut rng, &mut m, &mut probe);
+        r.vc_allocate(&algo, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut m, &mut probe);
         // Granted via join onto VC1 (the footprint VC).
         match r.inputs()[Port::Local.index()].vc(1).route() {
             RouteState::Active { out_vc, out_port, .. } => {
@@ -499,7 +510,7 @@ mod tests {
         r.inputs_mut()[Port::Local.index()]
             .vc_mut(1)
             .push(flit_to(3, 1));
-        r.vc_allocate(&algo, mesh, &NoCongestionInfo, &mut rng, &mut m, &mut probe);
+        r.vc_allocate(&algo, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut m, &mut probe);
         // DBAR has no footprint joins: the packet stays blocked even though
         // draining VCs to its destination exist.
         assert!(r.inputs()[Port::Local.index()].vc(1).waiting());
@@ -519,7 +530,7 @@ mod tests {
             f.vc = 1;
             r.inputs_mut()[ip].vc_mut(1).push(f);
         }
-        r.vc_allocate(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut m, &mut probe);
+        r.vc_allocate(&Dor, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut m, &mut probe);
         let mut freed = Vec::new();
         r.switch_allocate(Dor.policy(), 2, &mut freed, &mut probe);
         // Only 2 can cross to the east output this cycle (speedup 2).
@@ -536,7 +547,7 @@ mod tests {
         r.inputs_mut()[Port::Local.index()]
             .vc_mut(0)
             .push(flit_to(3, 1));
-        r.vc_allocate(&Dor, mesh, &NoCongestionInfo, &mut rng, &mut m, &mut probe);
+        r.vc_allocate(&Dor, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut m, &mut probe);
         let RouteState::Active { out_vc, .. } = r.inputs()[Port::Local.index()].vc(0).route()
         else {
             panic!("expected grant");

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 mod congestion_tree;
+mod fault_stats;
 mod latency;
 mod observers;
 mod probes;
@@ -35,6 +36,7 @@ pub mod table;
 mod timeline;
 
 pub use congestion_tree::{CongestionTree, TreeAnalysis};
+pub use fault_stats::{ClassFaultCounts, FaultStats};
 pub use latency::{Histogram, OnlineStats};
 pub use observers::{MeshSample, RouterSample, TimelineProbe};
 pub use probes::{load_balance, LatencyHistogramProbe, LoadBalance};

@@ -30,9 +30,11 @@
 #![warn(missing_docs)]
 
 mod coord;
+mod fault;
 mod mesh;
 mod port;
 
 pub use coord::{Coord, NodeId};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanError, FaultTarget};
 pub use mesh::{Channel, Mesh, MinimalDirs};
 pub use port::{Direction, Port, DIRECTIONS, PORTS, PORT_COUNT};

@@ -10,8 +10,7 @@
 use footprint_suite::routing::adaptiveness::{
     mean_path_adaptiveness, path_adaptiveness, vc_adaptiveness,
 };
-use footprint_suite::routing::RoutingSpec;
-use footprint_suite::topology::{Mesh, NodeId};
+use footprint_suite::prelude::{Mesh, NodeId, RoutingSpec};
 
 fn main() {
     let k: u16 = std::env::args()

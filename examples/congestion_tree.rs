@@ -5,10 +5,10 @@
 //! cargo run --release --example congestion_tree
 //! ```
 
-use footprint_suite::core::{RoutingSpec, SimulationBuilder, TrafficSpec};
+use footprint_suite::prelude::*;
 use footprint_suite::stats::TreeAnalysis;
 
-fn main() -> Result<(), footprint_suite::core::ConfigError> {
+fn main() -> Result<(), RunError> {
     println!("Congestion-tree anatomy — Figure 2 flows on a 4x4 mesh, 4 VCs\n");
     for spec in [RoutingSpec::Dor, RoutingSpec::Footprint] {
         let (mut net, mut wl) = SimulationBuilder::mesh(4)

@@ -9,10 +9,10 @@
 //! cargo run --release --example hotspot_isolation
 //! ```
 
-use footprint_suite::core::{RoutingSpec, SimulationBuilder, TrafficSpec};
+use footprint_suite::prelude::*;
 use footprint_suite::traffic::{BACKGROUND_CLASS, HOTSPOT_CLASS};
 
-fn main() -> Result<(), footprint_suite::core::ConfigError> {
+fn main() -> Result<(), RunError> {
     println!("Hotspot isolation — Table 3 flows at 0.5 flits/cycle, background 0.3\n");
     println!(
         "{:<12} {:>12} {:>14} {:>14}",

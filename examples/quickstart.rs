@@ -5,9 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use footprint_suite::core::{RoutingSpec, SimulationBuilder, TrafficSpec};
+use footprint_suite::prelude::*;
 
-fn main() -> Result<(), footprint_suite::core::ConfigError> {
+fn main() -> Result<(), RunError> {
     // The paper's Table 2 baseline: 8x8 mesh, 10 VCs, wormhole + credits,
     // single-flit packets. We offer 0.30 flits/node/cycle of transpose
     // traffic and compare the four main routing algorithms.

@@ -7,11 +7,11 @@
 //! cargo run --release --example tail_latency
 //! ```
 
-use footprint_suite::core::{RoutingSpec, SimulationBuilder, TrafficSpec};
+use footprint_suite::prelude::*;
 use footprint_suite::stats::{load_balance, LatencyHistogramProbe};
 use footprint_suite::traffic::BACKGROUND_CLASS;
 
-fn main() -> Result<(), footprint_suite::core::ConfigError> {
+fn main() -> Result<(), RunError> {
     println!("Background tail latency under hotspot traffic (hotspot 0.45, bg 0.3)\n");
     println!(
         "{:<12} {:>8} {:>8} {:>8} {:>8} {:>12}",

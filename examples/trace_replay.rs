@@ -6,12 +6,11 @@
 //! cargo run --release --example trace_replay
 //! ```
 
-use footprint_suite::core::{RoutingSpec, SimConfig};
-use footprint_suite::sim::{Network, NoTraffic};
-use footprint_suite::topology::NodeId;
+use footprint_suite::prelude::*;
+use footprint_suite::sim::{Network, NoTraffic, SimConfig};
 use footprint_suite::traffic::{TraceEvent, TraceWorkload};
 
-fn main() -> Result<(), footprint_suite::core::ConfigError> {
+fn main() -> Result<(), ConfigError> {
     // A small synthetic trace: a burst of requests from the left column to
     // the right column, followed by replies.
     let mut events = Vec::new();

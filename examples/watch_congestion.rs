@@ -7,11 +7,10 @@
 //! cargo run --release --example watch_congestion -- dbar   # compare
 //! ```
 
-use footprint_suite::core::{RoutingSpec, SimulationBuilder, TrafficSpec};
+use footprint_suite::prelude::*;
 use footprint_suite::stats::TreeTimeline;
-use footprint_suite::topology::NodeId;
 
-fn main() -> Result<(), footprint_suite::core::ConfigError> {
+fn main() -> Result<(), RunError> {
     let spec: RoutingSpec = std::env::args()
         .nth(1)
         .map(|s| s.parse().expect("unknown routing algorithm"))

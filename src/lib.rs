@@ -14,10 +14,13 @@
 //! * [`stats`] — measurement, saturation search and congestion analysis.
 //! * [`core`](mod@core) — the high-level builder API tying it all together.
 //!
+//! The blessed surface for applications is [`prelude`]: one import line
+//! gives the builder, the execution options and the report types.
+//!
 //! # Quickstart
 //!
 //! ```
-//! use footprint_suite::core::{SimulationBuilder, RoutingSpec, TrafficSpec};
+//! use footprint_suite::prelude::*;
 //!
 //! let report = SimulationBuilder::mesh(4)
 //!     .vcs(4)
@@ -40,3 +43,31 @@ pub use footprint_sim as sim;
 pub use footprint_stats as stats;
 pub use footprint_topology as topology;
 pub use footprint_traffic as traffic;
+
+/// The blessed import surface: everything a typical experiment needs.
+///
+/// ```
+/// use footprint_suite::prelude::*;
+///
+/// let plan = FaultPlan::new().with(FaultEvent::link_down(NodeId(0), Direction::East, 0));
+/// let report = SimulationBuilder::mesh(4)
+///     .vcs(4)
+///     .warmup(100)
+///     .measurement(200)
+///     .run_with(RunOptions::new().faults(plan))?;
+/// assert!(report.latency.ejected_packets > 0);
+/// # Ok::<(), RunError>(())
+/// ```
+///
+/// Anything deeper (router internals, probes beyond the re-exported ones,
+/// analysis helpers) stays behind the member-crate paths
+/// ([`crate::sim`], [`crate::stats`], …).
+pub mod prelude {
+    pub use footprint_core::{
+        ClassSummary, ConfigError, FaultStats, NullProbe, Probe, RoutingSpec, RunError,
+        RunOptions, RunReport, SimulationBuilder, StallDiagnostic, SweepOptions, TrafficSpec,
+        UnreachablePolicy,
+    };
+    pub use footprint_topology::{Direction, FaultEvent, FaultKind, FaultPlan, Mesh, NodeId};
+    pub use footprint_traffic::{App, PacketSize};
+}

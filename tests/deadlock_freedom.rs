@@ -9,7 +9,7 @@
 //! 2. **Drainability**: once injection stops, the network empties
 //!    completely — no cyclically-blocked flits remain.
 
-use footprint_suite::core::{RoutingSpec, SimulationBuilder, TrafficSpec};
+use footprint_suite::prelude::*;
 use footprint_suite::sim::NoTraffic;
 
 const DUATO_ALGOS: [RoutingSpec; 4] = [

@@ -1,8 +1,7 @@
 //! End-to-end integration tests: every routing algorithm delivers every
 //! workload loss-free, deterministically, on multiple mesh sizes.
 
-use footprint_suite::core::{RoutingSpec, SimulationBuilder, TrafficSpec};
-use footprint_suite::traffic::PacketSize;
+use footprint_suite::prelude::*;
 
 const ALL_ALGOS: [RoutingSpec; 8] = [
     RoutingSpec::Footprint,

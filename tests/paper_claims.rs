@@ -3,7 +3,7 @@
 //! *orderings* the paper reports. (The full-scale regenerations live in
 //! `crates/bench`.)
 
-use footprint_suite::core::{RoutingSpec, SimulationBuilder, TrafficSpec};
+use footprint_suite::prelude::*;
 use footprint_suite::routing::cost::footprint_storage_bits_per_port;
 use footprint_suite::stats::PurityProbe;
 use footprint_suite::traffic::BACKGROUND_CLASS;
@@ -151,7 +151,7 @@ fn duato_vc_floor_is_two() {
         .unwrap_err();
     assert!(matches!(
         err,
-        footprint_suite::core::ConfigError::TooFewVcsForRouting { required: 2, .. }
+        RunError::Config(ConfigError::TooFewVcsForRouting { required: 2, .. })
     ));
     // And two is enough to run.
     let ok = SimulationBuilder::mesh(4)

@@ -1,9 +1,8 @@
 //! Property-based integration tests: flow conservation, determinism and
 //! drainability over randomized workloads and configurations.
 
-use footprint_suite::core::{RoutingSpec, SimConfig};
-use footprint_suite::sim::{FlowSet, Network, NoTraffic, SingleFlow};
-use footprint_suite::topology::{Mesh, NodeId};
+use footprint_suite::prelude::*;
+use footprint_suite::sim::{FlowSet, Network, NoTraffic, SimConfig, SingleFlow};
 use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = RoutingSpec> {
