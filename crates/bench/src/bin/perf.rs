@@ -11,12 +11,15 @@
 //!   sequentially (`threads = 1`) and on the default pool; their ratio is
 //!   the engine's speedup on this machine. Results are bit-identical
 //!   between the two runs (asserted here, not just in the test suite).
+//! * **sentinel overhead** — the pooled sweep re-run with the invariant
+//!   sentinel enabled on every point; the ratio to the plain pooled sweep
+//!   is the price of full runtime auditing (budget: ≤ 15%).
 //!
 //! Output path: `BENCH_sim.json` in the current directory, or the value
 //! of `FOOTPRINT_BENCH_OUT`.
 
 use footprint_bench::quick_rates;
-use footprint_core::{exec, RoutingSpec, SimulationBuilder, TrafficSpec};
+use footprint_core::{exec, RoutingSpec, SimulationBuilder, SweepOptions, TrafficSpec};
 use std::time::Instant;
 
 fn builder() -> SimulationBuilder {
@@ -60,12 +63,32 @@ fn main() {
     );
     let speedup = seq_secs / par_secs;
 
+    // 3. Sentinel overhead: the same pooled sweep with every invariant
+    // audited. The sentinel only observes, so the curve must not move.
+    let t = Instant::now();
+    let audited = b
+        .sweep_with(
+            &rates,
+            SweepOptions::new().threads(threads).sentinel(true),
+        )
+        .expect("sentinel must stay quiet on a healthy sweep");
+    let audited_secs = t.elapsed().as_secs_f64();
+    assert_eq!(
+        parallel, audited,
+        "sentinel-on sweep must be bit-identical to the plain sweep"
+    );
+    // Baseline against the faster of the two plain sweeps: on a 1-core
+    // runner they do identical work and their spread is pure noise.
+    let overhead = audited_secs / (seq_secs.min(par_secs)) - 1.0;
+
     let json = format!(
         "{{\n  \"single_thread\": {{\n    \"simulated_cycles\": {total_cycles},\n    \
          \"wall_secs\": {best:.4},\n    \"cycles_per_sec\": {cycles_per_sec:.0}\n  }},\n  \
          \"sweep\": {{\n    \"rates\": {},\n    \"threads\": {threads},\n    \
          \"sequential_secs\": {seq_secs:.4},\n    \"parallel_secs\": {par_secs:.4},\n    \
-         \"speedup\": {speedup:.2},\n    \"bit_identical\": true\n  }}\n}}\n",
+         \"speedup\": {speedup:.2},\n    \"bit_identical\": true\n  }},\n  \
+         \"sentinel\": {{\n    \"audited_secs\": {audited_secs:.4},\n    \
+         \"overhead\": {overhead:.4},\n    \"budget\": 0.15\n  }}\n}}\n",
         rates.len(),
     );
     let path = std::env::var("FOOTPRINT_BENCH_OUT").unwrap_or_else(|_| "BENCH_sim.json".into());
@@ -74,6 +97,10 @@ fn main() {
     println!(
         "sweep ({} rates): sequential {seq_secs:.2}s, parallel {par_secs:.2}s on {threads} thread(s) → {speedup:.2}x",
         rates.len()
+    );
+    println!(
+        "sentinel: audited sweep {audited_secs:.2}s → {:.1}% overhead (budget 15%)",
+        overhead * 100.0
     );
     println!("wrote {path}");
 }

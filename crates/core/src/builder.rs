@@ -1,12 +1,18 @@
 //! The simulation builder: one fluent entry point for every experiment.
 
 use core::fmt;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
+use crate::exec::JobOutcome;
+use crate::journal::SweepJournal;
 use crate::{RunReport, TrafficSpec};
 use footprint_routing::RoutingSpec;
+use footprint_sim::observe::ProbePair;
 use footprint_sim::{
-    ConfigError, Network, NoTraffic, NullProbe, Probe, SimConfig, StallDiagnostic, StallWatchdog,
-    UnreachablePolicy, Workload,
+    ConfigError, Network, NoTraffic, NullProbe, Probe, Sentinel, SentinelReport, SimConfig,
+    StallDiagnostic, StallWatchdog, UnreachablePolicy, Workload,
 };
 use footprint_stats::{Curve, FaultStats, SweepPoint};
 use footprint_topology::{FaultPlan, Mesh};
@@ -26,6 +32,30 @@ pub enum RunError {
     /// unreachable. The boxed [`FaultStats`] carries the offending
     /// source→destination pairs and the full disposition accounting.
     Unreachable(Box<FaultStats>),
+    /// The runtime invariant sentinel detected a conservation, VC-state
+    /// or deadlock violation. The boxed report names the first-failure
+    /// cycle, the violated invariant and a state excerpt — the typed
+    /// alternative to a panic deep in the cycle loop or, worse, silently
+    /// wrong numbers.
+    InvariantViolated(Box<SentinelReport>),
+    /// The run exceeded its wall-clock deadline
+    /// ([`RunOptions::deadline`] / [`SweepOptions::deadline`]) — the
+    /// bound a sweep point must finish within so one degenerate
+    /// configuration cannot hold an entire campaign hostage.
+    DeadlineExceeded {
+        /// The configured wall-clock limit.
+        limit: Duration,
+        /// Simulated cycle reached when the deadline fired.
+        cycle: u64,
+    },
+    /// A sweep job panicked. The panic was quarantined to its own result
+    /// slot ([`crate::exec::JobSet::run_quarantined_on`]) so sibling
+    /// points completed (and were journaled) normally; the string carries
+    /// the offending point and the captured panic payload.
+    JobPanicked(String),
+    /// The sweep checkpoint journal could not be opened, validated or
+    /// appended ([`SweepOptions::checkpoint`]).
+    Checkpoint(String),
 }
 
 impl fmt::Display for RunError {
@@ -40,6 +70,13 @@ impl fmt::Display for RunError {
                 s.unreachable_pairs.len(),
                 s.dropped()
             ),
+            RunError::InvariantViolated(r) => r.fmt(f),
+            RunError::DeadlineExceeded { limit, cycle } => write!(
+                f,
+                "run exceeded its {limit:?} wall-clock deadline at simulated cycle {cycle}"
+            ),
+            RunError::JobPanicked(msg) => write!(f, "sweep job panicked: {msg}"),
+            RunError::Checkpoint(msg) => write!(f, "sweep checkpoint error: {msg}"),
         }
     }
 }
@@ -49,8 +86,18 @@ impl std::error::Error for RunError {
         match self {
             RunError::Config(e) => Some(e),
             RunError::Stalled(d) => Some(d.as_ref()),
-            RunError::Unreachable(_) => None,
+            RunError::InvariantViolated(r) => Some(r.as_ref()),
+            RunError::Unreachable(_)
+            | RunError::DeadlineExceeded { .. }
+            | RunError::JobPanicked(_)
+            | RunError::Checkpoint(_) => None,
         }
+    }
+}
+
+impl From<Box<SentinelReport>> for RunError {
+    fn from(r: Box<SentinelReport>) -> Self {
+        RunError::InvariantViolated(r)
     }
 }
 
@@ -91,6 +138,8 @@ pub struct RunOptions<'a> {
     stall_threshold: Option<u64>,
     faults: FaultPlan,
     on_unreachable: UnreachablePolicy,
+    sentinel: Option<bool>,
+    deadline: Option<Duration>,
 }
 
 impl<'a> RunOptions<'a> {
@@ -134,6 +183,29 @@ impl<'a> RunOptions<'a> {
         self.on_unreachable = policy;
         self
     }
+
+    /// Explicitly enables (or disables) the runtime invariant sentinel
+    /// for the whole run — warmup, measurement and drain. When never
+    /// called, the `FOOTPRINT_SENTINEL` environment variable decides
+    /// ([`Sentinel::env_enabled`]).
+    ///
+    /// The sentinel only observes, so an untripped sentinel-on run
+    /// reports bit-identically to a sentinel-off run; a violation aborts
+    /// with [`RunError::InvariantViolated`].
+    #[must_use]
+    pub fn sentinel(mut self, enabled: bool) -> Self {
+        self.sentinel = Some(enabled);
+        self
+    }
+
+    /// Bounds the run to `limit` of wall-clock time, checked at coarse
+    /// cycle-chunk boundaries (~1024 cycles). Exceeding it aborts with
+    /// [`RunError::DeadlineExceeded`].
+    #[must_use]
+    pub fn deadline(mut self, limit: Duration) -> Self {
+        self.deadline = Some(limit);
+        self
+    }
 }
 
 /// Options for a latency-throughput sweep ([`SimulationBuilder::sweep_with`]):
@@ -148,6 +220,9 @@ pub struct SweepOptions {
     stall_threshold: Option<u64>,
     faults: FaultPlan,
     on_unreachable: UnreachablePolicy,
+    sentinel: Option<bool>,
+    deadline: Option<Duration>,
+    checkpoint: Option<PathBuf>,
 }
 
 impl SweepOptions {
@@ -194,6 +269,35 @@ impl SweepOptions {
         self
     }
 
+    /// Runs every point under the runtime invariant sentinel (see
+    /// [`RunOptions::sentinel`]). Defaults to the `FOOTPRINT_SENTINEL`
+    /// environment variable.
+    #[must_use]
+    pub fn sentinel(mut self, enabled: bool) -> Self {
+        self.sentinel = Some(enabled);
+        self
+    }
+
+    /// Wall-clock deadline for every individual sweep point (see
+    /// [`RunOptions::deadline`]): one degenerate point fails with
+    /// [`RunError::DeadlineExceeded`] instead of stalling the campaign.
+    #[must_use]
+    pub fn deadline(mut self, limit: Duration) -> Self {
+        self.deadline = Some(limit);
+        self
+    }
+
+    /// Journals completed sweep points to `path`
+    /// ([`crate::journal::SweepJournal`]) so a crashed or killed campaign
+    /// resumes where it left off: re-running the same sweep with the same
+    /// journal skips the recorded points and produces a curve
+    /// bit-identical to an uninterrupted run, at any thread count.
+    #[must_use]
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
     /// The per-point [`RunOptions`] this sweep configuration induces.
     fn run_options(&self) -> RunOptions<'static> {
         let mut o = RunOptions::new()
@@ -201,6 +305,12 @@ impl SweepOptions {
             .on_unreachable(self.on_unreachable);
         if let Some(t) = self.stall_threshold {
             o = o.watchdog(t);
+        }
+        if let Some(s) = self.sentinel {
+            o = o.sentinel(s);
+        }
+        if let Some(d) = self.deadline {
+            o = o.deadline(d);
         }
         o
     }
@@ -408,21 +518,68 @@ impl SimulationBuilder {
         Ok((net, wl))
     }
 
-    /// Runs one phase, watched when a watchdog is present.
+    /// Runs one phase, watched when a watchdog is present, audited when a
+    /// sentinel is attached, bounded when a deadline is set.
+    ///
+    /// With a sentinel or deadline the phase runs in coarse cycle chunks
+    /// so trip/timeout checks need no per-cycle hook; chunking is
+    /// invisible to the simulation (the run loops are stateless between
+    /// calls), so any completing combination stays bit-identical to the
+    /// single-call fast path.
     fn phase(
         net: &mut Network,
         wl: &mut dyn Workload,
         cycles: u64,
         probe: &mut dyn Probe,
-        watchdog: Option<&mut StallWatchdog>,
+        mut watchdog: Option<&mut StallWatchdog>,
+        mut sentinel: Option<&mut Sentinel>,
+        deadline: Option<(Instant, Duration)>,
     ) -> Result<(), RunError> {
-        match watchdog {
-            Some(w) => net.run_watched(wl, cycles, probe, w).map_err(RunError::from),
-            None => {
-                net.run_probed(wl, cycles, probe);
-                Ok(())
+        const CHUNK: u64 = 1024;
+        let chunked = sentinel.is_some() || deadline.is_some();
+        let mut remaining = cycles;
+        while remaining > 0 {
+            // Checked before each chunk, so an already-expired deadline
+            // stops the run without simulating another chunk first.
+            if let Some((start, limit)) = deadline {
+                if start.elapsed() >= limit {
+                    return Err(RunError::DeadlineExceeded {
+                        limit,
+                        cycle: net.cycle(),
+                    });
+                }
             }
+            let step = if chunked { remaining.min(CHUNK) } else { remaining };
+            let result = {
+                let mut pair;
+                let p: &mut dyn Probe = match sentinel.as_mut() {
+                    Some(s) => {
+                        pair = ProbePair::new(&mut **s, &mut *probe);
+                        &mut pair
+                    }
+                    None => &mut *probe,
+                };
+                match watchdog.as_mut() {
+                    Some(w) => net.run_watched(wl, step, p, w).map_err(RunError::from),
+                    None => {
+                        net.run_probed(wl, step, p);
+                        Ok(())
+                    }
+                }
+            };
+            // A sentinel violation outranks the stall it may have caused:
+            // the report names the origin of the corruption, the stall is
+            // only its symptom.
+            if let Some(s) = sentinel.as_mut() {
+                if s.tripped() {
+                    let report = s.take_report().expect("tripped sentinel holds a report");
+                    return Err(RunError::InvariantViolated(report));
+                }
+            }
+            result?;
+            remaining -= step;
         }
+        Ok(())
     }
 
     /// The canonical execution entry point: runs warmup + measurement
@@ -459,11 +616,20 @@ impl SimulationBuilder {
             stall_threshold,
             faults,
             on_unreachable,
+            sentinel,
+            deadline,
         } = opts;
+        let started = Instant::now();
         let (mut net, mut wl) = self.build_with(faults, on_unreachable)?;
         let mut null = NullProbe;
         let probe = probe.unwrap_or(&mut null);
         let mut watchdog = stall_threshold.map(StallWatchdog::new);
+        // The sentinel attaches from cycle 0: its flit census must see
+        // every injection, so it spans warmup, measurement and drain.
+        let mut sentinel = sentinel
+            .unwrap_or_else(Sentinel::env_enabled)
+            .then(Sentinel::new);
+        let deadline = deadline.map(|limit| (started, limit));
         let mut warmup_probe = NullProbe;
         Self::phase(
             &mut net,
@@ -471,13 +637,31 @@ impl SimulationBuilder {
             self.warmup,
             &mut warmup_probe,
             watchdog.as_mut(),
+            sentinel.as_mut(),
+            deadline,
         )?;
         let boundary = net.cycle();
         net.metrics_mut().reset_window_at(boundary);
-        Self::phase(&mut net, &mut *wl, self.measurement, probe, watchdog.as_mut())?;
+        Self::phase(
+            &mut net,
+            &mut *wl,
+            self.measurement,
+            probe,
+            watchdog.as_mut(),
+            sentinel.as_mut(),
+            deadline,
+        )?;
         if self.drain > 0 {
             let mut none = NoTraffic;
-            Self::phase(&mut net, &mut none, self.drain, probe, watchdog.as_mut())?;
+            Self::phase(
+                &mut net,
+                &mut none,
+                self.drain,
+                probe,
+                watchdog.as_mut(),
+                sentinel.as_mut(),
+                deadline,
+            )?;
         }
         let mut report = RunReport::from_metrics(net.metrics(), self.mesh.len(), self.rate);
         report.faults = FaultStats::collect(&net);
@@ -556,15 +740,68 @@ impl SimulationBuilder {
     /// Panics if `rates` is not strictly increasing (curve invariant).
     pub fn sweep_with(&self, rates: &[f64], opts: SweepOptions) -> Result<Curve, RunError> {
         let threads = opts.threads.unwrap_or_else(crate::exec::num_threads);
+        // With a checkpoint journal, restore the completed points and
+        // submit only the missing ones; each finishing job appends its
+        // record (fsync'd) before reporting success, so a kill at any
+        // instant loses at most the points still in flight.
+        let journal: Option<Mutex<SweepJournal>> = match &opts.checkpoint {
+            Some(path) => Some(Mutex::new(
+                SweepJournal::open(path, self.seed, rates).map_err(RunError::Checkpoint)?,
+            )),
+            None => None,
+        };
+        let mut done: std::collections::BTreeMap<usize, SweepPoint> = journal
+            .as_ref()
+            .map(|j| j.lock().expect("journal lock").completed().clone())
+            .unwrap_or_default();
         let mut jobs = crate::exec::JobSet::new();
+        let mut submitted: Vec<usize> = Vec::new();
         for (index, &rate) in rates.iter().enumerate() {
+            if done.contains_key(&index) {
+                continue;
+            }
+            submitted.push(index);
             let point = self.sweep_point(index, rate);
             let o = opts.clone();
-            jobs.push(move || point.run_sweep_point_with(&o));
+            let journal = &journal;
+            jobs.push(move || {
+                let sp = point.run_sweep_point_with(&o)?;
+                if let Some(j) = journal {
+                    j.lock()
+                        .expect("journal lock")
+                        .record(index, &sp)
+                        .map_err(RunError::Checkpoint)?;
+                }
+                Ok::<SweepPoint, RunError>(sp)
+            });
+        }
+        // Quarantined execution: a panicking or failing point cannot tear
+        // down the pool, so every other point still completes — and, with
+        // a journal, is durably recorded for the next resume.
+        let outcomes = jobs.run_quarantined_on(threads);
+        let mut first_error: Option<RunError> = None;
+        for (&index, outcome) in submitted.iter().zip(outcomes) {
+            match outcome {
+                JobOutcome::Completed(Ok(sp)) => {
+                    done.insert(index, sp);
+                }
+                JobOutcome::Completed(Err(e)) => {
+                    first_error.get_or_insert(e);
+                }
+                JobOutcome::Panicked(msg) => {
+                    first_error.get_or_insert(RunError::JobPanicked(format!(
+                        "sweep point {index} (offered load {}): {msg}",
+                        rates[index]
+                    )));
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
         }
         let mut curve = Curve::new(self.routing.name());
-        for point in jobs.run_on(threads) {
-            curve.push(point?);
+        for (_, point) in done {
+            curve.push(point);
         }
         Ok(curve)
     }
@@ -958,6 +1195,173 @@ mod tests {
         let with_drain = quick().injection_rate(0.2).drain(300).run().unwrap();
         assert!(with_drain.delivery_ratio() >= no_drain.delivery_ratio());
         assert!(with_drain.delivery_ratio() > 0.97);
+    }
+
+    #[test]
+    fn sentinel_stays_quiet_across_algorithms() {
+        // Every algorithm of the comparison set, with and without XORDET,
+        // passes a fully audited run: zero invariant violations.
+        for spec in [
+            RoutingSpec::Footprint,
+            RoutingSpec::Dbar,
+            RoutingSpec::OddEven,
+            RoutingSpec::Dor,
+            RoutingSpec::DbarXordet,
+            RoutingSpec::OddEvenXordet,
+            RoutingSpec::DorXordet,
+        ] {
+            let result = quick()
+                .routing(spec)
+                .injection_rate(0.2)
+                .run_with(RunOptions::new().sentinel(true));
+            assert!(
+                result.is_ok(),
+                "{}: {}",
+                spec.name(),
+                result.unwrap_err()
+            );
+        }
+    }
+
+    #[test]
+    fn sentinel_on_reports_bit_identically() {
+        // The sentinel only observes: an audited run that never trips
+        // reports exactly what the plain run reports.
+        let plain = quick().injection_rate(0.2).run().unwrap();
+        let audited = quick()
+            .injection_rate(0.2)
+            .run_with(RunOptions::new().sentinel(true))
+            .unwrap();
+        assert_eq!(plain, audited);
+    }
+
+    #[test]
+    fn sentinel_stays_quiet_under_a_fault_plan() {
+        use footprint_topology::{Direction, FaultEvent, NodeId};
+        let plan =
+            FaultPlan::new().with(FaultEvent::link_down(NodeId(5), Direction::East, 0));
+        let report = quick()
+            .injection_rate(0.15)
+            .drain(1_000)
+            .run_with(RunOptions::new().faults(plan).sentinel(true).watchdog(10_000))
+            .unwrap();
+        assert!(!report.faults.is_clean());
+        assert!(report.latency.ejected_packets > 0);
+    }
+
+    #[test]
+    fn expired_deadline_is_a_typed_error() {
+        let err = quick()
+            .injection_rate(0.2)
+            .run_with(RunOptions::new().deadline(Duration::ZERO))
+            .unwrap_err();
+        match err {
+            RunError::DeadlineExceeded { limit, cycle } => {
+                assert_eq!(limit, Duration::ZERO);
+                assert_eq!(cycle, 0, "an expired deadline stops before simulating");
+            }
+            other => panic!("expected DeadlineExceeded, got {other}"),
+        }
+        assert!(err.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_perturb_the_run() {
+        let plain = quick().injection_rate(0.2).run().unwrap();
+        let bounded = quick()
+            .injection_rate(0.2)
+            .run_with(RunOptions::new().deadline(Duration::from_secs(3600)))
+            .unwrap();
+        assert_eq!(plain, bounded);
+    }
+
+    #[test]
+    fn sweep_config_error_survives_quarantine() {
+        // Quarantined execution still surfaces per-point errors.
+        let err = quick()
+            .vcs(0)
+            .sweep_with(&[0.05, 0.15], SweepOptions::new().threads(2))
+            .unwrap_err();
+        assert!(matches!(err, RunError::Config(ConfigError::NumVcs(0))));
+    }
+
+    fn tmp_journal(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "footprint-builder-test-{}-{name}.journal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn checkpointed_sweep_matches_plain_sweep() {
+        let rates = [0.05, 0.15, 0.25];
+        let plain = quick().sweep_on(&rates, None, 1).unwrap();
+        let path = tmp_journal("match");
+        let journaled = quick()
+            .sweep_with(&rates, SweepOptions::new().threads(2).checkpoint(&path))
+            .unwrap();
+        assert_eq!(plain, journaled);
+        // A second invocation over a complete journal reruns nothing and
+        // restores the identical curve.
+        let restored = quick()
+            .sweep_with(&rates, SweepOptions::new().threads(2).checkpoint(&path))
+            .unwrap();
+        assert_eq!(plain, restored);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn interrupted_sweep_resumes_bit_identically() {
+        // Simulate a `kill -9` after two points: truncate the journal to
+        // header + 2 records plus a torn half-written line, then resume at
+        // both thread counts. The resumed curve must be bit-identical to an
+        // uninterrupted sequential sweep — including its rendered output.
+        let rates = [0.05, 0.15, 0.25, 0.35];
+        let baseline = quick().sweep_on(&rates, None, 1).unwrap();
+        for threads in [1usize, 4] {
+            let path = tmp_journal(&format!("resume-{threads}"));
+            let full = quick()
+                .sweep_with(
+                    &rates,
+                    SweepOptions::new().threads(threads).checkpoint(&path),
+                )
+                .unwrap();
+            assert_eq!(full, baseline);
+            let contents = std::fs::read_to_string(&path).unwrap();
+            let keep: Vec<&str> = contents.lines().take(3).collect();
+            std::fs::write(&path, format!("{}\npoint 3 3fd3", keep.join("\n"))).unwrap();
+            let resumed = quick()
+                .sweep_with(
+                    &rates,
+                    SweepOptions::new().threads(threads).checkpoint(&path),
+                )
+                .unwrap();
+            assert_eq!(resumed, baseline);
+            assert_eq!(format!("{resumed}"), format!("{baseline}"));
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn foreign_journal_is_refused() {
+        let rates = [0.05, 0.15];
+        let path = tmp_journal("foreign");
+        quick()
+            .sweep_with(&rates, SweepOptions::new().threads(1).checkpoint(&path))
+            .unwrap();
+        // Same path, different seed: a different campaign.
+        let err = quick()
+            .seed(99)
+            .sweep_with(&rates, SweepOptions::new().threads(1).checkpoint(&path))
+            .unwrap_err();
+        match err {
+            RunError::Checkpoint(msg) => assert!(msg.contains("different sweep"), "{msg}"),
+            other => panic!("expected Checkpoint, got {other}"),
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }
 

@@ -61,6 +61,43 @@ pub fn derive_seed(base: u64, index: u64) -> u64 {
 /// A boxed job: runs once on some worker, produces a `T`.
 type Job<'scope, T> = Box<dyn FnOnce() -> T + Send + 'scope>;
 
+/// How one quarantined job ended: with a value, or with a captured panic.
+///
+/// Produced by [`JobSet::run_quarantined`]/[`JobSet::run_quarantined_on`],
+/// where a panicking job is contained to its own slot instead of tearing
+/// down the whole pool — one diverging simulation point must not discard
+/// the completed work of its siblings (which may already be journaled to a
+/// sweep checkpoint).
+#[derive(Debug)]
+pub enum JobOutcome<T> {
+    /// The job returned normally.
+    Completed(T),
+    /// The job panicked; the payload (downcast to a string where possible)
+    /// is captured for the caller's report.
+    Panicked(String),
+}
+
+impl<T> JobOutcome<T> {
+    /// The completed value, or `None` if the job panicked.
+    pub fn completed(self) -> Option<T> {
+        match self {
+            JobOutcome::Completed(v) => Some(v),
+            JobOutcome::Panicked(_) => None,
+        }
+    }
+}
+
+/// Renders a `catch_unwind` payload as the human-readable panic message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// An ordered set of independent jobs to run on the worker pool.
 ///
 /// Results come back in submission order, whatever the completion
@@ -80,7 +117,7 @@ pub struct JobSet<'scope, T> {
     jobs: Vec<Job<'scope, T>>,
 }
 
-impl<'scope, T: Send> JobSet<'scope, T> {
+impl<'scope, T: Send + 'scope> JobSet<'scope, T> {
     /// An empty job set.
     #[must_use]
     pub fn new() -> Self {
@@ -121,6 +158,36 @@ impl<'scope, T: Send> JobSet<'scope, T> {
     /// joined.
     pub fn run_on(self, threads: usize) -> Vec<T> {
         run_parallel(self.jobs, threads)
+    }
+
+    /// Runs all jobs on the default pool with per-job panic isolation:
+    /// a panicking job yields [`JobOutcome::Panicked`] in its slot while
+    /// every other job still runs to completion.
+    pub fn run_quarantined(self) -> Vec<JobOutcome<T>> {
+        let threads = num_threads();
+        self.run_quarantined_on(threads)
+    }
+
+    /// [`JobSet::run_quarantined`] on exactly `threads` workers.
+    ///
+    /// Each job runs under `catch_unwind`; the panic payload is captured
+    /// into the job's result slot instead of unwinding through the pool.
+    /// Results stay in submission order, so callers can attribute a
+    /// panic to the job that raised it.
+    pub fn run_quarantined_on(self, threads: usize) -> Vec<JobOutcome<T>> {
+        let jobs: Vec<Job<'scope, JobOutcome<T>>> = self
+            .jobs
+            .into_iter()
+            .map(|job| -> Job<'scope, JobOutcome<T>> {
+                Box::new(move || {
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)) {
+                        Ok(v) => JobOutcome::Completed(v),
+                        Err(payload) => JobOutcome::Panicked(panic_message(payload.as_ref())),
+                    }
+                })
+            })
+            .collect();
+        run_parallel(jobs, threads)
     }
 }
 
@@ -224,6 +291,23 @@ mod tests {
         assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
         // And a derived seed never trivially equals its base.
         assert!(seeds.iter().all(|&s| s != base));
+    }
+
+    #[test]
+    fn quarantined_panic_spares_the_other_jobs() {
+        for threads in [1, 4] {
+            let mut jobs = JobSet::new();
+            jobs.push(|| 1u32);
+            jobs.push(|| panic!("boom at point 1"));
+            jobs.push(|| 3u32);
+            let outcomes = jobs.run_quarantined_on(threads);
+            assert!(matches!(outcomes[0], JobOutcome::Completed(1)));
+            match &outcomes[1] {
+                JobOutcome::Panicked(msg) => assert!(msg.contains("boom at point 1")),
+                other => panic!("expected quarantined panic, got {other:?}"),
+            }
+            assert!(matches!(outcomes[2], JobOutcome::Completed(3)));
+        }
     }
 
     #[test]

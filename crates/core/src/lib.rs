@@ -63,19 +63,21 @@
 
 mod builder;
 pub mod exec;
+pub mod journal;
 mod report;
 mod traffic_spec;
 
 pub use builder::{RunError, RunOptions, SimulationBuilder, SweepOptions};
-pub use exec::JobSet;
+pub use exec::{JobOutcome, JobSet};
+pub use journal::SweepJournal;
 pub use report::{ClassSummary, RunReport};
 pub use traffic_spec::TrafficSpec;
 
 pub use footprint_routing::RoutingSpec;
 pub use footprint_sim::{
-    ConfigError, EventTrace, NullProbe, Probe, SimConfig, StallDiagnostic, StallWatchdog,
-    UnreachablePolicy,
+    ConfigError, EventTrace, NullProbe, Probe, Sentinel, SentinelReport, SentinelViolation,
+    SimConfig, StallDiagnostic, StallWatchdog, UnreachablePolicy,
 };
-pub use footprint_stats::FaultStats;
+pub use footprint_stats::{FaultStats, SweepProgress};
 pub use footprint_topology::{FaultEvent, FaultKind, FaultPlan, FaultTarget};
 pub use footprint_traffic::{App, PacketSize};

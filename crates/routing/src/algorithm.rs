@@ -146,7 +146,7 @@ pub trait RoutingAlgorithm: Send + Sync {
     ) {
         let lo = ctx.adaptive_lo(self.has_escape());
         for v in lo..ctx.num_vcs {
-            out.push(VcRequest::new(Port::Local, VcId(v as u8), Priority::Low));
+            out.push(VcRequest::new(Port::Local, VcId::from_index(v), Priority::Low));
         }
         if self.has_escape() {
             out.push(VcRequest::new(Port::Local, VcId::ESCAPE, Priority::Lowest));
@@ -172,7 +172,7 @@ pub trait RoutingAlgorithm: Send + Sync {
 /// restriction applies).
 pub(crate) fn eject_requests(ctx: &RoutingCtx<'_>, out: &mut Vec<VcRequest>) {
     for v in 0..ctx.num_vcs {
-        out.push(VcRequest::new(Port::Local, VcId(v as u8), Priority::High));
+        out.push(VcRequest::new(Port::Local, VcId::from_index(v), Priority::High));
     }
 }
 

@@ -30,10 +30,11 @@ pub struct ChannelDependencyGraph {
 
 impl ChannelDependencyGraph {
     fn dir_code(d: Direction) -> u8 {
-        footprint_topology::DIRECTIONS
+        let pos = footprint_topology::DIRECTIONS
             .iter()
             .position(|&x| x == d)
-            .expect("direction in table") as u8
+            .expect("direction in table");
+        u8::try_from(pos).expect("direction table fits in u8")
     }
 
     /// Builds the CDG of `algo`'s allowed-direction relation on `mesh`:

@@ -35,7 +35,8 @@ pub fn ceil_log2(n: usize) -> u32 {
 /// ```
 pub fn footprint_storage_bits_per_port(network_nodes: usize, num_vcs: usize) -> u32 {
     const VC_STATE_BITS: u32 = 2; // idle / active / draining
-    num_vcs as u32 * (ceil_log2(network_nodes) + VC_STATE_BITS) + ceil_log2(num_vcs)
+    let vcs = u32::try_from(num_vcs).expect("VC count fits in u32");
+    vcs * (ceil_log2(network_nodes) + VC_STATE_BITS) + ceil_log2(num_vcs)
 }
 
 /// Total storage (bits) added per router (all ports).
@@ -44,7 +45,8 @@ pub fn footprint_storage_bits_per_router(
     num_vcs: usize,
     ports: usize,
 ) -> u32 {
-    ports as u32 * footprint_storage_bits_per_port(network_nodes, num_vcs)
+    u32::try_from(ports).expect("port count fits in u32")
+        * footprint_storage_bits_per_port(network_nodes, num_vcs)
 }
 
 /// Expresses a per-port bit cost as a fraction of flit-buffer entries, the

@@ -117,7 +117,7 @@ impl RoutingAlgorithm for Dbar {
         };
         // Oblivious VC selection: all adaptive VCs, equal priority.
         for v in 1..ctx.num_vcs {
-            out.push(VcRequest::new(Port::Dir(dir), VcId(v as u8), Priority::Low));
+            out.push(VcRequest::new(Port::Dir(dir), VcId::from_index(v), Priority::Low));
         }
         if let Some(esc) = ctx.escape_dir() {
             out.push(VcRequest::new(

@@ -46,7 +46,7 @@ impl RoutingAlgorithm for Dor {
             None => return eject_requests(ctx, out),
         };
         for v in 0..ctx.num_vcs {
-            out.push(VcRequest::new(Port::Dir(dir), VcId(v as u8), Priority::Low));
+            out.push(VcRequest::new(Port::Dir(dir), VcId::from_index(v), Priority::Low));
         }
     }
 
@@ -58,7 +58,7 @@ impl RoutingAlgorithm for Dor {
     ) {
         let _ = rng;
         for v in 0..ctx.num_vcs {
-            out.push(VcRequest::new(Port::Local, VcId(v as u8), Priority::Low));
+            out.push(VcRequest::new(Port::Local, VcId::from_index(v), Priority::Low));
         }
     }
 
@@ -114,7 +114,7 @@ impl RoutingAlgorithm for RandomMinimal {
             (None, None) => return,
         };
         for v in 1..ctx.num_vcs {
-            out.push(VcRequest::new(Port::Dir(dir), VcId(v as u8), Priority::Low));
+            out.push(VcRequest::new(Port::Dir(dir), VcId::from_index(v), Priority::Low));
         }
         if let Some(esc) = ctx.escape_dir() {
             out.push(VcRequest::new(

@@ -219,7 +219,7 @@ pub(crate) fn count_classes(
 ) -> (usize, usize, usize) {
     let (mut idle, mut fp, mut busy) = (0, 0, 0);
     for v in lo..ctx.num_vcs {
-        match vc_class(ctx.ports.vc(port, VcId(v as u8)), dest) {
+        match vc_class(ctx.ports.vc(port, VcId::from_index(v)), dest) {
             VcClass::Idle => idle += 1,
             VcClass::Footprint => fp += 1,
             VcClass::Busy => busy += 1,
@@ -248,7 +248,7 @@ pub(crate) fn push_vc_class(
         if pushed >= limit {
             break;
         }
-        let vc = VcId(v as u8);
+        let vc = VcId::from_index(v);
         if vc_class(ctx.ports.vc(port, vc), dest) == class {
             out.push(VcRequest::new(port, vc, priority));
             pushed += 1;
@@ -472,7 +472,7 @@ mod tests {
         let mut view = TablePortView::all_idle(V, 4);
         for port in [Port::Dir(Direction::East), Port::Dir(Direction::North)] {
             for v in 1..V {
-                view.set(port, VcId(v as u8), busy_vc(5));
+                view.set(port, VcId::from_index(v), busy_vc(5));
             }
         }
         let out = route(&view);
@@ -544,7 +544,7 @@ mod tests {
         let mut view = TablePortView::all_idle(V, 4);
         for port in [Port::Dir(Direction::East), Port::Dir(Direction::North)] {
             for v in 1..V {
-                view.set(port, VcId(v as u8), busy_vc(63)); // all footprints
+                view.set(port, VcId::from_index(v), busy_vc(63)); // all footprints
             }
         }
         let cong = NoCongestionInfo;

@@ -19,7 +19,7 @@ use core::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::request::{VcId, VcRequest};
-use footprint_topology::{Direction, Mesh, NodeId};
+use footprint_topology::{Direction, Mesh, NodeId, Port};
 
 /// A violated routing invariant, carrying enough context to render a
 /// self-contained diagnostic.
@@ -43,6 +43,19 @@ pub enum InvariantError {
         dest: NodeId,
         /// The full (escape-free) request set, for the diagnostic.
         requests: Vec<VcRequest>,
+    },
+    /// A busy (allocated or draining) output VC whose destination owner
+    /// register is unset. Algorithm 1's footprint classification reads the
+    /// owner of every busy VC; an unset register on a busy VC means the
+    /// allocation path skipped the register write and every subsequent
+    /// footprint count at this channel is silently wrong.
+    UnsetFootprintOwner {
+        /// Router (or source endpoint) owning the output VC.
+        node: NodeId,
+        /// Output port of the VC.
+        port: Port,
+        /// The VC with the unset register.
+        vc: VcId,
     },
 }
 
@@ -75,6 +88,12 @@ impl fmt::Display for InvariantError {
                 }
                 f.write_str("]")
             }
+            InvariantError::UnsetFootprintOwner { node, port, vc } => write!(
+                f,
+                "routing invariant violated: output VC {port}/{vc} at {node} is busy with an \
+                 unset owner register (Algorithm 1 classifies busy VCs by owner; an unset \
+                 register corrupts every footprint count at this channel)"
+            ),
         }
     }
 }
@@ -112,6 +131,35 @@ pub fn escape_request(
             requests: reqs.to_vec(),
         }
     })
+}
+
+/// Audits the owner register of one output VC against Algorithm 1's
+/// footprint bookkeeping: a busy (non-idle) VC must carry the destination
+/// of the packets that claimed it, because footprint classification
+/// ([`VcView::is_footprint_for`](crate::VcView::is_footprint_for)) reads
+/// exactly this register. Idle VCs may hold any owner (the register
+/// deliberately persists across drains — that persistence *is* the
+/// footprint), so only the busy/unset combination is a violation.
+///
+/// This is the pure audit hook the simulator's runtime sentinel calls per
+/// VC; it carries no simulator state so it can be checked (and tested)
+/// against table views too.
+///
+/// # Errors
+///
+/// Returns [`InvariantError::UnsetFootprintOwner`] when `idle` is `false`
+/// and `owner` is `None`.
+pub fn audit_footprint_owner(
+    node: NodeId,
+    port: Port,
+    vc: VcId,
+    idle: bool,
+    owner: Option<NodeId>,
+) -> Result<(), InvariantError> {
+    if !idle && owner.is_none() {
+        return Err(InvariantError::UnsetFootprintOwner { node, port, vc });
+    }
+    Ok(())
 }
 
 /// Reports an invariant violation from a hot path that must keep going:
@@ -164,6 +212,33 @@ mod tests {
         ];
         let esc = escape_request(&reqs, NodeId(0), NodeId(5)).unwrap();
         assert_eq!(esc.vc, VcId::ESCAPE);
+    }
+
+    #[test]
+    fn owner_audit_accepts_idle_and_owned_busy_vcs() {
+        let p = Port::Dir(Direction::East);
+        // Idle without owner: fresh VC, fine.
+        audit_footprint_owner(NodeId(0), p, VcId(1), true, None).unwrap();
+        // Idle with a persistent owner: the footprint register, fine.
+        audit_footprint_owner(NodeId(0), p, VcId(1), true, Some(NodeId(9))).unwrap();
+        // Busy with an owner: a normal allocation, fine.
+        audit_footprint_owner(NodeId(0), p, VcId(1), false, Some(NodeId(9))).unwrap();
+    }
+
+    #[test]
+    fn busy_vc_with_unset_owner_is_flagged() {
+        let err = audit_footprint_owner(NodeId(3), Port::Local, VcId(2), false, None).unwrap_err();
+        assert_eq!(
+            err,
+            InvariantError::UnsetFootprintOwner {
+                node: NodeId(3),
+                port: Port::Local,
+                vc: VcId(2)
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("unset owner register"), "msg: {msg}");
+        assert!(msg.contains("n3"), "msg: {msg}");
     }
 
     #[test]

@@ -122,7 +122,7 @@ impl RoutingAlgorithm for OddEven {
             }
         };
         for v in 0..ctx.num_vcs {
-            out.push(VcRequest::new(Port::Dir(dir), VcId(v as u8), Priority::Low));
+            out.push(VcRequest::new(Port::Dir(dir), VcId::from_index(v), Priority::Low));
         }
     }
 
@@ -133,7 +133,7 @@ impl RoutingAlgorithm for OddEven {
         out: &mut Vec<VcRequest>,
     ) {
         for v in 0..ctx.num_vcs {
-            out.push(VcRequest::new(Port::Local, VcId(v as u8), Priority::Low));
+            out.push(VcRequest::new(Port::Local, VcId::from_index(v), Priority::Low));
         }
     }
 

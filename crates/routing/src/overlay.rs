@@ -89,7 +89,7 @@ impl<A: RoutingAlgorithm> FootprintOverlay<A> {
             // usable VC at Low.
             if reqs.len() == start && num_escapes == 0 {
                 for v in lo..ctx.num_vcs {
-                    reqs.push(VcRequest::new(port, VcId(v as u8), Priority::Low));
+                    reqs.push(VcRequest::new(port, VcId::from_index(v), Priority::Low));
                 }
             }
         }

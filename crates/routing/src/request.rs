@@ -23,6 +23,21 @@ impl VcId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Builds a `VcId` from a `usize` loop index — the checked inverse of
+    /// [`VcId::index`]. Configuration validation caps VC counts far below
+    /// `u8::MAX`, so the narrowing is always lossless for valid configs;
+    /// this constructor `debug_assert!`s that instead of silently
+    /// truncating, so routing hot paths can iterate in `usize` without
+    /// scattering bare `as u8` casts.
+    #[inline]
+    pub fn from_index(v: usize) -> Self {
+        debug_assert!(
+            v <= u8::MAX as usize,
+            "VC index {v} exceeds the u8 wire representation"
+        );
+        VcId(v as u8)
+    }
 }
 
 impl fmt::Display for VcId {

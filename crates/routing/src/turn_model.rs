@@ -48,7 +48,7 @@ fn select_and_request(
         }
     };
     for v in 0..ctx.num_vcs {
-        out.push(VcRequest::new(Port::Dir(dir), VcId(v as u8), Priority::Low));
+        out.push(VcRequest::new(Port::Dir(dir), VcId::from_index(v), Priority::Low));
     }
 }
 
@@ -103,7 +103,7 @@ impl RoutingAlgorithm for WestFirst {
         out: &mut Vec<VcRequest>,
     ) {
         for v in 0..ctx.num_vcs {
-            out.push(VcRequest::new(Port::Local, VcId(v as u8), Priority::Low));
+            out.push(VcRequest::new(Port::Local, VcId::from_index(v), Priority::Low));
         }
     }
 
@@ -164,7 +164,7 @@ impl RoutingAlgorithm for NorthLast {
         out: &mut Vec<VcRequest>,
     ) {
         for v in 0..ctx.num_vcs {
-            out.push(VcRequest::new(Port::Local, VcId(v as u8), Priority::Low));
+            out.push(VcRequest::new(Port::Local, VcId::from_index(v), Priority::Low));
         }
     }
 

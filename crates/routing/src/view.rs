@@ -65,14 +65,14 @@ pub trait PortStateView {
     /// Number of idle VCs at `port` among the VC index range `[lo, hi)`.
     fn idle_count(&self, port: Port, lo: usize, hi: usize) -> usize {
         (lo..hi)
-            .filter(|&v| self.vc(port, VcId(v as u8)).idle)
+            .filter(|&v| self.vc(port, VcId::from_index(v)).idle)
             .count()
     }
 
     /// Number of footprint VCs for `dest` at `port` among `[lo, hi)`.
     fn footprint_count(&self, port: Port, dest: NodeId, lo: usize, hi: usize) -> usize {
         (lo..hi)
-            .filter(|&v| self.vc(port, VcId(v as u8)).is_footprint_for(dest))
+            .filter(|&v| self.vc(port, VcId::from_index(v)).is_footprint_for(dest))
             .count()
     }
 }

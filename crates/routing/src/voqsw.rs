@@ -70,7 +70,7 @@ impl<A: RoutingAlgorithm> VoqSw<A> {
         };
         let class = dor_output_port(ctx.mesh, downstream, dest).index();
         // Stripe the available VCs across the five output classes.
-        VcId((lo + class * range / PORT_COUNT) as u8)
+        VcId::from_index(lo + class * range / PORT_COUNT)
     }
 
     /// Rewrites the tail `reqs[start..]` so each port requests only its

@@ -56,7 +56,7 @@ impl<A: RoutingAlgorithm> Xordet<A> {
         let range = ctx.num_vcs - lo;
         debug_assert!(range > 0, "XORDET needs at least one mappable VC");
         let class = xordet_class(ctx.mesh, dest) as usize;
-        VcId((lo + class % range) as u8)
+        VcId::from_index(lo + class % range)
     }
 
     /// Rewrites the requests appended after `start` so each port requests

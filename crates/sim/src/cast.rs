@@ -19,3 +19,27 @@ pub(crate) fn vc_u8(vc: usize) -> u8 {
     );
     vc as u8
 }
+
+/// Narrows a node index to the `u16` `NodeId` representation. Same
+/// contract as [`vc_u8`]: loud in debug builds, free in release builds
+/// where the mesh constructor upholds the bound.
+#[inline]
+pub(crate) fn idx_u16(n: usize) -> u16 {
+    debug_assert!(
+        n <= u16::MAX as usize,
+        "node index {n} exceeds the u16 representation"
+    );
+    n as u16
+}
+
+/// Narrows a count or index to `u32` (buffer depths, request-slice
+/// offsets). Same contract as [`vc_u8`]: loud in debug builds, free in
+/// release builds where the configuration validator upholds the bound.
+#[inline]
+pub(crate) fn idx_u32(n: usize) -> u32 {
+    debug_assert!(
+        n <= u32::MAX as usize,
+        "index {n} exceeds the u32 representation"
+    );
+    n as u32
+}

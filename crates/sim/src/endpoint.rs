@@ -174,6 +174,12 @@ impl Source {
     pub fn is_quiescent(&self) -> bool {
         self.queue.is_empty() && self.vcs.iter().all(OutVc::is_quiescent)
     }
+
+    /// Read-only view of the injection-channel VC states (credit counters,
+    /// owners). Used by the sentinel's credit-conservation audit.
+    pub fn vcs(&self) -> &[OutVc] {
+        &self.vcs
+    }
 }
 
 /// A packet sink: per-VC buffers drained at the endpoint ejection bandwidth
@@ -260,6 +266,11 @@ impl Sink {
     /// Buffered flits across all VCs.
     pub fn buffered(&self) -> usize {
         self.vcs.iter().map(VecDeque::len).sum()
+    }
+
+    /// Buffered flits waiting in VC `vc` (sentinel credit audit).
+    pub fn buffered_in(&self, vc: usize) -> usize {
+        self.vcs[vc].len()
     }
 
     /// `true` when no flits are buffered.

@@ -55,6 +55,7 @@ pub mod observe;
 mod output;
 mod packet;
 mod router;
+pub mod sentinel;
 mod sideband;
 mod view;
 mod wire;
@@ -73,6 +74,9 @@ pub use observe::{
 pub use output::{OutVc, OutVcState, OutputPort};
 pub use packet::{Flit, FlitKind, NewPacket, PacketId, PendingPacket};
 pub use router::{FreedSlot, Router};
+pub use sentinel::{
+    DeadlockFinding, DeadlockMember, Sentinel, SentinelChannel, SentinelReport, SentinelViolation,
+};
 pub use sideband::Sideband;
 pub use view::{InjectionView, RouterOutputsView};
 pub use wire::{CreditMsg, Pipe, Wire};

@@ -125,7 +125,7 @@ impl Network {
             .collect();
         let sources = mesh
             .nodes()
-            .map(|node| Source::new(node, cfg.num_vcs, cfg.vc_buffer_depth as u32))
+            .map(|node| Source::new(node, cfg.num_vcs, crate::cast::idx_u32(cfg.vc_buffer_depth)))
             .collect();
         let sinks = mesh
             .nodes()
@@ -560,6 +560,51 @@ impl Network {
     /// Direct read access to a router (tests and white-box analysis).
     pub fn router(&self, node: NodeId) -> &Router {
         &self.routers[node.index()]
+    }
+
+    /// Direct mutable access to a router.
+    ///
+    /// This is a white-box testing hook: the sentinel's negative tests use
+    /// it to corrupt credit counters or plant counterfeit flits and verify
+    /// the violation is caught. Production code never needs it.
+    #[doc(hidden)]
+    pub fn router_mut(&mut self, node: NodeId) -> &mut Router {
+        &mut self.routers[node.index()]
+    }
+
+    /// All routers, in node-index order (sentinel census).
+    pub(crate) fn routers(&self) -> &[Router] {
+        &self.routers
+    }
+
+    /// All sources, in node-index order (sentinel census).
+    pub(crate) fn sources(&self) -> &[Source] {
+        &self.sources
+    }
+
+    /// All sinks, in node-index order (sentinel census).
+    pub(crate) fn sinks(&self) -> &[Sink] {
+        &self.sinks
+    }
+
+    /// The source→router injection wires, in node-index order.
+    pub(crate) fn inj_wires(&self) -> &[Wire] {
+        &self.inj_wires
+    }
+
+    /// The output wire of `node`'s port `port`, if that channel exists.
+    pub(crate) fn out_wire(&self, node: NodeId, port: usize) -> Option<&Wire> {
+        self.out_wires[Self::wire_idx(node, port)].as_ref()
+    }
+
+    /// The side-band congestion view (one-cycle-old, as routing sees it).
+    pub(crate) fn sideband(&self) -> &Sideband {
+        &self.sideband
+    }
+
+    /// A routing-facing view of the live fault masks.
+    pub(crate) fn fault_view(&self) -> FaultView<'_> {
+        FaultView::new(&self.faults, &*self.algo)
     }
 
     /// Flits launched on each output channel since construction, as

@@ -395,6 +395,9 @@ impl StallWatchdog {
                 .take(MAX_PACKETS)
                 .copied()
                 .collect(),
+            // The sentinel's wait-for analysis settles the first question a
+            // stall raises: protocol deadlock, or congestion/livelock?
+            deadlock: crate::sentinel::find_protocol_deadlock(net),
         }
     }
 }
@@ -458,6 +461,10 @@ pub struct StallDiagnostic {
     pub router_dumps: Vec<String>,
     /// The oldest in-flight packets (capped), injection order.
     pub oldest_packets: Vec<InFlightPacket>,
+    /// The sentinel's wait-for-graph verdict: `Some` when a true protocol
+    /// deadlock (or unroutable head) underlies the stall, `None` when no
+    /// wait-for cycle exists and the stall is livelock or congestion.
+    pub deadlock: Option<crate::sentinel::DeadlockFinding>,
 }
 
 impl fmt::Display for StallDiagnostic {
@@ -474,6 +481,14 @@ impl fmt::Display for StallDiagnostic {
             "{} packet(s) in flight, {} queued at sources; watchdog threshold {} cycles",
             self.in_flight, self.source_backlog, self.threshold
         )?;
+        match &self.deadlock {
+            Some(finding) => writeln!(f, "verdict: protocol deadlock cycle found — {finding}")?,
+            None => writeln!(
+                f,
+                "verdict: no wait-for cycle: livelock or congestion (all blocked flits \
+                 still have a live path forward)"
+            )?,
+        }
         writeln!(f, "\noccupancy map:\n{}", self.occupancy_map)?;
         if !self.oldest_packets.is_empty() {
             writeln!(f, "oldest in-flight packets:")?;

@@ -217,6 +217,12 @@ impl OutputPort {
         self.stage.len()
     }
 
+    /// Iterates the staged flits, next-to-launch first (read-only; the
+    /// sentinel attributes staged flits to their VCs during credit audits).
+    pub fn staged_flits(&self) -> impl Iterator<Item = &Flit> {
+        self.stage.iter()
+    }
+
     /// `true` when every VC is quiescent and the stage is empty.
     pub fn is_quiescent(&self) -> bool {
         self.stage.is_empty() && self.vcs.iter().all(OutVc::is_quiescent)

@@ -62,7 +62,7 @@ impl Router {
                 .map(|_| InputPort::new(num_vcs, buffer_depth))
                 .collect(),
             outputs: (0..PORT_COUNT)
-                .map(|_| OutputPort::new(num_vcs, buffer_depth as u32, speedup))
+                .map(|_| OutputPort::new(num_vcs, crate::cast::idx_u32(buffer_depth), speedup))
                 .collect(),
             va_rr: 0,
             sa_port_rr: 0,
@@ -160,9 +160,9 @@ impl Router {
                         congestion,
                         links,
                     };
-                    let start = reqs.len() as u32;
+                    let start = crate::cast::idx_u32(reqs.len());
                     algo.route(&ctx, rng, &mut reqs);
-                    let end = reqs.len() as u32;
+                    let end = crate::cast::idx_u32(reqs.len());
                     requesters.push(Requester {
                         in_port: ip,
                         in_vc: iv,
@@ -277,6 +277,54 @@ impl Router {
         self.scratch_reqs = reqs;
         self.scratch_requesters = requesters;
         self.scratch_granted = granted;
+    }
+
+    /// Re-evaluates the routing function for one waiting head — exactly
+    /// what phase 1 of [`Router::vc_allocate`] computes for `(in_port,
+    /// in_vc)` — without mutating any allocator state.
+    ///
+    /// The sentinel's deadlock detector uses this to learn which output
+    /// VCs a `Waiting` head could accept, so it can distinguish a true
+    /// protocol deadlock (no live alternative exists) from transient
+    /// congestion. Callers pass a deterministic `rng` (the routing
+    /// function only draws coins for two-way tie-breaks) and union the
+    /// requests across coin outcomes.
+    ///
+    /// Appends to `out`; returns `false` (appending nothing) when the VC
+    /// holds no waiting head.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn recompute_requests(
+        &self,
+        algo: &dyn RoutingAlgorithm,
+        mesh: Mesh,
+        congestion: &dyn CongestionView,
+        links: &dyn LinkStateView,
+        in_port: usize,
+        in_vc: usize,
+        rng: &mut dyn rand::RngCore,
+        out: &mut Vec<VcRequest>,
+    ) -> bool {
+        let invc = self.inputs[in_port].vc(in_vc);
+        if !invc.waiting() {
+            return false;
+        }
+        let head = invc.front().expect("waiting implies a front flit");
+        let view = RouterOutputsView::new(&self.outputs, algo.policy(), self.num_vcs);
+        let ctx = RoutingCtx {
+            mesh,
+            current: self.node,
+            src: head.src,
+            dest: head.dest,
+            input_port: Port::from_index(in_port),
+            input_vc: VcId(crate::cast::vc_u8(in_vc)),
+            on_escape: algo.has_escape() && in_vc == 0,
+            num_vcs: self.num_vcs,
+            ports: &view,
+            congestion,
+            links,
+        };
+        algo.route(&ctx, rng, out);
+        true
     }
 
     /// Counts (footprint, busy) VCs over the distinct ports of a request

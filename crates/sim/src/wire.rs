@@ -71,6 +71,19 @@ impl<T> Pipe<T> {
     pub fn is_empty(&self) -> bool {
         self.cur.is_empty() && self.stages.iter().all(Vec::is_empty)
     }
+
+    /// Number of values in flight or receivable (read-only census; used by
+    /// the sentinel's conservation checks).
+    pub fn in_flight(&self) -> usize {
+        self.cur.len() + self.stages.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Iterates every value currently in flight or receivable, oldest
+    /// first. Read-only: the sentinel uses this to attribute in-flight
+    /// flits and credits to their VCs without disturbing the pipeline.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.cur.iter().chain(self.stages.iter().flat_map(|s| s.iter()))
+    }
 }
 
 /// A credit message: one buffer slot of VC `vc` freed downstream.

@@ -41,6 +41,6 @@ pub use latency::{Histogram, OnlineStats};
 pub use observers::{MeshSample, RouterSample, TimelineProbe};
 pub use probes::{load_balance, LatencyHistogramProbe, LoadBalance};
 pub use purity::PurityProbe;
-pub use sweep::{Curve, SweepPoint};
+pub use sweep::{Curve, SweepPoint, SweepProgress};
 pub use timeline::{TreeSample, TreeTimeline};
 pub use table::Table;

@@ -13,6 +13,41 @@ pub struct SweepPoint {
     pub latency: f64,
 }
 
+/// Accounting for a partially-completed (checkpointed or resumed) sweep:
+/// how many points the full campaign has, how many are done, and how many
+/// of those were restored from a checkpoint journal rather than re-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepProgress {
+    /// Points in the full sweep.
+    pub total: usize,
+    /// Points completed (journaled or computed this run).
+    pub completed: usize,
+    /// Of the completed points, how many were restored from the journal.
+    pub resumed: usize,
+}
+
+impl SweepProgress {
+    /// `true` once every point of the sweep is accounted for.
+    pub fn is_complete(&self) -> bool {
+        self.completed >= self.total
+    }
+
+    /// Points still to run.
+    pub fn remaining(&self) -> usize {
+        self.total.saturating_sub(self.completed)
+    }
+}
+
+impl fmt::Display for SweepProgress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} sweep point(s) complete ({} restored from checkpoint)",
+            self.completed, self.total, self.resumed
+        )
+    }
+}
+
 /// A latency-throughput curve for one (algorithm, workload) pair.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Curve {
