@@ -14,12 +14,18 @@
 //! * **sentinel overhead** — the pooled sweep re-run with the invariant
 //!   sentinel enabled on every point; the ratio to the plain pooled sweep
 //!   is the price of full runtime auditing (budget: ≤ 15%).
+//! * **active-set scheduler speedup** — one low-load run (where most
+//!   routers idle most cycles) timed under the dense reference loop and
+//!   under the active-set scheduler; their ratio is the payoff of skipping
+//!   idle components. The two reports are asserted bit-identical.
 //!
 //! Output path: `BENCH_sim.json` in the current directory, or the value
 //! of `FOOTPRINT_BENCH_OUT`.
 
 use footprint_bench::quick_rates;
-use footprint_core::{exec, RoutingSpec, SimulationBuilder, SweepOptions, TrafficSpec};
+use footprint_core::{
+    exec, RoutingSpec, RunOptions, Scheduler, SimulationBuilder, SweepOptions, TrafficSpec,
+};
 use std::time::Instant;
 
 fn builder() -> SimulationBuilder {
@@ -81,6 +87,32 @@ fn main() {
     // runner they do identical work and their spread is pure noise.
     let overhead = audited_secs / (seq_secs.min(par_secs)) - 1.0;
 
+    // 4. Active-set scheduler payoff at low load: far from saturation most
+    // routers are idle most cycles, which is exactly what the scheduler
+    // skips. The dense loop is the reference; results must not move.
+    let low_load = 0.02;
+    let lb = builder().injection_rate(low_load).measurement(10_000);
+    let timed = |scheduler: Scheduler| {
+        let mut best = f64::INFINITY;
+        let mut report = None;
+        for _ in 0..2 {
+            let t = Instant::now();
+            report = Some(
+                lb.run_with(RunOptions::new().scheduler(scheduler))
+                    .expect("static experiment config"),
+            );
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        (best, report.expect("two timed runs"))
+    };
+    let (dense_secs, dense_report) = timed(Scheduler::Dense);
+    let (active_secs, active_report) = timed(Scheduler::Active);
+    assert_eq!(
+        dense_report, active_report,
+        "active-set scheduler must be bit-identical to the dense loop"
+    );
+    let sched_speedup = dense_secs / active_secs;
+
     let json = format!(
         "{{\n  \"single_thread\": {{\n    \"simulated_cycles\": {total_cycles},\n    \
          \"wall_secs\": {best:.4},\n    \"cycles_per_sec\": {cycles_per_sec:.0}\n  }},\n  \
@@ -88,7 +120,10 @@ fn main() {
          \"sequential_secs\": {seq_secs:.4},\n    \"parallel_secs\": {par_secs:.4},\n    \
          \"speedup\": {speedup:.2},\n    \"bit_identical\": true\n  }},\n  \
          \"sentinel\": {{\n    \"audited_secs\": {audited_secs:.4},\n    \
-         \"overhead\": {overhead:.4},\n    \"budget\": 0.15\n  }}\n}}\n",
+         \"overhead\": {overhead:.4},\n    \"budget\": 0.15\n  }},\n  \
+         \"scheduler\": {{\n    \"load\": {low_load},\n    \
+         \"dense_secs\": {dense_secs:.4},\n    \"active_secs\": {active_secs:.4},\n    \
+         \"speedup\": {sched_speedup:.2},\n    \"bit_identical\": true\n  }}\n}}\n",
         rates.len(),
     );
     let path = std::env::var("FOOTPRINT_BENCH_OUT").unwrap_or_else(|_| "BENCH_sim.json".into());
@@ -101,6 +136,9 @@ fn main() {
     println!(
         "sentinel: audited sweep {audited_secs:.2}s → {:.1}% overhead (budget 15%)",
         overhead * 100.0
+    );
+    println!(
+        "scheduler (load {low_load}): dense {dense_secs:.2}s, active {active_secs:.2}s → {sched_speedup:.2}x"
     );
     println!("wrote {path}");
 }

@@ -1,0 +1,196 @@
+//! Perf-regression gate: compares a freshly measured `BENCH_sim.json`
+//! against the committed baseline and fails (exit 1) when a tracked
+//! machine-portable metric regressed beyond its tolerance band.
+//!
+//! Only *ratio* metrics are compared — the active-set scheduler speedup
+//! and the sentinel overhead — never wall-clock numbers, which move with
+//! the runner hardware:
+//!
+//! * `scheduler.speedup` regresses when the fresh value drops below 60%
+//!   of the committed baseline (the band absorbs runner noise; a real
+//!   regression — the scheduler silently degrading to a dense walk —
+//!   shows up as a collapse toward 1.0×).
+//! * `sentinel.overhead` regresses when the fresh value exceeds both the
+//!   committed baseline + 10 points and the 15% budget (a fresh value
+//!   within budget never fails, however noisy the baseline).
+//!
+//! Usage: `perf_gate <fresh.json> <baseline.json>`.
+//!
+//! A baseline that predates a metric is skipped with a note (schema
+//! transitions must not brick CI); a *fresh* file missing a metric fails,
+//! because that means the harness stopped measuring it.
+
+use std::process::ExitCode;
+
+/// Minimum acceptable fraction of the baseline scheduler speedup.
+const SPEEDUP_RETENTION: f64 = 0.6;
+/// Absolute headroom over the baseline sentinel overhead.
+const OVERHEAD_SLACK: f64 = 0.10;
+/// The sentinel overhead budget (mirrors the harness's published budget).
+const OVERHEAD_BUDGET: f64 = 0.15;
+
+/// Extracts `"field": <number>` from within the object that follows
+/// `"section"` in hand-written JSON of the shape `perf.rs` emits. Not a
+/// JSON parser — just enough string surgery for our own flat output.
+fn extract(json: &str, section: &str, field: &str) -> Option<f64> {
+    let start = json.find(&format!("\"{section}\""))?;
+    let body = &json[start..];
+    let end = body.find('}').unwrap_or(body.len());
+    let scoped = &body[..end];
+    let fstart = scoped.find(&format!("\"{field}\""))?;
+    let after = &scoped[fstart..];
+    let colon = after.find(':')?;
+    let value = after[colon + 1..]
+        .trim_start()
+        .split(|c: char| c == ',' || c == '}' || c.is_whitespace())
+        .next()?;
+    value.parse().ok()
+}
+
+fn run(fresh: &str, baseline: &str) -> Result<Vec<String>, String> {
+    let mut notes = Vec::new();
+
+    let fresh_speedup = extract(fresh, "scheduler", "speedup")
+        .ok_or("fresh benchmark is missing scheduler.speedup — did the harness stop measuring the active-set scheduler?")?;
+    match extract(baseline, "scheduler", "speedup") {
+        Some(base) => {
+            let floor = base * SPEEDUP_RETENTION;
+            if fresh_speedup < floor {
+                return Err(format!(
+                    "scheduler.speedup regressed: fresh {fresh_speedup:.2}x < {floor:.2}x \
+                     ({:.0}% of committed baseline {base:.2}x)",
+                    SPEEDUP_RETENTION * 100.0
+                ));
+            }
+            notes.push(format!(
+                "scheduler.speedup ok: fresh {fresh_speedup:.2}x vs baseline {base:.2}x \
+                 (floor {floor:.2}x)"
+            ));
+        }
+        None => notes.push(format!(
+            "scheduler.speedup: no committed baseline yet (fresh {fresh_speedup:.2}x) — skipped"
+        )),
+    }
+
+    let fresh_overhead = extract(fresh, "sentinel", "overhead")
+        .ok_or("fresh benchmark is missing sentinel.overhead")?;
+    match extract(baseline, "sentinel", "overhead") {
+        Some(base) => {
+            let ceiling = (base + OVERHEAD_SLACK).max(OVERHEAD_BUDGET);
+            if fresh_overhead > ceiling {
+                return Err(format!(
+                    "sentinel.overhead regressed: fresh {:.1}% > ceiling {:.1}% \
+                     (baseline {:.1}% + {:.0} points, floor at the {:.0}% budget)",
+                    fresh_overhead * 100.0,
+                    ceiling * 100.0,
+                    base * 100.0,
+                    OVERHEAD_SLACK * 100.0,
+                    OVERHEAD_BUDGET * 100.0
+                ));
+            }
+            notes.push(format!(
+                "sentinel.overhead ok: fresh {:.1}% vs baseline {:.1}% (ceiling {:.1}%)",
+                fresh_overhead * 100.0,
+                base * 100.0,
+                ceiling * 100.0
+            ));
+        }
+        None => notes.push(format!(
+            "sentinel.overhead: no committed baseline yet (fresh {:.1}%) — skipped",
+            fresh_overhead * 100.0
+        )),
+    }
+
+    Ok(notes)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, fresh_path, baseline_path] = &args[..] else {
+        eprintln!("usage: perf_gate <fresh.json> <baseline.json>");
+        return ExitCode::FAILURE;
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("perf_gate: cannot read {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let fresh = read(fresh_path);
+    let baseline = read(baseline_path);
+    match run(&fresh, &baseline) {
+        Ok(notes) => {
+            for n in notes {
+                println!("perf_gate: {n}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("perf_gate: FAIL: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_json(speedup: f64, overhead: f64) -> String {
+        format!(
+            "{{\n  \"sweep\": {{\n    \"speedup\": 1.50,\n    \"bit_identical\": true\n  }},\n  \
+             \"sentinel\": {{\n    \"overhead\": {overhead:.4},\n    \"budget\": 0.15\n  }},\n  \
+             \"scheduler\": {{\n    \"load\": 0.05,\n    \"speedup\": {speedup:.2},\n    \
+             \"bit_identical\": true\n  }}\n}}\n"
+        )
+    }
+
+    #[test]
+    fn extract_scopes_fields_to_their_section() {
+        let json = bench_json(2.5, 0.08);
+        // `speedup` appears in both `sweep` and `scheduler`; extraction
+        // must resolve the one inside the requested section.
+        assert_eq!(extract(&json, "sweep", "speedup"), Some(1.50));
+        assert_eq!(extract(&json, "scheduler", "speedup"), Some(2.5));
+        assert_eq!(extract(&json, "sentinel", "overhead"), Some(0.08));
+        assert_eq!(extract(&json, "scheduler", "missing"), None);
+        assert_eq!(extract(&json, "missing", "speedup"), None);
+    }
+
+    #[test]
+    fn steady_metrics_pass() {
+        let base = bench_json(2.5, 0.08);
+        let fresh = bench_json(2.3, 0.10);
+        let notes = run(&fresh, &base).unwrap();
+        assert_eq!(notes.len(), 2);
+    }
+
+    #[test]
+    fn collapsed_speedup_fails() {
+        let base = bench_json(2.5, 0.08);
+        let fresh = bench_json(1.0, 0.08);
+        let err = run(&fresh, &base).unwrap_err();
+        assert!(err.contains("scheduler.speedup regressed"), "{err}");
+    }
+
+    #[test]
+    fn blown_overhead_fails_only_past_budget_and_slack() {
+        let base = bench_json(2.5, 0.08);
+        // 14% is within the 15% budget: never a failure.
+        assert!(run(&bench_json(2.5, 0.14), &base).is_ok());
+        // 17% is within baseline + 10 points (18%): still fine.
+        assert!(run(&bench_json(2.5, 0.17), &base).is_ok());
+        // 19% exceeds both: regression.
+        let err = run(&bench_json(2.5, 0.19), &base).unwrap_err();
+        assert!(err.contains("sentinel.overhead regressed"), "{err}");
+    }
+
+    #[test]
+    fn missing_fresh_metric_fails_missing_baseline_skips() {
+        let with = bench_json(2.5, 0.08);
+        let without_scheduler = with.replace("\"scheduler\"", "\"schedx\"");
+        assert!(run(&without_scheduler, &with).is_err());
+        let notes = run(&with, &without_scheduler).unwrap();
+        assert!(notes.iter().any(|n| n.contains("skipped")), "{notes:?}");
+    }
+}

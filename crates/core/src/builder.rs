@@ -11,8 +11,8 @@ use crate::{RunReport, TrafficSpec};
 use footprint_routing::RoutingSpec;
 use footprint_sim::observe::ProbePair;
 use footprint_sim::{
-    ConfigError, Network, NoTraffic, NullProbe, Probe, Sentinel, SentinelReport, SimConfig,
-    StallDiagnostic, StallWatchdog, UnreachablePolicy, Workload,
+    ConfigError, Network, NoTraffic, NullProbe, Probe, Scheduler, Sentinel, SentinelReport,
+    SimConfig, StallDiagnostic, StallWatchdog, UnreachablePolicy, Workload,
 };
 use footprint_stats::{Curve, FaultStats, SweepPoint};
 use footprint_topology::{FaultPlan, Mesh};
@@ -140,6 +140,7 @@ pub struct RunOptions<'a> {
     on_unreachable: UnreachablePolicy,
     sentinel: Option<bool>,
     deadline: Option<Duration>,
+    scheduler: Scheduler,
 }
 
 impl<'a> RunOptions<'a> {
@@ -206,6 +207,16 @@ impl<'a> RunOptions<'a> {
         self.deadline = Some(limit);
         self
     }
+
+    /// Which cycle loop the network runs ([`Scheduler::Active`] by
+    /// default). The active-set scheduler is bit-identical to the dense
+    /// reference loop; select [`Scheduler::Dense`] to cross-check it or to
+    /// measure its speedup.
+    #[must_use]
+    pub fn scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
 }
 
 /// Options for a latency-throughput sweep ([`SimulationBuilder::sweep_with`]):
@@ -223,6 +234,7 @@ pub struct SweepOptions {
     sentinel: Option<bool>,
     deadline: Option<Duration>,
     checkpoint: Option<PathBuf>,
+    scheduler: Scheduler,
 }
 
 impl SweepOptions {
@@ -298,11 +310,20 @@ impl SweepOptions {
         self
     }
 
+    /// Cycle loop for every sweep point (see [`RunOptions::scheduler`];
+    /// [`Scheduler::Active`] by default, bit-identical either way).
+    #[must_use]
+    pub fn scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
     /// The per-point [`RunOptions`] this sweep configuration induces.
     fn run_options(&self) -> RunOptions<'static> {
         let mut o = RunOptions::new()
             .faults(self.faults.clone())
-            .on_unreachable(self.on_unreachable);
+            .on_unreachable(self.on_unreachable)
+            .scheduler(self.scheduler);
         if let Some(t) = self.stall_threshold {
             o = o.watchdog(t);
         }
@@ -491,8 +512,21 @@ impl SimulationBuilder {
     /// Propagates configuration errors (bad VC count, etc.).
     pub fn build(&self) -> Result<(Network, Box<dyn Workload>), ConfigError> {
         let net = Network::new(self.sim_config(), self.routing.build(), self.seed)?;
-        let wl = self.traffic.build(self.mesh, self.packet_size, self.rate);
+        let wl = self.build_workload()?;
         Ok((net, wl))
+    }
+
+    /// Builds the configured workload, lowering a traffic-layer pattern
+    /// mismatch into the simulator's [`ConfigError`] vocabulary (the
+    /// traffic crate sits above `footprint-sim`, so the error travels as
+    /// plain data).
+    fn build_workload(&self) -> Result<Box<dyn Workload>, ConfigError> {
+        self.traffic
+            .build(self.mesh, self.packet_size, self.rate)
+            .map_err(|e| ConfigError::PatternMesh {
+                pattern: e.pattern,
+                nodes: e.nodes,
+            })
     }
 
     /// Builds the network under a fault schedule and unreachable policy,
@@ -514,7 +548,7 @@ impl SimulationBuilder {
             faults,
             on_unreachable,
         )?;
-        let wl = self.traffic.build(self.mesh, self.packet_size, self.rate);
+        let wl = self.build_workload()?;
         Ok((net, wl))
     }
 
@@ -618,9 +652,11 @@ impl SimulationBuilder {
             on_unreachable,
             sentinel,
             deadline,
+            scheduler,
         } = opts;
         let started = Instant::now();
         let (mut net, mut wl) = self.build_with(faults, on_unreachable)?;
+        net.set_scheduler(scheduler);
         let mut null = NullProbe;
         let probe = probe.unwrap_or(&mut null);
         let mut watchdog = stall_threshold.map(StallWatchdog::new);
@@ -1343,6 +1379,96 @@ mod tests {
             assert_eq!(format!("{resumed}"), format!("{baseline}"));
             let _ = std::fs::remove_file(&path);
         }
+    }
+
+    #[test]
+    fn active_scheduler_matches_dense_across_algorithms_and_faults() {
+        use footprint_topology::{Direction, FaultEvent, NodeId};
+        // The tentpole guarantee: the active-set scheduler reports
+        // bit-identically to the dense reference loop — same latency,
+        // throughput, purity and fault accounting — for every routing
+        // algorithm, with and without a fault plan in play.
+        let plan = FaultPlan::new()
+            .with(FaultEvent::link_down(NodeId(5), Direction::East, 100).repaired_at(250));
+        for spec in [
+            RoutingSpec::Footprint,
+            RoutingSpec::Dbar,
+            RoutingSpec::OddEven,
+            RoutingSpec::Dor,
+        ] {
+            for faults in [None, Some(plan.clone())] {
+                let run = |scheduler: Scheduler| {
+                    let mut o = RunOptions::new().scheduler(scheduler).watchdog(10_000);
+                    if let Some(p) = faults.clone() {
+                        o = o.faults(p);
+                    }
+                    quick()
+                        .routing(spec)
+                        .injection_rate(0.15)
+                        .drain(500)
+                        .run_with(o)
+                        .unwrap()
+                };
+                let dense = run(Scheduler::Dense);
+                let active = run(Scheduler::Active);
+                assert_eq!(
+                    dense,
+                    active,
+                    "{} (faults: {}) diverged between schedulers",
+                    spec.name(),
+                    faults.is_some(),
+                );
+                assert_eq!(dense.faults, active.faults);
+                assert!(dense.latency.ejected_packets > 0, "{}", spec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_choice_is_bit_identical_across_sweep_threads() {
+        // Dense sequential is the reference; the active scheduler on a
+        // wide pool must reproduce it bit for bit.
+        let rates = [0.05, 0.15];
+        let sweep = |scheduler, threads| {
+            quick()
+                .sweep_with(
+                    &rates,
+                    SweepOptions::new().scheduler(scheduler).threads(threads),
+                )
+                .unwrap()
+        };
+        let reference = sweep(Scheduler::Dense, 1);
+        assert_eq!(reference, sweep(Scheduler::Active, 1));
+        assert_eq!(reference, sweep(Scheduler::Active, 4));
+        assert_eq!(reference, sweep(Scheduler::Dense, 4));
+    }
+
+    #[test]
+    fn active_scheduler_matches_dense_under_sentinel_audit() {
+        // Sentinel-armed runs force full ticks on the audit stride; the
+        // interleaving of skipped and full ticks must not perturb results.
+        let run = |scheduler| {
+            quick()
+                .injection_rate(0.2)
+                .run_with(RunOptions::new().scheduler(scheduler).sentinel(true))
+                .unwrap()
+        };
+        assert_eq!(run(Scheduler::Dense), run(Scheduler::Active));
+    }
+
+    #[test]
+    fn pattern_mesh_mismatch_is_a_config_error() {
+        // 6×6 mesh with a power-of-two-only pattern: rejected up front
+        // with a typed error instead of a mid-simulation panic.
+        let err = quick().topology(Mesh::square(6)).traffic(TrafficSpec::Shuffle).run().unwrap_err();
+        match err {
+            RunError::Config(ConfigError::PatternMesh { pattern, nodes }) => {
+                assert_eq!(pattern, "shuffle");
+                assert_eq!(nodes, 36);
+            }
+            other => panic!("expected PatternMesh, got {other}"),
+        }
+        assert!(err.to_string().contains("power-of-two"));
     }
 
     #[test]

@@ -23,6 +23,11 @@
 //!   (`run`, `run_probed`, `run_watched`, `sweep`, `sweep_on`) are thin
 //!   shims over them, and every failure routes through [`RunError`].
 //!
+//! * [`Scheduler`] — which cycle loop the network runs: the active-set
+//!   scheduler (default) walks only components with pending work and is
+//!   bit-identical to the dense reference loop, selectable per run via
+//!   [`RunOptions::scheduler`] / [`SweepOptions::scheduler`].
+//!
 //! * Observability — attach any [`Probe`] subscriber to a run or to every
 //!   point of a sweep ([`SimulationBuilder::run_probed`],
 //!   [`SimulationBuilder::sweep_observed`]), and guard long runs with the
@@ -75,8 +80,8 @@ pub use traffic_spec::TrafficSpec;
 
 pub use footprint_routing::RoutingSpec;
 pub use footprint_sim::{
-    ConfigError, EventTrace, NullProbe, Probe, Sentinel, SentinelReport, SentinelViolation,
-    SimConfig, StallDiagnostic, StallWatchdog, UnreachablePolicy,
+    ConfigError, EventTrace, NullProbe, Probe, Scheduler, Sentinel, SentinelReport,
+    SentinelViolation, SimConfig, StallDiagnostic, StallWatchdog, UnreachablePolicy,
 };
 pub use footprint_stats::{FaultStats, SweepProgress};
 pub use footprint_topology::{FaultEvent, FaultKind, FaultPlan, FaultTarget};

@@ -4,7 +4,7 @@ use core::fmt;
 use footprint_sim::Workload;
 use footprint_topology::Mesh;
 use footprint_traffic::{
-    patterns, App, HotspotWorkload, PacketSize, ParsecPairWorkload, Permutation,
+    App, HotspotWorkload, PacketSize, ParsecPairWorkload, PatternError, PatternSpec, Permutation,
     SyntheticWorkload,
 };
 
@@ -47,58 +47,42 @@ impl TrafficSpec {
 
     /// Builds the workload for `mesh` at the given offered load
     /// (flits/node/cycle) and packet-size mix.
-    pub fn build(self, mesh: Mesh, size: PacketSize, rate: f64) -> Box<dyn Workload> {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PatternError`] when the underlying pattern is not
+    /// defined on `mesh` (the bit-manipulating patterns need a
+    /// power-of-two node count).
+    pub fn build(self, mesh: Mesh, size: PacketSize, rate: f64) -> Result<Box<dyn Workload>, PatternError> {
+        let synthetic = |pattern: PatternSpec| -> Result<Box<dyn Workload>, PatternError> {
+            Ok(Box::new(SyntheticWorkload::new(
+                mesh,
+                pattern.build_for(mesh)?,
+                size,
+                rate,
+            )))
+        };
         match self {
-            TrafficSpec::UniformRandom => Box::new(SyntheticWorkload::new(
-                mesh,
-                Box::new(patterns::Uniform),
-                size,
-                rate,
-            )),
-            TrafficSpec::Transpose => Box::new(SyntheticWorkload::new(
-                mesh,
-                Box::new(patterns::Transpose),
-                size,
-                rate,
-            )),
-            TrafficSpec::Shuffle => Box::new(SyntheticWorkload::new(
-                mesh,
-                Box::new(patterns::Shuffle),
-                size,
-                rate,
-            )),
-            TrafficSpec::BitComplement => Box::new(SyntheticWorkload::new(
-                mesh,
-                Box::new(patterns::BitComplement),
-                size,
-                rate,
-            )),
-            TrafficSpec::BitReverse => Box::new(SyntheticWorkload::new(
-                mesh,
-                Box::new(patterns::BitReverse),
-                size,
-                rate,
-            )),
-            TrafficSpec::Tornado => Box::new(SyntheticWorkload::new(
-                mesh,
-                Box::new(patterns::Tornado),
-                size,
-                rate,
-            )),
-            TrafficSpec::Hotspot { background_rate } => Box::new(HotspotWorkload::new(
+            TrafficSpec::UniformRandom => synthetic(PatternSpec::Uniform),
+            TrafficSpec::Transpose => synthetic(PatternSpec::Transpose),
+            TrafficSpec::Shuffle => synthetic(PatternSpec::Shuffle),
+            TrafficSpec::BitComplement => synthetic(PatternSpec::BitComplement),
+            TrafficSpec::BitReverse => synthetic(PatternSpec::BitReverse),
+            TrafficSpec::Tornado => synthetic(PatternSpec::Tornado),
+            TrafficSpec::Hotspot { background_rate } => Ok(Box::new(HotspotWorkload::new(
                 mesh,
                 footprint_traffic::paper_flows(),
                 rate,
                 background_rate,
                 size,
-            )),
-            TrafficSpec::ParsecPair(a, b) => Box::new(ParsecPairWorkload::new(mesh, a, b)),
-            TrafficSpec::Figure2 => Box::new(SyntheticWorkload::new(
+            ))),
+            TrafficSpec::ParsecPair(a, b) => Ok(Box::new(ParsecPairWorkload::new(mesh, a, b))),
+            TrafficSpec::Figure2 => Ok(Box::new(SyntheticWorkload::new(
                 mesh,
                 Box::new(Permutation::figure2_example(mesh)),
                 size,
                 rate,
-            )),
+            ))),
         }
     }
 
@@ -153,7 +137,7 @@ mod tests {
             TrafficSpec::ParsecPair(App::Fluidanimate, App::X264),
         ];
         for spec in specs {
-            let mut wl = spec.build(mesh, PacketSize::SINGLE, 0.8);
+            let mut wl = spec.build(mesh, PacketSize::SINGLE, 0.8).unwrap();
             let mut generated = false;
             for cycle in 0..2000 {
                 for n in mesh.nodes() {
@@ -173,9 +157,28 @@ mod tests {
     fn figure2_runs_on_4x4() {
         let mesh = Mesh::square(4);
         let mut rng = SmallRng::seed_from_u64(3);
-        let mut wl = TrafficSpec::Figure2.build(mesh, PacketSize::SINGLE, 1.0);
+        let mut wl = TrafficSpec::Figure2.build(mesh, PacketSize::SINGLE, 1.0).unwrap();
         let p = wl.generate(NodeId(0), 0, &mut rng).unwrap();
         assert_eq!(p.dest, NodeId(10));
+    }
+
+    #[test]
+    fn bit_patterns_rejected_on_non_power_of_two_mesh() {
+        let odd = Mesh::square(6);
+        for spec in [
+            TrafficSpec::Shuffle,
+            TrafficSpec::BitComplement,
+            TrafficSpec::BitReverse,
+        ] {
+            let err = spec
+                .build(odd, PacketSize::SINGLE, 0.5)
+                .err()
+                .expect("6x6 must be rejected");
+            assert_eq!(err.nodes, 36);
+        }
+        assert!(TrafficSpec::UniformRandom
+            .build(odd, PacketSize::SINGLE, 0.5)
+            .is_ok());
     }
 
     #[test]

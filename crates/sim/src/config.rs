@@ -115,6 +115,16 @@ pub enum ConfigError {
     /// The fault plan does not fit the configured mesh (see
     /// [`FaultPlanError`]).
     Fault(FaultPlanError),
+    /// A traffic pattern's destination function is not defined on the
+    /// configured mesh (the bit-manipulating patterns need a power-of-two
+    /// node count). Carried as plain data because the traffic layer sits
+    /// above this crate.
+    PatternMesh {
+        /// Pattern display name.
+        pattern: &'static str,
+        /// The offending node count.
+        nodes: usize,
+    },
 }
 
 impl From<FaultPlanError> for ConfigError {
@@ -143,6 +153,10 @@ impl fmt::Display for ConfigError {
                 "routing algorithm `{algorithm}` needs at least {required} VCs, got {configured}"
             ),
             ConfigError::Fault(e) => write!(f, "invalid fault plan: {e}"),
+            ConfigError::PatternMesh { pattern, nodes } => write!(
+                f,
+                "pattern `{pattern}` requires a power-of-two node count, got {nodes}"
+            ),
         }
     }
 }
@@ -217,5 +231,11 @@ mod tests {
             configured: 1,
         };
         assert!(e.to_string().contains("footprint"));
+        let e = ConfigError::PatternMesh {
+            pattern: "shuffle",
+            nodes: 36,
+        };
+        assert!(e.to_string().contains("shuffle"));
+        assert!(e.to_string().contains("36"));
     }
 }

@@ -170,6 +170,15 @@ impl Source {
         self.scratch_reqs = reqs;
     }
 
+    /// `true` when a [`Source::step`] would be an exact no-op: nothing
+    /// queued and no VC granted. In this state `step` returns before its
+    /// first RNG draw or round-robin bump, so the active-set scheduler may
+    /// skip the call without perturbing the simulation's random stream.
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.active_vc.is_none()
+    }
+
     /// `true` when the queue is empty and all VCs have drained.
     pub fn is_quiescent(&self) -> bool {
         self.queue.is_empty() && self.vcs.iter().all(OutVc::is_quiescent)
@@ -292,6 +301,7 @@ mod tests {
             dest: NodeId(dest),
             size,
             class: 0,
+            origin: None,
         }
     }
 

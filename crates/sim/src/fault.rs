@@ -104,9 +104,14 @@ impl FaultState {
 
     /// Applies onsets and repairs scheduled for `cycle`. Cheap when nothing
     /// changes (and free for an empty plan).
-    pub fn advance(&mut self, cycle: u64) {
+    ///
+    /// Returns `true` when the fault masks were recomputed — the signal
+    /// the active-set scheduler uses to run a full tick, so onsets take
+    /// effect on stranded traffic immediately and repairs re-arm routers
+    /// that were idling behind a dead channel.
+    pub fn advance(&mut self, cycle: u64) -> bool {
         if self.plan.is_empty() || cycle == 0 {
-            return; // cycle 0 was applied at construction
+            return false; // cycle 0 was applied at construction
         }
         let changes = self
             .plan
@@ -116,6 +121,7 @@ impl FaultState {
         if changes {
             self.recompute(cycle);
         }
+        changes
     }
 
     /// Rebuilds the masks from every event active at `cycle`.

@@ -55,6 +55,7 @@ pub mod observe;
 mod output;
 mod packet;
 mod router;
+mod sched;
 pub mod sentinel;
 mod sideband;
 mod view;
@@ -74,6 +75,7 @@ pub use observe::{
 pub use output::{OutVc, OutVcState, OutputPort};
 pub use packet::{Flit, FlitKind, NewPacket, PacketId, PendingPacket};
 pub use router::{FreedSlot, Router};
+pub use sched::Scheduler;
 pub use sentinel::{
     DeadlockFinding, DeadlockMember, Sentinel, SentinelChannel, SentinelReport, SentinelViolation,
 };

@@ -95,6 +95,18 @@ pub trait Probe {
         false
     }
 
+    /// `true` to force the active-set scheduler to process every router,
+    /// wire and endpoint on `cycle` — a *full tick*. Sampled once at cycle
+    /// start. Probes whose audits must observe the whole network on their
+    /// stride (the invariant sentinel) return `true` on those cycles; the
+    /// default `false` leaves idle-skipping in force. Full ticks are
+    /// bit-identical to skipped ones (idle components are exact no-ops),
+    /// so this is a visibility guarantee, never a semantic switch.
+    fn wants_full_tick(&self, cycle: u64) -> bool {
+        let _ = cycle;
+        false
+    }
+
     /// A flit lifecycle event (inject, VC grant, switch grant, eject).
     /// Only delivered while [`Probe::wants_flit_events`] returns `true`.
     fn flit_event(&mut self, event: &crate::observe::FlitEvent) {

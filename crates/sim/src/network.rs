@@ -10,6 +10,7 @@ use crate::fault::{FaultState, FaultView, UnreachablePolicy};
 use crate::metrics::{Metrics, NullProbe, Probe};
 use crate::packet::{NewPacket, PacketId};
 use crate::router::{FreedSlot, Router};
+use crate::sched::{SchedState, Scheduler};
 use crate::sideband::Sideband;
 use crate::wire::{CreditMsg, Wire};
 use crate::workload::Workload;
@@ -76,6 +77,15 @@ pub struct Network {
     retries: VecDeque<RetryEntry>,
     /// Source/destination pairs observed unreachable at generation time.
     unreachable: BTreeSet<(u16, u16)>,
+    /// Which cycle loop runs: dense (every component, every cycle) or the
+    /// active-set walk. Bit-identical either way.
+    scheduler: Scheduler,
+    /// Per-node activity state for the active-set scheduler, maintained in
+    /// both modes so the scheduler can be switched mid-run.
+    sched: SchedState,
+    /// Set by white-box router access; forces the activity state to be
+    /// rebuilt from actual component state at the next step.
+    sched_resync_pending: bool,
 }
 
 impl Network {
@@ -163,8 +173,23 @@ impl Network {
             policy,
             retries: VecDeque::new(),
             unreachable: BTreeSet::new(),
+            scheduler: Scheduler::default(),
+            sched: SchedState::new(n),
+            sched_resync_pending: false,
             cfg,
         })
+    }
+
+    /// The cycle loop in use.
+    pub fn scheduler(&self) -> Scheduler {
+        self.scheduler
+    }
+
+    /// Selects the cycle loop. Safe to call mid-run: the activity
+    /// bookkeeping runs in both modes, so the active-set state is always
+    /// current. Results are bit-identical under either scheduler.
+    pub fn set_scheduler(&mut self, scheduler: Scheduler) {
+        self.scheduler = scheduler;
     }
 
     /// The configuration this network was built with.
@@ -203,35 +228,93 @@ impl Network {
     }
 
     /// Advances one cycle, reporting events to `probe`.
+    ///
+    /// Both schedulers run the same stage sequence; the active-set walk
+    /// merely restricts stages 1, 2, 5 and 6 to the components with work.
+    /// Skipped components are exact no-ops under the dense loop (see
+    /// [`crate::sched`] for the argument), so the two modes are
+    /// bit-identical.
     pub fn step_probed(&mut self, workload: &mut dyn Workload, probe: &mut dyn Probe) {
+        if self.sched_resync_pending {
+            self.sched_resync_pending = false;
+            self.sched
+                .resync(&mut self.routers, &self.sinks, self.cycle);
+        }
         let mesh = self.cfg.mesh;
         probe.cycle_start(self.cycle);
 
         // 0. Scheduled fault onsets/repairs take effect at the cycle
-        //    boundary (free for an empty plan).
-        self.faults.advance(self.cycle);
+        //    boundary (free for an empty plan). Any mask change forces a
+        //    full tick: onsets act on in-flight traffic immediately, and
+        //    repairs re-arm routers that idled behind a dead channel.
+        let fault_change = self.faults.advance(self.cycle);
+        let full = self.scheduler == Scheduler::Dense
+            || fault_change
+            || probe.wants_full_tick(self.cycle);
 
         // 1. Wires advance: flits/credits sent last cycle become visible.
-        for w in &mut self.inj_wires {
+        //    Quiescent wires are skipped (ticking them is a no-op); wires
+        //    with receivable content mark their receiving node for the
+        //    delivery stage.
+        self.sched.deliver.clear();
+        for (ni, w) in self.inj_wires.iter_mut().enumerate() {
+            if w.is_quiescent() {
+                continue;
+            }
             w.tick();
+            if w.flits.receivable() || w.credits.receivable() {
+                self.sched.deliver.insert(ni);
+            }
         }
-        for w in self.out_wires.iter_mut().flatten() {
-            w.tick();
-        }
-
-        // 2. Deliveries.
         for node in mesh.nodes() {
             let ni = node.index();
+            for port in 0..PORT_COUNT {
+                let Some(w) = self.out_wires[Self::wire_idx(node, port)].as_mut() else {
+                    continue;
+                };
+                if w.is_quiescent() {
+                    continue;
+                }
+                w.tick();
+                // Credits return to this node's router; flits travel to
+                // the sink (Local) or the downstream neighbor.
+                if w.credits.receivable() {
+                    self.sched.deliver.insert(ni);
+                }
+                if w.flits.receivable() {
+                    match Port::from_index(port) {
+                        Port::Local => self.sched.deliver.insert(ni),
+                        Port::Dir(d) => {
+                            let nb = mesh.neighbor(node, d).expect("wire toward neighbor");
+                            self.sched.deliver.insert(nb.index());
+                        }
+                    }
+                }
+            }
+        }
+
+        // 2. Deliveries, in ascending node order (the dense visit order).
+        let mut order = std::mem::take(&mut self.sched.scratch);
+        order.clear();
+        if full {
+            order.extend(0..mesh.len());
+        } else {
+            self.sched.deliver.collect_into(&mut order);
+        }
+        for &ni in &order {
+            let node = NodeId(crate::cast::idx_u16(ni));
             // Source receives credits from the router's local input.
             for c in self.inj_wires[ni].credits.drain() {
                 self.sources[ni].return_credit(c.vc);
             }
             // Router local input receives injected flits.
+            let mut arrived: u32 = 0;
             for f in self.inj_wires[ni].flits.drain() {
                 let vc = f.vc as usize;
                 self.routers[ni].inputs_mut()[Port::Local.index()]
                     .vc_mut(vc)
                     .push(f);
+                arrived += 1;
             }
             // Router outputs receive returned credits; the sink receives
             // ejected flits.
@@ -247,6 +330,7 @@ impl Network {
                 if port == Port::Local.index() {
                     for f in w.flits.drain() {
                         self.sinks[ni].push(f);
+                        self.sched.sink_live.insert(ni);
                     }
                 }
             }
@@ -264,12 +348,33 @@ impl Network {
                     self.routers[ni].inputs_mut()[Port::Dir(d).index()]
                         .vc_mut(vc)
                         .push(f);
+                    arrived += 1;
                 }
+            }
+            if arrived > 0 {
+                // Flit arrivals wake the router and dirty its occupancy
+                // as seen by the side band.
+                self.sched.router_work[ni] += arrived;
+                self.sched.live.insert(ni);
+                self.sched.sideband_dirty.insert(ni);
             }
         }
 
-        // 3. Side-band congestion state (one-cycle-old view).
-        self.sideband.update(mesh, &self.routers);
+        // 3. Side-band congestion state (one-cycle-old view). A full tick
+        //    recomputes everything; otherwise only the bits fed by routers
+        //    whose input occupancy changed since the last refresh.
+        if full {
+            self.sideband.update(mesh, &self.routers);
+            self.sched.sideband_dirty.clear();
+        } else {
+            order.clear();
+            self.sched.sideband_dirty.collect_into(&mut order);
+            for &ni in &order {
+                self.sideband
+                    .refresh_from(mesh, &self.routers, NodeId(crate::cast::idx_u16(ni)));
+            }
+            self.sched.sideband_dirty.clear();
+        }
 
         // 4. Packet generation and source injection. Parked retries are
         //    re-checked first (FIFO) so their order relative to fresh
@@ -291,29 +396,40 @@ impl Network {
                 }
             }
         }
+        // Packet generation can never be skipped: the Bernoulli draw per
+        // node per cycle comes from the shared RNG, so the loop stays
+        // dense in every mode. Idle sources (nothing queued, no VC held)
+        // return before any RNG draw, so their step may be skipped.
         for node in mesh.nodes() {
             let ni = node.index();
             if let Some(np) = workload.generate(node, self.cycle, &mut self.rng) {
                 debug_assert!(np.size > 0, "packets must have at least one flit");
+                // Workloads that replay recorded traffic carry the cycle
+                // the packet was *meant* to enter the network; backlogged
+                // injection then shows up as source-queue latency.
+                let birth = np.origin.unwrap_or(self.cycle);
+                debug_assert!(birth <= self.cycle, "packets cannot be born in the future");
                 let id = PacketId(self.next_packet);
                 self.next_packet += 1;
                 self.metrics.record_generated(np.class, np.size);
                 if faulty && !self.faults.deliverable(&*self.algo, node, np.dest) {
                     self.unreachable.insert((node.0, np.dest.0));
-                    self.park_or_drop(node, id, np, self.cycle, 0);
+                    self.park_or_drop(node, id, np, birth, 0);
                 } else {
-                    self.sources[ni].enqueue(id, np, self.cycle);
+                    self.sources[ni].enqueue(id, np, birth);
                 }
             }
-            self.sources[ni].step(
-                &*self.algo,
-                mesh,
-                &self.sideband,
-                &FaultView::new(&self.faults, &*self.algo),
-                &mut self.rng,
-                &mut self.inj_wires[ni],
-                probe,
-            );
+            if full || !self.sources[ni].is_idle() {
+                self.sources[ni].step(
+                    &*self.algo,
+                    mesh,
+                    &self.sideband,
+                    &FaultView::new(&self.faults, &*self.algo),
+                    &mut self.rng,
+                    &mut self.inj_wires[ni],
+                    probe,
+                );
+            }
         }
 
         // 5. Routers: launch previously staged flits, then VA, then SA.
@@ -322,8 +438,22 @@ impl Network {
         // side-band is modeled as reliable), so repaired links resume
         // cleanly with a consistent credit count.
         let policy = self.algo.policy();
-        for node in mesh.nodes() {
-            let ni = node.index();
+        order.clear();
+        if full {
+            order.extend(0..mesh.len());
+        } else {
+            self.sched.live.collect_into(&mut order);
+        }
+        for &ni in &order {
+            let node = NodeId(crate::cast::idx_u16(ni));
+            // Catch the switch arbiters up over the cycles this router was
+            // skipped: the dense loop rotates them unconditionally every
+            // cycle, and arbitration must resume exactly where it would be.
+            let lag = self.cycle.saturating_sub(self.sched.next_expected[ni]);
+            if lag > 0 {
+                self.routers[ni].advance_arbiters(lag);
+            }
+            self.sched.next_expected[ni] = self.cycle + 1;
             for port in 0..PORT_COUNT {
                 let wi = Self::wire_idx(node, port);
                 if self.out_wires[wi].is_some()
@@ -332,6 +462,8 @@ impl Network {
                     if let Some(f) = self.routers[ni].launch(port) {
                         self.link_flits[wi] += 1;
                         self.out_wires[wi].as_mut().unwrap().flits.push(f);
+                        self.sched.router_work[ni] =
+                            self.sched.router_work[ni].saturating_sub(1);
                     }
                 }
             }
@@ -347,6 +479,11 @@ impl Network {
             let mut freed = std::mem::take(&mut self.freed_scratch);
             freed.clear();
             self.routers[ni].switch_allocate(policy, self.cfg.speedup, &mut freed, probe);
+            if !freed.is_empty() {
+                // Switch traversal drained input slots: the occupancy the
+                // side band reads from this router changed.
+                self.sched.sideband_dirty.insert(ni);
+            }
             for slot in &freed {
                 let credit = CreditMsg { vc: slot.vc };
                 match Port::from_index(slot.in_port) {
@@ -363,11 +500,22 @@ impl Network {
                 }
             }
             self.freed_scratch = freed;
+            if self.sched.router_work[ni] == 0 {
+                // Nothing resident: the router is an exact no-op until the
+                // next flit arrival re-arms it.
+                self.sched.live.remove(ni);
+            }
         }
 
         // 6. Sinks consume at the endpoint ejection bandwidth.
-        for node in mesh.nodes() {
-            let ni = node.index();
+        order.clear();
+        if full {
+            order.extend(0..mesh.len());
+        } else {
+            self.sched.sink_live.collect_into(&mut order);
+        }
+        for &ni in &order {
+            let node = NodeId(crate::cast::idx_u16(ni));
             if let Some(credit) = self.sinks[ni].step(self.cycle, &mut self.metrics, probe) {
                 self.out_wires[Self::wire_idx(node, Port::Local.index())]
                     .as_mut()
@@ -375,7 +523,11 @@ impl Network {
                     .credits
                     .push(credit);
             }
+            if self.sinks[ni].buffered() == 0 {
+                self.sched.sink_live.remove(ni);
+            }
         }
+        self.sched.scratch = order;
 
         // 7. Cycle bookkeeping.
         self.metrics.cycles += 1;
@@ -567,8 +719,13 @@ impl Network {
     /// This is a white-box testing hook: the sentinel's negative tests use
     /// it to corrupt credit counters or plant counterfeit flits and verify
     /// the violation is caught. Production code never needs it.
+    ///
+    /// Mutating a router behind the scheduler's back invalidates the
+    /// active-set bookkeeping, so the next step rebuilds it from actual
+    /// component state before running.
     #[doc(hidden)]
     pub fn router_mut(&mut self, node: NodeId) -> &mut Router {
+        self.sched_resync_pending = true;
         &mut self.routers[node.index()]
     }
 

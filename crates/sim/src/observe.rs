@@ -543,6 +543,10 @@ impl Probe for ProbePair<'_> {
         self.a.wants_flit_events() || self.b.wants_flit_events()
     }
 
+    fn wants_full_tick(&self, cycle: u64) -> bool {
+        self.a.wants_full_tick(cycle) || self.b.wants_full_tick(cycle)
+    }
+
     fn flit_event(&mut self, event: &FlitEvent) {
         self.a.flit_event(event);
         self.b.flit_event(event);

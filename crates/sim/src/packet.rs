@@ -105,6 +105,12 @@ pub struct NewPacket {
     pub size: u16,
     /// Traffic class tag.
     pub class: u8,
+    /// The cycle the packet was *created*, when that differs from the
+    /// cycle the workload hands it to the network. Replayed traces set
+    /// this to the recorded event cycle so packets backlogged behind the
+    /// one-injection-per-cycle source still account their queueing delay;
+    /// synthetic workloads leave it `None` (born at the generation cycle).
+    pub origin: Option<u64>,
 }
 
 /// A packet waiting in (or streaming from) a source queue.

@@ -111,6 +111,32 @@ impl Router {
             && self.outputs.iter().all(OutputPort::is_quiescent)
     }
 
+    /// Flits currently resident in the router: buffered in input VCs or
+    /// staged at output ports. The active-set scheduler keeps a running
+    /// copy of this count and processes the router only while it is
+    /// nonzero.
+    pub fn resident_flits(&self) -> usize {
+        self.inputs
+            .iter()
+            .map(|p| p.vcs().iter().map(crate::input::InVc::len).sum::<usize>())
+            .sum::<usize>()
+            + self.outputs.iter().map(OutputPort::staged).sum::<usize>()
+    }
+
+    /// Advances the switch-allocator round-robin pointers as if
+    /// [`Router::switch_allocate`] had run for `skipped` idle cycles.
+    ///
+    /// Those pointers rotate unconditionally at the end of every dense
+    /// tick, even when the router moved nothing; an idle router skipped by
+    /// the active-set scheduler must catch them up before its next real
+    /// tick so arbitration resumes exactly where the dense loop would be.
+    /// (`va_rr` needs no catch-up: it only advances when heads competed.)
+    pub(crate) fn advance_arbiters(&mut self, skipped: u64) {
+        self.sa_port_rr = (self.sa_port_rr + (skipped % PORT_COUNT as u64) as usize) % PORT_COUNT;
+        let m = self.num_vcs.max(1);
+        self.sa_vc_rr = (self.sa_vc_rr + (skipped % m as u64) as usize) % m;
+    }
+
     /// Route computation + VC allocation for every waiting head packet.
     ///
     /// Requests are standing: they are recomputed every cycle from current
@@ -606,6 +632,38 @@ mod tests {
         let mut freed = Vec::new();
         r.switch_allocate(Dor.policy(), 2, &mut freed, &mut probe);
         assert!(freed.is_empty(), "no credits, no traversal");
+    }
+
+    #[test]
+    fn arbiter_catchup_matches_idle_dense_ticks() {
+        let (mut a, _mesh, _rng, _m, mut probe) = setup();
+        let mut b = Router::new(NodeId(0), 4, 4, 2);
+        let mut freed = Vec::new();
+        for _ in 0..7 {
+            a.switch_allocate(Dor.policy(), 2, &mut freed, &mut probe);
+        }
+        assert!(freed.is_empty(), "idle router must move nothing");
+        b.advance_arbiters(7);
+        assert_eq!((a.sa_port_rr, a.sa_vc_rr), (b.sa_port_rr, b.sa_vc_rr));
+        assert_eq!(a.va_rr, b.va_rr, "va_rr must not advance while idle");
+    }
+
+    #[test]
+    fn resident_flits_counts_inputs_and_stages() {
+        let (mut r, mesh, mut rng, mut m, mut probe) = setup();
+        assert_eq!(r.resident_flits(), 0);
+        r.inputs_mut()[Port::Local.index()]
+            .vc_mut(0)
+            .push(flit_to(3, 1));
+        assert_eq!(r.resident_flits(), 1);
+        r.vc_allocate(&Dor, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut m, &mut probe);
+        let mut freed = Vec::new();
+        r.switch_allocate(Dor.policy(), 2, &mut freed, &mut probe);
+        // Traversal moves the flit input → output stage: still resident.
+        assert_eq!(r.resident_flits(), 1);
+        let east = Port::Dir(Direction::East).index();
+        r.launch(east).expect("flit staged");
+        assert_eq!(r.resident_flits(), 0);
     }
 
     #[test]

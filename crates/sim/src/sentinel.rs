@@ -375,6 +375,14 @@ impl Probe for Sentinel {
         true
     }
 
+    /// The census must see the whole network on audit cycles: the
+    /// active-set scheduler falls back to a full tick on every
+    /// conservation and deadlock stride so no router state is stale when
+    /// [`Sentinel::audit`] walks the mesh.
+    fn wants_full_tick(&self, cycle: u64) -> bool {
+        cycle.is_multiple_of(self.interval) || cycle.is_multiple_of(self.deadlock_interval)
+    }
+
     fn flit_event(&mut self, ev: &FlitEvent) {
         match ev.kind {
             FlitEventKind::Inject => self.injected += 1,

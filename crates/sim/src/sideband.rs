@@ -48,6 +48,26 @@ impl Sideband {
         }
     }
 
+    /// Refreshes only the bits derived from router `dirty`'s input
+    /// occupancy: for each direction `e` with an upstream neighbor `m`,
+    /// the bit `m` reads for its channel toward `dirty`.
+    ///
+    /// Calling this for every router whose input occupancy changed since
+    /// the last refresh is equivalent to a full [`Sideband::update`] —
+    /// bits whose source occupancy did not change cannot flip, and edge
+    /// bits stay `false` forever.
+    pub fn refresh_from(&mut self, mesh: Mesh, routers: &[Router], dirty: NodeId) {
+        let router = &routers[dirty.index()];
+        for dir in DIRECTIONS {
+            let Some(upstream) = mesh.neighbor(dirty, dir) else {
+                continue;
+            };
+            let in_port = Port::Dir(dir).index();
+            let congested = router.inputs()[in_port].occupied_vcs() >= self.threshold;
+            self.bits[upstream.index()][Self::dir_index(dir.opposite())] = congested;
+        }
+    }
+
     fn dir_index(dir: Direction) -> usize {
         DIRECTIONS
             .iter()
@@ -111,5 +131,37 @@ mod tests {
     fn threshold_is_at_least_one() {
         let sb = Sideband::new(4, 0);
         assert_eq!(sb.threshold(), 1);
+    }
+
+    #[test]
+    fn incremental_refresh_matches_full_update() {
+        let mesh = Mesh::square(4);
+        let mut routers: Vec<Router> = mesh.nodes().map(|n| Router::new(n, 4, 4, 2)).collect();
+        // Occupy inputs at an interior node (5) and an edge node (0).
+        for (node, port, vcs) in [
+            (5usize, Direction::West, 2u8),
+            (5, Direction::North, 1),
+            (0, Direction::East, 2),
+        ] {
+            for v in 0..vcs {
+                routers[node].inputs_mut()[Port::Dir(port).index()]
+                    .vc_mut(v as usize)
+                    .push(flit(9, v));
+            }
+        }
+        let mut full = Sideband::new(mesh.len(), 2);
+        full.update(mesh, &routers);
+        let mut incr = Sideband::new(mesh.len(), 2);
+        incr.refresh_from(mesh, &routers, NodeId(5));
+        incr.refresh_from(mesh, &routers, NodeId(0));
+        for node in mesh.nodes() {
+            for dir in DIRECTIONS {
+                assert_eq!(
+                    full.channel_congested(node, dir),
+                    incr.channel_congested(node, dir),
+                    "bit mismatch at {node:?} {dir:?}"
+                );
+            }
+        }
     }
 }

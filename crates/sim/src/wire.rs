@@ -10,6 +10,10 @@ pub struct Pipe<T> {
     /// `stages[0]` is the oldest in-flight batch; `stages.len() == latency`.
     stages: std::collections::VecDeque<Vec<T>>,
     cur: Vec<T>,
+    /// Total values in `stages` plus `cur`, maintained on push/drain so
+    /// the per-cycle activity scan tests emptiness in O(1) instead of
+    /// walking every stage.
+    len: usize,
 }
 
 impl<T> Default for Pipe<T> {
@@ -34,6 +38,7 @@ impl<T> Pipe<T> {
         Pipe {
             stages: (0..latency).map(|_| Vec::new()).collect(),
             cur: Vec::new(),
+            len: 0,
         }
     }
 
@@ -45,6 +50,7 @@ impl<T> Pipe<T> {
     /// Sends `v`; it becomes receivable after `latency` ticks.
     #[inline]
     pub fn push(&mut self, v: T) {
+        self.len += 1;
         self.stages
             .back_mut()
             .expect("pipe has at least one stage")
@@ -54,6 +60,7 @@ impl<T> Pipe<T> {
     /// Drains everything that arrived this cycle.
     #[inline]
     pub fn drain(&mut self) -> std::vec::Drain<'_, T> {
+        self.len -= self.cur.len();
         self.cur.drain(..)
     }
 
@@ -67,15 +74,28 @@ impl<T> Pipe<T> {
         self.stages.push_back(front); // reuse the (now empty) buffer
     }
 
-    /// `true` if nothing is in flight or receivable.
+    /// `true` if nothing is in flight or receivable. O(1).
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.cur.is_empty() && self.stages.iter().all(Vec::is_empty)
+        self.len == 0
+    }
+
+    /// `true` if values are receivable right now (arrived by the latest
+    /// tick and not yet drained).
+    #[inline]
+    pub fn receivable(&self) -> bool {
+        !self.cur.is_empty()
     }
 
     /// Number of values in flight or receivable (read-only census; used by
-    /// the sentinel's conservation checks).
+    /// the sentinel's conservation checks). O(1).
+    #[inline]
     pub fn in_flight(&self) -> usize {
-        self.cur.len() + self.stages.iter().map(Vec::len).sum::<usize>()
+        debug_assert_eq!(
+            self.len,
+            self.cur.len() + self.stages.iter().map(Vec::len).sum::<usize>()
+        );
+        self.len
     }
 
     /// Iterates every value currently in flight or receivable, oldest
@@ -190,6 +210,33 @@ mod tests {
     #[should_panic(expected = "at least one cycle")]
     fn zero_latency_rejected() {
         let _: Pipe<u32> = Pipe::with_latency(0);
+    }
+
+    #[test]
+    fn len_counter_tracks_push_tick_drain() {
+        let mut p: Pipe<u32> = Pipe::with_latency(2);
+        assert!(p.is_empty());
+        assert!(!p.receivable());
+        p.push(1);
+        p.push(2);
+        assert_eq!(p.in_flight(), 2);
+        assert!(!p.is_empty());
+        p.tick();
+        assert!(!p.receivable(), "still one stage away");
+        p.tick();
+        assert!(p.receivable());
+        assert_eq!(p.in_flight(), 2);
+        assert_eq!(p.drain().count(), 2);
+        assert!(p.is_empty());
+        assert!(!p.receivable());
+        // An undrained batch keeps counting until it is finally drained.
+        p.push(3);
+        p.tick();
+        p.tick();
+        p.tick();
+        assert_eq!(p.in_flight(), 1);
+        assert_eq!(p.drain().count(), 1);
+        assert!(p.is_empty());
     }
 
     #[test]

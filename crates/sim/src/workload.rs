@@ -52,6 +52,7 @@ impl Workload for SingleFlow {
                 dest: self.dest,
                 size: self.size,
                 class: 0,
+                origin: None,
             })
         } else {
             None

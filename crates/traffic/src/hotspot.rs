@@ -130,6 +130,7 @@ impl Workload for HotspotWorkload {
                     dest,
                     size: self.size.sample(rng),
                     class: HOTSPOT_CLASS,
+                    origin: None,
                 });
             }
             None
@@ -141,6 +142,7 @@ impl Workload for HotspotWorkload {
                     dest,
                     size: self.size.sample(rng),
                     class: BACKGROUND_CLASS,
+                    origin: None,
                 })
             } else {
                 None

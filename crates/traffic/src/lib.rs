@@ -45,10 +45,12 @@ pub mod trace;
 pub use hotspot::{paper_flows, Flow, HotspotWorkload, BACKGROUND_CLASS, HOTSPOT_CLASS};
 pub use overlay::Overlay;
 pub use parsec::{memory_controllers, App, AppProfile, ParsecPairWorkload, APPS};
-pub use patterns::{PatternSpec, Permutation, TrafficPattern};
+pub use patterns::{PatternError, PatternSpec, Permutation, TrafficPattern};
 pub use size::PacketSize;
 pub use synthetic::SyntheticWorkload;
-pub use trace::{parse_trace, write_trace, ParseTraceError, TraceEvent, TraceWorkload};
+pub use trace::{
+    parse_trace, write_trace, ParseTraceError, TraceEvent, TraceRegression, TraceWorkload,
+};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;

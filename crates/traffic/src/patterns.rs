@@ -235,6 +235,33 @@ impl TrafficPattern for Permutation {
     }
 }
 
+/// A pattern/mesh mismatch caught at construction time: the pattern's
+/// destination function is only defined on a power-of-two node count, and
+/// the mesh has `nodes` nodes.
+///
+/// Catching this when the workload is *built* turns what used to be a
+/// mid-simulation panic (the first time the pattern computed a destination)
+/// into an ordinary configuration error the caller can report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternError {
+    /// The pattern's display name.
+    pub pattern: &'static str,
+    /// The offending node count.
+    pub nodes: usize,
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pattern `{}` requires a power-of-two node count, got {}",
+            self.pattern, self.nodes
+        )
+    }
+}
+
+impl std::error::Error for PatternError {}
+
 /// The named patterns, for CLI/config parsing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PatternSpec {
@@ -261,6 +288,32 @@ impl PatternSpec {
         PatternSpec::Transpose,
         PatternSpec::Shuffle,
     ];
+
+    /// Instantiates the pattern after checking it is defined on `mesh`.
+    ///
+    /// The bit-manipulating patterns (shuffle, bit-complement, bit-reverse)
+    /// only make sense on a power-of-two node count; [`PatternSpec::build`]
+    /// defers that check to the first destination computation (a panic deep
+    /// inside the simulation), while this constructor rejects the mismatch
+    /// up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PatternError`] naming the pattern and node count when the
+    /// mesh does not satisfy the pattern's structural requirement.
+    pub fn build_for(self, mesh: Mesh) -> Result<Box<dyn TrafficPattern>, PatternError> {
+        let needs_power_of_two = matches!(
+            self,
+            PatternSpec::Shuffle | PatternSpec::BitComplement | PatternSpec::BitReverse
+        );
+        if needs_power_of_two && !mesh.len().is_power_of_two() {
+            return Err(PatternError {
+                pattern: self.name(),
+                nodes: mesh.len(),
+            });
+        }
+        Ok(self.build())
+    }
 
     /// Instantiates the pattern.
     pub fn build(self) -> Box<dyn TrafficPattern> {
@@ -406,6 +459,35 @@ mod tests {
         assert!((Uniform.active_fraction(mesh) - 1.0).abs() < 1e-12);
         // Transpose: 4 diagonal nodes idle out of 16.
         assert!((Transpose.active_fraction(mesh) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_of_two_patterns_reject_odd_meshes_at_build() {
+        // 6×6 = 36 nodes: not a power of two, so the bit patterns must be
+        // rejected at construction instead of panicking mid-run.
+        let odd = Mesh::square(6);
+        for spec in [
+            PatternSpec::Shuffle,
+            PatternSpec::BitComplement,
+            PatternSpec::BitReverse,
+        ] {
+            let err = spec.build_for(odd).err().expect("6x6 must be rejected");
+            assert_eq!(err, PatternError { pattern: spec.name(), nodes: 36 });
+            assert!(err.to_string().contains(spec.name()));
+            assert!(err.to_string().contains("36"));
+        }
+        // 8×8 = 64 nodes: accepted.
+        let pow2 = Mesh::square(8);
+        for spec in [
+            PatternSpec::Shuffle,
+            PatternSpec::BitComplement,
+            PatternSpec::BitReverse,
+        ] {
+            assert_eq!(spec.build_for(pow2).unwrap().name(), spec.name());
+        }
+        // Patterns without the structural requirement accept any mesh.
+        assert!(PatternSpec::Uniform.build_for(odd).is_ok());
+        assert!(PatternSpec::Tornado.build_for(odd).is_ok());
     }
 
     #[test]

@@ -75,6 +75,7 @@ impl Workload for SyntheticWorkload {
             dest,
             size: self.size.sample(rng),
             class: self.class,
+            origin: None,
         })
     }
 }

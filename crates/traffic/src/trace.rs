@@ -37,6 +37,31 @@ pub struct TraceWorkload {
     events: VecDeque<TraceEvent>,
     pending: Vec<VecDeque<NewPacket>>,
     absorbed_through: Option<u64>,
+    last_regression: Option<TraceRegression>,
+    regressions: u64,
+}
+
+/// A rejected non-monotonic absorb call: the replay was asked to step to a
+/// cycle *before* its watermark. This can only happen when the driver's
+/// clock moved backwards (e.g. a journal resume rebuilt the network but
+/// reused a live workload); replaying would double-inject the events
+/// between `attempted` and `last`, so the call is skipped and recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRegression {
+    /// The watermark: the last cycle the replay absorbed through.
+    pub last: u64,
+    /// The earlier cycle the rejected call asked for.
+    pub attempted: u64,
+}
+
+impl core::fmt::Display for TraceRegression {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "trace replay asked to absorb cycle {} after already absorbing through cycle {}",
+            self.attempted, self.last
+        )
+    }
 }
 
 impl TraceWorkload {
@@ -59,6 +84,8 @@ impl TraceWorkload {
             events: events.into(),
             pending: (0..nodes).map(|_| VecDeque::new()).collect(),
             absorbed_through: None,
+            last_regression: None,
+            regressions: 0,
         }
     }
 
@@ -67,9 +94,29 @@ impl TraceWorkload {
         self.events.len() + self.pending.iter().map(VecDeque::len).sum::<usize>()
     }
 
+    /// The most recent rejected non-monotonic absorb call, if any.
+    pub fn last_regression(&self) -> Option<TraceRegression> {
+        self.last_regression
+    }
+
+    /// How many non-monotonic absorb calls have been rejected.
+    pub fn regressions(&self) -> u64 {
+        self.regressions
+    }
+
     fn absorb(&mut self, cycle: u64) {
-        if self.absorbed_through == Some(cycle) {
-            return;
+        if let Some(last) = self.absorbed_through {
+            if cycle == last {
+                return;
+            }
+            if cycle < last {
+                self.last_regression = Some(TraceRegression {
+                    last,
+                    attempted: cycle,
+                });
+                self.regressions += 1;
+                return;
+            }
         }
         while let Some(e) = self.events.front() {
             if e.cycle > cycle {
@@ -80,6 +127,7 @@ impl TraceWorkload {
                 dest: e.dest,
                 size: e.size,
                 class: e.class,
+                origin: Some(e.cycle),
             });
         }
         self.absorbed_through = Some(cycle);
@@ -233,6 +281,76 @@ mod tests {
         assert!(tw.generate(NodeId(0), 1, &mut rng).is_some());
         assert!(tw.generate(NodeId(0), 2, &mut rng).is_some());
         assert!(tw.generate(NodeId(0), 3, &mut rng).is_none());
+    }
+
+    #[test]
+    fn backlog_packets_keep_original_birth() {
+        // Three same-cycle events from one source spill across three
+        // injection cycles, but each must still claim creation cycle 0 so
+        // the source-queue delay shows up in measured latency.
+        let mut tw = TraceWorkload::new(2, vec![ev(0, 0, 1), ev(0, 0, 1), ev(0, 0, 1)]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for cycle in 0..3 {
+            let p = tw.generate(NodeId(0), cycle, &mut rng).unwrap();
+            assert_eq!(p.origin, Some(0), "spilled packet lost its creation cycle");
+        }
+    }
+
+    #[test]
+    fn source_backlog_counts_toward_network_latency() {
+        use footprint_routing::RoutingSpec;
+        use footprint_sim::{Network, SimConfig};
+
+        // Eight packets created the same cycle on one node drain through
+        // the source at one per cycle; the queueing delay (mean 3.5
+        // cycles) must appear in the measured packet latency.
+        let latency = |events: Vec<TraceEvent>| {
+            let mut net =
+                Network::new(SimConfig::small(), RoutingSpec::Dor.build(), 1).unwrap();
+            let count = events.len() as u64;
+            let mut wl = TraceWorkload::new(16, events);
+            net.run(&mut wl, 200);
+            let stats = net.metrics().total();
+            assert_eq!(stats.ejected_packets, count, "burst must fully drain");
+            stats.mean_latency()
+        };
+        let single = latency(vec![ev(0, 0, 3)]);
+        let burst = latency((0..8).map(|_| ev(0, 0, 3)).collect());
+        assert!(
+            burst > single + 3.0,
+            "backlogged packets lost their queueing delay: single {single}, burst {burst}"
+        );
+    }
+
+    #[test]
+    fn non_monotonic_absorb_is_rejected_and_recorded() {
+        let mut tw = TraceWorkload::new(2, vec![ev(0, 0, 1), ev(4, 0, 1), ev(9, 0, 1)]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(tw.generate(NodeId(0), 5, &mut rng).is_some());
+        assert!(tw.generate(NodeId(0), 6, &mut rng).is_some());
+        assert!(tw.last_regression().is_none());
+
+        // The clock steps backwards: the call is skipped (no double
+        // absorption, watermark intact) and the regression is recorded.
+        assert!(tw.generate(NodeId(0), 3, &mut rng).is_none());
+        assert_eq!(
+            tw.last_regression(),
+            Some(TraceRegression {
+                last: 6,
+                attempted: 3
+            })
+        );
+        assert_eq!(tw.regressions(), 1);
+
+        // Forward progress resumes normally from the intact watermark.
+        let p = tw.generate(NodeId(0), 9, &mut rng).unwrap();
+        assert_eq!(p.origin, Some(9));
+        assert_eq!(tw.regressions(), 1);
+        assert_eq!(tw.remaining(), 0);
+        assert!(
+            tw.last_regression().unwrap().to_string().contains("cycle 3"),
+            "display should name the attempted cycle"
+        );
     }
 
     #[test]
