@@ -1,18 +1,23 @@
 //! Performance harness: measures simulated-cycles/sec on the hot path and
-//! the wall-clock speedup of the parallel experiment engine, and records
+//! the wall-clock scaling of the parallel experiment engine, and records
 //! both in `BENCH_sim.json` so the perf trajectory is tracked PR over PR.
 //!
 //! Measurements:
 //!
 //! * **single-thread cycles/sec** — one representative 8×8 Footprint
 //!   uniform-random run (the per-cycle hot path: route computation, VC
-//!   allocation, switch traversal), timed end to end.
+//!   allocation, switch traversal), timed end to end. Best of two runs of
+//!   4000 cycles; comparable across PRs only on the same runner, which is
+//!   why the gate compares it as a *ratio* to the committed baseline.
 //! * **sweep wall-clock** — the same `quick_rates()` sweep executed
-//!   sequentially (`threads = 1`) and on the default pool; their ratio is
-//!   the engine's speedup on this machine. Results are bit-identical
-//!   between the two runs (asserted here, not just in the test suite).
-//! * **sentinel overhead** — the pooled sweep re-run with the invariant
-//!   sentinel enabled on every point; the ratio to the plain pooled sweep
+//!   sequentially (`threads = 1`) and on pools of 1, 2, 4 and 8 workers.
+//!   Each pooled run is asserted bit-identical to the sequential one. The
+//!   per-pool speedup column is honest for *this* runner: on a single-CPU
+//!   box it hovers near 1.0× however many workers are spawned — the
+//!   cross-PR throughput gain shows up in the gate's ratio against the
+//!   committed baseline instead.
+//! * **sentinel overhead** — the 4-worker sweep re-run with the invariant
+//!   sentinel enabled on every point; the ratio to the fastest plain sweep
 //!   is the price of full runtime auditing (budget: ≤ 15%).
 //! * **active-set scheduler speedup** — one low-load run (where most
 //!   routers idle most cycles) timed under the dense reference loop and
@@ -24,9 +29,14 @@
 
 use footprint_bench::quick_rates;
 use footprint_core::{
-    exec, RoutingSpec, RunOptions, Scheduler, SimulationBuilder, SweepOptions, TrafficSpec,
+    RoutingSpec, RunOptions, Scheduler, SimulationBuilder, SweepOptions, TrafficSpec,
 };
 use std::time::Instant;
+
+/// Worker-pool sizes the sweep is timed under.
+const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
+/// The pool size whose wall-clock the gate tracks (`parallel_secs_4t`).
+const HEADLINE_THREADS: usize = 4;
 
 fn builder() -> SimulationBuilder {
     SimulationBuilder::paper_default()
@@ -39,8 +49,6 @@ fn builder() -> SimulationBuilder {
 }
 
 fn main() {
-    let threads = exec::num_threads();
-
     // 1. Hot-path throughput: simulated cycles per wall-clock second on
     // one core. Two timed runs, keep the faster (warm caches).
     let b = builder();
@@ -53,39 +61,73 @@ fn main() {
     }
     let cycles_per_sec = total_cycles as f64 / best;
 
-    // 2. Parallel-engine speedup on a quick sweep.
+    // 2. Parallel-engine scaling on a quick sweep: sequential reference,
+    // then one pooled run per worker count.
     let rates = quick_rates();
     let t = Instant::now();
     let sequential = b.sweep_on(&rates, None, 1).expect("static experiment config");
     let seq_secs = t.elapsed().as_secs_f64();
-    let t = Instant::now();
-    let parallel = b
-        .sweep_on(&rates, None, threads)
-        .expect("static experiment config");
-    let par_secs = t.elapsed().as_secs_f64();
-    assert_eq!(
-        sequential, parallel,
-        "parallel sweep must be bit-identical to sequential"
-    );
-    let speedup = seq_secs / par_secs;
+    let mut table = Vec::new();
+    let mut headline_secs = f64::NAN;
+    for &threads in &SWEEP_THREADS {
+        let t = Instant::now();
+        let pooled = b
+            .sweep_on(&rates, None, threads)
+            .expect("static experiment config");
+        let par_secs = t.elapsed().as_secs_f64();
+        assert_eq!(
+            sequential, pooled,
+            "{threads}-worker sweep must be bit-identical to sequential"
+        );
+        if threads == HEADLINE_THREADS {
+            headline_secs = par_secs;
+        }
+        table.push((threads, par_secs, seq_secs / par_secs));
+    }
+    assert!(headline_secs.is_finite(), "headline pool size must be in SWEEP_THREADS");
 
-    // 3. Sentinel overhead: the same pooled sweep with every invariant
+    // 3. Sentinel overhead: the headline pooled sweep with every invariant
     // audited. The sentinel only observes, so the curve must not move.
-    let t = Instant::now();
-    let audited = b
-        .sweep_with(
-            &rates,
-            SweepOptions::new().threads(threads).sentinel(true),
-        )
-        .expect("sentinel must stay quiet on a healthy sweep");
-    let audited_secs = t.elapsed().as_secs_f64();
-    assert_eq!(
-        parallel, audited,
-        "sentinel-on sweep must be bit-identical to the plain sweep"
-    );
-    // Baseline against the faster of the two plain sweeps: on a 1-core
-    // runner they do identical work and their spread is pure noise.
-    let overhead = audited_secs / (seq_secs.min(par_secs)) - 1.0;
+    // Plain and audited runs are *interleaved* (plain, audited, plain,
+    // audited; best of each) because shared runners drift by more than
+    // the audit cost over the seconds a sweep takes — comparing an
+    // audited run against a plain run measured half a minute earlier
+    // reports the machine's mood, not the sentinel's price.
+    // Best-of-4 per side: single sweeps on this box scatter by ±35%, and
+    // noise only ever adds time, so the minimum over more interleaved
+    // samples converges on the true cost where best-of-2 still carries
+    // tens of points of jitter into the ratio.
+    let mut plain_secs = headline_secs;
+    let mut audited_secs = f64::INFINITY;
+    for _ in 0..4 {
+        let t = Instant::now();
+        let plain = b
+            .sweep_on(&rates, None, HEADLINE_THREADS)
+            .expect("static experiment config");
+        plain_secs = plain_secs.min(t.elapsed().as_secs_f64());
+        assert_eq!(sequential, plain, "pooled sweep must stay bit-identical");
+        let t = Instant::now();
+        let audited = b
+            .sweep_with(
+                &rates,
+                SweepOptions::new().threads(HEADLINE_THREADS).sentinel(true),
+            )
+            .expect("sentinel must stay quiet on a healthy sweep");
+        audited_secs = audited_secs.min(t.elapsed().as_secs_f64());
+        assert_eq!(
+            sequential, audited,
+            "sentinel-on sweep must be bit-identical to the plain sweep"
+        );
+    }
+    let overhead = audited_secs / plain_secs - 1.0;
+    // The extra plain runs are more samples of the headline config; let
+    // them tighten both the gated number and its table row.
+    let headline_secs = plain_secs;
+    for row in &mut table {
+        if row.0 == HEADLINE_THREADS {
+            *row = (row.0, headline_secs, seq_secs / headline_secs);
+        }
+    }
 
     // 4. Active-set scheduler payoff at low load: far from saturation most
     // routers are idle most cycles, which is exactly what the scheduler
@@ -113,12 +155,27 @@ fn main() {
     );
     let sched_speedup = dense_secs / active_secs;
 
+    // Gate-read fields stay ahead of the nested `by_threads` array: the
+    // gate's string surgery scopes a section to the text before its first
+    // closing brace.
+    let machine = std::thread::available_parallelism().map_or(1, usize::from);
+    let by_threads = table
+        .iter()
+        .map(|(n, secs, speedup)| {
+            format!(
+                "      {{ \"threads\": {n}, \"parallel_secs\": {secs:.4}, \"speedup\": {speedup:.2} }}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let headline_speedup = seq_secs / headline_secs;
     let json = format!(
         "{{\n  \"single_thread\": {{\n    \"simulated_cycles\": {total_cycles},\n    \
          \"wall_secs\": {best:.4},\n    \"cycles_per_sec\": {cycles_per_sec:.0}\n  }},\n  \
-         \"sweep\": {{\n    \"rates\": {},\n    \"threads\": {threads},\n    \
-         \"sequential_secs\": {seq_secs:.4},\n    \"parallel_secs\": {par_secs:.4},\n    \
-         \"speedup\": {speedup:.2},\n    \"bit_identical\": true\n  }},\n  \
+         \"sweep\": {{\n    \"rates\": {},\n    \"sequential_secs\": {seq_secs:.4},\n    \
+         \"parallel_secs_4t\": {headline_secs:.4},\n    \"speedup\": {headline_speedup:.2},\n    \
+         \"machine_threads\": {machine},\n    \"bit_identical\": true,\n    \
+         \"by_threads\": [\n{by_threads}\n    ]\n  }},\n  \
          \"sentinel\": {{\n    \"audited_secs\": {audited_secs:.4},\n    \
          \"overhead\": {overhead:.4},\n    \"budget\": 0.15\n  }},\n  \
          \"scheduler\": {{\n    \"load\": {low_load},\n    \
@@ -130,9 +187,12 @@ fn main() {
     std::fs::write(&path, &json).expect("write benchmark report");
     println!("single-thread: {cycles_per_sec:.0} simulated cycles/sec ({best:.2}s for {total_cycles} cycles)");
     println!(
-        "sweep ({} rates): sequential {seq_secs:.2}s, parallel {par_secs:.2}s on {threads} thread(s) → {speedup:.2}x",
+        "sweep ({} rates, {machine} hardware thread(s)): sequential {seq_secs:.2}s",
         rates.len()
     );
+    for (n, secs, speedup) in &table {
+        println!("  {n} worker(s): {secs:.2}s → {speedup:.2}x");
+    }
     println!(
         "sentinel: audited sweep {audited_secs:.2}s → {:.1}% overhead (budget 15%)",
         overhead * 100.0

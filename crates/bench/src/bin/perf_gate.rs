@@ -1,18 +1,35 @@
 //! Perf-regression gate: compares a freshly measured `BENCH_sim.json`
 //! against the committed baseline and fails (exit 1) when a tracked
-//! machine-portable metric regressed beyond its tolerance band.
+//! metric regressed beyond its tolerance band.
 //!
-//! Only *ratio* metrics are compared — the active-set scheduler speedup
-//! and the sentinel overhead — never wall-clock numbers, which move with
-//! the runner hardware:
+//! Two kinds of metric are compared:
+//!
+//! * *Ratio* metrics — the active-set scheduler speedup and the sentinel
+//!   overhead — are machine-portable and compared directly.
+//! * *Same-runner throughput* metrics — single-thread cycles/sec and the
+//!   4-worker sweep wall-clock — are hardware-dependent in absolute terms,
+//!   but CI measures fresh and baseline on the same runner lineage, so a
+//!   *collapse relative to the committed baseline* is still a regression
+//!   signal. Their bands are wide (50% retention) to absorb runner noise;
+//!   a real regression (an accidental O(n²) in the hot path, the pool
+//!   serializing) blows through 2× easily.
+//!
+//! Concretely:
 //!
 //! * `scheduler.speedup` regresses when the fresh value drops below 60%
-//!   of the committed baseline (the band absorbs runner noise; a real
-//!   regression — the scheduler silently degrading to a dense walk —
-//!   shows up as a collapse toward 1.0×).
+//!   of the committed baseline (a real regression — the scheduler silently
+//!   degrading to a dense walk — shows up as a collapse toward 1.0×).
 //! * `sentinel.overhead` regresses when the fresh value exceeds both the
 //!   committed baseline + 10 points and the 15% budget (a fresh value
 //!   within budget never fails, however noisy the baseline).
+//! * `single_thread.cycles_per_sec` regresses when the fresh value drops
+//!   below 50% of the committed baseline. The gate also reports the
+//!   improvement ratio — the number the changelog quotes.
+//! * `sweep.parallel_secs_4t` regresses when the fresh 4-worker sweep
+//!   takes more than 2× the committed baseline's wall-clock. The gate also
+//!   reports fresh throughput against the *baseline sequential* time: the
+//!   end-to-end sweep speedup a user of the committed revision gains by
+//!   updating.
 //!
 //! Usage: `perf_gate <fresh.json> <baseline.json>`.
 //!
@@ -28,10 +45,16 @@ const SPEEDUP_RETENTION: f64 = 0.6;
 const OVERHEAD_SLACK: f64 = 0.10;
 /// The sentinel overhead budget (mirrors the harness's published budget).
 const OVERHEAD_BUDGET: f64 = 0.15;
+/// Minimum acceptable fraction of baseline throughput (cycles/sec up,
+/// sweep wall-clock down) for the same-runner metrics.
+const THROUGHPUT_RETENTION: f64 = 0.5;
 
 /// Extracts `"field": <number>` from within the object that follows
 /// `"section"` in hand-written JSON of the shape `perf.rs` emits. Not a
-/// JSON parser — just enough string surgery for our own flat output.
+/// JSON parser — just enough string surgery for our own flat output. The
+/// scan stops at the section's first closing brace, so gated fields must
+/// precede any nested object or array in their section (the harness keeps
+/// `sweep.by_threads` last for exactly this reason).
 fn extract(json: &str, section: &str, field: &str) -> Option<f64> {
     let start = json.find(&format!("\"{section}\""))?;
     let body = &json[start..];
@@ -101,6 +124,60 @@ fn run(fresh: &str, baseline: &str) -> Result<Vec<String>, String> {
         )),
     }
 
+    let fresh_cps = extract(fresh, "single_thread", "cycles_per_sec")
+        .ok_or("fresh benchmark is missing single_thread.cycles_per_sec")?;
+    match extract(baseline, "single_thread", "cycles_per_sec") {
+        Some(base) => {
+            let floor = base * THROUGHPUT_RETENTION;
+            if fresh_cps < floor {
+                return Err(format!(
+                    "single_thread.cycles_per_sec regressed: fresh {fresh_cps:.0} < {floor:.0} \
+                     ({:.0}% of committed baseline {base:.0})",
+                    THROUGHPUT_RETENTION * 100.0
+                ));
+            }
+            notes.push(format!(
+                "single_thread.cycles_per_sec ok: fresh {fresh_cps:.0} vs baseline {base:.0} \
+                 → {:.2}x (floor {floor:.0})",
+                fresh_cps / base
+            ));
+        }
+        None => notes.push(format!(
+            "single_thread.cycles_per_sec: no committed baseline yet (fresh {fresh_cps:.0}) — skipped"
+        )),
+    }
+
+    let fresh_4t = extract(fresh, "sweep", "parallel_secs_4t")
+        .ok_or("fresh benchmark is missing sweep.parallel_secs_4t — did the harness stop timing the 4-worker sweep?")?;
+    match extract(baseline, "sweep", "parallel_secs_4t") {
+        Some(base) => {
+            let ceiling = base / THROUGHPUT_RETENTION;
+            if fresh_4t > ceiling {
+                return Err(format!(
+                    "sweep.parallel_secs_4t regressed: fresh {fresh_4t:.2}s > {ceiling:.2}s \
+                     ({:.0}x the committed baseline {base:.2}s)",
+                    1.0 / THROUGHPUT_RETENTION
+                ));
+            }
+            notes.push(format!(
+                "sweep.parallel_secs_4t ok: fresh {fresh_4t:.2}s vs baseline {base:.2}s \
+                 (ceiling {ceiling:.2}s)"
+            ));
+        }
+        None => notes.push(format!(
+            "sweep.parallel_secs_4t: no committed baseline yet (fresh {fresh_4t:.2}s) — skipped"
+        )),
+    }
+    // Informational: end-to-end sweep gain over the committed revision's
+    // sequential wall-clock (the headline `speedup` the docs quote).
+    if let Some(base_seq) = extract(baseline, "sweep", "sequential_secs") {
+        notes.push(format!(
+            "sweep throughput vs committed sequential baseline: {:.2}x \
+             ({base_seq:.2}s → {fresh_4t:.2}s on 4 workers)",
+            base_seq / fresh_4t
+        ));
+    }
+
     Ok(notes)
 }
 
@@ -137,24 +214,51 @@ mod tests {
     use super::*;
 
     fn bench_json(speedup: f64, overhead: f64) -> String {
+        bench_json_perf(speedup, overhead, 9854.0, 7.54)
+    }
+
+    /// Mirrors the harness's emission order: gate-read sweep fields come
+    /// before the nested `by_threads` array.
+    fn bench_json_perf(speedup: f64, overhead: f64, cps: f64, par4: f64) -> String {
         format!(
-            "{{\n  \"sweep\": {{\n    \"speedup\": 1.50,\n    \"bit_identical\": true\n  }},\n  \
-             \"sentinel\": {{\n    \"overhead\": {overhead:.4},\n    \"budget\": 0.15\n  }},\n  \
+            "{{\n  \"single_thread\": {{\n    \"simulated_cycles\": 4000,\n    \
+             \"cycles_per_sec\": {cps:.0}\n  }},\n  \
+             \"sweep\": {{\n    \"rates\": 6,\n    \"sequential_secs\": {:.4},\n    \
+             \"parallel_secs_4t\": {par4:.4},\n    \"speedup\": 1.00,\n    \
+             \"bit_identical\": true,\n    \"by_threads\": [\n      \
+             {{ \"threads\": 1, \"parallel_secs\": {par4:.4}, \"speedup\": 0.99 }},\n      \
+             {{ \"threads\": 4, \"parallel_secs\": {par4:.4}, \"speedup\": 1.00 }}\n    ]\n  }},\n  \
+             \"sentinel\": {{\n    \"overhead\": {overhead:.4}, \"budget\": 0.15\n  }},\n  \
              \"scheduler\": {{\n    \"load\": 0.05,\n    \"speedup\": {speedup:.2},\n    \
-             \"bit_identical\": true\n  }}\n}}\n"
+             \"bit_identical\": true\n  }}\n}}\n",
+            par4 * 0.95
         )
     }
 
     #[test]
     fn extract_scopes_fields_to_their_section() {
         let json = bench_json(2.5, 0.08);
-        // `speedup` appears in both `sweep` and `scheduler`; extraction
-        // must resolve the one inside the requested section.
-        assert_eq!(extract(&json, "sweep", "speedup"), Some(1.50));
+        // `speedup` appears in `sweep`, `scheduler` and every `by_threads`
+        // entry; extraction must resolve the one inside the requested
+        // section, before its first nested brace.
+        assert_eq!(extract(&json, "sweep", "speedup"), Some(1.00));
         assert_eq!(extract(&json, "scheduler", "speedup"), Some(2.5));
         assert_eq!(extract(&json, "sentinel", "overhead"), Some(0.08));
+        assert_eq!(extract(&json, "sweep", "parallel_secs_4t"), Some(7.54));
         assert_eq!(extract(&json, "scheduler", "missing"), None);
         assert_eq!(extract(&json, "missing", "speedup"), None);
+    }
+
+    #[test]
+    fn fields_after_a_nested_object_are_invisible() {
+        // Documents the scoping rule the harness's emission order relies
+        // on: anything after `by_threads` in the sweep section cannot be
+        // extracted (the scan stops at the first `}`).
+        let json = bench_json(2.5, 0.08).replace(
+            "\"sequential_secs\"",
+            "\"by_threads2\": [ { \"threads\": 1 } ],\n    \"sequential_secs\"",
+        );
+        assert_eq!(extract(&json, "sweep", "sequential_secs"), None);
     }
 
     #[test]
@@ -162,7 +266,7 @@ mod tests {
         let base = bench_json(2.5, 0.08);
         let fresh = bench_json(2.3, 0.10);
         let notes = run(&fresh, &base).unwrap();
-        assert_eq!(notes.len(), 2);
+        assert_eq!(notes.len(), 5);
     }
 
     #[test]
@@ -183,6 +287,38 @@ mod tests {
         // 19% exceeds both: regression.
         let err = run(&bench_json(2.5, 0.19), &base).unwrap_err();
         assert!(err.contains("sentinel.overhead regressed"), "{err}");
+    }
+
+    #[test]
+    fn halved_cycles_per_sec_fails() {
+        let base = bench_json_perf(2.5, 0.08, 20_000.0, 3.0);
+        // 60% of baseline: inside the 50% retention band.
+        assert!(run(&bench_json_perf(2.5, 0.08, 12_000.0, 3.0), &base).is_ok());
+        let err = run(&bench_json_perf(2.5, 0.08, 9_000.0, 3.0), &base).unwrap_err();
+        assert!(err.contains("single_thread.cycles_per_sec regressed"), "{err}");
+    }
+
+    #[test]
+    fn doubled_sweep_wall_clock_fails() {
+        let base = bench_json_perf(2.5, 0.08, 20_000.0, 3.0);
+        assert!(run(&bench_json_perf(2.5, 0.08, 20_000.0, 5.5), &base).is_ok());
+        let err = run(&bench_json_perf(2.5, 0.08, 20_000.0, 6.5), &base).unwrap_err();
+        assert!(err.contains("sweep.parallel_secs_4t regressed"), "{err}");
+    }
+
+    #[test]
+    fn improvement_ratio_is_reported() {
+        let base = bench_json_perf(2.5, 0.08, 10_000.0, 6.0);
+        let fresh = bench_json_perf(2.5, 0.08, 20_000.0, 3.0);
+        let notes = run(&fresh, &base).unwrap();
+        assert!(
+            notes.iter().any(|n| n.contains("2.00x")),
+            "cycles/sec ratio should be quoted: {notes:?}"
+        );
+        assert!(
+            notes.iter().any(|n| n.contains("vs committed sequential baseline")),
+            "{notes:?}"
+        );
     }
 
     #[test]

@@ -1457,6 +1457,58 @@ mod tests {
     }
 
     #[test]
+    fn scheduler_matrix_is_bit_identical_under_faults_and_audit() {
+        use footprint_topology::{Direction, FaultEvent, NodeId};
+        // The combined equivalence matrix over the SoA datapath: for every
+        // comparison algorithm, a sentinel-audited sweep with a mid-run
+        // fault-and-repair plan must produce one curve — whichever
+        // scheduler runs the cycles and however many workers run the
+        // points. Dense sequential is the reference; every other cell of
+        // {dense, active} × {1, 4 threads} must match it bit for bit.
+        let plan = FaultPlan::new()
+            .with(FaultEvent::link_down(NodeId(5), Direction::East, 100).repaired_at(250));
+        let rates = [0.05, 0.15];
+        for spec in [
+            RoutingSpec::Footprint,
+            RoutingSpec::Dbar,
+            RoutingSpec::OddEven,
+            RoutingSpec::Dor,
+        ] {
+            for faults in [None, Some(plan.clone())] {
+                let sweep = |scheduler, threads| {
+                    let mut o = SweepOptions::new()
+                        .scheduler(scheduler)
+                        .threads(threads)
+                        .sentinel(true)
+                        .watchdog(10_000);
+                    if let Some(p) = faults.clone() {
+                        o = o.faults(p);
+                    }
+                    quick()
+                        .routing(spec)
+                        .drain(500)
+                        .sweep_with(&rates, o)
+                        .unwrap()
+                };
+                let reference = sweep(Scheduler::Dense, 1);
+                for (scheduler, threads) in [
+                    (Scheduler::Active, 1),
+                    (Scheduler::Dense, 4),
+                    (Scheduler::Active, 4),
+                ] {
+                    assert_eq!(
+                        reference,
+                        sweep(scheduler, threads),
+                        "{} (faults: {}) diverged under {scheduler:?} × {threads} workers",
+                        spec.name(),
+                        faults.is_some(),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn pattern_mesh_mismatch_is_a_config_error() {
         // 6×6 mesh with a power-of-two-only pattern: rejected up front
         // with a typed error instead of a mid-simulation panic.

@@ -191,46 +191,79 @@ impl<'scope, T: Send + 'scope> JobSet<'scope, T> {
     }
 }
 
+/// Chunks claimed per worker (on average) when partitioning a job set:
+/// enough pieces that a slow tail chunk can be balanced across workers,
+/// few enough that claim overhead stays amortized over whole batches.
+const CHUNKS_PER_WORKER: usize = 4;
+
 /// Runs `jobs` on `threads` scoped workers, returning results in job
 /// order. The backing primitive behind [`JobSet::run_on`].
+///
+/// Jobs are pre-partitioned into contiguous chunks and workers claim
+/// whole chunks from one shared counter: each claim costs one atomic
+/// increment plus one uncontended lock, amortized over the batch.
+/// Every worker accumulates `(start_index, results)` runs into its own
+/// local buffer and the caller splices them back by index after the
+/// join — there is no shared result array for workers to false-share
+/// on while jobs complete.
 fn run_parallel<'scope, T: Send>(jobs: Vec<Job<'scope, T>>, threads: usize) -> Vec<T> {
+    /// A claimable chunk: `(start index, contiguous run of jobs)`, taken
+    /// whole by the first worker to lock it.
+    type Chunk<'scope, T> = Mutex<Option<(usize, Vec<Job<'scope, T>>)>>;
     let n = jobs.len();
     if threads <= 1 || n <= 1 {
         return jobs.into_iter().map(|job| job()).collect();
     }
     let workers = threads.min(n);
-    // Each job sits in a one-shot slot: a worker claims index `i` from
-    // the shared counter, takes the job out of slot `i`, and deposits
-    // the result in result slot `i`. The mutexes are uncontended by
-    // construction (every index is claimed exactly once).
-    let job_slots: Vec<Mutex<Option<Job<'scope, T>>>> =
-        jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let chunk_len = n.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+    let mut chunks: Vec<Chunk<'scope, T>> = Vec::with_capacity(n.div_ceil(chunk_len));
+    let mut jobs = jobs.into_iter();
+    let mut start = 0;
+    while start < n {
+        let batch: Vec<Job<'scope, T>> = jobs.by_ref().take(chunk_len).collect();
+        let len = batch.len();
+        chunks.push(Mutex::new(Some((start, batch))));
+        start += len;
+    }
     let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<T>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, Vec<T>)> = Vec::new();
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= chunks.len() {
+                            break;
+                        }
+                        let (first, batch) = chunks[c]
+                            .lock()
+                            .expect("chunk slot poisoned")
+                            .take()
+                            .expect("chunk claimed twice");
+                        let out: Vec<T> = batch.into_iter().map(|job| job()).collect();
+                        local.push((first, out));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            let local = handle
+                .join()
+                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+            for (first, out) in local {
+                for (k, v) in out.into_iter().enumerate() {
+                    results[first + k] = Some(v);
                 }
-                let job = job_slots[i]
-                    .lock()
-                    .expect("job slot poisoned")
-                    .take()
-                    .expect("job claimed twice");
-                let out = job();
-                *results[i].lock().expect("result slot poisoned") = Some(out);
-            });
+            }
         }
     });
     results
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot poisoned")
-                .expect("job ran to completion")
-        })
+        .map(|slot| slot.expect("every chunk ran to completion"))
         .collect()
 }
 

@@ -116,27 +116,25 @@ impl Footprint {
         self.threshold.unwrap_or(num_vcs / 2)
     }
 
-    /// Counts the adaptive VCs of `port` in each class for destination
-    /// `dest`: `(idle, footprint, busy)`. This replaces materializing
-    /// the per-class VC lists — `route` runs per packet per cycle, so
-    /// the hot path must not allocate.
-    fn classify_counts(ctx: &RoutingCtx<'_>, port: Port, dest: NodeId) -> (usize, usize, usize) {
-        count_classes(ctx, port, dest, 1)
-    }
-
     /// Step 3 of Algorithm 1: generates the prioritized VC requests for the
-    /// chosen port. Emission is class-grouped (idle block, then footprint,
-    /// then busy — matching the listing) via one scan per class; no
-    /// intermediate lists.
-    fn add_vc_requests(&self, ctx: &RoutingCtx<'_>, port: Port, out: &mut Vec<VcRequest>) {
-        let dest = ctx.dest;
+    /// chosen port from its packed class masks ([`class_masks`]). Emission
+    /// is class-grouped (idle block, then footprint, then busy — matching
+    /// the listing) by ascending bit iteration; no intermediate lists and
+    /// no further port scans.
+    fn add_vc_requests(
+        &self,
+        ctx: &RoutingCtx<'_>,
+        port: Port,
+        masks: ClassMasks,
+        out: &mut Vec<VcRequest>,
+    ) {
         let fp_limit = self.max_footprint_vcs.unwrap_or(usize::MAX);
-        let (idle, raw_fp, _busy) = Self::classify_counts(ctx, port, dest);
+        let idle = masks.idle_count();
         // Footprint VCs beyond the §4.2.5 limit get no request at all.
-        let fp = raw_fp.min(fp_limit);
+        let fp = masks.footprint_count().min(fp_limit);
         let threshold = self.threshold_for(ctx.num_vcs);
         let push = |class, priority, limit, out: &mut Vec<VcRequest>| {
-            push_vc_class(ctx, port, dest, 1, class, priority, limit, out);
+            push_mask_class(port, masks, class, priority, limit, out);
         };
         if idle >= threshold {
             // No congestion: use all adaptive VCs — waiting on footprint
@@ -182,77 +180,76 @@ impl Footprint {
     }
 }
 
-/// Classification of one adaptive VC relative to a packet's destination.
-/// Shared with [`crate::FootprintOverlay`], which applies the same step-3
-/// tiers on top of other algorithms' port decisions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum VcClass {
-    /// Available for fresh allocation, no owner match.
-    Idle,
-    /// Owner register matches the destination (§3.2).
-    Footprint,
-    /// Occupied by another destination's traffic.
-    Busy,
+// The VC classification itself lives with the views ([`crate::VcClass`],
+// [`crate::VcView::class_for`]); these wrappers bind it to a routing
+// context. Each port is scanned exactly once through the *bulk*
+// `PortStateView::class_masks` call — one virtual dispatch per port, no
+// per-VC vtable hops — and both the class counts (port selection) and the
+// per-class request emission (step 3) are derived from the packed masks.
+pub(crate) use crate::VcClass;
+
+/// One port's VC classification for a destination, packed as bitmasks over
+/// the adaptive index range `[lo, num_vcs)`. Busy VCs are the range bits
+/// not in either mask.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ClassMasks {
+    idle: u64,
+    fp: u64,
+    /// All bits of the scanned `[lo, num_vcs)` range.
+    range: u64,
 }
 
-/// The class of one VC for destination `dest`. An owner-register match
-/// is a footprint regardless of occupancy (a drained VC stays this
-/// destination's footprint).
-#[inline]
-pub(crate) fn vc_class(view: crate::VcView, dest: NodeId) -> VcClass {
-    if view.is_footprint_for(dest) {
-        VcClass::Footprint
-    } else if view.idle {
-        VcClass::Idle
-    } else {
-        VcClass::Busy
+impl ClassMasks {
+    pub(crate) fn idle_count(self) -> usize {
+        self.idle.count_ones() as usize
     }
-}
 
-/// Counts the VCs of `port` in index range `[lo, num_vcs)` per class for
-/// destination `dest`: `(idle, footprint, busy)`. Allocation-free.
-pub(crate) fn count_classes(
-    ctx: &RoutingCtx<'_>,
-    port: Port,
-    dest: NodeId,
-    lo: usize,
-) -> (usize, usize, usize) {
-    let (mut idle, mut fp, mut busy) = (0, 0, 0);
-    for v in lo..ctx.num_vcs {
-        match vc_class(ctx.ports.vc(port, VcId::from_index(v)), dest) {
-            VcClass::Idle => idle += 1,
-            VcClass::Footprint => fp += 1,
-            VcClass::Busy => busy += 1,
+    pub(crate) fn footprint_count(self) -> usize {
+        self.fp.count_ones() as usize
+    }
+
+    fn of(self, class: VcClass) -> u64 {
+        match class {
+            VcClass::Idle => self.idle,
+            VcClass::Footprint => self.fp,
+            VcClass::Busy => self.range & !self.idle & !self.fp,
         }
     }
-    (idle, fp, busy)
 }
 
-/// Pushes a request for every VC of `class` at `port` within
-/// `[lo, num_vcs)` (in VC-index order, at most `limit` of them) with
-/// priority `priority`. Allocation-free class-grouped emission: callers
-/// invoke it once per class in tier order.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn push_vc_class(
+/// Classifies the VCs of `port` in index range `[lo, num_vcs)` for
+/// destination `dest` in a single bulk scan. Allocation-free; `route`
+/// runs per packet per cycle.
+pub(crate) fn class_masks(
     ctx: &RoutingCtx<'_>,
     port: Port,
     dest: NodeId,
     lo: usize,
+) -> ClassMasks {
+    let hi = ctx.num_vcs;
+    let (idle, fp) = ctx.ports.class_masks(port, dest, lo, hi);
+    let range = if hi >= 64 { !0u64 } else { (1u64 << hi) - 1 } & !((1u64 << lo) - 1);
+    ClassMasks { idle, fp, range }
+}
+
+/// Pushes a request for every VC of `class` in `masks` (in ascending
+/// VC-index order — the order grant arbitration depends on — at most
+/// `limit` of them) with priority `priority`.
+pub(crate) fn push_mask_class(
+    port: Port,
+    masks: ClassMasks,
     class: VcClass,
     priority: Priority,
     limit: usize,
     out: &mut Vec<VcRequest>,
 ) {
-    let mut pushed = 0;
-    for v in lo..ctx.num_vcs {
-        if pushed >= limit {
-            break;
-        }
-        let vc = VcId::from_index(v);
-        if vc_class(ctx.ports.vc(port, vc), dest) == class {
-            out.push(VcRequest::new(port, vc, priority));
-            pushed += 1;
-        }
+    let mut bits = masks.of(class);
+    let mut emitted = 0;
+    while bits != 0 && emitted < limit {
+        let v = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        out.push(VcRequest::new(port, VcId::from_index(v), priority));
+        emitted += 1;
     }
 }
 
@@ -297,35 +294,39 @@ impl RoutingAlgorithm for Footprint {
         }
         let px: Option<Direction> = dirs.x.filter(|&d| ctx.usable(d));
         let py: Option<Direction> = dirs.y.filter(|&d| ctx.usable(d));
-        let chosen = match (px, py) {
+        let (chosen, masks) = match (px, py) {
             // Both productive channels masked: nothing usable to request
             // (the escape shares those channels and is masked with them).
             (None, None) => return,
-            (Some(d), None) | (None, Some(d)) => d,
+            (Some(d), None) | (None, Some(d)) => {
+                (d, class_masks(ctx, Port::Dir(d), ctx.dest, 1))
+            }
             (Some(x), Some(y)) => {
                 // STEP 2: compare idle-VC counts, then footprint-VC counts,
-                // then break ties randomly (lines 10–20).
-                let (ix, fx, _) = Self::classify_counts(ctx, Port::Dir(x), ctx.dest);
-                let (iy, fy, _) = Self::classify_counts(ctx, Port::Dir(y), ctx.dest);
-                match ix.cmp(&iy) {
-                    core::cmp::Ordering::Greater => x,
-                    core::cmp::Ordering::Less => y,
-                    core::cmp::Ordering::Equal => match fx.cmp(&fy) {
-                        core::cmp::Ordering::Greater => x,
-                        core::cmp::Ordering::Less => y,
-                        core::cmp::Ordering::Equal => {
-                            if coin(rng) {
-                                x
-                            } else {
-                                y
-                            }
+                // then break ties randomly (lines 10–20). Each port is
+                // scanned once; the winner's masks feed step 3 directly.
+                let mx = class_masks(ctx, Port::Dir(x), ctx.dest, 1);
+                let my = class_masks(ctx, Port::Dir(y), ctx.dest, 1);
+                let x_wins = match mx.idle_count().cmp(&my.idle_count()) {
+                    core::cmp::Ordering::Greater => true,
+                    core::cmp::Ordering::Less => false,
+                    core::cmp::Ordering::Equal => {
+                        match mx.footprint_count().cmp(&my.footprint_count()) {
+                            core::cmp::Ordering::Greater => true,
+                            core::cmp::Ordering::Less => false,
+                            core::cmp::Ordering::Equal => coin(rng),
                         }
-                    },
+                    }
+                };
+                if x_wins {
+                    (x, mx)
+                } else {
+                    (y, my)
                 }
             }
         };
         // STEP 3: VC requests on the chosen port.
-        self.add_vc_requests(ctx, Port::Dir(chosen), out);
+        self.add_vc_requests(ctx, Port::Dir(chosen), masks, out);
         // Escape request, always at lowest priority (line 45).
         if let Some(esc) = ctx.escape_dir() {
             out.push(VcRequest::new(
@@ -344,7 +345,8 @@ impl RoutingAlgorithm for Footprint {
     ) {
         // Injection selects a VC on the source→router channel; run step 3
         // against the local port so footprints form from the very first hop.
-        self.add_vc_requests(ctx, Port::Local, out);
+        let masks = class_masks(ctx, Port::Local, ctx.dest, 1);
+        self.add_vc_requests(ctx, Port::Local, masks, out);
         out.push(VcRequest::new(Port::Local, VcId::ESCAPE, Priority::Lowest));
     }
 }

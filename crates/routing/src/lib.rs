@@ -81,7 +81,7 @@ pub use spec::{ParseRoutingSpecError, RoutingSpec};
 pub use turn_model::{NorthLast, WestFirst};
 pub use view::{
     AllLinksUp, CongestionView, DownLinks, LinkStateView, NoCongestionInfo, PortStateView,
-    TablePortView, VcView,
+    TablePortView, VcClass, VcView,
 };
 pub use voqsw::{dor_output_port, VoqSw};
 pub use xordet::{xordet_class, Xordet};

@@ -8,7 +8,7 @@
 //! overlay adds only VC *preferences* — no new channel dependencies — so
 //! the inner algorithm's deadlock-freedom argument carries over unchanged.
 
-use crate::footprint::{count_classes, push_vc_class, VcClass};
+use crate::footprint::{class_masks, push_mask_class, VcClass};
 use crate::{
     DirSet, Priority, RoutingAlgorithm, RoutingCtx, VcId, VcRequest, VcReallocationPolicy,
 };
@@ -64,10 +64,11 @@ impl<A: RoutingAlgorithm> FootprintOverlay<A> {
         let num_escapes = write - start;
         reqs.truncate(write);
         for &port in &port_order[..num_ports] {
-            let (idle, fp, _busy) = count_classes(ctx, port, ctx.dest, lo);
+            let masks = class_masks(ctx, port, ctx.dest, lo);
+            let (idle, fp) = (masks.idle_count(), masks.footprint_count());
             let threshold = ctx.num_vcs / 2;
             let push = |class, priority, reqs: &mut Vec<VcRequest>| {
-                push_vc_class(ctx, port, ctx.dest, lo, class, priority, usize::MAX, reqs);
+                push_mask_class(port, masks, class, priority, usize::MAX, reqs);
             };
             if idle >= threshold {
                 push(VcClass::Idle, Priority::Low, reqs);

@@ -46,6 +46,32 @@ impl VcView {
     pub fn is_footprint_for(&self, dest: NodeId) -> bool {
         self.owner == Some(dest)
     }
+
+    /// Classifies this VC relative to destination `dest`. An owner-register
+    /// match is a footprint regardless of occupancy (a drained VC stays
+    /// this destination's footprint until another packet claims it).
+    #[inline]
+    pub fn class_for(&self, dest: NodeId) -> VcClass {
+        if self.is_footprint_for(dest) {
+            VcClass::Footprint
+        } else if self.idle {
+            VcClass::Idle
+        } else {
+            VcClass::Busy
+        }
+    }
+}
+
+/// Classification of one VC relative to a packet's destination — the three
+/// tiers of Algorithm 1 step 3 (shared by Footprint and the overlay).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VcClass {
+    /// Available for fresh allocation, no owner match.
+    Idle,
+    /// Owner register matches the destination (§3.2).
+    Footprint,
+    /// Occupied by another destination's traffic.
+    Busy,
 }
 
 /// Per-router view of all output-port VC states.
@@ -74,6 +100,73 @@ pub trait PortStateView {
         (lo..hi)
             .filter(|&v| self.vc(port, VcId::from_index(v)).is_footprint_for(dest))
             .count()
+    }
+
+    /// Per-class VC counts `(idle, footprint, busy)` for destination `dest`
+    /// at `port` among `[lo, hi)` — one bulk call instead of a virtual
+    /// [`PortStateView::vc`] dispatch per VC. Backing stores with contiguous
+    /// per-port state override this with a flat array scan; the default
+    /// walks `vc` so table-backed test views stay correct for free.
+    fn class_counts(&self, port: Port, dest: NodeId, lo: usize, hi: usize) -> (usize, usize, usize) {
+        let (mut idle, mut fp, mut busy) = (0, 0, 0);
+        for v in lo..hi {
+            match self.vc(port, VcId::from_index(v)).class_for(dest) {
+                VcClass::Idle => idle += 1,
+                VcClass::Footprint => fp += 1,
+                VcClass::Busy => busy += 1,
+            }
+        }
+        (idle, fp, busy)
+    }
+
+    /// Packed per-class VC bitmasks for destination `dest` at `port` over
+    /// `[lo, hi)`: bit `v` of the first mask marks an idle VC, of the
+    /// second a footprint VC; busy VCs are the remaining bits of the
+    /// range. One bulk call replaces a count pass plus one emission pass
+    /// per class — callers derive counts with `count_ones` and emit
+    /// requests by ascending bit iteration, which preserves the VC-index
+    /// order the per-class scans produce. Requires `hi <= 64` (the
+    /// simulator's VC-count ceiling).
+    fn class_masks(&self, port: Port, dest: NodeId, lo: usize, hi: usize) -> (u64, u64) {
+        debug_assert!(hi <= 64, "class_masks packs VC indices into u64 bits");
+        let (mut idle, mut fp) = (0u64, 0u64);
+        for v in lo..hi {
+            match self.vc(port, VcId::from_index(v)).class_for(dest) {
+                VcClass::Idle => idle |= 1 << v,
+                VcClass::Footprint => fp |= 1 << v,
+                VcClass::Busy => {}
+            }
+        }
+        (idle, fp)
+    }
+
+    /// Calls `emit` for every VC of `class` at `port` within `[lo, hi)` in
+    /// VC-index order, at most `limit` of them. The bulk counterpart of the
+    /// per-class request-emission scans in Algorithm 1 step 3; overriding
+    /// implementations must preserve the ascending VC order (grant
+    /// arbitration depends on request order).
+    #[allow(clippy::too_many_arguments)]
+    fn for_each_in_class(
+        &self,
+        port: Port,
+        dest: NodeId,
+        lo: usize,
+        hi: usize,
+        class: VcClass,
+        limit: usize,
+        emit: &mut dyn FnMut(VcId),
+    ) {
+        let mut emitted = 0;
+        for v in lo..hi {
+            if emitted >= limit {
+                break;
+            }
+            let vc = VcId::from_index(v);
+            if self.vc(port, vc).class_for(dest) == class {
+                emit(vc);
+                emitted += 1;
+            }
+        }
     }
 }
 

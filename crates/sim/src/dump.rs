@@ -19,16 +19,16 @@ impl Network {
     pub fn occupancy_map(&self) -> String {
         let mesh = self.config().mesh;
         let cap = (self.config().num_vcs * self.config().vc_buffer_depth * PORT_COUNT) as f64;
+        let soa = self.datapath();
         let mut out = format!("cycle {}, {}\n", self.cycle(), mesh);
         for y in (0..mesh.height()).rev() {
             for x in 0..mesh.width() {
                 let node = mesh.node_at(footprint_topology::Coord::new(x, y));
-                let buffered: usize = self
-                    .router(node)
-                    .inputs()
-                    .iter()
-                    .flat_map(|p| p.vcs())
-                    .map(|vc| vc.len())
+                let buffered: usize = (0..PORT_COUNT)
+                    .map(|p| {
+                        let port = soa.input(node, p);
+                        port.vcs().map(|vc| vc.len()).sum::<usize>()
+                    })
                     .sum();
                 let frac = buffered as f64 / cap;
                 let glyph = match () {
@@ -51,17 +51,14 @@ impl Network {
     /// count and routing state, per output VC the allocation state, owner
     /// and credits. Intended for interactive debugging of a stuck scenario.
     pub fn dump_router(&self, node: footprint_topology::NodeId) -> String {
-        let router = self.router(node);
+        let soa = self.datapath();
         let mut out = format!("router {node} @ cycle {}\n", self.cycle());
-        for (pi, (input, output)) in router
-            .inputs()
-            .iter()
-            .zip(router.outputs().iter())
-            .enumerate()
-        {
+        for pi in 0..PORT_COUNT {
+            let input = soa.input(node, pi);
+            let output = soa.output(node, pi);
             let port = Port::from_index(pi);
             let _ = writeln!(out, "  port {port}:");
-            for (vi, vc) in input.vcs().iter().enumerate() {
+            for (vi, vc) in input.vcs().enumerate() {
                 if !vc.is_empty() || !matches!(vc.route(), crate::input::RouteState::Idle) {
                     let _ = writeln!(
                         out,
@@ -71,7 +68,7 @@ impl Network {
                     );
                 }
             }
-            for (vi, vc) in output.vcs().iter().enumerate() {
+            for (vi, vc) in output.vcs().enumerate() {
                 let interesting = !matches!(vc.state(), OutVcState::Idle)
                     || vc.owner().is_some()
                     || vc.credits() != vc.capacity();

@@ -96,7 +96,7 @@ impl Source {
             self.queue.pop_front();
             self.active_vc = None;
         }
-        if probe.wants_flit_events() {
+        if probe.wants_flit_events_of(crate::observe::FlitEventKind::Inject) {
             probe.flit_event(&crate::observe::FlitEvent {
                 kind: crate::observe::FlitEventKind::Inject,
                 node: self.node,
@@ -238,7 +238,7 @@ impl Sink {
             if let Some(flit) = self.vcs[v].pop_front() {
                 self.rr = (v + 1) % n;
                 debug_assert_eq!(flit.dest, self.node, "flit ejected at wrong node");
-                if probe.wants_flit_events() {
+                if probe.wants_flit_events_of(crate::observe::FlitEventKind::Eject) {
                     probe.flit_event(&crate::observe::FlitEvent {
                         kind: crate::observe::FlitEventKind::Eject,
                         node: self.node,

@@ -1,8 +1,12 @@
-//! Input-side VC state: flit FIFOs and per-VC routing state.
+//! Input-side VC state: the per-VC routing state machine.
+//!
+//! The backing data — flit FIFOs, route registers, occupancy counters —
+//! lives in the network-wide struct-of-arrays store ([`crate::NocSoa`]);
+//! this module keeps the `RouteState` vocabulary type that the store packs
+//! into its flat `u8` arrays and that read-only consumers (the sentinel,
+//! state dumps) still match on.
 
-use std::collections::VecDeque;
-
-use crate::packet::{Flit, PacketId};
+use crate::packet::PacketId;
 use footprint_topology::Port;
 
 /// Routing/allocation state of one input VC (tracks the packet at the front
@@ -24,285 +28,4 @@ pub enum RouteState {
         /// Granted output VC.
         out_vc: u8,
     },
-}
-
-/// One input VC: a bounded flit FIFO plus routing state.
-///
-/// The FIFO may hold flits of more than one packet (non-atomic VC
-/// reallocation and footprint joins both queue packets back to back); only
-/// the front packet is ever being routed or switched.
-#[derive(Debug)]
-pub struct InVc {
-    fifo: VecDeque<Flit>,
-    capacity: usize,
-    route: RouteState,
-}
-
-impl InVc {
-    /// Creates an empty VC buffer of `capacity` flits.
-    pub fn new(capacity: usize) -> Self {
-        InVc {
-            fifo: VecDeque::with_capacity(capacity),
-            capacity,
-            route: RouteState::Idle,
-        }
-    }
-
-    /// Buffer capacity in flits.
-    #[inline]
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// Number of buffered flits.
-    #[inline]
-    pub fn len(&self) -> usize {
-        self.fifo.len()
-    }
-
-    /// `true` when no flits are buffered.
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.fifo.is_empty()
-    }
-
-    /// Current routing state.
-    #[inline]
-    pub fn route(&self) -> RouteState {
-        self.route
-    }
-
-    /// The front flit, if any.
-    #[inline]
-    pub fn front(&self) -> Option<&Flit> {
-        self.fifo.front()
-    }
-
-    /// Accepts an arriving flit.
-    ///
-    /// Transitions `Idle → Waiting` when a head flit reaches the front.
-    ///
-    /// # Panics
-    ///
-    /// Panics on buffer overflow — arrivals are gated by credits upstream,
-    /// so an overflow indicates a flow-control bug.
-    pub fn push(&mut self, flit: Flit) {
-        assert!(self.fifo.len() < self.capacity, "input VC overflow");
-        self.fifo.push_back(flit);
-        self.refresh_route_state();
-    }
-
-    /// Pops the front flit after a switch grant.
-    ///
-    /// Returns the flit. When a tail leaves, the route state resets so a
-    /// queued-behind packet's head can be routed next.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the VC is empty or not `Active`.
-    pub fn pop_front_granted(&mut self) -> Flit {
-        let RouteState::Active { packet, .. } = self.route else {
-            panic!("pop without an active grant");
-        };
-        let flit = self.fifo.pop_front().expect("pop from empty input VC");
-        debug_assert_eq!(flit.packet, packet, "front flit not of the active packet");
-        if flit.is_tail() {
-            self.route = RouteState::Idle;
-            self.refresh_route_state();
-        }
-        flit
-    }
-
-    /// Records a VC-allocation grant for the waiting head packet.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the VC is not in `Waiting` state.
-    pub fn grant(&mut self, out_port: Port, out_vc: u8) {
-        assert_eq!(
-            self.route,
-            RouteState::Waiting,
-            "grant without a waiting head"
-        );
-        let packet = self.front().expect("waiting implies non-empty").packet;
-        self.route = RouteState::Active {
-            packet,
-            out_port,
-            out_vc,
-        };
-    }
-
-    /// `Idle → Waiting` when a head flit is at the front.
-    fn refresh_route_state(&mut self) {
-        if self.route == RouteState::Idle {
-            if let Some(f) = self.fifo.front() {
-                if f.is_head() {
-                    self.route = RouteState::Waiting;
-                }
-            }
-        }
-    }
-
-    /// Destinations of the buffered flits, in FIFO order (congestion-tree
-    /// analysis input).
-    pub fn dests(&self) -> Vec<footprint_topology::NodeId> {
-        let mut out = Vec::new();
-        self.dests_into(&mut out);
-        out
-    }
-
-    /// Appends the buffered flit destinations to `out` (FIFO order) without
-    /// allocating a fresh list — callers sampling every interval reuse one
-    /// buffer across samples.
-    pub fn dests_into(&self, out: &mut Vec<footprint_topology::NodeId>) {
-        out.extend(self.fifo.iter().map(|f| f.dest));
-    }
-
-    /// `true` if a head flit is waiting for VC allocation.
-    #[inline]
-    pub fn waiting(&self) -> bool {
-        self.route == RouteState::Waiting
-    }
-
-    /// `true` if the VC holds nothing and no grant is outstanding.
-    pub fn is_quiescent(&self) -> bool {
-        self.fifo.is_empty() && self.route == RouteState::Idle
-    }
-}
-
-/// An input port: one [`InVc`] per virtual channel.
-#[derive(Debug)]
-pub struct InputPort {
-    vcs: Vec<InVc>,
-}
-
-impl InputPort {
-    /// Creates an input port with `num_vcs` VCs of `capacity` flits each.
-    pub fn new(num_vcs: usize, capacity: usize) -> Self {
-        InputPort {
-            vcs: (0..num_vcs).map(|_| InVc::new(capacity)).collect(),
-        }
-    }
-
-    /// The VC table.
-    pub fn vcs(&self) -> &[InVc] {
-        &self.vcs
-    }
-
-    /// Mutable VC table.
-    pub fn vcs_mut(&mut self) -> &mut [InVc] {
-        &mut self.vcs
-    }
-
-    /// One VC.
-    pub fn vc(&self, vc: usize) -> &InVc {
-        &self.vcs[vc]
-    }
-
-    /// One VC, mutably.
-    pub fn vc_mut(&mut self, vc: usize) -> &mut InVc {
-        &mut self.vcs[vc]
-    }
-
-    /// Number of VCs whose buffers hold at least one flit (the occupancy
-    /// measure used by the DBAR side band).
-    pub fn occupied_vcs(&self) -> usize {
-        self.vcs.iter().filter(|v| !v.is_empty()).count()
-    }
-
-    /// `true` when all VCs are quiescent.
-    pub fn is_quiescent(&self) -> bool {
-        self.vcs.iter().all(InVc::is_quiescent)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::packet::FlitKind;
-    use footprint_topology::{Direction, NodeId};
-
-    fn flit(packet: u64, kind: FlitKind, seq: u16) -> Flit {
-        Flit {
-            packet: PacketId(packet),
-            kind,
-            src: NodeId(0),
-            dest: NodeId(3),
-            seq,
-            size: 3,
-            birth: 0,
-            class: 0,
-            vc: 0,
-        }
-    }
-
-    #[test]
-    fn head_arrival_triggers_waiting() {
-        let mut vc = InVc::new(4);
-        assert_eq!(vc.route(), RouteState::Idle);
-        vc.push(flit(1, FlitKind::Head, 0));
-        assert!(vc.waiting());
-    }
-
-    #[test]
-    fn grant_then_stream_then_reset_on_tail() {
-        let mut vc = InVc::new(4);
-        vc.push(flit(1, FlitKind::Head, 0));
-        vc.push(flit(1, FlitKind::Body, 1));
-        vc.push(flit(1, FlitKind::Tail, 2));
-        vc.grant(Port::Dir(Direction::East), 2);
-        assert!(matches!(vc.route(), RouteState::Active { out_vc: 2, .. }));
-        assert!(vc.pop_front_granted().is_head());
-        assert_eq!(vc.pop_front_granted().kind, FlitKind::Body);
-        assert!(vc.pop_front_granted().is_tail());
-        assert_eq!(vc.route(), RouteState::Idle);
-        assert!(vc.is_quiescent());
-    }
-
-    #[test]
-    fn queued_packet_becomes_waiting_after_tail_leaves() {
-        let mut vc = InVc::new(4);
-        vc.push(flit(1, FlitKind::Single, 0));
-        vc.grant(Port::Dir(Direction::East), 1);
-        // Second packet joins the FIFO behind the first.
-        let mut f = flit(2, FlitKind::Single, 0);
-        f.size = 1;
-        vc.push(f);
-        // Still active on packet 1.
-        assert!(matches!(
-            vc.route(),
-            RouteState::Active {
-                packet: PacketId(1),
-                ..
-            }
-        ));
-        let t = vc.pop_front_granted();
-        assert!(t.is_tail());
-        // Packet 2's head is now at the front → waiting.
-        assert!(vc.waiting());
-    }
-
-    #[test]
-    #[should_panic(expected = "overflow")]
-    fn overflow_panics() {
-        let mut vc = InVc::new(1);
-        vc.push(flit(1, FlitKind::Single, 0));
-        vc.push(flit(2, FlitKind::Single, 0));
-    }
-
-    #[test]
-    #[should_panic(expected = "grant without a waiting head")]
-    fn grant_without_head_panics() {
-        let mut vc = InVc::new(2);
-        vc.grant(Port::Local, 0);
-    }
-
-    #[test]
-    fn occupied_vcs_counts_nonempty() {
-        let mut port = InputPort::new(3, 2);
-        assert_eq!(port.occupied_vcs(), 0);
-        port.vc_mut(1).push(flit(1, FlitKind::Single, 0));
-        assert_eq!(port.occupied_vcs(), 1);
-        assert!(!port.is_quiescent());
-    }
 }

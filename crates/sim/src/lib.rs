@@ -58,6 +58,7 @@ mod router;
 mod sched;
 pub mod sentinel;
 mod sideband;
+mod soa;
 mod view;
 mod wire;
 mod workload;
@@ -65,17 +66,18 @@ mod workload;
 pub use config::{ConfigError, SimConfig};
 pub use endpoint::{Sink, Source};
 pub use fault::{FaultState, FaultView, UnreachablePolicy};
-pub use input::{InVc, InputPort, RouteState};
+pub use input::RouteState;
 pub use metrics::{ClassStats, EjectedPacket, Metrics, NullProbe, Probe, VaBlockInfo};
 pub use network::{Network, OccupiedVcEntry};
 pub use observe::{
     EventTrace, FlitEvent, FlitEventKind, InFlightPacket, ProbePair, StallDiagnostic,
     StallWatchdog, TraceRecord,
 };
-pub use output::{OutVc, OutVcState, OutputPort};
+pub use output::{OutVc, OutVcState};
 pub use packet::{Flit, FlitKind, NewPacket, PacketId, PendingPacket};
 pub use router::{FreedSlot, Router};
 pub use sched::Scheduler;
+pub use soa::{InPortRef, InVcRef, NocSoa, OutPortRef, OutVcRef};
 pub use sentinel::{
     DeadlockFinding, DeadlockMember, Sentinel, SentinelChannel, SentinelReport, SentinelViolation,
 };

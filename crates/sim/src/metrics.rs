@@ -95,6 +95,23 @@ pub trait Probe {
         false
     }
 
+    /// `true` to receive flit events of `kind` specifically. Each event
+    /// site samples this with its own kind once per cycle, so a probe that
+    /// needs only part of the lifecycle (the sentinel counts injects and
+    /// ejects) can decline the grant events and keep the allocators'
+    /// emission off the hot path. Defaults to [`Probe::wants_flit_events`].
+    ///
+    /// This gate is an optimization, not a filter contract: composed
+    /// probes ([`ProbePair`]) OR their subscriptions, so `flit_event` may
+    /// still deliver kinds a probe declined — subscribers must dispatch on
+    /// `event.kind` regardless.
+    ///
+    /// [`ProbePair`]: crate::observe::ProbePair
+    fn wants_flit_events_of(&self, kind: crate::observe::FlitEventKind) -> bool {
+        let _ = kind;
+        self.wants_flit_events()
+    }
+
     /// `true` to force the active-set scheduler to process every router,
     /// wire and endpoint on `cycle` — a *full tick*. Sampled once at cycle
     /// start. Probes whose audits must observe the whole network on their

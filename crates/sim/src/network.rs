@@ -12,6 +12,7 @@ use crate::packet::{NewPacket, PacketId};
 use crate::router::{FreedSlot, Router};
 use crate::sched::{SchedState, Scheduler};
 use crate::sideband::Sideband;
+use crate::soa::NocSoa;
 use crate::wire::{CreditMsg, Wire};
 use crate::workload::Workload;
 use footprint_routing::{dbar_threshold, RoutingAlgorithm};
@@ -54,6 +55,8 @@ pub struct OccupiedVcEntry {
 pub struct Network {
     cfg: SimConfig,
     algo: Box<dyn RoutingAlgorithm>,
+    /// The struct-of-arrays datapath state all routers operate on.
+    soa: NocSoa,
     routers: Vec<Router>,
     sources: Vec<Source>,
     sinks: Vec<Sink>,
@@ -129,9 +132,10 @@ impl Network {
         }
         let mesh = cfg.mesh;
         let n = mesh.len();
+        let soa = NocSoa::new(n, cfg.num_vcs, cfg.vc_buffer_depth, cfg.speedup);
         let routers = mesh
             .nodes()
-            .map(|node| Router::new(node, cfg.num_vcs, cfg.vc_buffer_depth, cfg.speedup))
+            .map(|node| Router::new(node, cfg.num_vcs))
             .collect();
         let sources = mesh
             .nodes()
@@ -155,6 +159,7 @@ impl Network {
         }
         Ok(Network {
             algo,
+            soa,
             routers,
             sources,
             sinks,
@@ -238,7 +243,7 @@ impl Network {
         if self.sched_resync_pending {
             self.sched_resync_pending = false;
             self.sched
-                .resync(&mut self.routers, &self.sinks, self.cycle);
+                .resync(&mut self.routers, &self.soa, &self.sinks, self.cycle);
         }
         let mesh = self.cfg.mesh;
         probe.cycle_start(self.cycle);
@@ -303,18 +308,24 @@ impl Network {
         }
         for &ni in &order {
             let node = NodeId(crate::cast::idx_u16(ni));
+            // Draining an empty pipe is a no-op, so every drain below is
+            // gated on `receivable` — the dense loop visits every node, and
+            // most of its wires carry nothing in a given cycle.
             // Source receives credits from the router's local input.
-            for c in self.inj_wires[ni].credits.drain() {
-                self.sources[ni].return_credit(c.vc);
+            if self.inj_wires[ni].credits.receivable() {
+                for c in self.inj_wires[ni].credits.drain() {
+                    self.sources[ni].return_credit(c.vc);
+                }
             }
             // Router local input receives injected flits.
             let mut arrived: u32 = 0;
-            for f in self.inj_wires[ni].flits.drain() {
-                let vc = f.vc as usize;
-                self.routers[ni].inputs_mut()[Port::Local.index()]
-                    .vc_mut(vc)
-                    .push(f);
-                arrived += 1;
+            if self.inj_wires[ni].flits.receivable() {
+                for f in self.inj_wires[ni].flits.drain() {
+                    let vc = f.vc as usize;
+                    let ivc = self.soa.ivc(node, Port::Local.index(), vc);
+                    self.soa.in_push(ivc, f);
+                    arrived += 1;
+                }
             }
             // Router outputs receive returned credits; the sink receives
             // ejected flits.
@@ -322,12 +333,13 @@ impl Network {
                 let Some(w) = self.out_wires[Self::wire_idx(node, port)].as_mut() else {
                     continue;
                 };
-                for c in w.credits.drain() {
-                    self.routers[ni].outputs_mut()[port]
-                        .vc_mut(c.vc as usize)
-                        .return_credit();
+                if w.credits.receivable() {
+                    for c in w.credits.drain() {
+                        let ivc = self.soa.ivc(node, port, c.vc as usize);
+                        self.soa.out_return_credit(ivc);
+                    }
                 }
-                if port == Port::Local.index() {
+                if port == Port::Local.index() && w.flits.receivable() {
                     for f in w.flits.drain() {
                         self.sinks[ni].push(f);
                         self.sched.sink_live.insert(ni);
@@ -343,11 +355,13 @@ impl Network {
                 let w = self.out_wires[upstream]
                     .as_mut()
                     .expect("symmetric neighbor wire");
+                if !w.flits.receivable() {
+                    continue;
+                }
                 for f in w.flits.drain() {
                     let vc = f.vc as usize;
-                    self.routers[ni].inputs_mut()[Port::Dir(d).index()]
-                        .vc_mut(vc)
-                        .push(f);
+                    let ivc = self.soa.ivc(node, Port::Dir(d).index(), vc);
+                    self.soa.in_push(ivc, f);
                     arrived += 1;
                 }
             }
@@ -364,14 +378,14 @@ impl Network {
         //    recomputes everything; otherwise only the bits fed by routers
         //    whose input occupancy changed since the last refresh.
         if full {
-            self.sideband.update(mesh, &self.routers);
+            self.sideband.update(mesh, &self.soa);
             self.sched.sideband_dirty.clear();
         } else {
             order.clear();
             self.sched.sideband_dirty.collect_into(&mut order);
             for &ni in &order {
                 self.sideband
-                    .refresh_from(mesh, &self.routers, NodeId(crate::cast::idx_u16(ni)));
+                    .refresh_from(mesh, &self.soa, NodeId(crate::cast::idx_u16(ni)));
             }
             self.sched.sideband_dirty.clear();
         }
@@ -455,11 +469,16 @@ impl Network {
             }
             self.sched.next_expected[ni] = self.cycle + 1;
             for port in 0..PORT_COUNT {
+                // Nothing staged means nothing to launch: skip the wire and
+                // fault checks entirely (`launch_allowed` is pure).
+                if self.soa.staged(self.soa.np(node, port)) == 0 {
+                    continue;
+                }
                 let wi = Self::wire_idx(node, port);
                 if self.out_wires[wi].is_some()
                     && self.faults.launch_allowed(node, port, self.cycle)
                 {
-                    if let Some(f) = self.routers[ni].launch(port) {
+                    if let Some(f) = self.routers[ni].launch(&mut self.soa, port) {
                         self.link_flits[wi] += 1;
                         self.out_wires[wi].as_mut().unwrap().flits.push(f);
                         self.sched.router_work[ni] =
@@ -468,6 +487,7 @@ impl Network {
                 }
             }
             self.routers[ni].vc_allocate(
+                &mut self.soa,
                 &*self.algo,
                 mesh,
                 &self.sideband,
@@ -478,7 +498,13 @@ impl Network {
             );
             let mut freed = std::mem::take(&mut self.freed_scratch);
             freed.clear();
-            self.routers[ni].switch_allocate(policy, self.cfg.speedup, &mut freed, probe);
+            self.routers[ni].switch_allocate(
+                &mut self.soa,
+                policy,
+                self.cfg.speedup,
+                &mut freed,
+                probe,
+            );
             if !freed.is_empty() {
                 // Switch traversal drained input slots: the occupancy the
                 // side band reads from this router changed.
@@ -628,7 +654,7 @@ impl Network {
                 .iter()
                 .flatten()
                 .all(Wire::is_quiescent)
-            && self.routers.iter().all(Router::is_quiescent)
+            && self.routers.iter().all(|r| r.is_quiescent(&self.soa))
             && self.sources.iter().all(Source::is_quiescent)
             && self.sinks.iter().all(Sink::is_quiescent)
             && self.retries.is_empty()
@@ -679,15 +705,22 @@ impl Network {
     /// occasional capacity growth.
     pub fn occupancy_snapshot_into(&self, out: &mut Vec<OccupiedVcEntry>) {
         let mut used = 0;
-        for router in &self.routers {
-            for (pi, port) in router.inputs().iter().enumerate() {
-                for (vi, vc) in port.vcs().iter().enumerate() {
+        for node in self.cfg.mesh.nodes() {
+            // Ports whose input FIFOs are all empty contribute nothing; the
+            // O(1) occupancy sideband skips them without scanning VCs.
+            for pi in 0..PORT_COUNT {
+                if self.soa.in_occupied(self.soa.np(node, pi)) == 0 {
+                    continue;
+                }
+                let port = self.soa.input(node, pi);
+                for vi in 0..self.cfg.num_vcs {
+                    let vc = port.vc(vi);
                     if vc.is_empty() {
                         continue;
                     }
                     if used < out.len() {
                         let e = &mut out[used];
-                        e.node = router.node();
+                        e.node = node;
                         e.in_port = Port::from_index(pi);
                         e.vc = crate::cast::vc_u8(vi);
                         e.dests.clear();
@@ -696,7 +729,7 @@ impl Network {
                         let mut dests = Vec::new();
                         vc.dests_into(&mut dests);
                         out.push(OccupiedVcEntry {
-                            node: router.node(),
+                            node,
                             in_port: Port::from_index(pi),
                             vc: crate::cast::vc_u8(vi),
                             dests,
@@ -714,24 +747,25 @@ impl Network {
         &self.routers[node.index()]
     }
 
-    /// Direct mutable access to a router.
+    /// Direct read access to the struct-of-arrays datapath state (tests,
+    /// sentinel, white-box analysis).
+    pub fn datapath(&self) -> &NocSoa {
+        &self.soa
+    }
+
+    /// Direct mutable access to the struct-of-arrays datapath state.
     ///
     /// This is a white-box testing hook: the sentinel's negative tests use
     /// it to corrupt credit counters or plant counterfeit flits and verify
     /// the violation is caught. Production code never needs it.
     ///
-    /// Mutating a router behind the scheduler's back invalidates the
+    /// Mutating the datapath behind the scheduler's back invalidates the
     /// active-set bookkeeping, so the next step rebuilds it from actual
     /// component state before running.
     #[doc(hidden)]
-    pub fn router_mut(&mut self, node: NodeId) -> &mut Router {
+    pub fn datapath_mut(&mut self) -> &mut NocSoa {
         self.sched_resync_pending = true;
-        &mut self.routers[node.index()]
-    }
-
-    /// All routers, in node-index order (sentinel census).
-    pub(crate) fn routers(&self) -> &[Router] {
-        &self.routers
+        &mut self.soa
     }
 
     /// All sources, in node-index order (sentinel census).

@@ -543,6 +543,10 @@ impl Probe for ProbePair<'_> {
         self.a.wants_flit_events() || self.b.wants_flit_events()
     }
 
+    fn wants_flit_events_of(&self, kind: FlitEventKind) -> bool {
+        self.a.wants_flit_events_of(kind) || self.b.wants_flit_events_of(kind)
+    }
+
     fn wants_full_tick(&self, cycle: u64) -> bool {
         self.a.wants_full_tick(cycle) || self.b.wants_full_tick(cycle)
     }

@@ -1,11 +1,16 @@
 //! Output-side VC state: credit counters, owner registers and the
 //! allocation state machine.
+//!
+//! Router output VCs live in the struct-of-arrays store ([`crate::NocSoa`])
+//! for cache-resident per-cycle scans; the object-based [`OutVc`] here
+//! backs the injection channels of [`crate::Source`] endpoints (one small
+//! array per node, outside the router hot loop) and remains the reference
+//! semantics the store's packed state machine must agree with.
 
 use footprint_routing::VcReallocationPolicy;
 use footprint_topology::NodeId;
-use std::collections::VecDeque;
 
-use crate::packet::{Flit, PacketId};
+use crate::packet::PacketId;
 
 /// Allocation state of one output VC (the upstream view of a downstream
 /// input VC).
@@ -155,98 +160,10 @@ impl OutVc {
     }
 }
 
-/// An output port: per-VC state plus a small staging FIFO that models the
-/// router's internal speedup (the crossbar can deliver up to `speedup` flits
-/// per cycle into the stage; the link drains one per cycle).
-#[derive(Debug)]
-pub struct OutputPort {
-    vcs: Vec<OutVc>,
-    stage: VecDeque<Flit>,
-    stage_capacity: usize,
-}
-
-impl OutputPort {
-    /// Creates an output port with `num_vcs` VCs of `vc_capacity` downstream
-    /// slots each and a staging FIFO of `stage_capacity` entries.
-    pub fn new(num_vcs: usize, vc_capacity: u32, stage_capacity: usize) -> Self {
-        OutputPort {
-            vcs: (0..num_vcs).map(|_| OutVc::new(vc_capacity)).collect(),
-            stage: VecDeque::with_capacity(stage_capacity),
-            stage_capacity,
-        }
-    }
-
-    /// The VC table.
-    pub fn vcs(&self) -> &[OutVc] {
-        &self.vcs
-    }
-
-    /// Mutable access to one VC.
-    pub fn vc_mut(&mut self, vc: usize) -> &mut OutVc {
-        &mut self.vcs[vc]
-    }
-
-    /// One VC.
-    pub fn vc(&self, vc: usize) -> &OutVc {
-        &self.vcs[vc]
-    }
-
-    /// Free slots in the staging FIFO.
-    pub fn stage_space(&self) -> usize {
-        self.stage_capacity - self.stage.len()
-    }
-
-    /// Pushes a flit that just crossed the switch.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the stage is full (the switch allocator must gate on
-    /// [`OutputPort::stage_space`]).
-    pub fn stage_push(&mut self, flit: Flit) {
-        assert!(self.stage.len() < self.stage_capacity, "stage overflow");
-        self.stage.push_back(flit);
-    }
-
-    /// Pops the next flit to launch onto the link (one per cycle).
-    pub fn stage_pop(&mut self) -> Option<Flit> {
-        self.stage.pop_front()
-    }
-
-    /// Number of staged flits.
-    pub fn staged(&self) -> usize {
-        self.stage.len()
-    }
-
-    /// Iterates the staged flits, next-to-launch first (read-only; the
-    /// sentinel attributes staged flits to their VCs during credit audits).
-    pub fn staged_flits(&self) -> impl Iterator<Item = &Flit> {
-        self.stage.iter()
-    }
-
-    /// `true` when every VC is quiescent and the stage is empty.
-    pub fn is_quiescent(&self) -> bool {
-        self.stage.is_empty() && self.vcs.iter().all(OutVc::is_quiescent)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{FlitKind, PacketId};
-
-    fn flit() -> Flit {
-        Flit {
-            packet: PacketId(1),
-            kind: FlitKind::Single,
-            src: NodeId(0),
-            dest: NodeId(1),
-            seq: 0,
-            size: 1,
-            birth: 0,
-            class: 0,
-            vc: 0,
-        }
-    }
+    use crate::packet::PacketId;
 
     #[test]
     fn atomic_vc_lifecycle() {
@@ -322,28 +239,4 @@ mod tests {
         vc.return_credit();
     }
 
-    #[test]
-    fn stage_respects_capacity_and_order() {
-        let mut port = OutputPort::new(2, 4, 2);
-        assert_eq!(port.stage_space(), 2);
-        let mut f1 = flit();
-        f1.seq = 0;
-        let mut f2 = flit();
-        f2.seq = 1;
-        port.stage_push(f1);
-        port.stage_push(f2);
-        assert_eq!(port.stage_space(), 0);
-        assert_eq!(port.stage_pop().unwrap().seq, 0);
-        assert_eq!(port.stage_pop().unwrap().seq, 1);
-        assert!(port.stage_pop().is_none());
-        assert!(port.is_quiescent());
-    }
-
-    #[test]
-    #[should_panic(expected = "stage overflow")]
-    fn stage_overflow_panics() {
-        let mut port = OutputPort::new(1, 4, 1);
-        port.stage_push(flit());
-        port.stage_push(flit());
-    }
 }

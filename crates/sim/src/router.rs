@@ -1,10 +1,15 @@
 //! The input-queued VC router: route computation, priority-based VC
 //! allocation and round-robin switch allocation with internal speedup.
+//!
+//! The router owns no datapath state: flit buffers, route registers,
+//! credits and stages live in the network-wide [`NocSoa`] arrays, and the
+//! router's allocators walk them through per-port bitmasks (waiting heads,
+//! active grants) instead of per-VC objects. Only the arbiter pointers and
+//! the per-cycle scratch buffers are per-router.
 
-use crate::input::{InputPort, RouteState};
 use crate::metrics::{Metrics, Probe, VaBlockInfo};
-use crate::output::OutputPort;
 use crate::packet::{Flit, PacketId};
+use crate::soa::NocSoa;
 use crate::view::RouterOutputsView;
 use footprint_routing::{
     CongestionView, LinkStateView, Priority, RoutingAlgorithm, RoutingCtx, VcId, VcRequest,
@@ -31,17 +36,18 @@ struct Requester {
     src: NodeId,
     dest: NodeId,
     class: u8,
+    /// Bit `p` set iff the request slice contains priority `p` — lets the
+    /// grant loop skip whole tiers without rescanning the slice.
+    pri_mask: u8,
     reqs: (u32, u32), // [start, end) into the flat request buffer
 }
 
 /// A mesh router: five input ports, five output ports, one VC allocator and
-/// one switch allocator.
+/// one switch allocator, all operating on the shared [`NocSoa`] state.
 #[derive(Debug)]
 pub struct Router {
     node: NodeId,
     num_vcs: usize,
-    inputs: Vec<InputPort>,
-    outputs: Vec<OutputPort>,
     va_rr: usize,
     sa_port_rr: usize,
     sa_vc_rr: usize,
@@ -52,18 +58,12 @@ pub struct Router {
 }
 
 impl Router {
-    /// Creates a router for `node` with `num_vcs` VCs of `buffer_depth`
-    /// flits per input port and `speedup`-deep output stages.
-    pub fn new(node: NodeId, num_vcs: usize, buffer_depth: usize, speedup: usize) -> Self {
+    /// Creates the router logic for `node` with `num_vcs` VCs per port
+    /// (the buffers themselves live in the [`NocSoa`] store).
+    pub fn new(node: NodeId, num_vcs: usize) -> Self {
         Router {
             node,
             num_vcs,
-            inputs: (0..PORT_COUNT)
-                .map(|_| InputPort::new(num_vcs, buffer_depth))
-                .collect(),
-            outputs: (0..PORT_COUNT)
-                .map(|_| OutputPort::new(num_vcs, crate::cast::idx_u32(buffer_depth), speedup))
-                .collect(),
             va_rr: 0,
             sa_port_rr: 0,
             sa_vc_rr: 0,
@@ -78,49 +78,24 @@ impl Router {
         self.node
     }
 
-    /// Input ports (indexable by [`Port::index`]).
-    pub fn inputs(&self) -> &[InputPort] {
-        &self.inputs
-    }
-
-    /// Mutable input ports.
-    pub fn inputs_mut(&mut self) -> &mut [InputPort] {
-        &mut self.inputs
-    }
-
-    /// Output ports.
-    pub fn outputs(&self) -> &[OutputPort] {
-        &self.outputs
-    }
-
-    /// Mutable output ports.
-    pub fn outputs_mut(&mut self) -> &mut [OutputPort] {
-        &mut self.outputs
-    }
-
     /// Pops the next flit to launch from output port `port` (one per cycle
     /// per link).
-    pub fn launch(&mut self, port: usize) -> Option<Flit> {
-        self.outputs[port].stage_pop()
+    pub fn launch(&self, soa: &mut NocSoa, port: usize) -> Option<Flit> {
+        soa.stage_pop(soa.np(self.node, port))
     }
 
     /// `true` when no flits or grants are outstanding anywhere in the
     /// router.
-    pub fn is_quiescent(&self) -> bool {
-        self.inputs.iter().all(InputPort::is_quiescent)
-            && self.outputs.iter().all(OutputPort::is_quiescent)
+    pub fn is_quiescent(&self, soa: &NocSoa) -> bool {
+        soa.router_quiescent(self.node)
     }
 
     /// Flits currently resident in the router: buffered in input VCs or
     /// staged at output ports. The active-set scheduler keeps a running
     /// copy of this count and processes the router only while it is
     /// nonzero.
-    pub fn resident_flits(&self) -> usize {
-        self.inputs
-            .iter()
-            .map(|p| p.vcs().iter().map(crate::input::InVc::len).sum::<usize>())
-            .sum::<usize>()
-            + self.outputs.iter().map(OutputPort::staged).sum::<usize>()
+    pub fn resident_flits(&self, soa: &NocSoa) -> usize {
+        soa.resident_flits(self.node)
     }
 
     /// Advances the switch-allocator round-robin pointers as if
@@ -145,6 +120,7 @@ impl Router {
     #[allow(clippy::too_many_arguments)]
     pub fn vc_allocate(
         &mut self,
+        soa: &mut NocSoa,
         algo: &dyn RoutingAlgorithm,
         mesh: Mesh,
         congestion: &dyn CongestionView,
@@ -153,25 +129,32 @@ impl Router {
         metrics: &mut Metrics,
         probe: &mut dyn Probe,
     ) {
+        let np0 = soa.np(self.node, 0);
+        // Fast path: no waiting heads anywhere — nothing to arbitrate, no
+        // RNG draws, and `va_rr` would not advance either way.
+        if (0..PORT_COUNT).all(|p| soa.waiting_mask(np0 + p) == 0) {
+            return;
+        }
         let policy = algo.policy();
         let has_escape = algo.has_escape();
         let allows_join = algo.allows_footprint_join();
-        let events = probe.wants_flit_events();
+        let events = probe.wants_flit_events_of(crate::observe::FlitEventKind::VcGrant);
 
         // Phase 1 (read-only): evaluate the routing function for every
-        // waiting head.
+        // waiting head, in ascending (port, vc) order.
         let mut reqs = std::mem::take(&mut self.scratch_reqs);
         let mut requesters = std::mem::take(&mut self.scratch_requesters);
         reqs.clear();
         requesters.clear();
         {
-            let view = RouterOutputsView::new(&self.outputs, policy, self.num_vcs);
-            for (ip, input) in self.inputs.iter().enumerate() {
-                for (iv, invc) in input.vcs().iter().enumerate() {
-                    if !invc.waiting() {
-                        continue;
-                    }
-                    let head = invc.front().expect("waiting implies a front flit");
+            let view = RouterOutputsView::new(soa, self.node, policy);
+            for ip in 0..PORT_COUNT {
+                let mut wmask = soa.waiting_mask(np0 + ip);
+                while wmask != 0 {
+                    let iv = wmask.trailing_zeros() as usize;
+                    wmask &= wmask - 1;
+                    let ivc = (np0 + ip) * self.num_vcs + iv;
+                    let head = soa.in_front(ivc).expect("waiting implies a front flit");
                     debug_assert!(head.is_head());
                     let ctx = RoutingCtx {
                         mesh,
@@ -189,6 +172,10 @@ impl Router {
                     let start = crate::cast::idx_u32(reqs.len());
                     algo.route(&ctx, rng, &mut reqs);
                     let end = crate::cast::idx_u32(reqs.len());
+                    let mut pri_mask = 0u8;
+                    for req in &reqs[start as usize..end as usize] {
+                        pri_mask |= 1 << req.priority as u8;
+                    }
                     requesters.push(Requester {
                         in_port: ip,
                         in_vc: iv,
@@ -196,6 +183,7 @@ impl Router {
                         src: head.src,
                         dest: head.dest,
                         class: head.class,
+                        pri_mask,
                         reqs: (start, end),
                     });
                 }
@@ -207,16 +195,29 @@ impl Router {
         let mut granted = std::mem::take(&mut self.scratch_granted);
         granted.clear();
         granted.resize(n, false);
-        let mut taken = [false; PORT_COUNT * 64];
+        // Per-port bitmask of output VCs granted this cycle (bit = VC index).
+        let mut taken = [0u64; PORT_COUNT];
+        let vc_base = np0 * self.num_vcs;
         if n > 0 {
             let start = self.va_rr % n;
-            for pri in Priority::DESCENDING {
+            let mut ungranted = n;
+            let all_pris = requesters.iter().fold(0u8, |m, r| m | r.pri_mask);
+            'tiers: for pri in Priority::DESCENDING {
+                if all_pris & (1 << pri as u8) == 0 {
+                    continue;
+                }
                 for k in 0..n {
+                    if ungranted == 0 {
+                        break 'tiers;
+                    }
                     let i = (start + k) % n;
                     if granted[i] {
                         continue;
                     }
                     let r = requesters[i];
+                    if r.pri_mask & (1 << pri as u8) == 0 {
+                        continue;
+                    }
                     let slice = &reqs[r.reqs.0 as usize..r.reqs.1 as usize];
                     // Rotate the scan start per requester and per cycle so
                     // equal-priority requests behave like a round-robin VC
@@ -240,21 +241,22 @@ impl Router {
                         }
                         let p = req.port.index();
                         let v = req.vc.index();
-                        let key = p * 64 + v;
-                        if taken[key] {
+                        if taken[p] & (1 << v) != 0 {
                             continue;
                         }
-                        let ovc = self.outputs[p].vc(v);
-                        let fresh = ovc.idle_for(policy);
+                        let ovc = vc_base + p * self.num_vcs + v;
+                        let fresh = soa.out_idle_for(ovc, policy);
                         let join = allows_join
                             && !(has_escape && v == 0)
-                            && ovc.joinable_by(r.dest);
+                            && soa.out_joinable_by(ovc, r.dest);
                         if fresh || join {
                             let vc = crate::cast::vc_u8(v);
-                            self.outputs[p].vc_mut(v).allocate(r.packet, r.dest);
-                            self.inputs[r.in_port]
-                                .vc_mut(r.in_vc)
-                                .grant(req.port, vc);
+                            soa.out_allocate(ovc, r.packet, r.dest);
+                            soa.in_grant(
+                                (np0 + r.in_port) * self.num_vcs + r.in_vc,
+                                req.port,
+                                vc,
+                            );
                             if events {
                                 probe.flit_event(&crate::observe::FlitEvent {
                                     kind: crate::observe::FlitEventKind::VcGrant,
@@ -268,8 +270,9 @@ impl Router {
                                     head: true,
                                 });
                             }
-                            taken[key] = true;
+                            taken[p] |= 1 << v;
                             granted[i] = true;
+                            ungranted -= 1;
                             break;
                         }
                     }
@@ -287,7 +290,7 @@ impl Router {
             if slice.is_empty() {
                 continue;
             }
-            let (fp, busy) = self.port_occupancy_for(slice, r.dest, policy);
+            let (fp, busy) = self.port_occupancy_for(soa, slice, r.dest, policy);
             let info = VaBlockInfo {
                 node: self.node,
                 packet: r.packet,
@@ -321,6 +324,7 @@ impl Router {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn recompute_requests(
         &self,
+        soa: &NocSoa,
         algo: &dyn RoutingAlgorithm,
         mesh: Mesh,
         congestion: &dyn CongestionView,
@@ -330,12 +334,12 @@ impl Router {
         rng: &mut dyn rand::RngCore,
         out: &mut Vec<VcRequest>,
     ) -> bool {
-        let invc = self.inputs[in_port].vc(in_vc);
-        if !invc.waiting() {
+        let ivc = soa.ivc(self.node, in_port, in_vc);
+        if !soa.waiting(ivc) {
             return false;
         }
-        let head = invc.front().expect("waiting implies a front flit");
-        let view = RouterOutputsView::new(&self.outputs, algo.policy(), self.num_vcs);
+        let head = soa.in_front(ivc).expect("waiting implies a front flit");
+        let view = RouterOutputsView::new(soa, self.node, algo.policy());
         let ctx = RoutingCtx {
             mesh,
             current: self.node,
@@ -357,23 +361,25 @@ impl Router {
     /// set — the purity inputs of §4.3.
     fn port_occupancy_for(
         &self,
+        soa: &NocSoa,
         reqs: &[VcRequest],
         dest: NodeId,
         policy: footprint_routing::VcReallocationPolicy,
     ) -> (u32, u32) {
         let mut seen = [false; PORT_COUNT];
         let (mut fp, mut busy) = (0, 0);
+        let d = u32::from(dest.0);
         for req in reqs {
             let p = req.port.index();
             if seen[p] {
                 continue;
             }
             seen[p] = true;
-            for v in 0..self.num_vcs {
-                let ovc = self.outputs[p].vc(v);
-                if !ovc.idle_for(policy) {
+            let (states, owners) = soa.out_port_slices(soa.np(self.node, p));
+            for (&s, &o) in states.iter().zip(owners) {
+                if !NocSoa::packed_idle(s, policy) {
                     busy += 1;
-                    if ovc.owner() == Some(dest) {
+                    if o == d {
                         fp += 1;
                     }
                 }
@@ -387,70 +393,80 @@ impl Router {
     /// and stage space. Returns the freed buffer slots through `freed`.
     pub fn switch_allocate(
         &mut self,
+        soa: &mut NocSoa,
         policy: footprint_routing::VcReallocationPolicy,
         speedup: usize,
         freed: &mut Vec<FreedSlot>,
         probe: &mut dyn Probe,
     ) {
-        let events = probe.wants_flit_events();
+        let events = probe.wants_flit_events_of(crate::observe::FlitEventKind::SaGrant);
+        let np0 = soa.np(self.node, 0);
+        let vc_base = np0 * self.num_vcs;
         let mut out_budget = [speedup; PORT_COUNT];
         let mut stage_space = [0usize; PORT_COUNT];
-        for (space, output) in stage_space.iter_mut().zip(&self.outputs) {
-            *space = output.stage_space();
+        for (p, space) in stage_space.iter_mut().enumerate() {
+            *space = soa.stage_space(np0 + p);
         }
         for k in 0..PORT_COUNT {
             let ip = (self.sa_port_rr + k) % PORT_COUNT;
+            // Ports with no active grants have nothing to traverse. The
+            // rotated scan visits exactly the granted VCs, in the order the
+            // dense `(sa_vc_rr + j) % num_vcs` walk would reach them:
+            // ascending from the rotation point, then the wrapped prefix.
+            let amask = soa.active_mask(np0 + ip);
+            if amask == 0 {
+                continue;
+            }
+            let rot = NocSoa::vc_range_mask(self.sa_vc_rr % self.num_vcs, self.num_vcs);
             let mut in_budget = speedup;
-            for j in 0..self.num_vcs {
-                if in_budget == 0 {
-                    break;
-                }
-                let iv = (self.sa_vc_rr + j) % self.num_vcs;
-                let RouteState::Active {
-                    out_port, out_vc, ..
-                } = self.inputs[ip].vc(iv).route()
-                else {
-                    continue;
-                };
-                let p = out_port.index();
-                if out_budget[p] == 0 || stage_space[p] == 0 {
-                    continue;
-                }
-                if self.inputs[ip].vc(iv).front().is_none() {
-                    continue;
-                }
-                if self.outputs[p].vc(out_vc as usize).credits() == 0 {
-                    continue;
-                }
-                // Grant: traverse the switch.
-                let mut flit = self.inputs[ip].vc_mut(iv).pop_front_granted();
-                flit.vc = out_vc;
-                let ovc = self.outputs[p].vc_mut(out_vc as usize);
-                ovc.consume_credit();
-                if flit.is_tail() {
-                    ovc.tail_sent(policy);
-                }
-                if events {
-                    probe.flit_event(&crate::observe::FlitEvent {
-                        kind: crate::observe::FlitEventKind::SaGrant,
-                        node: self.node,
-                        packet: flit.packet,
-                        src: flit.src,
-                        dest: flit.dest,
-                        class: flit.class,
-                        port: out_port,
-                        vc: out_vc,
-                        head: flit.is_head(),
+            'inputs: for mut bits in [amask & rot, amask & !rot] {
+                while bits != 0 {
+                    if in_budget == 0 {
+                        break 'inputs;
+                    }
+                    let iv = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let ivc = (np0 + ip) * self.num_vcs + iv;
+                    let (p, out_vc) = soa.route_target(ivc);
+                    if out_budget[p] == 0 || stage_space[p] == 0 {
+                        continue;
+                    }
+                    if soa.in_len(ivc) == 0 {
+                        continue;
+                    }
+                    let ovc = vc_base + p * self.num_vcs + out_vc as usize;
+                    if soa.out_credits(ovc) == 0 {
+                        continue;
+                    }
+                    // Grant: traverse the switch.
+                    let mut flit = soa.in_pop_granted(ivc);
+                    flit.vc = out_vc;
+                    soa.out_consume_credit(ovc);
+                    if flit.is_tail() {
+                        soa.out_tail_sent(ovc, policy);
+                    }
+                    if events {
+                        probe.flit_event(&crate::observe::FlitEvent {
+                            kind: crate::observe::FlitEventKind::SaGrant,
+                            node: self.node,
+                            packet: flit.packet,
+                            src: flit.src,
+                            dest: flit.dest,
+                            class: flit.class,
+                            port: Port::from_index(p),
+                            vc: out_vc,
+                            head: flit.is_head(),
+                        });
+                    }
+                    soa.stage_push(np0 + p, flit);
+                    stage_space[p] -= 1;
+                    out_budget[p] -= 1;
+                    in_budget -= 1;
+                    freed.push(FreedSlot {
+                        in_port: ip,
+                        vc: crate::cast::vc_u8(iv),
                     });
                 }
-                self.outputs[p].stage_push(flit);
-                stage_space[p] -= 1;
-                out_budget[p] -= 1;
-                in_budget -= 1;
-                freed.push(FreedSlot {
-                    in_port: ip,
-                    vc: crate::cast::vc_u8(iv),
-                });
             }
         }
         self.sa_port_rr = (self.sa_port_rr + 1) % PORT_COUNT;
@@ -461,6 +477,7 @@ impl Router {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::input::RouteState;
     use crate::metrics::NullProbe;
     use crate::packet::FlitKind;
     use footprint_routing::{AllLinksUp, Dor, Footprint, NoCongestionInfo};
@@ -481,9 +498,10 @@ mod tests {
         }
     }
 
-    fn setup() -> (Router, Mesh, SmallRng, Metrics, NullProbe) {
+    fn setup() -> (Router, NocSoa, Mesh, SmallRng, Metrics, NullProbe) {
         (
-            Router::new(NodeId(0), 4, 4, 2),
+            Router::new(NodeId(0), 4),
+            NocSoa::new(1, 4, 4, 2),
             Mesh::square(4),
             SmallRng::seed_from_u64(9),
             Metrics::new(),
@@ -493,43 +511,41 @@ mod tests {
 
     #[test]
     fn dor_head_gets_granted_and_traverses() {
-        let (mut r, mesh, mut rng, mut m, mut probe) = setup();
+        let (mut r, mut soa, mesh, mut rng, mut m, mut probe) = setup();
         // Head arrives on the local input VC 0, destined to n3 (east).
-        r.inputs_mut()[Port::Local.index()]
-            .vc_mut(0)
-            .push(flit_to(3, 1));
-        r.vc_allocate(&Dor, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut m, &mut probe);
+        soa.in_push(soa.ivc(NodeId(0), Port::Local.index(), 0), flit_to(3, 1));
+        r.vc_allocate(&mut soa, &Dor, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut m, &mut probe);
         let east = Port::Dir(Direction::East).index();
-        // Granted: one of East's VCs is now active.
+        // Granted: the local VC is now active.
         assert!(matches!(
-            r.inputs()[Port::Local.index()].vc(0).route(),
+            soa.route(soa.ivc(NodeId(0), Port::Local.index(), 0)),
             RouteState::Active { .. }
         ));
         let mut freed = Vec::new();
-        r.switch_allocate(Dor.policy(), 2, &mut freed, &mut probe);
+        r.switch_allocate(&mut soa, Dor.policy(), 2, &mut freed, &mut probe);
         assert_eq!(freed.len(), 1);
         assert_eq!(freed[0].in_port, Port::Local.index());
         // Flit staged at the east output.
-        let f = r.launch(east).expect("flit staged");
+        let f = r.launch(&mut soa, east).expect("flit staged");
         assert_eq!(f.dest, NodeId(3));
         assert_eq!(m.va_blocks, 0);
     }
 
     #[test]
     fn exhausted_outputs_block_and_are_accounted() {
-        let (mut r, mesh, mut rng, mut m, mut probe) = setup();
+        let (mut r, mut soa, mesh, mut rng, mut m, mut probe) = setup();
         let east = Port::Dir(Direction::East).index();
         // Saturate all 4 east VCs with other-destination packets.
         for v in 0..4 {
-            r.outputs_mut()[east]
-                .vc_mut(v)
-                .allocate(PacketId(100 + v as u64), NodeId(1));
+            soa.out_allocate(
+                soa.ivc(NodeId(0), east, v),
+                PacketId(100 + v as u64),
+                NodeId(1),
+            );
         }
-        r.inputs_mut()[Port::Local.index()]
-            .vc_mut(0)
-            .push(flit_to(3, 1));
-        r.vc_allocate(&Dor, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut m, &mut probe);
-        assert!(r.inputs()[Port::Local.index()].vc(0).waiting());
+        soa.in_push(soa.ivc(NodeId(0), Port::Local.index(), 0), flit_to(3, 1));
+        r.vc_allocate(&mut soa, &Dor, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut m, &mut probe);
+        assert!(soa.waiting(soa.ivc(NodeId(0), Port::Local.index(), 0)));
         assert_eq!(m.va_blocks, 1);
         assert_eq!(m.purity_events, 1);
         assert!((m.mean_purity() - 0.0).abs() < 1e-12, "no footprints");
@@ -537,25 +553,26 @@ mod tests {
 
     #[test]
     fn footprint_join_grants_draining_vc_to_same_destination() {
-        let (mut r, mesh, mut rng, mut m, mut probe) = setup();
+        let (mut r, mut soa, mesh, mut rng, mut m, mut probe) = setup();
         let algo = Footprint::new().with_join();
         let east = Port::Dir(Direction::East).index();
         // All adaptive east VCs busy; VC1 is draining traffic to n3.
         for v in 1..4 {
-            r.outputs_mut()[east]
-                .vc_mut(v)
-                .allocate(PacketId(100 + v as u64), if v == 1 { NodeId(3) } else { NodeId(1) });
-            r.outputs_mut()[east].vc_mut(v).consume_credit();
+            let ovc = soa.ivc(NodeId(0), east, v);
+            soa.out_allocate(
+                ovc,
+                PacketId(100 + v as u64),
+                if v == 1 { NodeId(3) } else { NodeId(1) },
+            );
+            soa.out_consume_credit(ovc);
             if v == 1 {
-                r.outputs_mut()[east].vc_mut(v).tail_sent(algo.policy());
+                soa.out_tail_sent(ovc, algo.policy());
             }
         }
-        r.inputs_mut()[Port::Local.index()]
-            .vc_mut(1)
-            .push(flit_to(3, 1));
-        r.vc_allocate(&algo, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut m, &mut probe);
+        soa.in_push(soa.ivc(NodeId(0), Port::Local.index(), 1), flit_to(3, 1));
+        r.vc_allocate(&mut soa, &algo, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut m, &mut probe);
         // Granted via join onto VC1 (the footprint VC).
-        match r.inputs()[Port::Local.index()].vc(1).route() {
+        match soa.route(soa.ivc(NodeId(0), Port::Local.index(), 1)) {
             RouteState::Active { out_vc, out_port, .. } => {
                 assert_eq!(out_vc, 1);
                 assert_eq!(out_port, Port::Dir(Direction::East));
@@ -566,28 +583,25 @@ mod tests {
 
     #[test]
     fn dbar_cannot_reuse_draining_vc() {
-        let (mut r, mesh, mut rng, mut m, mut probe) = setup();
+        let (mut r, mut soa, mesh, mut rng, mut m, mut probe) = setup();
         let algo = footprint_routing::Dbar;
         let east = Port::Dir(Direction::East).index();
         let north = Port::Dir(Direction::North).index();
         for port in [east, north] {
             for v in 1..4 {
-                r.outputs_mut()[port]
-                    .vc_mut(v)
-                    .allocate(PacketId(100 + (port * 4 + v) as u64), NodeId(3));
-                r.outputs_mut()[port].vc_mut(v).consume_credit();
-                r.outputs_mut()[port].vc_mut(v).tail_sent(algo.policy());
+                let ovc = soa.ivc(NodeId(0), port, v);
+                soa.out_allocate(ovc, PacketId(100 + (port * 4 + v) as u64), NodeId(3));
+                soa.out_consume_credit(ovc);
+                soa.out_tail_sent(ovc, algo.policy());
             }
         }
         // Also block the escape VC on the DOR port (east).
-        r.outputs_mut()[east].vc_mut(0).allocate(PacketId(99), NodeId(1));
-        r.inputs_mut()[Port::Local.index()]
-            .vc_mut(1)
-            .push(flit_to(3, 1));
-        r.vc_allocate(&algo, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut m, &mut probe);
+        soa.out_allocate(soa.ivc(NodeId(0), east, 0), PacketId(99), NodeId(1));
+        soa.in_push(soa.ivc(NodeId(0), Port::Local.index(), 1), flit_to(3, 1));
+        r.vc_allocate(&mut soa, &algo, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut m, &mut probe);
         // DBAR has no footprint joins: the packet stays blocked even though
         // draining VCs to its destination exist.
-        assert!(r.inputs()[Port::Local.index()].vc(1).waiting());
+        assert!(soa.waiting(soa.ivc(NodeId(0), Port::Local.index(), 1)));
         assert_eq!(m.va_blocks, 1);
         // Purity: all busy VCs at east + escape... footprint share is high
         // but DBAR cannot exploit it.
@@ -596,51 +610,50 @@ mod tests {
 
     #[test]
     fn speedup_limits_switch_grants_per_port() {
-        let (mut r, mesh, mut rng, mut m, mut probe) = setup();
+        let (mut r, mut soa, mesh, mut rng, mut m, mut probe) = setup();
         // Three packets from three different input ports all heading east.
         let dests = 3u16;
         for (ip, pkt) in [(Port::Local.index(), 1u64), (2, 2), (3, 3)] {
             let mut f = flit_to(dests, pkt);
             f.vc = 1;
-            r.inputs_mut()[ip].vc_mut(1).push(f);
+            soa.in_push(soa.ivc(NodeId(0), ip, 1), f);
         }
-        r.vc_allocate(&Dor, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut m, &mut probe);
+        r.vc_allocate(&mut soa, &Dor, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut m, &mut probe);
         let mut freed = Vec::new();
-        r.switch_allocate(Dor.policy(), 2, &mut freed, &mut probe);
+        r.switch_allocate(&mut soa, Dor.policy(), 2, &mut freed, &mut probe);
         // Only 2 can cross to the east output this cycle (speedup 2).
         assert_eq!(freed.len(), 2);
         let east = Port::Dir(Direction::East).index();
-        assert_eq!(r.outputs()[east].staged(), 2);
+        assert_eq!(soa.staged(soa.np(NodeId(0), east)), 2);
     }
 
     #[test]
     fn switch_respects_credits() {
-        let (mut r, mesh, mut rng, mut m, mut probe) = setup();
+        let (mut r, mut soa, mesh, mut rng, mut m, mut probe) = setup();
         let east = Port::Dir(Direction::East).index();
-        // Put a granted packet on local VC0 → east VC1 with zero credits.
-        r.inputs_mut()[Port::Local.index()]
-            .vc_mut(0)
-            .push(flit_to(3, 1));
-        r.vc_allocate(&Dor, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut m, &mut probe);
-        let RouteState::Active { out_vc, .. } = r.inputs()[Port::Local.index()].vc(0).route()
+        // Put a granted packet on local VC0 → east with zero credits.
+        soa.in_push(soa.ivc(NodeId(0), Port::Local.index(), 0), flit_to(3, 1));
+        r.vc_allocate(&mut soa, &Dor, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut m, &mut probe);
+        let RouteState::Active { out_vc, .. } =
+            soa.route(soa.ivc(NodeId(0), Port::Local.index(), 0))
         else {
             panic!("expected grant");
         };
         for _ in 0..4 {
-            r.outputs_mut()[east].vc_mut(out_vc as usize).consume_credit();
+            soa.out_consume_credit(soa.ivc(NodeId(0), east, out_vc as usize));
         }
         let mut freed = Vec::new();
-        r.switch_allocate(Dor.policy(), 2, &mut freed, &mut probe);
+        r.switch_allocate(&mut soa, Dor.policy(), 2, &mut freed, &mut probe);
         assert!(freed.is_empty(), "no credits, no traversal");
     }
 
     #[test]
     fn arbiter_catchup_matches_idle_dense_ticks() {
-        let (mut a, _mesh, _rng, _m, mut probe) = setup();
-        let mut b = Router::new(NodeId(0), 4, 4, 2);
+        let (mut a, mut soa, _mesh, _rng, _m, mut probe) = setup();
+        let mut b = Router::new(NodeId(0), 4);
         let mut freed = Vec::new();
         for _ in 0..7 {
-            a.switch_allocate(Dor.policy(), 2, &mut freed, &mut probe);
+            a.switch_allocate(&mut soa, Dor.policy(), 2, &mut freed, &mut probe);
         }
         assert!(freed.is_empty(), "idle router must move nothing");
         b.advance_arbiters(7);
@@ -650,27 +663,25 @@ mod tests {
 
     #[test]
     fn resident_flits_counts_inputs_and_stages() {
-        let (mut r, mesh, mut rng, mut m, mut probe) = setup();
-        assert_eq!(r.resident_flits(), 0);
-        r.inputs_mut()[Port::Local.index()]
-            .vc_mut(0)
-            .push(flit_to(3, 1));
-        assert_eq!(r.resident_flits(), 1);
-        r.vc_allocate(&Dor, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut m, &mut probe);
+        let (mut r, mut soa, mesh, mut rng, mut m, mut probe) = setup();
+        assert_eq!(r.resident_flits(&soa), 0);
+        soa.in_push(soa.ivc(NodeId(0), Port::Local.index(), 0), flit_to(3, 1));
+        assert_eq!(r.resident_flits(&soa), 1);
+        r.vc_allocate(&mut soa, &Dor, mesh, &NoCongestionInfo, &AllLinksUp, &mut rng, &mut m, &mut probe);
         let mut freed = Vec::new();
-        r.switch_allocate(Dor.policy(), 2, &mut freed, &mut probe);
+        r.switch_allocate(&mut soa, Dor.policy(), 2, &mut freed, &mut probe);
         // Traversal moves the flit input → output stage: still resident.
-        assert_eq!(r.resident_flits(), 1);
+        assert_eq!(r.resident_flits(&soa), 1);
         let east = Port::Dir(Direction::East).index();
-        r.launch(east).expect("flit staged");
-        assert_eq!(r.resident_flits(), 0);
+        r.launch(&mut soa, east).expect("flit staged");
+        assert_eq!(r.resident_flits(&soa), 0);
     }
 
     #[test]
     fn quiescence_detects_outstanding_state() {
-        let (mut r, _mesh, _rng, _m, _probe) = setup();
-        assert!(r.is_quiescent());
-        r.inputs_mut()[0].vc_mut(0).push(flit_to(3, 1));
-        assert!(!r.is_quiescent());
+        let (r, mut soa, _mesh, _rng, _m, _probe) = setup();
+        assert!(r.is_quiescent(&soa));
+        soa.in_push(soa.ivc(NodeId(0), 0, 0), flit_to(3, 1));
+        assert!(!r.is_quiescent(&soa));
     }
 }

@@ -144,6 +144,7 @@ impl SchedState {
     pub fn resync(
         &mut self,
         routers: &mut [crate::router::Router],
+        soa: &crate::soa::NocSoa,
         sinks: &[crate::endpoint::Sink],
         cycle: u64,
     ) {
@@ -155,7 +156,7 @@ impl SchedState {
                 router.advance_arbiters(lag);
             }
             self.next_expected[ni] = cycle;
-            let work = crate::cast::idx_u32(router.resident_flits());
+            let work = crate::cast::idx_u32(router.resident_flits(soa));
             self.router_work[ni] = work;
             if work > 0 {
                 self.live.insert(ni);

@@ -375,6 +375,14 @@ impl Probe for Sentinel {
         true
     }
 
+    /// Only the census endpoints matter here: the conservation ledger
+    /// counts injects and ejects, so the allocators' grant events can stay
+    /// un-constructed — which is most of an audited run's overhead now
+    /// that the datapath itself is cheap.
+    fn wants_flit_events_of(&self, kind: FlitEventKind) -> bool {
+        matches!(kind, FlitEventKind::Inject | FlitEventKind::Eject)
+    }
+
     /// The census must see the whole network on audit cycles: the
     /// active-set scheduler falls back to a full tick on every
     /// conservation and deadlock stride so no router state is stale when
@@ -476,15 +484,9 @@ fn check_flit_conservation(net: &Network, injected: u64, ejected: u64) -> Option
     for w in net.inj_wires() {
         resident += w.flits.in_flight() as u64;
     }
-    for router in net.routers() {
-        for port in router.inputs() {
-            for vc in port.vcs() {
-                resident += vc.len() as u64;
-            }
-        }
-        for port in router.outputs() {
-            resident += port.staged() as u64;
-        }
+    for node in net.config().mesh.nodes() {
+        // Inputs + output stages, exactly the router-resident places.
+        resident += net.datapath().resident_flits(node) as u64;
     }
     for node in net.config().mesh.nodes() {
         for port in 0..PORT_COUNT {
@@ -520,7 +522,7 @@ fn check_credit_conservation(net: &Network) -> Option<SentinelViolation> {
         // Injection channel: source OutVcs vs the router's Local input.
         let wire = &net.inj_wires()[ni];
         count_wire(wire, num_vcs, &mut wire_flits, &mut wire_credits);
-        let local_input = &net.routers()[ni].inputs()[Port::Local.index()];
+        let local_input = net.datapath().input(node, Port::Local.index());
         for (v, up) in net.sources()[ni].vcs().iter().enumerate() {
             let downstream = local_input.vc(v).len() as u32;
             let sum = up.credits() + wire_flits[v] + wire_credits[v] + downstream;
@@ -546,7 +548,7 @@ fn check_credit_conservation(net: &Network) -> Option<SentinelViolation> {
             };
             count_wire(wire, num_vcs, &mut wire_flits, &mut wire_credits);
             staged[..num_vcs].fill(0);
-            let output = &net.routers()[ni].outputs()[port];
+            let output = net.datapath().output(node, port);
             for f in output.staged_flits() {
                 staged[f.vc as usize] += 1;
             }
@@ -557,7 +559,8 @@ fn check_credit_conservation(net: &Network) -> Option<SentinelViolation> {
                     Port::Local => net.sinks()[ni].buffered_in(v) as u32,
                     Port::Dir(d) => {
                         let nb = mesh.neighbor(node, d).expect("wire implies neighbor");
-                        net.routers()[nb.index()].inputs()[Port::Dir(d.opposite()).index()]
+                        net.datapath()
+                            .input(nb, Port::Dir(d.opposite()).index())
                             .vc(v)
                             .len() as u32
                     }
@@ -607,12 +610,13 @@ fn check_vc_states(net: &Network) -> Option<SentinelViolation> {
     let num_vcs = net.config().num_vcs;
     // holder[out_port * num_vcs + out_vc] = (in_port, in_vc, packet)
     let mut holders: Vec<Option<(usize, usize, PacketId)>> = vec![None; PORT_COUNT * num_vcs];
-    for router in net.routers() {
-        let node = router.node();
+    let soa = net.datapath();
+    for node in net.config().mesh.nodes() {
         holders.iter_mut().for_each(|h| *h = None);
-        for (pi, input) in router.inputs().iter().enumerate() {
+        for pi in 0..PORT_COUNT {
+            let input = soa.input(node, pi);
             let in_port = Port::from_index(pi);
-            for (vi, invc) in input.vcs().iter().enumerate() {
+            for (vi, invc) in input.vcs().enumerate() {
                 let illegal = |detail: String| {
                     Some(SentinelViolation::IllegalVcState {
                         node,
@@ -673,7 +677,7 @@ fn check_vc_states(net: &Network) -> Option<SentinelViolation> {
                                 ));
                             }
                         }
-                        let out_state = router.outputs()[out_port.index()].vc(ov).state();
+                        let out_state = soa.output(node, out_port.index()).vc(ov).state();
                         if out_state != OutVcState::Active(packet) {
                             return illegal(format!(
                                 "holds a grant on {out_port}/vc{ov} for packet {} but that \
@@ -701,9 +705,10 @@ fn check_vc_states(net: &Network) -> Option<SentinelViolation> {
         }
         // Output side: credits within capacity, Active VCs held by exactly
         // one input, busy VCs carry an owner (Algorithm 1's register).
-        for (pi, output) in router.outputs().iter().enumerate() {
+        for pi in 0..PORT_COUNT {
+            let output = soa.output(node, pi);
             let port = Port::from_index(pi);
-            for (vi, ovc) in output.vcs().iter().enumerate() {
+            for (vi, ovc) in output.vcs().enumerate() {
                 let illegal = |detail: String| {
                     Some(SentinelViolation::IllegalVcState {
                         node,
@@ -855,10 +860,11 @@ pub(crate) fn find_protocol_deadlock(net: &Network) -> Option<DeadlockFinding> {
     let algo = net.algorithm();
     let sideband = net.sideband();
     let fault_view = net.fault_view();
-    for router in net.routers() {
-        let node = router.node();
-        for (pi, input) in router.inputs().iter().enumerate() {
-            for (vi, invc) in input.vcs().iter().enumerate() {
+    let soa = net.datapath();
+    for node in mesh.nodes() {
+        for pi in 0..PORT_COUNT {
+            let input = soa.input(node, pi);
+            for (vi, invc) in input.vcs().enumerate() {
                 let b = buf(node, pi, vi);
                 let mut record = |packet: PacketId, dest: NodeId| {
                     members[b] = Some(DeadlockMember {
@@ -897,7 +903,7 @@ pub(crate) fn find_protocol_deadlock(net: &Network) -> Option<DeadlockFinding> {
                             .map(|f| f.dest)
                             .or_else(|| {
                                 if ov < num_vcs {
-                                    router.outputs()[out_port.index()].vc(ov).owner()
+                                    soa.output(node, out_port.index()).vc(ov).owner()
                                 } else {
                                     None
                                 }
@@ -920,8 +926,8 @@ pub(crate) fn find_protocol_deadlock(net: &Network) -> Option<DeadlockFinding> {
                         for coin in [ConstRng(0), ConstRng(u64::MAX)] {
                             scratch.clear();
                             let mut rng = coin;
-                            router.recompute_requests(
-                                algo, mesh, sideband, &fault_view, pi, vi, &mut rng,
+                            net.router(node).recompute_requests(
+                                soa, algo, mesh, sideband, &fault_view, pi, vi, &mut rng,
                                 &mut scratch,
                             );
                             for r in &scratch {
@@ -957,8 +963,7 @@ pub(crate) fn find_protocol_deadlock(net: &Network) -> Option<DeadlockFinding> {
     // Pass 2: least fixpoint of liveness.
     loop {
         let mut changed = false;
-        for router in net.routers() {
-            let node = router.node();
+        for node in mesh.nodes() {
             // Can the alternative (out_port, out_vc) eventually accept a
             // new packet, given current liveness knowledge?
             let alt_live = |q: usize, w: usize, live: &[bool]| -> bool {
@@ -974,7 +979,7 @@ pub(crate) fn find_protocol_deadlock(net: &Network) -> Option<DeadlockFinding> {
                 if !down_live {
                     return false;
                 }
-                match router.outputs()[q].vc(w).state() {
+                match soa.output(node, q).vc(w).state() {
                     OutVcState::Idle | OutVcState::Draining => true,
                     OutVcState::Active(_) => holders[buf(node, q, w)]
                         .map(|h| live[h])
@@ -1038,7 +1043,6 @@ pub(crate) fn find_protocol_deadlock(net: &Network) -> Option<DeadlockFinding> {
                 if lo == hi {
                     return None; // empty request set: a dead route
                 }
-                let router = &net.routers()[node.index()];
                 for r in &reqs[lo..hi] {
                     let (q, w) = (r.port.index(), r.vc.index());
                     if let Some(db) = downstream(node, q, w) {
@@ -1046,7 +1050,7 @@ pub(crate) fn find_protocol_deadlock(net: &Network) -> Option<DeadlockFinding> {
                             return Some(db);
                         }
                     }
-                    if let OutVcState::Active(_) = router.outputs()[q].vc(w).state() {
+                    if let OutVcState::Active(_) = soa.output(node, q).vc(w).state() {
                         if let Some(h) = holders[buf(node, q, w)] {
                             if !live[h] {
                                 return Some(h);

@@ -1,6 +1,6 @@
 //! The congestion side-band network consumed by DBAR's selection function.
 
-use crate::router::Router;
+use crate::soa::NocSoa;
 use footprint_routing::CongestionView;
 use footprint_topology::{Direction, Mesh, NodeId, Port, DIRECTIONS};
 
@@ -33,13 +33,13 @@ impl Sideband {
     }
 
     /// Recomputes every congestion bit from current router state.
-    pub fn update(&mut self, mesh: Mesh, routers: &[Router]) {
+    pub fn update(&mut self, mesh: Mesh, soa: &NocSoa) {
         for node in mesh.nodes() {
             for (di, dir) in DIRECTIONS.into_iter().enumerate() {
                 let congested = match mesh.neighbor(node, dir) {
                     Some(nb) => {
                         let in_port = Port::Dir(dir.opposite()).index();
-                        routers[nb.index()].inputs()[in_port].occupied_vcs() >= self.threshold
+                        soa.in_occupied(soa.np(nb, in_port)) >= self.threshold
                     }
                     None => false,
                 };
@@ -56,14 +56,13 @@ impl Sideband {
     /// the last refresh is equivalent to a full [`Sideband::update`] —
     /// bits whose source occupancy did not change cannot flip, and edge
     /// bits stay `false` forever.
-    pub fn refresh_from(&mut self, mesh: Mesh, routers: &[Router], dirty: NodeId) {
-        let router = &routers[dirty.index()];
+    pub fn refresh_from(&mut self, mesh: Mesh, soa: &NocSoa, dirty: NodeId) {
         for dir in DIRECTIONS {
             let Some(upstream) = mesh.neighbor(dirty, dir) else {
                 continue;
             };
             let in_port = Port::Dir(dir).index();
-            let congested = router.inputs()[in_port].occupied_vcs() >= self.threshold;
+            let congested = soa.in_occupied(soa.np(dirty, in_port)) >= self.threshold;
             self.bits[upstream.index()][Self::dir_index(dir.opposite())] = congested;
         }
     }
@@ -104,15 +103,15 @@ mod tests {
     #[test]
     fn congestion_bit_tracks_downstream_occupancy() {
         let mesh = Mesh::square(4);
-        let mut routers: Vec<Router> = mesh.nodes().map(|n| Router::new(n, 4, 4, 2)).collect();
+        let mut soa = NocSoa::new(mesh.len(), 4, 4, 2);
         let mut sb = Sideband::new(mesh.len(), 2);
-        sb.update(mesh, &routers);
+        sb.update(mesh, &soa);
         assert!(!sb.channel_congested(NodeId(0), Direction::East));
         // Fill two VCs of n1's west input (fed by n0's east output).
         let west = Port::Dir(Direction::West).index();
-        routers[1].inputs_mut()[west].vc_mut(0).push(flit(3, 0));
-        routers[1].inputs_mut()[west].vc_mut(1).push(flit(3, 1));
-        sb.update(mesh, &routers);
+        soa.in_push(soa.ivc(NodeId(1), west, 0), flit(3, 0));
+        soa.in_push(soa.ivc(NodeId(1), west, 1), flit(3, 1));
+        sb.update(mesh, &soa);
         assert!(sb.channel_congested(NodeId(0), Direction::East));
         assert!(!sb.channel_congested(NodeId(1), Direction::East));
     }
@@ -120,9 +119,9 @@ mod tests {
     #[test]
     fn mesh_edges_never_congested() {
         let mesh = Mesh::square(4);
-        let routers: Vec<Router> = mesh.nodes().map(|n| Router::new(n, 4, 4, 2)).collect();
+        let soa = NocSoa::new(mesh.len(), 4, 4, 2);
         let mut sb = Sideband::new(mesh.len(), 1);
-        sb.update(mesh, &routers);
+        sb.update(mesh, &soa);
         assert!(!sb.channel_congested(NodeId(0), Direction::West));
         assert!(!sb.channel_congested(NodeId(0), Direction::South));
     }
@@ -136,24 +135,23 @@ mod tests {
     #[test]
     fn incremental_refresh_matches_full_update() {
         let mesh = Mesh::square(4);
-        let mut routers: Vec<Router> = mesh.nodes().map(|n| Router::new(n, 4, 4, 2)).collect();
+        let mut soa = NocSoa::new(mesh.len(), 4, 4, 2);
         // Occupy inputs at an interior node (5) and an edge node (0).
         for (node, port, vcs) in [
-            (5usize, Direction::West, 2u8),
+            (5u16, Direction::West, 2u8),
             (5, Direction::North, 1),
             (0, Direction::East, 2),
         ] {
             for v in 0..vcs {
-                routers[node].inputs_mut()[Port::Dir(port).index()]
-                    .vc_mut(v as usize)
-                    .push(flit(9, v));
+                let ivc = soa.ivc(NodeId(node), Port::Dir(port).index(), v as usize);
+                soa.in_push(ivc, flit(9, v));
             }
         }
         let mut full = Sideband::new(mesh.len(), 2);
-        full.update(mesh, &routers);
+        full.update(mesh, &soa);
         let mut incr = Sideband::new(mesh.len(), 2);
-        incr.refresh_from(mesh, &routers, NodeId(5));
-        incr.refresh_from(mesh, &routers, NodeId(0));
+        incr.refresh_from(mesh, &soa, NodeId(5));
+        incr.refresh_from(mesh, &soa, NodeId(0));
         for node in mesh.nodes() {
             for dir in DIRECTIONS {
                 assert_eq!(

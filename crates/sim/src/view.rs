@@ -1,8 +1,19 @@
 //! [`PortStateView`] implementations over live simulator state.
+//!
+//! [`RouterOutputsView`] is backed by the struct-of-arrays store and
+//! overrides the trait's bulk scan methods (`idle_count`, `class_counts`,
+//! `for_each_in_class`) with flat walks over the packed per-port state and
+//! owner arrays — the routing algorithms' per-cycle class scans never
+//! touch a per-VC object or a vtable entry per VC. The per-VC [`vc`]
+//! accessor remains for the rare single-VC probes (and as the semantic
+//! reference the bulk overrides are tested against).
+//!
+//! [`vc`]: PortStateView::vc
 
-use crate::output::{OutVc, OutVcState, OutputPort};
-use footprint_routing::{PortStateView, VcId, VcReallocationPolicy, VcView};
-use footprint_topology::Port;
+use crate::output::{OutVc, OutVcState};
+use crate::soa::NocSoa;
+use footprint_routing::{PortStateView, VcClass, VcId, VcReallocationPolicy, VcView};
+use footprint_topology::{NodeId, Port};
 
 fn view_of(vc: &OutVc, policy: VcReallocationPolicy) -> VcView {
     VcView {
@@ -13,20 +24,22 @@ fn view_of(vc: &OutVc, policy: VcReallocationPolicy) -> VcView {
     }
 }
 
-/// View over a router's five output ports.
+/// View over a router's five output ports in the SoA store.
 pub struct RouterOutputsView<'a> {
-    ports: &'a [OutputPort],
+    soa: &'a NocSoa,
+    node: NodeId,
     policy: VcReallocationPolicy,
     num_vcs: usize,
 }
 
 impl<'a> RouterOutputsView<'a> {
-    /// Wraps the output-port array of one router.
-    pub fn new(ports: &'a [OutputPort], policy: VcReallocationPolicy, num_vcs: usize) -> Self {
+    /// Wraps the output-VC state of router `node`.
+    pub fn new(soa: &'a NocSoa, node: NodeId, policy: VcReallocationPolicy) -> Self {
         RouterOutputsView {
-            ports,
+            soa,
+            node,
             policy,
-            num_vcs,
+            num_vcs: soa.num_vcs(),
         }
     }
 }
@@ -37,7 +50,76 @@ impl PortStateView for RouterOutputsView<'_> {
     }
 
     fn vc(&self, port: Port, vc: VcId) -> VcView {
-        view_of(self.ports[port.index()].vc(vc.index()), self.policy)
+        let ivc = self.soa.ivc(self.node, port.index(), vc.index());
+        VcView {
+            idle: self.soa.out_idle_for(ivc, self.policy),
+            owner: self.soa.out_owner(ivc),
+            credits: self.soa.out_credits(ivc),
+            joinable: self.soa.out_state(ivc) == OutVcState::Draining
+                && self.soa.out_credits(ivc) > 0,
+        }
+    }
+
+    fn idle_count(&self, port: Port, lo: usize, hi: usize) -> usize {
+        let np = self.soa.np(self.node, port.index());
+        let range = NocSoa::vc_range_mask(lo, hi);
+        (self.soa.out_idle_mask_for(np, self.policy) & range).count_ones() as usize
+    }
+
+    fn footprint_count(&self, port: Port, dest: NodeId, lo: usize, hi: usize) -> usize {
+        self.class_masks(port, dest, lo, hi).1.count_ones() as usize
+    }
+
+    fn class_counts(&self, port: Port, dest: NodeId, lo: usize, hi: usize) -> (usize, usize, usize) {
+        let (idle, fp) = self.class_masks(port, dest, lo, hi);
+        let total = NocSoa::vc_range_mask(lo, hi).count_ones() as usize;
+        let (idle, fp) = (idle.count_ones() as usize, fp.count_ones() as usize);
+        (idle, fp, total - idle - fp)
+    }
+
+    fn class_masks(&self, port: Port, dest: NodeId, lo: usize, hi: usize) -> (u64, u64) {
+        let np = self.soa.np(self.node, port.index());
+        let range = NocSoa::vc_range_mask(lo, hi);
+        // Footprint VCs are the owner-register matches; the owner mask
+        // narrows the scan to VCs that ever carried a packet.
+        let (_, owners) = self.soa.out_port_slices(np);
+        let d = u32::from(dest.0);
+        let mut fp = 0u64;
+        let mut m = self.soa.out_owned_mask(np) & range;
+        while m != 0 {
+            let v = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if owners[v] == d {
+                fp |= 1 << v;
+            }
+        }
+        let idle = self.soa.out_idle_mask_for(np, self.policy) & range & !fp;
+        (idle, fp)
+    }
+
+    fn for_each_in_class(
+        &self,
+        port: Port,
+        dest: NodeId,
+        lo: usize,
+        hi: usize,
+        class: VcClass,
+        limit: usize,
+        emit: &mut dyn FnMut(VcId),
+    ) {
+        let (idle, fp) = self.class_masks(port, dest, lo, hi);
+        let mut bits = match class {
+            VcClass::Idle => idle,
+            VcClass::Footprint => fp,
+            VcClass::Busy => NocSoa::vc_range_mask(lo, hi) & !idle & !fp,
+        };
+        let mut emitted = 0;
+        while bits != 0 && emitted < limit {
+            let v = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            emit(VcId::from_index(v));
+            emitted += 1;
+        }
     }
 }
 
@@ -63,20 +145,38 @@ impl PortStateView for InjectionView<'_> {
         assert_eq!(port, Port::Local, "injection view has only the local port");
         view_of(&self.vcs[vc.index()], self.policy)
     }
+
+    fn class_masks(&self, port: Port, dest: NodeId, lo: usize, hi: usize) -> (u64, u64) {
+        assert_eq!(port, Port::Local, "injection view has only the local port");
+        let (mut idle, mut fp) = (0u64, 0u64);
+        for (v, vc) in self.vcs[lo..hi].iter().enumerate() {
+            if vc.owner() == Some(dest) {
+                fp |= 1 << (lo + v);
+            } else if vc.idle_for(self.policy) {
+                idle |= 1 << (lo + v);
+            }
+        }
+        (idle, fp)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::packet::PacketId;
-    use footprint_topology::{Direction, NodeId};
+    use footprint_topology::Direction;
+
+    fn soa() -> NocSoa {
+        NocSoa::new(1, 4, 4, 2)
+    }
 
     #[test]
     fn router_view_reflects_vc_state() {
-        let mut ports: Vec<OutputPort> = (0..5).map(|_| OutputPort::new(2, 4, 2)).collect();
-        ports[1].vc_mut(1).allocate(PacketId(1), NodeId(9));
-        ports[1].vc_mut(1).consume_credit();
-        let view = RouterOutputsView::new(&ports, VcReallocationPolicy::Atomic, 2);
+        let mut s = soa();
+        let ivc = s.ivc(NodeId(0), Port::Dir(Direction::East).index(), 1);
+        s.out_allocate(ivc, PacketId(1), NodeId(9));
+        s.out_consume_credit(ivc);
+        let view = RouterOutputsView::new(&s, NodeId(0), VcReallocationPolicy::Atomic);
         let v = view.vc(Port::Dir(Direction::East), VcId(1));
         assert!(!v.idle);
         assert_eq!(v.owner, Some(NodeId(9)));
@@ -84,21 +184,79 @@ mod tests {
         assert!(!v.joinable, "active, not draining");
         let free = view.vc(Port::Dir(Direction::East), VcId(0));
         assert!(free.idle);
-        assert_eq!(view.num_vcs(), 2);
+        assert_eq!(view.num_vcs(), 4);
     }
 
     #[test]
     fn draining_vc_is_joinable_in_view() {
-        let mut ports: Vec<OutputPort> = (0..5).map(|_| OutputPort::new(2, 4, 2)).collect();
-        let vc = ports[2].vc_mut(1);
-        vc.allocate(PacketId(1), NodeId(9));
-        vc.consume_credit();
-        vc.tail_sent(VcReallocationPolicy::Atomic);
-        let view = RouterOutputsView::new(&ports, VcReallocationPolicy::Atomic, 2);
+        let mut s = soa();
+        let ivc = s.ivc(NodeId(0), Port::Dir(Direction::West).index(), 1);
+        s.out_allocate(ivc, PacketId(1), NodeId(9));
+        s.out_consume_credit(ivc);
+        s.out_tail_sent(ivc, VcReallocationPolicy::Atomic);
+        let view = RouterOutputsView::new(&s, NodeId(0), VcReallocationPolicy::Atomic);
         let v = view.vc(Port::Dir(Direction::West), VcId(1));
         assert!(v.joinable);
         assert!(!v.idle);
         assert!(v.is_footprint_for(NodeId(9)));
+    }
+
+    /// The bulk overrides must agree exactly with the per-VC defaults they
+    /// replaced (which still run through `vc`).
+    #[test]
+    fn bulk_scans_match_per_vc_classification() {
+        let mut s = soa();
+        let e = Port::Dir(Direction::East);
+        let ep = e.index();
+        // VC0 idle, VC1 active to dest 9, VC2 draining to dest 7 (footprint
+        // for 7, non-atomic-idle otherwise), VC3 active to dest 7.
+        s.out_allocate(s.ivc(NodeId(0), ep, 1), PacketId(1), NodeId(9));
+        let v2 = s.ivc(NodeId(0), ep, 2);
+        s.out_allocate(v2, PacketId(2), NodeId(7));
+        s.out_consume_credit(v2);
+        s.out_tail_sent(v2, VcReallocationPolicy::Atomic);
+        s.out_allocate(s.ivc(NodeId(0), ep, 3), PacketId(3), NodeId(7));
+        for policy in [VcReallocationPolicy::Atomic, VcReallocationPolicy::NonAtomic] {
+            let view = RouterOutputsView::new(&s, NodeId(0), policy);
+            for dest in [NodeId(7), NodeId(9), NodeId(5)] {
+                for lo in 0..2 {
+                    // Reference: the trait's default per-vc scans.
+                    let (mut idle, mut fp, mut busy) = (0, 0, 0);
+                    for v in lo..4 {
+                        match view.vc(e, VcId::from_index(v)).class_for(dest) {
+                            VcClass::Idle => idle += 1,
+                            VcClass::Footprint => fp += 1,
+                            VcClass::Busy => busy += 1,
+                        }
+                    }
+                    assert_eq!(view.class_counts(e, dest, lo, 4), (idle, fp, busy));
+                    // The raw masks drive every bulk scan (and the routing
+                    // crate's tiering): each bit must match the per-VC
+                    // classification exactly.
+                    let (idle_mask, fp_mask) = view.class_masks(e, dest, lo, 4);
+                    for v in lo..4 {
+                        let class = view.vc(e, VcId::from_index(v)).class_for(dest);
+                        assert_eq!(idle_mask >> v & 1 == 1, class == VcClass::Idle);
+                        assert_eq!(fp_mask >> v & 1 == 1, class == VcClass::Footprint);
+                    }
+                    let ref_idle = (lo..4)
+                        .filter(|&v| view.vc(e, VcId::from_index(v)).idle)
+                        .count();
+                    assert_eq!(view.idle_count(e, lo, 4), ref_idle);
+                    for class in [VcClass::Idle, VcClass::Footprint, VcClass::Busy] {
+                        let mut bulk = Vec::new();
+                        view.for_each_in_class(e, dest, lo, 4, class, usize::MAX, &mut |v| {
+                            bulk.push(v)
+                        });
+                        let reference: Vec<VcId> = (lo..4)
+                            .map(VcId::from_index)
+                            .filter(|&v| view.vc(e, v).class_for(dest) == class)
+                            .collect();
+                        assert_eq!(bulk, reference, "{policy:?} {dest:?} {class:?}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

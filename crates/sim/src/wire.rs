@@ -69,8 +69,19 @@ impl<T> Pipe<T> {
     /// Anything not drained in the previous cycle stays receivable (wires
     /// never drop data; the receive side always drains).
     pub fn tick(&mut self) {
+        if self.len == 0 {
+            // Every buffer is empty; rotating them is a no-op.
+            return;
+        }
         let mut front = self.stages.pop_front().expect("pipe has stages");
-        self.cur.append(&mut front);
+        if self.cur.is_empty() {
+            // Hand the arriving batch over wholesale (the usual case: the
+            // receiver drained last cycle), keeping `cur`'s allocation in
+            // the rotation instead of copying element by element.
+            std::mem::swap(&mut self.cur, &mut front);
+        } else {
+            self.cur.append(&mut front);
+        }
         self.stages.push_back(front); // reuse the (now empty) buffer
     }
 

@@ -261,10 +261,10 @@ fn stolen_credit_is_caught_at_the_corrupted_cycle() {
         net.step_probed(&mut wl, &mut sentinel);
         assert!(!sentinel.tripped(), "clean phase must stay clean");
         'scan: for &node in &nodes {
-            let r = net.router(node);
+            let soa = net.datapath();
             for p in 0..PORT_COUNT {
                 for v in 0..num_vcs {
-                    let vc = r.outputs()[p].vc(v);
+                    let vc = soa.output(node, p).vc(v);
                     if matches!(vc.state(), OutVcState::Active(_)) && vc.credits() > 0 {
                         target = Some((node, p, v));
                         break 'scan;
@@ -277,7 +277,8 @@ fn stolen_credit_is_caught_at_the_corrupted_cycle() {
         }
     }
     let (node, p, v) = target.expect("traffic never activated an output VC");
-    net.router_mut(node).outputs_mut()[p].vc_mut(v).consume_credit();
+    let ivc = net.datapath().ivc(node, p, v);
+    net.datapath_mut().out_consume_credit(ivc);
     let corrupted_at = net.cycle();
     net.step_probed(&mut wl, &mut sentinel);
     let report = sentinel.report().expect("stolen credit went unnoticed");
@@ -305,10 +306,10 @@ fn counterfeit_flit_breaks_flit_conservation() {
     let nodes: Vec<NodeId> = net.config().mesh.nodes().collect();
     let mut slot = None;
     'scan: for &node in &nodes {
-        let r = net.router(node);
+        let soa = net.datapath();
         for p in 0..PORT_COUNT {
             for v in 0..num_vcs {
-                if r.inputs()[p].vc(v).is_empty() {
+                if soa.input(node, p).vc(v).is_empty() {
                     slot = Some((node, p, v));
                     break 'scan;
                 }
@@ -316,7 +317,8 @@ fn counterfeit_flit_breaks_flit_conservation() {
         }
     }
     let (node, p, v) = slot.expect("no empty input VC in a lightly loaded mesh");
-    net.router_mut(node).inputs_mut()[p].vc_mut(v).push(Flit {
+    let ivc = net.datapath().ivc(node, p, v);
+    net.datapath_mut().in_push(ivc, Flit {
         packet: PacketId(999_999),
         kind: FlitKind::Single,
         src: NodeId(0),

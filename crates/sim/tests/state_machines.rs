@@ -2,7 +2,7 @@
 //! VC lifecycle, input VC FIFO discipline and the wire pipeline.
 
 use footprint_routing::VcReallocationPolicy;
-use footprint_sim::{Flit, FlitKind, InVc, OutVc, OutVcState, PacketId, Pipe};
+use footprint_sim::{Flit, FlitKind, NocSoa, OutVc, OutVcState, PacketId, Pipe};
 use footprint_topology::NodeId;
 use proptest::prelude::*;
 
@@ -79,16 +79,18 @@ proptest! {
         }
     }
 
-    /// Input VC FIFO: packets stream in order, route state resets exactly at
-    /// tails, and buffered flit count is conserved.
+    /// Input VC FIFO (one ring of the SoA store): packets stream in order,
+    /// route state resets exactly at tails, and buffered flit count is
+    /// conserved.
     #[test]
     fn invc_fifo_discipline(sizes in prop::collection::vec(1u16..4, 1..6)) {
         let capacity: usize = sizes.iter().map(|&s| s as usize).sum();
-        let mut vc = InVc::new(capacity.max(1));
+        let mut soa = NocSoa::new(1, 1, capacity.max(1), 1);
+        let ivc = soa.ivc(NodeId(0), 0, 0);
         // Enqueue all packets back to back (multi-packet FIFO).
         for (pid, &size) in sizes.iter().enumerate() {
             for seq in 0..size {
-                vc.push(Flit {
+                soa.in_push(ivc, Flit {
                     packet: PacketId(pid as u64),
                     kind: FlitKind::for_position(seq, size),
                     src: NodeId(0),
@@ -101,18 +103,18 @@ proptest! {
                 });
             }
         }
-        prop_assert_eq!(vc.len(), capacity);
+        prop_assert_eq!(soa.in_len(ivc), capacity);
         // Drain packet by packet.
         for (pid, &size) in sizes.iter().enumerate() {
-            prop_assert!(vc.waiting(), "head of packet {pid} must be waiting");
-            vc.grant(footprint_topology::Port::Local, 0);
+            prop_assert!(soa.waiting(ivc), "head of packet {pid} must be waiting");
+            soa.in_grant(ivc, footprint_topology::Port::Local, 0);
             for seq in 0..size {
-                let f = vc.pop_front_granted();
+                let f = soa.in_pop_granted(ivc);
                 prop_assert_eq!(f.packet, PacketId(pid as u64));
                 prop_assert_eq!(f.seq, seq);
             }
         }
-        prop_assert!(vc.is_quiescent());
+        prop_assert!(soa.input(NodeId(0), 0).vc(0).is_quiescent());
     }
 
     /// Wire pipeline: exactly-once, in-order delivery with one cycle latency.

@@ -1,0 +1,36 @@
+//! Profiling driver: the perf harness's single-thread configuration at
+//! several run lengths, separating per-run setup cost (network + workload
+//! construction) from steady-state cycles/sec. Not a paper figure.
+
+use footprint_core::{RoutingSpec, SimulationBuilder, TrafficSpec};
+use std::time::Instant;
+
+fn main() {
+    for total in [4_000u64, 8_000, 20_000] {
+        let b = SimulationBuilder::paper_default()
+            .routing(RoutingSpec::Footprint)
+            .traffic(TrafficSpec::UniformRandom)
+            .injection_rate(0.30)
+            .warmup(1_000)
+            .measurement(total - 1_000)
+            .seed(0xBE_5C);
+        let mut best = f64::INFINITY;
+        for _ in 0..2 {
+            let t = Instant::now();
+            b.run().expect("static experiment config");
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        println!("{total} cycles in {best:.3}s = {:.0} cycles/sec", total as f64 / best);
+    }
+    // Construction alone.
+    let b = SimulationBuilder::paper_default()
+        .routing(RoutingSpec::Footprint)
+        .traffic(TrafficSpec::UniformRandom)
+        .injection_rate(0.30);
+    let t = Instant::now();
+    for _ in 0..20 {
+        let (net, wl) = b.build().expect("static experiment config");
+        std::hint::black_box((net, wl));
+    }
+    println!("build() alone: {:.4}s each", t.elapsed().as_secs_f64() / 20.0);
+}
