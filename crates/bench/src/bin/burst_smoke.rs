@@ -1,0 +1,234 @@
+//! Dynamic-workload smoke test (run by CI).
+//!
+//! Three checks, each of which must pass for the binary to exit zero:
+//!
+//! 1. **Multi-tenant accounting under audit** — a sentinel-audited,
+//!    whole-run-measured, drained bursty multi-tenant run must close the
+//!    per-tenant books (`offered == delivered + in_flight + dropped`,
+//!    with `in_flight == 0` after the drain), agree exactly with the
+//!    per-class counters of the same report, and produce bit-identical
+//!    reports under the dense and active-set schedulers. The outcome
+//!    lines land in `results/burst_smoke.txt`.
+//!
+//! 2. **Modulated sweep determinism** — a bursty sweep run at one and at
+//!    four worker threads, under both schedulers, must produce four
+//!    bit-identical curves (the engine guarantee extended to modulated
+//!    workloads, whose gate RNGs must not leak into the shared stream).
+//!
+//! 3. **Duty-cycle calibration** — a 50%-duty on/off workload at rate
+//!    `r` must offer ≈ `r/2`: the modulator thins the workload, it does
+//!    not merely reshape it.
+//!
+//! `FOOTPRINT_QUICK` shrinks the windows for CI.
+
+use std::process::ExitCode;
+
+use footprint_bench::results_dir;
+use footprint_core::{
+    DurationDist, ModulationSpec, RoutingSpec, RunOptions, Scheduler, SimulationBuilder,
+    SweepOptions, TenantSpec, TrafficSpec,
+};
+
+fn quick() -> bool {
+    std::env::var_os("FOOTPRINT_QUICK").is_some()
+}
+
+/// The workload under test: a bursty interactive tenant sharing the mesh
+/// with a steadier batch tenant on a different pattern.
+fn tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new("web", TrafficSpec::UniformRandom, 0.20).modulation(ModulationSpec::OnOff {
+            on: DurationDist::Geometric { mean: 40.0 },
+            off: DurationDist::Geometric { mean: 40.0 },
+        }),
+        TenantSpec::new("batch", TrafficSpec::Transpose, 0.08),
+    ]
+}
+
+fn builder() -> SimulationBuilder {
+    let measurement = if quick() { 800 } else { 2_000 };
+    SimulationBuilder::mesh(4)
+        .vcs(4)
+        .routing(RoutingSpec::Footprint)
+        .tenants(tenants())
+        .warmup(0)
+        .measurement(measurement)
+        .drain(4_000)
+        .seed(0xB027)
+}
+
+fn multi_tenant_accounting() -> Result<(), String> {
+    let run = |scheduler: Scheduler| {
+        builder()
+            .run_with(
+                RunOptions::new()
+                    .sentinel(true)
+                    .scheduler(scheduler)
+                    .watchdog(20_000),
+            )
+            .map_err(|e| format!("bursty multi-tenant run failed: {e}"))
+    };
+    let report = run(Scheduler::Active)?;
+    if run(Scheduler::Dense)? != report {
+        return Err("dense and active-set schedulers disagree on a multi-tenant run".into());
+    }
+
+    let mut outcome = String::new();
+    for (i, spec) in tenants().iter().enumerate() {
+        let t = report
+            .tenant(&spec.name)
+            .ok_or_else(|| format!("tenant `{}` missing from the report", spec.name))?;
+        if t.offered_packets == 0 || t.delivered_packets == 0 {
+            return Err(format!("tenant `{}` saw no traffic", t.name));
+        }
+        // The whole-run window plus the drain closes the books exactly.
+        if !t.fully_accounted() || t.in_flight() != 0 {
+            return Err(format!(
+                "tenant `{}` books do not close: offered {} != delivered {} + in-flight {} + dropped {}",
+                t.name,
+                t.offered_packets,
+                t.delivered_packets,
+                t.in_flight(),
+                t.dropped_packets
+            ));
+        }
+        // The tenant probe and the per-class metrics count the same
+        // events through independent paths; they must agree exactly.
+        let class = report.class(i as u8);
+        if t.offered_packets != class.generated_packets || t.delivered_packets != class.ejected_packets
+        {
+            return Err(format!(
+                "tenant `{}` disagrees with class {i} counters: offered {} vs generated {}, \
+                 delivered {} vs ejected {}",
+                t.name,
+                t.offered_packets,
+                class.generated_packets,
+                t.delivered_packets,
+                class.ejected_packets
+            ));
+        }
+        let window_offered: u64 = t.windows.iter().map(|w| w.offered).sum();
+        if window_offered != t.offered_packets {
+            return Err(format!(
+                "tenant `{}` windows lose packets: {window_offered} != {}",
+                t.name, t.offered_packets
+            ));
+        }
+        outcome.push_str(&format!(
+            "TENANT {}: offered {} delivered {} dropped {} p50 {:?} p99 {:?}\n",
+            t.name, t.offered_packets, t.delivered_packets, t.dropped_packets, t.p50_latency,
+            t.p99_latency
+        ));
+    }
+
+    let path = results_dir()
+        .map_err(|e| format!("results dir: {e}"))?
+        .join("burst_smoke.txt");
+    std::fs::write(&path, &outcome).map_err(|e| format!("writing outcome: {e}"))?;
+    println!("# burst_smoke: wrote {}", path.display());
+    Ok(())
+}
+
+fn modulated_sweep_determinism() -> Result<(), String> {
+    let rates = if quick() {
+        vec![0.08, 0.2]
+    } else {
+        vec![0.08, 0.2, 0.32]
+    };
+    let b = SimulationBuilder::mesh(4)
+        .vcs(4)
+        .routing(RoutingSpec::Footprint)
+        .traffic(TrafficSpec::UniformRandom)
+        .modulation(ModulationSpec::OnOff {
+            on: DurationDist::Fixed(60),
+            off: DurationDist::Uniform { min: 20, max: 100 },
+        })
+        .warmup(100)
+        .measurement(if quick() { 400 } else { 1_000 })
+        .seed(0x5EED);
+    let sweep = |threads: usize, scheduler: Scheduler| {
+        b.sweep_with(
+            &rates,
+            SweepOptions::new()
+                .threads(threads)
+                .scheduler(scheduler)
+                .watchdog(20_000),
+        )
+        .map_err(|e| format!("modulated sweep failed: {e}"))
+    };
+    let reference = sweep(1, Scheduler::Dense)?;
+    for (threads, scheduler) in [
+        (1, Scheduler::Active),
+        (4, Scheduler::Dense),
+        (4, Scheduler::Active),
+    ] {
+        if sweep(threads, scheduler)? != reference {
+            return Err(format!(
+                "modulated sweep diverged at {threads} thread(s) under {scheduler:?}"
+            ));
+        }
+    }
+    if reference.points.len() != rates.len() {
+        return Err(format!("expected {} sweep points", rates.len()));
+    }
+    Ok(())
+}
+
+fn duty_cycle_calibration() -> Result<(), String> {
+    let rate = 0.2;
+    let measurement = if quick() { 2_000 } else { 6_000 };
+    let run = |modulation: ModulationSpec| {
+        SimulationBuilder::mesh(4)
+            .vcs(4)
+            .routing(RoutingSpec::Footprint)
+            .traffic(TrafficSpec::UniformRandom)
+            .injection_rate(rate)
+            .modulation(modulation)
+            .warmup(200)
+            .measurement(measurement)
+            .seed(0xD077)
+            .run_with(RunOptions::new().watchdog(20_000))
+            .map_err(|e| format!("calibration run failed: {e}"))
+    };
+    let steady = run(ModulationSpec::Steady)?;
+    let bursty = run(ModulationSpec::OnOff {
+        on: DurationDist::Fixed(75),
+        off: DurationDist::Fixed(75),
+    })?;
+    let ratio = bursty.latency.generated_packets as f64 / steady.latency.generated_packets as f64;
+    if (ratio - 0.5).abs() > 0.1 {
+        return Err(format!(
+            "50% duty at rate {rate} offered {ratio:.3}x the steady load (expected ≈ 0.5): \
+             bursty {} vs steady {} packets",
+            bursty.latency.generated_packets, steady.latency.generated_packets
+        ));
+    }
+    println!(
+        "# burst_smoke: 50% duty offered {ratio:.3}x the steady load \
+         ({} vs {} packets)",
+        bursty.latency.generated_packets, steady.latency.generated_packets
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut ok = true;
+    for (name, result) in [
+        ("multi-tenant accounting", multi_tenant_accounting()),
+        ("modulated sweep determinism", modulated_sweep_determinism()),
+        ("duty-cycle calibration", duty_cycle_calibration()),
+    ] {
+        match result {
+            Ok(()) => println!("burst_smoke: {name} ok"),
+            Err(e) => {
+                eprintln!("burst_smoke: {name} FAILED: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

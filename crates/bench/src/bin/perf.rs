@@ -15,7 +15,10 @@
 //!   per-pool speedup column is honest for *this* runner: on a single-CPU
 //!   box it hovers near 1.0× however many workers are spawned — the
 //!   cross-PR throughput gain shows up in the gate's ratio against the
-//!   committed baseline instead.
+//!   committed baseline instead. Rows whose pool is wider than the machine
+//!   carry `"undersubscribed": true`, and the gate skips its 4-worker
+//!   wall-clock comparison when either side was measured on fewer than 4
+//!   hardware threads (see `sweep.machine_threads`).
 //! * **sentinel overhead** — the 4-worker sweep re-run with the invariant
 //!   sentinel enabled on every point; the ratio to the fastest plain sweep
 //!   is the price of full runtime auditing (budget: ≤ 15%).
@@ -62,7 +65,12 @@ fn main() {
     let cycles_per_sec = total_cycles as f64 / best;
 
     // 2. Parallel-engine scaling on a quick sweep: sequential reference,
-    // then one pooled run per worker count.
+    // then one pooled run per worker count. Pools wider than the machine
+    // are still timed (the bit-identity assertion is load-bearing at any
+    // width) but their rows are flagged `undersubscribed`: on a 1-core
+    // runner a "4-worker speedup" is pure scheduler noise, and the gate
+    // must not mistake its wobble for a perf trajectory.
+    let machine = std::thread::available_parallelism().map_or(1, usize::from);
     let rates = quick_rates();
     let t = Instant::now();
     let sequential = b.sweep_on(&rates, None, 1).expect("static experiment config");
@@ -158,12 +166,12 @@ fn main() {
     // Gate-read fields stay ahead of the nested `by_threads` array: the
     // gate's string surgery scopes a section to the text before its first
     // closing brace.
-    let machine = std::thread::available_parallelism().map_or(1, usize::from);
     let by_threads = table
         .iter()
         .map(|(n, secs, speedup)| {
+            let under = *n > machine;
             format!(
-                "      {{ \"threads\": {n}, \"parallel_secs\": {secs:.4}, \"speedup\": {speedup:.2} }}"
+                "      {{ \"threads\": {n}, \"parallel_secs\": {secs:.4}, \"speedup\": {speedup:.2}, \"undersubscribed\": {under} }}"
             )
         })
         .collect::<Vec<_>>()
@@ -191,7 +199,8 @@ fn main() {
         rates.len()
     );
     for (n, secs, speedup) in &table {
-        println!("  {n} worker(s): {secs:.2}s → {speedup:.2}x");
+        let note = if *n > machine { " (undersubscribed — speedup is noise)" } else { "" };
+        println!("  {n} worker(s): {secs:.2}s → {speedup:.2}x{note}");
     }
     println!(
         "sentinel: audited sweep {audited_secs:.2}s → {:.1}% overhead (budget 15%)",

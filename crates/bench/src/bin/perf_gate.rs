@@ -29,7 +29,10 @@
 //!   takes more than 2× the committed baseline's wall-clock. The gate also
 //!   reports fresh throughput against the *baseline sequential* time: the
 //!   end-to-end sweep speedup a user of the committed revision gains by
-//!   updating.
+//!   updating. When either file records `sweep.machine_threads` < 4, the
+//!   comparison is skipped with a note: a 4-worker pool on a 1-core box
+//!   measures the OS scheduler's mood, and gating on it would fail PRs for
+//!   the runner's hardware rather than the code.
 //!
 //! Usage: `perf_gate <fresh.json> <baseline.json>`.
 //!
@@ -149,24 +152,38 @@ fn run(fresh: &str, baseline: &str) -> Result<Vec<String>, String> {
 
     let fresh_4t = extract(fresh, "sweep", "parallel_secs_4t")
         .ok_or("fresh benchmark is missing sweep.parallel_secs_4t — did the harness stop timing the 4-worker sweep?")?;
-    match extract(baseline, "sweep", "parallel_secs_4t") {
-        Some(base) => {
-            let ceiling = base / THROUGHPUT_RETENTION;
-            if fresh_4t > ceiling {
-                return Err(format!(
-                    "sweep.parallel_secs_4t regressed: fresh {fresh_4t:.2}s > {ceiling:.2}s \
-                     ({:.0}x the committed baseline {base:.2}s)",
-                    1.0 / THROUGHPUT_RETENTION
+    // A 4-worker wall-clock measured on fewer than 4 hardware threads is
+    // scheduler noise, not a perf signal: skip the comparison whenever
+    // either side was undersubscribed. Files that predate the
+    // `machine_threads` field gate as before (assume a wide-enough box).
+    let undersubscribed = |json: &str| {
+        extract(json, "sweep", "machine_threads").is_some_and(|m| m < 4.0)
+    };
+    if undersubscribed(fresh) || undersubscribed(baseline) {
+        notes.push(format!(
+            "sweep.parallel_secs_4t: measured on fewer than 4 hardware threads \
+             (fresh {fresh_4t:.2}s) — undersubscribed, skipped"
+        ));
+    } else {
+        match extract(baseline, "sweep", "parallel_secs_4t") {
+            Some(base) => {
+                let ceiling = base / THROUGHPUT_RETENTION;
+                if fresh_4t > ceiling {
+                    return Err(format!(
+                        "sweep.parallel_secs_4t regressed: fresh {fresh_4t:.2}s > {ceiling:.2}s \
+                         ({:.0}x the committed baseline {base:.2}s)",
+                        1.0 / THROUGHPUT_RETENTION
+                    ));
+                }
+                notes.push(format!(
+                    "sweep.parallel_secs_4t ok: fresh {fresh_4t:.2}s vs baseline {base:.2}s \
+                     (ceiling {ceiling:.2}s)"
                 ));
             }
-            notes.push(format!(
-                "sweep.parallel_secs_4t ok: fresh {fresh_4t:.2}s vs baseline {base:.2}s \
-                 (ceiling {ceiling:.2}s)"
-            ));
+            None => notes.push(format!(
+                "sweep.parallel_secs_4t: no committed baseline yet (fresh {fresh_4t:.2}s) — skipped"
+            )),
         }
-        None => notes.push(format!(
-            "sweep.parallel_secs_4t: no committed baseline yet (fresh {fresh_4t:.2}s) — skipped"
-        )),
     }
     // Informational: end-to-end sweep gain over the committed revision's
     // sequential wall-clock (the headline `speedup` the docs quote).
@@ -225,9 +242,10 @@ mod tests {
              \"cycles_per_sec\": {cps:.0}\n  }},\n  \
              \"sweep\": {{\n    \"rates\": 6,\n    \"sequential_secs\": {:.4},\n    \
              \"parallel_secs_4t\": {par4:.4},\n    \"speedup\": 1.00,\n    \
+             \"machine_threads\": 8,\n    \
              \"bit_identical\": true,\n    \"by_threads\": [\n      \
-             {{ \"threads\": 1, \"parallel_secs\": {par4:.4}, \"speedup\": 0.99 }},\n      \
-             {{ \"threads\": 4, \"parallel_secs\": {par4:.4}, \"speedup\": 1.00 }}\n    ]\n  }},\n  \
+             {{ \"threads\": 1, \"parallel_secs\": {par4:.4}, \"speedup\": 0.99, \"undersubscribed\": false }},\n      \
+             {{ \"threads\": 4, \"parallel_secs\": {par4:.4}, \"speedup\": 1.00, \"undersubscribed\": false }}\n    ]\n  }},\n  \
              \"sentinel\": {{\n    \"overhead\": {overhead:.4}, \"budget\": 0.15\n  }},\n  \
              \"scheduler\": {{\n    \"load\": 0.05,\n    \"speedup\": {speedup:.2},\n    \
              \"bit_identical\": true\n  }}\n}}\n",
@@ -303,6 +321,31 @@ mod tests {
         let base = bench_json_perf(2.5, 0.08, 20_000.0, 3.0);
         assert!(run(&bench_json_perf(2.5, 0.08, 20_000.0, 5.5), &base).is_ok());
         let err = run(&bench_json_perf(2.5, 0.08, 20_000.0, 6.5), &base).unwrap_err();
+        assert!(err.contains("sweep.parallel_secs_4t regressed"), "{err}");
+    }
+
+    #[test]
+    fn undersubscribed_runner_skips_the_sweep_wall_clock() {
+        let base = bench_json_perf(2.5, 0.08, 20_000.0, 3.0);
+        // A doubled-and-then-some wall-clock would fail the gate — but not
+        // when the fresh file was measured on a 1-core box.
+        let fresh = bench_json_perf(2.5, 0.08, 20_000.0, 9.0)
+            .replace("\"machine_threads\": 8", "\"machine_threads\": 1");
+        let notes = run(&fresh, &base).unwrap();
+        assert!(
+            notes.iter().any(|n| n.contains("undersubscribed, skipped")),
+            "{notes:?}"
+        );
+        // An undersubscribed *baseline* is just as meaningless a reference.
+        let narrow_base = base.replace("\"machine_threads\": 8", "\"machine_threads\": 2");
+        let slow_fresh = bench_json_perf(2.5, 0.08, 20_000.0, 9.0);
+        assert!(run(&slow_fresh, &narrow_base).is_ok());
+        // Files predating the field still gate: the old schema means the
+        // old behaviour.
+        let old_base = base.replace("    \"machine_threads\": 8,\n", "");
+        let old_fresh = bench_json_perf(2.5, 0.08, 20_000.0, 9.0)
+            .replace("    \"machine_threads\": 8,\n", "");
+        let err = run(&old_fresh, &old_base).unwrap_err();
         assert!(err.contains("sweep.parallel_secs_4t regressed"), "{err}");
     }
 

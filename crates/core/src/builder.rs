@@ -7,16 +7,16 @@ use std::time::{Duration, Instant};
 
 use crate::exec::JobOutcome;
 use crate::journal::SweepJournal;
-use crate::{RunReport, TrafficSpec};
+use crate::{RunReport, TenantSpec, TrafficSpec};
 use footprint_routing::RoutingSpec;
 use footprint_sim::observe::ProbePair;
 use footprint_sim::{
     ConfigError, Network, NoTraffic, NullProbe, Probe, Scheduler, Sentinel, SentinelReport,
     SimConfig, StallDiagnostic, StallWatchdog, UnreachablePolicy, Workload,
 };
-use footprint_stats::{Curve, FaultStats, SweepPoint};
+use footprint_stats::{Curve, FaultStats, SweepPoint, TenantProbe};
 use footprint_topology::{FaultPlan, Mesh};
-use footprint_traffic::PacketSize;
+use footprint_traffic::{ModulationSpec, Modulator, PacketSize, Tenant, TenantWorkload};
 
 /// Why a run ([`SimulationBuilder::run_with`] or any of its shims) failed.
 #[derive(Debug)]
@@ -373,7 +373,17 @@ pub struct SimulationBuilder {
     measurement: u64,
     drain: u64,
     seed: u64,
+    modulation: ModulationSpec,
+    tenants: Vec<TenantSpec>,
 }
+
+/// Seed salt for the single-workload modulator, far outside the sweep
+/// index range so modulation RNGs never collide with point seeds.
+const MODULATION_SALT: u64 = 0x4D4F_4475_4C41_7465; // "MODuLAte"
+/// Base seed salt for per-tenant modulators (tenant `i` uses `SALT + i`).
+const TENANT_SALT: u64 = 0x7465_4E61_4E74_0000; // "teNaNt"
+/// Accounting-window length for per-tenant offered/delivered timelines.
+const TENANT_WINDOW: u64 = 256;
 
 impl SimulationBuilder {
     /// Starts from the paper's default configuration (8×8 mesh).
@@ -393,6 +403,8 @@ impl SimulationBuilder {
             measurement: 10_000,
             drain: 0,
             seed: 0xF007,
+            modulation: ModulationSpec::Steady,
+            tenants: Vec::new(),
         }
     }
 
@@ -483,6 +495,32 @@ impl SimulationBuilder {
         self
     }
 
+    /// Applies a time-varying injection schedule
+    /// ([`footprint_traffic::Modulator`]) over the configured traffic:
+    /// on/off bursts, rate ramps or piecewise steps. Ignored for
+    /// multi-tenant runs (each [`TenantSpec`] carries its own schedule).
+    /// The modulator's RNG seed derives from the builder seed, so sweeps
+    /// stay bit-identical at any thread count. An invalid schedule fails
+    /// the run with [`ConfigError::Workload`].
+    pub fn modulation(mut self, spec: ModulationSpec) -> Self {
+        self.modulation = spec;
+        self
+    }
+
+    /// Replaces the single-workload configuration with explicit tenants
+    /// sharing the mesh. Tenant `i` gets traffic class `i` (its key in
+    /// [`RunReport::tenants`]) and runs at its own rate under its own
+    /// modulation schedule; the builder-level [`Self::injection_rate`] and
+    /// [`Self::modulation`] are ignored. Per-tenant SLO summaries appear
+    /// in [`RunReport::tenants`]. Tenant rates must sum to at most 1.0
+    /// flit/node/cycle (the per-node injection budget), or the run fails
+    /// with [`ConfigError::Workload`]. An empty vector restores the
+    /// single-workload behaviour.
+    pub fn tenants(mut self, tenants: Vec<TenantSpec>) -> Self {
+        self.tenants = tenants;
+        self
+    }
+
     /// The routing spec currently configured.
     pub fn routing_spec(&self) -> RoutingSpec {
         self.routing
@@ -516,17 +554,65 @@ impl SimulationBuilder {
         Ok((net, wl))
     }
 
-    /// Builds the configured workload, lowering a traffic-layer pattern
-    /// mismatch into the simulator's [`ConfigError`] vocabulary (the
-    /// traffic crate sits above `footprint-sim`, so the error travels as
-    /// plain data).
+    /// Builds the configured workload — single traffic spec, modulated
+    /// spec, or multi-tenant composite — lowering traffic-layer errors
+    /// into the simulator's [`ConfigError`] vocabulary (the traffic crate
+    /// sits above `footprint-sim`, so the errors travel as plain data).
     fn build_workload(&self) -> Result<Box<dyn Workload>, ConfigError> {
-        self.traffic
-            .build(self.mesh, self.packet_size, self.rate)
-            .map_err(|e| ConfigError::PatternMesh {
-                pattern: e.pattern,
-                nodes: e.nodes,
-            })
+        let lower = |e: footprint_traffic::PatternError| ConfigError::PatternMesh {
+            pattern: e.pattern,
+            nodes: e.nodes,
+        };
+        if self.tenants.is_empty() {
+            let base = self
+                .traffic
+                .build(self.mesh, self.packet_size, self.rate)
+                .map_err(lower)?;
+            if self.modulation == ModulationSpec::Steady {
+                return Ok(base);
+            }
+            let seed = crate::exec::derive_seed(self.seed, MODULATION_SALT);
+            let modulated = Modulator::new(base, self.modulation.clone(), seed)
+                .map_err(|e| ConfigError::Workload(e.to_string()))?;
+            return Ok(Box::new(modulated));
+        }
+        if self.tenants.len() > usize::from(u8::MAX) + 1 {
+            return Err(ConfigError::Workload(format!(
+                "{} tenants exceed the 256 traffic classes",
+                self.tenants.len()
+            )));
+        }
+        let total: f64 = self.tenants.iter().map(|t| t.rate).sum();
+        if total > 1.0 + 1e-9 {
+            return Err(ConfigError::Workload(format!(
+                "tenant rates sum to {total} flits/node/cycle (budget 1.0)"
+            )));
+        }
+        let mut tenants = Vec::with_capacity(self.tenants.len());
+        for (i, t) in self.tenants.iter().enumerate() {
+            if !(0.0..=1.0).contains(&t.rate) {
+                return Err(ConfigError::Workload(format!(
+                    "tenant `{}` rate {} out of [0, 1]",
+                    t.name, t.rate
+                )));
+            }
+            let wl = t
+                .traffic
+                .build(self.mesh, self.packet_size, t.rate)
+                .map_err(lower)?;
+            let wl: Box<dyn Workload> = if t.modulation == ModulationSpec::Steady {
+                wl
+            } else {
+                let seed = crate::exec::derive_seed(self.seed, TENANT_SALT + i as u64);
+                Box::new(
+                    Modulator::new(wl, t.modulation.clone(), seed).map_err(|e| {
+                        ConfigError::Workload(format!("tenant `{}`: {e}", t.name))
+                    })?,
+                )
+            };
+            tenants.push(Tenant::new(t.name.clone(), i as u8, wl));
+        }
+        Ok(Box::new(TenantWorkload::new(tenants)))
     }
 
     /// Builds the network under a fault schedule and unreachable policy,
@@ -678,29 +764,63 @@ impl SimulationBuilder {
         )?;
         let boundary = net.cycle();
         net.metrics_mut().reset_window_at(boundary);
-        Self::phase(
-            &mut net,
-            &mut *wl,
-            self.measurement,
-            probe,
-            watchdog.as_mut(),
-            sentinel.as_mut(),
-            deadline,
-        )?;
-        if self.drain > 0 {
-            let mut none = NoTraffic;
+        // Multi-tenant runs carry their own accounting probe from the
+        // measurement boundary: offered counts then equal the metrics
+        // window's generated counts exactly. It composes with any
+        // user-supplied probe through a ProbePair (and, inside `phase`,
+        // with the sentinel through a second pair — pairs nest).
+        let mut tenant_probe =
+            (!self.tenants.is_empty()).then(|| TenantProbe::new(boundary, TENANT_WINDOW));
+        {
+            let mut pair;
+            let phase_probe: &mut dyn Probe = match tenant_probe.as_mut() {
+                Some(tp) => {
+                    pair = ProbePair::new(tp, probe);
+                    &mut pair
+                }
+                None => probe,
+            };
             Self::phase(
                 &mut net,
-                &mut none,
-                self.drain,
-                probe,
+                &mut *wl,
+                self.measurement,
+                &mut *phase_probe,
                 watchdog.as_mut(),
                 sentinel.as_mut(),
                 deadline,
             )?;
+            if self.drain > 0 {
+                let mut none = NoTraffic;
+                Self::phase(
+                    &mut net,
+                    &mut none,
+                    self.drain,
+                    &mut *phase_probe,
+                    watchdog.as_mut(),
+                    sentinel.as_mut(),
+                    deadline,
+                )?;
+            }
         }
         let mut report = RunReport::from_metrics(net.metrics(), self.mesh.len(), self.rate);
         report.faults = FaultStats::collect(&net);
+        if let Some(tp) = tenant_probe {
+            report.tenants = self
+                .tenants
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let class = i as u8;
+                    let dropped = report
+                        .faults
+                        .classes
+                        .iter()
+                        .find(|c| c.class == class)
+                        .map_or(0, |c| c.dropped);
+                    tp.summary(class, &t.name, dropped, report.cycles, self.mesh.len())
+                })
+                .collect();
+        }
         if on_unreachable == UnreachablePolicy::Error
             && !report.faults.unreachable_pairs.is_empty()
         {
@@ -1521,6 +1641,112 @@ mod tests {
             other => panic!("expected PatternMesh, got {other}"),
         }
         assert!(err.to_string().contains("power-of-two"));
+    }
+
+    #[test]
+    fn modulated_run_reports_reduced_load() {
+        use footprint_traffic::DurationDist;
+        // A 50%-duty on/off gate at rate r must accept ≈ r/2 — the
+        // end-to-end version of the workload-layer thinning test.
+        let steady = quick()
+            .injection_rate(0.2)
+            .measurement(4_000)
+            .run()
+            .unwrap();
+        let bursty = quick()
+            .injection_rate(0.2)
+            .measurement(4_000)
+            .modulation(ModulationSpec::OnOff {
+                on: DurationDist::Fixed(100),
+                off: DurationDist::Fixed(100),
+            })
+            .run()
+            .unwrap();
+        let ratio = bursty.latency.throughput / steady.latency.throughput;
+        assert!((ratio - 0.5).abs() < 0.08, "throughput ratio {ratio}");
+    }
+
+    #[test]
+    fn modulated_runs_are_scheduler_and_thread_invariant() {
+        use footprint_traffic::DurationDist;
+        let b = quick().injection_rate(0.2).modulation(ModulationSpec::OnOff {
+            on: DurationDist::Geometric { mean: 60.0 },
+            off: DurationDist::Geometric { mean: 120.0 },
+        });
+        let dense = b.run_with(RunOptions::new().scheduler(Scheduler::Dense)).unwrap();
+        let active = b.run_with(RunOptions::new().scheduler(Scheduler::Active)).unwrap();
+        assert_eq!(dense, active);
+        let rates = [0.1, 0.2];
+        let seq = b.sweep_on(&rates, None, 1).unwrap();
+        let pooled = b.sweep_on(&rates, None, 4).unwrap();
+        assert_eq!(seq, pooled);
+    }
+
+    #[test]
+    fn tenant_run_reports_per_tenant_summaries() {
+        // warmup(0) + drain: the window covers every packet, so the
+        // per-tenant accounting invariant closes exactly.
+        let report = quick()
+            .warmup(0)
+            .tenants(vec![
+                TenantSpec::new("web", TrafficSpec::UniformRandom, 0.1),
+                TenantSpec::new("batch", TrafficSpec::Transpose, 0.1),
+            ])
+            .drain(500)
+            .run()
+            .unwrap();
+        assert_eq!(report.tenants.len(), 2);
+        let web = report.tenant("web").unwrap();
+        let batch = report.tenant("batch").unwrap();
+        assert_eq!((web.class, batch.class), (0, 1));
+        // Tenant accounting must agree exactly with the per-class window
+        // counters the simulator keeps independently.
+        for t in &report.tenants {
+            let c = report.class(t.class);
+            assert_eq!(t.offered_packets, c.generated_packets, "{}", t.name);
+            assert_eq!(t.delivered_packets, c.ejected_packets, "{}", t.name);
+            assert_eq!(t.measured_packets, c.measured_packets, "{}", t.name);
+            assert!(t.delivered_packets > 0, "{}", t.name);
+            assert!(t.fully_accounted(), "{}", t.name);
+            assert!(t.windows.iter().map(|w| w.offered).sum::<u64>() == t.offered_packets);
+            assert_eq!(t.window_cycles, TENANT_WINDOW);
+        }
+        assert!(report.tenant("nope").is_none());
+    }
+
+    #[test]
+    fn tenant_misconfigurations_are_typed_errors() {
+        use footprint_traffic::DurationDist;
+        // Over-budget aggregate rate.
+        let err = quick()
+            .tenants(vec![
+                TenantSpec::new("a", TrafficSpec::UniformRandom, 0.7),
+                TenantSpec::new("b", TrafficSpec::Transpose, 0.6),
+            ])
+            .run()
+            .unwrap_err();
+        match &err {
+            RunError::Config(ConfigError::Workload(msg)) => {
+                assert!(msg.contains("budget"), "{msg}");
+            }
+            other => panic!("expected Workload config error, got {other}"),
+        }
+        // Negative per-tenant rate.
+        let err = quick()
+            .tenants(vec![TenantSpec::new("a", TrafficSpec::UniformRandom, -0.1)])
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, RunError::Config(ConfigError::Workload(_))));
+        // Invalid modulation schedule (zero-length on-phase).
+        let err = quick()
+            .modulation(ModulationSpec::OnOff {
+                on: DurationDist::Fixed(0),
+                off: DurationDist::Fixed(10),
+            })
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, RunError::Config(ConfigError::Workload(_))));
+        assert!(err.to_string().contains("invalid workload"));
     }
 
     #[test]

@@ -34,6 +34,14 @@
 //!   forward-progress watchdog ([`SimulationBuilder::run_watched`], which
 //!   returns a [`StallDiagnostic`] bundle instead of hanging).
 //!
+//! * Dynamic workloads — modulate any traffic spec with on/off bursts,
+//!   rate ramps or piecewise schedules ([`SimulationBuilder::modulation`],
+//!   [`ModulationSpec`]), or share the mesh between named tenants with
+//!   distinct patterns, rates and schedules
+//!   ([`SimulationBuilder::tenants`], [`TenantSpec`]); per-tenant SLO
+//!   summaries (p50/p99 latency, windowed offered/delivered) come back in
+//!   [`RunReport::tenants`].
+//!
 //! * Fault injection — run any experiment under a deterministic
 //!   [`FaultPlan`] (link/router failures with optional repair times) via
 //!   [`RunOptions::faults`]; per-class delivery/drop accounting and the
@@ -76,13 +84,13 @@ pub use builder::{RunError, RunOptions, SimulationBuilder, SweepOptions};
 pub use exec::{JobOutcome, JobSet};
 pub use journal::SweepJournal;
 pub use report::{ClassSummary, RunReport};
-pub use traffic_spec::TrafficSpec;
+pub use traffic_spec::{TenantSpec, TrafficSpec};
 
 pub use footprint_routing::RoutingSpec;
 pub use footprint_sim::{
     ConfigError, EventTrace, NullProbe, Probe, Scheduler, Sentinel, SentinelReport,
     SentinelViolation, SimConfig, StallDiagnostic, StallWatchdog, UnreachablePolicy,
 };
-pub use footprint_stats::{FaultStats, SweepProgress};
+pub use footprint_stats::{FaultStats, SweepProgress, TenantProbe, TenantSummary, WindowCounts};
 pub use footprint_topology::{FaultEvent, FaultKind, FaultPlan, FaultTarget};
-pub use footprint_traffic::{App, PacketSize};
+pub use footprint_traffic::{App, DurationDist, ModulationSpec, Modulator, PacketSize};

@@ -2,7 +2,7 @@
 
 use core::fmt;
 use footprint_sim::Metrics;
-use footprint_stats::FaultStats;
+use footprint_stats::{FaultStats, TenantSummary};
 
 /// Summary for one traffic class over the measurement window.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -55,6 +55,9 @@ pub struct RunReport {
     /// Fault accounting for the run. All-zero (`FaultStats::default()`)
     /// when the run had no fault plan or the plan had no effect.
     pub faults: FaultStats,
+    /// Per-tenant SLO summaries, in tenant declaration order. Empty unless
+    /// the run was configured with `SimulationBuilder::tenants`.
+    pub tenants: Vec<TenantSummary>,
 }
 
 impl RunReport {
@@ -96,7 +99,14 @@ impl RunReport {
             mean_purity: metrics.mean_purity(),
             hol_degree: metrics.hol_degree(),
             faults: FaultStats::default(),
+            tenants: Vec::new(),
         }
+    }
+
+    /// The summary for the tenant named `name`, if the run was
+    /// multi-tenant and such a tenant existed.
+    pub fn tenant(&self, name: &str) -> Option<&TenantSummary> {
+        self.tenants.iter().find(|t| t.name == name)
     }
 
     /// Summary for class `c` (zeros if the class never appeared).

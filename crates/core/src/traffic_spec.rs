@@ -115,6 +115,46 @@ impl fmt::Display for TrafficSpec {
     }
 }
 
+/// One tenant of a multi-tenant run: a named [`TrafficSpec`] with its own
+/// offered load and optional modulation schedule
+/// ([`footprint_traffic::ModulationSpec`]).
+///
+/// Passed to `SimulationBuilder::tenants`; the tenant's traffic class is
+/// its index in that list, which is also the key for the per-tenant
+/// summaries in `RunReport::tenants`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Display name, carried into the per-tenant summary.
+    pub name: String,
+    /// The tenant's workload.
+    pub traffic: TrafficSpec,
+    /// The tenant's offered load in flits/node/cycle (the builder-level
+    /// injection rate is ignored when tenants are configured).
+    pub rate: f64,
+    /// Time-varying injection schedule (default
+    /// [`footprint_traffic::ModulationSpec::Steady`]).
+    pub modulation: footprint_traffic::ModulationSpec,
+}
+
+impl TenantSpec {
+    /// Creates a steady tenant.
+    pub fn new(name: impl Into<String>, traffic: TrafficSpec, rate: f64) -> Self {
+        TenantSpec {
+            name: name.into(),
+            traffic,
+            rate,
+            modulation: footprint_traffic::ModulationSpec::Steady,
+        }
+    }
+
+    /// Applies a modulation schedule to this tenant.
+    #[must_use]
+    pub fn modulation(mut self, spec: footprint_traffic::ModulationSpec) -> Self {
+        self.modulation = spec;
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

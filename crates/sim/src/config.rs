@@ -125,6 +125,11 @@ pub enum ConfigError {
         /// The offending node count.
         nodes: usize,
     },
+    /// An invalid workload composition (bad modulation schedule, tenant
+    /// rates over the injection budget, …). Carried as a rendered message
+    /// because the workload layer sits above this crate and its parameters
+    /// are floats, which would break this enum's `Eq`.
+    Workload(String),
 }
 
 impl From<FaultPlanError> for ConfigError {
@@ -157,6 +162,7 @@ impl fmt::Display for ConfigError {
                 f,
                 "pattern `{pattern}` requires a power-of-two node count, got {nodes}"
             ),
+            ConfigError::Workload(msg) => write!(f, "invalid workload: {msg}"),
         }
     }
 }
@@ -220,6 +226,12 @@ mod tests {
         let e: ConfigError = FaultPlanError::DegradePeriodTooShort { period: 1 }.into();
         assert!(matches!(e, ConfigError::Fault(_)));
         assert!(e.to_string().contains("fault plan"));
+    }
+
+    #[test]
+    fn workload_errors_render_their_message() {
+        let e = ConfigError::Workload("tenant rates sum to 1.4".into());
+        assert_eq!(e.to_string(), "invalid workload: tenant rates sum to 1.4");
     }
 
     #[test]

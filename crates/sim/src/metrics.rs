@@ -83,6 +83,14 @@ pub trait Probe {
         let _ = packet;
     }
 
+    /// A packet was generated at `node` on `cycle` (fired before the
+    /// packet is enqueued at the source, so it sees drops too). Exact
+    /// per-class offered-load accounting hangs off this hook; the default
+    /// no-op keeps it off the hot path for probes that don't care.
+    fn packet_generated(&mut self, node: NodeId, packet: &crate::packet::NewPacket, cycle: u64) {
+        let _ = (node, packet, cycle);
+    }
+
     /// A head packet failed VC allocation this cycle.
     fn va_blocked(&mut self, info: &VaBlockInfo) {
         let _ = info;

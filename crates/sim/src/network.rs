@@ -426,6 +426,7 @@ impl Network {
                 let id = PacketId(self.next_packet);
                 self.next_packet += 1;
                 self.metrics.record_generated(np.class, np.size);
+                probe.packet_generated(node, &np, self.cycle);
                 if faulty && !self.faults.deliverable(&*self.algo, node, np.dest) {
                     self.unreachable.insert((node.0, np.dest.0));
                     self.park_or_drop(node, id, np, birth, 0);

@@ -534,6 +534,11 @@ impl Probe for ProbePair<'_> {
         self.b.packet_ejected(packet);
     }
 
+    fn packet_generated(&mut self, node: NodeId, packet: &crate::packet::NewPacket, cycle: u64) {
+        self.a.packet_generated(node, packet, cycle);
+        self.b.packet_generated(node, packet, cycle);
+    }
+
     fn va_blocked(&mut self, info: &VaBlockInfo) {
         self.a.va_blocked(info);
         self.b.va_blocked(info);

@@ -33,6 +33,7 @@ mod probes;
 mod purity;
 mod sweep;
 pub mod table;
+mod tenant;
 mod timeline;
 
 pub use congestion_tree::{CongestionTree, TreeAnalysis};
@@ -42,5 +43,6 @@ pub use observers::{MeshSample, RouterSample, TimelineProbe};
 pub use probes::{load_balance, LatencyHistogramProbe, LoadBalance};
 pub use purity::PurityProbe;
 pub use sweep::{Curve, SweepPoint, SweepProgress};
+pub use tenant::{TenantProbe, TenantSummary, WindowCounts};
 pub use timeline::{TreeSample, TreeTimeline};
 pub use table::Table;

@@ -1,0 +1,360 @@
+//! Per-tenant SLO accounting: offered/delivered counts, latency quantiles
+//! and windowed throughput, keyed by traffic class.
+//!
+//! [`TenantProbe`] rides the simulator's `Probe` hook — the
+//! `packet_generated` callback counts *offered* load (including packets
+//! later dropped at a faulty source) and `packet_ejected` counts
+//! *delivered* load, both bucketed into fixed-width cycle windows so
+//! bursty workloads show their time structure instead of vanishing into
+//! run-wide averages. [`TenantSummary`] condenses one tenant into the SLO
+//! numbers (p50/p99 latency, delivered throughput, accounting closure)
+//! that `footprint-core` publishes in its run report.
+
+use crate::{Histogram, OnlineStats};
+use footprint_sim::{EjectedPacket, NewPacket, Probe};
+use footprint_topology::NodeId;
+use std::collections::BTreeMap;
+
+/// Offered/delivered packet counts within one accounting window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowCounts {
+    /// Packets generated in the window.
+    pub offered: u64,
+    /// Packets whose tail ejected in the window.
+    pub delivered: u64,
+}
+
+#[derive(Debug)]
+struct Track {
+    offered_packets: u64,
+    offered_flits: u64,
+    delivered_packets: u64,
+    delivered_flits: u64,
+    hist: Histogram,
+    stats: OnlineStats,
+    windows: Vec<WindowCounts>,
+}
+
+impl Track {
+    fn new(bucket_width: u64, buckets: usize) -> Self {
+        Track {
+            offered_packets: 0,
+            offered_flits: 0,
+            delivered_packets: 0,
+            delivered_flits: 0,
+            hist: Histogram::new(bucket_width, buckets),
+            stats: OnlineStats::new(),
+            windows: Vec::new(),
+        }
+    }
+
+    fn window_mut(&mut self, idx: usize) -> &mut WindowCounts {
+        if self.windows.len() <= idx {
+            self.windows.resize(idx + 1, WindowCounts::default());
+        }
+        &mut self.windows[idx]
+    }
+}
+
+/// Per-class (= per-tenant) offered/delivered/latency accounting probe.
+///
+/// Attach from `measure_from` onwards (the `footprint-core` builder swaps
+/// it in at the measurement boundary), so its offered count equals the
+/// metrics window's generated count exactly. Latency moments include only
+/// packets *born* at or after `measure_from`, matching the simulator's
+/// measured-latency population; delivered counts include warmup stragglers
+/// ejecting inside the window, again matching the metrics window.
+#[derive(Debug)]
+pub struct TenantProbe {
+    measure_from: u64,
+    window: u64,
+    bucket_width: u64,
+    buckets: usize,
+    tracks: BTreeMap<u8, Track>,
+}
+
+impl TenantProbe {
+    /// Creates a probe accounting from `measure_from` in windows of
+    /// `window` cycles, with the default latency-histogram shape (8-cycle
+    /// buckets × 512 — quantiles saturate at 4096 cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(measure_from: u64, window: u64) -> Self {
+        Self::with_histogram(measure_from, window, 8, 512)
+    }
+
+    /// Creates a probe with an explicit latency-histogram shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window`, `bucket_width` or `buckets` is zero.
+    pub fn with_histogram(measure_from: u64, window: u64, bucket_width: u64, buckets: usize) -> Self {
+        assert!(window > 0, "window must be at least one cycle");
+        assert!(bucket_width > 0 && buckets > 0, "empty histogram shape");
+        TenantProbe {
+            measure_from,
+            window,
+            bucket_width,
+            buckets,
+            tracks: BTreeMap::new(),
+        }
+    }
+
+    fn window_index(&self, cycle: u64) -> usize {
+        (cycle.saturating_sub(self.measure_from) / self.window) as usize
+    }
+
+    fn track_mut(&mut self, class: u8) -> &mut Track {
+        let (bw, nb) = (self.bucket_width, self.buckets);
+        self.tracks
+            .entry(class)
+            .or_insert_with(|| Track::new(bw, nb))
+    }
+
+    /// The classes observed so far, ascending.
+    pub fn classes(&self) -> Vec<u8> {
+        self.tracks.keys().copied().collect()
+    }
+
+    /// The accounting window length in cycles.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Condenses one tenant's track into a summary. `dropped_packets`
+    /// comes from the fault layer (zero on a fault-free run); `cycles` and
+    /// `nodes` normalize delivered throughput to flits/node/cycle.
+    pub fn summary(
+        &self,
+        class: u8,
+        name: &str,
+        dropped_packets: u64,
+        cycles: u64,
+        nodes: usize,
+    ) -> TenantSummary {
+        let empty;
+        let t = match self.tracks.get(&class) {
+            Some(t) => t,
+            None => {
+                empty = Track::new(self.bucket_width, self.buckets);
+                &empty
+            }
+        };
+        let denom = (cycles as f64) * (nodes as f64);
+        TenantSummary {
+            name: name.to_string(),
+            class,
+            offered_packets: t.offered_packets,
+            offered_flits: t.offered_flits,
+            delivered_packets: t.delivered_packets,
+            delivered_flits: t.delivered_flits,
+            dropped_packets,
+            measured_packets: t.stats.count(),
+            mean_latency: t.stats.mean(),
+            p50_latency: t.hist.quantile(0.50),
+            p99_latency: t.hist.quantile(0.99),
+            max_latency: t.stats.max().unwrap_or(0),
+            throughput: if denom > 0.0 {
+                t.delivered_flits as f64 / denom
+            } else {
+                0.0
+            },
+            window_cycles: self.window,
+            windows: t.windows.clone(),
+        }
+    }
+}
+
+impl Probe for TenantProbe {
+    fn packet_generated(&mut self, _node: NodeId, packet: &NewPacket, cycle: u64) {
+        let idx = self.window_index(cycle);
+        let size = packet.size as u64;
+        let t = self.track_mut(packet.class);
+        t.offered_packets += 1;
+        t.offered_flits += size;
+        t.window_mut(idx).offered += 1;
+    }
+
+    fn packet_ejected(&mut self, packet: &EjectedPacket) {
+        let idx = self.window_index(packet.ejected);
+        let measure_from = self.measure_from;
+        let t = self.track_mut(packet.class);
+        t.delivered_packets += 1;
+        t.delivered_flits += packet.size as u64;
+        t.window_mut(idx).delivered += 1;
+        // Latency population: packets born inside the measurement span,
+        // mirroring the simulator's `measured_packets` semantics.
+        if packet.birth >= measure_from {
+            t.hist.push(packet.latency());
+            t.stats.push(packet.latency());
+        }
+    }
+}
+
+/// One tenant's SLO summary over a measurement span.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantSummary {
+    /// Tenant display name.
+    pub name: String,
+    /// Traffic class the tenant's packets carry.
+    pub class: u8,
+    /// Packets generated during the span.
+    pub offered_packets: u64,
+    /// Flits generated during the span.
+    pub offered_flits: u64,
+    /// Packets fully ejected during the span.
+    pub delivered_packets: u64,
+    /// Flits of fully ejected packets.
+    pub delivered_flits: u64,
+    /// Packets dropped by the fault layer during the span.
+    pub dropped_packets: u64,
+    /// Packets in the latency population (born *and* ejected in-span).
+    pub measured_packets: u64,
+    /// Mean end-to-end latency of the measured population, in cycles.
+    pub mean_latency: f64,
+    /// Median latency (bucket-granular; `None` if nothing measured or the
+    /// median landed in histogram overflow).
+    pub p50_latency: Option<u64>,
+    /// 99th-percentile latency (bucket-granular; `None` as for p50).
+    pub p99_latency: Option<u64>,
+    /// Worst measured latency, in cycles.
+    pub max_latency: u64,
+    /// Delivered throughput in flits/node/cycle over the span.
+    pub throughput: f64,
+    /// Accounting-window length in cycles.
+    pub window_cycles: u64,
+    /// Offered/delivered counts per window (ascending, possibly ragged —
+    /// trailing all-zero windows are not materialized).
+    pub windows: Vec<WindowCounts>,
+}
+
+impl TenantSummary {
+    /// Packets generated but neither delivered nor dropped — still queued
+    /// or in flight when measurement ended. On a drained run this is the
+    /// count of warmup stragglers double-ejected into the span (zero when
+    /// warmup is zero too).
+    pub fn in_flight(&self) -> u64 {
+        self.offered_packets
+            .saturating_sub(self.delivered_packets)
+            .saturating_sub(self.dropped_packets)
+    }
+
+    /// The per-tenant accounting invariant: every offered packet is
+    /// delivered, dropped, or still in flight. `in_flight` saturates, so
+    /// this flags over-delivery (more ejected than generated, as when
+    /// warmup stragglers leak into the span) as a violation too.
+    pub fn fully_accounted(&self) -> bool {
+        self.offered_packets == self.delivered_packets + self.in_flight() + self.dropped_packets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(probe: &mut TenantProbe, class: u8, size: u16, cycle: u64) {
+        probe.packet_generated(
+            NodeId(0),
+            &NewPacket {
+                dest: NodeId(1),
+                size,
+                class,
+                origin: None,
+            },
+            cycle,
+        );
+    }
+
+    fn eject(probe: &mut TenantProbe, class: u8, size: u16, birth: u64, ejected: u64) {
+        probe.packet_ejected(&EjectedPacket {
+            id: footprint_sim::PacketId(0),
+            src: NodeId(0),
+            dest: NodeId(1),
+            birth,
+            ejected,
+            size,
+            class,
+        });
+    }
+
+    #[test]
+    fn windows_partition_the_span() {
+        let mut p = TenantProbe::new(100, 50);
+        gen(&mut p, 0, 1, 100); // window 0
+        gen(&mut p, 0, 1, 149); // window 0
+        gen(&mut p, 0, 1, 150); // window 1
+        eject(&mut p, 0, 1, 100, 210); // delivered in window 2
+        let s = p.summary(0, "t", 0, 150, 4);
+        assert_eq!(s.offered_packets, 3);
+        assert_eq!(s.delivered_packets, 1);
+        assert_eq!(s.windows.len(), 3);
+        assert_eq!(s.windows[0], WindowCounts { offered: 2, delivered: 0 });
+        assert_eq!(s.windows[1], WindowCounts { offered: 1, delivered: 0 });
+        assert_eq!(s.windows[2], WindowCounts { offered: 0, delivered: 1 });
+        assert_eq!(s.in_flight(), 2);
+        assert!(s.fully_accounted());
+    }
+
+    #[test]
+    fn latency_population_excludes_warmup_births() {
+        let mut p = TenantProbe::new(1_000, 500);
+        // Warmup straggler: ejects in-span, born before — counted as
+        // delivered but not measured.
+        eject(&mut p, 2, 1, 900, 1_050);
+        eject(&mut p, 2, 1, 1_000, 1_020);
+        eject(&mut p, 2, 1, 1_100, 1_180);
+        let s = p.summary(2, "t", 0, 1_000, 16);
+        assert_eq!(s.delivered_packets, 3);
+        assert_eq!(s.measured_packets, 2);
+        assert_eq!(s.mean_latency, 50.0);
+        assert_eq!(s.max_latency, 80);
+        assert!(s.p50_latency.is_some() && s.p99_latency.is_some());
+        assert!(s.p50_latency <= s.p99_latency);
+    }
+
+    #[test]
+    fn classes_are_tracked_independently() {
+        let mut p = TenantProbe::new(0, 100);
+        gen(&mut p, 0, 2, 5);
+        gen(&mut p, 7, 3, 5);
+        gen(&mut p, 7, 3, 6);
+        assert_eq!(p.classes(), vec![0, 7]);
+        let a = p.summary(0, "a", 0, 100, 4);
+        let b = p.summary(7, "b", 0, 100, 4);
+        assert_eq!((a.offered_packets, a.offered_flits), (1, 2));
+        assert_eq!((b.offered_packets, b.offered_flits), (2, 6));
+        // A class that never appeared still summarizes (to zeros).
+        let c = p.summary(9, "c", 0, 100, 4);
+        assert_eq!(c.offered_packets, 0);
+        assert_eq!(c.p50_latency, None);
+        assert!(c.fully_accounted());
+    }
+
+    #[test]
+    fn throughput_normalizes_by_cycles_and_nodes() {
+        let mut p = TenantProbe::new(0, 100);
+        eject(&mut p, 1, 4, 10, 20);
+        eject(&mut p, 1, 4, 12, 30);
+        let s = p.summary(1, "t", 0, 200, 4);
+        assert!((s.throughput - 8.0 / 800.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropped_packets_close_the_accounting() {
+        let mut p = TenantProbe::new(0, 100);
+        for c in 0..10 {
+            gen(&mut p, 0, 1, c);
+        }
+        eject(&mut p, 0, 1, 0, 40);
+        let s = p.summary(0, "t", 3, 100, 4);
+        assert_eq!(s.in_flight(), 6);
+        assert!(s.fully_accounted());
+        // Over-delivery (ejected > generated) must *fail* the invariant.
+        let mut p = TenantProbe::new(0, 100);
+        eject(&mut p, 0, 1, 0, 40);
+        let s = p.summary(0, "t", 0, 100, 4);
+        assert!(!s.fully_accounted());
+    }
+}

@@ -13,6 +13,9 @@
 //!   PARSEC/Netrace traces of Figure 10 (see the module docs for the
 //!   substitution rationale).
 //! * [`trace`] — generic timestamped trace replay.
+//! * [`modulate`] — on/off (bursty) gating, rate ramps and piecewise
+//!   schedules over any workload.
+//! * [`tenants`] — multi-tenant multiplexing with per-tenant classes.
 //!
 //! # Example
 //!
@@ -35,15 +38,19 @@
 #![warn(missing_docs)]
 
 pub mod hotspot;
+pub mod modulate;
 mod overlay;
 pub mod parsec;
 pub mod patterns;
 mod size;
 mod synthetic;
+pub mod tenants;
 pub mod trace;
 
 pub use hotspot::{paper_flows, Flow, HotspotWorkload, BACKGROUND_CLASS, HOTSPOT_CLASS};
+pub use modulate::{DurationDist, ModulationError, ModulationSpec, Modulator};
 pub use overlay::Overlay;
+pub use tenants::{Tenant, TenantWorkload};
 pub use parsec::{memory_controllers, App, AppProfile, ParsecPairWorkload, APPS};
 pub use patterns::{PatternError, PatternSpec, Permutation, TrafficPattern};
 pub use size::PacketSize;

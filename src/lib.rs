@@ -65,9 +65,9 @@ pub use footprint_traffic as traffic;
 pub mod prelude {
     pub use footprint_core::{
         ClassSummary, ConfigError, FaultStats, NullProbe, Probe, RoutingSpec, RunError,
-        RunOptions, RunReport, SimulationBuilder, StallDiagnostic, SweepOptions, TrafficSpec,
-        UnreachablePolicy,
+        RunOptions, RunReport, Scheduler, SimulationBuilder, StallDiagnostic, SweepOptions,
+        TenantSpec, TenantSummary, TrafficSpec, UnreachablePolicy,
     };
     pub use footprint_topology::{Direction, FaultEvent, FaultKind, FaultPlan, Mesh, NodeId};
-    pub use footprint_traffic::{App, PacketSize};
+    pub use footprint_traffic::{App, DurationDist, ModulationSpec, PacketSize};
 }

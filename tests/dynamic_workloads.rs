@@ -1,0 +1,175 @@
+//! Integration tests for the dynamic-workload layer: modulated and
+//! multi-tenant runs through the public builder API, pinned to the
+//! engine's three standing guarantees — scheduler bit-identity, thread
+//! bit-identity and exact accounting.
+
+use footprint_suite::prelude::*;
+
+fn base() -> SimulationBuilder {
+    SimulationBuilder::mesh(4)
+        .vcs(4)
+        .routing(RoutingSpec::Footprint)
+        .traffic(TrafficSpec::UniformRandom)
+        .seed(0xD1_5EED)
+}
+
+/// Long off-phases are the adversarial case for the active-set
+/// scheduler: whole stretches where no router has work, then a
+/// simultaneous wake across the mesh. The dense loop is the reference;
+/// reports must be bit-identical.
+#[test]
+fn long_off_phases_are_scheduler_invariant() {
+    let b = base()
+        .injection_rate(0.2)
+        .modulation(ModulationSpec::OnOff {
+            on: DurationDist::Fixed(50),
+            off: DurationDist::Fixed(400),
+        })
+        .warmup(100)
+        .measurement(2_000);
+    let run = |s: Scheduler| {
+        b.run_with(RunOptions::new().scheduler(s).watchdog(20_000))
+            .expect("valid configuration")
+    };
+    let dense = run(Scheduler::Dense);
+    assert_eq!(dense, run(Scheduler::Active), "dense vs active diverged");
+    assert!(dense.latency.ejected_packets > 0, "the on-phases must inject");
+}
+
+/// The full determinism matrix for a modulated sweep: every
+/// (threads × scheduler) combination must reproduce the sequential
+/// dense reference bit for bit.
+#[test]
+fn modulated_sweeps_are_thread_and_scheduler_invariant() {
+    let rates = [0.08, 0.2];
+    let b = base()
+        .modulation(ModulationSpec::OnOff {
+            on: DurationDist::Geometric { mean: 30.0 },
+            off: DurationDist::Uniform { min: 10, max: 90 },
+        })
+        .warmup(100)
+        .measurement(600);
+    let sweep = |threads: usize, s: Scheduler| {
+        b.sweep_with(
+            &rates,
+            SweepOptions::new().threads(threads).scheduler(s).watchdog(20_000),
+        )
+        .expect("valid configuration")
+    };
+    let reference = sweep(1, Scheduler::Dense);
+    for (threads, s) in [(1, Scheduler::Active), (4, Scheduler::Dense), (4, Scheduler::Active)] {
+        assert_eq!(
+            reference,
+            sweep(threads, s),
+            "modulated sweep diverged at {threads} thread(s), {s:?}"
+        );
+    }
+}
+
+fn two_tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new("web", TrafficSpec::UniformRandom, 0.2).modulation(ModulationSpec::OnOff {
+            on: DurationDist::Geometric { mean: 40.0 },
+            off: DurationDist::Geometric { mean: 40.0 },
+        }),
+        TenantSpec::new("batch", TrafficSpec::Transpose, 0.1),
+    ]
+}
+
+/// A sentinel-audited multi-tenant run is scheduler-invariant, down to
+/// the per-tenant summaries (which hash every windowed counter).
+#[test]
+fn multi_tenant_runs_are_scheduler_invariant_under_audit() {
+    let b = base().tenants(two_tenants()).warmup(100).measurement(800);
+    let run = |s: Scheduler| {
+        b.run_with(RunOptions::new().scheduler(s).sentinel(true).watchdog(20_000))
+            .expect("a healthy multi-tenant run must not trip the sentinel")
+    };
+    let dense = run(Scheduler::Dense);
+    assert_eq!(dense, run(Scheduler::Active), "dense vs active diverged");
+    assert_eq!(dense.tenants.len(), 2);
+}
+
+/// Whole-run measurement plus a drain closes the per-tenant books
+/// exactly, and the latency quantiles are ordered.
+#[test]
+fn drained_tenant_books_close_exactly() {
+    let report = base()
+        .tenants(two_tenants())
+        .warmup(0)
+        .measurement(1_000)
+        .drain(4_000)
+        .run_with(RunOptions::new().watchdog(20_000))
+        .expect("valid configuration");
+    for name in ["web", "batch"] {
+        let t = report.tenant(name).expect("tenant in report");
+        assert!(t.offered_packets > 0, "{name}: no traffic");
+        assert!(
+            t.fully_accounted() && t.in_flight() == 0,
+            "{name}: offered {} != delivered {} + in-flight {} + dropped {}",
+            t.offered_packets,
+            t.delivered_packets,
+            t.in_flight(),
+            t.dropped_packets
+        );
+        let (p50, p99) = (t.p50_latency.unwrap(), t.p99_latency.unwrap());
+        assert!(p50 <= p99, "{name}: p50 {p50} > p99 {p99}");
+        assert!(t.mean_latency > 0.0);
+    }
+    // Unknown tenants stay unknown.
+    assert!(report.tenant("nosuch").is_none());
+}
+
+/// A 50%-duty gate at rate `r` must offer ≈ `r/2` — modulation thins
+/// the offered load, it does not reshape packets into fewer, larger
+/// bursts of the same mass.
+#[test]
+fn half_duty_offers_half_the_load() {
+    let run = |m: ModulationSpec| {
+        base()
+            .injection_rate(0.2)
+            .modulation(m)
+            .warmup(200)
+            .measurement(4_000)
+            .run_with(RunOptions::new().watchdog(20_000))
+            .expect("valid configuration")
+    };
+    let steady = run(ModulationSpec::Steady);
+    let bursty = run(ModulationSpec::OnOff {
+        on: DurationDist::Fixed(64),
+        off: DurationDist::Fixed(64),
+    });
+    let ratio = bursty.latency.generated_packets as f64 / steady.latency.generated_packets as f64;
+    assert!(
+        (ratio - 0.5).abs() < 0.08,
+        "50% duty offered {ratio:.3}x the steady load"
+    );
+}
+
+/// Bad dynamic-workload configurations surface as typed configuration
+/// errors at run time, not panics or silent clamps.
+#[test]
+fn invalid_dynamic_configs_are_typed_errors() {
+    let cases: Vec<SimulationBuilder> = vec![
+        // A zero-length on-phase can never fire.
+        base().injection_rate(0.1).modulation(ModulationSpec::OnOff {
+            on: DurationDist::Fixed(0),
+            off: DurationDist::Fixed(10),
+        }),
+        // Tenant rates over the per-node injection budget.
+        base().tenants(vec![
+            TenantSpec::new("a", TrafficSpec::UniformRandom, 0.7),
+            TenantSpec::new("b", TrafficSpec::Transpose, 0.6),
+        ]),
+        // A negative tenant rate.
+        base().tenants(vec![TenantSpec::new("a", TrafficSpec::UniformRandom, -0.1)]),
+    ];
+    for b in cases {
+        match b.warmup(10).measurement(20).run() {
+            Err(RunError::Config(e)) => {
+                assert!(e.to_string().contains("workload"), "unexpected error: {e}");
+            }
+            other => panic!("expected a typed config error, got {other:?}"),
+        }
+    }
+}

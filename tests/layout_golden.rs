@@ -26,6 +26,18 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Hash a report's Debug rendering against the pinned capture. Report
+/// fields added *after* the object-layout capture (and always empty in
+/// these single-workload configurations) are erased from the rendering
+/// first, so the goldens keep pinning the simulation datapath rather
+/// than the report struct's shape:
+///
+/// * `tenants` (0.7.0) — per-tenant summaries, empty without
+///   `SimulationBuilder::tenants`.
+fn golden_hash(debug: &str) -> u64 {
+    fnv1a(debug.replace(", tenants: []", "").as_bytes())
+}
+
 fn base() -> SimulationBuilder {
     SimulationBuilder::mesh(4)
         .vcs(4)
@@ -64,7 +76,7 @@ fn fingerprint(spec: RoutingSpec, faults: Option<FaultPlan>, scheduler: Schedule
         o = o.faults(p);
     }
     let report = base().routing(spec).run_with(o).expect("golden run");
-    fnv1a(format!("{report:?}").as_bytes())
+    golden_hash(&format!("{report:?}"))
 }
 
 #[test]
@@ -98,10 +110,7 @@ fn reports_match_object_layout_goldens() {
         .injection_rate(0.05)
         .run_with(RunOptions::new().watchdog(10_000))
         .expect("multiflit run");
-    got.push((
-        "footprint-multiflit".into(),
-        fnv1a(format!("{multi:?}").as_bytes()),
-    ));
+    got.push(("footprint-multiflit".into(), golden_hash(&format!("{multi:?}"))));
     // The paper's 8×8/10-VC configuration on a short window.
     let paper = SimulationBuilder::paper_default()
         .routing(RoutingSpec::Footprint)
@@ -112,16 +121,13 @@ fn reports_match_object_layout_goldens() {
         .seed(0xBE_5C)
         .run_with(RunOptions::new().watchdog(10_000))
         .expect("paper run");
-    got.push((
-        "paper-8x8-footprint".into(),
-        fnv1a(format!("{paper:?}").as_bytes()),
-    ));
+    got.push(("paper-8x8-footprint".into(), golden_hash(&format!("{paper:?}"))));
     // A two-point sweep through the canonical sweep path (derived seeds).
     let curve = base()
         .routing(RoutingSpec::Footprint)
         .sweep_with(&[0.05, 0.15], SweepOptions::new().threads(1))
         .expect("sweep");
-    got.push(("sweep-2pt".into(), fnv1a(format!("{curve:?}").as_bytes())));
+    got.push(("sweep-2pt".into(), golden_hash(&format!("{curve:?}"))));
 
     if discover {
         for (label, h) in &got {

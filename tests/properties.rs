@@ -22,13 +22,26 @@ fn arb_flows(nodes: u16, max_flows: usize) -> impl Strategy<Value = Vec<SingleFl
         1..=max_flows,
     )
     .prop_map(|v| {
+        // Respect the FlowSet contract: flows sharing a source may not
+        // offer more than 1.0 flit/cycle in aggregate. Drop any flow that
+        // would push its source over budget (keeps the generator simple
+        // and the surviving set always valid — the first flow per source,
+        // at rate < 0.5, always survives).
+        let mut budget = std::collections::HashMap::new();
         v.into_iter()
             .filter(|(s, d, _, _)| s != d)
-            .map(|(s, d, rate, size)| SingleFlow {
-                src: NodeId(s),
-                dest: NodeId(d),
-                rate,
-                size,
+            .filter_map(|(s, d, rate, size)| {
+                let used = budget.entry(s).or_insert(0.0);
+                if *used + rate > 1.0 {
+                    return None;
+                }
+                *used += rate;
+                Some(SingleFlow {
+                    src: NodeId(s),
+                    dest: NodeId(d),
+                    rate,
+                    size,
+                })
             })
             .collect()
     })
