@@ -45,7 +45,7 @@ fn bench_route(c: &mut Criterion) {
             let mut rng = SmallRng::seed_from_u64(1);
             let mut out = Vec::with_capacity(32);
             let ctx = RoutingCtx {
-                mesh: Mesh::square(8),
+                topo: Mesh::square(8).into(),
                 current: NodeId(9),
                 src: NodeId(9),
                 dest: NodeId(63),
@@ -87,7 +87,7 @@ fn bench_route_scratch_reuse(c: &mut Criterion) {
             let mut rng = SmallRng::seed_from_u64(1);
             let mut out = Vec::with_capacity(64);
             let ctx = RoutingCtx {
-                mesh: Mesh::square(8),
+                topo: Mesh::square(8).into(),
                 current: NodeId(9),
                 src: NodeId(9),
                 dest: NodeId(63),

@@ -2,7 +2,7 @@
 //! algorithm (how fast the substrate regenerates the paper's figures).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use footprint_core::{RoutingSpec, SimulationBuilder, TrafficSpec};
+use footprint_core::{RoutingSpec, SimulationBuilder, SweepOptions, TrafficSpec};
 
 /// The quick-rates sweep of the experiment binaries, sequential vs the
 /// worker pool — the end-to-end win of the parallel experiment engine
@@ -29,7 +29,9 @@ fn bench_sweep_parallel(c: &mut Criterion) {
             &threads,
             |b, &threads| {
                 b.iter(|| {
-                    let curve = builder.sweep_on(&rates, None, threads).unwrap();
+                    let curve = builder
+                        .sweep_with(&rates, SweepOptions::new().threads(threads))
+                        .unwrap();
                     std::hint::black_box(curve.points.len())
                 });
             },

@@ -68,7 +68,7 @@ fn main() {
         jobs.push(move || {
             let mut net = Network::new(cfg, Box::new(build()), 0xAB1).expect("valid config");
             let mut wl = SyntheticWorkload::new(
-                cfg.mesh,
+                cfg.topo(),
                 Box::new(patterns::Shuffle),
                 PacketSize::SINGLE,
                 0.54,
@@ -98,7 +98,7 @@ fn main() {
         let label = v.label;
         jobs.push(move || {
             let mut net = Network::new(cfg, Box::new(build()), 0xAB2).expect("valid config");
-            let mut wl = HotspotWorkload::paper(cfg.mesh, 0.5);
+            let mut wl = HotspotWorkload::paper(cfg.topo(), 0.5);
             net.run(&mut wl, phases.warmup);
             net.metrics_mut().reset_window();
             net.run(&mut wl, phases.measurement);

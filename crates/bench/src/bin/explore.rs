@@ -6,7 +6,7 @@
 //!     --routing footprint --traffic shuffle --rate 0.45 --mesh 8 --vcs 10
 //! ```
 
-use footprint_core::{PacketSize, RoutingSpec, SimulationBuilder, TrafficSpec};
+use footprint_core::{PacketSize, RoutingSpec, RunOptions, SimulationBuilder, TrafficSpec};
 use std::process::ExitCode;
 
 #[derive(Debug)]
@@ -141,7 +141,7 @@ fn main() -> ExitCode {
         .warmup(args.warmup)
         .measurement(args.measurement)
         .seed(args.seed);
-    match builder.run() {
+    match builder.run_with(RunOptions::new()) {
         Ok(report) => {
             println!(
                 "{} x {} @ {:.3} on {}x{} with {} VCs (seed {}):",

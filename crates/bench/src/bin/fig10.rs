@@ -7,7 +7,7 @@
 //! * (c) degree of HoL blocking per application.
 
 use footprint_bench::{gain, phases_from_env};
-use footprint_core::{App, JobSet, RoutingSpec, SimulationBuilder, TrafficSpec};
+use footprint_core::{App, JobSet, RoutingSpec, RunOptions, SimulationBuilder, TrafficSpec};
 use footprint_stats::table::pct;
 use footprint_stats::{PurityProbe, Table};
 use footprint_traffic::APPS;
@@ -31,7 +31,7 @@ fn run_pair_vcs(
         .warmup(phases.warmup)
         .measurement(phases.measurement)
         .seed(0x0F10)
-        .run_probed(&mut probe)
+        .run_with(RunOptions::new().probe(&mut probe))
         .expect("static experiment config");
     (report.latency.mean_latency, probe)
 }

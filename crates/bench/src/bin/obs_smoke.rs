@@ -4,8 +4,9 @@
 //!
 //! 1. **Probed sweep** — a small sweep with the full observability stack
 //!    attached (per-point occupancy timelines via
-//!    [`SimulationBuilder::sweep_observed`], then one fully observed run
-//!    writing timeline CSVs and a flit-event JSONL trace under `results/`).
+//!    [`SimulationBuilder::sweep_point`] + [`SimulationBuilder::run_with`],
+//!    then one fully observed run writing timeline CSVs and a flit-event
+//!    JSONL trace under `results/`).
 //!    The artifacts must exist and the trace must contain the whole flit
 //!    lifecycle (inject, VC grant, SA grant, eject).
 //!
@@ -19,7 +20,7 @@
 use std::process::ExitCode;
 
 use footprint_bench::{observed_run, results_dir, ObserveOpts};
-use footprint_core::SimulationBuilder;
+use footprint_core::{RunOptions, SimulationBuilder};
 use footprint_routing::{RoutingAlgorithm, RoutingCtx, VcReallocationPolicy, VcRequest};
 use footprint_sim::{EventTrace, FlowSet, Network, SimConfig, SingleFlow, StallWatchdog};
 use footprint_stats::TimelineProbe;
@@ -57,10 +58,20 @@ fn quick_builder() -> SimulationBuilder {
 
 fn probed_sweep() -> Result<(), String> {
     let rates = [0.05, 0.15, 0.25];
-    let (curve, probes) = quick_builder()
-        .sweep_observed(&rates, None, |_, _| TimelineProbe::new(50))
-        .map_err(|e| format!("sweep_observed failed: {e}"))?;
-    if curve.points.len() != rates.len() {
+    // The canonical observed-sweep pattern: each point is its own
+    // `sweep_point` builder run under `run_with` with a probe attached.
+    let base = quick_builder();
+    let mut points = 0usize;
+    let mut probes = Vec::new();
+    for (index, &rate) in rates.iter().enumerate() {
+        let mut probe = TimelineProbe::new(50);
+        base.sweep_point(index, rate)
+            .run_with(RunOptions::new().probe(&mut probe))
+            .map_err(|e| format!("observed sweep point {index} failed: {e}"))?;
+        points += 1;
+        probes.push(probe);
+    }
+    if points != rates.len() {
         return Err(format!("expected {} sweep points", rates.len()));
     }
     if probes.iter().any(|p| p.mesh_samples().is_empty()) {

@@ -59,7 +59,7 @@ fn main() {
     let mut best = f64::INFINITY;
     for _ in 0..2 {
         let t = Instant::now();
-        b.run().expect("static experiment config");
+        b.run_with(RunOptions::new()).expect("static experiment config");
         best = best.min(t.elapsed().as_secs_f64());
     }
     let cycles_per_sec = total_cycles as f64 / best;
@@ -73,14 +73,16 @@ fn main() {
     let machine = std::thread::available_parallelism().map_or(1, usize::from);
     let rates = quick_rates();
     let t = Instant::now();
-    let sequential = b.sweep_on(&rates, None, 1).expect("static experiment config");
+    let sequential = b
+        .sweep_with(&rates, SweepOptions::new().threads(1))
+        .expect("static experiment config");
     let seq_secs = t.elapsed().as_secs_f64();
     let mut table = Vec::new();
     let mut headline_secs = f64::NAN;
     for &threads in &SWEEP_THREADS {
         let t = Instant::now();
         let pooled = b
-            .sweep_on(&rates, None, threads)
+            .sweep_with(&rates, SweepOptions::new().threads(threads))
             .expect("static experiment config");
         let par_secs = t.elapsed().as_secs_f64();
         assert_eq!(
@@ -110,7 +112,7 @@ fn main() {
     for _ in 0..4 {
         let t = Instant::now();
         let plain = b
-            .sweep_on(&rates, None, HEADLINE_THREADS)
+            .sweep_with(&rates, SweepOptions::new().threads(HEADLINE_THREADS))
             .expect("static experiment config");
         plain_secs = plain_secs.min(t.elapsed().as_secs_f64());
         assert_eq!(sequential, plain, "pooled sweep must stay bit-identical");

@@ -2,7 +2,7 @@
 //! paper's key workloads, with timing. Not a paper figure; a development
 //! aid.
 
-use footprint_core::{RoutingSpec, SimulationBuilder, TrafficSpec};
+use footprint_core::{RoutingSpec, RunOptions, SimulationBuilder, TrafficSpec};
 use std::time::Instant;
 
 fn main() {
@@ -17,7 +17,7 @@ fn main() {
                 .injection_rate(0.40)
                 .warmup(1000)
                 .measurement(2000)
-                .run()
+                .run_with(RunOptions::new())
                 .unwrap();
             println!(
                 "  {:<16} thr {:.3} lat {:>8.1} blocks {:>8} ({:.2}s)",
@@ -35,7 +35,7 @@ fn main() {
             .injection_rate(0.5)
             .warmup(1000)
             .measurement(2000)
-            .run()
+            .run_with(RunOptions::new())
             .unwrap();
         println!(
             "  {:<16} bg-lat {:>8.1} bg-thr {:.3} hs-thr {:.3}",

@@ -10,7 +10,7 @@ fn main() {
     let mut t = Table::new(["parameter", "value"]);
     t.row([
         "Network topology".to_string(),
-        format!("4x4, **{}**, 16x16 2D meshes", cfg.mesh),
+        format!("4x4, **{}**, 16x16 2D meshes", cfg.topology),
     ]);
     t.row([
         "Routing algorithms".to_string(),

@@ -1,0 +1,182 @@
+//! Topology smoke test (run by CI).
+//!
+//! Three checks, each of which must pass for the binary to exit zero:
+//!
+//! 1. **Audited torus runs** — every wrap-capable paper algorithm
+//!    completes a sentinel-audited run on a 4×4 torus and an 8-node ring
+//!    with the books closing (every window-generated packet ejected).
+//!
+//! 2. **Worker-count invariance** — a Footprint sweep on the torus is
+//!    bit-identical on 1 and 4 workers (per-point derived seeds must not
+//!    interact with dateline escape classes).
+//!
+//! 3. **Mesh golden unchanged** — the 4×4 mesh "footprint" configuration
+//!    from `tests/layout_golden.rs` still reproduces its pinned
+//!    object-layout fingerprint on both schedulers, proving the topology
+//!    generalisation left the mesh datapath bit-identical.
+//!
+//! Writes `results/topology_smoke.txt`; every passed check appends a
+//! `TOPOLOGY` line CI greps for.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use footprint_bench::results_dir;
+use footprint_core::{
+    RoutingSpec, RunOptions, RunReport, Scheduler, SimulationBuilder, SweepOptions,
+};
+
+/// Algorithms whose deadlock-freedom argument extends to wrapping fabrics.
+const WRAP_ALGOS: [RoutingSpec; 4] = [
+    RoutingSpec::Footprint,
+    RoutingSpec::Dbar,
+    RoutingSpec::OddEven,
+    RoutingSpec::Dor,
+];
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The erasure from `tests/layout_golden.rs`: report fields added after
+/// the object-layout capture are stripped before hashing.
+fn golden_hash(report: &RunReport) -> u64 {
+    fnv1a(
+        format!("{report:?}")
+            .replace(", tenants: []", "")
+            .replace(", topology: \"mesh:4x4\"", "")
+            .as_bytes(),
+    )
+}
+
+/// The pinned "footprint" fingerprint from the layout-golden matrix.
+const MESH_FOOTPRINT_GOLDEN: u64 = 0xca246d83340da0ec;
+
+fn wrap_builder(kind: &str) -> SimulationBuilder {
+    let base = match kind {
+        "torus:4x4" => SimulationBuilder::torus(4),
+        "ring:8" => SimulationBuilder::ring(8),
+        other => panic!("unknown fabric {other}"),
+    };
+    base.vcs(4)
+        .warmup(200)
+        .measurement(400)
+        .drain(2_000)
+        .injection_rate(0.10)
+        .seed(7)
+}
+
+fn audited_books(out: &mut String) -> Result<(), String> {
+    for fabric in ["torus:4x4", "ring:8"] {
+        for spec in WRAP_ALGOS {
+            let report = wrap_builder(fabric)
+                .routing(spec)
+                .run_with(RunOptions::new().sentinel(true).watchdog(20_000))
+                .map_err(|e| format!("{fabric}/{}: {e}", spec.name()))?;
+            if report.latency.ejected_packets == 0 {
+                return Err(format!("{fabric}/{}: nothing delivered", spec.name()));
+            }
+            if report.latency.ejected_packets < report.latency.generated_packets {
+                return Err(format!(
+                    "{fabric}/{}: {} generated vs {} ejected after drain",
+                    spec.name(),
+                    report.latency.generated_packets,
+                    report.latency.ejected_packets
+                ));
+            }
+            let _ = writeln!(
+                out,
+                "TOPOLOGY books {fabric} {} generated={} ejected={}",
+                spec.name(),
+                report.latency.generated_packets,
+                report.latency.ejected_packets
+            );
+        }
+    }
+    Ok(())
+}
+
+fn sweep_invariance(out: &mut String) -> Result<(), String> {
+    let sweep = |threads: usize| {
+        SimulationBuilder::torus(4)
+            .vcs(4)
+            .warmup(150)
+            .measurement(300)
+            .drain(1_000)
+            .seed(23)
+            .routing(RoutingSpec::Footprint)
+            .sweep_with(&[0.05, 0.15, 0.25], SweepOptions::new().threads(threads))
+            .map_err(|e| format!("torus sweep ({threads} threads): {e}"))
+    };
+    let one = format!("{:?}", sweep(1)?);
+    let four = format!("{:?}", sweep(4)?);
+    if one != four {
+        return Err("torus sweep: 1-thread vs 4-thread results diverged".into());
+    }
+    let _ = writeln!(out, "TOPOLOGY sweep torus:4x4 1-vs-4-thread bit-identical");
+    Ok(())
+}
+
+fn mesh_golden(out: &mut String) -> Result<(), String> {
+    for scheduler in [Scheduler::Dense, Scheduler::Active] {
+        let report = SimulationBuilder::mesh(4)
+            .vcs(4)
+            .warmup(200)
+            .measurement(400)
+            .seed(3)
+            .injection_rate(0.15)
+            .drain(500)
+            .routing(RoutingSpec::Footprint)
+            .run_with(RunOptions::new().scheduler(scheduler).watchdog(10_000))
+            .map_err(|e| format!("mesh golden run ({scheduler:?}): {e}"))?;
+        let h = golden_hash(&report);
+        if h != MESH_FOOTPRINT_GOLDEN {
+            return Err(format!(
+                "mesh golden ({scheduler:?}): fingerprint {h:#018x} != pinned {MESH_FOOTPRINT_GOLDEN:#018x}"
+            ));
+        }
+    }
+    let _ = writeln!(
+        out,
+        "TOPOLOGY golden mesh:4x4 footprint fingerprint {MESH_FOOTPRINT_GOLDEN:#018x} intact"
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    type Check = fn(&mut String) -> Result<(), String>;
+    let mut out = String::new();
+    let checks: [(&str, Check); 3] = [
+        ("audited torus/ring books", audited_books),
+        ("torus sweep worker invariance", sweep_invariance),
+        ("mesh datapath golden", mesh_golden),
+    ];
+    for (name, check) in checks {
+        match check(&mut out) {
+            Ok(()) => println!("topology_smoke: {name} ok"),
+            Err(e) => {
+                eprintln!("topology_smoke: {name} FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let dir = match results_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("topology_smoke: results/ not writable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let path = dir.join("topology_smoke.txt");
+    if let Err(e) = std::fs::write(&path, &out) {
+        eprintln!("topology_smoke: writing {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    print!("{out}");
+    ExitCode::SUCCESS
+}

@@ -155,7 +155,7 @@ pub fn observed_run(
     let report = {
         let mut pair = ProbePair::new(&mut timeline, &mut trace);
         builder
-            .run_probed(&mut pair)
+            .run_with(footprint_core::RunOptions::new().probe(&mut pair))
             .expect("experiment configuration must be valid")
     };
     let dir = results_dir()?;
@@ -204,7 +204,7 @@ pub fn sweep_curve(
     phases: Phases,
 ) -> Curve {
     paper_builder(routing, traffic, phases)
-        .sweep(rates, None)
+        .sweep_with(rates, footprint_core::SweepOptions::new())
         .expect("experiment configuration must be valid")
 }
 

@@ -15,7 +15,7 @@ use footprint_sim::{
     SimConfig, StallDiagnostic, StallWatchdog, UnreachablePolicy, Workload,
 };
 use footprint_stats::{Curve, FaultStats, SweepPoint, TenantProbe};
-use footprint_topology::{FaultPlan, Mesh};
+use footprint_topology::{FaultPlan, TopologySpec};
 use footprint_traffic::{ModulationSpec, Modulator, PacketSize, Tenant, TenantWorkload};
 
 /// Why a run ([`SimulationBuilder::run_with`] or any of its shims) failed.
@@ -360,7 +360,7 @@ impl SweepOptions {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimulationBuilder {
-    mesh: Mesh,
+    topology: TopologySpec,
     num_vcs: usize,
     vc_buffer_depth: usize,
     speedup: usize,
@@ -390,7 +390,7 @@ impl SimulationBuilder {
     pub fn paper_default() -> Self {
         let cfg = SimConfig::paper_default();
         SimulationBuilder {
-            mesh: cfg.mesh,
+            topology: cfg.topology,
             num_vcs: cfg.num_vcs,
             vc_buffer_depth: cfg.vc_buffer_depth,
             speedup: cfg.speedup,
@@ -410,15 +410,29 @@ impl SimulationBuilder {
 
     /// Starts from a `k × k` mesh with otherwise default parameters.
     pub fn mesh(k: u16) -> Self {
-        let mut b = Self::paper_default();
-        b.mesh = Mesh::square(k);
-        b
+        Self::paper_default().topology(TopologySpec::mesh(k))
     }
 
-    /// Sets the mesh explicitly.
-    pub fn topology(mut self, mesh: Mesh) -> Self {
-        self.mesh = mesh;
+    /// Starts from a `k × k` torus with otherwise default parameters.
+    pub fn torus(k: u16) -> Self {
+        Self::paper_default().topology(TopologySpec::torus(k))
+    }
+
+    /// Starts from an `n`-node ring with otherwise default parameters.
+    pub fn ring(nodes: u16) -> Self {
+        Self::paper_default().topology(TopologySpec::ring(nodes))
+    }
+
+    /// Sets the topology explicitly — a [`TopologySpec`] or any concrete
+    /// topology value (`Mesh`, `Torus`, `Ring`).
+    pub fn topology(mut self, topo: impl Into<TopologySpec>) -> Self {
+        self.topology = topo.into();
         self
+    }
+
+    /// The topology currently configured.
+    pub fn topology_spec(&self) -> TopologySpec {
+        self.topology
     }
 
     /// VCs per physical channel.
@@ -533,7 +547,7 @@ impl SimulationBuilder {
 
     fn sim_config(&self) -> SimConfig {
         SimConfig {
-            mesh: self.mesh,
+            topology: self.topology,
             num_vcs: self.num_vcs,
             vc_buffer_depth: self.vc_buffer_depth,
             speedup: self.speedup,
@@ -563,10 +577,11 @@ impl SimulationBuilder {
             pattern: e.pattern,
             nodes: e.nodes,
         };
+        let topo = self.topology.validate()?;
         if self.tenants.is_empty() {
             let base = self
                 .traffic
-                .build(self.mesh, self.packet_size, self.rate)
+                .build(topo, self.packet_size, self.rate)
                 .map_err(lower)?;
             if self.modulation == ModulationSpec::Steady {
                 return Ok(base);
@@ -598,7 +613,7 @@ impl SimulationBuilder {
             }
             let wl = t
                 .traffic
-                .build(self.mesh, self.packet_size, t.rate)
+                .build(topo, self.packet_size, t.rate)
                 .map_err(lower)?;
             let wl: Box<dyn Workload> = if t.modulation == ModulationSpec::Steady {
                 wl
@@ -802,7 +817,8 @@ impl SimulationBuilder {
                 )?;
             }
         }
-        let mut report = RunReport::from_metrics(net.metrics(), self.mesh.len(), self.rate);
+        let mut report = RunReport::from_metrics(net.metrics(), self.topology.nodes(), self.rate);
+        report.topology = self.topology.to_string();
         report.faults = FaultStats::collect(&net);
         if let Some(tp) = tenant_probe {
             report.tenants = self
@@ -817,7 +833,7 @@ impl SimulationBuilder {
                         .iter()
                         .find(|c| c.class == class)
                         .map_or(0, |c| c.dropped);
-                    tp.summary(class, &t.name, dropped, report.cycles, self.mesh.len())
+                    tp.summary(class, &t.name, dropped, report.cycles, self.topology.nodes())
                 })
                 .collect();
         }
@@ -836,6 +852,7 @@ impl SimulationBuilder {
     /// # Errors
     ///
     /// Propagates configuration errors as [`RunError::Config`].
+    #[deprecated(since = "0.8.0", note = "use `run_with(RunOptions::new())`")]
     pub fn run(&self) -> Result<RunReport, RunError> {
         self.run_with(RunOptions::new())
     }
@@ -847,6 +864,7 @@ impl SimulationBuilder {
     /// # Errors
     ///
     /// Propagates configuration errors as [`RunError::Config`].
+    #[deprecated(since = "0.8.0", note = "use `run_with(RunOptions::new().probe(probe))`")]
     pub fn run_probed(&self, probe: &mut dyn Probe) -> Result<RunReport, RunError> {
         self.run_with(RunOptions::new().probe(probe))
     }
@@ -863,6 +881,10 @@ impl SimulationBuilder {
     /// # Panics
     ///
     /// Panics if `stall_threshold` is zero.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use `run_with(RunOptions::new().probe(probe).watchdog(threshold))`"
+    )]
     pub fn run_watched(
         &self,
         probe: &mut dyn Probe,
@@ -974,6 +996,10 @@ impl SimulationBuilder {
     /// # Panics
     ///
     /// Panics if `rates` is not strictly increasing (curve invariant).
+    #[deprecated(
+        since = "0.8.0",
+        note = "use `sweep_with(rates, SweepOptions::new().latency_class(class))`"
+    )]
     pub fn sweep(&self, rates: &[f64], latency_class: Option<u8>) -> Result<Curve, RunError> {
         self.sweep_with(rates, SweepOptions::new().latency_class(latency_class))
     }
@@ -989,6 +1015,10 @@ impl SimulationBuilder {
     /// # Panics
     ///
     /// Panics if `rates` is not strictly increasing (curve invariant).
+    #[deprecated(
+        since = "0.8.0",
+        note = "use `sweep_with(rates, SweepOptions::new().latency_class(class).threads(n))`"
+    )]
     pub fn sweep_on(
         &self,
         rates: &[f64],
@@ -1019,6 +1049,10 @@ impl SimulationBuilder {
     /// # Panics
     ///
     /// Panics if `rates` is not strictly increasing (curve invariant).
+    #[deprecated(
+        since = "0.8.0",
+        note = "use `sweep_with` and attach probes per point via `sweep_point` + `run_with`"
+    )]
     pub fn sweep_observed<P, F>(
         &self,
         rates: &[f64],
@@ -1111,7 +1145,9 @@ impl SimulationBuilder {
     ///
     /// Propagates configuration errors as [`RunError::Config`].
     pub fn saturation(&self, rates: &[f64]) -> Result<Option<f64>, RunError> {
-        Ok(self.sweep(rates, None)?.saturation_throughput(3.0))
+        Ok(self
+            .sweep_with(rates, SweepOptions::new())?
+            .saturation_throughput(3.0))
     }
 }
 
@@ -1124,6 +1160,7 @@ impl Default for SimulationBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use footprint_topology::Mesh;
 
     fn quick() -> SimulationBuilder {
         SimulationBuilder::mesh(4)
@@ -1138,7 +1175,7 @@ mod tests {
         let r = quick()
             .routing(RoutingSpec::Footprint)
             .injection_rate(0.2)
-            .run()
+            .run_with(RunOptions::new())
             .unwrap();
         assert!(r.latency.ejected_packets > 50);
         assert!(r.latency.mean_latency > 4.0, "{}", r.latency.mean_latency);
@@ -1149,10 +1186,10 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = quick().injection_rate(0.3).run().unwrap();
-        let b = quick().injection_rate(0.3).run().unwrap();
+        let a = quick().injection_rate(0.3).run_with(RunOptions::new()).unwrap();
+        let b = quick().injection_rate(0.3).run_with(RunOptions::new()).unwrap();
         assert_eq!(a, b);
-        let c = quick().injection_rate(0.3).seed(4).run().unwrap();
+        let c = quick().injection_rate(0.3).seed(4).run_with(RunOptions::new()).unwrap();
         assert_ne!(a, c);
     }
 
@@ -1162,9 +1199,9 @@ mod tests {
         // `sweep_on(.., 1)`) and any wider pool — including the default
         // `sweep()` pool — produce bit-identical curves.
         let rates = [0.05, 0.15, 0.25];
-        let sequential = quick().sweep_on(&rates, None, 1).unwrap();
-        let pooled = quick().sweep_on(&rates, None, 4).unwrap();
-        let default_pool = quick().sweep(&rates, None).unwrap();
+        let sequential = quick().sweep_with(&rates, SweepOptions::new().threads(1)).unwrap();
+        let pooled = quick().sweep_with(&rates, SweepOptions::new().threads(4)).unwrap();
+        let default_pool = quick().sweep_with(&rates, SweepOptions::new()).unwrap();
         assert_eq!(sequential, pooled);
         assert_eq!(sequential, default_pool);
     }
@@ -1193,7 +1230,7 @@ mod tests {
     fn sweep_builds_monotonic_curve() {
         let curve = quick()
             .routing(RoutingSpec::Dor)
-            .sweep(&[0.05, 0.2], None)
+            .sweep_with(&[0.05, 0.2], SweepOptions::new())
             .unwrap();
         assert_eq!(curve.points.len(), 2);
         assert!(curve.points[0].latency <= curve.points[1].latency * 1.5);
@@ -1204,10 +1241,10 @@ mod tests {
     fn watched_run_matches_plain_run() {
         // The watchdog and probe only observe: a watched run that never
         // trips reports bit-identically to the plain run.
-        let plain = quick().injection_rate(0.2).run().unwrap();
+        let plain = quick().injection_rate(0.2).run_with(RunOptions::new()).unwrap();
         let watched = quick()
             .injection_rate(0.2)
-            .run_watched(&mut footprint_sim::NullProbe, 10_000)
+            .run_with(RunOptions::new().probe(&mut footprint_sim::NullProbe).watchdog(10_000))
             .unwrap();
         assert_eq!(plain, watched);
     }
@@ -1216,16 +1253,17 @@ mod tests {
     fn watched_run_propagates_config_errors() {
         let err = quick()
             .vcs(0)
-            .run_watched(&mut footprint_sim::NullProbe, 100)
+            .run_with(RunOptions::new().probe(&mut footprint_sim::NullProbe).watchdog(100))
             .unwrap_err();
         assert!(matches!(err, RunError::Config(ConfigError::NumVcs(0))));
         assert!(err.to_string().contains("invalid configuration"));
     }
 
     #[test]
+    #[allow(deprecated)]
     fn sweep_observed_matches_sweep_and_returns_probes() {
         let rates = [0.05, 0.15, 0.25];
-        let plain = quick().sweep(&rates, None).unwrap();
+        let plain = quick().sweep_with(&rates, SweepOptions::new()).unwrap();
         let (curve, probes) = quick()
             .sweep_observed(&rates, None, |_, _| {
                 footprint_stats::TimelineProbe::new(50)
@@ -1240,7 +1278,7 @@ mod tests {
 
     #[test]
     fn latency_population_excludes_warmup_born_packets() {
-        let r = quick().injection_rate(0.2).run().unwrap();
+        let r = quick().injection_rate(0.2).run_with(RunOptions::new()).unwrap();
         assert!(r.latency.measured_packets > 0);
         // Warmup-born packets drain into the window: they are counted as
         // ejections (throughput) but not in the latency population.
@@ -1249,9 +1287,9 @@ mod tests {
 
     #[test]
     fn invalid_config_is_reported() {
-        let err = quick().vcs(0).run().unwrap_err();
+        let err = quick().vcs(0).run_with(RunOptions::new()).unwrap_err();
         assert!(matches!(err, RunError::Config(ConfigError::NumVcs(0))));
-        let err = quick().vcs(1).routing(RoutingSpec::Dbar).run().unwrap_err();
+        let err = quick().vcs(1).routing(RoutingSpec::Dbar).run_with(RunOptions::new()).unwrap_err();
         assert!(matches!(
             err,
             RunError::Config(ConfigError::TooFewVcsForRouting { .. })
@@ -1259,14 +1297,34 @@ mod tests {
     }
 
     #[test]
-    fn run_with_default_options_matches_plain_run() {
-        let plain = quick().injection_rate(0.2).run().unwrap();
-        let with = quick()
+    #[allow(deprecated)]
+    fn deprecated_shims_match_canonical_entry_points() {
+        // The 0.8.0-deprecated shims stay bit-identical to the canonical
+        // `run_with` / `sweep_with` they forward to.
+        let canonical = quick()
             .injection_rate(0.2)
             .run_with(RunOptions::default())
             .unwrap();
-        assert_eq!(plain, with);
-        assert!(with.faults.is_clean(), "no plan, no fault effects");
+        assert_eq!(canonical, quick().injection_rate(0.2).run().unwrap());
+        assert_eq!(
+            canonical,
+            quick()
+                .injection_rate(0.2)
+                .run_probed(&mut footprint_sim::NullProbe)
+                .unwrap()
+        );
+        assert_eq!(
+            canonical,
+            quick()
+                .injection_rate(0.2)
+                .run_watched(&mut footprint_sim::NullProbe, 10_000)
+                .unwrap()
+        );
+        assert!(canonical.faults.is_clean(), "no plan, no fault effects");
+        let rates = [0.05, 0.15];
+        let curve = quick().sweep_with(&rates, SweepOptions::new()).unwrap();
+        assert_eq!(curve, quick().sweep(&rates, None).unwrap());
+        assert_eq!(curve, quick().sweep_on(&rates, None, 2).unwrap());
     }
 
     #[test]
@@ -1335,8 +1393,8 @@ mod tests {
 
     #[test]
     fn longer_links_increase_latency() {
-        let short = quick().injection_rate(0.1).run().unwrap();
-        let long = quick().injection_rate(0.1).link_latency(4).run().unwrap();
+        let short = quick().injection_rate(0.1).run_with(RunOptions::new()).unwrap();
+        let long = quick().injection_rate(0.1).link_latency(4).run_with(RunOptions::new()).unwrap();
         assert!(
             long.latency.mean_latency > short.latency.mean_latency + 3.0,
             "short {} vs long {}",
@@ -1347,8 +1405,8 @@ mod tests {
 
     #[test]
     fn drain_improves_delivery_ratio() {
-        let no_drain = quick().injection_rate(0.2).run().unwrap();
-        let with_drain = quick().injection_rate(0.2).drain(300).run().unwrap();
+        let no_drain = quick().injection_rate(0.2).run_with(RunOptions::new()).unwrap();
+        let with_drain = quick().injection_rate(0.2).drain(300).run_with(RunOptions::new()).unwrap();
         assert!(with_drain.delivery_ratio() >= no_drain.delivery_ratio());
         assert!(with_drain.delivery_ratio() > 0.97);
     }
@@ -1383,7 +1441,7 @@ mod tests {
     fn sentinel_on_reports_bit_identically() {
         // The sentinel only observes: an audited run that never trips
         // reports exactly what the plain run reports.
-        let plain = quick().injection_rate(0.2).run().unwrap();
+        let plain = quick().injection_rate(0.2).run_with(RunOptions::new()).unwrap();
         let audited = quick()
             .injection_rate(0.2)
             .run_with(RunOptions::new().sentinel(true))
@@ -1423,7 +1481,7 @@ mod tests {
 
     #[test]
     fn generous_deadline_does_not_perturb_the_run() {
-        let plain = quick().injection_rate(0.2).run().unwrap();
+        let plain = quick().injection_rate(0.2).run_with(RunOptions::new()).unwrap();
         let bounded = quick()
             .injection_rate(0.2)
             .run_with(RunOptions::new().deadline(Duration::from_secs(3600)))
@@ -1454,7 +1512,7 @@ mod tests {
     #[test]
     fn checkpointed_sweep_matches_plain_sweep() {
         let rates = [0.05, 0.15, 0.25];
-        let plain = quick().sweep_on(&rates, None, 1).unwrap();
+        let plain = quick().sweep_with(&rates, SweepOptions::new().threads(1)).unwrap();
         let path = tmp_journal("match");
         let journaled = quick()
             .sweep_with(&rates, SweepOptions::new().threads(2).checkpoint(&path))
@@ -1476,7 +1534,7 @@ mod tests {
         // both thread counts. The resumed curve must be bit-identical to an
         // uninterrupted sequential sweep — including its rendered output.
         let rates = [0.05, 0.15, 0.25, 0.35];
-        let baseline = quick().sweep_on(&rates, None, 1).unwrap();
+        let baseline = quick().sweep_with(&rates, SweepOptions::new().threads(1)).unwrap();
         for threads in [1usize, 4] {
             let path = tmp_journal(&format!("resume-{threads}"));
             let full = quick()
@@ -1632,7 +1690,7 @@ mod tests {
     fn pattern_mesh_mismatch_is_a_config_error() {
         // 6×6 mesh with a power-of-two-only pattern: rejected up front
         // with a typed error instead of a mid-simulation panic.
-        let err = quick().topology(Mesh::square(6)).traffic(TrafficSpec::Shuffle).run().unwrap_err();
+        let err = quick().topology(Mesh::square(6)).traffic(TrafficSpec::Shuffle).run_with(RunOptions::new()).unwrap_err();
         match err {
             RunError::Config(ConfigError::PatternMesh { pattern, nodes }) => {
                 assert_eq!(pattern, "shuffle");
@@ -1651,7 +1709,7 @@ mod tests {
         let steady = quick()
             .injection_rate(0.2)
             .measurement(4_000)
-            .run()
+            .run_with(RunOptions::new())
             .unwrap();
         let bursty = quick()
             .injection_rate(0.2)
@@ -1660,7 +1718,7 @@ mod tests {
                 on: DurationDist::Fixed(100),
                 off: DurationDist::Fixed(100),
             })
-            .run()
+            .run_with(RunOptions::new())
             .unwrap();
         let ratio = bursty.latency.throughput / steady.latency.throughput;
         assert!((ratio - 0.5).abs() < 0.08, "throughput ratio {ratio}");
@@ -1677,8 +1735,8 @@ mod tests {
         let active = b.run_with(RunOptions::new().scheduler(Scheduler::Active)).unwrap();
         assert_eq!(dense, active);
         let rates = [0.1, 0.2];
-        let seq = b.sweep_on(&rates, None, 1).unwrap();
-        let pooled = b.sweep_on(&rates, None, 4).unwrap();
+        let seq = b.sweep_with(&rates, SweepOptions::new().threads(1)).unwrap();
+        let pooled = b.sweep_with(&rates, SweepOptions::new().threads(4)).unwrap();
         assert_eq!(seq, pooled);
     }
 
@@ -1693,7 +1751,7 @@ mod tests {
                 TenantSpec::new("batch", TrafficSpec::Transpose, 0.1),
             ])
             .drain(500)
-            .run()
+            .run_with(RunOptions::new())
             .unwrap();
         assert_eq!(report.tenants.len(), 2);
         let web = report.tenant("web").unwrap();
@@ -1723,7 +1781,7 @@ mod tests {
                 TenantSpec::new("a", TrafficSpec::UniformRandom, 0.7),
                 TenantSpec::new("b", TrafficSpec::Transpose, 0.6),
             ])
-            .run()
+            .run_with(RunOptions::new())
             .unwrap_err();
         match &err {
             RunError::Config(ConfigError::Workload(msg)) => {
@@ -1734,7 +1792,7 @@ mod tests {
         // Negative per-tenant rate.
         let err = quick()
             .tenants(vec![TenantSpec::new("a", TrafficSpec::UniformRandom, -0.1)])
-            .run()
+            .run_with(RunOptions::new())
             .unwrap_err();
         assert!(matches!(err, RunError::Config(ConfigError::Workload(_))));
         // Invalid modulation schedule (zero-length on-phase).
@@ -1743,7 +1801,7 @@ mod tests {
                 on: DurationDist::Fixed(0),
                 off: DurationDist::Fixed(10),
             })
-            .run()
+            .run_with(RunOptions::new())
             .unwrap_err();
         assert!(matches!(err, RunError::Config(ConfigError::Workload(_))));
         assert!(err.to_string().contains("invalid workload"));

@@ -58,6 +58,10 @@ pub struct RunReport {
     /// Per-tenant SLO summaries, in tenant declaration order. Empty unless
     /// the run was configured with `SimulationBuilder::tenants`.
     pub tenants: Vec<TenantSummary>,
+    /// The fabric the run executed on, in `TopologySpec` display form
+    /// (`"mesh:8x8"`, `"torus:8x8"`, `"ring:16"`). Empty for reports built
+    /// directly from metrics without a builder.
+    pub topology: String,
 }
 
 impl RunReport {
@@ -100,6 +104,7 @@ impl RunReport {
             hol_degree: metrics.hol_degree(),
             faults: FaultStats::default(),
             tenants: Vec::new(),
+            topology: String::new(),
         }
     }
 

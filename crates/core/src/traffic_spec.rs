@@ -2,7 +2,7 @@
 
 use core::fmt;
 use footprint_sim::Workload;
-use footprint_topology::Mesh;
+use footprint_topology::AnyTopology;
 use footprint_traffic::{
     App, HotspotWorkload, PacketSize, ParsecPairWorkload, PatternError, PatternSpec, Permutation,
     SyntheticWorkload,
@@ -45,19 +45,25 @@ impl TrafficSpec {
         background_rate: 0.30,
     };
 
-    /// Builds the workload for `mesh` at the given offered load
+    /// Builds the workload for `topo` at the given offered load
     /// (flits/node/cycle) and packet-size mix.
     ///
     /// # Errors
     ///
     /// Returns a [`PatternError`] when the underlying pattern is not
-    /// defined on `mesh` (the bit-manipulating patterns need a
+    /// defined on `topo` (the bit-manipulating patterns need a
     /// power-of-two node count).
-    pub fn build(self, mesh: Mesh, size: PacketSize, rate: f64) -> Result<Box<dyn Workload>, PatternError> {
+    pub fn build(
+        self,
+        topo: impl Into<AnyTopology>,
+        size: PacketSize,
+        rate: f64,
+    ) -> Result<Box<dyn Workload>, PatternError> {
+        let topo = topo.into();
         let synthetic = |pattern: PatternSpec| -> Result<Box<dyn Workload>, PatternError> {
             Ok(Box::new(SyntheticWorkload::new(
-                mesh,
-                pattern.build_for(mesh)?,
+                topo,
+                pattern.build_for(topo)?,
                 size,
                 rate,
             )))
@@ -70,16 +76,16 @@ impl TrafficSpec {
             TrafficSpec::BitReverse => synthetic(PatternSpec::BitReverse),
             TrafficSpec::Tornado => synthetic(PatternSpec::Tornado),
             TrafficSpec::Hotspot { background_rate } => Ok(Box::new(HotspotWorkload::new(
-                mesh,
+                topo,
                 footprint_traffic::paper_flows(),
                 rate,
                 background_rate,
                 size,
             ))),
-            TrafficSpec::ParsecPair(a, b) => Ok(Box::new(ParsecPairWorkload::new(mesh, a, b))),
+            TrafficSpec::ParsecPair(a, b) => Ok(Box::new(ParsecPairWorkload::new(topo, a, b))),
             TrafficSpec::Figure2 => Ok(Box::new(SyntheticWorkload::new(
-                mesh,
-                Box::new(Permutation::figure2_example(mesh)),
+                topo,
+                Box::new(Permutation::figure2_example(topo)),
                 size,
                 rate,
             ))),
@@ -158,7 +164,7 @@ impl TenantSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use footprint_topology::NodeId;
+    use footprint_topology::{Mesh, NodeId};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 

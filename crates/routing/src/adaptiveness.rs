@@ -12,7 +12,7 @@
 //! implementations.
 
 use crate::{RoutingAlgorithm, VcSelection};
-use footprint_topology::{Mesh, NodeId};
+use footprint_topology::{AnyTopology, NodeId};
 
 /// Counts the minimal paths from `src` to `dest` that the algorithm's
 /// state-independent allowed-direction relation permits.
@@ -20,13 +20,13 @@ use footprint_topology::{Mesh, NodeId};
 /// Uses memoized counting over the (acyclic) minimal quadrant, so it is
 /// exact even for 16×16 meshes where path counts explode combinatorially.
 pub fn allowed_path_count(
-    mesh: Mesh,
+    topo: impl Into<AnyTopology>,
     algo: &dyn RoutingAlgorithm,
     src: NodeId,
     dest: NodeId,
 ) -> u64 {
     fn rec(
-        mesh: Mesh,
+        topo: AnyTopology,
         algo: &dyn RoutingAlgorithm,
         cur: NodeId,
         src: NodeId,
@@ -40,40 +40,43 @@ pub fn allowed_path_count(
             return v;
         }
         let mut total = 0u64;
-        for d in algo.allowed_dirs(mesh, cur, src, dest).iter() {
+        for d in algo.allowed_dirs(topo, cur, src, dest).iter() {
             // Allowed directions are minimal by construction, so this walk
-            // terminates; a direction off the mesh is a corrupted direction
-            // set — report it and skip rather than abort the analysis.
-            let next = match crate::invariant::neighbor_checked(mesh, cur, d) {
+            // terminates; a direction off the fabric is a corrupted
+            // direction set — report it and skip rather than abort the
+            // analysis.
+            let next = match crate::invariant::neighbor_checked(topo, cur, d) {
                 Ok(n) => n,
                 Err(e) => {
                     crate::invariant::report_violation(&e);
                     continue;
                 }
             };
-            total = total.saturating_add(rec(mesh, algo, next, src, dest, memo));
+            total = total.saturating_add(rec(topo, algo, next, src, dest, memo));
         }
         memo[cur.index()] = Some(total);
         total
     }
-    let mut memo = vec![None; mesh.len()];
-    rec(mesh, algo, src, src, dest, &mut memo)
+    let topo = topo.into();
+    let mut memo = vec![None; topo.len()];
+    rec(topo, algo, src, src, dest, &mut memo)
 }
 
 /// Path-level port adaptiveness for one pair: allowed minimal paths divided
 /// by all minimal paths. 1.0 for fully adaptive algorithms, `1/C(dx+dy,dx)`
 /// for deterministic ones.
 pub fn path_adaptiveness(
-    mesh: Mesh,
+    topo: impl Into<AnyTopology>,
     algo: &dyn RoutingAlgorithm,
     src: NodeId,
     dest: NodeId,
 ) -> f64 {
-    let total = mesh.minimal_path_count(src, dest);
+    let topo = topo.into();
+    let total = topo.minimal_path_count(src, dest);
     if total == 0 {
         return 1.0;
     }
-    allowed_path_count(mesh, algo, src, dest) as f64 / total as f64
+    allowed_path_count(topo, algo, src, dest) as f64 / total as f64
 }
 
 /// Mean path adaptiveness over all ordered pairs `src != dest`.
@@ -81,13 +84,14 @@ pub fn path_adaptiveness(
 /// This is the network-wide scalar quoted in comparisons like Table 1:
 /// 1.0 for DBAR/Footprint, strictly between 0 and 1 for Odd-Even, and small
 /// for DOR.
-pub fn mean_path_adaptiveness(mesh: Mesh, algo: &dyn RoutingAlgorithm) -> f64 {
+pub fn mean_path_adaptiveness(topo: impl Into<AnyTopology>, algo: &dyn RoutingAlgorithm) -> f64 {
+    let topo = topo.into();
     let mut sum = 0.0;
     let mut pairs = 0u64;
-    for src in mesh.nodes() {
-        for dest in mesh.nodes() {
+    for src in topo.nodes() {
+        for dest in topo.nodes() {
             if src != dest {
-                sum += path_adaptiveness(mesh, algo, src, dest);
+                sum += path_adaptiveness(topo, algo, src, dest);
                 pairs += 1;
             }
         }
@@ -98,17 +102,18 @@ pub fn mean_path_adaptiveness(mesh: Mesh, algo: &dyn RoutingAlgorithm) -> f64 {
 /// Port adaptiveness per the paper's Eq. (1) at a single decision point:
 /// adaptive output ports over minimal output ports at `cur` for `src→dest`.
 pub fn port_adaptiveness_at(
-    mesh: Mesh,
+    topo: impl Into<AnyTopology>,
     algo: &dyn RoutingAlgorithm,
     cur: NodeId,
     src: NodeId,
     dest: NodeId,
 ) -> f64 {
-    let minimal = mesh.minimal_dirs(cur, dest).count();
+    let topo = topo.into();
+    let minimal = topo.minimal_dirs(cur, dest).count();
     if minimal == 0 {
         return 1.0;
     }
-    algo.allowed_dirs(mesh, cur, src, dest).len() as f64 / minimal as f64
+    algo.allowed_dirs(topo, cur, src, dest).len() as f64 / minimal as f64
 }
 
 /// VC adaptiveness per the paper's Eq. (2)/(3).
@@ -138,6 +143,7 @@ pub fn vc_adaptiveness(
 mod tests {
     use super::*;
     use crate::{Dbar, Dor, Footprint, OddEven, Xordet};
+    use footprint_topology::Mesh;
 
     #[test]
     fn dor_allows_exactly_one_path() {

@@ -1,7 +1,7 @@
 //! The routing-algorithm abstraction.
 
 use crate::{CongestionView, LinkStateView, PortStateView, Priority, VcId, VcRequest};
-use footprint_topology::{Direction, Mesh, NodeId, Port};
+use footprint_topology::{AnyTopology, Direction, NodeId, Port};
 use rand::RngCore;
 
 /// How output VCs may be reallocated to new packets.
@@ -23,8 +23,8 @@ pub enum VcReallocationPolicy {
 
 /// Everything a routing algorithm may inspect when routing one head packet.
 pub struct RoutingCtx<'a> {
-    /// The topology.
-    pub mesh: Mesh,
+    /// The topology (mesh, torus, ring, ...; a two-word `Copy` value).
+    pub topo: AnyTopology,
     /// The router making the decision.
     pub current: NodeId,
     /// Source endpoint of the packet.
@@ -50,11 +50,23 @@ pub struct RoutingCtx<'a> {
 }
 
 impl<'a> RoutingCtx<'a> {
-    /// First adaptive VC index for this algorithm layout: 1 when an escape
-    /// VC is reserved, 0 otherwise.
+    /// Number of escape VCs reserved under this algorithm layout: the
+    /// topology's escape-class count (1 on meshes, 2 on wrapping fabrics)
+    /// when an escape layer exists, 0 otherwise.
+    #[inline]
+    pub fn escape_vcs(&self, has_escape: bool) -> usize {
+        if has_escape {
+            self.topo.escape_vcs()
+        } else {
+            0
+        }
+    }
+
+    /// First adaptive VC index for this algorithm layout: the indices below
+    /// it belong to the escape classes.
     #[inline]
     pub fn adaptive_lo(&self, has_escape: bool) -> usize {
-        usize::from(has_escape)
+        self.escape_vcs(has_escape)
     }
 
     /// `true` if taking `dir` here is useful for this packet: the link is
@@ -76,12 +88,53 @@ impl<'a> RoutingCtx<'a> {
     /// reduced channel set preserves acyclicity), and `None` is returned
     /// when neither productive step survives the mask.
     pub fn escape_dir(&self) -> Option<Direction> {
-        let dirs = self.mesh.minimal_dirs(self.current, self.dest);
+        let dirs = self.topo.minimal_dirs(self.current, self.dest);
         [dirs.x, dirs.y]
             .into_iter()
             .flatten()
             .find(|&d| self.usable(d))
     }
+
+    /// The escape hop for this packet: the dimension-order direction plus
+    /// the escape-VC class of that channel. On meshes the class is always
+    /// [`VcId::ESCAPE`]; wrapping topologies return class 0 or 1 by the
+    /// dateline rule ([`footprint_topology::Topology::escape_class`]).
+    pub fn escape_hop(&self) -> Option<(Direction, VcId)> {
+        let dir = self.escape_dir()?;
+        let class = self.topo.escape_class(self.current, self.dest, dir);
+        Some((dir, VcId::from_index(usize::from(class))))
+    }
+
+    /// Appends the canonical lowest-priority escape request (Duato's
+    /// always-requestable escape channel) if a productive escape hop
+    /// survives the fault mask.
+    #[inline]
+    pub fn push_escape_request(&self, out: &mut Vec<VcRequest>) {
+        if let Some((dir, vc)) = self.escape_hop() {
+            out.push(VcRequest::new(Port::Dir(dir), vc, Priority::Lowest));
+        }
+    }
+}
+
+/// How an algorithm's deadlock-freedom argument extends to wrapping
+/// topologies (torus, ring), where minimal routes can close cycles through
+/// the wraparound channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WrapStrategy {
+    /// The algorithm routes only on the acyclic (non-wraparound) channel
+    /// subgraph — [`footprint_topology::Topology::acyclic_minimal_dirs`] —
+    /// so its mesh CDG argument applies verbatim (turn models).
+    AcyclicSubgraph,
+    /// Duato escape VCs with dateline classes: the topology's
+    /// `escape_vcs()` lowest VC indices form a layered acyclic escape
+    /// network (fully adaptive algorithms).
+    EscapeVcs,
+    /// Every channel's VCs are split into two dateline half-classes and the
+    /// crossing rule picks the class per hop (DOR on tori and rings).
+    DatelineVcClasses,
+    /// No deadlock-freedom argument exists for this algorithm on wrapping
+    /// topologies; network construction rejects the combination.
+    Unsupported,
 }
 
 /// How an algorithm chooses virtual channels, used by the adaptiveness
@@ -113,8 +166,36 @@ pub trait RoutingAlgorithm: Send + Sync {
     /// argument.
     fn policy(&self) -> VcReallocationPolicy;
 
-    /// `true` if VC 0 of every channel is reserved as a Duato escape channel.
+    /// `true` if the lowest VC indices of every channel are reserved as
+    /// Duato escape channels (VC 0 on meshes; the topology's `escape_vcs()`
+    /// dateline classes on wrapping fabrics).
     fn has_escape(&self) -> bool;
+
+    /// How this algorithm stays deadlock-free on wrapping topologies. The
+    /// default matches the common cases: Duato-based algorithms extend via
+    /// dateline escape classes, escape-free ones by restricting themselves
+    /// to the acyclic channel subgraph.
+    fn wrap_strategy(&self) -> WrapStrategy {
+        if self.has_escape() {
+            WrapStrategy::EscapeVcs
+        } else {
+            WrapStrategy::AcyclicSubgraph
+        }
+    }
+
+    /// Minimum VCs per channel this algorithm needs on `topo` for its
+    /// deadlock-freedom argument: every escape class plus one adaptive VC
+    /// for Duato-based algorithms, two dateline half-classes for
+    /// [`WrapStrategy::DatelineVcClasses`], one otherwise.
+    fn min_vcs_on(&self, topo: AnyTopology) -> usize {
+        if self.has_escape() {
+            return topo.escape_vcs() + 1;
+        }
+        if topo.wraps() && self.wrap_strategy() == WrapStrategy::DatelineVcClasses {
+            return 2;
+        }
+        1
+    }
 
     /// How this algorithm selects VCs (for the adaptiveness metrics).
     fn vc_selection(&self) -> VcSelection {
@@ -148,19 +229,20 @@ pub trait RoutingAlgorithm: Send + Sync {
         for v in lo..ctx.num_vcs {
             out.push(VcRequest::new(Port::Local, VcId::from_index(v), Priority::Low));
         }
-        if self.has_escape() {
-            out.push(VcRequest::new(Port::Local, VcId::ESCAPE, Priority::Lowest));
+        // Every escape class is requestable at injection (one on meshes).
+        for v in 0..lo {
+            out.push(VcRequest::new(Port::Local, VcId::from_index(v), Priority::Lowest));
         }
     }
 
     /// The set of output directions this algorithm could ever select at
     /// `cur` for a packet `src → dest`, independent of network state. Used
     /// by the adaptiveness metrics (§3.1); the default is fully adaptive
-    /// (all minimal directions).
-    fn allowed_dirs(&self, mesh: Mesh, cur: NodeId, src: NodeId, dest: NodeId) -> DirSet {
+    /// (all minimal directions, wrap-aware on wrapping topologies).
+    fn allowed_dirs(&self, topo: AnyTopology, cur: NodeId, src: NodeId, dest: NodeId) -> DirSet {
         let _ = src;
         let mut set = DirSet::EMPTY;
-        for d in mesh.minimal_dirs(cur, dest).iter() {
+        for d in topo.minimal_dirs(cur, dest).iter() {
             set.insert(d);
         }
         set
@@ -251,7 +333,7 @@ mod tests {
         dest: u16,
     ) -> RoutingCtx<'a> {
         RoutingCtx {
-            mesh: Mesh::square(4),
+            topo: footprint_topology::Mesh::square(4).into(),
             current: NodeId(cur),
             src: NodeId(0),
             dest: NodeId(dest),

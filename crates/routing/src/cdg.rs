@@ -14,11 +14,12 @@
 //! [`RoutingAlgorithm`]; the test suites use it to *prove* (rather than
 //! stress-test) the acyclicity side of the §3.4 argument.
 
-use crate::{Dor, RoutingAlgorithm};
-use footprint_topology::{Channel, Direction, Mesh, NodeId};
+use crate::{Dor, RoutingAlgorithm, WrapStrategy};
+use footprint_topology::{AnyTopology, Channel, Direction, NodeId};
 use std::collections::BTreeMap;
 
-/// A directed graph over the mesh's channels.
+/// A directed graph over a topology's channels (for wrapping topologies,
+/// over its (channel, dateline-class) pairs).
 #[derive(Debug, Clone, Default)]
 pub struct ChannelDependencyGraph {
     /// Adjacency: channel index → dependent channel indices.
@@ -37,12 +38,13 @@ impl ChannelDependencyGraph {
         u8::try_from(pos).expect("direction table fits in u8")
     }
 
-    /// Builds the CDG of `algo`'s allowed-direction relation on `mesh`:
+    /// Builds the CDG of `algo`'s allowed-direction relation on `topo`:
     /// there is an edge `A → B` iff some packet (over all source/destination
     /// pairs) can occupy channel `A` while requesting channel `B`.
-    pub fn build(mesh: Mesh, algo: &dyn RoutingAlgorithm) -> Self {
+    pub fn build(topo: impl Into<AnyTopology>, algo: &dyn RoutingAlgorithm) -> Self {
+        let topo = topo.into();
         let mut g = ChannelDependencyGraph::default();
-        for ch in mesh.channels() {
+        for ch in topo.channels() {
             let idx = g.channels.len();
             g.index.insert((ch.src.0, Self::dir_code(ch.dir)), idx);
             g.channels.push(ch);
@@ -54,10 +56,10 @@ impl ChannelDependencyGraph {
         // count: several turn models (odd-even's source-column condition in
         // particular) are deadlock-free precisely because certain
         // position/route combinations are unreachable.
-        let mut reach = vec![false; mesh.len()];
+        let mut reach = vec![false; topo.len()];
         let mut frontier: Vec<NodeId> = Vec::new();
-        for src in mesh.nodes() {
-            for dest in mesh.nodes() {
+        for src in topo.nodes() {
+            for dest in topo.nodes() {
                 if src == dest {
                     continue;
                 }
@@ -69,8 +71,8 @@ impl ChannelDependencyGraph {
                     if a == dest {
                         continue;
                     }
-                    for d_in in algo.allowed_dirs(mesh, a, src, dest).iter() {
-                        let Some(b) = mesh.neighbor(a, d_in) else {
+                    for d_in in algo.allowed_dirs(topo, a, src, dest).iter() {
+                        let Some(b) = topo.neighbor(a, d_in) else {
                             continue;
                         };
                         if !reach[b.index()] {
@@ -81,13 +83,64 @@ impl ChannelDependencyGraph {
                             continue; // ejection: no further channel
                         }
                         let from = g.index[&(a.0, Self::dir_code(d_in))];
-                        for d_out in algo.allowed_dirs(mesh, b, src, dest).iter() {
-                            if mesh.neighbor(b, d_out).is_some() {
+                        for d_out in algo.allowed_dirs(topo, b, src, dest).iter() {
+                            if topo.neighbor(b, d_out).is_some() {
                                 let to = g.index[&(b.0, Self::dir_code(d_out))];
                                 g.edges[from].push(to);
                             }
                         }
                     }
+                }
+            }
+        }
+        for adj in &mut g.edges {
+            adj.sort_unstable();
+            adj.dedup();
+        }
+        g
+    }
+
+    /// Builds the *dateline-classed* CDG of the dimension-ordered escape
+    /// relation on `topo`: graph nodes are `(channel, escape class)` pairs
+    /// and each `(src, dest)` pair contributes its deterministic
+    /// dimension-order route, with the class of every hop given by
+    /// [`footprint_topology::Topology::escape_class`]. This is the VC-level
+    /// dependency graph that both the Duato escape sub-network
+    /// ([`WrapStrategy::EscapeVcs`]) and dateline-classed DOR
+    /// ([`WrapStrategy::DatelineVcClasses`]) induce on a wrapping topology;
+    /// on a mesh every class is 0 and it degenerates to the ordinary DOR
+    /// CDG.
+    pub fn build_escape_classed(topo: impl Into<AnyTopology>) -> Self {
+        let topo = topo.into();
+        let mut g = ChannelDependencyGraph::default();
+        // One graph node per (channel, class); `channels` keeps the physical
+        // channel so a witness cycle renders meaningfully.
+        for class in 0..topo.escape_vcs() {
+            for ch in topo.channels() {
+                let idx = g.channels.len();
+                g.index
+                    .insert((ch.src.0, Self::dir_code(ch.dir) | ((class as u8) << 4)), idx);
+                g.channels.push(ch);
+                g.edges.push(Vec::new());
+            }
+        }
+        for src in topo.nodes() {
+            for dest in topo.nodes() {
+                if src == dest {
+                    continue;
+                }
+                let mut cur = src;
+                let mut held: Option<usize> = None;
+                while cur != dest {
+                    let dirs = topo.minimal_dirs(cur, dest);
+                    let Some(d) = dirs.x.or(dirs.y) else { break };
+                    let class = topo.escape_class(cur, dest, d);
+                    let idx = g.index[&(cur.0, Self::dir_code(d) | (class << 4))];
+                    if let Some(h) = held {
+                        g.edges[h].push(idx);
+                    }
+                    held = Some(idx);
+                    cur = topo.neighbor(cur, d).expect("minimal direction has a neighbor");
                 }
             }
         }
@@ -175,24 +228,66 @@ pub enum DeadlockVerdict {
     /// as long as every waiting packet keeps requesting the escape channel
     /// (which the simulator's standing requests guarantee).
     EscapeNetworkAcyclic,
+    /// The algorithm routes on a wrapping topology by splitting each
+    /// channel's VCs into dateline classes, and the classed dependency
+    /// graph is acyclic: deadlock-free.
+    DatelineClassesAcyclic,
+    /// The algorithm declares itself unsupported on this topology
+    /// ([`WrapStrategy::Unsupported`]); no deadlock-freedom argument
+    /// exists and the simulator refuses the combination at validation.
+    UnsupportedOnTopology,
     /// A dependency cycle exists with no escape mechanism — a deadlock
     /// hazard. Carries one witness cycle.
     Cyclic(Vec<Channel>),
 }
 
 /// Checks the structural half of the deadlock-freedom argument for `algo`
-/// on `mesh`: full-CDG acyclicity for algorithms without an escape channel,
-/// escape-sub-network acyclicity (always DOR, hence always acyclic — but we
-/// verify rather than assume) for Duato-based ones.
-pub fn check_deadlock_freedom(mesh: Mesh, algo: &dyn RoutingAlgorithm) -> DeadlockVerdict {
+/// on `topo`.
+///
+/// On acyclic (mesh) topologies: full-CDG acyclicity for algorithms
+/// without an escape channel, escape-sub-network acyclicity (always DOR,
+/// hence always acyclic — but we verify rather than assume) for
+/// Duato-based ones.
+///
+/// On wrapping topologies the check follows the algorithm's declared
+/// [`WrapStrategy`]: turn models restricted to the acyclic channel
+/// subgraph get the ordinary CDG check; escape-VC and dateline-class
+/// strategies get the classed escape CDG
+/// ([`ChannelDependencyGraph::build_escape_classed`]); algorithms with no
+/// wrap argument report [`DeadlockVerdict::UnsupportedOnTopology`].
+pub fn check_deadlock_freedom(
+    topo: impl Into<AnyTopology>,
+    algo: &dyn RoutingAlgorithm,
+) -> DeadlockVerdict {
+    let topo = topo.into();
+    if topo.wraps() {
+        return match algo.wrap_strategy() {
+            WrapStrategy::Unsupported => DeadlockVerdict::UnsupportedOnTopology,
+            WrapStrategy::AcyclicSubgraph => {
+                match ChannelDependencyGraph::build(topo, algo).find_cycle() {
+                    None => DeadlockVerdict::AcyclicCdg,
+                    Some(c) => DeadlockVerdict::Cyclic(c),
+                }
+            }
+            strategy @ (WrapStrategy::EscapeVcs | WrapStrategy::DatelineVcClasses) => {
+                match ChannelDependencyGraph::build_escape_classed(topo).find_cycle() {
+                    None if strategy == WrapStrategy::EscapeVcs => {
+                        DeadlockVerdict::EscapeNetworkAcyclic
+                    }
+                    None => DeadlockVerdict::DatelineClassesAcyclic,
+                    Some(c) => DeadlockVerdict::Cyclic(c),
+                }
+            }
+        };
+    }
     if algo.has_escape() {
-        let escape = ChannelDependencyGraph::build(mesh, &Dor);
+        let escape = ChannelDependencyGraph::build(topo, &Dor);
         match escape.find_cycle() {
             None => DeadlockVerdict::EscapeNetworkAcyclic,
             Some(c) => DeadlockVerdict::Cyclic(c),
         }
     } else {
-        let cdg = ChannelDependencyGraph::build(mesh, algo);
+        let cdg = ChannelDependencyGraph::build(topo, algo);
         match cdg.find_cycle() {
             None => DeadlockVerdict::AcyclicCdg,
             Some(c) => DeadlockVerdict::Cyclic(c),
@@ -204,7 +299,7 @@ pub fn check_deadlock_freedom(mesh: Mesh, algo: &dyn RoutingAlgorithm) -> Deadlo
 mod tests {
     use super::*;
     use crate::{Dbar, DirSet, Footprint, NorthLast, OddEven, WestFirst};
-    use footprint_topology::DIRECTIONS;
+    use footprint_topology::{Mesh, Ring, Torus, DIRECTIONS};
 
     #[test]
     fn dor_cdg_is_acyclic() {
@@ -306,5 +401,56 @@ mod tests {
             }
         }
         let _ = (DIRECTIONS, DirSet::EMPTY);
+    }
+
+    #[test]
+    fn unclassed_dor_relation_is_cyclic_on_a_torus() {
+        // The reason dateline classes exist: the plain channel-level DOR
+        // CDG on a wrapping topology closes each ring into a cycle.
+        let g = ChannelDependencyGraph::build(Torus::square(4), &Dor);
+        assert!(!g.is_acyclic());
+    }
+
+    #[test]
+    fn classed_escape_cdg_is_acyclic_on_wrap_topologies() {
+        for topo in [
+            AnyTopology::from(Torus::square(4)),
+            AnyTopology::from(Torus::new(5, 3)),
+            AnyTopology::from(Ring::new(8)),
+        ] {
+            let g = ChannelDependencyGraph::build_escape_classed(topo);
+            assert!(g.is_acyclic(), "{topo}");
+            assert_eq!(g.channel_count(), topo.channels().count() * topo.escape_vcs());
+        }
+    }
+
+    #[test]
+    fn wrap_verdicts_follow_the_declared_strategy() {
+        let torus = Torus::square(4);
+        assert_eq!(
+            check_deadlock_freedom(torus, &Dor),
+            DeadlockVerdict::DatelineClassesAcyclic
+        );
+        assert_eq!(
+            check_deadlock_freedom(torus, &Footprint::new()),
+            DeadlockVerdict::EscapeNetworkAcyclic
+        );
+        assert_eq!(
+            check_deadlock_freedom(torus, &Dbar),
+            DeadlockVerdict::EscapeNetworkAcyclic
+        );
+        for algo in [&OddEven as &dyn RoutingAlgorithm, &WestFirst, &NorthLast] {
+            assert_eq!(
+                check_deadlock_freedom(torus, algo),
+                DeadlockVerdict::AcyclicCdg,
+                "{}",
+                algo.name()
+            );
+        }
+        let x = crate::Xordet::new(Dor, "dor+xordet");
+        assert_eq!(
+            check_deadlock_freedom(torus, &x),
+            DeadlockVerdict::UnsupportedOnTopology
+        );
     }
 }

@@ -34,12 +34,12 @@ impl Dbar {
     /// Number of congested channels on the segment `cur → turn point` in
     /// direction `dir` (the destination-relevant part of the dimension).
     fn segment_congestion(ctx: &RoutingCtx<'_>, dir: Direction) -> u32 {
-        let mesh = ctx.mesh;
+        let topo = ctx.topo;
         let mut node = ctx.current;
-        let dest = mesh.coord(ctx.dest);
+        let dest = topo.coord(ctx.dest);
         let mut count = 0;
         loop {
-            let c = mesh.coord(node);
+            let c = topo.coord(node);
             let done = match dir {
                 Direction::East | Direction::West => c.x == dest.x,
                 Direction::North | Direction::South => c.y == dest.y,
@@ -50,7 +50,7 @@ impl Dbar {
             if ctx.congestion.channel_congested(node, dir) {
                 count += 1;
             }
-            node = match mesh.neighbor(node, dir) {
+            node = match topo.neighbor(node, dir) {
                 Some(n) => n,
                 None => break,
             };
@@ -75,7 +75,7 @@ impl RoutingAlgorithm for Dbar {
     fn route(&self, ctx: &RoutingCtx<'_>, rng: &mut dyn RngCore, out: &mut Vec<VcRequest>) {
         // Escape arrivals re-enter the adaptive channels (Duato's theory);
         // the escape request below keeps the escape network reachable.
-        let dirs = ctx.mesh.minimal_dirs(ctx.current, ctx.dest);
+        let dirs = ctx.topo.minimal_dirs(ctx.current, ctx.dest);
         if dirs.count() == 0 {
             return eject_requests(ctx, out);
         }
@@ -98,8 +98,9 @@ impl RoutingAlgorithm for Dbar {
                     core::cmp::Ordering::Less => a,
                     core::cmp::Ordering::Greater => b,
                     core::cmp::Ordering::Equal => {
-                        let ia = ctx.ports.idle_count(Port::Dir(a), 1, ctx.num_vcs);
-                        let ib = ctx.ports.idle_count(Port::Dir(b), 1, ctx.num_vcs);
+                        let lo = ctx.adaptive_lo(true);
+                        let ia = ctx.ports.idle_count(Port::Dir(a), lo, ctx.num_vcs);
+                        let ib = ctx.ports.idle_count(Port::Dir(b), lo, ctx.num_vcs);
                         match ia.cmp(&ib) {
                             core::cmp::Ordering::Greater => a,
                             core::cmp::Ordering::Less => b,
@@ -116,16 +117,10 @@ impl RoutingAlgorithm for Dbar {
             }
         };
         // Oblivious VC selection: all adaptive VCs, equal priority.
-        for v in 1..ctx.num_vcs {
+        for v in ctx.adaptive_lo(true)..ctx.num_vcs {
             out.push(VcRequest::new(Port::Dir(dir), VcId::from_index(v), Priority::Low));
         }
-        if let Some(esc) = ctx.escape_dir() {
-            out.push(VcRequest::new(
-                Port::Dir(esc),
-                VcId::ESCAPE,
-                Priority::Lowest,
-            ));
-        }
+        ctx.push_escape_request(out);
     }
 }
 
@@ -158,7 +153,7 @@ mod tests {
         on_escape: bool,
     ) -> RoutingCtx<'a> {
         RoutingCtx {
-            mesh: Mesh::square(8),
+            topo: Mesh::square(8).into(),
             current: NodeId(cur),
             src: NodeId(cur),
             dest: NodeId(dest),

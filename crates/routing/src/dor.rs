@@ -1,29 +1,51 @@
 //! Dimension-order routing (DOR) — the oblivious, deterministic baseline.
 
-use crate::algorithm::{coin, eject_requests, DirSet};
+use crate::algorithm::{coin, eject_requests, DirSet, WrapStrategy};
 use crate::{Priority, RoutingAlgorithm, RoutingCtx, VcId, VcRequest, VcReallocationPolicy};
-use footprint_topology::{Mesh, NodeId, Port};
+use footprint_topology::{AnyTopology, NodeId, Port};
 use rand::RngCore;
 
 /// XY dimension-order routing.
 ///
 /// Packets first travel along X to the destination column, then along Y.
-/// All VCs of a channel are usable (the paper's Figure 2(a): DOR saturates
-/// *all* VCs of a congested link). Deadlock-free on meshes because the
-/// channel dependency graph of XY routing is acyclic, so no escape channel
-/// is reserved and VCs are reallocated non-atomically.
+/// On meshes all VCs of a channel are usable (the paper's Figure 2(a): DOR
+/// saturates *all* VCs of a congested link) and the CDG of XY routing is
+/// acyclic outright, so no escape channel is reserved and VCs are
+/// reallocated non-atomically.
+///
+/// On wrapping topologies (torus, ring) minimal dimension-order routes
+/// close cycles through the wraparound channels, so each channel's VCs are
+/// split into two dateline half-classes: the lower half while the packet
+/// still has the wrap crossing of that dimension ahead of it, the upper
+/// half once it no longer does. Class transitions are one-way, which keeps
+/// the VC-level dependency graph acyclic (see
+/// [`footprint_topology::Torus`] for the full argument).
 ///
 /// ```
 /// use footprint_routing::{Dor, RoutingAlgorithm};
 /// use footprint_topology::{Mesh, NodeId, Direction};
 ///
 /// let dor = Dor;
-/// let dirs = dor.allowed_dirs(Mesh::square(4), NodeId(0), NodeId(0), NodeId(10));
+/// let dirs = dor.allowed_dirs(Mesh::square(4).into(), NodeId(0), NodeId(0), NodeId(10));
 /// assert!(dirs.contains(Direction::East));
 /// assert_eq!(dirs.len(), 1); // deterministic: only the X direction
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Dor;
+
+/// The VC index range DOR may request on the channel `ctx.current → dir`:
+/// all VCs on acyclic topologies, the dateline half-class on wrapping ones.
+fn dor_vc_band(ctx: &RoutingCtx<'_>, dir: footprint_topology::Direction) -> core::ops::Range<usize> {
+    if !ctx.topo.wraps() {
+        return 0..ctx.num_vcs;
+    }
+    let half = ctx.num_vcs / 2;
+    if ctx.topo.escape_class(ctx.current, ctx.dest, dir) == 0 {
+        0..half
+    } else {
+        half..ctx.num_vcs
+    }
+}
 
 impl RoutingAlgorithm for Dor {
     fn name(&self) -> &'static str {
@@ -38,14 +60,18 @@ impl RoutingAlgorithm for Dor {
         false
     }
 
+    fn wrap_strategy(&self) -> WrapStrategy {
+        WrapStrategy::DatelineVcClasses
+    }
+
     fn route(&self, ctx: &RoutingCtx<'_>, rng: &mut dyn RngCore, out: &mut Vec<VcRequest>) {
         let _ = rng;
-        let dirs = ctx.mesh.minimal_dirs(ctx.current, ctx.dest);
+        let dirs = ctx.topo.minimal_dirs(ctx.current, ctx.dest);
         let dir = match dirs.x.or(dirs.y) {
             Some(d) => d,
             None => return eject_requests(ctx, out),
         };
-        for v in 0..ctx.num_vcs {
+        for v in dor_vc_band(ctx, dir) {
             out.push(VcRequest::new(Port::Dir(dir), VcId::from_index(v), Priority::Low));
         }
     }
@@ -62,8 +88,8 @@ impl RoutingAlgorithm for Dor {
         }
     }
 
-    fn allowed_dirs(&self, mesh: Mesh, cur: NodeId, _src: NodeId, dest: NodeId) -> DirSet {
-        let dirs = mesh.minimal_dirs(cur, dest);
+    fn allowed_dirs(&self, topo: AnyTopology, cur: NodeId, _src: NodeId, dest: NodeId) -> DirSet {
+        let dirs = topo.minimal_dirs(cur, dest);
         dirs.x.or(dirs.y).into_iter().collect()
     }
 }
@@ -90,7 +116,7 @@ impl RoutingAlgorithm for RandomMinimal {
     }
 
     fn route(&self, ctx: &RoutingCtx<'_>, rng: &mut dyn RngCore, out: &mut Vec<VcRequest>) {
-        let dirs = ctx.mesh.minimal_dirs(ctx.current, ctx.dest);
+        let dirs = ctx.topo.minimal_dirs(ctx.current, ctx.dest);
         if dirs.count() == 0 {
             return eject_requests(ctx, out);
         }
@@ -113,16 +139,10 @@ impl RoutingAlgorithm for RandomMinimal {
             // being injected; mid-run fault onsets land in the watchdog).
             (None, None) => return,
         };
-        for v in 1..ctx.num_vcs {
+        for v in ctx.adaptive_lo(true)..ctx.num_vcs {
             out.push(VcRequest::new(Port::Dir(dir), VcId::from_index(v), Priority::Low));
         }
-        if let Some(esc) = ctx.escape_dir() {
-            out.push(VcRequest::new(
-                Port::Dir(esc),
-                VcId::ESCAPE,
-                Priority::Lowest,
-            ));
-        }
+        ctx.push_escape_request(out);
     }
 }
 
@@ -130,7 +150,7 @@ impl RoutingAlgorithm for RandomMinimal {
 mod tests {
     use super::*;
     use crate::{AllLinksUp, DownLinks, NoCongestionInfo, TablePortView};
-    use footprint_topology::Direction;
+    use footprint_topology::{Direction, Mesh};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -138,7 +158,7 @@ mod tests {
         let view = TablePortView::all_idle(4, 4);
         let cong = NoCongestionInfo;
         let ctx = RoutingCtx {
-            mesh: Mesh::square(4),
+            topo: Mesh::square(4).into(),
             current: NodeId(cur),
             src: NodeId(0),
             dest: NodeId(dest),
@@ -195,7 +215,7 @@ mod tests {
         let cong = NoCongestionInfo;
         let faults = DownLinks::new(vec![(NodeId(0), Direction::East)]);
         let ctx = RoutingCtx {
-            mesh: Mesh::square(4),
+            topo: Mesh::square(4).into(),
             current: NodeId(0),
             src: NodeId(0),
             dest: NodeId(10),
@@ -219,7 +239,7 @@ mod tests {
         let cong = NoCongestionInfo;
         let faults = DownLinks::new(vec![(NodeId(0), Direction::East)]);
         let ctx = RoutingCtx {
-            mesh: Mesh::square(4),
+            topo: Mesh::square(4).into(),
             current: NodeId(0),
             src: NodeId(0),
             dest: NodeId(10),
@@ -246,7 +266,7 @@ mod tests {
     #[test]
     fn dor_allowed_dirs_is_singleton_off_destination() {
         let mesh = Mesh::square(8);
-        let dirs = Dor.allowed_dirs(mesh, NodeId(0), NodeId(0), NodeId(63));
+        let dirs = Dor.allowed_dirs(mesh.into(), NodeId(0), NodeId(0), NodeId(63));
         assert_eq!(dirs.len(), 1);
         assert!(dirs.contains(Direction::East));
     }
@@ -256,7 +276,7 @@ mod tests {
         let view = TablePortView::all_idle(4, 4);
         let cong = NoCongestionInfo;
         let ctx = RoutingCtx {
-            mesh: Mesh::square(4),
+            topo: Mesh::square(4).into(),
             current: NodeId(0),
             src: NodeId(0),
             dest: NodeId(10),

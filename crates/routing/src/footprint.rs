@@ -288,7 +288,7 @@ impl RoutingAlgorithm for Footprint {
         // out of the candidate set before selection; the coin is only
         // consumed on a genuine two-way tie, so fault-free runs draw the
         // same RNG sequence as before the fault subsystem existed.
-        let dirs = ctx.mesh.minimal_dirs(ctx.current, ctx.dest);
+        let dirs = ctx.topo.minimal_dirs(ctx.current, ctx.dest);
         if dirs.count() == 0 {
             return eject_requests(ctx, out);
         }
@@ -299,14 +299,15 @@ impl RoutingAlgorithm for Footprint {
             // (the escape shares those channels and is masked with them).
             (None, None) => return,
             (Some(d), None) | (None, Some(d)) => {
-                (d, class_masks(ctx, Port::Dir(d), ctx.dest, 1))
+                (d, class_masks(ctx, Port::Dir(d), ctx.dest, ctx.adaptive_lo(true)))
             }
             (Some(x), Some(y)) => {
                 // STEP 2: compare idle-VC counts, then footprint-VC counts,
                 // then break ties randomly (lines 10–20). Each port is
                 // scanned once; the winner's masks feed step 3 directly.
-                let mx = class_masks(ctx, Port::Dir(x), ctx.dest, 1);
-                let my = class_masks(ctx, Port::Dir(y), ctx.dest, 1);
+                let lo = ctx.adaptive_lo(true);
+                let mx = class_masks(ctx, Port::Dir(x), ctx.dest, lo);
+                let my = class_masks(ctx, Port::Dir(y), ctx.dest, lo);
                 let x_wins = match mx.idle_count().cmp(&my.idle_count()) {
                     core::cmp::Ordering::Greater => true,
                     core::cmp::Ordering::Less => false,
@@ -327,14 +328,9 @@ impl RoutingAlgorithm for Footprint {
         };
         // STEP 3: VC requests on the chosen port.
         self.add_vc_requests(ctx, Port::Dir(chosen), masks, out);
-        // Escape request, always at lowest priority (line 45).
-        if let Some(esc) = ctx.escape_dir() {
-            out.push(VcRequest::new(
-                Port::Dir(esc),
-                VcId::ESCAPE,
-                Priority::Lowest,
-            ));
-        }
+        // Escape request, always at lowest priority (line 45); on wrapping
+        // topologies the dateline rule picks the escape class.
+        ctx.push_escape_request(out);
     }
 
     fn injection_requests(
@@ -345,9 +341,13 @@ impl RoutingAlgorithm for Footprint {
     ) {
         // Injection selects a VC on the source→router channel; run step 3
         // against the local port so footprints form from the very first hop.
-        let masks = class_masks(ctx, Port::Local, ctx.dest, 1);
+        let lo = ctx.adaptive_lo(true);
+        let masks = class_masks(ctx, Port::Local, ctx.dest, lo);
         self.add_vc_requests(ctx, Port::Local, masks, out);
-        out.push(VcRequest::new(Port::Local, VcId::ESCAPE, Priority::Lowest));
+        // Every escape class stays requestable at injection.
+        for v in 0..lo {
+            out.push(VcRequest::new(Port::Local, VcId::from_index(v), Priority::Lowest));
+        }
     }
 }
 
@@ -372,7 +372,7 @@ mod tests {
 
     fn mk_ctx<'a>(view: &'a TablePortView, cong: &'a NoCongestionInfo) -> RoutingCtx<'a> {
         RoutingCtx {
-            mesh: Mesh::square(8),
+            topo: Mesh::square(8).into(),
             current: NodeId(0),
             src: NodeId(0),
             dest: NodeId(63),

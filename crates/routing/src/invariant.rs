@@ -19,15 +19,15 @@ use core::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::request::{VcId, VcRequest};
-use footprint_topology::{Direction, Mesh, NodeId, Port};
+use footprint_topology::{AnyTopology, Direction, NodeId, Port};
 
 /// A violated routing invariant, carrying enough context to render a
 /// self-contained diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum InvariantError {
-    /// A routing decision pointed off the edge of the mesh: `dir` from
+    /// A routing decision pointed off the edge of the fabric: `dir` from
     /// `node` has no neighbor. Minimal routing can never do this, so either
-    /// the direction set or the mesh geometry is corrupted.
+    /// the direction set or the topology geometry is corrupted.
     MissingNeighbor {
         /// Node the direction was taken from.
         node: NodeId,
@@ -64,8 +64,8 @@ impl fmt::Display for InvariantError {
         match self {
             InvariantError::MissingNeighbor { node, dir } => write!(
                 f,
-                "routing invariant violated: direction {dir} from {node} leaves the mesh \
-                 (minimal routing cannot step off the edge; the direction set or mesh \
+                "routing invariant violated: direction {dir} from {node} leaves the fabric \
+                 (minimal routing cannot step off the edge; the direction set or topology \
                  geometry is corrupted)"
             ),
             InvariantError::MissingEscapeRequest {
@@ -101,19 +101,27 @@ impl fmt::Display for InvariantError {
 impl std::error::Error for InvariantError {}
 
 /// The neighbor of `node` in direction `dir`, or a typed error if the step
-/// leaves the mesh.
+/// leaves the fabric.
 ///
 /// # Errors
 ///
 /// Returns [`InvariantError::MissingNeighbor`] when `node` has no neighbor
 /// in `dir`.
-pub fn neighbor_checked(mesh: Mesh, node: NodeId, dir: Direction) -> Result<NodeId, InvariantError> {
-    mesh.neighbor(node, dir)
+pub fn neighbor_checked(
+    topo: impl Into<AnyTopology>,
+    node: NodeId,
+    dir: Direction,
+) -> Result<NodeId, InvariantError> {
+    topo.into()
+        .neighbor(node, dir)
         .ok_or(InvariantError::MissingNeighbor { node, dir })
 }
 
 /// The escape-channel request in `reqs`, or a typed error carrying the full
 /// request set if the Duato invariant is violated.
+///
+/// Checks against the single mesh escape VC ([`VcId::ESCAPE`]); for
+/// topologies with more escape classes use [`escape_request_within`].
 ///
 /// # Errors
 ///
@@ -124,7 +132,24 @@ pub fn escape_request(
     current: NodeId,
     dest: NodeId,
 ) -> Result<&VcRequest, InvariantError> {
-    reqs.iter().find(|r| r.vc == VcId::ESCAPE).ok_or_else(|| {
+    escape_request_within(reqs, current, dest, 1)
+}
+
+/// The escape-channel request in `reqs` for a topology reserving
+/// `escape_vcs` escape classes (VCs `0..escape_vcs`), or a typed error
+/// carrying the full request set if the Duato invariant is violated.
+///
+/// # Errors
+///
+/// Returns [`InvariantError::MissingEscapeRequest`] when no request targets
+/// a VC below `escape_vcs`.
+pub fn escape_request_within(
+    reqs: &[VcRequest],
+    current: NodeId,
+    dest: NodeId,
+    escape_vcs: usize,
+) -> Result<&VcRequest, InvariantError> {
+    reqs.iter().find(|r| r.vc.index() < escape_vcs).ok_or_else(|| {
         InvariantError::MissingEscapeRequest {
             current,
             dest,
@@ -177,7 +202,7 @@ pub fn report_violation(err: &InvariantError) {
 mod tests {
     use super::*;
     use crate::request::Priority;
-    use footprint_topology::Port;
+    use footprint_topology::{Mesh, Port};
 
     #[test]
     fn neighbor_checked_steps_inside_the_mesh() {
@@ -200,7 +225,7 @@ mod tests {
             }
         );
         let msg = err.to_string();
-        assert!(msg.contains("leaves the mesh"), "msg: {msg}");
+        assert!(msg.contains("leaves the fabric"), "msg: {msg}");
         assert!(msg.contains("n0"), "msg: {msg}");
     }
 

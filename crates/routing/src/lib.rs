@@ -33,7 +33,7 @@
 //!
 //! let view = TablePortView::all_idle(10, 4);
 //! let ctx = RoutingCtx {
-//!     mesh: Mesh::square(8),
+//!     topo: Mesh::square(8).into(),
 //!     current: NodeId(0),
 //!     src: NodeId(0),
 //!     dest: NodeId(63),
@@ -69,11 +69,13 @@ mod view;
 mod voqsw;
 mod xordet;
 
-pub use algorithm::{DirSet, RoutingAlgorithm, RoutingCtx, VcReallocationPolicy, VcSelection};
+pub use algorithm::{
+    DirSet, RoutingAlgorithm, RoutingCtx, VcReallocationPolicy, VcSelection, WrapStrategy,
+};
 pub use dbar::{dbar_threshold, Dbar};
 pub use dor::{Dor, RandomMinimal};
 pub use footprint::Footprint;
-pub use invariant::{escape_request, neighbor_checked, InvariantError};
+pub use invariant::{escape_request, escape_request_within, neighbor_checked, InvariantError};
 pub use odd_even::OddEven;
 pub use overlay::FootprintOverlay;
 pub use request::{Priority, VcId, VcRequest};

@@ -3,7 +3,7 @@
 
 use crate::algorithm::{coin, eject_requests, DirSet};
 use crate::{Priority, RoutingAlgorithm, RoutingCtx, VcId, VcRequest, VcReallocationPolicy};
-use footprint_topology::{Direction, Mesh, NodeId, Port};
+use footprint_topology::{AnyTopology, Direction, NodeId, Port};
 use rand::RngCore;
 
 /// Minimal Odd-Even adaptive routing.
@@ -29,10 +29,16 @@ pub struct OddEven;
 impl OddEven {
     /// The minimal directions permitted by the odd-even turn model for a
     /// packet injected at `src`, currently at `cur`, destined to `dest`.
-    pub fn legal_dirs(mesh: Mesh, cur: NodeId, src: NodeId, dest: NodeId) -> DirSet {
-        let c = mesh.coord(cur);
-        let s = mesh.coord(src);
-        let d = mesh.coord(dest);
+    ///
+    /// The rules are stated over coordinate deltas, so on wrapping
+    /// topologies this is exactly the odd-even relation on the acyclic
+    /// (non-wraparound) channel subgraph — the mesh CDG argument carries
+    /// over verbatim and wrap channels are simply never used.
+    pub fn legal_dirs(topo: impl Into<AnyTopology>, cur: NodeId, src: NodeId, dest: NodeId) -> DirSet {
+        let topo = topo.into();
+        let c = topo.coord(cur);
+        let s = topo.coord(src);
+        let d = topo.coord(dest);
         let e0 = d.x as i32 - c.x as i32;
         let e1 = d.y as i32 - c.y as i32;
         let mut avail = DirSet::EMPTY;
@@ -95,7 +101,7 @@ impl RoutingAlgorithm for OddEven {
         if ctx.current == ctx.dest {
             return eject_requests(ctx, out);
         }
-        let legal = Self::legal_dirs(ctx.mesh, ctx.current, ctx.src, ctx.dest);
+        let legal = Self::legal_dirs(ctx.topo, ctx.current, ctx.src, ctx.dest);
         // Faulted candidates drop out of the turn-model set; the coin is
         // only consumed on a genuine two-way tie, preserving the fault-free
         // RNG sequence.
@@ -137,14 +143,15 @@ impl RoutingAlgorithm for OddEven {
         }
     }
 
-    fn allowed_dirs(&self, mesh: Mesh, cur: NodeId, src: NodeId, dest: NodeId) -> DirSet {
-        Self::legal_dirs(mesh, cur, src, dest)
+    fn allowed_dirs(&self, topo: AnyTopology, cur: NodeId, src: NodeId, dest: NodeId) -> DirSet {
+        Self::legal_dirs(topo, cur, src, dest)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use footprint_topology::Mesh;
 
     fn dirs(mesh: Mesh, cur: u16, src: u16, dest: u16) -> DirSet {
         OddEven::legal_dirs(mesh, NodeId(cur), NodeId(src), NodeId(dest))
@@ -273,7 +280,7 @@ mod tests {
         // From (3,0) to (5,3): odd column, both East and North legal.
         let faults = DownLinks::new(vec![(NodeId(3), Direction::East)]);
         let ctx = RoutingCtx {
-            mesh,
+            topo: mesh.into(),
             current: NodeId(3),
             src: NodeId(0),
             dest: NodeId(29),

@@ -12,7 +12,7 @@ use crate::footprint::{class_masks, push_mask_class, VcClass};
 use crate::{
     DirSet, Priority, RoutingAlgorithm, RoutingCtx, VcId, VcRequest, VcReallocationPolicy,
 };
-use footprint_topology::{Mesh, NodeId, Port, PORT_COUNT};
+use footprint_topology::{AnyTopology, NodeId, Port, PORT_COUNT};
 use rand::RngCore;
 
 /// Wraps a routing algorithm with footprint-prioritized VC selection.
@@ -116,6 +116,12 @@ impl<A: RoutingAlgorithm> RoutingAlgorithm for FootprintOverlay<A> {
         crate::VcSelection::Adaptive
     }
 
+    fn wrap_strategy(&self) -> crate::WrapStrategy {
+        // The overlay adds VC preferences, not channel dependencies, so the
+        // inner algorithm's wrap argument carries over unchanged.
+        self.inner.wrap_strategy()
+    }
+
     fn route(&self, ctx: &RoutingCtx<'_>, rng: &mut dyn RngCore, out: &mut Vec<VcRequest>) {
         let start = out.len();
         self.inner.route(ctx, rng, out);
@@ -136,8 +142,8 @@ impl<A: RoutingAlgorithm> RoutingAlgorithm for FootprintOverlay<A> {
         self.reprioritize(ctx, out, start);
     }
 
-    fn allowed_dirs(&self, mesh: Mesh, cur: NodeId, src: NodeId, dest: NodeId) -> DirSet {
-        self.inner.allowed_dirs(mesh, cur, src, dest)
+    fn allowed_dirs(&self, topo: AnyTopology, cur: NodeId, src: NodeId, dest: NodeId) -> DirSet {
+        self.inner.allowed_dirs(topo, cur, src, dest)
     }
 }
 
@@ -145,7 +151,7 @@ impl<A: RoutingAlgorithm> RoutingAlgorithm for FootprintOverlay<A> {
 mod tests {
     use super::*;
     use crate::{NoCongestionInfo, OddEven, TablePortView, VcView};
-    use footprint_topology::Direction;
+    use footprint_topology::{Direction, Mesh};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -160,7 +166,7 @@ mod tests {
 
     fn mk_ctx<'a>(view: &'a TablePortView, cong: &'a NoCongestionInfo) -> RoutingCtx<'a> {
         RoutingCtx {
-            mesh: Mesh::square(8),
+            topo: Mesh::square(8).into(),
             current: NodeId(0),
             src: NodeId(0),
             dest: NodeId(63),
@@ -195,7 +201,7 @@ mod tests {
         assert_eq!(out[0].vc, VcId(1));
         assert_eq!(out[0].priority, Priority::High);
         // Direction came from odd-even's legal set.
-        let legal = OddEven::legal_dirs(ctx.mesh, ctx.current, ctx.src, ctx.dest);
+        let legal = OddEven::legal_dirs(ctx.topo, ctx.current, ctx.src, ctx.dest);
         let Port::Dir(d) = out[0].port else {
             panic!("expected a direction port")
         };
@@ -224,8 +230,8 @@ mod tests {
         assert_eq!(algo.vc_selection(), crate::VcSelection::Adaptive);
         let mesh = Mesh::square(8);
         assert_eq!(
-            algo.allowed_dirs(mesh, NodeId(0), NodeId(0), NodeId(63)),
-            OddEven.allowed_dirs(mesh, NodeId(0), NodeId(0), NodeId(63))
+            algo.allowed_dirs(mesh.into(), NodeId(0), NodeId(0), NodeId(63)),
+            OddEven.allowed_dirs(mesh.into(), NodeId(0), NodeId(0), NodeId(63))
         );
     }
 

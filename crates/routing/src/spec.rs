@@ -3,10 +3,11 @@
 
 use crate::{
     Dbar, Dor, Footprint, FootprintOverlay, NorthLast, OddEven, RandomMinimal, RoutingAlgorithm,
-    VoqSw, WestFirst, Xordet,
+    VoqSw, WestFirst, WrapStrategy, Xordet,
 };
 use core::fmt;
 use core::str::FromStr;
+use footprint_topology::AnyTopology;
 
 /// A named routing configuration that can be turned into a boxed
 /// [`RoutingAlgorithm`].
@@ -108,6 +109,9 @@ impl RoutingSpec {
 
     /// Minimum number of VCs required: 2 for Duato-based algorithms (one
     /// escape + one adaptive, §4.2.3), 1 otherwise.
+    ///
+    /// This is the mesh figure; wrapping topologies reserve more — use
+    /// [`RoutingSpec::min_vcs_on`] when the topology is known.
     pub fn min_vcs(self) -> usize {
         match self {
             RoutingSpec::Footprint
@@ -117,6 +121,27 @@ impl RoutingSpec {
             | RoutingSpec::DbarVoqSw => 2,
             _ => 1,
         }
+    }
+
+    /// Minimum number of VCs required on `topo`: on wrapping topologies
+    /// Duato-based algorithms reserve one escape VC per dateline class
+    /// (plus one adaptive VC) and dateline-classed DOR needs both
+    /// half-classes populated.
+    pub fn min_vcs_on(self, topo: impl Into<AnyTopology>) -> usize {
+        self.build().min_vcs_on(topo.into())
+    }
+
+    /// The wrap strategy of the built algorithm — how (or whether) it stays
+    /// deadlock-free on wrapping topologies.
+    pub fn wrap_strategy(self) -> WrapStrategy {
+        self.build().wrap_strategy()
+    }
+
+    /// `true` if the algorithm can run on `topo`: always on acyclic
+    /// topologies, and on wrapping ones iff it declares a wrap strategy
+    /// other than [`WrapStrategy::Unsupported`].
+    pub fn supported_on(self, topo: impl Into<AnyTopology>) -> bool {
+        !topo.into().wraps() || self.wrap_strategy() != WrapStrategy::Unsupported
     }
 }
 
@@ -208,5 +233,24 @@ mod tests {
     #[test]
     fn paper_set_has_seven_entries() {
         assert_eq!(RoutingSpec::PAPER_SET.len(), 7);
+    }
+
+    #[test]
+    fn torus_support_and_vc_floors() {
+        use footprint_topology::{Mesh, Torus};
+        let torus = Torus::square(4);
+        // Static VC mappings have no wrap argument.
+        assert!(!RoutingSpec::DorXordet.supported_on(torus));
+        assert!(!RoutingSpec::DbarVoqSw.supported_on(torus));
+        assert!(RoutingSpec::DorXordet.supported_on(Mesh::square(4)));
+        // Duato algorithms: two escape classes + one adaptive VC.
+        assert_eq!(RoutingSpec::Footprint.min_vcs_on(torus), 3);
+        assert_eq!(RoutingSpec::Footprint.min_vcs_on(Mesh::square(4)), 2);
+        // Dateline-classed DOR needs both half-classes.
+        assert_eq!(RoutingSpec::Dor.min_vcs_on(torus), 2);
+        assert_eq!(RoutingSpec::Dor.min_vcs_on(Mesh::square(4)), 1);
+        // Turn models route on the acyclic subgraph: no extra VCs.
+        assert_eq!(RoutingSpec::OddEven.min_vcs_on(torus), 1);
+        assert!(RoutingSpec::OddEven.supported_on(torus));
     }
 }

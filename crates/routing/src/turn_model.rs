@@ -9,7 +9,7 @@
 
 use crate::algorithm::{coin, eject_requests, DirSet};
 use crate::{Priority, RoutingAlgorithm, RoutingCtx, VcId, VcRequest, VcReallocationPolicy};
-use footprint_topology::{Direction, Mesh, NodeId, Port};
+use footprint_topology::{AnyTopology, Direction, NodeId, Port};
 use rand::RngCore;
 
 /// Selects among up to two allowed directions by idle-VC count with a
@@ -59,9 +59,11 @@ fn select_and_request(
 pub struct WestFirst;
 
 impl WestFirst {
-    /// The minimal directions permitted by the west-first turn model.
-    pub fn legal_dirs(mesh: Mesh, cur: NodeId, dest: NodeId) -> DirSet {
-        let dirs = mesh.minimal_dirs(cur, dest);
+    /// The minimal directions permitted by the west-first turn model. On
+    /// wrapping topologies the relation lives on the acyclic
+    /// (non-wraparound) channel subgraph, preserving the mesh CDG argument.
+    pub fn legal_dirs(topo: impl Into<AnyTopology>, cur: NodeId, dest: NodeId) -> DirSet {
+        let dirs = topo.into().acyclic_minimal_dirs(cur, dest);
         let mut set = DirSet::EMPTY;
         match dirs.x {
             // Westward travel must come first and alone.
@@ -92,7 +94,7 @@ impl RoutingAlgorithm for WestFirst {
     }
 
     fn route(&self, ctx: &RoutingCtx<'_>, rng: &mut dyn RngCore, out: &mut Vec<VcRequest>) {
-        let legal = Self::legal_dirs(ctx.mesh, ctx.current, ctx.dest);
+        let legal = Self::legal_dirs(ctx.topo, ctx.current, ctx.dest);
         select_and_request(ctx, legal, rng, out);
     }
 
@@ -107,8 +109,8 @@ impl RoutingAlgorithm for WestFirst {
         }
     }
 
-    fn allowed_dirs(&self, mesh: Mesh, cur: NodeId, _src: NodeId, dest: NodeId) -> DirSet {
-        Self::legal_dirs(mesh, cur, dest)
+    fn allowed_dirs(&self, topo: AnyTopology, cur: NodeId, _src: NodeId, dest: NodeId) -> DirSet {
+        Self::legal_dirs(topo, cur, dest)
     }
 }
 
@@ -119,9 +121,11 @@ impl RoutingAlgorithm for WestFirst {
 pub struct NorthLast;
 
 impl NorthLast {
-    /// The minimal directions permitted by the north-last turn model.
-    pub fn legal_dirs(mesh: Mesh, cur: NodeId, dest: NodeId) -> DirSet {
-        let dirs = mesh.minimal_dirs(cur, dest);
+    /// The minimal directions permitted by the north-last turn model. On
+    /// wrapping topologies the relation lives on the acyclic
+    /// (non-wraparound) channel subgraph, preserving the mesh CDG argument.
+    pub fn legal_dirs(topo: impl Into<AnyTopology>, cur: NodeId, dest: NodeId) -> DirSet {
+        let dirs = topo.into().acyclic_minimal_dirs(cur, dest);
         let mut set = DirSet::EMPTY;
         match (dirs.x, dirs.y) {
             // Northward travel is only allowed once no other productive
@@ -153,7 +157,7 @@ impl RoutingAlgorithm for NorthLast {
     }
 
     fn route(&self, ctx: &RoutingCtx<'_>, rng: &mut dyn RngCore, out: &mut Vec<VcRequest>) {
-        let legal = Self::legal_dirs(ctx.mesh, ctx.current, ctx.dest);
+        let legal = Self::legal_dirs(ctx.topo, ctx.current, ctx.dest);
         select_and_request(ctx, legal, rng, out);
     }
 
@@ -168,14 +172,15 @@ impl RoutingAlgorithm for NorthLast {
         }
     }
 
-    fn allowed_dirs(&self, mesh: Mesh, cur: NodeId, _src: NodeId, dest: NodeId) -> DirSet {
-        Self::legal_dirs(mesh, cur, dest)
+    fn allowed_dirs(&self, topo: AnyTopology, cur: NodeId, _src: NodeId, dest: NodeId) -> DirSet {
+        Self::legal_dirs(topo, cur, dest)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use footprint_topology::Mesh;
 
     #[test]
     fn west_first_goes_west_alone() {

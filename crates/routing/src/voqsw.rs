@@ -11,7 +11,7 @@
 use crate::{
     DirSet, Priority, RoutingAlgorithm, RoutingCtx, VcId, VcRequest, VcReallocationPolicy,
 };
-use footprint_topology::{Mesh, NodeId, Port, PORT_COUNT};
+use footprint_topology::{AnyTopology, NodeId, Port, PORT_COUNT};
 use rand::RngCore;
 
 /// The output port a packet will take at router `node` under
@@ -19,8 +19,8 @@ use rand::RngCore;
 /// downstream output that VOQ_sw keys its VC classes on: it must be
 /// computable by the *upstream* router, hence the deterministic routing
 /// function.
-pub fn dor_output_port(mesh: Mesh, node: NodeId, dest: NodeId) -> Port {
-    let dirs = mesh.minimal_dirs(node, dest);
+pub fn dor_output_port(topo: impl Into<AnyTopology>, node: NodeId, dest: NodeId) -> Port {
+    let dirs = topo.into().minimal_dirs(node, dest);
     match dirs.x.or(dirs.y) {
         Some(d) => Port::Dir(d),
         None => Port::Local,
@@ -57,7 +57,7 @@ impl<A: RoutingAlgorithm> VoqSw<A> {
         let downstream = match port {
             Port::Local => dest, // injection: the local router itself
             Port::Dir(d) => {
-                match crate::invariant::neighbor_checked(ctx.mesh, ctx.current, d) {
+                match crate::invariant::neighbor_checked(ctx.topo, ctx.current, d) {
                     Ok(n) => n,
                     Err(e) => {
                         // Minimal ports always have a neighbor; degrade to
@@ -68,7 +68,7 @@ impl<A: RoutingAlgorithm> VoqSw<A> {
                 }
             }
         };
-        let class = dor_output_port(ctx.mesh, downstream, dest).index();
+        let class = dor_output_port(ctx.topo, downstream, dest).index();
         // Stripe the available VCs across the five output classes.
         VcId::from_index(lo + class * range / PORT_COUNT)
     }
@@ -140,6 +140,12 @@ impl<A: RoutingAlgorithm> RoutingAlgorithm for VoqSw<A> {
         crate::VcSelection::StaticMapped
     }
 
+    fn wrap_strategy(&self) -> crate::WrapStrategy {
+        // Same restriction as XORDET: the static per-output VC classes
+        // leave no room for dateline classes, so VOQ_sw stays mesh-only.
+        crate::WrapStrategy::Unsupported
+    }
+
     fn route(&self, ctx: &RoutingCtx<'_>, rng: &mut dyn RngCore, out: &mut Vec<VcRequest>) {
         let start = out.len();
         self.inner.route(ctx, rng, out);
@@ -160,8 +166,8 @@ impl<A: RoutingAlgorithm> RoutingAlgorithm for VoqSw<A> {
         self.remap(ctx, out, start);
     }
 
-    fn allowed_dirs(&self, mesh: Mesh, cur: NodeId, src: NodeId, dest: NodeId) -> DirSet {
-        self.inner.allowed_dirs(mesh, cur, src, dest)
+    fn allowed_dirs(&self, topo: AnyTopology, cur: NodeId, src: NodeId, dest: NodeId) -> DirSet {
+        self.inner.allowed_dirs(topo, cur, src, dest)
     }
 }
 
@@ -169,7 +175,7 @@ impl<A: RoutingAlgorithm> RoutingAlgorithm for VoqSw<A> {
 mod tests {
     use super::*;
     use crate::{Dor, NoCongestionInfo, TablePortView};
-    use footprint_topology::Direction;
+    use footprint_topology::{Direction, Mesh};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -180,7 +186,7 @@ mod tests {
         dest: u16,
     ) -> RoutingCtx<'a> {
         RoutingCtx {
-            mesh: Mesh::square(4),
+            topo: Mesh::square(4).into(),
             current: NodeId(cur),
             src: NodeId(cur),
             dest: NodeId(dest),

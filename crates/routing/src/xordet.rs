@@ -4,7 +4,7 @@
 use crate::{
     DirSet, Priority, RoutingAlgorithm, RoutingCtx, VcId, VcRequest, VcReallocationPolicy,
 };
-use footprint_topology::{Mesh, NodeId, PORT_COUNT};
+use footprint_topology::{AnyTopology, NodeId, PORT_COUNT};
 use rand::RngCore;
 
 /// Computes the XORDET VC class of a destination: the XOR of its mesh
@@ -20,8 +20,8 @@ use rand::RngCore;
 /// assert_eq!(xordet_class(mesh, NodeId(10)), xordet_class(mesh, NodeId(15)));
 /// assert_ne!(xordet_class(mesh, NodeId(13)), xordet_class(mesh, NodeId(10)));
 /// ```
-pub fn xordet_class(mesh: Mesh, dest: NodeId) -> u16 {
-    let c = mesh.coord(dest);
+pub fn xordet_class(topo: impl Into<AnyTopology>, dest: NodeId) -> u16 {
+    let c = topo.into().coord(dest);
     c.x ^ c.y
 }
 
@@ -55,7 +55,7 @@ impl<A: RoutingAlgorithm> Xordet<A> {
         let lo = ctx.adaptive_lo(self.inner.has_escape());
         let range = ctx.num_vcs - lo;
         debug_assert!(range > 0, "XORDET needs at least one mappable VC");
-        let class = xordet_class(ctx.mesh, dest) as usize;
+        let class = xordet_class(ctx.topo, dest) as usize;
         VcId::from_index(lo + class % range)
     }
 
@@ -132,6 +132,12 @@ impl<A: RoutingAlgorithm> RoutingAlgorithm for Xordet<A> {
         crate::VcSelection::StaticMapped
     }
 
+    fn wrap_strategy(&self) -> crate::WrapStrategy {
+        // The static class→VC collapse discards the dateline/escape VC
+        // freedom the wrap arguments rely on, so XORDET stays mesh-only.
+        crate::WrapStrategy::Unsupported
+    }
+
     fn route(&self, ctx: &RoutingCtx<'_>, rng: &mut dyn RngCore, out: &mut Vec<VcRequest>) {
         let start = out.len();
         self.inner.route(ctx, rng, out);
@@ -152,8 +158,8 @@ impl<A: RoutingAlgorithm> RoutingAlgorithm for Xordet<A> {
         self.remap(ctx, out, start);
     }
 
-    fn allowed_dirs(&self, mesh: Mesh, cur: NodeId, src: NodeId, dest: NodeId) -> DirSet {
-        self.inner.allowed_dirs(mesh, cur, src, dest)
+    fn allowed_dirs(&self, topo: AnyTopology, cur: NodeId, src: NodeId, dest: NodeId) -> DirSet {
+        self.inner.allowed_dirs(topo, cur, src, dest)
     }
 }
 
@@ -161,7 +167,7 @@ impl<A: RoutingAlgorithm> RoutingAlgorithm for Xordet<A> {
 mod tests {
     use super::*;
     use crate::{Dbar, Dor, NoCongestionInfo, OddEven, TablePortView};
-    use footprint_topology::{Direction, Port};
+    use footprint_topology::{Direction, Mesh, Port};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -172,7 +178,7 @@ mod tests {
         dest: u16,
     ) -> RoutingCtx<'a> {
         RoutingCtx {
-            mesh: Mesh::square(4),
+            topo: Mesh::square(4).into(),
             current: NodeId(0),
             src: NodeId(0),
             dest: NodeId(dest),

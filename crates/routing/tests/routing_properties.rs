@@ -68,7 +68,7 @@ proptest! {
         let mesh = Mesh::square(8);
         let algo = spec.build();
         let ctx = RoutingCtx {
-            mesh,
+            topo: mesh.into(),
             current: NodeId(cur),
             src: NodeId(src),
             dest: NodeId(dest),
@@ -118,7 +118,7 @@ proptest! {
         for spec in [RoutingSpec::Footprint, RoutingSpec::Dbar, RoutingSpec::DbarXordet] {
             let algo = spec.build();
             let ctx = RoutingCtx {
-                mesh,
+                topo: mesh.into(),
                 current: NodeId(cur),
                 src: NodeId(cur),
                 dest: NodeId(dest),
@@ -157,7 +157,7 @@ proptest! {
         let mesh = Mesh::square(8);
         let algo = RoutingSpec::Footprint.build();
         let ctx = RoutingCtx {
-            mesh,
+            topo: mesh.into(),
             current: NodeId(cur),
             src: NodeId(cur),
             dest: NodeId(dest),
@@ -190,7 +190,7 @@ proptest! {
         let mesh = Mesh::square(8);
         let algo = spec.build();
         let ctx = RoutingCtx {
-            mesh,
+            topo: mesh.into(),
             current: NodeId(node),
             src: NodeId(node),
             dest: NodeId(dest),
@@ -224,9 +224,9 @@ proptest! {
         prop_assume!(cur != dest);
         let mesh = Mesh::square(8);
         let algo = RoutingSpec::OddEven.build();
-        let allowed = algo.allowed_dirs(mesh, NodeId(cur), NodeId(src), NodeId(dest));
+        let allowed = algo.allowed_dirs(mesh.into(), NodeId(cur), NodeId(src), NodeId(dest));
         let ctx = RoutingCtx {
-            mesh,
+            topo: mesh.into(),
             current: NodeId(cur),
             src: NodeId(src),
             dest: NodeId(dest),

@@ -1,17 +1,18 @@
 //! Simulator configuration (the paper's Table 2).
 
 use core::fmt;
-use footprint_topology::{FaultPlanError, Mesh};
+use footprint_topology::{AnyTopology, FaultPlanError, TopologyError, TopologySpec};
 
 /// Microarchitectural configuration of the simulated network.
 ///
 /// Defaults follow the paper's Table 2: 8×8 mesh, 10 VCs per physical
 /// channel, 4-flit VC buffers, credit-based wormhole flow control, internal
-/// speedup 2.0.
+/// speedup 2.0. The topology is carried as a validated [`TopologySpec`];
+/// meshes, tori and rings all run the same datapath.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
-    /// Topology.
-    pub mesh: Mesh,
+    /// Topology shape and dimensions (validated by [`SimConfig::validate`]).
+    pub topology: TopologySpec,
     /// VCs per physical channel.
     pub num_vcs: usize,
     /// VC buffer depth in flits.
@@ -29,7 +30,7 @@ impl SimConfig {
     /// The paper's baseline configuration (Table 2 defaults).
     pub fn paper_default() -> Self {
         SimConfig {
-            mesh: Mesh::square(8),
+            topology: TopologySpec::mesh(8),
             num_vcs: 10,
             vc_buffer_depth: 4,
             speedup: 2,
@@ -40,7 +41,7 @@ impl SimConfig {
     /// A small configuration for unit tests (4×4 mesh, 4 VCs).
     pub fn small() -> Self {
         SimConfig {
-            mesh: Mesh::square(4),
+            topology: TopologySpec::mesh(4),
             num_vcs: 4,
             vc_buffer_depth: 4,
             speedup: 2,
@@ -48,19 +49,27 @@ impl SimConfig {
         }
     }
 
+    /// The live topology this configuration describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid — call [`SimConfig::validate`] first
+    /// on untrusted configurations (the network constructor always does).
+    pub fn topo(&self) -> AnyTopology {
+        self.topology
+            .validate()
+            .expect("SimConfig topology must validate before use")
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] if any parameter is out of range
-    /// (`num_vcs` must be 1–64, buffers and speedup nonzero).
+    /// (the topology must validate, `num_vcs` must be 1–64, buffers and
+    /// speedup nonzero).
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if self.mesh.width() < 2 || self.mesh.height() < 2 {
-            return Err(ConfigError::MeshTooSmall {
-                width: self.mesh.width(),
-                height: self.mesh.height(),
-            });
-        }
+        self.topology.validate()?;
         if self.num_vcs == 0 || self.num_vcs > 64 {
             return Err(ConfigError::NumVcs(self.num_vcs));
         }
@@ -86,14 +95,9 @@ impl Default for SimConfig {
 /// Configuration validation error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
-    /// A degenerate mesh: routing on a 1×k (or k×1) mesh has no second
-    /// dimension, which breaks escape-path and turn-model assumptions.
-    MeshTooSmall {
-        /// Configured width.
-        width: u16,
-        /// Configured height.
-        height: u16,
-    },
+    /// The topology spec does not describe a buildable fabric (degenerate
+    /// dimensions, too many nodes, gated shape — see [`TopologyError`]).
+    Topology(TopologyError),
     /// VC count out of the supported 1–64 range.
     NumVcs(usize),
     /// Zero VC buffer depth.
@@ -103,7 +107,8 @@ pub enum ConfigError {
     /// Zero link latency (combinational links are not modeled).
     LinkLatency,
     /// The routing algorithm needs more VCs than configured (Duato-based
-    /// algorithms need at least 2).
+    /// algorithms need `escape_vcs + 1`; dateline DOR on a wrapping fabric
+    /// needs 2).
     TooFewVcsForRouting {
         /// Algorithm name.
         algorithm: &'static str,
@@ -112,13 +117,22 @@ pub enum ConfigError {
         /// VCs configured.
         configured: usize,
     },
-    /// The fault plan does not fit the configured mesh (see
+    /// The routing algorithm has no deadlock-free embedding on the
+    /// configured topology (its wrap strategy is `Unsupported` and the
+    /// fabric has wraparound channels).
+    UnsupportedRouting {
+        /// Algorithm name.
+        algorithm: &'static str,
+        /// The offending topology.
+        topology: TopologySpec,
+    },
+    /// The fault plan does not fit the configured topology (see
     /// [`FaultPlanError`]).
     Fault(FaultPlanError),
     /// A traffic pattern's destination function is not defined on the
-    /// configured mesh (the bit-manipulating patterns need a power-of-two
-    /// node count). Carried as plain data because the traffic layer sits
-    /// above this crate.
+    /// configured topology (the bit-manipulating patterns need a
+    /// power-of-two node count). Carried as plain data because the traffic
+    /// layer sits above this crate.
     PatternMesh {
         /// Pattern display name.
         pattern: &'static str,
@@ -138,13 +152,16 @@ impl From<FaultPlanError> for ConfigError {
     }
 }
 
+impl From<TopologyError> for ConfigError {
+    fn from(e: TopologyError) -> Self {
+        ConfigError::Topology(e)
+    }
+}
+
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ConfigError::MeshTooSmall { width, height } => write!(
-                f,
-                "mesh {width}×{height} is degenerate (both dimensions must be at least 2)"
-            ),
+            ConfigError::Topology(e) => write!(f, "invalid topology: {e}"),
             ConfigError::NumVcs(n) => write!(f, "unsupported VC count {n} (expected 1..=64)"),
             ConfigError::BufferDepth => f.write_str("VC buffer depth must be nonzero"),
             ConfigError::Speedup => f.write_str("internal speedup must be nonzero"),
@@ -156,6 +173,13 @@ impl fmt::Display for ConfigError {
             } => write!(
                 f,
                 "routing algorithm `{algorithm}` needs at least {required} VCs, got {configured}"
+            ),
+            ConfigError::UnsupportedRouting {
+                algorithm,
+                topology,
+            } => write!(
+                f,
+                "routing algorithm `{algorithm}` has no deadlock-free embedding on `{topology}`"
             ),
             ConfigError::Fault(e) => write!(f, "invalid fault plan: {e}"),
             ConfigError::PatternMesh { pattern, nodes } => write!(
@@ -172,11 +196,13 @@ impl std::error::Error for ConfigError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use footprint_topology::Mesh;
 
     #[test]
     fn paper_default_matches_table_2() {
         let c = SimConfig::paper_default();
-        assert_eq!(c.mesh, Mesh::square(8));
+        assert_eq!(c.topology, TopologySpec::mesh(8));
+        assert_eq!(c.topo(), AnyTopology::Mesh(Mesh::square(8)));
         assert_eq!(c.num_vcs, 10);
         assert_eq!(c.vc_buffer_depth, 4);
         assert_eq!(c.speedup, 2);
@@ -204,21 +230,47 @@ mod tests {
     }
 
     #[test]
-    fn validation_rejects_degenerate_meshes() {
+    fn validation_rejects_degenerate_topologies() {
         for (w, h) in [(1u16, 4u16), (4, 1), (1, 1)] {
             let mut c = SimConfig::small();
-            c.mesh = Mesh::new(w, h);
+            c.topology = TopologySpec::Mesh {
+                width: w,
+                height: h,
+            };
             assert_eq!(
                 c.validate(),
-                Err(ConfigError::MeshTooSmall {
+                Err(ConfigError::Topology(TopologyError::MeshTooSmall {
                     width: w,
                     height: h
-                })
+                }))
             );
         }
         let mut c = SimConfig::small();
-        c.mesh = Mesh::new(2, 2);
+        c.topology = TopologySpec::Mesh {
+            width: 2,
+            height: 2,
+        };
         assert!(c.validate().is_ok());
+        let mut c = SimConfig::small();
+        c.topology = TopologySpec::Torus {
+            width: 2,
+            height: 4,
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::Topology(TopologyError::TorusTooSmall { .. }))
+        ));
+    }
+
+    #[test]
+    fn wrapping_topologies_validate_and_resolve() {
+        let mut c = SimConfig::small();
+        c.topology = TopologySpec::torus(4);
+        assert!(c.validate().is_ok());
+        assert!(c.topo().wraps());
+        c.topology = TopologySpec::ring(8);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.topo().len(), 8);
     }
 
     #[test]
@@ -243,6 +295,12 @@ mod tests {
             configured: 1,
         };
         assert!(e.to_string().contains("footprint"));
+        let e = ConfigError::UnsupportedRouting {
+            algorithm: "dor-xordet",
+            topology: TopologySpec::torus(8),
+        };
+        assert!(e.to_string().contains("dor-xordet"));
+        assert!(e.to_string().contains("torus"));
         let e = ConfigError::PatternMesh {
             pattern: "shuffle",
             nodes: 36,

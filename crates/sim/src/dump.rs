@@ -17,7 +17,7 @@ impl Network {
     /// ...
     /// ```
     pub fn occupancy_map(&self) -> String {
-        let mesh = self.config().mesh;
+        let mesh = self.topo();
         let cap = (self.config().num_vcs * self.config().vc_buffer_depth * PORT_COUNT) as f64;
         let soa = self.datapath();
         let mut out = format!("cycle {}, {}\n", self.cycle(), mesh);

@@ -10,7 +10,7 @@ use crate::wire::{CreditMsg, Wire};
 use footprint_routing::{
     CongestionView, LinkStateView, Priority, RoutingAlgorithm, RoutingCtx, VcId,
 };
-use footprint_topology::{Mesh, NodeId, Port};
+use footprint_topology::{AnyTopology, NodeId, Port};
 use rand::rngs::SmallRng;
 
 /// A packet source: an unbounded generation queue feeding the router's
@@ -74,7 +74,7 @@ impl Source {
     pub fn step(
         &mut self,
         algo: &dyn RoutingAlgorithm,
-        mesh: Mesh,
+        topo: AnyTopology,
         congestion: &dyn CongestionView,
         links: &dyn LinkStateView,
         rng: &mut SmallRng,
@@ -82,7 +82,7 @@ impl Source {
         probe: &mut dyn Probe,
     ) {
         if self.active_vc.is_none() {
-            self.try_allocate(algo, mesh, congestion, links, rng);
+            self.try_allocate(algo, topo, congestion, links, rng);
         }
         let Some(vc) = self.active_vc else { return };
         if self.vcs[vc].credits() == 0 {
@@ -116,7 +116,7 @@ impl Source {
     fn try_allocate(
         &mut self,
         algo: &dyn RoutingAlgorithm,
-        mesh: Mesh,
+        topo: AnyTopology,
         congestion: &dyn CongestionView,
         links: &dyn LinkStateView,
         rng: &mut SmallRng,
@@ -129,7 +129,7 @@ impl Source {
         {
             let view = InjectionView::new(&self.vcs, algo.policy());
             let ctx = RoutingCtx {
-                mesh,
+                topo,
                 current: self.node,
                 src: self.node,
                 dest: front.dest,
@@ -144,7 +144,7 @@ impl Source {
             algo.injection_requests(&ctx, rng, &mut reqs);
         }
         let policy = algo.policy();
-        let has_escape = algo.has_escape();
+        let escape_lo = if algo.has_escape() { topo.escape_vcs() } else { 0 };
         let allows_join = algo.allows_footprint_join();
         self.rr = self.rr.wrapping_add(1);
         let len = reqs.len();
@@ -158,8 +158,7 @@ impl Source {
                 let v = req.vc.index();
                 let ovc = &self.vcs[v];
                 let fresh = ovc.idle_for(policy);
-                let join =
-                    allows_join && !(has_escape && v == 0) && ovc.joinable_by(front.dest);
+                let join = allows_join && v >= escape_lo && ovc.joinable_by(front.dest);
                 if fresh || join {
                     self.vcs[v].allocate(front.id, front.dest);
                     self.active_vc = Some(v);
@@ -294,6 +293,7 @@ mod tests {
     use crate::metrics::NullProbe;
     use crate::packet::FlitKind;
     use footprint_routing::{AllLinksUp, Dor, Footprint, NoCongestionInfo};
+    use footprint_topology::Mesh;
     use rand::SeedableRng;
 
     fn new_packet(dest: u16, size: u16) -> NewPacket {
@@ -307,7 +307,7 @@ mod tests {
 
     #[test]
     fn source_streams_a_packet() {
-        let mesh = Mesh::square(4);
+        let mesh = AnyTopology::from(Mesh::square(4));
         let mut src = Source::new(NodeId(0), 4, 4);
         let mut wire = Wire::new();
         let mut rng = SmallRng::seed_from_u64(1);
@@ -326,7 +326,7 @@ mod tests {
 
     #[test]
     fn source_respects_credits() {
-        let mesh = Mesh::square(4);
+        let mesh = AnyTopology::from(Mesh::square(4));
         let mut src = Source::new(NodeId(0), 2, 1); // 1-credit VCs
         let mut wire = Wire::new();
         let mut rng = SmallRng::seed_from_u64(1);
@@ -346,7 +346,7 @@ mod tests {
 
     #[test]
     fn footprint_source_joins_same_destination_stream() {
-        let mesh = Mesh::square(4);
+        let mesh = AnyTopology::from(Mesh::square(4));
         let algo = Footprint::new().with_join();
         let mut src = Source::new(NodeId(0), 3, 4);
         let mut wire = Wire::new();

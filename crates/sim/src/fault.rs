@@ -24,7 +24,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 
 use footprint_routing::{LinkStateView, RoutingAlgorithm};
-use footprint_topology::{Direction, FaultKind, FaultPlan, Mesh, NodeId, Port, PORT_COUNT};
+use footprint_topology::{AnyTopology, Direction, FaultKind, FaultPlan, NodeId, Port, PORT_COUNT};
 
 /// Disposition of packets generated for a destination the routing function
 /// can no longer reach under the current fault state.
@@ -56,7 +56,7 @@ type ReachKey = (&'static str, u16, u16, u16);
 /// Live fault state derived from a [`FaultPlan`], advanced once per cycle.
 #[derive(Debug)]
 pub struct FaultState {
-    mesh: Mesh,
+    topo: AnyTopology,
     plan: FaultPlan,
     /// Dead directed channels, indexed `node * PORT_COUNT + port`.
     link_down: Vec<bool>,
@@ -74,11 +74,12 @@ pub struct FaultState {
 }
 
 impl FaultState {
-    /// Builds the state for `plan` on `mesh`, applying any cycle-0 events.
-    pub fn new(mesh: Mesh, plan: FaultPlan) -> Self {
-        let n = mesh.len();
+    /// Builds the state for `plan` on `topo`, applying any cycle-0 events.
+    pub fn new(topo: impl Into<AnyTopology>, plan: FaultPlan) -> Self {
+        let topo = topo.into();
+        let n = topo.len();
         let mut state = FaultState {
-            mesh,
+            topo,
             plan,
             link_down: vec![false; n * PORT_COUNT],
             degrade: vec![0; n * PORT_COUNT],
@@ -140,7 +141,7 @@ impl FaultState {
                 self.router_down[node.index()] = true;
             }
             channels.clear();
-            FaultPlan::directed_channels(self.mesh, e, &mut channels);
+            FaultPlan::directed_channels(self.topo, e, &mut channels);
             for &(node, dir) in &channels {
                 let idx = Self::ch(node, dir);
                 match e.kind {
@@ -207,11 +208,11 @@ impl FaultState {
             return cached;
         }
         let mut ok = false;
-        for d in algo.allowed_dirs(self.mesh, cur, src, dest).iter() {
+        for d in algo.allowed_dirs(self.topo, cur, src, dest).iter() {
             if self.link_down[Self::ch(cur, d)] {
                 continue;
             }
-            let Some(nb) = self.mesh.neighbor(cur, d) else {
+            let Some(nb) = self.topo.neighbor(cur, d) else {
                 continue;
             };
             if self.can_reach(algo, nb, src, dest) {
@@ -258,7 +259,7 @@ impl LinkStateView for FaultView<'_> {
         if !self.state.link_up(node, dir) {
             return false;
         }
-        match self.state.mesh.neighbor(node, dir) {
+        match self.state.topo.neighbor(node, dir) {
             Some(nb) => self.state.can_reach(self.algo, nb, src, dest),
             None => false,
         }
@@ -269,7 +270,7 @@ impl LinkStateView for FaultView<'_> {
 mod tests {
     use super::*;
     use footprint_routing::{Dor, OddEven, RoutingAlgorithm};
-    use footprint_topology::FaultEvent;
+    use footprint_topology::{FaultEvent, Mesh};
 
     fn mesh() -> Mesh {
         Mesh::square(4)

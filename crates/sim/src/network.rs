@@ -15,8 +15,8 @@ use crate::sideband::Sideband;
 use crate::soa::NocSoa;
 use crate::wire::{CreditMsg, Wire};
 use crate::workload::Workload;
-use footprint_routing::{dbar_threshold, RoutingAlgorithm};
-use footprint_topology::{FaultPlan, NodeId, Port, DIRECTIONS, PORT_COUNT};
+use footprint_routing::{dbar_threshold, RoutingAlgorithm, WrapStrategy};
+use footprint_topology::{AnyTopology, FaultPlan, NodeId, Port, DIRECTIONS, PORT_COUNT};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -46,7 +46,7 @@ pub struct OccupiedVcEntry {
     pub dests: Vec<NodeId>,
 }
 
-/// A cycle-accurate simulated mesh network.
+/// A cycle-accurate simulated network on any [`AnyTopology`] fabric.
 ///
 /// Construction wires up one router, one source and one sink per node, with
 /// fixed-latency links (single-cycle by default) and credit-based flow
@@ -54,6 +54,8 @@ pub struct OccupiedVcEntry {
 /// machinery as inter-router channels, as in BookSim).
 pub struct Network {
     cfg: SimConfig,
+    /// The live topology resolved from `cfg.topology` at construction.
+    topo: AnyTopology,
     algo: Box<dyn RoutingAlgorithm>,
     /// The struct-of-arrays datapath state all routers operate on.
     soa: NocSoa,
@@ -64,7 +66,8 @@ pub struct Network {
     inj_wires: Vec<Wire>,
     /// Router output channels, indexed `node * PORT_COUNT + port`.
     /// `port == 0` is the ejection channel (always present); direction
-    /// ports exist only where the mesh has a neighbor.
+    /// ports exist only where the topology has a neighbor (wrapping
+    /// fabrics have all four).
     out_wires: Vec<Option<Wire>>,
     sideband: Sideband,
     /// Flits launched per output channel (`node * PORT_COUNT + port`), for
@@ -113,7 +116,7 @@ impl Network {
     /// # Errors
     ///
     /// Returns a [`ConfigError`] for invalid configurations or a fault plan
-    /// that does not fit the mesh.
+    /// that does not fit the topology.
     pub fn with_faults(
         cfg: SimConfig,
         algo: Box<dyn RoutingAlgorithm>,
@@ -122,35 +125,42 @@ impl Network {
         policy: UnreachablePolicy,
     ) -> Result<Self, ConfigError> {
         cfg.validate()?;
-        plan.validate(cfg.mesh)?;
-        if algo.has_escape() && cfg.num_vcs < 2 {
+        let topo = cfg.topo();
+        plan.validate(topo)?;
+        if topo.wraps() && algo.wrap_strategy() == WrapStrategy::Unsupported {
+            return Err(ConfigError::UnsupportedRouting {
+                algorithm: algo.name(),
+                topology: cfg.topology,
+            });
+        }
+        let required = algo.min_vcs_on(topo);
+        if cfg.num_vcs < required {
             return Err(ConfigError::TooFewVcsForRouting {
                 algorithm: algo.name(),
-                required: 2,
+                required,
                 configured: cfg.num_vcs,
             });
         }
-        let mesh = cfg.mesh;
-        let n = mesh.len();
+        let n = topo.len();
         let soa = NocSoa::new(n, cfg.num_vcs, cfg.vc_buffer_depth, cfg.speedup);
-        let routers = mesh
+        let routers = topo
             .nodes()
             .map(|node| Router::new(node, cfg.num_vcs))
             .collect();
-        let sources = mesh
+        let sources = topo
             .nodes()
             .map(|node| Source::new(node, cfg.num_vcs, crate::cast::idx_u32(cfg.vc_buffer_depth)))
             .collect();
-        let sinks = mesh
+        let sinks = topo
             .nodes()
             .map(|node| Sink::new(node, cfg.num_vcs, cfg.vc_buffer_depth))
             .collect();
         let mut out_wires: Vec<Option<Wire>> = Vec::with_capacity(n * PORT_COUNT);
-        for node in mesh.nodes() {
+        for node in topo.nodes() {
             for port in 0..PORT_COUNT {
                 let wire = match Port::from_index(port) {
                     Port::Local => Some(Wire::with_latency(cfg.link_latency)),
-                    Port::Dir(d) => mesh
+                    Port::Dir(d) => topo
                         .neighbor(node, d)
                         .map(|_| Wire::with_latency(cfg.link_latency)),
                 };
@@ -158,6 +168,7 @@ impl Network {
             }
         }
         Ok(Network {
+            topo,
             algo,
             soa,
             routers,
@@ -174,7 +185,7 @@ impl Network {
             next_packet: 0,
             metrics: Metrics::new(),
             freed_scratch: Vec::new(),
-            faults: FaultState::new(mesh, plan),
+            faults: FaultState::new(topo, plan),
             policy,
             retries: VecDeque::new(),
             unreachable: BTreeSet::new(),
@@ -200,6 +211,11 @@ impl Network {
     /// The configuration this network was built with.
     pub fn config(&self) -> &SimConfig {
         &self.cfg
+    }
+
+    /// The live topology the network runs on.
+    pub fn topo(&self) -> AnyTopology {
+        self.topo
     }
 
     /// The routing algorithm in use.
@@ -245,7 +261,7 @@ impl Network {
             self.sched
                 .resync(&mut self.routers, &self.soa, &self.sinks, self.cycle);
         }
-        let mesh = self.cfg.mesh;
+        let topo = self.topo;
         probe.cycle_start(self.cycle);
 
         // 0. Scheduled fault onsets/repairs take effect at the cycle
@@ -271,7 +287,7 @@ impl Network {
                 self.sched.deliver.insert(ni);
             }
         }
-        for node in mesh.nodes() {
+        for node in topo.nodes() {
             let ni = node.index();
             for port in 0..PORT_COUNT {
                 let Some(w) = self.out_wires[Self::wire_idx(node, port)].as_mut() else {
@@ -290,7 +306,7 @@ impl Network {
                     match Port::from_index(port) {
                         Port::Local => self.sched.deliver.insert(ni),
                         Port::Dir(d) => {
-                            let nb = mesh.neighbor(node, d).expect("wire toward neighbor");
+                            let nb = topo.neighbor(node, d).expect("wire toward neighbor");
                             self.sched.deliver.insert(nb.index());
                         }
                     }
@@ -302,7 +318,7 @@ impl Network {
         let mut order = std::mem::take(&mut self.sched.scratch);
         order.clear();
         if full {
-            order.extend(0..mesh.len());
+            order.extend(0..topo.len());
         } else {
             self.sched.deliver.collect_into(&mut order);
         }
@@ -348,7 +364,7 @@ impl Network {
             }
             // Router direction inputs receive flits from upstream routers.
             for d in DIRECTIONS {
-                let Some(nb) = mesh.neighbor(node, d) else {
+                let Some(nb) = topo.neighbor(node, d) else {
                     continue;
                 };
                 let upstream = Self::wire_idx(nb, Port::Dir(d.opposite()).index());
@@ -378,14 +394,14 @@ impl Network {
         //    recomputes everything; otherwise only the bits fed by routers
         //    whose input occupancy changed since the last refresh.
         if full {
-            self.sideband.update(mesh, &self.soa);
+            self.sideband.update(topo, &self.soa);
             self.sched.sideband_dirty.clear();
         } else {
             order.clear();
             self.sched.sideband_dirty.collect_into(&mut order);
             for &ni in &order {
                 self.sideband
-                    .refresh_from(mesh, &self.soa, NodeId(crate::cast::idx_u16(ni)));
+                    .refresh_from(topo, &self.soa, NodeId(crate::cast::idx_u16(ni)));
             }
             self.sched.sideband_dirty.clear();
         }
@@ -414,7 +430,7 @@ impl Network {
         // node per cycle comes from the shared RNG, so the loop stays
         // dense in every mode. Idle sources (nothing queued, no VC held)
         // return before any RNG draw, so their step may be skipped.
-        for node in mesh.nodes() {
+        for node in topo.nodes() {
             let ni = node.index();
             if let Some(np) = workload.generate(node, self.cycle, &mut self.rng) {
                 debug_assert!(np.size > 0, "packets must have at least one flit");
@@ -437,7 +453,7 @@ impl Network {
             if full || !self.sources[ni].is_idle() {
                 self.sources[ni].step(
                     &*self.algo,
-                    mesh,
+                    topo,
                     &self.sideband,
                     &FaultView::new(&self.faults, &*self.algo),
                     &mut self.rng,
@@ -455,7 +471,7 @@ impl Network {
         let policy = self.algo.policy();
         order.clear();
         if full {
-            order.extend(0..mesh.len());
+            order.extend(0..topo.len());
         } else {
             self.sched.live.collect_into(&mut order);
         }
@@ -490,7 +506,7 @@ impl Network {
             self.routers[ni].vc_allocate(
                 &mut self.soa,
                 &*self.algo,
-                mesh,
+                topo,
                 &self.sideband,
                 &FaultView::new(&self.faults, &*self.algo),
                 &mut self.rng,
@@ -516,7 +532,7 @@ impl Network {
                 match Port::from_index(slot.in_port) {
                     Port::Local => self.inj_wires[ni].credits.push(credit),
                     Port::Dir(d) => {
-                        let nb = mesh.neighbor(node, d).expect("flit arrived from neighbor");
+                        let nb = topo.neighbor(node, d).expect("flit arrived from neighbor");
                         let upstream = Self::wire_idx(nb, Port::Dir(d.opposite()).index());
                         self.out_wires[upstream]
                             .as_mut()
@@ -537,7 +553,7 @@ impl Network {
         // 6. Sinks consume at the endpoint ejection bandwidth.
         order.clear();
         if full {
-            order.extend(0..mesh.len());
+            order.extend(0..topo.len());
         } else {
             self.sched.sink_live.collect_into(&mut order);
         }
@@ -706,7 +722,7 @@ impl Network {
     /// occasional capacity growth.
     pub fn occupancy_snapshot_into(&self, out: &mut Vec<OccupiedVcEntry>) {
         let mut used = 0;
-        for node in self.cfg.mesh.nodes() {
+        for node in self.topo.nodes() {
             // Ports whose input FIFOs are all empty contribute nothing; the
             // O(1) occupancy sideband skips them without scanning VCs.
             for pi in 0..PORT_COUNT {
@@ -801,10 +817,11 @@ impl Network {
 
     /// Flits launched on each output channel since construction, as
     /// `(node, port, flits)` triples — the raw material for link-utilization
-    /// analysis. Channels that do not exist (mesh edges) are omitted.
+    /// analysis. Channels that do not exist (mesh edges) are omitted;
+    /// wrapping fabrics report every direction port.
     pub fn channel_loads(&self) -> Vec<(NodeId, Port, u64)> {
         let mut loads = Vec::new();
-        for node in self.cfg.mesh.nodes() {
+        for node in self.topo.nodes() {
             for port in 0..PORT_COUNT {
                 let wi = Self::wire_idx(node, port);
                 if self.out_wires[wi].is_some() {

@@ -14,7 +14,7 @@ use crate::view::RouterOutputsView;
 use footprint_routing::{
     CongestionView, LinkStateView, Priority, RoutingAlgorithm, RoutingCtx, VcId, VcRequest,
 };
-use footprint_topology::{Mesh, NodeId, Port, PORT_COUNT};
+use footprint_topology::{AnyTopology, NodeId, Port, PORT_COUNT};
 use rand::rngs::SmallRng;
 
 /// A buffer slot freed by switch traversal; the network converts these into
@@ -42,7 +42,7 @@ struct Requester {
     reqs: (u32, u32), // [start, end) into the flat request buffer
 }
 
-/// A mesh router: five input ports, five output ports, one VC allocator and
+/// A five-port VC router (four directions + local), one VC allocator and
 /// one switch allocator, all operating on the shared [`NocSoa`] state.
 #[derive(Debug)]
 pub struct Router {
@@ -122,7 +122,7 @@ impl Router {
         &mut self,
         soa: &mut NocSoa,
         algo: &dyn RoutingAlgorithm,
-        mesh: Mesh,
+        topo: AnyTopology,
         congestion: &dyn CongestionView,
         links: &dyn LinkStateView,
         rng: &mut SmallRng,
@@ -137,6 +137,10 @@ impl Router {
         }
         let policy = algo.policy();
         let has_escape = algo.has_escape();
+        // Escape band: VCs `0..escape_lo` are the deadlock-free escape
+        // network (one VC on a mesh, one per dateline class on a wrapping
+        // fabric). Zero when the algorithm routes without an escape layer.
+        let escape_lo = if has_escape { topo.escape_vcs() } else { 0 };
         let allows_join = algo.allows_footprint_join();
         let events = probe.wants_flit_events_of(crate::observe::FlitEventKind::VcGrant);
 
@@ -157,13 +161,13 @@ impl Router {
                     let head = soa.in_front(ivc).expect("waiting implies a front flit");
                     debug_assert!(head.is_head());
                     let ctx = RoutingCtx {
-                        mesh,
+                        topo,
                         current: self.node,
                         src: head.src,
                         dest: head.dest,
                         input_port: Port::from_index(ip),
                         input_vc: VcId(crate::cast::vc_u8(iv)),
-                        on_escape: has_escape && iv == 0,
+                        on_escape: iv < escape_lo,
                         num_vcs: self.num_vcs,
                         ports: &view,
                         congestion,
@@ -246,9 +250,10 @@ impl Router {
                         }
                         let ovc = vc_base + p * self.num_vcs + v;
                         let fresh = soa.out_idle_for(ovc, policy);
-                        let join = allows_join
-                            && !(has_escape && v == 0)
-                            && soa.out_joinable_by(ovc, r.dest);
+                        // Joins never target the escape band: escape VCs
+                        // must drain by the acyclic escape relation alone.
+                        let join =
+                            allows_join && v >= escape_lo && soa.out_joinable_by(ovc, r.dest);
                         if fresh || join {
                             let vc = crate::cast::vc_u8(v);
                             soa.out_allocate(ovc, r.packet, r.dest);
@@ -326,7 +331,7 @@ impl Router {
         &self,
         soa: &NocSoa,
         algo: &dyn RoutingAlgorithm,
-        mesh: Mesh,
+        topo: AnyTopology,
         congestion: &dyn CongestionView,
         links: &dyn LinkStateView,
         in_port: usize,
@@ -340,14 +345,15 @@ impl Router {
         }
         let head = soa.in_front(ivc).expect("waiting implies a front flit");
         let view = RouterOutputsView::new(soa, self.node, algo.policy());
+        let escape_lo = if algo.has_escape() { topo.escape_vcs() } else { 0 };
         let ctx = RoutingCtx {
-            mesh,
+            topo,
             current: self.node,
             src: head.src,
             dest: head.dest,
             input_port: Port::from_index(in_port),
             input_vc: VcId(crate::cast::vc_u8(in_vc)),
-            on_escape: algo.has_escape() && in_vc == 0,
+            on_escape: in_vc < escape_lo,
             num_vcs: self.num_vcs,
             ports: &view,
             congestion,
@@ -481,7 +487,7 @@ mod tests {
     use crate::metrics::NullProbe;
     use crate::packet::FlitKind;
     use footprint_routing::{AllLinksUp, Dor, Footprint, NoCongestionInfo};
-    use footprint_topology::Direction;
+    use footprint_topology::{Direction, Mesh};
     use rand::SeedableRng;
 
     fn flit_to(dest: u16, packet: u64) -> Flit {
@@ -498,11 +504,11 @@ mod tests {
         }
     }
 
-    fn setup() -> (Router, NocSoa, Mesh, SmallRng, Metrics, NullProbe) {
+    fn setup() -> (Router, NocSoa, AnyTopology, SmallRng, Metrics, NullProbe) {
         (
             Router::new(NodeId(0), 4),
             NocSoa::new(1, 4, 4, 2),
-            Mesh::square(4),
+            Mesh::square(4).into(),
             SmallRng::seed_from_u64(9),
             Metrics::new(),
             NullProbe,

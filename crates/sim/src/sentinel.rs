@@ -449,7 +449,7 @@ fn render_excerpt(net: &Network, violation: &SentinelViolation) -> String {
         SentinelViolation::CreditConservation { node, channel, .. } => {
             dump(*node, &mut out);
             if let SentinelChannel::Output(Port::Dir(d)) = channel {
-                if let Some(nb) = net.config().mesh.neighbor(*node, *d) {
+                if let Some(nb) = net.topo().neighbor(*node, *d) {
                     dump(nb, &mut out);
                 }
             }
@@ -484,11 +484,11 @@ fn check_flit_conservation(net: &Network, injected: u64, ejected: u64) -> Option
     for w in net.inj_wires() {
         resident += w.flits.in_flight() as u64;
     }
-    for node in net.config().mesh.nodes() {
+    for node in net.topo().nodes() {
         // Inputs + output stages, exactly the router-resident places.
         resident += net.datapath().resident_flits(node) as u64;
     }
-    for node in net.config().mesh.nodes() {
+    for node in net.topo().nodes() {
         for port in 0..PORT_COUNT {
             if let Some(w) = net.out_wire(node, port) {
                 resident += w.flits.in_flight() as u64;
@@ -513,7 +513,7 @@ fn check_flit_conservation(net: &Network, injected: u64, ejected: u64) -> Option
 /// channel kinds (injection, router-to-router, ejection).
 fn check_credit_conservation(net: &Network) -> Option<SentinelViolation> {
     let num_vcs = net.config().num_vcs;
-    let mesh = net.config().mesh;
+    let mesh = net.topo();
     let mut wire_flits = [0u32; MAX_VCS];
     let mut wire_credits = [0u32; MAX_VCS];
     let mut staged = [0u32; MAX_VCS];
@@ -611,7 +611,7 @@ fn check_vc_states(net: &Network) -> Option<SentinelViolation> {
     // holder[out_port * num_vcs + out_vc] = (in_port, in_vc, packet)
     let mut holders: Vec<Option<(usize, usize, PacketId)>> = vec![None; PORT_COUNT * num_vcs];
     let soa = net.datapath();
-    for node in net.config().mesh.nodes() {
+    for node in net.topo().nodes() {
         holders.iter_mut().for_each(|h| *h = None);
         for pi in 0..PORT_COUNT {
             let input = soa.input(node, pi);
@@ -756,7 +756,7 @@ fn check_vc_states(net: &Network) -> Option<SentinelViolation> {
     }
     // Source-side output VCs (the injection channel's upstream end) obey
     // the same credit/owner discipline.
-    for (node, source) in net.config().mesh.nodes().zip(net.sources()) {
+    for (node, source) in net.topo().nodes().zip(net.sources()) {
         for (vi, ovc) in source.vcs().iter().enumerate() {
             if ovc.credits() > ovc.capacity() {
                 return Some(SentinelViolation::IllegalVcState {
@@ -842,7 +842,7 @@ enum BufState {
 /// escape VC on non-escape ports, so some exotic stuck states may go
 /// unreported here — the stall watchdog still names them as stalls.
 pub(crate) fn find_protocol_deadlock(net: &Network) -> Option<DeadlockFinding> {
-    let mesh = net.config().mesh;
+    let mesh = net.topo();
     let num_vcs = net.config().num_vcs;
     let n = mesh.len();
     let total = n * PORT_COUNT * num_vcs;
@@ -958,7 +958,7 @@ pub(crate) fn find_protocol_deadlock(net: &Network) -> Option<DeadlockFinding> {
         }
     };
     let faults = net.fault_state();
-    let adaptive_lo = if algo.has_escape() { 1 } else { 0 };
+    let adaptive_lo = if algo.has_escape() { mesh.escape_vcs() } else { 0 };
 
     // Pass 2: least fixpoint of liveness.
     loop {

@@ -2,7 +2,7 @@
 
 use crate::soa::NocSoa;
 use footprint_routing::CongestionView;
-use footprint_topology::{Direction, Mesh, NodeId, Port, DIRECTIONS};
+use footprint_topology::{AnyTopology, Direction, NodeId, Port, DIRECTIONS};
 
 /// Per-channel congestion bits, recomputed every cycle from downstream
 /// input-buffer occupancy (occupied VCs at or above the threshold — V/2 in
@@ -33,10 +33,10 @@ impl Sideband {
     }
 
     /// Recomputes every congestion bit from current router state.
-    pub fn update(&mut self, mesh: Mesh, soa: &NocSoa) {
-        for node in mesh.nodes() {
+    pub fn update(&mut self, topo: AnyTopology, soa: &NocSoa) {
+        for node in topo.nodes() {
             for (di, dir) in DIRECTIONS.into_iter().enumerate() {
-                let congested = match mesh.neighbor(node, dir) {
+                let congested = match topo.neighbor(node, dir) {
                     Some(nb) => {
                         let in_port = Port::Dir(dir.opposite()).index();
                         soa.in_occupied(soa.np(nb, in_port)) >= self.threshold
@@ -56,9 +56,9 @@ impl Sideband {
     /// the last refresh is equivalent to a full [`Sideband::update`] —
     /// bits whose source occupancy did not change cannot flip, and edge
     /// bits stay `false` forever.
-    pub fn refresh_from(&mut self, mesh: Mesh, soa: &NocSoa, dirty: NodeId) {
+    pub fn refresh_from(&mut self, topo: AnyTopology, soa: &NocSoa, dirty: NodeId) {
         for dir in DIRECTIONS {
-            let Some(upstream) = mesh.neighbor(dirty, dir) else {
+            let Some(upstream) = topo.neighbor(dirty, dir) else {
                 continue;
             };
             let in_port = Port::Dir(dir).index();
@@ -85,6 +85,7 @@ impl CongestionView for Sideband {
 mod tests {
     use super::*;
     use crate::packet::{Flit, FlitKind, PacketId};
+    use footprint_topology::Mesh;
 
     fn flit(dest: u16, vc: u8) -> Flit {
         Flit {
@@ -102,7 +103,7 @@ mod tests {
 
     #[test]
     fn congestion_bit_tracks_downstream_occupancy() {
-        let mesh = Mesh::square(4);
+        let mesh = AnyTopology::from(Mesh::square(4));
         let mut soa = NocSoa::new(mesh.len(), 4, 4, 2);
         let mut sb = Sideband::new(mesh.len(), 2);
         sb.update(mesh, &soa);
@@ -118,7 +119,7 @@ mod tests {
 
     #[test]
     fn mesh_edges_never_congested() {
-        let mesh = Mesh::square(4);
+        let mesh = AnyTopology::from(Mesh::square(4));
         let soa = NocSoa::new(mesh.len(), 4, 4, 2);
         let mut sb = Sideband::new(mesh.len(), 1);
         sb.update(mesh, &soa);
@@ -134,7 +135,7 @@ mod tests {
 
     #[test]
     fn incremental_refresh_matches_full_update() {
-        let mesh = Mesh::square(4);
+        let mesh = AnyTopology::from(Mesh::square(4));
         let mut soa = NocSoa::new(mesh.len(), 4, 4, 2);
         // Occupy inputs at an interior node (5) and an edge node (0).
         for (node, port, vcs) in [

@@ -9,7 +9,7 @@ use footprint_sim::{
     DeadlockFinding, FlowSet, Network, OutVcState, Sentinel, SentinelViolation, SimConfig,
     SingleFlow, StallWatchdog,
 };
-use footprint_topology::{Mesh, NodeId, Port, DIRECTIONS, PORT_COUNT};
+use footprint_topology::{NodeId, Port, TopologySpec, DIRECTIONS, PORT_COUNT};
 use rand::RngCore;
 
 /// A deliberately broken algorithm (same shape as the obs_smoke hook):
@@ -73,7 +73,7 @@ impl RoutingAlgorithm for BadRing {
         let next = Self::next(ctx.current);
         let dir = DIRECTIONS
             .into_iter()
-            .find(|&d| ctx.mesh.neighbor(ctx.current, d) == Some(next))
+            .find(|&d| ctx.topo.neighbor(ctx.current, d) == Some(next))
             .expect("ring successor is a mesh neighbor");
         for v in 0..ctx.num_vcs {
             out.push(VcRequest::new(Port::Dir(dir), VcId::from_index(v), Priority::Low));
@@ -175,7 +175,7 @@ fn black_hole_router_trips_dead_route() {
 #[test]
 fn ring_deadlock_trips_wait_for_cycle() {
     let cfg = SimConfig {
-        mesh: Mesh::square(2),
+        topology: TopologySpec::mesh(2),
         num_vcs: 1,
         vc_buffer_depth: 2,
         speedup: 2,
@@ -255,7 +255,7 @@ fn stolen_credit_is_caught_at_the_corrupted_cycle() {
     let mut wl = crossing_flows(0.4, 4);
     let mut sentinel = Sentinel::with_intervals(1, 1);
     let num_vcs = net.config().num_vcs;
-    let nodes: Vec<NodeId> = net.config().mesh.nodes().collect();
+    let nodes: Vec<NodeId> = net.topo().nodes().collect();
     let mut target = None;
     for _ in 0..500 {
         net.step_probed(&mut wl, &mut sentinel);
@@ -303,7 +303,7 @@ fn counterfeit_flit_breaks_flit_conservation() {
     assert!(!sentinel.tripped(), "clean phase must stay clean");
     // Find an empty input VC anywhere and conjure a flit into it.
     let num_vcs = net.config().num_vcs;
-    let nodes: Vec<NodeId> = net.config().mesh.nodes().collect();
+    let nodes: Vec<NodeId> = net.topo().nodes().collect();
     let mut slot = None;
     'scan: for &node in &nodes {
         let soa = net.datapath();

@@ -1,0 +1,215 @@
+//! Ring-circulant topology — geometry stub behind the [`Topology`] trait.
+//!
+//! A circulant graph C(n; 1, s) connects node `i` to `i ± 1` and
+//! `i ± s (mod n)`. Romanov (Heliyon 2019) shows these beat meshes on
+//! diameter at equal degree, which makes them the natural next step after
+//! torus/ring — and they still fit the four-direction port alphabet:
+//! East/West carry the `±1` ring, North/South carry the `±s` skip links.
+//!
+//! **Status: geometry only.** Neighbor map, coordinates, channel
+//! enumeration and the hop metric work (and are property-tested), so the
+//! fault subsystem and the metrics can already reason about circulants.
+//! What is *not* done is a proven deadlock-free escape function: the `±s`
+//! skip links decompose into `gcd(n, s)` cycles, so the torus dateline
+//! argument does not transfer as-is — each cycle needs its own dateline
+//! and the cross-dimension layering needs a fresh proof. Until that lands,
+//! [`crate::TopologySpec::validate`] rejects circulant simulation configs
+//! with a typed error instead of risking a wedged network;
+//! [`Topology::escape_class`] here returns the `±1`-ring dateline class as
+//! a placeholder.
+
+use crate::traits::{wrap, Topology};
+use crate::{Direction, MinimalDirs, NodeId};
+use core::fmt;
+
+/// The circulant graph C(n; 1, s): geometry-complete, simulation-gated
+/// (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Circulant {
+    nodes: u16,
+    skip: u16,
+}
+
+impl Circulant {
+    /// Creates C(n; 1, skip).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n >= 5` and `2 <= skip <= n/2` (skip 1 duplicates
+    /// the ring links; skips above `n/2` alias their complement).
+    pub fn new(nodes: u16, skip: u16) -> Self {
+        assert!(nodes >= 5, "circulant needs at least 5 nodes");
+        assert!(
+            skip >= 2 && skip <= nodes / 2,
+            "circulant skip must be in 2..=n/2"
+        );
+        Circulant { nodes, skip }
+    }
+
+    /// The skip distance `s` of C(n; 1, s).
+    #[inline]
+    pub fn skip(self) -> u16 {
+        self.skip
+    }
+
+    /// Total number of nodes.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.nodes as usize
+    }
+
+    /// `false`: a circulant always has at least 5 nodes.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+}
+
+impl Topology for Circulant {
+    fn kind_name(&self) -> &'static str {
+        "circulant"
+    }
+
+    fn width(&self) -> u16 {
+        self.nodes
+    }
+
+    fn height(&self) -> u16 {
+        1
+    }
+
+    fn neighbor(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
+        let k = self.nodes;
+        let step = match dir {
+            Direction::East => 1,
+            Direction::West => k - 1,
+            Direction::North => self.skip,
+            Direction::South => k - self.skip,
+        };
+        Some(NodeId((node.0 + step) % k))
+    }
+
+    fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        // Exact small-graph metric: minimize |r| + |q| over r + q*s ≡ d
+        // (mod n), scanning the skip count q (|q| ≤ n/(2s) + 1 suffices but
+        // the full range keeps this obviously correct; circulants are
+        // u16-sized).
+        let n = i64::from(self.nodes);
+        let s = i64::from(self.skip);
+        let d = (i64::from(b.0) - i64::from(a.0)).rem_euclid(n);
+        let mut best = u32::MAX;
+        let qmax = n / s + 1;
+        for q in -qmax..=qmax {
+            let rem = (d - q * s).rem_euclid(n);
+            let r = rem.min(n - rem);
+            let cost = (q.unsigned_abs() + r.unsigned_abs()) as u32;
+            best = best.min(cost);
+        }
+        best
+    }
+
+    fn minimal_dirs(&self, cur: NodeId, dst: NodeId) -> MinimalDirs {
+        // Greedy: any direction whose hop strictly reduces the metric.
+        // Reported as (x = ring step, y = skip step) to fit MinimalDirs.
+        if cur == dst {
+            return MinimalDirs::default();
+        }
+        let here = self.hops(cur, dst);
+        let better = |d: Direction| {
+            let n = self.neighbor(cur, d).expect("circulant is 4-regular");
+            self.hops(n, dst) < here
+        };
+        let x = [Direction::East, Direction::West].into_iter().find(|&d| better(d));
+        let y = [Direction::North, Direction::South].into_iter().find(|&d| better(d));
+        MinimalDirs { x, y }
+    }
+
+    fn acyclic_minimal_dirs(&self, cur: NodeId, dst: NodeId) -> MinimalDirs {
+        // The non-wrapping subgraph of the ±1 ring: plain linear order.
+        use core::cmp::Ordering;
+        let x = match dst.0.cmp(&cur.0) {
+            Ordering::Greater => Some(Direction::East),
+            Ordering::Less => Some(Direction::West),
+            Ordering::Equal => None,
+        };
+        MinimalDirs { x, y: None }
+    }
+
+    fn minimal_path_count(&self, a: NodeId, b: NodeId) -> u64 {
+        if a == b {
+            1
+        } else {
+            u64::from(self.minimal_dirs(a, b).count() as u32).max(1)
+        }
+    }
+
+    fn wraps(&self) -> bool {
+        true
+    }
+
+    fn escape_class(&self, cur: NodeId, dst: NodeId, dir: Direction) -> u8 {
+        // Placeholder: the ±1-ring dateline. NOT a proven escape function
+        // for the skip dimension — which is why TopologySpec::validate
+        // refuses to build a simulation on a circulant yet.
+        let next = self.neighbor(cur, dir).expect("circulant is 4-regular");
+        match dir {
+            Direction::East | Direction::North => wrap::escape_class(next.0, dst.0, true),
+            Direction::West | Direction::South => wrap::escape_class(next.0, dst.0, false),
+        }
+    }
+}
+
+impl fmt::Display for Circulant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C({}; 1, {}) circulant", self.nodes, self.skip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DIRECTIONS;
+
+    #[test]
+    fn four_regular_and_symmetric() {
+        let c = Circulant::new(13, 4);
+        for n in c.nodes() {
+            for d in DIRECTIONS {
+                let m = c.neighbor(n, d).unwrap();
+                assert_eq!(c.neighbor(m, d.opposite()), Some(n));
+            }
+        }
+        assert_eq!(c.channels().count(), 4 * 13);
+    }
+
+    #[test]
+    fn skip_links_shorten_distance() {
+        let c = Circulant::new(16, 4);
+        // Ring alone: 8 hops to the antipode; one skip chain: 2 skips.
+        assert_eq!(c.hops(NodeId(0), NodeId(8)), 2);
+        assert_eq!(c.hops(NodeId(0), NodeId(5)), 2); // skip + 1
+        assert_eq!(c.hops(NodeId(0), NodeId(0)), 0);
+    }
+
+    #[test]
+    fn minimal_dirs_reduce_distance() {
+        let c = Circulant::new(16, 4);
+        for dst in c.nodes() {
+            let cur = NodeId(3);
+            if cur == dst {
+                continue;
+            }
+            let dirs = c.minimal_dirs(cur, dst);
+            assert!(dirs.count() > 0, "some productive direction exists");
+            for d in dirs.iter() {
+                let n = c.neighbor(cur, d).unwrap();
+                assert!(c.hops(n, dst) < c.hops(cur, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Circulant::new(16, 5).to_string(), "C(16; 1, 5) circulant");
+    }
+}

@@ -13,7 +13,7 @@
 //! plan — a requirement for the bit-identical-across-threads guarantee of
 //! the experiment engine.
 
-use crate::{Direction, Mesh, NodeId, DIRECTIONS};
+use crate::{AnyTopology, Direction, NodeId, DIRECTIONS};
 use core::fmt;
 
 /// What happens to the faulted component.
@@ -238,15 +238,19 @@ impl FaultPlan {
     }
 
     /// `count` distinct permanent duplex-link cuts at cycle 0, chosen
-    /// uniformly from the mesh's edges by a splitmix64 stream over `seed`.
-    /// Deterministic: the same `(mesh, count, seed)` always yields the same
-    /// plan. `count` is clamped to the number of edges.
-    pub fn random_link_faults(mesh: Mesh, count: usize, seed: u64) -> Self {
-        // Canonical (undirected) edges: East/North channels only.
+    /// uniformly from the topology's edges by a splitmix64 stream over
+    /// `seed`. Deterministic: the same `(topology, count, seed)` always
+    /// yields the same plan. `count` is clamped to the number of edges.
+    pub fn random_link_faults(topo: impl Into<AnyTopology>, count: usize, seed: u64) -> Self {
+        let topo = topo.into();
+        // Canonical (undirected) edges: East/North channels only. On
+        // wrapping topologies this still covers every physical edge
+        // exactly once — the West/South channels are the same edges seen
+        // from the other endpoint.
         let mut edges: Vec<(NodeId, Direction)> = Vec::new();
-        for node in mesh.nodes() {
+        for node in topo.nodes() {
             for dir in [Direction::East, Direction::North] {
-                if mesh.neighbor(node, dir).is_some() {
+                if topo.neighbor(node, dir).is_some() {
                     edges.push((node, dir));
                 }
             }
@@ -265,22 +269,27 @@ impl FaultPlan {
         FaultPlan { events }
     }
 
-    /// Checks every event against `mesh`.
+    /// Checks every event against the topology's channel set: a link
+    /// target is valid exactly when the topology has that directed
+    /// channel, so wrap links on a torus are faultable and the missing Y
+    /// dimension of a ring is not.
     ///
     /// # Errors
     ///
-    /// Returns the first [`FaultPlanError`] found: a target off the mesh, a
-    /// repair at or before its onset, or a degenerate degrade period.
-    pub fn validate(&self, mesh: Mesh) -> Result<(), FaultPlanError> {
+    /// Returns the first [`FaultPlanError`] found: a target off the
+    /// topology, a repair at or before its onset, or a degenerate degrade
+    /// period.
+    pub fn validate(&self, topo: impl Into<AnyTopology>) -> Result<(), FaultPlanError> {
+        let topo = topo.into();
         for e in &self.events {
             match e.target {
                 FaultTarget::Link { node, dir } | FaultTarget::DuplexLink { node, dir } => {
-                    if node.index() >= mesh.len() || mesh.neighbor(node, dir).is_none() {
+                    if node.index() >= topo.len() || topo.neighbor(node, dir).is_none() {
                         return Err(FaultPlanError::LinkOffMesh { node, dir });
                     }
                 }
                 FaultTarget::Router(node) => {
-                    if node.index() >= mesh.len() {
+                    if node.index() >= topo.len() {
                         return Err(FaultPlanError::RouterOffMesh { node });
                     }
                 }
@@ -301,19 +310,25 @@ impl FaultPlan {
 
     /// The directed channels taken down or degraded by `event`, as
     /// `(upstream, dir)` pairs pushed into `out`. Router faults expand to
-    /// every attached channel in both directions.
-    pub fn directed_channels(mesh: Mesh, event: &FaultEvent, out: &mut Vec<(NodeId, Direction)>) {
+    /// every attached channel in both directions, whatever the topology's
+    /// degree at that node.
+    pub fn directed_channels(
+        topo: impl Into<AnyTopology>,
+        event: &FaultEvent,
+        out: &mut Vec<(NodeId, Direction)>,
+    ) {
+        let topo = topo.into();
         match event.target {
             FaultTarget::Link { node, dir } => out.push((node, dir)),
             FaultTarget::DuplexLink { node, dir } => {
                 out.push((node, dir));
-                if let Some(nb) = mesh.neighbor(node, dir) {
+                if let Some(nb) = topo.neighbor(node, dir) {
                     out.push((nb, dir.opposite()));
                 }
             }
             FaultTarget::Router(node) => {
                 for dir in DIRECTIONS {
-                    if let Some(nb) = mesh.neighbor(node, dir) {
+                    if let Some(nb) = topo.neighbor(node, dir) {
                         out.push((node, dir));
                         out.push((nb, dir.opposite()));
                     }
@@ -356,6 +371,7 @@ impl Splitmix64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Mesh;
 
     #[test]
     fn empty_plan_is_default_and_validates() {

@@ -1,40 +1,66 @@
-//! 2D mesh topology substrate for the Footprint NoC reproduction.
+//! Topology substrate for the Footprint NoC reproduction.
 //!
-//! The paper ("Footprint: Regulating Routing Adaptiveness in Networks-on-Chip",
-//! ISCA 2017) evaluates exclusively on 2D meshes (4×4, 8×8 and 16×16), so this
-//! crate provides a small, allocation-free model of a `width × height` mesh:
+//! The paper ("Footprint: Regulating Routing Adaptiveness in
+//! Networks-on-Chip", ISCA 2017) evaluates exclusively on 2D meshes; this
+//! crate grew from that mesh model into a first-class topology API so the
+//! same regulated-adaptiveness machinery can run on other fabrics:
 //!
-//! * [`NodeId`] — a dense node index in row-major order (`id = y * width + x`),
-//!   matching the node numbering used throughout the paper (e.g. the hotspot
-//!   flows of Table 3 on the 8×8 mesh).
-//! * [`Coord`] — an `(x, y)` coordinate pair.
-//! * [`Direction`] — one of the four mesh directions.
-//! * [`Port`] — a router port: the four directions plus the local
-//!   injection/ejection port.
-//! * [`Mesh`] — the topology itself, with neighbor lookup, minimal-direction
-//!   computation and channel enumeration.
+//! * [`Topology`] — the trait every fabric shape implements: node/channel
+//!   enumeration, neighbor map, coordinate and hop metric, and the
+//!   canonical deadlock-free escape routing (escape-VC count and dateline
+//!   classes).
+//! * [`Mesh`] — the paper's `width × height` 2D mesh (one escape VC).
+//! * [`Torus`] — the mesh with wraparound rows and columns (two dateline
+//!   escape-VC classes; see the torus module docs for the acyclicity
+//!   argument).
+//! * [`Ring`] — the 1D torus: the cheap-router cost point.
+//! * [`Circulant`] — ring-circulant C(n; 1, s) geometry, simulation-gated
+//!   until a deadlock-free escape function is proven for it.
+//! * [`AnyTopology`] — the `Copy` dispatch enum the simulator's hot paths
+//!   carry by value.
+//! * [`TopologySpec`] — the validated, canonically-printable configuration
+//!   form ([`TopologySpec::validate`] returns typed [`TopologyError`]s).
+//!
+//! Supporting types: [`NodeId`] (dense row-major index), [`Coord`],
+//! [`Direction`]/[`Port`] (the four-direction port alphabet plus the local
+//! port), [`Channel`], [`MinimalDirs`], and the deterministic fault-plan
+//! model ([`FaultPlan`]).
 //!
 //! # Example
 //!
 //! ```
-//! use footprint_topology::{Mesh, NodeId, Direction};
+//! use footprint_topology::{Direction, NodeId, Topology, TopologySpec};
 //!
-//! let mesh = Mesh::square(8);
-//! let n = NodeId(13); // (5, 1) on an 8-wide mesh
-//! assert_eq!(mesh.coord(n).x, 5);
-//! assert_eq!(mesh.coord(n).y, 1);
-//! assert_eq!(mesh.neighbor(n, Direction::East), Some(NodeId(14)));
-//! assert_eq!(mesh.hops(NodeId(0), NodeId(63)), 14);
+//! let torus = TopologySpec::torus(8).validate().unwrap();
+//! // Wraparound makes the far corner adjacent in both dimensions.
+//! assert_eq!(torus.hops(NodeId(0), NodeId(63)), 2);
+//! // Wrapping fabrics reserve two dateline escape-VC classes.
+//! assert_eq!(torus.escape_vcs(), 2);
+//! assert_eq!("torus:8x8".parse::<TopologySpec>().unwrap().validate().unwrap(), torus);
 //! ```
 
 #![warn(missing_docs)]
 
+mod any;
+mod circulant;
 mod coord;
 mod fault;
 mod mesh;
 mod port;
+mod ring;
+mod spec;
+mod torus;
+mod traits;
 
+pub use any::AnyTopology;
+pub use circulant::Circulant;
 pub use coord::{Coord, NodeId};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanError, FaultTarget};
 pub use mesh::{Channel, Mesh, MinimalDirs};
 pub use port::{Direction, Port, DIRECTIONS, PORTS, PORT_COUNT};
+pub use ring::Ring;
+pub use spec::{TopologyError, TopologySpec};
+pub use torus::Torus;
+pub use traits::{ChannelIter, NodeIter, Topology};
+
+pub(crate) use mesh::binomial;

@@ -1,5 +1,6 @@
 //! The 2D mesh topology.
 
+use crate::traits::Topology;
 use crate::{Coord, Direction, NodeId, DIRECTIONS};
 use core::fmt;
 
@@ -224,6 +225,50 @@ impl Mesh {
     }
 }
 
+impl Topology for Mesh {
+    fn kind_name(&self) -> &'static str {
+        "mesh"
+    }
+
+    fn width(&self) -> u16 {
+        self.width
+    }
+
+    fn height(&self) -> u16 {
+        self.height
+    }
+
+    fn neighbor(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
+        Mesh::neighbor(*self, node, dir)
+    }
+
+    fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        Mesh::hops(*self, a, b)
+    }
+
+    fn minimal_dirs(&self, cur: NodeId, dst: NodeId) -> MinimalDirs {
+        Mesh::minimal_dirs(*self, cur, dst)
+    }
+
+    /// A mesh is its own acyclic subgraph.
+    fn acyclic_minimal_dirs(&self, cur: NodeId, dst: NodeId) -> MinimalDirs {
+        Mesh::minimal_dirs(*self, cur, dst)
+    }
+
+    fn minimal_path_count(&self, a: NodeId, b: NodeId) -> u64 {
+        Mesh::minimal_path_count(*self, a, b)
+    }
+
+    fn wraps(&self) -> bool {
+        false
+    }
+
+    /// Dimension-order escape on a mesh needs a single class.
+    fn escape_class(&self, _cur: NodeId, _dst: NodeId, _dir: Direction) -> u8 {
+        0
+    }
+}
+
 impl fmt::Display for Mesh {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}x{} mesh", self.width, self.height)
@@ -231,7 +276,7 @@ impl fmt::Display for Mesh {
 }
 
 /// `C(n, k)` with saturation.
-fn binomial(n: u64, k: u64) -> u64 {
+pub(crate) fn binomial(n: u64, k: u64) -> u64 {
     let k = k.min(n - k.min(n));
     let mut acc: u64 = 1;
     for i in 0..k {

@@ -9,7 +9,7 @@
 use crate::patterns::{TrafficPattern, Uniform};
 use crate::PacketSize;
 use footprint_sim::{NewPacket, Workload};
-use footprint_topology::{Mesh, NodeId};
+use footprint_topology::{AnyTopology, NodeId};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -52,7 +52,7 @@ pub fn paper_flows() -> Vec<Flow> {
 /// The hotspot + background workload of Figure 9.
 #[derive(Debug)]
 pub struct HotspotWorkload {
-    mesh: Mesh,
+    topo: AnyTopology,
     flows: Vec<Flow>,
     hotspot_rate: f64,
     background_rate: f64,
@@ -66,25 +66,26 @@ impl HotspotWorkload {
     ///
     /// # Panics
     ///
-    /// Panics if a flow source lies outside the mesh or a rate is outside
-    /// `[0, 1]`.
+    /// Panics if a flow endpoint lies outside the fabric or a rate is
+    /// outside `[0, 1]`.
     pub fn new(
-        mesh: Mesh,
+        topo: impl Into<AnyTopology>,
         flows: Vec<Flow>,
         hotspot_rate: f64,
         background_rate: f64,
         size: PacketSize,
     ) -> Self {
+        let topo = topo.into();
         assert!((0.0..=1.0).contains(&hotspot_rate), "hotspot rate");
         assert!((0.0..=1.0).contains(&background_rate), "background rate");
-        let mut is_hotspot_src = vec![false; mesh.len()];
+        let mut is_hotspot_src = vec![false; topo.len()];
         for f in &flows {
-            assert!(f.src.index() < mesh.len(), "flow source outside mesh");
-            assert!(f.dest.index() < mesh.len(), "flow dest outside mesh");
+            assert!(f.src.index() < topo.len(), "flow source outside fabric");
+            assert!(f.dest.index() < topo.len(), "flow dest outside fabric");
             is_hotspot_src[f.src.index()] = true;
         }
         HotspotWorkload {
-            mesh,
+            topo,
             flows,
             hotspot_rate,
             background_rate,
@@ -95,13 +96,14 @@ impl HotspotWorkload {
 
     /// The paper's configuration on an 8×8 mesh: Table 3 flows, background
     /// at 0.30, single-flit packets; hotspot rate is the sweep variable.
-    pub fn paper(mesh: Mesh, hotspot_rate: f64) -> Self {
+    pub fn paper(topo: impl Into<AnyTopology>, hotspot_rate: f64) -> Self {
+        let topo = topo.into();
         assert!(
-            mesh.len() == 64,
+            topo.len() == 64,
             "the Table 3 flow set is defined on the 8x8 mesh"
         );
         Self::new(
-            mesh,
+            topo,
             paper_flows(),
             hotspot_rate,
             0.30,
@@ -137,7 +139,7 @@ impl Workload for HotspotWorkload {
         } else {
             let p = (self.background_rate / self.size.mean()).min(1.0);
             if p > 0.0 && rng.gen_bool(p) {
-                let dest = Uniform.dest(self.mesh, node, rng)?;
+                let dest = Uniform.dest(self.topo, node, rng)?;
                 Some(NewPacket {
                     dest,
                     size: self.size.sample(rng),
@@ -154,6 +156,7 @@ impl Workload for HotspotWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use footprint_topology::Mesh;
     use rand::SeedableRng;
 
     #[test]

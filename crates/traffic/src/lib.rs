@@ -23,12 +23,11 @@
 //! use footprint_traffic::{SyntheticWorkload, PacketSize, patterns::Transpose};
 //! use footprint_sim::{Network, SimConfig, Workload};
 //! use footprint_routing::RoutingSpec;
-//! use footprint_topology::Mesh;
 //!
 //! let cfg = SimConfig::small();
 //! let mut net = Network::new(cfg, RoutingSpec::Footprint.build(), 1)?;
 //! let mut wl = SyntheticWorkload::new(
-//!     cfg.mesh, Box::new(Transpose), PacketSize::SINGLE, 0.2,
+//!     cfg.topo(), Box::new(Transpose), PacketSize::SINGLE, 0.2,
 //! );
 //! net.run(&mut wl, 1000);
 //! assert!(net.metrics().total().ejected_packets > 0);

@@ -5,35 +5,38 @@
 //! provided for wider testing and ablations.
 
 use core::fmt;
-use footprint_topology::{Coord, Mesh, NodeId};
+use footprint_topology::{AnyTopology, Coord, NodeId};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-/// A destination-selection function over a mesh.
+/// A destination-selection function over a topology.
 ///
 /// Patterns are *pure* given the RNG: all state lives in the caller. A
 /// pattern may exclude a node from participation by returning `None`.
+/// Patterns address nodes by id and grid coordinate, so the same pattern
+/// drives a mesh, a torus of the same dimensions, or a ring (which presents
+/// as a `n×1` grid).
 pub trait TrafficPattern: Send + Sync {
     /// Short display name ("uniform", "transpose", ...).
     fn name(&self) -> &'static str;
 
     /// Picks the destination for a packet injected at `src`, or `None` if
     /// `src` does not participate (e.g. fixed points of a permutation).
-    fn dest(&self, mesh: Mesh, src: NodeId, rng: &mut SmallRng) -> Option<NodeId>;
+    fn dest(&self, topo: AnyTopology, src: NodeId, rng: &mut SmallRng) -> Option<NodeId>;
 
     /// Fraction of nodes that actively inject (1.0 for the classics;
     /// permutations with fixed points inject from fewer nodes).
-    fn active_fraction(&self, mesh: Mesh) -> f64 {
-        let active = mesh
+    fn active_fraction(&self, topo: AnyTopology) -> f64 {
+        let active = topo
             .nodes()
             .filter(|n| {
                 // A node participates if it has any possible destination;
                 // deterministic patterns are probed directly.
                 let mut probe = crate::pattern_probe_rng();
-                self.dest(mesh, *n, &mut probe).is_some()
+                self.dest(topo, *n, &mut probe).is_some()
             })
             .count();
-        active as f64 / mesh.len() as f64
+        active as f64 / topo.len() as f64
     }
 }
 
@@ -46,8 +49,8 @@ impl TrafficPattern for Uniform {
         "uniform"
     }
 
-    fn dest(&self, mesh: Mesh, src: NodeId, rng: &mut SmallRng) -> Option<NodeId> {
-        let n = mesh.len() as u16;
+    fn dest(&self, topo: AnyTopology, src: NodeId, rng: &mut SmallRng) -> Option<NodeId> {
+        let n = topo.len() as u16;
         if n <= 1 {
             return None;
         }
@@ -60,7 +63,7 @@ impl TrafficPattern for Uniform {
 }
 
 /// Transpose: `(x, y) → (y, x)`. Diagonal nodes do not inject.
-/// Requires a square mesh.
+/// Requires a square grid.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Transpose;
 
@@ -69,13 +72,13 @@ impl TrafficPattern for Transpose {
         "transpose"
     }
 
-    fn dest(&self, mesh: Mesh, src: NodeId, _rng: &mut SmallRng) -> Option<NodeId> {
-        assert_eq!(mesh.width(), mesh.height(), "transpose needs a square mesh");
-        let c = mesh.coord(src);
+    fn dest(&self, topo: AnyTopology, src: NodeId, _rng: &mut SmallRng) -> Option<NodeId> {
+        assert_eq!(topo.width(), topo.height(), "transpose needs a square grid");
+        let c = topo.coord(src);
         if c.x == c.y {
             return None;
         }
-        Some(mesh.node_at(Coord::new(c.y, c.x)))
+        Some(topo.node_at(Coord::new(c.y, c.x)))
     }
 }
 
@@ -89,9 +92,9 @@ impl TrafficPattern for Shuffle {
         "shuffle"
     }
 
-    fn dest(&self, mesh: Mesh, src: NodeId, _rng: &mut SmallRng) -> Option<NodeId> {
-        let n = mesh.len();
-        assert!(n.is_power_of_two(), "shuffle needs a power-of-two mesh");
+    fn dest(&self, topo: AnyTopology, src: NodeId, _rng: &mut SmallRng) -> Option<NodeId> {
+        let n = topo.len();
+        assert!(n.is_power_of_two(), "shuffle needs a power-of-two node count");
         let bits = n.trailing_zeros();
         let s = src.0 as usize;
         let d = ((s << 1) | (s >> (bits - 1) as usize)) & (n - 1);
@@ -112,9 +115,9 @@ impl TrafficPattern for BitComplement {
         "bit-complement"
     }
 
-    fn dest(&self, mesh: Mesh, src: NodeId, _rng: &mut SmallRng) -> Option<NodeId> {
-        let n = mesh.len();
-        assert!(n.is_power_of_two(), "bit-complement needs a power-of-two mesh");
+    fn dest(&self, topo: AnyTopology, src: NodeId, _rng: &mut SmallRng) -> Option<NodeId> {
+        let n = topo.len();
+        assert!(n.is_power_of_two(), "bit-complement needs a power-of-two node count");
         Some(NodeId((!(src.0 as usize) & (n - 1)) as u16))
     }
 }
@@ -129,9 +132,9 @@ impl TrafficPattern for BitReverse {
         "bit-reverse"
     }
 
-    fn dest(&self, mesh: Mesh, src: NodeId, _rng: &mut SmallRng) -> Option<NodeId> {
-        let n = mesh.len();
-        assert!(n.is_power_of_two(), "bit-reverse needs a power-of-two mesh");
+    fn dest(&self, topo: AnyTopology, src: NodeId, _rng: &mut SmallRng) -> Option<NodeId> {
+        let n = topo.len();
+        assert!(n.is_power_of_two(), "bit-reverse needs a power-of-two node count");
         let bits = n.trailing_zeros();
         let mut s = src.0 as usize;
         let mut d = 0usize;
@@ -157,14 +160,14 @@ impl TrafficPattern for Tornado {
         "tornado"
     }
 
-    fn dest(&self, mesh: Mesh, src: NodeId, _rng: &mut SmallRng) -> Option<NodeId> {
-        let c = mesh.coord(src);
-        let w = mesh.width();
+    fn dest(&self, topo: AnyTopology, src: NodeId, _rng: &mut SmallRng) -> Option<NodeId> {
+        let c = topo.coord(src);
+        let w = topo.width();
         let shift = w.div_ceil(2) - 1;
         if shift == 0 {
             return None;
         }
-        Some(mesh.node_at(Coord::new((c.x + shift) % w, c.y)))
+        Some(topo.node_at(Coord::new((c.x + shift) % w, c.y)))
     }
 }
 
@@ -177,9 +180,9 @@ impl TrafficPattern for Neighbor {
         "neighbor"
     }
 
-    fn dest(&self, mesh: Mesh, src: NodeId, _rng: &mut SmallRng) -> Option<NodeId> {
-        let c = mesh.coord(src);
-        Some(mesh.node_at(Coord::new((c.x + 1) % mesh.width(), c.y)))
+    fn dest(&self, topo: AnyTopology, src: NodeId, _rng: &mut SmallRng) -> Option<NodeId> {
+        let c = topo.coord(src);
+        Some(topo.node_at(Coord::new((c.x + 1) % topo.width(), c.y)))
     }
 }
 
@@ -191,13 +194,14 @@ pub struct Permutation {
 }
 
 impl Permutation {
-    /// Builds a permutation over `mesh` from explicit `(src, dest)` pairs.
+    /// Builds a permutation over `topo` from explicit `(src, dest)` pairs.
     ///
     /// # Panics
     ///
     /// Panics if a source appears twice or a pair maps a node to itself.
-    pub fn from_pairs(mesh: Mesh, pairs: &[(NodeId, NodeId)]) -> Self {
-        let mut map = vec![None; mesh.len()];
+    pub fn from_pairs(topo: impl Into<AnyTopology>, pairs: &[(NodeId, NodeId)]) -> Self {
+        let topo = topo.into();
+        let mut map = vec![None; topo.len()];
         for &(s, d) in pairs {
             assert_ne!(s, d, "self-pair in permutation");
             assert!(map[s.index()].is_none(), "duplicate source {s}");
@@ -208,13 +212,14 @@ impl Permutation {
 
     /// The paper's Figure 2 example on a 4×4 mesh:
     /// `{n0→n10, n1→n15, n4→n13, n12→n13}`.
-    pub fn figure2_example(mesh: Mesh) -> Self {
+    pub fn figure2_example(topo: impl Into<AnyTopology>) -> Self {
+        let topo = topo.into();
         assert!(
-            mesh.width() >= 4 && mesh.height() >= 4,
-            "figure 2 example needs at least a 4x4 mesh"
+            topo.width() >= 4 && topo.height() >= 4,
+            "figure 2 example needs at least a 4x4 grid"
         );
         Self::from_pairs(
-            mesh,
+            topo,
             &[
                 (NodeId(0), NodeId(10)),
                 (NodeId(1), NodeId(15)),
@@ -230,14 +235,14 @@ impl TrafficPattern for Permutation {
         "permutation"
     }
 
-    fn dest(&self, _mesh: Mesh, src: NodeId, _rng: &mut SmallRng) -> Option<NodeId> {
+    fn dest(&self, _topo: AnyTopology, src: NodeId, _rng: &mut SmallRng) -> Option<NodeId> {
         self.map.get(src.index()).copied().flatten()
     }
 }
 
-/// A pattern/mesh mismatch caught at construction time: the pattern's
+/// A pattern/topology mismatch caught at construction time: the pattern's
 /// destination function is only defined on a power-of-two node count, and
-/// the mesh has `nodes` nodes.
+/// the fabric has `nodes` nodes.
 ///
 /// Catching this when the workload is *built* turns what used to be a
 /// mid-simulation panic (the first time the pattern computed a destination)
@@ -289,7 +294,7 @@ impl PatternSpec {
         PatternSpec::Shuffle,
     ];
 
-    /// Instantiates the pattern after checking it is defined on `mesh`.
+    /// Instantiates the pattern after checking it is defined on `topo`.
     ///
     /// The bit-manipulating patterns (shuffle, bit-complement, bit-reverse)
     /// only make sense on a power-of-two node count; [`PatternSpec::build`]
@@ -300,16 +305,20 @@ impl PatternSpec {
     /// # Errors
     ///
     /// Returns a [`PatternError`] naming the pattern and node count when the
-    /// mesh does not satisfy the pattern's structural requirement.
-    pub fn build_for(self, mesh: Mesh) -> Result<Box<dyn TrafficPattern>, PatternError> {
+    /// topology does not satisfy the pattern's structural requirement.
+    pub fn build_for(
+        self,
+        topo: impl Into<AnyTopology>,
+    ) -> Result<Box<dyn TrafficPattern>, PatternError> {
+        let topo = topo.into();
         let needs_power_of_two = matches!(
             self,
             PatternSpec::Shuffle | PatternSpec::BitComplement | PatternSpec::BitReverse
         );
-        if needs_power_of_two && !mesh.len().is_power_of_two() {
+        if needs_power_of_two && !topo.len().is_power_of_two() {
             return Err(PatternError {
                 pattern: self.name(),
-                nodes: mesh.len(),
+                nodes: topo.len(),
             });
         }
         Ok(self.build())
@@ -351,15 +360,20 @@ impl fmt::Display for PatternSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use footprint_topology::{Mesh, Ring, Torus};
     use rand::SeedableRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(7)
     }
 
+    fn square4() -> AnyTopology {
+        Mesh::square(4).into()
+    }
+
     #[test]
     fn uniform_never_self_and_covers_nodes() {
-        let mesh = Mesh::square(4);
+        let mesh = square4();
         let mut r = rng();
         let mut seen = [false; 16];
         for _ in 0..2000 {
@@ -372,7 +386,7 @@ mod tests {
 
     #[test]
     fn transpose_swaps_coordinates() {
-        let mesh = Mesh::square(8);
+        let mesh = AnyTopology::from(Mesh::square(8));
         let mut r = rng();
         // (5,1) = n13 → (1,5) = n41.
         assert_eq!(Transpose.dest(mesh, NodeId(13), &mut r), Some(NodeId(41)));
@@ -382,7 +396,7 @@ mod tests {
 
     #[test]
     fn shuffle_rotates_bits() {
-        let mesh = Mesh::square(4); // 16 nodes, 4 bits
+        let mesh = square4(); // 16 nodes, 4 bits
         let mut r = rng();
         // 0b0011 → 0b0110
         assert_eq!(Shuffle.dest(mesh, NodeId(3), &mut r), Some(NodeId(6)));
@@ -395,7 +409,7 @@ mod tests {
 
     #[test]
     fn bit_complement_is_involutive() {
-        let mesh = Mesh::square(4);
+        let mesh = square4();
         let mut r = rng();
         for n in mesh.nodes() {
             let d = BitComplement.dest(mesh, n, &mut r).unwrap();
@@ -406,7 +420,7 @@ mod tests {
 
     #[test]
     fn bit_reverse_examples() {
-        let mesh = Mesh::square(4);
+        let mesh = square4();
         let mut r = rng();
         // 0b0001 → 0b1000
         assert_eq!(BitReverse.dest(mesh, NodeId(1), &mut r), Some(NodeId(8)));
@@ -416,7 +430,7 @@ mod tests {
 
     #[test]
     fn tornado_moves_half_way() {
-        let mesh = Mesh::square(8);
+        let mesh = AnyTopology::from(Mesh::square(8));
         let mut r = rng();
         // shift = ceil(8/2) - 1 = 3: (0,0) → (3,0).
         assert_eq!(Tornado.dest(mesh, NodeId(0), &mut r), Some(NodeId(3)));
@@ -425,15 +439,46 @@ mod tests {
 
     #[test]
     fn neighbor_wraps_east() {
-        let mesh = Mesh::square(4);
+        let mesh = square4();
         let mut r = rng();
         assert_eq!(Neighbor.dest(mesh, NodeId(0), &mut r), Some(NodeId(1)));
         assert_eq!(Neighbor.dest(mesh, NodeId(3), &mut r), Some(NodeId(0)));
     }
 
     #[test]
+    fn patterns_agree_across_same_shape_topologies() {
+        // Destination functions depend only on ids and grid coordinates, so
+        // a torus of the same dimensions sees the identical pattern.
+        let mesh = AnyTopology::from(Mesh::square(4));
+        let torus = AnyTopology::from(Torus::square(4));
+        let mut r1 = rng();
+        let mut r2 = rng();
+        for n in mesh.nodes() {
+            assert_eq!(
+                Transpose.dest(mesh, n, &mut r1),
+                Transpose.dest(torus, n, &mut r2)
+            );
+            assert_eq!(
+                Tornado.dest(mesh, n, &mut r1),
+                Tornado.dest(torus, n, &mut r2)
+            );
+        }
+    }
+
+    #[test]
+    fn ring_presents_as_flat_grid_to_patterns() {
+        let ring = AnyTopology::from(Ring::new(16));
+        let mut r = rng();
+        // Neighbor walks the ring east with wraparound.
+        assert_eq!(Neighbor.dest(ring, NodeId(15), &mut r), Some(NodeId(0)));
+        // Bit patterns work off the node count alone.
+        assert_eq!(Shuffle.dest(ring, NodeId(3), &mut r), Some(NodeId(6)));
+        assert!(PatternSpec::Shuffle.build_for(ring).is_ok());
+    }
+
+    #[test]
     fn figure2_permutation_matches_paper() {
-        let mesh = Mesh::square(4);
+        let mesh = square4();
         let p = Permutation::figure2_example(mesh);
         let mut r = rng();
         assert_eq!(p.dest(mesh, NodeId(0), &mut r), Some(NodeId(10)));
@@ -446,7 +491,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate source")]
     fn permutation_rejects_duplicate_sources() {
-        let mesh = Mesh::square(4);
+        let mesh = square4();
         let _ = Permutation::from_pairs(
             mesh,
             &[(NodeId(0), NodeId(1)), (NodeId(0), NodeId(2))],
@@ -455,7 +500,7 @@ mod tests {
 
     #[test]
     fn active_fraction_reflects_fixed_points() {
-        let mesh = Mesh::square(4);
+        let mesh = square4();
         assert!((Uniform.active_fraction(mesh) - 1.0).abs() < 1e-12);
         // Transpose: 4 diagonal nodes idle out of 16.
         assert!((Transpose.active_fraction(mesh) - 0.75).abs() < 1e-12);
@@ -465,7 +510,7 @@ mod tests {
     fn power_of_two_patterns_reject_odd_meshes_at_build() {
         // 6×6 = 36 nodes: not a power of two, so the bit patterns must be
         // rejected at construction instead of panicking mid-run.
-        let odd = Mesh::square(6);
+        let odd = AnyTopology::from(Mesh::square(6));
         for spec in [
             PatternSpec::Shuffle,
             PatternSpec::BitComplement,
@@ -477,7 +522,7 @@ mod tests {
             assert!(err.to_string().contains("36"));
         }
         // 8×8 = 64 nodes: accepted.
-        let pow2 = Mesh::square(8);
+        let pow2 = AnyTopology::from(Mesh::square(8));
         for spec in [
             PatternSpec::Shuffle,
             PatternSpec::BitComplement,
@@ -485,7 +530,7 @@ mod tests {
         ] {
             assert_eq!(spec.build_for(pow2).unwrap().name(), spec.name());
         }
-        // Patterns without the structural requirement accept any mesh.
+        // Patterns without the structural requirement accept any topology.
         assert!(PatternSpec::Uniform.build_for(odd).is_ok());
         assert!(PatternSpec::Tornado.build_for(odd).is_ok());
     }

@@ -2,7 +2,7 @@
 
 use crate::{PacketSize, TrafficPattern};
 use footprint_sim::{NewPacket, Workload};
-use footprint_topology::{Mesh, NodeId};
+use footprint_topology::{AnyTopology, NodeId};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -11,7 +11,7 @@ use rand::Rng;
 /// `rate` flits per node per cycle — the x-axis of the paper's
 /// latency-throughput figures.
 pub struct SyntheticWorkload {
-    mesh: Mesh,
+    topo: AnyTopology,
     pattern: Box<dyn TrafficPattern>,
     size: PacketSize,
     rate: f64,
@@ -36,10 +36,15 @@ impl SyntheticWorkload {
     ///
     /// Panics if `rate` is negative or exceeds 1.0 (a node cannot inject
     /// more than one flit per cycle).
-    pub fn new(mesh: Mesh, pattern: Box<dyn TrafficPattern>, size: PacketSize, rate: f64) -> Self {
+    pub fn new(
+        topo: impl Into<AnyTopology>,
+        pattern: Box<dyn TrafficPattern>,
+        size: PacketSize,
+        rate: f64,
+    ) -> Self {
         assert!((0.0..=1.0).contains(&rate), "rate {rate} out of [0, 1]");
         SyntheticWorkload {
-            mesh,
+            topo: topo.into(),
             pattern,
             size,
             rate,
@@ -70,7 +75,7 @@ impl Workload for SyntheticWorkload {
         if p <= 0.0 || !rng.gen_bool(p) {
             return None;
         }
-        let dest = self.pattern.dest(self.mesh, node, rng)?;
+        let dest = self.pattern.dest(self.topo, node, rng)?;
         Some(NewPacket {
             dest,
             size: self.size.sample(rng),
@@ -84,6 +89,7 @@ impl Workload for SyntheticWorkload {
 mod tests {
     use super::*;
     use crate::patterns::{Transpose, Uniform};
+    use footprint_topology::Mesh;
     use rand::SeedableRng;
 
     #[test]

@@ -2,7 +2,7 @@
 //! several run lengths, separating per-run setup cost (network + workload
 //! construction) from steady-state cycles/sec. Not a paper figure.
 
-use footprint_core::{RoutingSpec, SimulationBuilder, TrafficSpec};
+use footprint_core::{RoutingSpec, RunOptions, SimulationBuilder, TrafficSpec};
 use std::time::Instant;
 
 fn main() {
@@ -17,7 +17,7 @@ fn main() {
         let mut best = f64::INFINITY;
         for _ in 0..2 {
             let t = Instant::now();
-            b.run().expect("static experiment config");
+            b.run_with(RunOptions::new()).expect("static experiment config");
             best = best.min(t.elapsed().as_secs_f64());
         }
         println!("{total} cycles in {best:.3}s = {:.0} cycles/sec", total as f64 / best);

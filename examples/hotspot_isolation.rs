@@ -31,7 +31,7 @@ fn main() -> Result<(), RunError> {
             .warmup(2_000)
             .measurement(4_000)
             .seed(7)
-            .run()?;
+            .run_with(RunOptions::new())?;
         let bg = report.class(BACKGROUND_CLASS);
         let hs = report.class(HOTSPOT_CLASS);
         println!(

@@ -29,7 +29,7 @@ fn main() -> Result<(), RunError> {
             .warmup(2_000)
             .measurement(4_000)
             .seed(42)
-            .run()?;
+            .run_with(RunOptions::new())?;
         println!(
             "{:<12} {:>10.1} {:>12.3} {:>10} {:>12}",
             spec.name(),

@@ -41,12 +41,12 @@ fn main() -> Result<(), ConfigError> {
 
     let cfg = SimConfig::small();
     let mut net = Network::new(cfg, RoutingSpec::Footprint.build(), 99)?;
-    let mut trace = TraceWorkload::new(cfg.mesh.len(), events);
+    let mut trace = TraceWorkload::new(cfg.topo().len(), events);
     net.run(&mut trace, 400);
     net.run(&mut NoTraffic, 200); // drain
 
     let m = net.metrics().total();
-    println!("Trace replay on {} — Footprint routing", cfg.mesh);
+    println!("Trace replay on {} — Footprint routing", cfg.topology);
     println!("  events injected : {total}");
     println!("  packets ejected : {}", m.ejected_packets);
     println!("  flits ejected   : {}", m.ejected_flits);

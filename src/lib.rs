@@ -30,7 +30,7 @@
 //!     .warmup(500)
 //!     .measurement(1000)
 //!     .seed(7)
-//!     .run()
+//!     .run_with(RunOptions::new())
 //!     .expect("valid configuration");
 //! assert!(report.latency.mean() > 0.0);
 //! ```
@@ -68,6 +68,8 @@ pub mod prelude {
         RunOptions, RunReport, Scheduler, SimulationBuilder, StallDiagnostic, SweepOptions,
         TenantSpec, TenantSummary, TrafficSpec, UnreachablePolicy,
     };
-    pub use footprint_topology::{Direction, FaultEvent, FaultKind, FaultPlan, Mesh, NodeId};
+    pub use footprint_topology::{
+        Direction, FaultEvent, FaultKind, FaultPlan, Mesh, NodeId, Ring, TopologySpec, Torus,
+    };
     pub use footprint_traffic::{App, DurationDist, ModulationSpec, PacketSize};
 }

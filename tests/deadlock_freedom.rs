@@ -141,8 +141,8 @@ fn footprint_join_extension_is_also_live() {
     cfg.num_vcs = 4;
     let mut net = Network::new(cfg, Box::new(Footprint::new().with_join()), 0xD8).unwrap();
     let mut wl = SyntheticWorkload::new(
-        cfg.mesh,
-        Box::new(footprint_suite::traffic::Permutation::figure2_example(cfg.mesh)),
+        cfg.topo(),
+        Box::new(footprint_suite::traffic::Permutation::figure2_example(cfg.topo())),
         PacketSize::SINGLE,
         1.0,
     );

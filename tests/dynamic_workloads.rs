@@ -165,7 +165,7 @@ fn invalid_dynamic_configs_are_typed_errors() {
         base().tenants(vec![TenantSpec::new("a", TrafficSpec::UniformRandom, -0.1)]),
     ];
     for b in cases {
-        match b.warmup(10).measurement(20).run() {
+        match b.warmup(10).measurement(20).run_with(RunOptions::new()) {
             Err(RunError::Config(e)) => {
                 assert!(e.to_string().contains("workload"), "unexpected error: {e}");
             }

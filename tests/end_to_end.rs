@@ -30,7 +30,7 @@ fn every_algorithm_delivers_uniform_traffic_loss_free() {
             .routing(spec)
             .traffic(TrafficSpec::UniformRandom)
             .injection_rate(0.15)
-            .run()
+            .run_with(RunOptions::new())
             .unwrap();
         assert!(
             r.latency.ejected_packets >= r.latency.generated_packets,
@@ -59,7 +59,7 @@ fn every_algorithm_handles_every_pattern() {
                 .routing(spec)
                 .traffic(traffic)
                 .injection_rate(0.1)
-                .run()
+                .run_with(RunOptions::new())
                 .unwrap();
             assert!(
                 r.latency.ejected_packets > 0,
@@ -93,7 +93,7 @@ fn extended_reference_algorithms_deliver() {
                 .routing(spec)
                 .traffic(traffic)
                 .injection_rate(0.12)
-                .run()
+                .run_with(RunOptions::new())
                 .unwrap();
             assert!(
                 r.delivery_ratio() > 0.95,
@@ -115,7 +115,7 @@ fn turn_models_have_expected_asymmetry() {
         .routing(RoutingSpec::WestFirst)
         .traffic(TrafficSpec::Tornado)
         .injection_rate(0.2)
-        .run()
+        .run_with(RunOptions::new())
         .unwrap();
     assert!(east.delivery_ratio() > 0.95);
 }
@@ -128,7 +128,7 @@ fn runs_are_deterministic_per_seed() {
                 .routing(spec)
                 .traffic(TrafficSpec::Shuffle)
                 .injection_rate(0.3)
-                .run()
+                .run_with(RunOptions::new())
                 .unwrap()
         };
         assert_eq!(mk(), mk(), "{} not deterministic", spec.name());
@@ -141,13 +141,13 @@ fn different_seeds_differ() {
         .traffic(TrafficSpec::UniformRandom)
         .injection_rate(0.2)
         .seed(1)
-        .run()
+        .run_with(RunOptions::new())
         .unwrap();
     let b = quick(4)
         .traffic(TrafficSpec::UniformRandom)
         .injection_rate(0.2)
         .seed(2)
-        .run()
+        .run_with(RunOptions::new())
         .unwrap();
     assert_ne!(a, b);
 }
@@ -160,7 +160,7 @@ fn multi_flit_packets_deliver_on_all_algorithms() {
             .traffic(TrafficSpec::UniformRandom)
             .packet_size(PacketSize::PAPER_VARIABLE)
             .injection_rate(0.2)
-            .run()
+            .run_with(RunOptions::new())
             .unwrap();
         assert!(
             r.delivery_ratio() > 0.95,
@@ -180,7 +180,7 @@ fn larger_meshes_work() {
         let r = quick(k)
             .traffic(TrafficSpec::UniformRandom)
             .injection_rate(0.1)
-            .run()
+            .run_with(RunOptions::new())
             .unwrap();
         assert!(r.latency.ejected_packets > 0, "{k}x{k}");
         assert_eq!(r.nodes, (k as usize).pow(2));
@@ -199,7 +199,7 @@ fn rectangular_mesh_works() {
         .measurement(400)
         .drain(400)
         .seed(5)
-        .run()
+        .run_with(RunOptions::new())
         .unwrap();
     assert!(r.delivery_ratio() > 0.95);
 }
@@ -209,12 +209,12 @@ fn latency_grows_with_load() {
     let low = quick(4)
         .traffic(TrafficSpec::Transpose)
         .injection_rate(0.05)
-        .run()
+        .run_with(RunOptions::new())
         .unwrap();
     let high = quick(4)
         .traffic(TrafficSpec::Transpose)
         .injection_rate(0.35)
-        .run()
+        .run_with(RunOptions::new())
         .unwrap();
     assert!(
         high.latency.mean_latency > low.latency.mean_latency,
@@ -232,7 +232,7 @@ fn zero_load_latency_close_to_hop_count() {
     let r = quick(4)
         .traffic(TrafficSpec::Figure2)
         .injection_rate(0.02)
-        .run()
+        .run_with(RunOptions::new())
         .unwrap();
     assert!(
         r.latency.mean_latency < 40.0,

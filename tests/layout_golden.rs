@@ -34,8 +34,16 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 ///
 /// * `tenants` (0.7.0) — per-tenant summaries, empty without
 ///   `SimulationBuilder::tenants`.
+/// * `topology` (0.8.0) — the fabric's display name; all goldens ran on
+///   the 4×4 / 8×8 meshes the captures were taken on.
 fn golden_hash(debug: &str) -> u64 {
-    fnv1a(debug.replace(", tenants: []", "").as_bytes())
+    fnv1a(
+        debug
+            .replace(", tenants: []", "")
+            .replace(", topology: \"mesh:4x4\"", "")
+            .replace(", topology: \"mesh:8x8\"", "")
+            .as_bytes(),
+    )
 }
 
 fn base() -> SimulationBuilder {

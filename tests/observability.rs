@@ -25,21 +25,21 @@ fn quick() -> SimulationBuilder {
 fn probes_do_not_perturb_the_simulation() {
     // The whole observability stack attached vs. nothing attached: the
     // reported metrics must be bit-identical (probes are pure observers).
-    let plain = quick().run().unwrap();
+    let plain = quick().run_with(RunOptions::new()).unwrap();
     let mut timeline = TimelineProbe::new(25).with_router_rows();
-    let probed = quick().run_probed(&mut timeline).unwrap();
+    let probed = quick().run_with(RunOptions::new().probe(&mut timeline)).unwrap();
     assert_eq!(plain, probed);
     let mut trace = EventTrace::with_capacity(1 << 16);
-    let traced = quick().run_probed(&mut trace).unwrap();
+    let traced = quick().run_with(RunOptions::new().probe(&mut trace)).unwrap();
     assert_eq!(plain, traced);
-    let watched = quick().run_watched(&mut NullProbe, 10_000).unwrap();
+    let watched = quick().run_with(RunOptions::new().probe(&mut NullProbe).watchdog(10_000)).unwrap();
     assert_eq!(plain, watched);
 }
 
 #[test]
 fn event_trace_captures_the_full_flit_lifecycle() {
     let mut trace = EventTrace::with_capacity(1 << 16);
-    let report = quick().run_probed(&mut trace).unwrap();
+    let report = quick().run_with(RunOptions::new().probe(&mut trace)).unwrap();
     assert!(report.latency.ejected_packets > 0);
     assert_eq!(trace.dropped(), 0, "trace capacity too small for the run");
     for kind in [
@@ -64,7 +64,7 @@ fn event_trace_captures_the_full_flit_lifecycle() {
 #[test]
 fn timelines_track_the_measurement_window() {
     let mut timeline = TimelineProbe::new(50).with_router_rows();
-    quick().run_probed(&mut timeline).unwrap();
+    quick().run_with(RunOptions::new().probe(&mut timeline)).unwrap();
     // Probes attach at the warmup boundary (cycle 200) and sample every
     // 50 cycles of the 600-cycle measurement window.
     assert_eq!(timeline.mesh_samples().len(), 12);
@@ -121,7 +121,7 @@ fn watchdog_turns_a_hung_network_into_a_diagnostic_bundle() {
 
 #[test]
 fn healthy_traffic_never_trips_the_builder_watchdog() {
-    match quick().run_watched(&mut NullProbe, 200) {
+    match quick().run_with(RunOptions::new().probe(&mut NullProbe).watchdog(200)) {
         Ok(report) => assert!(report.latency.ejected_packets > 0),
         Err(e) => panic!("unexpected failure: {e}"),
     }

@@ -16,7 +16,7 @@ fn run(spec: RoutingSpec, traffic: TrafficSpec, rate: f64) -> footprint_suite::c
         .warmup(800)
         .measurement(1_600)
         .seed(0xC1A)
-        .run()
+        .run_with(RunOptions::new())
         .unwrap()
 }
 
@@ -125,7 +125,7 @@ fn footprint_improves_blocking_purity_under_hotspots() {
             .warmup(800)
             .measurement(1_600)
             .seed(0xC1B)
-            .run_probed(probe)
+            .run_with(RunOptions::new().probe(probe))
             .unwrap();
     }
     assert!(
@@ -147,7 +147,7 @@ fn duato_vc_floor_is_two() {
     let err = SimulationBuilder::mesh(4)
         .vcs(1)
         .routing(RoutingSpec::Footprint)
-        .run()
+        .run_with(RunOptions::new())
         .unwrap_err();
     assert!(matches!(
         err,
@@ -162,7 +162,7 @@ fn duato_vc_floor_is_two() {
         .warmup(100)
         .measurement(400)
         .seed(1)
-        .run()
+        .run_with(RunOptions::new())
         .unwrap();
     assert!(ok.latency.ejected_packets > 0);
 }
@@ -177,7 +177,7 @@ fn more_vcs_more_throughput_under_load() {
         .warmup(800)
         .measurement(1_600)
         .seed(3)
-        .run()
+        .run_with(RunOptions::new())
         .unwrap();
     let big = SimulationBuilder::paper_default()
         .vcs(8)
@@ -186,7 +186,7 @@ fn more_vcs_more_throughput_under_load() {
         .warmup(800)
         .measurement(1_600)
         .seed(3)
-        .run()
+        .run_with(RunOptions::new())
         .unwrap();
     assert!(
         big.latency.throughput > small.latency.throughput * 1.2,

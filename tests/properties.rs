@@ -49,7 +49,7 @@ fn arb_flows(nodes: u16, max_flows: usize) -> impl Strategy<Value = Vec<SingleFl
 
 fn cfg(k: u16, vcs: usize) -> SimConfig {
     SimConfig {
-        mesh: Mesh::square(k),
+        topology: TopologySpec::mesh(k),
         num_vcs: vcs,
         vc_buffer_depth: 4,
         speedup: 2,
