@@ -1,0 +1,242 @@
+//! Chaos smoke test (run by CI): the resilience guarantees on wrapping
+//! fabrics, checked end to end.
+//!
+//! Three checks, each of which must pass for the binary to exit zero:
+//!
+//! 1. **Partitioned ring completes** — cutting the 16-ring's wraparound
+//!    edge plus one grid edge splits it in two *and* severs the
+//!    deterministic escape network. The run must be refused up front with
+//!    the typed [`RunError::EscapeCompromised`] verdict; rerun in
+//!    degraded-escape mode under the sentinel it must complete without
+//!    tripping the watchdog, with a partition report covering every node
+//!    and exact delivery accounting on the surviving arcs.
+//!
+//! 2. **Dateline verdict on the torus** — the escape-CDG checker proves
+//!    the unmasked 4×4 torus escape network acyclic, proves a dateline
+//!    cut compromises it (non-empty severed pairs, both directions of the
+//!    wrap edge counted), and the run layer surfaces exactly that verdict
+//!    for every escape-classed algorithm while admitting the
+//!    acyclic-subgraph one.
+//!
+//! 3. **Kill/resume drill** — a faulted sweep journaled to disk, then
+//!    truncated as a crash would leave it (half a record torn off), must
+//!    resume bit-identically to the uninterrupted curve.
+//!
+//! Writes `results/chaos_smoke.txt`; every passed check appends a `CHAOS`
+//! line CI greps for.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use footprint_bench::results_dir;
+use footprint_core::{
+    RoutingSpec, RunError, RunOptions, SimulationBuilder, SweepOptions, TrafficSpec,
+};
+use footprint_routing::cdg::{check_escape_under_mask, EscapeMaskVerdict};
+use footprint_topology::{Direction, FaultEvent, FaultPlan, NodeId, Torus};
+
+/// The partitioning plan: the ring's wrap edge 15↔0 plus grid edge 7↔8,
+/// splitting {0..=7} from {8..=15}.
+fn ring_partition_plan() -> FaultPlan {
+    FaultPlan::new()
+        .with(FaultEvent::link_down(NodeId(15), Direction::East, 0))
+        .with(FaultEvent::link_down(NodeId(7), Direction::East, 0))
+}
+
+fn ring_builder() -> SimulationBuilder {
+    SimulationBuilder::ring(16)
+        .vcs(4)
+        .routing(RoutingSpec::Footprint)
+        .traffic(TrafficSpec::UniformRandom)
+        .injection_rate(0.1)
+        .warmup(0)
+        .measurement(600)
+        .drain(1_500)
+        .seed(0xC405)
+}
+
+fn partitioned_ring(out: &mut String) -> Result<(), String> {
+    // Refused with the typed verdict first…
+    match ring_builder().run_with(
+        RunOptions::new()
+            .faults(ring_partition_plan())
+            .watchdog(20_000),
+    ) {
+        Err(RunError::EscapeCompromised {
+            severed,
+            masked_wrap_channels,
+        }) => {
+            if severed.is_empty() || masked_wrap_channels != 2 {
+                return Err(format!(
+                    "malformed verdict: {} severed, {masked_wrap_channels} wrap channels",
+                    severed.len()
+                ));
+            }
+        }
+        Ok(_) => return Err("wrap-cut ring run was admitted without the opt-in".into()),
+        Err(e) => return Err(format!("expected EscapeCompromised, got: {e}")),
+    }
+    // …then completed gracefully in degraded-escape mode.
+    let report = ring_builder()
+        .run_with(
+            RunOptions::new()
+                .faults(ring_partition_plan())
+                .degraded_escape(true)
+                .sentinel(true)
+                .watchdog(20_000),
+        )
+        .map_err(|e| format!("degraded partitioned run failed: {e}"))?;
+    if !report.partitions.was_partitioned() {
+        return Err("partition report shows a connected fabric".into());
+    }
+    if report.partitions.final_components() != 2 {
+        return Err(format!(
+            "expected 2 components, got {}",
+            report.partitions.final_components()
+        ));
+    }
+    if !report.partitions.covers_all_nodes(16) {
+        return Err("partition report does not cover every node".into());
+    }
+    if !report.faults.fully_accounted() {
+        return Err("partitioned run books do not close".into());
+    }
+    if report.faults.dropped() == 0 || report.latency.ejected_packets == 0 {
+        return Err("partitioned run shows no cross-arc drops or no delivery".into());
+    }
+    let _ = writeln!(
+        out,
+        "CHAOS partitioned-ring degraded run: {} epochs, {} delivered, {} dropped, all 16 nodes accounted",
+        report.partitions.epochs.len(),
+        report.faults.delivered(),
+        report.faults.dropped()
+    );
+    Ok(())
+}
+
+fn dateline_verdict(out: &mut String) -> Result<(), String> {
+    let torus = Torus::square(4);
+    // The unmasked escape network is provably acyclic.
+    if check_escape_under_mask(torus, &[]) != EscapeMaskVerdict::StillAcyclic {
+        return Err("unmasked torus escape network not proven acyclic".into());
+    }
+    // A dateline cut (wrap edge of row 0, both directions) compromises it.
+    let dead = [(NodeId(3), Direction::East), (NodeId(0), Direction::West)];
+    let severed_pairs = match check_escape_under_mask(torus, &dead) {
+        EscapeMaskVerdict::EscapeCompromised {
+            severed,
+            masked_wrap_channels: 2,
+        } if !severed.is_empty() => severed.len(),
+        v => return Err(format!("dateline cut verdict malformed: {v:?}")),
+    };
+    // The run layer surfaces the same verdict for escape-classed
+    // algorithms, and admits the acyclic-subgraph one.
+    let plan = FaultPlan::new().with(FaultEvent::link_down(NodeId(3), Direction::East, 0));
+    let run = |spec: RoutingSpec| {
+        SimulationBuilder::torus(4)
+            .vcs(6)
+            .routing(spec)
+            .traffic(TrafficSpec::UniformRandom)
+            .injection_rate(0.1)
+            .warmup(0)
+            .measurement(400)
+            .drain(1_000)
+            .seed(0xDA7E)
+            .run_with(RunOptions::new().faults(plan.clone()).watchdog(20_000))
+    };
+    for spec in [RoutingSpec::Footprint, RoutingSpec::Dbar, RoutingSpec::Dor] {
+        match run(spec) {
+            Err(RunError::EscapeCompromised { .. }) => {}
+            Ok(_) => return Err(format!("{}: dateline cut admitted silently", spec.name())),
+            Err(e) => return Err(format!("{}: unexpected error {e}", spec.name())),
+        }
+    }
+    let report = run(RoutingSpec::OddEven)
+        .map_err(|e| format!("odd-even (acyclic subgraph) refused: {e}"))?;
+    if !report.faults.fully_accounted() {
+        return Err("odd-even dateline-cut books do not close".into());
+    }
+    let _ = writeln!(
+        out,
+        "CHAOS dateline verdict torus:4x4: escape acyclic unmasked, {severed_pairs} pair(s) severed under the cut, typed refusal for escape-classed algorithms"
+    );
+    Ok(())
+}
+
+fn kill_resume_drill(out: &mut String) -> Result<(), String> {
+    let rates = [0.05, 0.1, 0.15];
+    let plan = FaultPlan::new().with(FaultEvent::link_down(NodeId(5), Direction::East, 0));
+    let sweep = |opts: SweepOptions| {
+        ring_builder()
+            .measurement(400)
+            .drain(1_000)
+            .sweep_with(&rates, opts.faults(plan.clone()).watchdog(20_000))
+            .map_err(|e| format!("faulted ring sweep: {e}"))
+    };
+    let baseline = sweep(SweepOptions::new().threads(1))?;
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("footprint-chaos-smoke-{}.journal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let _ = sweep(SweepOptions::new().threads(4).checkpoint(&path))?;
+
+    // Simulate `kill -9` mid-campaign: keep the header and the first
+    // completed record, tear the second record in half.
+    let journal =
+        std::fs::read_to_string(&path).map_err(|e| format!("reading journal: {e}"))?;
+    let lines: Vec<&str> = journal.lines().collect();
+    if lines.len() < 3 {
+        return Err(format!("journal too short: {} lines", lines.len()));
+    }
+    let torn = format!("{}\n{}\n{}", lines[0], lines[1], &lines[2][..lines[2].len() / 2]);
+    std::fs::write(&path, torn).map_err(|e| format!("truncating journal: {e}"))?;
+
+    let resumed = sweep(SweepOptions::new().threads(4).checkpoint(&path))?;
+    let _ = std::fs::remove_file(&path);
+    if resumed != baseline {
+        return Err("resumed faulted sweep diverged from the uninterrupted curve".into());
+    }
+    let _ = writeln!(
+        out,
+        "CHAOS kill/resume drill: torn journal resumed bit-identically over {} rates",
+        rates.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    type Check = fn(&mut String) -> Result<(), String>;
+    let mut out = String::new();
+    let checks: [(&str, Check); 3] = [
+        ("partitioned ring completes", partitioned_ring),
+        ("dateline verdict on torus", dateline_verdict),
+        ("kill/resume drill", kill_resume_drill),
+    ];
+    let mut ok = true;
+    for (name, check) in checks {
+        match check(&mut out) {
+            Ok(()) => println!("chaos_smoke: {name} ok"),
+            Err(e) => {
+                eprintln!("chaos_smoke: {name} FAILED: {e}");
+                ok = false;
+            }
+        }
+    }
+    if !ok {
+        return ExitCode::FAILURE;
+    }
+    let dir = match results_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("chaos_smoke: results/ not writable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let path = dir.join("chaos_smoke.txt");
+    if let Err(e) = std::fs::write(&path, &out) {
+        eprintln!("chaos_smoke: writing {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    print!("{out}");
+    ExitCode::SUCCESS
+}

@@ -14,8 +14,8 @@ use footprint_sim::{
     ConfigError, Network, NoTraffic, NullProbe, Probe, Scheduler, Sentinel, SentinelReport,
     SimConfig, StallDiagnostic, StallWatchdog, UnreachablePolicy, Workload,
 };
-use footprint_stats::{Curve, FaultStats, SweepPoint, TenantProbe};
-use footprint_topology::{FaultPlan, TopologySpec};
+use footprint_stats::{Curve, FaultStats, PartitionReport, RecoveryStats, SweepPoint, TenantProbe};
+use footprint_topology::{FaultPlan, NodeId, TopologySpec};
 use footprint_traffic::{ModulationSpec, Modulator, PacketSize, Tenant, TenantWorkload};
 
 /// Why a run ([`SimulationBuilder::run_with`] or any of its shims) failed.
@@ -56,6 +56,21 @@ pub enum RunError {
     /// The sweep checkpoint journal could not be opened, validated or
     /// appended ([`SweepOptions::checkpoint`]).
     Checkpoint(String),
+    /// The fault plan masks wraparound (dateline) channels on a wrapping
+    /// fabric and severs deterministic escape routes, so the routing
+    /// algorithm's Duato/dateline deadlock-freedom argument no longer
+    /// covers every pair. Checked up front
+    /// ([`footprint_routing::cdg::check_escape_under_mask`]) — the run is
+    /// refused before it can livelock. Opt into the degraded fallback with
+    /// [`RunOptions::degraded_escape`] to run anyway under watchdog or
+    /// sentinel cover.
+    EscapeCompromised {
+        /// Source→destination pairs whose deterministic escape route the
+        /// mask severs (sorted).
+        severed: Vec<(NodeId, NodeId)>,
+        /// How many masked directed channels are wraparound channels.
+        masked_wrap_channels: usize,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -77,6 +92,18 @@ impl fmt::Display for RunError {
             ),
             RunError::JobPanicked(msg) => write!(f, "sweep job panicked: {msg}"),
             RunError::Checkpoint(msg) => write!(f, "sweep checkpoint error: {msg}"),
+            RunError::EscapeCompromised {
+                severed,
+                masked_wrap_channels,
+            } => write!(
+                f,
+                "fault plan compromises the escape network on a wrapping \
+                 fabric: {} deterministic escape route(s) severed, {} \
+                 wraparound channel(s) masked (run with degraded_escape to \
+                 proceed under watchdog/sentinel cover)",
+                severed.len(),
+                masked_wrap_channels
+            ),
         }
     }
 }
@@ -90,7 +117,8 @@ impl std::error::Error for RunError {
             RunError::Unreachable(_)
             | RunError::DeadlineExceeded { .. }
             | RunError::JobPanicked(_)
-            | RunError::Checkpoint(_) => None,
+            | RunError::Checkpoint(_)
+            | RunError::EscapeCompromised { .. } => None,
         }
     }
 }
@@ -141,6 +169,7 @@ pub struct RunOptions<'a> {
     sentinel: Option<bool>,
     deadline: Option<Duration>,
     scheduler: Scheduler,
+    degraded_escape: bool,
 }
 
 impl<'a> RunOptions<'a> {
@@ -217,6 +246,21 @@ impl<'a> RunOptions<'a> {
         self.scheduler = scheduler;
         self
     }
+
+    /// Opts into the degraded-escape fallback: a fault plan that masks
+    /// wraparound channels and severs deterministic escape routes
+    /// normally refuses to run ([`RunError::EscapeCompromised`]) because
+    /// the algorithm's wrapping deadlock-freedom argument no longer
+    /// covers every pair. With this flag the run proceeds anyway — the
+    /// severed pairs are quarantined by the per-packet deliverability
+    /// check, and a watchdog or sentinel should cover the in-flight
+    /// worst case (a wedged wormhole across the mask) since the escape
+    /// network is no longer a complete fallback.
+    #[must_use]
+    pub fn degraded_escape(mut self, allow: bool) -> Self {
+        self.degraded_escape = allow;
+        self
+    }
 }
 
 /// Options for a latency-throughput sweep ([`SimulationBuilder::sweep_with`]):
@@ -235,6 +279,7 @@ pub struct SweepOptions {
     deadline: Option<Duration>,
     checkpoint: Option<PathBuf>,
     scheduler: Scheduler,
+    degraded_escape: bool,
 }
 
 impl SweepOptions {
@@ -318,12 +363,21 @@ impl SweepOptions {
         self
     }
 
+    /// Opts every sweep point into the degraded-escape fallback (see
+    /// [`RunOptions::degraded_escape`]).
+    #[must_use]
+    pub fn degraded_escape(mut self, allow: bool) -> Self {
+        self.degraded_escape = allow;
+        self
+    }
+
     /// The per-point [`RunOptions`] this sweep configuration induces.
     fn run_options(&self) -> RunOptions<'static> {
         let mut o = RunOptions::new()
             .faults(self.faults.clone())
             .on_unreachable(self.on_unreachable)
-            .scheduler(self.scheduler);
+            .scheduler(self.scheduler)
+            .degraded_escape(self.degraded_escape);
         if let Some(t) = self.stall_threshold {
             o = o.watchdog(t);
         }
@@ -717,6 +771,58 @@ impl SimulationBuilder {
         Ok(())
     }
 
+    /// Wrap safety: on a wrapping fabric whose deadlock-freedom argument
+    /// rests on deterministic escape or dateline routes
+    /// ([`WrapStrategy::EscapeVcs`](footprint_routing::WrapStrategy) /
+    /// `DatelineVcClasses`), a fault plan that masks any wraparound
+    /// channel may sever escape routes without creating a CDG cycle — a
+    /// masked acyclic graph stays acyclic, but a pair with no surviving
+    /// escape path has no deadlock-free fallback, which is a livelock
+    /// hazard, not a loss the per-packet drop accounting can absorb.
+    /// Rebuilds the escape CDG under the plan's full channel mask and
+    /// refuses the run with [`RunError::EscapeCompromised`] unless the
+    /// caller opted into the degraded fallback. Plans that leave every
+    /// wraparound channel alive (and every mesh plan) skip the check:
+    /// grid-only cuts are covered by the existing per-packet
+    /// deliverability quarantine.
+    fn check_wrap_safety(&self, faults: &FaultPlan, degraded_escape: bool) -> Result<(), RunError> {
+        use footprint_routing::cdg::{check_escape_under_mask, EscapeMaskVerdict};
+        use footprint_routing::WrapStrategy;
+        if faults.is_empty() {
+            return Ok(());
+        }
+        let topo = self.topology.validate().map_err(ConfigError::from)?;
+        if !topo.wraps() {
+            return Ok(());
+        }
+        let strategy = self.routing.build().wrap_strategy();
+        if !matches!(
+            strategy,
+            WrapStrategy::EscapeVcs | WrapStrategy::DatelineVcClasses
+        ) {
+            return Ok(());
+        }
+        let dead = faults.down_channels(topo);
+        if !dead.iter().any(|&(n, d)| topo.is_wrap_channel(n, d)) {
+            return Ok(());
+        }
+        match check_escape_under_mask(topo, &dead) {
+            EscapeMaskVerdict::StillAcyclic => Ok(()),
+            EscapeMaskVerdict::EscapeCompromised {
+                severed,
+                masked_wrap_channels,
+            } => {
+                if degraded_escape {
+                    return Ok(());
+                }
+                Err(RunError::EscapeCompromised {
+                    severed,
+                    masked_wrap_channels,
+                })
+            }
+        }
+    }
+
     /// The canonical execution entry point: runs warmup + measurement
     /// (+ optional drain) under `opts` and reports the measurement window.
     ///
@@ -754,7 +860,9 @@ impl SimulationBuilder {
             sentinel,
             deadline,
             scheduler,
+            degraded_escape,
         } = opts;
+        self.check_wrap_safety(&faults, degraded_escape)?;
         let started = Instant::now();
         let (mut net, mut wl) = self.build_with(faults, on_unreachable)?;
         net.set_scheduler(scheduler);
@@ -820,6 +928,8 @@ impl SimulationBuilder {
         let mut report = RunReport::from_metrics(net.metrics(), self.topology.nodes(), self.rate);
         report.topology = self.topology.to_string();
         report.faults = FaultStats::collect(&net);
+        report.partitions = PartitionReport::collect(&net);
+        report.recovery = RecoveryStats::collect(&net);
         if let Some(tp) = tenant_probe {
             report.tenants = self
                 .tenants

@@ -91,6 +91,9 @@ pub use footprint_sim::{
     ConfigError, EventTrace, NullProbe, Probe, Scheduler, Sentinel, SentinelReport,
     SentinelViolation, SimConfig, StallDiagnostic, StallWatchdog, UnreachablePolicy,
 };
-pub use footprint_stats::{FaultStats, SweepProgress, TenantProbe, TenantSummary, WindowCounts};
+pub use footprint_stats::{
+    FaultStats, PartitionReport, RecoveryStats, SweepProgress, TenantProbe, TenantSummary,
+    WindowCounts,
+};
 pub use footprint_topology::{FaultEvent, FaultKind, FaultPlan, FaultTarget};
 pub use footprint_traffic::{App, DurationDist, ModulationSpec, Modulator, PacketSize};

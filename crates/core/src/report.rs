@@ -2,7 +2,7 @@
 
 use core::fmt;
 use footprint_sim::Metrics;
-use footprint_stats::{FaultStats, TenantSummary};
+use footprint_stats::{FaultStats, PartitionReport, RecoveryStats, TenantSummary};
 
 /// Summary for one traffic class over the measurement window.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -62,6 +62,13 @@ pub struct RunReport {
     /// (`"mesh:8x8"`, `"torus:8x8"`, `"ring:16"`). Empty for reports built
     /// directly from metrics without a builder.
     pub topology: String,
+    /// Connectivity history under the fault plan: one epoch per distinct
+    /// component structure. Empty (`PartitionReport::default()`) for a
+    /// run without a fault plan.
+    pub partitions: PartitionReport,
+    /// Time-to-recover and windowed availability under the fault plan.
+    /// Empty (`RecoveryStats::default()`) for a run without a fault plan.
+    pub recovery: RecoveryStats,
 }
 
 impl RunReport {
@@ -105,6 +112,8 @@ impl RunReport {
             faults: FaultStats::default(),
             tenants: Vec::new(),
             topology: String::new(),
+            partitions: PartitionReport::default(),
+            recovery: RecoveryStats::default(),
         }
     }
 

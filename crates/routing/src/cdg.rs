@@ -151,6 +151,81 @@ impl ChannelDependencyGraph {
         g
     }
 
+    /// Builds the dateline-classed escape CDG restricted to the channels
+    /// that survive a fault mask, and collects the `(src, dest)` pairs
+    /// whose dimension-order escape route the mask severs.
+    ///
+    /// `dead` lists the masked directed channels as `(upstream, dir)`
+    /// pairs. The escape relation is deterministic (one route per pair), so
+    /// a masked hop anywhere on a pair's route means that pair has *no*
+    /// escape path — it contributes no dependencies (it must be quarantined
+    /// at injection, not routed) and is reported in the severed list, in
+    /// `(src, dest)` lexical order.
+    pub fn build_escape_classed_masked(
+        topo: impl Into<AnyTopology>,
+        dead: &[(NodeId, Direction)],
+    ) -> (Self, Vec<(NodeId, NodeId)>) {
+        let topo = topo.into();
+        let is_dead = |node: NodeId, dir: Direction| dead.contains(&(node, dir));
+        let mut g = ChannelDependencyGraph::default();
+        for class in 0..topo.escape_vcs() {
+            for ch in topo.channels() {
+                if is_dead(ch.src, ch.dir) {
+                    continue;
+                }
+                let idx = g.channels.len();
+                g.index
+                    .insert((ch.src.0, Self::dir_code(ch.dir) | ((class as u8) << 4)), idx);
+                g.channels.push(ch);
+                g.edges.push(Vec::new());
+            }
+        }
+        let mut severed = Vec::new();
+        for src in topo.nodes() {
+            for dest in topo.nodes() {
+                if src == dest {
+                    continue;
+                }
+                // Walk the pair's route twice: first to see whether it
+                // survives, then to record its dependencies — a severed
+                // pair must leave no edges behind.
+                let mut cur = src;
+                let mut alive = true;
+                while cur != dest {
+                    let dirs = topo.minimal_dirs(cur, dest);
+                    let Some(d) = dirs.x.or(dirs.y) else { break };
+                    if is_dead(cur, d) {
+                        alive = false;
+                        break;
+                    }
+                    cur = topo.neighbor(cur, d).expect("minimal direction has a neighbor");
+                }
+                if !alive {
+                    severed.push((src, dest));
+                    continue;
+                }
+                let mut cur = src;
+                let mut held: Option<usize> = None;
+                while cur != dest {
+                    let dirs = topo.minimal_dirs(cur, dest);
+                    let Some(d) = dirs.x.or(dirs.y) else { break };
+                    let class = topo.escape_class(cur, dest, d);
+                    let idx = g.index[&(cur.0, Self::dir_code(d) | (class << 4))];
+                    if let Some(h) = held {
+                        g.edges[h].push(idx);
+                    }
+                    held = Some(idx);
+                    cur = topo.neighbor(cur, d).expect("minimal direction has a neighbor");
+                }
+            }
+        }
+        for adj in &mut g.edges {
+            adj.sort_unstable();
+            adj.dedup();
+        }
+        (g, severed)
+    }
+
     /// Number of channels (graph nodes).
     pub fn channel_count(&self) -> usize {
         self.channels.len()
@@ -239,6 +314,72 @@ pub enum DeadlockVerdict {
     /// A dependency cycle exists with no escape mechanism — a deadlock
     /// hazard. Carries one witness cycle.
     Cyclic(Vec<Channel>),
+}
+
+/// Outcome of [`check_escape_under_mask`]: does the dateline escape
+/// argument survive a fault mask?
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EscapeMaskVerdict {
+    /// Every pair's dimension-order escape route survives the mask and the
+    /// masked classed CDG is acyclic (a subgraph of an acyclic graph always
+    /// is): the deadlock-freedom argument carries over unchanged.
+    StillAcyclic,
+    /// The mask severs the deterministic escape route of one or more
+    /// pairs. Those packets have no escape channel to fall back on — a
+    /// waiting packet's standing escape request would point at a dead
+    /// channel — so Duato's argument no longer covers them. The sound
+    /// responses are a typed run error or quarantining exactly these pairs
+    /// at injection; routing them adaptively and hoping is a deadlock
+    /// hazard.
+    EscapeCompromised {
+        /// The `(src, dest)` pairs with no surviving escape route, in
+        /// lexical order.
+        severed: Vec<(NodeId, NodeId)>,
+        /// How many of the masked channels were wraparound (dateline)
+        /// channels — the cuts that specifically attack the wrap argument.
+        masked_wrap_channels: usize,
+    },
+}
+
+impl EscapeMaskVerdict {
+    /// `true` when the mask leaves the escape argument intact.
+    pub fn is_sound(&self) -> bool {
+        matches!(self, EscapeMaskVerdict::StillAcyclic)
+    }
+}
+
+/// Checks whether the dateline-classed escape network survives a fault
+/// mask on `topo`. `dead` lists the masked directed channels as
+/// `(upstream, dir)` pairs — typically every channel any `Down` event of a
+/// fault plan ever touches (the conservative, whole-plan mask: a pair
+/// severed even temporarily is a hazard while the cut lasts).
+///
+/// Masking can only *remove* dependencies, so the masked CDG stays acyclic
+/// structurally; what breaks is route existence. The verdict is
+/// [`EscapeMaskVerdict::EscapeCompromised`] exactly when some pair's
+/// deterministic escape route dies under the mask.
+pub fn check_escape_under_mask(
+    topo: impl Into<AnyTopology>,
+    dead: &[(NodeId, Direction)],
+) -> EscapeMaskVerdict {
+    let topo = topo.into();
+    let (g, severed) = ChannelDependencyGraph::build_escape_classed_masked(topo, dead);
+    debug_assert!(
+        g.is_acyclic(),
+        "masked escape CDG must stay acyclic (subgraph of an acyclic graph)"
+    );
+    if severed.is_empty() {
+        EscapeMaskVerdict::StillAcyclic
+    } else {
+        let masked_wrap_channels = dead
+            .iter()
+            .filter(|&&(node, dir)| topo.is_wrap_channel(node, dir))
+            .count();
+        EscapeMaskVerdict::EscapeCompromised {
+            severed,
+            masked_wrap_channels,
+        }
+    }
 }
 
 /// Checks the structural half of the deadlock-freedom argument for `algo`
@@ -421,6 +562,66 @@ mod tests {
             let g = ChannelDependencyGraph::build_escape_classed(topo);
             assert!(g.is_acyclic(), "{topo}");
             assert_eq!(g.channel_count(), topo.channels().count() * topo.escape_vcs());
+        }
+    }
+
+    #[test]
+    fn empty_mask_keeps_escape_sound() {
+        for topo in [
+            AnyTopology::from(Torus::square(4)),
+            AnyTopology::from(Ring::new(8)),
+            AnyTopology::from(Mesh::square(4)),
+        ] {
+            assert_eq!(check_escape_under_mask(topo, &[]), EscapeMaskVerdict::StillAcyclic);
+        }
+    }
+
+    #[test]
+    fn dateline_cut_compromises_the_escape_network() {
+        use footprint_topology::Topology;
+        let ring = Ring::new(8);
+        // The ring's single wrap edge, both directions — the dateline cut.
+        let dead = [
+            (NodeId(7), Direction::East),
+            (NodeId(0), Direction::West),
+        ];
+        assert!(ring.is_wrap_channel(NodeId(7), Direction::East));
+        let verdict = check_escape_under_mask(ring, &dead);
+        let EscapeMaskVerdict::EscapeCompromised {
+            severed,
+            masked_wrap_channels,
+        } = verdict
+        else {
+            panic!("dateline cut must compromise escape, got {verdict:?}");
+        };
+        assert_eq!(masked_wrap_channels, 2);
+        // Exactly the pairs whose shorter way around crosses the cut edge
+        // lose their escape route; 0 → 7 is the canonical victim.
+        assert!(severed.contains(&(NodeId(0), NodeId(7))));
+        assert!(!severed.contains(&(NodeId(0), NodeId(1))));
+        // Severed pairs contribute no dependencies: the masked CDG stays
+        // acyclic (checked inside, but assert the public invariant too).
+        let (g, severed2) = ChannelDependencyGraph::build_escape_classed_masked(ring, &dead);
+        assert!(g.is_acyclic());
+        assert_eq!(severed, severed2);
+    }
+
+    #[test]
+    fn grid_cut_on_torus_severs_without_wrap_channels() {
+        // A non-dateline cut still kills deterministic escape routes, but
+        // reports zero masked wrap channels — the caller can tell a
+        // dateline attack from an ordinary cut.
+        let torus = Torus::square(4);
+        let dead = [(NodeId(0), Direction::East), (NodeId(1), Direction::West)];
+        match check_escape_under_mask(torus, &dead) {
+            EscapeMaskVerdict::EscapeCompromised {
+                severed,
+                masked_wrap_channels,
+            } => {
+                assert_eq!(masked_wrap_channels, 0);
+                assert!(severed.contains(&(NodeId(0), NodeId(1))));
+            }
+            v => panic!("expected compromised escape, got {v:?}"),
         }
     }
 

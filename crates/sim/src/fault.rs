@@ -34,13 +34,22 @@ pub enum UnreachablePolicy {
     /// ([`crate::ClassStats::dropped_packets`]). The default.
     #[default]
     Drop,
-    /// Hold the packet at the source and retry after `backoff` cycles, up
-    /// to `max_attempts` total attempts, then drop. Lets traffic survive
-    /// transient faults with scheduled repairs.
+    /// Hold the packet at the source and retry, up to `max_attempts` total
+    /// attempts, then drop. Lets traffic survive transient faults with
+    /// scheduled repairs.
+    ///
+    /// The delay before attempt *n* is `backoff << (n-1)` cycles (capped
+    /// at 64× the base) plus a deterministic jitter in `[0, backoff)`
+    /// derived from the run seed, packet id and attempt number — never
+    /// from the shared RNG — so retry timing is bit-identical at any
+    /// worker count and under either scheduler. A fault-mask change
+    /// (a repair in particular) re-checks every parked packet immediately
+    /// and re-admits the ones whose destination became reachable, without
+    /// charging an attempt to those still cut off.
     Retry {
         /// Attempts before the packet is dropped (0 drops immediately).
         max_attempts: u32,
-        /// Cycles between attempts.
+        /// Base backoff in cycles (doubles per attempt, capped at 64×).
         backoff: u64,
     },
     /// Treat any unreachable generation as a run-level error. The network
@@ -52,6 +61,39 @@ pub enum UnreachablePolicy {
 
 /// Memo key for algorithm-aware reachability: `(algorithm, cur, src, dest)`.
 type ReachKey = (&'static str, u16, u16, u16);
+
+/// The connected components of the live channel set over one fault epoch
+/// (the span between two mask recomputations).
+///
+/// Components are *weak*: two routers share a component when a surviving
+/// channel joins them in either direction, so a single-direction cut does
+/// not partition (traffic still flows the other way). A pair in different
+/// components is unreachable under **every** routing algorithm — no
+/// directed path can cross a weak cut — which is what lets the fault state
+/// answer partition queries without consulting the routing function.
+/// Routers taken down by `FaultTarget::Router` events lose all incident
+/// channels and appear as singleton components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionEpoch {
+    /// First cycle the epoch's mask was in effect.
+    pub from_cycle: u64,
+    /// The components: each sorted by node id, ordered by smallest member.
+    /// A healthy fabric is one component covering every node.
+    pub components: Vec<Vec<NodeId>>,
+}
+
+impl PartitionEpoch {
+    /// `true` when the fabric was split into more than one component.
+    pub fn is_partitioned(&self) -> bool {
+        self.components.len() > 1
+    }
+
+    /// Total routers across all components (always the fabric size — the
+    /// components are a partition of the node set).
+    pub fn node_count(&self) -> usize {
+        self.components.iter().map(Vec::len).sum()
+    }
+}
 
 /// Live fault state derived from a [`FaultPlan`], advanced once per cycle.
 #[derive(Debug)]
@@ -71,6 +113,14 @@ pub struct FaultState {
     /// several algorithms (e.g. when comparing reachability maps), and
     /// their DAGs differ. Cleared whenever the mask changes.
     memo: RefCell<HashMap<ReachKey, bool>>,
+    /// Weak-component label per node under the current mask (the smallest
+    /// node id in the component). Identity labels while no fault is active.
+    component: Vec<u16>,
+    /// Partition history: one epoch per *distinct* component structure, in
+    /// onset order. Empty for an empty plan; any non-empty plan starts
+    /// with its cycle-0 structure (the healthy baseline when nothing fires
+    /// at 0), so the history reads baseline → onset → … → repair.
+    history: Vec<PartitionEpoch>,
 }
 
 impl FaultState {
@@ -86,6 +136,8 @@ impl FaultState {
             router_down: vec![false; n],
             any_active: false,
             memo: RefCell::new(HashMap::new()),
+            component: (0..n as u16).collect(),
+            history: Vec::new(),
         };
         if !state.plan.is_empty() {
             state.recompute(0);
@@ -152,6 +204,97 @@ impl FaultState {
         }
         self.any_active = active;
         self.memo.borrow_mut().clear();
+        self.recompute_components(cycle);
+    }
+
+    /// Rebuilds the weak-component labels from the current channel mask
+    /// and appends a [`PartitionEpoch`] when the structure changed.
+    /// Union-find over the live edges; labels are canonicalized to the
+    /// smallest node id in each component so they are stable across
+    /// identical masks.
+    fn recompute_components(&mut self, cycle: u64) {
+        let n = self.topo.len();
+        let mut parent: Vec<u16> = (0..n as u16).collect();
+        fn find(parent: &mut [u16], mut x: u16) -> u16 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        // Every live directed channel joins its endpoints; iterating all
+        // directed channels covers "alive in either direction" without a
+        // separate reverse lookup.
+        for ch in self.topo.channels() {
+            if !self.link_down[Self::ch(ch.src, ch.dir)] {
+                let (a, b) = (find(&mut parent, ch.src.0), find(&mut parent, ch.dst.0));
+                if a != b {
+                    // Union toward the smaller root: the final root of each
+                    // set is its smallest member.
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    parent[hi as usize] = lo;
+                }
+            }
+        }
+        for i in 0..n as u16 {
+            self.component[i as usize] = find(&mut parent, i);
+        }
+        // Record the epoch only when the structure actually changed.
+        let changed = match self.history.last() {
+            None => true,
+            Some(last) => {
+                let mut labels = vec![u16::MAX; n];
+                for c in &last.components {
+                    for &node in c {
+                        labels[node.index()] = c[0].0;
+                    }
+                }
+                labels != self.component
+            }
+        };
+        if changed {
+            let mut components: Vec<Vec<NodeId>> = Vec::new();
+            let mut slot = vec![usize::MAX; n];
+            for i in 0..n as u16 {
+                let root = self.component[i as usize] as usize;
+                if slot[root] == usize::MAX {
+                    slot[root] = components.len();
+                    components.push(Vec::new());
+                }
+                components[slot[root]].push(NodeId(i));
+            }
+            self.history.push(PartitionEpoch {
+                from_cycle: cycle,
+                components,
+            });
+        }
+    }
+
+    /// The weak-component label of `node` under the current mask (the
+    /// smallest node id in its component).
+    #[inline]
+    pub fn component(&self, node: NodeId) -> u16 {
+        self.component[node.index()]
+    }
+
+    /// `true` when `a` and `b` lie in different weak components — in which
+    /// case no routing algorithm can deliver between them in either
+    /// direction.
+    #[inline]
+    pub fn partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.any_active && self.component[a.index()] != self.component[b.index()]
+    }
+
+    /// `true` if the current mask splits the fabric at all.
+    pub fn is_partitioned(&self) -> bool {
+        self.any_active && self.component.iter().any(|&c| c != self.component[0])
+    }
+
+    /// The recorded partition epochs, in onset order: one entry per
+    /// distinct component structure the mask passed through (including the
+    /// initial structure of a cycle-0 plan). Empty for an empty plan.
+    pub fn partition_history(&self) -> &[PartitionEpoch] {
+        &self.history
     }
 
     #[inline]
@@ -202,6 +345,12 @@ impl FaultState {
     ) -> bool {
         if cur == dest || !self.any_active {
             return true;
+        }
+        if self.partitioned(cur, dest) {
+            // Weak cut between the components: no directed path exists, so
+            // no algorithm's DAG can contain one. Skip the recursion (and
+            // the memo — the component test is already O(1)).
+            return false;
         }
         let key = (algo.name(), cur.0, src.0, dest.0);
         if let Some(&cached) = self.memo.borrow().get(&key) {
@@ -402,6 +551,115 @@ mod tests {
         assert!(view.usable(NodeId(0), Direction::East, NodeId(0), NodeId(1)));
         // North at n0 keeps n2 reachable (around the cut).
         assert!(view.usable(NodeId(0), Direction::North, NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn healthy_state_is_one_component_with_no_history() {
+        let s = FaultState::new(mesh(), FaultPlan::new());
+        assert!(!s.is_partitioned());
+        assert!(!s.partitioned(NodeId(0), NodeId(15)));
+        assert!(s.partition_history().is_empty());
+    }
+
+    #[test]
+    fn ring_cut_in_two_places_partitions() {
+        use footprint_topology::Ring;
+        // Two duplex cuts split a ring: cutting 1↔2 and 5↔6 on an 8-ring
+        // leaves components {0,1,6,7} and {2,3,4,5}.
+        let plan = FaultPlan::new()
+            .with(FaultEvent::link_down(NodeId(1), Direction::East, 0))
+            .with(FaultEvent::link_down(NodeId(5), Direction::East, 0));
+        let s = FaultState::new(Ring::new(8), plan);
+        assert!(s.is_partitioned());
+        assert!(s.partitioned(NodeId(2), NodeId(7)));
+        assert!(!s.partitioned(NodeId(6), NodeId(1)));
+        let h = s.partition_history();
+        assert_eq!(h.len(), 1);
+        assert!(h[0].is_partitioned());
+        assert_eq!(h[0].node_count(), 8);
+        assert_eq!(
+            h[0].components,
+            vec![
+                vec![NodeId(0), NodeId(1), NodeId(6), NodeId(7)],
+                vec![NodeId(2), NodeId(3), NodeId(4), NodeId(5)],
+            ]
+        );
+        // Cross-component pairs are unreachable under every algorithm.
+        assert!(!s.deliverable(&Dor, NodeId(3), NodeId(7)));
+        assert!(!s.deliverable(&footprint_routing::RandomMinimal, NodeId(3), NodeId(7)));
+    }
+
+    #[test]
+    fn down_router_is_a_singleton_component() {
+        let plan = FaultPlan::new().with(FaultEvent::router_down(NodeId(5), 0));
+        let s = FaultState::new(mesh(), plan);
+        assert!(s.is_partitioned());
+        let h = s.partition_history();
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].components.len(), 2);
+        assert!(h[0].components.iter().any(|c| c == &vec![NodeId(5)]));
+    }
+
+    #[test]
+    fn single_direction_cut_does_not_partition() {
+        // Only the directed channel n0→East dies; the reverse direction
+        // still joins the nodes weakly, so no partition is declared even
+        // though n0→n1 minimal traffic is lost.
+        let plan = FaultPlan::new().with(FaultEvent {
+            at: 0,
+            until: None,
+            target: footprint_topology::FaultTarget::Link {
+                node: NodeId(0),
+                dir: Direction::East,
+            },
+            kind: FaultKind::Down,
+        });
+        let s = FaultState::new(mesh(), plan);
+        assert!(!s.is_partitioned());
+        assert!(!s.partitioned(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn repair_records_a_recovery_epoch() {
+        use footprint_topology::Ring;
+        let plan = FaultPlan::new()
+            .with(FaultEvent::link_down(NodeId(0), Direction::East, 10).repaired_at(50))
+            .with(FaultEvent::link_down(NodeId(2), Direction::East, 10).repaired_at(50));
+        let mut s = FaultState::new(Ring::new(6), plan);
+        // A non-empty plan records its healthy baseline at construction.
+        assert_eq!(s.partition_history().len(), 1);
+        assert!(!s.partition_history()[0].is_partitioned());
+        s.advance(10);
+        assert!(s.is_partitioned());
+        assert_eq!(s.partition_history().len(), 2);
+        s.advance(30); // no event: no new epoch
+        assert_eq!(s.partition_history().len(), 2);
+        s.advance(50);
+        assert!(!s.is_partitioned());
+        let h = s.partition_history();
+        assert_eq!(h.len(), 3, "repair epoch recorded");
+        assert_eq!(h[1].from_cycle, 10);
+        assert!(h[1].is_partitioned());
+        assert_eq!(h[2].from_cycle, 50);
+        assert!(!h[2].is_partitioned());
+        assert_eq!(h[2].components.len(), 1);
+    }
+
+    #[test]
+    fn fully_partitioned_mesh_isolates_every_node() {
+        // Take down every router: every node becomes a singleton and every
+        // pair is partition-unreachable — the degenerate worst case a
+        // graceful run must survive.
+        let mut plan = FaultPlan::new();
+        for n in mesh().nodes() {
+            plan.push(FaultEvent::router_down(n, 0));
+        }
+        let s = FaultState::new(mesh(), plan);
+        let h = s.partition_history();
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].components.len(), 16);
+        assert_eq!(h[0].node_count(), 16);
+        assert!(s.partitioned(NodeId(0), NodeId(1)));
     }
 
     #[test]

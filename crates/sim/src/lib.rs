@@ -52,6 +52,7 @@ mod input;
 mod metrics;
 mod network;
 pub mod observe;
+mod recovery;
 mod output;
 mod packet;
 mod router;
@@ -65,10 +66,11 @@ mod workload;
 
 pub use config::{ConfigError, SimConfig};
 pub use endpoint::{Sink, Source};
-pub use fault::{FaultState, FaultView, UnreachablePolicy};
+pub use fault::{FaultState, FaultView, PartitionEpoch, UnreachablePolicy};
 pub use input::RouteState;
 pub use metrics::{ClassStats, EjectedPacket, Metrics, NullProbe, Probe, VaBlockInfo};
 pub use network::{Network, OccupiedVcEntry};
+pub use recovery::{AvailabilityWindow, RecoveryTracker, TtrRecord, AVAILABILITY_WINDOW};
 pub use observe::{
     EventTrace, FlitEvent, FlitEventKind, InFlightPacket, ProbePair, StallDiagnostic,
     StallWatchdog, TraceRecord,

@@ -9,6 +9,7 @@ use crate::endpoint::{Sink, Source};
 use crate::fault::{FaultState, FaultView, UnreachablePolicy};
 use crate::metrics::{Metrics, NullProbe, Probe};
 use crate::packet::{NewPacket, PacketId};
+use crate::recovery::RecoveryTracker;
 use crate::router::{FreedSlot, Router};
 use crate::sched::{SchedState, Scheduler};
 use crate::sideband::Sideband;
@@ -19,6 +20,17 @@ use footprint_routing::{dbar_threshold, RoutingAlgorithm, WrapStrategy};
 use footprint_topology::{AnyTopology, FaultPlan, NodeId, Port, DIRECTIONS, PORT_COUNT};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// Splitmix64 finalizer — the jitter mixer for retry backoff. Kept local:
+/// retry timing must be a pure function of `(seed, packet, attempt)`,
+/// never a draw from the simulation's shared RNG stream.
+#[inline]
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A generated packet parked by [`UnreachablePolicy::Retry`], waiting for
 /// its next reachability check.
@@ -81,6 +93,15 @@ pub struct Network {
     faults: FaultState,
     policy: UnreachablePolicy,
     retries: VecDeque<RetryEntry>,
+    /// The construction seed, kept for seed-derived retry jitter (the
+    /// shared RNG cannot be used: a jitter draw would shift every
+    /// subsequent Bernoulli sample and break the empty-plan bit-identity).
+    seed: u64,
+    /// Recovery observation (TTR + availability); driven only when the
+    /// run has a fault plan.
+    recovery: RecoveryTracker,
+    /// `true` when a fault plan is present: gates all recovery tracking.
+    track_recovery: bool,
     /// Source/destination pairs observed unreachable at generation time.
     unreachable: BTreeSet<(u16, u16)>,
     /// Which cycle loop runs: dense (every component, every cycle) or the
@@ -185,9 +206,12 @@ impl Network {
             next_packet: 0,
             metrics: Metrics::new(),
             freed_scratch: Vec::new(),
+            track_recovery: !plan.is_empty(),
             faults: FaultState::new(topo, plan),
             policy,
             retries: VecDeque::new(),
+            seed,
+            recovery: RecoveryTracker::new(),
             unreachable: BTreeSet::new(),
             scheduler: Scheduler::default(),
             sched: SchedState::new(n),
@@ -269,6 +293,17 @@ impl Network {
         //    full tick: onsets act on in-flight traffic immediately, and
         //    repairs re-arm routers that idled behind a dead channel.
         let fault_change = self.faults.advance(self.cycle);
+        if fault_change
+            && self.track_recovery
+            && self
+                .faults
+                .plan()
+                .events()
+                .iter()
+                .any(|e| e.until == Some(self.cycle))
+        {
+            self.recovery.on_repair(self.cycle);
+        }
         let full = self.scheduler == Scheduler::Dense
             || fault_change
             || probe.wants_full_tick(self.cycle);
@@ -408,22 +443,41 @@ impl Network {
 
         // 4. Packet generation and source injection. Parked retries are
         //    re-checked first (FIFO) so their order relative to fresh
-        //    generation is deterministic.
+        //    generation is deterministic. A mask change re-checks *every*
+        //    parked entry, not just the due ones: a repair re-admits its
+        //    quarantined pairs the cycle it lands — including a packet
+        //    whose backoff expires that same cycle — while entries still
+        //    unreachable keep their schedule and burn no attempt.
         let faulty = self.faults.any_active();
         if !self.retries.is_empty() {
             let pending = self.retries.len();
             for _ in 0..pending {
                 let entry = self.retries.pop_front().expect("counted above");
-                if entry.ready_at > self.cycle {
-                    self.retries.push_back(entry);
-                } else if self
-                    .faults
-                    .deliverable(&*self.algo, entry.node, entry.packet.dest)
-                {
-                    self.sources[entry.node.index()].enqueue(entry.id, entry.packet, entry.birth);
-                } else {
-                    self.park_or_drop(entry.node, entry.id, entry.packet, entry.birth, entry.attempts);
+                let due = entry.ready_at <= self.cycle;
+                if due || fault_change {
+                    if self
+                        .faults
+                        .deliverable(&*self.algo, entry.node, entry.packet.dest)
+                    {
+                        self.sources[entry.node.index()].enqueue(
+                            entry.id,
+                            entry.packet,
+                            entry.birth,
+                        );
+                        continue;
+                    }
+                    if due {
+                        self.park_or_drop(
+                            entry.node,
+                            entry.id,
+                            entry.packet,
+                            entry.birth,
+                            entry.attempts,
+                        );
+                        continue;
+                    }
                 }
+                self.retries.push_back(entry);
             }
         }
         // Packet generation can never be skipped: the Bernoulli draw per
@@ -572,7 +626,18 @@ impl Network {
         }
         self.sched.scratch = order;
 
-        // 7. Cycle bookkeeping.
+        // 7. Cycle bookkeeping. Recovery tracking is pure observation
+        //    (no RNG draws, no feedback into routing), driven only for
+        //    faulted runs.
+        if self.track_recovery {
+            let t = self.metrics.total();
+            self.recovery.tick(
+                self.cycle,
+                t.generated_packets,
+                t.ejected_packets,
+                self.retries.is_empty(),
+            );
+        }
         self.metrics.cycles += 1;
         probe.sample(self.cycle, self);
         probe.cycle_end(self.cycle);
@@ -582,6 +647,14 @@ impl Network {
     /// Disposes of an unreachable packet according to the configured
     /// policy: park it for another attempt, or drop it with accounting.
     /// `attempts` counts the checks already made for this packet.
+    ///
+    /// Retry delays grow exponentially — `backoff << attempts`, capped at
+    /// 64× the base so a long outage cannot push wake-ups past the run —
+    /// plus a deterministic jitter in `[0, backoff)` derived from the run
+    /// seed, the packet id and the attempt number. The jitter decorrelates
+    /// the retry herd after a repair without touching the shared RNG, so
+    /// retry timing is a pure function of the run's inputs: bit-identical
+    /// at any worker count and under either scheduler.
     fn park_or_drop(
         &mut self,
         node: NodeId,
@@ -596,9 +669,14 @@ impl Network {
         } = self.policy
         {
             if attempts + 1 < max_attempts {
+                let base = backoff.max(1);
+                let step = base.saturating_mul(1u64 << attempts.min(6));
+                let jitter = splitmix64(
+                    self.seed ^ id.0.rotate_left(17) ^ u64::from(attempts).rotate_left(41),
+                ) % base;
                 self.metrics.record_retry(packet.class);
                 self.retries.push_back(RetryEntry {
-                    ready_at: self.cycle.saturating_add(backoff.max(1)),
+                    ready_at: self.cycle.saturating_add(step).saturating_add(jitter),
                     node,
                     id,
                     packet,
@@ -680,6 +758,12 @@ impl Network {
     /// The live fault state derived from the network's fault plan.
     pub fn fault_state(&self) -> &FaultState {
         &self.faults
+    }
+
+    /// Recovery observations for this run (TTR and availability windows).
+    /// Empty for a run without a fault plan.
+    pub fn recovery(&self) -> &RecoveryTracker {
+        &self.recovery
     }
 
     /// The configured disposition for unreachable packets.
@@ -1049,5 +1133,97 @@ mod tests {
             .iter()
             .flat_map(|e| e.dests.iter())
             .all(|&d| d == NodeId(5)));
+    }
+
+    /// Regression: a parked packet whose destination's router is repaired
+    /// must be re-admitted in the repair cycle itself — not one backoff
+    /// round later. The backoff here is far longer than the outage, so
+    /// only the fault-change re-check can re-admit the packet; the test
+    /// pins the exact cycle it happens.
+    #[test]
+    fn repair_readmits_parked_packets_in_the_repair_cycle() {
+        use footprint_topology::{FaultEvent, FaultPlan};
+        let plan = FaultPlan::new().with(FaultEvent::router_down(NodeId(3), 0).repaired_at(50));
+        let mut net = Network::with_faults(
+            SimConfig::small(),
+            RoutingSpec::Footprint.build(),
+            9,
+            plan,
+            UnreachablePolicy::Retry {
+                max_attempts: 10,
+                backoff: 10_000,
+            },
+        )
+        .unwrap();
+        let mut wl = crate::workload::FlowSet::new(vec![SingleFlow {
+            src: NodeId(0),
+            dest: NodeId(3),
+            rate: 1.0,
+            size: 1,
+        }]);
+        // Cycles 0..=49: the destination router is down, every generated
+        // packet parks, and no retry comes due (backoff 10 000).
+        net.run(&mut wl, 50);
+        assert!(net.parked_retries() > 0, "outage must park packets");
+        assert_eq!(net.metrics().total().ejected_packets, 0);
+        // Cycle 50 is the repair cycle: the mask change re-checks every
+        // parked entry and re-injects the whole backlog that same cycle.
+        net.step(&mut wl);
+        assert_eq!(net.cycle(), 51);
+        assert_eq!(
+            net.parked_retries(),
+            0,
+            "repair cycle must re-admit the entire retry backlog"
+        );
+        // The re-admitted packets drain to the destination.
+        net.run(&mut NoTraffic, 300);
+        let m = net.metrics().total();
+        assert_eq!(m.generated_packets, m.ejected_packets);
+        assert_eq!(m.dropped_packets, 0);
+    }
+
+    /// Retry backoff timing is a pure function of (seed, packet, attempt):
+    /// two identical faulted runs under different schedulers produce
+    /// bit-identical metrics, retries included.
+    #[test]
+    fn retry_backoff_is_scheduler_invariant() {
+        use footprint_topology::{Direction, FaultEvent, FaultPlan};
+        let run = |sched: Scheduler| {
+            let plan = FaultPlan::new()
+                .with(FaultEvent::link_down(NodeId(0), Direction::East, 0).repaired_at(200));
+            let mut net = Network::with_faults(
+                SimConfig::small(),
+                RoutingSpec::Footprint.build(),
+                77,
+                plan,
+                UnreachablePolicy::Retry {
+                    max_attempts: 6,
+                    backoff: 16,
+                },
+            )
+            .unwrap();
+            net.set_scheduler(sched);
+            let mut wl = crate::workload::FlowSet::new(vec![SingleFlow {
+                src: NodeId(0),
+                dest: NodeId(3),
+                rate: 0.4,
+                size: 1,
+            }]);
+            net.run(&mut wl, 400);
+            net.run(&mut NoTraffic, 300);
+            let m = net.metrics().total();
+            (
+                m.generated_packets,
+                m.ejected_packets,
+                m.dropped_packets,
+                m.retry_attempts,
+                m.latency_sum,
+                m.latency_max,
+            )
+        };
+        let dense = run(Scheduler::Dense);
+        let active = run(Scheduler::Active);
+        assert!(dense.3 > 0, "the outage must schedule retries");
+        assert_eq!(dense, active);
     }
 }

@@ -103,6 +103,12 @@ pub enum DeadlockFinding {
     /// A waiting head whose routing function emits an empty request set:
     /// it will never be granted anything, cycles or not.
     DeadRoute(DeadlockMember),
+    /// A waiting head stranded by the active fault mask: it has no viable
+    /// route because its destination is unreachable under the algorithm's
+    /// routing relation with the dead channels removed. Expected on
+    /// faulted runs — severed routes strand packets by design — so the
+    /// sentinel reports it as a classification, never as a violation.
+    FaultStranded(DeadlockMember),
 }
 
 impl fmt::Display for DeadlockFinding {
@@ -122,6 +128,12 @@ impl fmt::Display for DeadlockFinding {
                 f,
                 "dead route: {m} has an empty request set — the routing \
                  function can never grant it an output"
+            ),
+            DeadlockFinding::FaultStranded(m) => write!(
+                f,
+                "fault-stranded head: {m} cannot reach its destination \
+                 under the active fault mask (expected under faults, not a \
+                 protocol deadlock)"
             ),
         }
     }
@@ -350,16 +362,7 @@ impl Sentinel {
         let violation = check_flit_conservation(net, self.injected, self.ejected)
             .or_else(|| check_credit_conservation(net))
             .or_else(|| check_vc_states(net))
-            .or_else(|| {
-                // Deadlock findings under an active fault are expected
-                // (severed routes strand packets by design); only a
-                // fault-free network must stay deadlock-free.
-                if net.fault_state().any_active() {
-                    None
-                } else {
-                    find_protocol_deadlock(net).map(SentinelViolation::ProtocolDeadlock)
-                }
-            })?;
+            .or_else(|| deadlock_violation(net))?;
         let excerpt = render_excerpt(net, &violation);
         self.report = Some(Box::new(SentinelReport {
             cycle,
@@ -416,8 +419,8 @@ impl Probe for Sentinel {
             None
         }
         .or_else(|| {
-            if check_deadlock && !net.fault_state().any_active() {
-                find_protocol_deadlock(net).map(SentinelViolation::ProtocolDeadlock)
+            if check_deadlock {
+                deadlock_violation(net)
             } else {
                 None
             }
@@ -431,6 +434,26 @@ impl Probe for Sentinel {
             }));
         }
     }
+}
+
+/// Runs the deadlock detector and decides whether its finding is a
+/// violation:
+///
+/// * a [`DeadlockFinding::FaultStranded`] head is expected under an
+///   active mask (severed routes strand packets by design) — never a
+///   violation;
+/// * a [`DeadlockFinding::Cycle`] under an active mask can be
+///   fault-induced (escape routes severed while packets are mid-flight),
+///   so only the fault-free network must stay cycle-free;
+/// * a [`DeadlockFinding::DeadRoute`] — an unroutable head whose
+///   destination the routing relation can still reach — is a routing bug
+///   and is reported even on faulted runs.
+fn deadlock_violation(net: &Network) -> Option<SentinelViolation> {
+    find_protocol_deadlock(net).and_then(|finding| match finding {
+        DeadlockFinding::FaultStranded(_) => None,
+        DeadlockFinding::Cycle(_) if net.fault_state().any_active() => None,
+        other => Some(SentinelViolation::ProtocolDeadlock(other)),
+    })
 }
 
 /// Renders the state excerpt for a violation: the implicated router dumps
@@ -460,7 +483,9 @@ fn render_excerpt(net: &Network, violation: &SentinelViolation) -> String {
             out.push('\n');
             let members: &[DeadlockMember] = match finding {
                 DeadlockFinding::Cycle(ms) => ms,
-                DeadlockFinding::DeadRoute(m) => std::slice::from_ref(m),
+                DeadlockFinding::DeadRoute(m) | DeadlockFinding::FaultStranded(m) => {
+                    std::slice::from_ref(m)
+                }
             };
             let mut dumped: Vec<NodeId> = Vec::new();
             for m in members {
@@ -1069,7 +1094,15 @@ pub(crate) fn find_protocol_deadlock(net: &Network) -> Option<DeadlockFinding> {
         let cur = *path.last().expect("path is non-empty");
         match succ(cur) {
             None => {
-                return Some(DeadlockFinding::DeadRoute(member(cur)));
+                let m = member(cur);
+                // Distinguish a head the fault mask stranded (no route to
+                // its destination survives the mask — expected on faulted
+                // runs) from a genuinely unroutable head, which is a
+                // routing bug whether or not a fault is active.
+                if faults.any_active() && !faults.deliverable(algo, m.node, m.dest) {
+                    return Some(DeadlockFinding::FaultStranded(m));
+                }
+                return Some(DeadlockFinding::DeadRoute(m));
             }
             Some(next) => {
                 if let Some(pos) = path.iter().position(|&b| b == next) {

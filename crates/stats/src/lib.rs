@@ -31,6 +31,7 @@ mod latency;
 mod observers;
 mod probes;
 mod purity;
+mod resilience;
 mod sweep;
 pub mod table;
 mod tenant;
@@ -42,6 +43,7 @@ pub use latency::{Histogram, OnlineStats};
 pub use observers::{MeshSample, RouterSample, TimelineProbe};
 pub use probes::{load_balance, LatencyHistogramProbe, LoadBalance};
 pub use purity::PurityProbe;
+pub use resilience::{PartitionReport, RecoveryStats};
 pub use sweep::{Curve, SweepPoint, SweepProgress};
 pub use tenant::{TenantProbe, TenantSummary, WindowCounts};
 pub use timeline::{TreeSample, TreeTimeline};

@@ -1,0 +1,185 @@
+//! Resilience reporting for faulted runs: partition history and recovery
+//! observations, snapshotted off a finished [`Network`] into plain report
+//! data.
+//!
+//! Both types follow the [`FaultStats`](crate::FaultStats) convention: a
+//! `Default` value means "no effects observed", which is exactly what a
+//! run without a fault plan produces — so embedding them in a report
+//! struct does not perturb equality comparisons between pre-fault and
+//! post-fault builds.
+
+use footprint_sim::{AvailabilityWindow, Network, PartitionEpoch, TtrRecord};
+
+/// The connectivity history of a faulted run: one [`PartitionEpoch`] per
+/// distinct component structure the fault schedule produced, in onset
+/// order. A run on a healthy fabric (or with an empty plan) carries no
+/// epochs at all; a run whose plan never partitions the fabric carries
+/// only single-component epochs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PartitionReport {
+    /// Component structures in onset order (first epoch = the healthy
+    /// baseline recorded when the plan attaches).
+    pub epochs: Vec<PartitionEpoch>,
+}
+
+impl PartitionReport {
+    /// Snapshots the partition history of a network after a run.
+    pub fn collect(net: &Network) -> Self {
+        PartitionReport {
+            epochs: net.fault_state().partition_history().to_vec(),
+        }
+    }
+
+    /// `true` if any epoch split the fabric into more than one component.
+    pub fn was_partitioned(&self) -> bool {
+        self.epochs.iter().any(PartitionEpoch::is_partitioned)
+    }
+
+    /// The largest component count any epoch reached (0 for an empty
+    /// history).
+    pub fn max_components(&self) -> usize {
+        self.epochs.iter().map(|e| e.components.len()).max().unwrap_or(0)
+    }
+
+    /// The component count of the final epoch (0 for an empty history) —
+    /// the connectivity the run ended under.
+    pub fn final_components(&self) -> usize {
+        self.epochs.last().map_or(0, |e| e.components.len())
+    }
+
+    /// `true` when every epoch's components jointly cover exactly `nodes`
+    /// endpoints — the completeness check a partition-aware run report
+    /// must satisfy (vacuously true for an empty history).
+    pub fn covers_all_nodes(&self, nodes: usize) -> bool {
+        self.epochs.iter().all(|e| e.node_count() == nodes)
+    }
+}
+
+/// Recovery observations for a faulted run: completed time-to-recover
+/// records, any repair still awaiting its backlog drain, and the windowed
+/// availability timeline. Collected from the network's
+/// [`RecoveryTracker`](footprint_sim::RecoveryTracker); all-`Default`
+/// for a run without a fault plan.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RecoveryStats {
+    /// Completed repairs, in repair order.
+    pub ttr: Vec<TtrRecord>,
+    /// A repair whose retry backlog had not drained when the run ended.
+    pub pending_repair: Option<u64>,
+    /// Availability windows in time order, including the final partial
+    /// window if it observed any traffic.
+    pub windows: Vec<AvailabilityWindow>,
+}
+
+impl RecoveryStats {
+    /// Snapshots the recovery observations of a network after a run.
+    pub fn collect(net: &Network) -> Self {
+        let t = net.recovery();
+        let mut windows = t.windows().to_vec();
+        windows.extend(t.partial_window());
+        RecoveryStats {
+            ttr: t.ttr().to_vec(),
+            pending_repair: t.pending_repair(),
+            windows,
+        }
+    }
+
+    /// Mean time-to-recover over the completed repairs, or `None` when no
+    /// repair completed.
+    pub fn mean_ttr(&self) -> Option<f64> {
+        if self.ttr.is_empty() {
+            return None;
+        }
+        let total: u64 = self.ttr.iter().map(TtrRecord::cycles).sum();
+        Some(total as f64 / self.ttr.len() as f64)
+    }
+
+    /// The worst (lowest) availability any window recorded, or `None`
+    /// with no windows. The floor of the run's service level: 1.0 means
+    /// no window ever lost traffic.
+    pub fn min_availability(&self) -> Option<f64> {
+        self.windows
+            .iter()
+            .map(AvailabilityWindow::availability)
+            .min_by(|a, b| a.partial_cmp(b).expect("availability is never NaN"))
+    }
+
+    /// Total offered and delivered packets across all windows.
+    pub fn totals(&self) -> (u64, u64) {
+        self.windows
+            .iter()
+            .fold((0, 0), |(o, d), w| (o + w.offered, d + w.delivered))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use footprint_routing::RoutingSpec;
+    use footprint_sim::{FlowSet, SimConfig, SingleFlow, UnreachablePolicy};
+    use footprint_topology::{Direction, FaultEvent, FaultPlan, NodeId};
+
+    #[test]
+    fn defaults_are_empty_and_comparable() {
+        let p = PartitionReport::default();
+        assert!(!p.was_partitioned());
+        assert_eq!(p.max_components(), 0);
+        assert!(p.covers_all_nodes(16));
+        let r = RecoveryStats::default();
+        assert_eq!(r.mean_ttr(), None);
+        assert_eq!(r.min_availability(), None);
+        assert_eq!(r, RecoveryStats::default());
+    }
+
+    #[test]
+    fn fault_free_run_collects_empty_reports() {
+        let mut net =
+            Network::new(SimConfig::small(), RoutingSpec::Footprint.build(), 3).unwrap();
+        let mut flow = FlowSet::new(vec![SingleFlow {
+            src: NodeId(0),
+            dest: NodeId(15),
+            rate: 0.3,
+            size: 1,
+        }]);
+        net.run(&mut flow, 200);
+        assert_eq!(PartitionReport::collect(&net), PartitionReport::default());
+        assert_eq!(RecoveryStats::collect(&net), RecoveryStats::default());
+    }
+
+    #[test]
+    fn repaired_fault_yields_ttr_and_windows() {
+        // One link down at 0, repaired at 150; retry policy parks the cut
+        // pair's packets until the repair re-admits them.
+        let plan = FaultPlan::new()
+            .with(FaultEvent::link_down(NodeId(0), Direction::East, 0).repaired_at(150));
+        let mut net = Network::with_faults(
+            SimConfig::small(),
+            RoutingSpec::Footprint.build(),
+            5,
+            plan,
+            UnreachablePolicy::Retry { max_attempts: 20, backoff: 16 },
+        )
+        .unwrap();
+        let mut flow = FlowSet::new(vec![SingleFlow {
+            src: NodeId(0),
+            dest: NodeId(3),
+            rate: 0.2,
+            size: 1,
+        }]);
+        net.run(&mut flow, 400);
+        net.run(&mut footprint_sim::NoTraffic, 300);
+        let r = RecoveryStats::collect(&net);
+        assert_eq!(r.ttr.len(), 1, "one repair, one recovery: {:?}", r.ttr);
+        assert_eq!(r.ttr[0].repair_cycle, 150);
+        assert!(r.pending_repair.is_none());
+        assert!(!r.windows.is_empty());
+        let (offered, delivered) = r.totals();
+        assert_eq!(offered, delivered, "drained run delivers everything offered");
+        // The partition history is trivial: a duplex cut of one mesh link
+        // never splits the fabric.
+        let p = PartitionReport::collect(&net);
+        assert!(!p.was_partitioned());
+        assert!(p.covers_all_nodes(16));
+        assert_eq!(p.final_components(), 1);
+    }
+}

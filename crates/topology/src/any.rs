@@ -160,6 +160,13 @@ impl AnyTopology {
         dispatch!(self, t => Topology::escape_class(&t, cur, dst, dir))
     }
 
+    /// `true` if the channel `node → dir` is a wraparound (dateline)
+    /// channel. Always `false` on meshes.
+    #[inline]
+    pub fn is_wrap_channel(self, node: NodeId, dir: Direction) -> bool {
+        dispatch!(self, t => Topology::is_wrap_channel(&t, node, dir))
+    }
+
     /// The underlying mesh, if this is one — for mesh-only overlays
     /// (XORDET's coordinate parity classes and similar).
     #[inline]
@@ -214,6 +221,10 @@ impl Topology for AnyTopology {
 
     fn escape_class(&self, cur: NodeId, dst: NodeId, dir: Direction) -> u8 {
         AnyTopology::escape_class(*self, cur, dst, dir)
+    }
+
+    fn is_wrap_channel(&self, node: NodeId, dir: Direction) -> bool {
+        AnyTopology::is_wrap_channel(*self, node, dir)
     }
 }
 

@@ -154,6 +154,12 @@ pub enum FaultPlanError {
         /// The offending period.
         period: u64,
     },
+    /// A wrap-targeted fault plan was requested on a fabric with no
+    /// wraparound channels (a mesh): there is no dateline to bias toward.
+    NoWrapChannels {
+        /// The fabric kind ("mesh").
+        kind: &'static str,
+    },
 }
 
 impl fmt::Display for FaultPlanError {
@@ -172,6 +178,10 @@ impl fmt::Display for FaultPlanError {
             FaultPlanError::DegradePeriodTooShort { period } => write!(
                 f,
                 "degraded-link period {period} is too short (must be ≥ 2 cycles per flit)"
+            ),
+            FaultPlanError::NoWrapChannels { kind } => write!(
+                f,
+                "wrap-biased fault plan requested on a {kind}, which has no wraparound channels"
             ),
         }
     }
@@ -237,6 +247,51 @@ impl FaultPlan {
         self.events.is_empty()
     }
 
+    /// Every directed channel some event of this plan takes fully down
+    /// ([`FaultKind::Down`]; degraded links still carry traffic), over the
+    /// plan's whole lifetime regardless of onset and repair times — the
+    /// channel mask escape-safety checks run against. Sorted and
+    /// deduplicated.
+    pub fn down_channels(&self, topo: impl Into<AnyTopology>) -> Vec<(NodeId, Direction)> {
+        let topo = topo.into();
+        let mut out: Vec<(NodeId, Direction)> = Vec::new();
+        for e in &self.events {
+            if e.kind != FaultKind::Down {
+                continue;
+            }
+            match e.target {
+                FaultTarget::Link { node, dir } => out.push((node, dir)),
+                FaultTarget::DuplexLink { node, dir } => {
+                    out.push((node, dir));
+                    if let Some(nb) = topo.neighbor(node, dir) {
+                        out.push((nb, dir.opposite()));
+                    }
+                }
+                FaultTarget::Router(n) => {
+                    for d in DIRECTIONS {
+                        if let Some(nb) = topo.neighbor(n, d) {
+                            out.push((n, d));
+                            out.push((nb, d.opposite()));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable_by_key(|&(n, d)| (n.0, crate::Port::Dir(d).index()));
+        out.dedup();
+        out
+    }
+
+    /// How many of this plan's [down channels](Self::down_channels) are
+    /// wraparound (dateline) channels of `topo`. Always 0 on a mesh.
+    pub fn masked_wrap_channels(&self, topo: impl Into<AnyTopology>) -> usize {
+        let topo = topo.into();
+        self.down_channels(topo)
+            .into_iter()
+            .filter(|&(n, d)| topo.is_wrap_channel(n, d))
+            .count()
+    }
+
     /// `count` distinct permanent duplex-link cuts at cycle 0, chosen
     /// uniformly from the topology's edges by a splitmix64 stream over
     /// `seed`. Deterministic: the same `(topology, count, seed)` always
@@ -267,6 +322,64 @@ impl FaultPlan {
             events.push(FaultEvent::link_down(node, dir, 0));
         }
         FaultPlan { events }
+    }
+
+    /// The dateline-aware variant of [`FaultPlan::random_link_faults`]:
+    /// `wrap_cuts` permanent duplex cuts chosen uniformly from the
+    /// topology's *wraparound* edges plus `other_cuts` from the remaining
+    /// (grid) edges, all at cycle 0. Deterministic in
+    /// `(topology, wrap_cuts, other_cuts, seed)`; counts are clamped to
+    /// their pool sizes.
+    ///
+    /// Cutting wrap edges specifically is what stresses the dateline
+    /// escape argument — a random uniform cut on an 8×8 torus only hits a
+    /// wrap edge 1 time in 8.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultPlanError::NoWrapChannels`] when `wrap_cuts > 0` on
+    /// a fabric without wraparound edges (a mesh): the bias target does
+    /// not exist, and silently returning grid cuts would misreport what
+    /// the experiment exercised.
+    pub fn random_link_faults_biased(
+        topo: impl Into<AnyTopology>,
+        wrap_cuts: usize,
+        other_cuts: usize,
+        seed: u64,
+    ) -> Result<Self, FaultPlanError> {
+        let topo = topo.into();
+        let mut wrap_edges: Vec<(NodeId, Direction)> = Vec::new();
+        let mut grid_edges: Vec<(NodeId, Direction)> = Vec::new();
+        for node in topo.nodes() {
+            for dir in [Direction::East, Direction::North] {
+                if topo.neighbor(node, dir).is_some() {
+                    if topo.is_wrap_channel(node, dir) {
+                        wrap_edges.push((node, dir));
+                    } else {
+                        grid_edges.push((node, dir));
+                    }
+                }
+            }
+        }
+        if wrap_cuts > 0 && wrap_edges.is_empty() {
+            return Err(FaultPlanError::NoWrapChannels {
+                kind: topo.kind_name(),
+            });
+        }
+        let mut rng = Splitmix64(seed);
+        let mut events = Vec::new();
+        let mut sample = |edges: &mut Vec<(NodeId, Direction)>, count: usize| {
+            let count = count.min(edges.len());
+            for i in 0..count {
+                let j = i + (rng.next() % (edges.len() - i) as u64) as usize;
+                edges.swap(i, j);
+                let (node, dir) = edges[i];
+                events.push(FaultEvent::link_down(node, dir, 0));
+            }
+        };
+        sample(&mut wrap_edges, wrap_cuts);
+        sample(&mut grid_edges, other_cuts);
+        Ok(FaultPlan { events })
     }
 
     /// Checks every event against the topology's channel set: a link
@@ -447,6 +560,51 @@ mod tests {
         // A different seed reshuffles.
         let c = FaultPlan::random_link_faults(mesh, 3, 43);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn biased_faults_target_wrap_edges_on_torus() {
+        use crate::{Ring, Topology, Torus};
+        let torus = Torus::square(8);
+        let plan = FaultPlan::random_link_faults_biased(torus, 3, 2, 7).unwrap();
+        assert_eq!(plan.len(), 5);
+        plan.validate(torus).unwrap();
+        let wraps = plan
+            .events()
+            .iter()
+            .filter(|e| match e.target {
+                FaultTarget::DuplexLink { node, dir } => torus.is_wrap_channel(node, dir),
+                _ => false,
+            })
+            .count();
+        assert_eq!(wraps, 3, "exactly the requested wrap cuts");
+        // Deterministic in the full tuple.
+        assert_eq!(
+            plan,
+            FaultPlan::random_link_faults_biased(torus, 3, 2, 7).unwrap()
+        );
+        assert_ne!(
+            plan,
+            FaultPlan::random_link_faults_biased(torus, 3, 2, 8).unwrap()
+        );
+        // A ring has exactly one wrap edge; the count clamps to it.
+        let ring = Ring::new(8);
+        let p = FaultPlan::random_link_faults_biased(ring, 4, 0, 1).unwrap();
+        assert_eq!(p.len(), 1);
+        p.validate(ring).unwrap();
+    }
+
+    #[test]
+    fn biased_faults_reject_mesh_wrap_requests() {
+        let mesh = Mesh::square(4);
+        assert_eq!(
+            FaultPlan::random_link_faults_biased(mesh, 1, 0, 0),
+            Err(FaultPlanError::NoWrapChannels { kind: "mesh" })
+        );
+        // Zero wrap cuts is fine on a mesh — it degrades to a grid sample.
+        let p = FaultPlan::random_link_faults_biased(mesh, 0, 2, 0).unwrap();
+        assert_eq!(p.len(), 2);
+        p.validate(mesh).unwrap();
     }
 
     #[test]

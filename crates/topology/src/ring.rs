@@ -144,6 +144,20 @@ mod tests {
     }
 
     #[test]
+    fn ring_has_one_wrap_edge() {
+        let r = Ring::new(6);
+        assert!(r.is_wrap_channel(NodeId(5), Direction::East));
+        assert!(r.is_wrap_channel(NodeId(0), Direction::West));
+        assert!(!r.is_wrap_channel(NodeId(2), Direction::East));
+        assert!(!r.is_wrap_channel(NodeId(0), Direction::North));
+        let wraps: usize = r
+            .nodes()
+            .map(|n| DIRECTIONS.iter().filter(|&&d| r.is_wrap_channel(n, d)).count())
+            .sum();
+        assert_eq!(wraps, 2, "one physical wrap edge, two directed channels");
+    }
+
+    #[test]
     fn neighbor_relation_is_symmetric() {
         let r = Ring::new(7);
         for n in r.nodes() {

@@ -208,6 +208,31 @@ mod tests {
     }
 
     #[test]
+    fn wrap_channels_are_exactly_the_dateline_edges() {
+        let t = Torus::square(4);
+        let mut wraps = 0;
+        for n in t.nodes() {
+            for d in DIRECTIONS {
+                if t.is_wrap_channel(n, d) {
+                    wraps += 1;
+                    // Every wrap hop must be the one that re-enters at the
+                    // opposite edge of its dimension.
+                    let next = t.neighbor(n, d).unwrap();
+                    assert_eq!(t.hops(n, next), 1);
+                }
+            }
+        }
+        // One wrap edge per row (X) and per column (Y), two directed
+        // channels each: 2·(4 + 4).
+        assert_eq!(wraps, 16);
+        assert!(t.is_wrap_channel(NodeId(3), Direction::East));
+        assert!(t.is_wrap_channel(NodeId(0), Direction::West));
+        assert!(t.is_wrap_channel(NodeId(12), Direction::North));
+        assert!(t.is_wrap_channel(NodeId(0), Direction::South));
+        assert!(!t.is_wrap_channel(NodeId(0), Direction::East));
+    }
+
+    #[test]
     fn wraparound_neighbors() {
         let t = Torus::square(4);
         // Row 0 wraps in X.

@@ -124,6 +124,30 @@ pub trait Topology: Copy + fmt::Display {
     /// Wrapping fabrics need dateline escape-VC classes; meshes do not.
     fn wraps(&self) -> bool;
 
+    /// `true` if the directed channel leaving `node` toward `dir` is a
+    /// wraparound (dateline) channel. Always `false` on acyclic fabrics.
+    ///
+    /// The default implementation covers every current fabric: node ids
+    /// grow along each positive direction (East, North — including the
+    /// circulant's skip links), so a positive-direction hop is a wrap
+    /// exactly when the downstream id *decreases*, and mirrored for the
+    /// negative directions. These are precisely the channels excluded from
+    /// escape class 0 by the dateline rule, which is what makes cutting
+    /// one interesting: the class-1 subgraph loses its acyclicity
+    /// *witness* structure and must be re-checked under the fault mask.
+    fn is_wrap_channel(&self, node: NodeId, dir: Direction) -> bool {
+        if !self.wraps() {
+            return false;
+        }
+        match self.neighbor(node, dir) {
+            None => false,
+            Some(next) => match dir {
+                Direction::East | Direction::North => next.0 < node.0,
+                Direction::West | Direction::South => next.0 > node.0,
+            },
+        }
+    }
+
     /// Number of VCs reserved for the Duato escape layer by algorithms
     /// that use one: 1 on acyclic fabrics, 2 on wrapping fabrics (the
     /// dateline needs a pre-crossing and a post-crossing class).

@@ -64,9 +64,9 @@ pub use footprint_traffic as traffic;
 /// ([`crate::sim`], [`crate::stats`], …).
 pub mod prelude {
     pub use footprint_core::{
-        ClassSummary, ConfigError, FaultStats, NullProbe, Probe, RoutingSpec, RunError,
-        RunOptions, RunReport, Scheduler, SimulationBuilder, StallDiagnostic, SweepOptions,
-        TenantSpec, TenantSummary, TrafficSpec, UnreachablePolicy,
+        ClassSummary, ConfigError, FaultStats, NullProbe, Probe, PartitionReport, RecoveryStats,
+        RoutingSpec, RunError, RunOptions, RunReport, Scheduler, SimulationBuilder,
+        StallDiagnostic, SweepOptions, TenantSpec, TenantSummary, TrafficSpec, UnreachablePolicy,
     };
     pub use footprint_topology::{
         Direction, FaultEvent, FaultKind, FaultPlan, Mesh, NodeId, Ring, TopologySpec, Torus,

@@ -173,6 +173,173 @@ fn partitioning_fault_plan_never_hangs_or_panics() {
     }
 }
 
+#[test]
+fn fully_partitioned_ring_completes_with_a_partition_report() {
+    // Cutting the wraparound edge 15↔0 and the grid edge 7↔8 splits a
+    // 16-ring into {0..=7} and {8..=15}. The wrap cut severs deterministic
+    // escape routes, so the run is refused with the typed verdict unless
+    // the caller opts into degraded-escape mode — and in that mode it
+    // completes without tripping the watchdog, with a partition history
+    // covering every node.
+    let plan = FaultPlan::new()
+        .with(FaultEvent::link_down(NodeId(15), Direction::East, 0))
+        .with(FaultEvent::link_down(NodeId(7), Direction::East, 0));
+    let build = || {
+        SimulationBuilder::ring(16)
+            .vcs(4)
+            .routing(RoutingSpec::Footprint)
+            .traffic(TrafficSpec::UniformRandom)
+            .injection_rate(0.1)
+            .warmup(0)
+            .measurement(600)
+            .drain(1_500)
+            .seed(21)
+    };
+    // Without the opt-in: refused up front, before any cycle simulates.
+    let err = build()
+        .run_with(RunOptions::new().faults(plan.clone()).watchdog(20_000))
+        .unwrap_err();
+    match err {
+        RunError::EscapeCompromised {
+            severed,
+            masked_wrap_channels,
+        } => {
+            assert!(!severed.is_empty());
+            assert_eq!(masked_wrap_channels, 2, "both directions of 15↔0");
+        }
+        other => panic!("expected EscapeCompromised, got {other}"),
+    }
+    // Degraded mode: the partitioned run completes gracefully.
+    let report = build()
+        .run_with(
+            RunOptions::new()
+                .faults(plan)
+                .degraded_escape(true)
+                .watchdog(20_000),
+        )
+        .expect("partitioned ring run must complete in degraded mode");
+    assert!(report.partitions.was_partitioned());
+    assert_eq!(report.partitions.final_components(), 2);
+    assert!(report.partitions.covers_all_nodes(16));
+    assert!(report.faults.fully_accounted());
+    assert!(report.faults.dropped() > 0, "cross-partition pairs drop");
+    assert!(report.latency.ejected_packets > 0, "same-side pairs deliver");
+}
+
+#[test]
+fn dateline_cut_on_a_torus_yields_a_typed_verdict() {
+    // A dateline-biased plan on a 4×4 torus: every cut targets a
+    // wraparound edge. The wrap-safety gate rebuilds the escape CDG under
+    // the mask and refuses the run with the typed verdict for every
+    // escape-classed algorithm; the turn-model algorithms route on the
+    // acyclic subgraph and are admitted (their deadlock argument never
+    // used the wrap channels).
+    let plan = FaultPlan::random_link_faults_biased(Torus::square(4), 2, 0, 0xDA7E).unwrap();
+    for spec in [RoutingSpec::Footprint, RoutingSpec::Dbar, RoutingSpec::Dor] {
+        let result = SimulationBuilder::torus(4)
+            .vcs(6)
+            .routing(spec)
+            .warmup(0)
+            .measurement(300)
+            .seed(4)
+            .run_with(RunOptions::new().faults(plan.clone()).watchdog(20_000));
+        match result {
+            Err(RunError::EscapeCompromised {
+                severed,
+                masked_wrap_channels,
+            }) => {
+                assert!(!severed.is_empty(), "{}", spec.name());
+                assert!(masked_wrap_channels > 0, "{}", spec.name());
+            }
+            Ok(_) => panic!(
+                "{}: a dateline cut must not be admitted silently",
+                spec.name()
+            ),
+            Err(other) => panic!("{}: unexpected error {other}", spec.name()),
+        }
+    }
+    // Odd-Even never routes on wrap channels: the same plan is admitted.
+    let report = SimulationBuilder::torus(4)
+        .vcs(6)
+        .routing(RoutingSpec::OddEven)
+        .warmup(0)
+        .measurement(300)
+        .drain(1_000)
+        .seed(4)
+        .run_with(RunOptions::new().faults(plan).watchdog(20_000))
+        .expect("acyclic-subgraph routing is unaffected by dateline cuts");
+    assert!(report.faults.fully_accounted());
+}
+
+#[test]
+fn retry_backoff_sweeps_are_bit_identical_across_threads_and_schedulers() {
+    // The recovery path's own determinism guarantee: retry jitter derives
+    // from (seed, packet, attempt) — never the shared RNG — so a faulted
+    // sweep under the Retry policy is bit-identical across worker counts
+    // AND across the dense/active cycle loops.
+    let rates = [0.05, 0.1];
+    let plan = FaultPlan::new()
+        .with(FaultEvent::link_down(NodeId(5), Direction::East, 100).repaired_at(400));
+    let sweep = |threads: usize, sched: Scheduler| {
+        SimulationBuilder::mesh(4)
+            .vcs(4)
+            .routing(RoutingSpec::Footprint)
+            .warmup(0)
+            .measurement(600)
+            .drain(600)
+            .seed(0xBACC)
+            .sweep_with(
+                &rates,
+                SweepOptions::new()
+                    .faults(plan.clone())
+                    .on_unreachable(UnreachablePolicy::Retry {
+                        max_attempts: 8,
+                        backoff: 32,
+                    })
+                    .threads(threads)
+                    .scheduler(sched)
+                    .watchdog(20_000),
+            )
+            .unwrap()
+    };
+    let reference = sweep(1, Scheduler::Dense);
+    assert_eq!(reference, sweep(4, Scheduler::Dense));
+    assert_eq!(reference, sweep(1, Scheduler::Active));
+    assert_eq!(reference, sweep(4, Scheduler::Active));
+}
+
+#[test]
+fn repaired_outage_reports_recovery_stats() {
+    // A mid-run outage with a scheduled repair: the report carries a
+    // completed time-to-recover record and an availability timeline that
+    // dips during the outage and recovers after the repair.
+    let plan = FaultPlan::new()
+        .with(FaultEvent::link_down(NodeId(9), Direction::East, 300).repaired_at(900));
+    let report = accounted(RoutingSpec::Footprint)
+        .run_with(
+            RunOptions::new()
+                .faults(plan)
+                .on_unreachable(UnreachablePolicy::Retry {
+                    max_attempts: 50,
+                    backoff: 64,
+                })
+                .watchdog(20_000),
+        )
+        .unwrap();
+    assert!(report.faults.fully_accounted());
+    assert_eq!(report.recovery.ttr.len(), 1, "{:?}", report.recovery.ttr);
+    assert_eq!(report.recovery.ttr[0].repair_cycle, 900);
+    assert!(report.recovery.pending_repair.is_none());
+    assert!(!report.recovery.windows.is_empty());
+    // Everything offered was eventually delivered (drained run, repairs
+    // re-admit the backlog), so the availability books close.
+    let (offered, delivered) = report.recovery.totals();
+    assert_eq!(offered, delivered);
+    // A single mesh link cut never partitions: one epoch, one component.
+    assert!(!report.partitions.was_partitioned());
+    assert!(report.partitions.covers_all_nodes(64));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -207,6 +374,80 @@ proptest! {
             // A link target off the mesh edge is rejected up front.
             Err(RunError::Config(ConfigError::Fault(_))) => {}
             Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+    }
+
+    /// Arbitrary biased fault plans on the wrapping fabrics, audited by
+    /// the sentinel: every run either completes fully accounted, stalls
+    /// inside the watchdog bound, or is refused with the typed
+    /// escape verdict — never a panic, never a hang, and bit-identical
+    /// across both cycle schedulers.
+    #[test]
+    fn random_fault_plans_on_wrapping_fabrics_are_audited_and_bounded(
+        topo_ix in 0usize..2,
+        wrap_cuts in 0usize..3,
+        grid_cuts in 0usize..3,
+        algo_ix in 0usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let spec = [
+            RoutingSpec::Footprint,
+            RoutingSpec::Dbar,
+            RoutingSpec::OddEven,
+            RoutingSpec::Dor,
+        ][algo_ix];
+        let (plan, nodes, build): (_, usize, fn() -> SimulationBuilder) = if topo_ix == 0 {
+            (
+                FaultPlan::random_link_faults_biased(Torus::square(4), wrap_cuts, grid_cuts, seed),
+                16,
+                || SimulationBuilder::torus(4).vcs(6),
+            )
+        } else {
+            (
+                FaultPlan::random_link_faults_biased(Ring::new(8), wrap_cuts, grid_cuts, seed),
+                8,
+                || SimulationBuilder::ring(8).vcs(4),
+            )
+        };
+        let plan = plan.expect("wrapping fabrics always have wrap edges");
+        let run = |sched: Scheduler| {
+            build()
+                .routing(spec)
+                .traffic(TrafficSpec::UniformRandom)
+                .injection_rate(0.1)
+                .warmup(0)
+                .measurement(250)
+                .drain(600)
+                .seed(seed ^ 0x5EED)
+                .run_with(
+                    RunOptions::new()
+                        .faults(plan.clone())
+                        .sentinel(true)
+                        .scheduler(sched)
+                        .watchdog(2_000),
+                )
+        };
+        let dense = run(Scheduler::Dense);
+        match &dense {
+            Ok(report) => {
+                prop_assert!(report.faults.fully_accounted());
+                prop_assert!(report.partitions.covers_all_nodes(nodes));
+            }
+            Err(RunError::Stalled(_)) => {}
+            Err(RunError::EscapeCompromised { severed, .. }) => {
+                prop_assert!(!severed.is_empty());
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+        match (dense, run(Scheduler::Active)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(RunError::EscapeCompromised { severed: a, .. }),
+             Err(RunError::EscapeCompromised { severed: b, .. })) => prop_assert_eq!(a, b),
+            (Err(RunError::Stalled(_)), Err(RunError::Stalled(_))) => {}
+            (a, b) => prop_assert!(
+                false,
+                "schedulers disagree: dense {a:?} vs active {b:?}"
+            ),
         }
     }
 }
