@@ -1,0 +1,155 @@
+//! Ensemble smoke test (run by CI): the lane-parallel sweep engine and
+//! the warm-start snapshot cache, checked end to end.
+//!
+//! Two checks, each of which must pass for the binary to exit zero:
+//!
+//! 1. **Lockstep lanes are bit-identical** — a four-point sweep run as a
+//!    four-lane ensemble must equal the sequential single-thread sweep
+//!    exactly, for Footprint on the mesh and for Dbar on the torus (the
+//!    wrapping fabric exercises dateline escape classes inside the
+//!    snapshot codec's flit paths).
+//!
+//! 2. **Warm-start round-trips through disk** — a cold run against an
+//!    empty cache directory must materialize a `.snap` file, and the warm
+//!    rerun against that file must hit it (the file's mtime is untouched)
+//!    and reproduce the cold report byte for byte.
+//!
+//! Writes `results/ensemble_smoke.txt`; every passed check appends an
+//! `ENSEMBLE` line CI greps for.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use footprint_bench::results_dir;
+use footprint_core::{RoutingSpec, RunOptions, SimulationBuilder, SweepOptions};
+
+const RATES: [f64; 4] = [0.04, 0.08, 0.12, 0.16];
+
+fn lockstep_bit_identity(out: &mut String) -> Result<(), String> {
+    let cases = [
+        ("mesh:4x4", SimulationBuilder::mesh(4), RoutingSpec::Footprint),
+        ("torus:4x4", SimulationBuilder::torus(4), RoutingSpec::Dbar),
+    ];
+    for (fabric, base, spec) in cases {
+        let base = base
+            .vcs(4)
+            .warmup(150)
+            .measurement(300)
+            .drain(1_000)
+            .seed(61)
+            .routing(spec);
+        // Sentinel pinned off so the lockstep path runs (rather than
+        // falling back) even with FOOTPRINT_SENTINEL=1 in the environment.
+        let sweep = |opts: SweepOptions| {
+            base.clone()
+                .sweep_with(&RATES, opts.threads(1).sentinel(false).watchdog(20_000))
+                .map_err(|e| format!("{fabric}/{}: sweep failed: {e}", spec.name()))
+        };
+        let sequential = sweep(SweepOptions::new())?;
+        let ensemble = sweep(SweepOptions::new().ensemble(RATES.len()))?;
+        if format!("{sequential:?}") != format!("{ensemble:?}") {
+            return Err(format!(
+                "{fabric}/{}: ensemble lanes diverged from the sequential sweep",
+                spec.name()
+            ));
+        }
+        let _ = writeln!(
+            out,
+            "ENSEMBLE lockstep {fabric}/{}: {}-lane sweep bit-identical to sequential",
+            spec.name(),
+            RATES.len()
+        );
+    }
+    Ok(())
+}
+
+fn warm_start_round_trip(out: &mut String) -> Result<(), String> {
+    let dir = std::env::temp_dir().join(format!("footprint-ensemble-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let run = || {
+        SimulationBuilder::mesh(4)
+            .vcs(4)
+            .warmup(200)
+            .measurement(400)
+            .drain(1_000)
+            .injection_rate(0.12)
+            .seed(67)
+            .routing(RoutingSpec::Footprint)
+            // The cache is (deliberately) ineligible under the sentinel;
+            // pin it off so the check is environment-independent.
+            .run_with(
+                RunOptions::new()
+                    .watchdog(20_000)
+                    .sentinel(false)
+                    .snapshot_cache(&dir),
+            )
+            .map_err(|e| format!("cached run failed: {e}"))
+    };
+    let cold = run()?;
+    let snaps: Vec<_> = std::fs::read_dir(&dir)
+        .map_err(|e| format!("cache dir not created by the cold run: {e}"))?
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "snap"))
+        .collect();
+    if snaps.len() != 1 {
+        let _ = std::fs::remove_dir_all(&dir);
+        return Err(format!("expected one .snap file, found {}", snaps.len()));
+    }
+    let stored = snaps[0]
+        .metadata()
+        .and_then(|m| m.modified())
+        .map_err(|e| format!("snap mtime unreadable: {e}"))?;
+    let warm = run()?;
+    let after = snaps[0]
+        .metadata()
+        .and_then(|m| m.modified())
+        .map_err(|e| format!("snap mtime unreadable after warm run: {e}"))?;
+    let _ = std::fs::remove_dir_all(&dir);
+    if after != stored {
+        return Err("warm rerun rewrote the snapshot instead of hitting it".into());
+    }
+    if format!("{cold:?}") != format!("{warm:?}") {
+        return Err("warm-start report diverged from the cold-start report".into());
+    }
+    let _ = writeln!(
+        out,
+        "ENSEMBLE warm-start: on-disk snapshot hit reproduced the cold report exactly"
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    type Check = fn(&mut String) -> Result<(), String>;
+    let mut out = String::new();
+    let checks: [(&str, Check); 2] = [
+        ("lockstep lanes bit-identical", lockstep_bit_identity),
+        ("warm-start round-trip", warm_start_round_trip),
+    ];
+    let mut ok = true;
+    for (name, check) in checks {
+        match check(&mut out) {
+            Ok(()) => println!("ensemble_smoke: {name} ok"),
+            Err(e) => {
+                eprintln!("ensemble_smoke: {name} FAILED: {e}");
+                ok = false;
+            }
+        }
+    }
+    if !ok {
+        return ExitCode::FAILURE;
+    }
+    let dir = match results_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("ensemble_smoke: results/ not writable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let path = dir.join("ensemble_smoke.txt");
+    if let Err(e) = std::fs::write(&path, &out) {
+        eprintln!("ensemble_smoke: writing {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    print!("{out}");
+    ExitCode::SUCCESS
+}

@@ -29,10 +29,13 @@ fn main() {
             &block,
         );
         for c in &block {
+            // `Saturation` renders ">= x" for curves that never crossed
+            // 3× zero-load latency in the measured range (and "n/a" for
+            // empty curves) instead of a fake 0.000.
             summary.row([
                 traffic.name(),
                 c.label.clone(),
-                format!("{:.3}", c.saturation_throughput(3.0).unwrap_or(0.0)),
+                c.saturation(3.0).to_string(),
             ]);
         }
     }

@@ -39,22 +39,28 @@ fn main() {
     ]);
     for traffic in TrafficSpec::PAPER_PATTERNS {
         for k in [4u16, 8, 16] {
-            let sats: Vec<f64> = (0..2)
+            let sats: Vec<footprint_stats::Saturation> = (0..2)
                 .map(|_| {
                     curves
                         .next()
                         .expect("one curve per queued spec")
-                        .saturation_throughput(3.0)
-                        .unwrap_or(0.0)
+                        .saturation(3.0)
                 })
                 .collect();
-            let normalized = if sats[0] > 0.0 { sats[1] / sats[0] } else { 0.0 };
+            // Normalization only makes sense between two *measured*
+            // crossings: a curve that never saturated yields a lower
+            // bound, and dividing bounds (or the old 0.0 sentinel) would
+            // print a meaningless ratio as if it were data.
+            let normalized = match (sats[0].reached(), sats[1].reached()) {
+                (Some(fp), Some(dbar)) if fp > 0.0 => format!("{:.3}", dbar / fp),
+                _ => "n/a".to_string(),
+            };
             t.row([
                 traffic.name(),
                 format!("{k}x{k}"),
-                format!("{:.3}", sats[0]),
-                format!("{:.3}", sats[1]),
-                format!("{normalized:.3}"),
+                sats[0].to_string(),
+                sats[1].to_string(),
+                normalized,
             ]);
         }
     }

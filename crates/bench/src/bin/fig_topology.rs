@@ -73,7 +73,7 @@ fn main() {
                     traffic.name().to_string(),
                     topo.to_string(),
                     spec.name().to_string(),
-                    format!("{:.3}", c.saturation_throughput(3.0).unwrap_or(0.0)),
+                    c.saturation(3.0).to_string(),
                 ]);
             }
         }

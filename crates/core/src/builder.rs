@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 
 use crate::exec::JobOutcome;
 use crate::journal::SweepJournal;
+use crate::snapcache;
 use crate::{RunReport, TenantSpec, TrafficSpec};
 use footprint_routing::RoutingSpec;
 use footprint_sim::observe::ProbePair;
@@ -170,6 +171,7 @@ pub struct RunOptions<'a> {
     deadline: Option<Duration>,
     scheduler: Scheduler,
     degraded_escape: bool,
+    snapshot_dir: Option<PathBuf>,
 }
 
 impl<'a> RunOptions<'a> {
@@ -261,6 +263,24 @@ impl<'a> RunOptions<'a> {
         self.degraded_escape = allow;
         self
     }
+
+    /// Enables the warm-start snapshot cache rooted at `dir`: the first
+    /// eligible run of a configuration serializes its post-warmup network
+    /// state there, and later runs of the *same* configuration restore it
+    /// and skip straight to measurement. The cache key covers everything
+    /// that shapes the warmed state — topology, router geometry, routing,
+    /// traffic, packet mix, injection rate, seed, warmup length and
+    /// scheduler — so a hit reports **bit-identically** to a cold run.
+    ///
+    /// Ineligible runs (fault plans, sentinel on, tenants, modulation,
+    /// stateful workloads, zero warmup) silently take the cold path; a
+    /// missing, corrupt or stale cache file likewise degrades to a plain
+    /// warmup. The cache never changes results, only how fast they arrive.
+    #[must_use]
+    pub fn snapshot_cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.snapshot_dir = Some(dir.into());
+        self
+    }
 }
 
 /// Options for a latency-throughput sweep ([`SimulationBuilder::sweep_with`]):
@@ -280,6 +300,8 @@ pub struct SweepOptions {
     checkpoint: Option<PathBuf>,
     scheduler: Scheduler,
     degraded_escape: bool,
+    ensemble: usize,
+    snapshot_dir: Option<PathBuf>,
 }
 
 impl SweepOptions {
@@ -371,6 +393,34 @@ impl SweepOptions {
         self
     }
 
+    /// Runs the sweep as lane-parallel ensembles of width `n`: up to `n`
+    /// sweep points (same topology and geometry, different rates and
+    /// derived seeds) are built as independent lanes and stepped in
+    /// lockstep, one cycle per lane per round, inside a single worker job.
+    /// Each lane is a complete private network, so its [`SweepPoint`] is
+    /// **bit-identical** to the one a standalone
+    /// [`SimulationBuilder::run_with`] of that point would produce — the
+    /// ensemble only changes the execution schedule, never the numbers.
+    ///
+    /// Groups that cannot run in lockstep (a single leftover point, a
+    /// per-point deadline, sentinel on, tenant workloads) transparently
+    /// fall back to the sequential per-point path. `n <= 1` (the default)
+    /// disables grouping entirely.
+    #[must_use]
+    pub fn ensemble(mut self, n: usize) -> Self {
+        self.ensemble = n;
+        self
+    }
+
+    /// Enables the warm-start snapshot cache for every sweep point (see
+    /// [`RunOptions::snapshot_cache`]); ensemble lanes consult the same
+    /// cache.
+    #[must_use]
+    pub fn snapshot_cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.snapshot_dir = Some(dir.into());
+        self
+    }
+
     /// The per-point [`RunOptions`] this sweep configuration induces.
     fn run_options(&self) -> RunOptions<'static> {
         let mut o = RunOptions::new()
@@ -378,6 +428,9 @@ impl SweepOptions {
             .on_unreachable(self.on_unreachable)
             .scheduler(self.scheduler)
             .degraded_escape(self.degraded_escape);
+        if let Some(d) = &self.snapshot_dir {
+            o = o.snapshot_cache(d.clone());
+        }
         if let Some(t) = self.stall_threshold {
             o = o.watchdog(t);
         }
@@ -861,9 +914,11 @@ impl SimulationBuilder {
             deadline,
             scheduler,
             degraded_escape,
+            snapshot_dir,
         } = opts;
         self.check_wrap_safety(&faults, degraded_escape)?;
         let started = Instant::now();
+        let faults_empty = faults.is_empty();
         let (mut net, mut wl) = self.build_with(faults, on_unreachable)?;
         net.set_scheduler(scheduler);
         let mut null = NullProbe;
@@ -875,16 +930,49 @@ impl SimulationBuilder {
             .unwrap_or_else(Sentinel::env_enabled)
             .then(Sentinel::new);
         let deadline = deadline.map(|limit| (started, limit));
-        let mut warmup_probe = NullProbe;
-        Self::phase(
-            &mut net,
-            &mut *wl,
-            self.warmup,
-            &mut warmup_probe,
-            watchdog.as_mut(),
-            sentinel.as_mut(),
-            deadline,
-        )?;
+        // Warm start: an eligible configuration with a cached post-warmup
+        // snapshot restores it and skips the warmup phase outright; a miss
+        // remembers the key so this run's warmed state fills the cache.
+        let mut warm = false;
+        let mut store_key: Option<(PathBuf, String)> = None;
+        if let Some(dir) = &snapshot_dir {
+            if self.snapshot_eligible(faults_empty, sentinel.is_some()) {
+                let key = self.snapshot_key(scheduler);
+                match snapcache::load(dir, &key) {
+                    Some(bytes) => match net.restore(&bytes) {
+                        Ok(()) if net.cycle() == self.warmup => warm = true,
+                        // A failed restore may have partially overwritten
+                        // the network: rebuild and warm up from scratch
+                        // (and overwrite the bad cache entry).
+                        _ => {
+                            let (n, w) = self.build_with(FaultPlan::new(), on_unreachable)?;
+                            net = n;
+                            wl = w;
+                            net.set_scheduler(scheduler);
+                            store_key = Some((dir.clone(), key));
+                        }
+                    },
+                    None => store_key = Some((dir.clone(), key)),
+                }
+            }
+        }
+        if !warm {
+            let mut warmup_probe = NullProbe;
+            Self::phase(
+                &mut net,
+                &mut *wl,
+                self.warmup,
+                &mut warmup_probe,
+                watchdog.as_mut(),
+                sentinel.as_mut(),
+                deadline,
+            )?;
+            if let Some((dir, key)) = store_key {
+                if let Ok(blob) = net.snapshot() {
+                    snapcache::store(&dir, &key, &blob);
+                }
+            }
+        }
         let boundary = net.cycle();
         net.metrics_mut().reset_window_at(boundary);
         // Multi-tenant runs carry their own accounting probe from the
@@ -925,11 +1013,24 @@ impl SimulationBuilder {
                 )?;
             }
         }
+        self.assemble_report(&net, on_unreachable, tenant_probe)
+    }
+
+    /// Distills a finished network into the [`RunReport`] `run_with`
+    /// returns. Shared by the single-run path and the ensemble lanes, so
+    /// a lane's report is assembled by exactly the code a standalone run
+    /// would use.
+    fn assemble_report(
+        &self,
+        net: &Network,
+        on_unreachable: UnreachablePolicy,
+        tenant_probe: Option<TenantProbe>,
+    ) -> Result<RunReport, RunError> {
         let mut report = RunReport::from_metrics(net.metrics(), self.topology.nodes(), self.rate);
         report.topology = self.topology.to_string();
-        report.faults = FaultStats::collect(&net);
-        report.partitions = PartitionReport::collect(&net);
-        report.recovery = RecoveryStats::collect(&net);
+        report.faults = FaultStats::collect(net);
+        report.partitions = PartitionReport::collect(net);
+        report.recovery = RecoveryStats::collect(net);
         if let Some(tp) = tenant_probe {
             report.tenants = self
                 .tenants
@@ -953,6 +1054,47 @@ impl SimulationBuilder {
             return Err(RunError::Unreachable(Box::new(report.faults)));
         }
         Ok(report)
+    }
+
+    /// `true` when this configuration's post-warmup state is exactly
+    /// reproducible from a snapshot: no fault plan (fault bookkeeping is
+    /// not serialized), sentinel off (its cycle-0 flit census cannot skip
+    /// warmup), a nonzero warmup to actually skip, steady modulation and
+    /// no tenants (their schedules live outside the network), and a
+    /// workload that keeps no state of its own.
+    fn snapshot_eligible(&self, faults_empty: bool, sentinel_on: bool) -> bool {
+        faults_empty
+            && !sentinel_on
+            && self.warmup > 0
+            && self.modulation == ModulationSpec::Steady
+            && self.tenants.is_empty()
+            && self.traffic.stateless_workload()
+    }
+
+    /// The canonical warm-start cache key: every knob that shapes the
+    /// post-warmup network state, spelled out. The injection **rate** and
+    /// **seed** are deliberately included — warmup is rate-coupled (the
+    /// congestion pattern at the boundary depends on the offered load) and
+    /// the RNG stream is seed-coupled, so omitting either would trade the
+    /// bit-identity guarantee for hit rate. The rate is keyed by its exact
+    /// bit pattern, not a decimal rendering.
+    fn snapshot_key(&self, scheduler: Scheduler) -> String {
+        format!(
+            "footprint-snap-v1 topo={} vcs={} depth={} speedup={} link={} routing={} \
+             traffic={:?} packet={:?} rate={:016x} seed={:016x} warmup={} sched={:?}",
+            self.topology,
+            self.num_vcs,
+            self.vc_buffer_depth,
+            self.speedup,
+            self.link_latency,
+            self.routing.name(),
+            self.traffic,
+            self.packet_size,
+            self.rate.to_bits(),
+            self.seed,
+            self.warmup,
+            scheduler,
+        )
     }
 
     /// Runs warmup + measurement (+ optional drain) and reports the
@@ -1042,25 +1184,35 @@ impl SimulationBuilder {
             .as_ref()
             .map(|j| j.lock().expect("journal lock").completed().clone())
             .unwrap_or_default();
+        // Missing points are grouped into ensembles of up to
+        // `opts.ensemble` lanes; each group is one worker job. The default
+        // width of 1 reproduces the historical one-job-per-point schedule.
+        let missing: Vec<(usize, f64)> = rates
+            .iter()
+            .enumerate()
+            .filter(|(index, _)| !done.contains_key(index))
+            .map(|(index, &rate)| (index, rate))
+            .collect();
+        let width = opts.ensemble.max(1);
         let mut jobs = crate::exec::JobSet::new();
-        let mut submitted: Vec<usize> = Vec::new();
-        for (index, &rate) in rates.iter().enumerate() {
-            if done.contains_key(&index) {
-                continue;
-            }
-            submitted.push(index);
-            let point = self.sweep_point(index, rate);
+        let mut submitted: Vec<Vec<usize>> = Vec::new();
+        for group in missing.chunks(width) {
+            submitted.push(group.iter().map(|&(index, _)| index).collect());
+            let points: Vec<(usize, SimulationBuilder)> = group
+                .iter()
+                .map(|&(index, rate)| (index, self.sweep_point(index, rate)))
+                .collect();
             let o = opts.clone();
             let journal = &journal;
             jobs.push(move || {
-                let sp = point.run_sweep_point_with(&o)?;
+                let sps = Self::run_sweep_group(points, &o)?;
                 if let Some(j) = journal {
-                    j.lock()
-                        .expect("journal lock")
-                        .record(index, &sp)
-                        .map_err(RunError::Checkpoint)?;
+                    let mut j = j.lock().expect("journal lock");
+                    for (index, sp) in &sps {
+                        j.record(*index, sp).map_err(RunError::Checkpoint)?;
+                    }
                 }
-                Ok::<SweepPoint, RunError>(sp)
+                Ok::<Vec<(usize, SweepPoint)>, RunError>(sps)
             });
         }
         // Quarantined execution: a panicking or failing point cannot tear
@@ -1068,18 +1220,20 @@ impl SimulationBuilder {
         // a journal, is durably recorded for the next resume.
         let outcomes = jobs.run_quarantined_on(threads);
         let mut first_error: Option<RunError> = None;
-        for (&index, outcome) in submitted.iter().zip(outcomes) {
+        for (group, outcome) in submitted.iter().zip(outcomes) {
             match outcome {
-                JobOutcome::Completed(Ok(sp)) => {
-                    done.insert(index, sp);
+                JobOutcome::Completed(Ok(sps)) => {
+                    for (index, sp) in sps {
+                        done.insert(index, sp);
+                    }
                 }
                 JobOutcome::Completed(Err(e)) => {
                     first_error.get_or_insert(e);
                 }
                 JobOutcome::Panicked(msg) => {
+                    let loads: Vec<f64> = group.iter().map(|&i| rates[i]).collect();
                     first_error.get_or_insert(RunError::JobPanicked(format!(
-                        "sweep point {index} (offered load {}): {msg}",
-                        rates[index]
+                        "sweep points {group:?} (offered loads {loads:?}): {msg}"
                     )));
                 }
             }
@@ -1237,6 +1391,76 @@ impl SimulationBuilder {
         })
     }
 
+    /// Runs one sweep group: lane-parallel lockstep when the group is
+    /// eligible, the sequential per-point path otherwise. Either way each
+    /// point's result is bit-identical to a standalone
+    /// [`run_sweep_point_with`](Self::run_sweep_point_with).
+    ///
+    /// Lockstep needs at least two lanes to pay for itself and excludes
+    /// configurations whose run loop is not a pure per-cycle step:
+    /// per-point wall-clock deadlines (the lanes share a clock), the
+    /// sentinel (its probe hooks into the bulk phase loop) and tenant
+    /// workloads (their accounting probe likewise).
+    fn run_sweep_group(
+        points: Vec<(usize, SimulationBuilder)>,
+        opts: &SweepOptions,
+    ) -> Result<Vec<(usize, SweepPoint)>, RunError> {
+        let lockstep = points.len() >= 2
+            && opts.deadline.is_none()
+            && !opts.sentinel.unwrap_or_else(Sentinel::env_enabled)
+            && points.iter().all(|(_, b)| b.tenants.is_empty());
+        if lockstep {
+            return Self::run_ensemble_group(points, opts);
+        }
+        points
+            .into_iter()
+            .map(|(index, b)| b.run_sweep_point_with(opts).map(|sp| (index, sp)))
+            .collect()
+    }
+
+    /// Steps a group of independent lanes in lockstep — one cycle per
+    /// lane per round, in lane order — until every lane has finished its
+    /// warmup/measurement/drain schedule, then assembles each lane's
+    /// report with the standard single-run path.
+    fn run_ensemble_group(
+        points: Vec<(usize, SimulationBuilder)>,
+        opts: &SweepOptions,
+    ) -> Result<Vec<(usize, SweepPoint)>, RunError> {
+        let mut lanes = points
+            .into_iter()
+            .map(|(index, b)| Lane::new(index, b, opts))
+            .collect::<Result<Vec<Lane>, RunError>>()?;
+        loop {
+            let mut live = false;
+            for lane in &mut lanes {
+                live |= lane.advance_one()?;
+            }
+            if !live {
+                break;
+            }
+        }
+        lanes
+            .into_iter()
+            .map(|lane| {
+                let report = lane
+                    .builder
+                    .assemble_report(&lane.net, opts.on_unreachable, None)?;
+                let s = match opts.latency_class {
+                    Some(c) => report.class(c),
+                    None => report.latency,
+                };
+                Ok((
+                    lane.index,
+                    SweepPoint {
+                        offered: lane.builder.rate,
+                        accepted: s.throughput,
+                        latency: s.mean_latency,
+                    },
+                ))
+            })
+            .collect()
+    }
+
     /// Runs this builder as one point of a sweep, summarizing class
     /// `latency_class` (or the total when `None`). Shim for
     /// [`run_sweep_point_with`](Self::run_sweep_point_with).
@@ -1264,6 +1488,140 @@ impl SimulationBuilder {
 impl Default for SimulationBuilder {
     fn default() -> Self {
         Self::paper_default()
+    }
+}
+
+/// Where one ensemble lane is in its run schedule; the counter is the
+/// number of cycles left in the phase.
+enum LanePhase {
+    Warmup(u64),
+    Measure(u64),
+    Drain(u64),
+    Done,
+}
+
+/// One lane of a lockstep ensemble: a complete private simulation (network,
+/// workload, optional watchdog) plus its position in the
+/// warmup→measurement→drain schedule. Stepping a lane one cycle at a time
+/// is bit-identical to the bulk phases of `run_with` — the run loops are
+/// stateless between calls — so the final report matches a standalone run
+/// exactly.
+struct Lane {
+    index: usize,
+    builder: SimulationBuilder,
+    net: Network,
+    wl: Box<dyn Workload>,
+    watchdog: Option<StallWatchdog>,
+    phase: LanePhase,
+    /// Cache slot to fill with this lane's post-warmup snapshot (set on a
+    /// cache miss of an eligible configuration).
+    store_key: Option<(PathBuf, String)>,
+}
+
+impl Lane {
+    /// Builds the lane, consulting the warm-start cache exactly as
+    /// `run_with` would: a hit restores the post-warmup state and the lane
+    /// starts at the measurement boundary; a miss on an eligible
+    /// configuration remembers the key for storing after warmup.
+    fn new(index: usize, builder: SimulationBuilder, opts: &SweepOptions) -> Result<Self, RunError> {
+        builder.check_wrap_safety(&opts.faults, opts.degraded_escape)?;
+        let (mut net, mut wl) = builder.build_with(opts.faults.clone(), opts.on_unreachable)?;
+        net.set_scheduler(opts.scheduler);
+        let mut phase = LanePhase::Warmup(builder.warmup);
+        let mut store_key = None;
+        if let Some(dir) = &opts.snapshot_dir {
+            // The lockstep path only runs with the sentinel off.
+            if builder.snapshot_eligible(opts.faults.is_empty(), false) {
+                let key = builder.snapshot_key(opts.scheduler);
+                match snapcache::load(dir, &key) {
+                    Some(bytes) => match net.restore(&bytes) {
+                        Ok(()) if net.cycle() == builder.warmup => {
+                            phase = LanePhase::Warmup(0);
+                        }
+                        _ => {
+                            let (n, w) =
+                                builder.build_with(FaultPlan::new(), opts.on_unreachable)?;
+                            net = n;
+                            wl = w;
+                            net.set_scheduler(opts.scheduler);
+                            store_key = Some((dir.clone(), key));
+                        }
+                    },
+                    None => store_key = Some((dir.clone(), key)),
+                }
+            }
+        }
+        Ok(Lane {
+            index,
+            builder,
+            net,
+            wl,
+            watchdog: opts.stall_threshold.map(StallWatchdog::new),
+            phase,
+            store_key,
+        })
+    }
+
+    /// Advances the lane one simulated cycle, applying any phase
+    /// transition first (warmup boundary: metrics window reset + snapshot
+    /// store, exactly where `run_with` does both). Returns `Ok(false)`
+    /// once the lane has finished every phase.
+    fn advance_one(&mut self) -> Result<bool, RunError> {
+        loop {
+            match self.phase {
+                LanePhase::Warmup(0) => {
+                    let boundary = self.net.cycle();
+                    self.net.metrics_mut().reset_window_at(boundary);
+                    if let Some((dir, key)) = self.store_key.take() {
+                        if let Ok(blob) = self.net.snapshot() {
+                            snapcache::store(&dir, &key, &blob);
+                        }
+                    }
+                    self.phase = LanePhase::Measure(self.builder.measurement);
+                }
+                LanePhase::Measure(0) => {
+                    self.phase = if self.builder.drain > 0 {
+                        LanePhase::Drain(self.builder.drain)
+                    } else {
+                        LanePhase::Done
+                    };
+                }
+                LanePhase::Drain(0) => self.phase = LanePhase::Done,
+                LanePhase::Done => return Ok(false),
+                LanePhase::Warmup(n) => {
+                    self.step(false)?;
+                    self.phase = LanePhase::Warmup(n - 1);
+                    return Ok(true);
+                }
+                LanePhase::Measure(n) => {
+                    self.step(false)?;
+                    self.phase = LanePhase::Measure(n - 1);
+                    return Ok(true);
+                }
+                LanePhase::Drain(n) => {
+                    self.step(true)?;
+                    self.phase = LanePhase::Drain(n - 1);
+                    return Ok(true);
+                }
+            }
+        }
+    }
+
+    /// One cycle of this lane's network (drain phases inject nothing).
+    fn step(&mut self, drain: bool) -> Result<(), RunError> {
+        let mut null = NullProbe;
+        let mut none = NoTraffic;
+        let wl: &mut dyn Workload = if drain { &mut none } else { &mut *self.wl };
+        match self.watchdog.as_mut() {
+            Some(w) => self
+                .net
+                .run_watched(wl, 1, &mut null, w)
+                .map_err(RunError::from),
+            None => {
+                self.net.run_probed(wl, 1, &mut null);
+                Ok(())
+            }
+        }
     }
 }
 

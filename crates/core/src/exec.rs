@@ -191,11 +191,6 @@ impl<'scope, T: Send + 'scope> JobSet<'scope, T> {
     }
 }
 
-/// Chunks claimed per worker (on average) when partitioning a job set:
-/// enough pieces that a slow tail chunk can be balanced across workers,
-/// few enough that claim overhead stays amortized over whole batches.
-const CHUNKS_PER_WORKER: usize = 4;
-
 /// Runs `jobs` on `threads` scoped workers, returning results in job
 /// order. The backing primitive behind [`JobSet::run_on`].
 ///
@@ -206,6 +201,17 @@ const CHUNKS_PER_WORKER: usize = 4;
 /// local buffer and the caller splices them back by index after the
 /// join — there is no shared result array for workers to false-share
 /// on while jobs complete.
+///
+/// Chunk sizes follow guided self-scheduling: each successive chunk takes
+/// `remaining / (2 × workers)` jobs (at least one), so early chunks are
+/// large enough to amortize claim overhead while the tail degenerates to
+/// single jobs that any idle worker can steal. The previous fixed
+/// `jobs / (4 × workers)` partition handed every worker equally sized
+/// chunks up front; with the monotonically rising per-point cost of a
+/// latency-throughput sweep (points near saturation simulate far more
+/// traffic), whichever worker drew the last chunk ran all the expensive
+/// points alone and the others idled — two threads measured barely
+/// faster than one on exactly the sweeps parallelism is for.
 fn run_parallel<'scope, T: Send>(jobs: Vec<Job<'scope, T>>, threads: usize) -> Vec<T> {
     /// A claimable chunk: `(start index, contiguous run of jobs)`, taken
     /// whole by the first worker to lock it.
@@ -215,11 +221,11 @@ fn run_parallel<'scope, T: Send>(jobs: Vec<Job<'scope, T>>, threads: usize) -> V
         return jobs.into_iter().map(|job| job()).collect();
     }
     let workers = threads.min(n);
-    let chunk_len = n.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
-    let mut chunks: Vec<Chunk<'scope, T>> = Vec::with_capacity(n.div_ceil(chunk_len));
+    let mut chunks: Vec<Chunk<'scope, T>> = Vec::new();
     let mut jobs = jobs.into_iter();
     let mut start = 0;
     while start < n {
+        let chunk_len = (n - start).div_ceil(workers * 2).max(1);
         let batch: Vec<Job<'scope, T>> = jobs.by_ref().take(chunk_len).collect();
         let len = batch.len();
         chunks.push(Mutex::new(Some((start, batch))));
@@ -341,6 +347,57 @@ mod tests {
             }
             assert!(matches!(outcomes[2], JobOutcome::Completed(3)));
         }
+    }
+
+    /// Spins for roughly `units` of work and returns a checksum the
+    /// optimizer cannot discard.
+    fn burn(units: u64) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..units * 20_000 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        acc
+    }
+
+    /// Regression for the flat sweep scaling: with the old fixed
+    /// partition, the worker that drew the final chunk ran all the
+    /// expensive tail jobs alone, so two threads were no faster than one.
+    /// Guided chunks must keep a 2-thread run of a cost-ramped ≥8-job set
+    /// at least as fast as the sequential run (small tolerance for pool
+    /// setup noise). Skipped on single-core machines, where there is no
+    /// parallelism to regress.
+    #[test]
+    fn two_threads_never_slower_than_one_on_ramped_jobs() {
+        if std::thread::available_parallelism().map_or(1, |n| n.get()) < 2 {
+            eprintln!("skipping: single-core machine");
+            return;
+        }
+        let make = || {
+            let mut jobs = JobSet::new();
+            for i in 1..=10u64 {
+                // Cost ramps like a sweep approaching saturation.
+                jobs.push(move || burn(i * i));
+            }
+            jobs
+        };
+        let time = |threads: usize| {
+            // Best of two, so a one-off scheduling hiccup cannot fail CI.
+            (0..2)
+                .map(|_| {
+                    let t = std::time::Instant::now();
+                    let out = make().run_on(threads);
+                    assert_eq!(out.len(), 10);
+                    t.elapsed()
+                })
+                .min()
+                .unwrap()
+        };
+        let seq = time(1);
+        let par = time(2);
+        assert!(
+            par <= seq + seq / 4,
+            "2 threads ({par:?}) slower than 1 ({seq:?})"
+        );
     }
 
     #[test]

@@ -78,6 +78,7 @@ mod builder;
 pub mod exec;
 pub mod journal;
 mod report;
+mod snapcache;
 mod traffic_spec;
 
 pub use builder::{RunError, RunOptions, SimulationBuilder, SweepOptions};

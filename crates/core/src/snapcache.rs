@@ -1,0 +1,98 @@
+//! On-disk warm-start snapshot cache.
+//!
+//! A snapshot stores the complete post-warmup state of a network (see
+//! `footprint_sim::Network::snapshot`) keyed by a canonical description of
+//! everything that influences that state: topology, router geometry,
+//! routing algorithm, traffic, packet-size mix, injection rate, seed,
+//! warmup length and scheduler. The rate and seed are deliberately **in**
+//! the key — warmup is rate-coupled (the congestion pattern at cycle
+//! `warmup` depends on the offered load) and the RNG stream is
+//! seed-coupled, so sharing a snapshot across either would silently trade
+//! bit-identity for hit rate. A cache hit therefore resumes the *exact*
+//! run that produced it.
+//!
+//! Files are written atomically (temp file + rename) and verified on read:
+//! the first line must echo the full key, so a hash collision or a stale
+//! file from an older layout degrades to a cache miss, never a wrong
+//! restore. All failures are soft — a broken cache only costs the warmup.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// 64-bit FNV-1a over the canonical key; names the cache file.
+fn fnv64(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn path_for(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("warmup-{:016x}.snap", fnv64(key)))
+}
+
+/// Loads the snapshot bytes for `key`, or `None` on any miss: no file,
+/// unreadable file, or a file whose embedded key line does not match.
+pub(crate) fn load(dir: &Path, key: &str) -> Option<Vec<u8>> {
+    let bytes = fs::read(path_for(dir, key)).ok()?;
+    let mut split = bytes.splitn(2, |&b| b == b'\n');
+    let stored_key = split.next()?;
+    let body = split.next()?;
+    if stored_key != key.as_bytes() {
+        return None;
+    }
+    Some(body.to_vec())
+}
+
+/// Stores `body` under `key`, best-effort: creates `dir` if needed, writes
+/// to a temp file and renames into place so concurrent sweep workers never
+/// observe a half-written snapshot. Errors are swallowed — the cache is an
+/// accelerator, not a correctness dependency.
+pub(crate) fn store(dir: &Path, key: &str, body: &[u8]) {
+    if fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let fin = path_for(dir, key);
+    let tmp = fin.with_extension(format!("tmp.{}", std::process::id()));
+    let write = |p: &Path| -> std::io::Result<()> {
+        let mut f = fs::File::create(p)?;
+        f.write_all(key.as_bytes())?;
+        f.write_all(b"\n")?;
+        f.write_all(body)?;
+        f.sync_all()
+    };
+    if write(&tmp).is_ok() {
+        let _ = fs::rename(&tmp, &fin);
+    }
+    let _ = fs::remove_file(&tmp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_key_mismatch() {
+        let dir = std::env::temp_dir().join(format!("footprint-snapcache-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        assert_eq!(load(&dir, "k1"), None, "empty cache misses");
+        store(&dir, "k1", b"payload\x00with\nbytes");
+        assert_eq!(load(&dir, "k1").as_deref(), Some(&b"payload\x00with\nbytes"[..]));
+        assert_eq!(load(&dir, "k2"), None, "different key misses");
+        // A colliding filename with the wrong embedded key degrades to a miss.
+        fs::write(path_for(&dir, "k3"), b"not-k3\njunk").unwrap();
+        assert_eq!(load(&dir, "k3"), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned so cache files survive across builds of the same layout.
+        assert_eq!(fnv64(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64("footprint"), fnv64("footprint"));
+        assert_ne!(fnv64("a"), fnv64("b"));
+    }
+}

@@ -107,6 +107,16 @@ impl TrafficSpec {
         }
     }
 
+    /// `true` when the built workload keeps no state of its own — every
+    /// packet decision is drawn from the shared simulation RNG, which the
+    /// warm-start snapshot captures exactly. [`TrafficSpec::ParsecPair`]
+    /// is the exception: its burst schedule lives inside the workload
+    /// object, outside the snapshot, so a restored run could not replay
+    /// it faithfully.
+    pub fn stateless_workload(self) -> bool {
+        !matches!(self, TrafficSpec::ParsecPair(..))
+    }
+
     /// The three synthetic patterns of Figures 5–8.
     pub const PAPER_PATTERNS: [TrafficSpec; 3] = [
         TrafficSpec::UniformRandom,

@@ -188,6 +188,76 @@ impl Source {
     pub fn vcs(&self) -> &[OutVc] {
         &self.vcs
     }
+
+    /// Serializes the generation queue, injection VCs, active grant and
+    /// round-robin pointer (scratch is per-cycle and omitted).
+    pub(crate) fn snapshot_write(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.usize(self.queue.len());
+        for p in &self.queue {
+            w.u64(p.id.0);
+            w.u16(p.src.0);
+            w.u16(p.dest.0);
+            w.u16(p.size);
+            w.u64(p.birth);
+            w.u8(p.class);
+            w.u16(p.sent);
+        }
+        w.usize(self.vcs.len());
+        for vc in &self.vcs {
+            vc.snapshot_write(w);
+        }
+        match self.active_vc {
+            None => {
+                w.u8(0);
+                w.usize(0);
+            }
+            Some(v) => {
+                w.u8(1);
+                w.usize(v);
+            }
+        }
+        w.usize(self.rr);
+    }
+
+    /// Restores a snapshot; the VC count echo must match.
+    pub(crate) fn snapshot_read(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), String> {
+        let queued = r.usize()?;
+        self.queue.clear();
+        for _ in 0..queued {
+            let id = PacketId(r.u64()?);
+            let src = NodeId(r.u16()?);
+            let dest = NodeId(r.u16()?);
+            let size = r.u16()?;
+            let birth = r.u64()?;
+            let class = r.u8()?;
+            let sent = r.u16()?;
+            self.queue.push_back(PendingPacket {
+                id,
+                src,
+                dest,
+                size,
+                birth,
+                class,
+                sent,
+            });
+        }
+        r.expect_usize(self.vcs.len(), "source VC count")?;
+        for vc in &mut self.vcs {
+            vc.snapshot_read(r)?;
+        }
+        self.active_vc = match r.u8()? {
+            0 => {
+                r.usize()?;
+                None
+            }
+            _ => Some(r.usize()?),
+        };
+        self.rr = r.usize()?;
+        Ok(())
+    }
 }
 
 /// A packet sink: per-VC buffers drained at the endpoint ejection bandwidth
@@ -284,6 +354,43 @@ impl Sink {
     /// `true` when no flits are buffered.
     pub fn is_quiescent(&self) -> bool {
         self.vcs.iter().all(VecDeque::is_empty)
+    }
+
+    /// Serializes the per-VC buffers and the round-robin pointer.
+    pub(crate) fn snapshot_write(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.usize(self.vcs.len());
+        for q in &self.vcs {
+            w.usize(q.len());
+            for f in q {
+                w.flit(f);
+            }
+        }
+        w.usize(self.rr);
+        w.usize(self.capacity);
+    }
+
+    /// Restores a snapshot; VC count and capacity echoes must match.
+    pub(crate) fn snapshot_read(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), String> {
+        r.expect_usize(self.vcs.len(), "sink VC count")?;
+        for q in &mut self.vcs {
+            let n = r.usize()?;
+            if n > self.capacity {
+                return Err(format!(
+                    "snapshot sink buffer of {n} flits exceeds capacity {}",
+                    self.capacity
+                ));
+            }
+            q.clear();
+            for _ in 0..n {
+                q.push_back(r.flit()?);
+            }
+        }
+        self.rr = r.usize()?;
+        r.expect_usize(self.capacity, "sink capacity")?;
+        Ok(())
     }
 }
 

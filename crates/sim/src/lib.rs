@@ -59,6 +59,7 @@ mod router;
 mod sched;
 pub mod sentinel;
 mod sideband;
+mod snapshot;
 mod soa;
 mod view;
 mod wire;

@@ -755,6 +755,120 @@ impl Network {
             && self.retries.is_empty()
     }
 
+    /// Serializes the complete dynamic state of a fault-free network —
+    /// cycle counter, packet-id counter, RNG stream, every flit, buffer,
+    /// credit, arbiter pointer and wire stage — for warm-start restore via
+    /// [`Network::restore`].
+    ///
+    /// **Not** serialized, by argument rather than accident:
+    ///
+    /// * metrics — the warm-start consumer resets the window at the
+    ///   restore boundary on both the cold and the warm path;
+    /// * the congestion side band and the active-set live sets — restore
+    ///   schedules a full resync, which recomputes them from the restored
+    ///   datapath before the next cycle reads them (and recomputation is
+    ///   exact wherever the incremental path would have kept a cached
+    ///   value, so the two paths stay bit-identical);
+    /// * per-cycle scratch buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the network runs under a fault plan or holds
+    /// parked retries — fault/recovery/retry state is deliberately outside
+    /// the snapshot inventory, so such a network must not be checkpointed.
+    pub fn snapshot(&self) -> Result<Vec<u8>, String> {
+        if self.track_recovery || !self.retries.is_empty() || !self.unreachable.is_empty() {
+            return Err("snapshots require a fault-free network".into());
+        }
+        let mut w = crate::snapshot::SnapWriter::new();
+        w.usize(self.topo.len());
+        w.usize(self.cfg.num_vcs);
+        w.usize(self.cfg.vc_buffer_depth);
+        w.u64(self.cycle);
+        w.u64(self.next_packet);
+        for s in self.rng.state() {
+            w.u64(s);
+        }
+        self.soa.snapshot_write(&mut w);
+        for r in &self.routers {
+            r.snapshot_write(&mut w);
+        }
+        for s in &self.sources {
+            s.snapshot_write(&mut w);
+        }
+        for s in &self.sinks {
+            s.snapshot_write(&mut w);
+        }
+        for wire in &self.inj_wires {
+            wire.snapshot_write(&mut w);
+        }
+        for wire in self.out_wires.iter().flatten() {
+            wire.snapshot_write(&mut w);
+        }
+        for &lf in &self.link_flits {
+            w.u64(lf);
+        }
+        for &ne in &self.sched.next_expected {
+            w.u64(ne);
+        }
+        Ok(w.into_bytes())
+    }
+
+    /// Restores a [`Network::snapshot`] image into this network, which
+    /// must have been built with the same configuration (geometry echoes
+    /// are validated; the caller's cache key must bind everything else —
+    /// routing algorithm, traffic, seed). Metrics are cleared; the next
+    /// step resyncs the scheduler's activity state and the congestion
+    /// side band from the restored datapath.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error (leaving the network in an unspecified but
+    /// rebuild-able state — callers should discard it and run cold) when
+    /// the image is truncated, corrupt or from a different geometry.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
+        if self.track_recovery {
+            return Err("cannot restore into a faulted network".into());
+        }
+        let mut r = crate::snapshot::SnapReader::new(bytes);
+        r.expect_usize(self.topo.len(), "node count")?;
+        r.expect_usize(self.cfg.num_vcs, "VC count")?;
+        r.expect_usize(self.cfg.vc_buffer_depth, "buffer depth")?;
+        self.cycle = r.u64()?;
+        self.next_packet = r.u64()?;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = r.u64()?;
+        }
+        self.rng = SmallRng::from_state(s);
+        self.soa.snapshot_read(&mut r)?;
+        for router in &mut self.routers {
+            router.snapshot_read(&mut r)?;
+        }
+        for src in &mut self.sources {
+            src.snapshot_read(&mut r)?;
+        }
+        for sink in &mut self.sinks {
+            sink.snapshot_read(&mut r)?;
+        }
+        for wire in &mut self.inj_wires {
+            wire.snapshot_read(&mut r)?;
+        }
+        for wire in self.out_wires.iter_mut().flatten() {
+            wire.snapshot_read(&mut r)?;
+        }
+        for lf in &mut self.link_flits {
+            *lf = r.u64()?;
+        }
+        for ne in &mut self.sched.next_expected {
+            *ne = r.u64()?;
+        }
+        r.done()?;
+        self.metrics = Metrics::new();
+        self.sched_resync_pending = true;
+        Ok(())
+    }
+
     /// The live fault state derived from the network's fault plan.
     pub fn fault_state(&self) -> &FaultState {
         &self.faults
@@ -1133,6 +1247,87 @@ mod tests {
             .iter()
             .flat_map(|e| e.dests.iter())
             .all(|&d| d == NodeId(5)));
+    }
+
+    /// A snapshot taken mid-run and restored into a freshly built network
+    /// must continue bit-identically to the uninterrupted run — same
+    /// window metrics, same final cycle, same quiescence — under either
+    /// scheduler (the restore path schedules a resync, which must agree
+    /// with the never-resynced reference walk).
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        for sched in [Scheduler::Dense, Scheduler::Active] {
+            let mk = || {
+                let mut net = build(RoutingSpec::Footprint);
+                net.set_scheduler(sched);
+                net
+            };
+            let wl = || {
+                crate::workload::FlowSet::new(vec![
+                    SingleFlow {
+                        src: NodeId(0),
+                        dest: NodeId(15),
+                        rate: 0.4,
+                        size: 2,
+                    },
+                    SingleFlow {
+                        src: NodeId(12),
+                        dest: NodeId(3),
+                        rate: 0.3,
+                        size: 1,
+                    },
+                ])
+            };
+            // Reference: run 300 cycles straight, measuring the last 150.
+            let mut a = mk();
+            let mut wa = wl();
+            a.run(&mut wa, 150);
+            a.metrics_mut().reset_window_at(150);
+            a.run(&mut wa, 150);
+            // Interrupted: run 150, snapshot, restore into a fresh build,
+            // measure the next 150 there.
+            let mut b0 = mk();
+            let mut wb = wl();
+            b0.run(&mut wb, 150);
+            let blob = b0.snapshot().expect("fault-free snapshot");
+            let mut b = mk();
+            b.restore(&blob).expect("restore");
+            assert_eq!(b.cycle(), 150);
+            b.metrics_mut().reset_window_at(150);
+            let mut wb2 = wl();
+            b.run(&mut wb2, 150);
+            let ta = a.metrics().total();
+            let tb = b.metrics().total();
+            assert_eq!(ta, tb, "{sched:?}: window metrics diverged");
+            assert_eq!(a.cycle(), b.cycle());
+            assert_eq!(
+                format!("{:?}", a.datapath()),
+                format!("{:?}", b.datapath()),
+                "{sched:?}: datapath state diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_faulted_networks_and_wrong_geometry() {
+        use footprint_topology::{FaultEvent, FaultPlan};
+        let plan = FaultPlan::new().with(FaultEvent::router_down(NodeId(3), 0));
+        let faulted = Network::with_faults(
+            SimConfig::small(),
+            RoutingSpec::Footprint.build(),
+            1,
+            plan,
+            UnreachablePolicy::Drop,
+        )
+        .unwrap();
+        assert!(faulted.snapshot().is_err());
+        let net = build(RoutingSpec::Footprint);
+        let blob = net.snapshot().unwrap();
+        let mut cfg = SimConfig::small();
+        cfg.num_vcs += 1;
+        let mut other = Network::new(cfg, RoutingSpec::Footprint.build(), 42).unwrap();
+        assert!(other.restore(&blob).is_err(), "geometry echo must catch this");
+        assert!(other.restore(&blob[..blob.len() - 3]).is_err());
     }
 
     /// Regression: a parked packet whose destination's router is repaired

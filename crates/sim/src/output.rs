@@ -158,6 +158,70 @@ impl OutVc {
     pub fn is_quiescent(&self) -> bool {
         self.state == OutVcState::Idle && self.credits == self.capacity
     }
+
+    /// Serializes the state machine, owner register and credit counter.
+    pub(crate) fn snapshot_write(&self, w: &mut crate::snapshot::SnapWriter) {
+        match self.state {
+            OutVcState::Idle => {
+                w.u8(0);
+                w.u64(0);
+            }
+            OutVcState::Active(p) => {
+                w.u8(1);
+                w.u64(p.0);
+            }
+            OutVcState::Draining => {
+                w.u8(2);
+                w.u64(0);
+            }
+        }
+        match self.owner {
+            None => {
+                w.u8(0);
+                w.u16(0);
+            }
+            Some(n) => {
+                w.u8(1);
+                w.u16(n.0);
+            }
+        }
+        w.u32(self.credits);
+        w.u32(self.capacity);
+    }
+
+    /// Restores a snapshot; the capacity echo must match.
+    pub(crate) fn snapshot_read(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), String> {
+        let tag = r.u8()?;
+        let packet = r.u64()?;
+        let state = match tag {
+            0 => OutVcState::Idle,
+            1 => OutVcState::Active(PacketId(packet)),
+            2 => OutVcState::Draining,
+            t => return Err(format!("snapshot OutVc state {t} out of range")),
+        };
+        let owner = match r.u8()? {
+            0 => {
+                r.u16()?;
+                None
+            }
+            _ => Some(NodeId(r.u16()?)),
+        };
+        let credits = r.u32()?;
+        let capacity = r.u32()?;
+        if capacity != self.capacity {
+            return Err(format!(
+                "snapshot OutVc capacity mismatch: stored {capacity}, live {}",
+                self.capacity
+            ));
+        }
+        self.state = state;
+        self.owner = owner;
+        self.credits = credits;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

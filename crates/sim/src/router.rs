@@ -112,6 +112,25 @@ impl Router {
         self.sa_vc_rr = (self.sa_vc_rr + (skipped % m as u64) as usize) % m;
     }
 
+    /// Serializes the arbiter pointers (the router's only persistent
+    /// state — the datapath lives in [`NocSoa`], scratch is per-cycle).
+    pub(crate) fn snapshot_write(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.usize(self.va_rr);
+        w.usize(self.sa_port_rr);
+        w.usize(self.sa_vc_rr);
+    }
+
+    /// Restores the arbiter pointers from a snapshot.
+    pub(crate) fn snapshot_read(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), String> {
+        self.va_rr = r.usize()?;
+        self.sa_port_rr = r.usize()?;
+        self.sa_vc_rr = r.usize()?;
+        Ok(())
+    }
+
     /// Route computation + VC allocation for every waiting head packet.
     ///
     /// Requests are standing: they are recomputed every cycle from current

@@ -143,6 +143,149 @@ impl NocSoa {
         }
     }
 
+    /// Serializes every array verbatim (ring slots outside the live
+    /// windows included), prefixed by the geometry, so a restore is an
+    /// exact image of the store at snapshot time.
+    pub(crate) fn snapshot_write(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.usize(self.num_nodes);
+        w.usize(self.num_vcs);
+        w.usize(self.depth);
+        w.usize(self.stage_cap);
+        for f in &self.in_store {
+            w.flit(f);
+        }
+        for &v in &self.in_head {
+            w.u16(v);
+        }
+        for &v in &self.in_len {
+            w.u16(v);
+        }
+        for &v in &self.route_kind {
+            w.u8(v);
+        }
+        for &v in &self.route_port {
+            w.u8(v);
+        }
+        for &v in &self.route_vc {
+            w.u8(v);
+        }
+        for &v in &self.route_packet {
+            w.u64(v);
+        }
+        for &v in &self.out_state {
+            w.u8(v);
+        }
+        for &v in &self.out_owner {
+            w.u32(v);
+        }
+        for &v in &self.out_packet {
+            w.u64(v);
+        }
+        for &v in &self.out_credits {
+            w.u32(v);
+        }
+        for &v in &self.waiting_mask {
+            w.u64(v);
+        }
+        for &v in &self.active_mask {
+            w.u64(v);
+        }
+        for &v in &self.out_idle_mask {
+            w.u64(v);
+        }
+        for &v in &self.out_drain_mask {
+            w.u64(v);
+        }
+        for &v in &self.out_owned_mask {
+            w.u64(v);
+        }
+        for &v in &self.in_occupied {
+            w.u16(v);
+        }
+        for f in &self.stage_store {
+            w.flit(f);
+        }
+        for &v in &self.stage_head {
+            w.u16(v);
+        }
+        for &v in &self.stage_len {
+            w.u16(v);
+        }
+    }
+
+    /// Restores a [`NocSoa::snapshot_write`] image in place. The geometry
+    /// echo must match this store exactly.
+    pub(crate) fn snapshot_read(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), String> {
+        r.expect_usize(self.num_nodes, "soa nodes")?;
+        r.expect_usize(self.num_vcs, "soa vcs")?;
+        r.expect_usize(self.depth, "soa depth")?;
+        r.expect_usize(self.stage_cap, "soa stage cap")?;
+        for f in &mut self.in_store {
+            *f = r.flit()?;
+        }
+        for v in &mut self.in_head {
+            *v = r.u16()?;
+        }
+        for v in &mut self.in_len {
+            *v = r.u16()?;
+        }
+        for v in &mut self.route_kind {
+            *v = r.u8()?;
+        }
+        for v in &mut self.route_port {
+            *v = r.u8()?;
+        }
+        for v in &mut self.route_vc {
+            *v = r.u8()?;
+        }
+        for v in &mut self.route_packet {
+            *v = r.u64()?;
+        }
+        for v in &mut self.out_state {
+            *v = r.u8()?;
+        }
+        for v in &mut self.out_owner {
+            *v = r.u32()?;
+        }
+        for v in &mut self.out_packet {
+            *v = r.u64()?;
+        }
+        for v in &mut self.out_credits {
+            *v = r.u32()?;
+        }
+        for v in &mut self.waiting_mask {
+            *v = r.u64()?;
+        }
+        for v in &mut self.active_mask {
+            *v = r.u64()?;
+        }
+        for v in &mut self.out_idle_mask {
+            *v = r.u64()?;
+        }
+        for v in &mut self.out_drain_mask {
+            *v = r.u64()?;
+        }
+        for v in &mut self.out_owned_mask {
+            *v = r.u64()?;
+        }
+        for v in &mut self.in_occupied {
+            *v = r.u16()?;
+        }
+        for f in &mut self.stage_store {
+            *f = r.flit()?;
+        }
+        for v in &mut self.stage_head {
+            *v = r.u16()?;
+        }
+        for v in &mut self.stage_len {
+            *v = r.u16()?;
+        }
+        Ok(())
+    }
+
     /// VCs per physical channel.
     #[inline]
     pub fn num_vcs(&self) -> usize {

@@ -115,6 +115,56 @@ impl<T> Pipe<T> {
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.cur.iter().chain(self.stages.iter().flat_map(|s| s.iter()))
     }
+
+    /// Serializes stage contents and the receivable batch through `enc`.
+    pub(crate) fn snapshot_write(
+        &self,
+        w: &mut crate::snapshot::SnapWriter,
+        enc: impl Fn(&T, &mut crate::snapshot::SnapWriter),
+    ) {
+        w.usize(self.stages.len());
+        for s in &self.stages {
+            w.usize(s.len());
+            for v in s {
+                enc(v, w);
+            }
+        }
+        w.usize(self.cur.len());
+        for v in &self.cur {
+            enc(v, w);
+        }
+    }
+
+    /// Restores a snapshot through `dec`; the latency echo must match.
+    pub(crate) fn snapshot_read(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+        dec: impl Fn(&mut crate::snapshot::SnapReader<'_>) -> Result<T, String>,
+    ) -> Result<(), String> {
+        let latency = r.usize()?;
+        if latency != self.stages.len() {
+            return Err(format!(
+                "snapshot pipe latency mismatch: stored {latency}, live {}",
+                self.stages.len()
+            ));
+        }
+        self.len = 0;
+        for s in &mut self.stages {
+            s.clear();
+            let n = r.usize()?;
+            for _ in 0..n {
+                s.push(dec(r)?);
+            }
+            self.len += n;
+        }
+        self.cur.clear();
+        let n = r.usize()?;
+        for _ in 0..n {
+            self.cur.push(dec(r)?);
+        }
+        self.len += n;
+        Ok(())
+    }
 }
 
 /// A credit message: one buffer slot of VC `vc` freed downstream.
@@ -158,6 +208,22 @@ impl Wire {
     /// `true` when nothing is in flight in either direction.
     pub fn is_quiescent(&self) -> bool {
         self.flits.is_empty() && self.credits.is_empty()
+    }
+
+    /// Serializes both directions (in-flight flits and credits).
+    pub(crate) fn snapshot_write(&self, w: &mut crate::snapshot::SnapWriter) {
+        self.flits.snapshot_write(w, |f, w| w.flit(f));
+        self.credits.snapshot_write(w, |c, w| w.u8(c.vc));
+    }
+
+    /// Restores both directions from a snapshot.
+    pub(crate) fn snapshot_read(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), String> {
+        self.flits.snapshot_read(r, |r| r.flit())?;
+        self.credits
+            .snapshot_read(r, |r| Ok(CreditMsg { vc: r.u8()? }))
     }
 }
 

@@ -44,7 +44,7 @@ pub use observers::{MeshSample, RouterSample, TimelineProbe};
 pub use probes::{load_balance, LatencyHistogramProbe, LoadBalance};
 pub use purity::PurityProbe;
 pub use resilience::{PartitionReport, RecoveryStats};
-pub use sweep::{Curve, SweepPoint, SweepProgress};
+pub use sweep::{Curve, Saturation, SweepPoint, SweepProgress};
 pub use tenant::{TenantProbe, TenantSummary, WindowCounts};
 pub use timeline::{TreeSample, TreeTimeline};
 pub use table::Table;

@@ -48,6 +48,59 @@ impl fmt::Display for SweepProgress {
     }
 }
 
+/// How a curve's saturation throughput was determined — or why it could
+/// not be.
+///
+/// [`Curve::saturation_throughput`] collapses all three cases into an
+/// `Option<f64>`, which made an unsaturated curve's accepted-throughput
+/// plateau indistinguishable from a genuine crossing (and `unwrap_or(0.0)`
+/// call sites printed `0.000`, a sentinel that downstream normalization
+/// then divided by). This enum keeps the cases apart so reports can say
+/// what they actually measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Saturation {
+    /// Mean latency crossed `factor ×` zero-load latency at this offered
+    /// load (linearly interpolated between the straddling points).
+    At(f64),
+    /// The curve never saturated in the measured range; the value is the
+    /// largest *accepted* throughput observed, a lower bound on the true
+    /// saturation point.
+    NotReached(f64),
+    /// The curve has no points.
+    Empty,
+}
+
+impl Saturation {
+    /// The crossing point, if the curve actually saturated.
+    pub fn reached(self) -> Option<f64> {
+        match self {
+            Saturation::At(x) => Some(x),
+            Saturation::NotReached(_) | Saturation::Empty => None,
+        }
+    }
+
+    /// The best available estimate: the crossing, or the unsaturated
+    /// lower bound. `None` only for an empty curve.
+    pub fn estimate(self) -> Option<f64> {
+        match self {
+            Saturation::At(x) | Saturation::NotReached(x) => Some(x),
+            Saturation::Empty => None,
+        }
+    }
+}
+
+impl fmt::Display for Saturation {
+    /// Renders for report tables: `0.412` for a measured crossing,
+    /// `>= 0.412` for an unsaturated lower bound, `n/a` for no data.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Saturation::At(x) => write!(f, "{x:.3}"),
+            Saturation::NotReached(x) => write!(f, ">= {x:.3}"),
+            Saturation::Empty => f.write_str("n/a"),
+        }
+    }
+}
+
 /// A latency-throughput curve for one (algorithm, workload) pair.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Curve {
@@ -91,25 +144,35 @@ impl Curve {
     /// `factor = 3` is the conventional choice and the default used by the
     /// experiment harness.
     pub fn saturation_throughput(&self, factor: f64) -> Option<f64> {
-        let zero = self.zero_load_latency()?;
+        self.saturation(factor).estimate()
+    }
+
+    /// Saturation throughput with the outcome kept explicit (see
+    /// [`Saturation`]): a measured crossing, an unsaturated lower bound,
+    /// or nothing for an empty curve.
+    pub fn saturation(&self, factor: f64) -> Saturation {
+        let Some(zero) = self.zero_load_latency() else {
+            return Saturation::Empty;
+        };
         let threshold = zero * factor;
         for w in self.points.windows(2) {
             let (a, b) = (w[0], w[1]);
             if a.latency <= threshold && b.latency > threshold {
                 let t = (threshold - a.latency) / (b.latency - a.latency);
-                return Some(a.offered + t * (b.offered - a.offered));
+                return Saturation::At(a.offered + t * (b.offered - a.offered));
             }
         }
         if let Some(first) = self.points.first() {
             if first.latency > threshold {
-                return Some(first.offered);
+                return Saturation::At(first.offered);
             }
         }
-        // Never saturated: report the plateau of accepted throughput.
-        self.points
-            .iter()
-            .map(|p| p.accepted)
-            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
+        // Never saturated: the accepted-throughput plateau bounds the
+        // crossing from below.
+        match self.peak_accepted() {
+            Some(peak) => Saturation::NotReached(peak),
+            None => Saturation::Empty,
+        }
     }
 
     /// Largest accepted throughput on the curve.
@@ -170,6 +233,26 @@ mod tests {
         c.push(pt(0.2, 0.2, 21.0));
         c.push(pt(0.3, 0.3, 22.0));
         assert!((c.saturation_throughput(3.0).unwrap() - 0.3).abs() < 1e-12);
+        // The typed API keeps the lower bound distinguishable from a
+        // measured crossing.
+        let sat = c.saturation(3.0);
+        assert_eq!(sat, Saturation::NotReached(0.3));
+        assert_eq!(sat.reached(), None);
+        assert!((sat.estimate().unwrap() - 0.3).abs() < 1e-12);
+        assert_eq!(sat.to_string(), ">= 0.300");
+    }
+
+    #[test]
+    fn saturation_outcomes_render_distinctly() {
+        let crossed = rising_curve().saturation(3.0);
+        assert!(matches!(crossed, Saturation::At(_)));
+        assert!(crossed.reached().is_some());
+        assert!(!crossed.to_string().starts_with(">="));
+        let empty = Curve::new("empty").saturation(3.0);
+        assert_eq!(empty, Saturation::Empty);
+        assert_eq!(empty.reached(), None);
+        assert_eq!(empty.estimate(), None);
+        assert_eq!(empty.to_string(), "n/a");
     }
 
     #[test]

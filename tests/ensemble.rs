@@ -1,0 +1,148 @@
+//! Lane-parallel ensemble simulation is an execution schedule, not a
+//! semantic change: every lane of an ensemble sweep must be bit-identical
+//! to the same point run standalone, across every routing algorithm, on
+//! wrapping and non-wrapping fabrics, under both schedulers. The
+//! warm-start snapshot cache carries the same bar — a cache hit must
+//! reproduce the cold-start report exactly.
+
+use footprint_core::{RoutingSpec, RunOptions, Scheduler, SimulationBuilder, SweepOptions};
+
+const ALGOS: [RoutingSpec; 4] = [
+    RoutingSpec::Footprint,
+    RoutingSpec::Dbar,
+    RoutingSpec::OddEven,
+    RoutingSpec::Dor,
+];
+
+const RATES: [f64; 4] = [0.04, 0.08, 0.12, 0.16];
+
+fn fabrics() -> [(&'static str, SimulationBuilder); 2] {
+    let configure = |b: SimulationBuilder| {
+        b.vcs(4)
+            .warmup(150)
+            .measurement(300)
+            .drain(1_000)
+            .seed(29)
+    };
+    [
+        ("mesh:4x4", configure(SimulationBuilder::mesh(4))),
+        ("torus:4x4", configure(SimulationBuilder::torus(4))),
+    ]
+}
+
+/// The full matrix: 4 algorithms × {mesh, torus} × {dense, active}. A
+/// four-lane ensemble sweep must equal the sequential single-thread sweep
+/// point for point (`Curve` derives `PartialEq` over exact f64 values, and
+/// the `Debug` rendering prints shortest-roundtrip floats, so both
+/// comparisons are bit-level).
+#[test]
+fn ensemble_lanes_bit_identical_across_algorithms_fabrics_schedulers() {
+    for (fabric, base) in fabrics() {
+        for spec in ALGOS {
+            for scheduler in [Scheduler::Dense, Scheduler::Active] {
+                let sweep = |opts: SweepOptions| {
+                    base.clone()
+                        .routing(spec)
+                        .sweep_with(&RATES, opts.threads(1).scheduler(scheduler))
+                        .expect("sweep")
+                };
+                let sequential = sweep(SweepOptions::new());
+                let ensemble = sweep(SweepOptions::new().ensemble(4));
+                assert_eq!(
+                    format!("{sequential:?}"),
+                    format!("{ensemble:?}"),
+                    "{}/{fabric}/{scheduler:?}: ensemble lanes diverged from standalone runs",
+                    spec.name()
+                );
+            }
+        }
+    }
+}
+
+/// A warm-start hit replays the cached post-warmup state and must produce
+/// the exact report the cold run produced — the cache trades time, never
+/// results.
+#[test]
+fn snapshot_cache_hit_reproduces_cold_start_exactly() {
+    let dir = std::env::temp_dir().join(format!("footprint-ensemble-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let run = || {
+        SimulationBuilder::mesh(4)
+            .vcs(4)
+            .warmup(200)
+            .measurement(400)
+            .drain(1_000)
+            .injection_rate(0.12)
+            .seed(41)
+            .routing(RoutingSpec::Footprint)
+            // Pinned off: the cache is (deliberately) ineligible under the
+            // sentinel, and this test must store/hit even on the
+            // FOOTPRINT_SENTINEL=1 CI leg.
+            .run_with(
+                RunOptions::new()
+                    .watchdog(20_000)
+                    .sentinel(false)
+                    .snapshot_cache(&dir),
+            )
+            .expect("run")
+    };
+    let cold = run();
+    let cached: Vec<_> = std::fs::read_dir(&dir)
+        .expect("cache dir created by the cold run")
+        .filter_map(Result::ok)
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        cached.iter().any(|n| n.ends_with(".snap")),
+        "cold run stored no snapshot (dir holds {cached:?})"
+    );
+    let warm = run();
+    assert_eq!(
+        format!("{cold:?}"),
+        format!("{warm:?}"),
+        "snapshot-cache hit diverged from the cold-start report"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The cache key includes the injection rate and seed, so sibling sweep
+/// points never collide: a four-point ensemble sweep with a shared cache
+/// directory stays bit-identical to the uncached sequential sweep on both
+/// the cold (store) and warm (hit) passes.
+#[test]
+fn ensemble_sweep_with_shared_cache_stays_bit_identical() {
+    let dir = std::env::temp_dir().join(format!("footprint-ensemble-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let base = || {
+        SimulationBuilder::mesh(4)
+            .vcs(4)
+            .warmup(150)
+            .measurement(300)
+            .drain(1_000)
+            .seed(53)
+            .routing(RoutingSpec::Footprint)
+    };
+    let reference = base()
+        .sweep_with(&RATES, SweepOptions::new().threads(1))
+        .expect("reference sweep");
+    for pass in ["cold", "warm"] {
+        // Sentinel pinned off so the lockstep + cache path runs (rather
+        // than falling back) even on the FOOTPRINT_SENTINEL=1 CI leg.
+        let curve = base()
+            .sweep_with(
+                &RATES,
+                SweepOptions::new()
+                    .threads(1)
+                    .sentinel(false)
+                    .ensemble(4)
+                    .snapshot_cache(&dir),
+            )
+            .expect("cached ensemble sweep");
+        assert_eq!(
+            format!("{reference:?}"),
+            format!("{curve:?}"),
+            "{pass} cached ensemble sweep diverged from the uncached sequential sweep"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

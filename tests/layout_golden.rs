@@ -144,6 +144,18 @@ fn reports_match_object_layout_goldens() {
         .sweep_with(&[0.05, 0.15], SweepOptions::new().threads(1))
         .expect("sweep");
     got.push(("sweep-2pt".into(), golden_hash(&format!("{curve:?}"))));
+    // The same sweep as a two-lane lockstep ensemble must reproduce the
+    // object-layout golden bit for bit: lane-parallel execution is an
+    // execution schedule, not a semantic change.
+    let ensemble = base()
+        .routing(RoutingSpec::Footprint)
+        .sweep_with(&[0.05, 0.15], SweepOptions::new().threads(1).ensemble(2))
+        .expect("ensemble sweep");
+    assert_eq!(
+        golden_hash(&format!("{ensemble:?}")),
+        golden_hash(&format!("{curve:?}")),
+        "ensemble sweep diverged from the sequential sweep"
+    );
 
     if discover {
         for (label, h) in &got {

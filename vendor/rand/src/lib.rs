@@ -211,6 +211,33 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The full internal xoshiro256++ state, for exact checkpointing.
+        #[inline]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured with
+        /// [`SmallRng::state`]. The all-zero state (a fixed point of
+        /// xoshiro, never produced by a live generator) is remapped the
+        /// same way `from_seed` remaps it.
+        #[inline]
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return SmallRng {
+                    s: [
+                        0x9E37_79B9_7F4A_7C15,
+                        0xBF58_476D_1CE4_E5B9,
+                        0x94D0_49BB_1331_11EB,
+                        0x2545_F491_4F6C_DD1D,
+                    ],
+                };
+            }
+            SmallRng { s }
+        }
+    }
+
     impl SeedableRng for SmallRng {
         type Seed = [u8; 32];
 
